@@ -1,0 +1,299 @@
+//! Attribute credentials — the §III alternative to a directory.
+//!
+//! *"Alternatively, the LTA can issue to each user in its domain a set of
+//! credentials certifying the user's attribute values, and verifies those
+//! credentials upon a request for capability."* A credential is an
+//! identity-based signature by the issuing authority over
+//! `(user, field, value, expiry)`; a stateless authority can then check a
+//! capability request against presented credentials without any user
+//! database.
+
+use crate::directory::{Eligibility, EligibilityRules};
+use crate::ibs::{IbsPublicParams, IbsSignature, UserSignKey};
+use apks_core::{Condition, FieldValue, Query};
+use apks_curve::CurveParams;
+use apks_math::encode::{DecodeError, Reader, Writer};
+use rand::Rng;
+
+/// A signed claim that `user` holds `value` in `field` until `expires_at`
+/// (epoch ticks; the caller supplies the clock).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttributeCredential {
+    /// The subject user.
+    pub user: String,
+    /// The attribute field.
+    pub field: String,
+    /// The certified value.
+    pub value: FieldValue,
+    /// Expiry tick (credential invalid strictly after this).
+    pub expires_at: u64,
+    /// Issuing authority identity.
+    pub issuer: String,
+    /// IBS over the claim.
+    pub signature: IbsSignature,
+}
+
+fn claim_bytes(user: &str, field: &str, value: &FieldValue, expires_at: u64, issuer: &str) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.string("apks:credential:v1");
+    w.string(user);
+    w.string(field);
+    w.string(&value.label());
+    w.u8(matches!(value, FieldValue::Num(_)) as u8);
+    w.u64(expires_at);
+    w.string(issuer);
+    w.finish()
+}
+
+/// Issues a credential (authority side).
+pub fn issue_credential<R: Rng + ?Sized>(
+    params: &CurveParams,
+    sign_key: &UserSignKey,
+    user: impl Into<String>,
+    field: impl Into<String>,
+    value: FieldValue,
+    expires_at: u64,
+    rng: &mut R,
+) -> AttributeCredential {
+    let user = user.into();
+    let field = field.into();
+    let issuer = sign_key.id.clone();
+    let msg = claim_bytes(&user, &field, &value, expires_at, &issuer);
+    let signature = sign_key.sign(params, &msg, rng);
+    AttributeCredential {
+        user,
+        field,
+        value,
+        expires_at,
+        issuer,
+        signature,
+    }
+}
+
+impl AttributeCredential {
+    /// Verifies authenticity and freshness at time `now`.
+    pub fn verify(&self, params: &CurveParams, ibs: &IbsPublicParams, now: u64) -> bool {
+        if now > self.expires_at {
+            return false;
+        }
+        let msg = claim_bytes(&self.user, &self.field, &self.value, self.expires_at, &self.issuer);
+        self.signature.verify(params, ibs, &self.issuer, &msg)
+    }
+
+    /// Canonical encoding.
+    pub fn encode(&self, params: &CurveParams, w: &mut Writer) {
+        w.string(&self.user);
+        w.string(&self.field);
+        w.string(&self.value.label());
+        w.u8(matches!(self.value, FieldValue::Num(_)) as u8);
+        w.u64(self.expires_at);
+        w.string(&self.issuer);
+        self.signature.encode(params, w);
+    }
+
+    /// Decodes a credential.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed bytes.
+    pub fn decode(params: &CurveParams, r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let user = r.string()?;
+        let field = r.string()?;
+        let label = r.string()?;
+        let is_num = r.u8()? == 1;
+        let value = if is_num {
+            FieldValue::Num(
+                label
+                    .parse()
+                    .map_err(|_| DecodeError::Invalid("numeric credential value"))?,
+            )
+        } else {
+            FieldValue::Text(label)
+        };
+        let expires_at = r.u64()?;
+        let issuer = r.string()?;
+        let signature = IbsSignature::decode(params, r)?;
+        Ok(AttributeCredential {
+            user,
+            field,
+            value,
+            expires_at,
+            issuer,
+            signature,
+        })
+    }
+}
+
+/// Checks a query against *presented credentials* under eligibility
+/// rules — the stateless counterpart of
+/// [`crate::AttributeDirectory::check_query`]. Credentials must verify,
+/// belong to `user`, and be issued by `trusted_issuer`.
+///
+/// Returns the offending fields on failure.
+#[allow(clippy::too_many_arguments)] // the verifier's full context is explicit by design
+pub fn check_query_with_credentials(
+    params: &CurveParams,
+    ibs: &IbsPublicParams,
+    trusted_issuer: &str,
+    user: &str,
+    credentials: &[AttributeCredential],
+    query: &Query,
+    rules: &EligibilityRules,
+    now: u64,
+) -> Result<(), Vec<String>> {
+    let valid: Vec<&AttributeCredential> = credentials
+        .iter()
+        .filter(|c| c.user == user && c.issuer == trusted_issuer && c.verify(params, ibs, now))
+        .collect();
+    let mut offending = Vec::new();
+    for cond in &query.conditions {
+        let field = cond.field();
+        let ok = match rules.rule(field) {
+            Eligibility::AnyValue => true,
+            Eligibility::Forbidden => false,
+            Eligibility::OwnsValue => valid.iter().any(|c| {
+                c.field == field
+                    && match cond {
+                        Condition::Equals { value, .. } => value == &c.value,
+                        Condition::OneOf { values, .. } => values.contains(&c.value),
+                        Condition::Range { lo, hi, .. } => c
+                            .value
+                            .as_num()
+                            .is_some_and(|n| *lo <= n && n <= *hi),
+                    }
+            }),
+        };
+        if !ok {
+            offending.push(field.to_string());
+        }
+    }
+    offending.sort();
+    offending.dedup();
+    if offending.is_empty() {
+        Ok(())
+    } else {
+        Err(offending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ibs::IbsAuthority;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (std::sync::Arc<CurveParams>, IbsAuthority, UserSignKey, StdRng) {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(1500);
+        let authority = IbsAuthority::new(params.clone(), &mut rng);
+        let key = authority.extract("lta:hospital-a");
+        (params, authority, key, rng)
+    }
+
+    #[test]
+    fn credential_verifies_and_expires() {
+        let (params, authority, key, mut rng) = setup();
+        let cred = issue_credential(
+            &params,
+            &key,
+            "alice",
+            "illness",
+            FieldValue::text("diabetes"),
+            100,
+            &mut rng,
+        );
+        assert!(cred.verify(&params, authority.public_params(), 50));
+        assert!(cred.verify(&params, authority.public_params(), 100));
+        assert!(!cred.verify(&params, authority.public_params(), 101), "expired");
+    }
+
+    #[test]
+    fn tampered_credential_rejected() {
+        let (params, authority, key, mut rng) = setup();
+        let mut cred = issue_credential(
+            &params,
+            &key,
+            "alice",
+            "illness",
+            FieldValue::text("flu"),
+            100,
+            &mut rng,
+        );
+        cred.value = FieldValue::text("diabetes"); // upgrade attempt
+        assert!(!cred.verify(&params, authority.public_params(), 50));
+    }
+
+    #[test]
+    fn query_check_with_credentials() {
+        let (params, authority, key, mut rng) = setup();
+        let creds = vec![
+            issue_credential(&params, &key, "alice", "illness", FieldValue::text("diabetes"), 100, &mut rng),
+            issue_credential(&params, &key, "alice", "age", FieldValue::num(25), 100, &mut rng),
+        ];
+        let rules = EligibilityRules::with_default(Eligibility::OwnsValue);
+        let ok = Query::new().equals("illness", "diabetes").range("age", 20, 30);
+        assert!(check_query_with_credentials(
+            &params, authority.public_params(), "lta:hospital-a", "alice", &creds, &ok, &rules, 50
+        )
+        .is_ok());
+        let bad = Query::new().equals("illness", "cancer");
+        assert_eq!(
+            check_query_with_credentials(
+                &params, authority.public_params(), "lta:hospital-a", "alice", &creds, &bad, &rules, 50
+            )
+            .unwrap_err(),
+            vec!["illness".to_string()]
+        );
+        // someone else's credential does not help
+        let mallory_q = Query::new().equals("illness", "diabetes");
+        assert!(check_query_with_credentials(
+            &params, authority.public_params(), "lta:hospital-a", "mallory", &creds, &mallory_q, &rules, 50
+        )
+        .is_err());
+        // expired credentials do not help
+        assert!(check_query_with_credentials(
+            &params, authority.public_params(), "lta:hospital-a", "alice", &creds, &ok, &rules, 200
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        let (params, _authority, key, mut rng) = setup();
+        for value in [FieldValue::text("flu"), FieldValue::num(-7)] {
+            let cred = issue_credential(&params, &key, "bob", "f", value, 9, &mut rng);
+            let mut w = Writer::new();
+            cred.encode(&params, &mut w);
+            let buf = w.finish();
+            let mut r = Reader::new(&buf);
+            let back = AttributeCredential::decode(&params, &mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(cred, back);
+        }
+    }
+
+    #[test]
+    fn foreign_issuer_rejected() {
+        let (params, authority, _key, mut rng) = setup();
+        let other = IbsAuthority::new(params.clone(), &mut rng);
+        let foreign_key = other.extract("lta:rogue");
+        let cred = issue_credential(
+            &params,
+            &foreign_key,
+            "alice",
+            "illness",
+            FieldValue::text("diabetes"),
+            100,
+            &mut rng,
+        );
+        // fails against the real authority's params
+        assert!(!cred.verify(&params, authority.public_params(), 50));
+        let rules = EligibilityRules::with_default(Eligibility::OwnsValue);
+        let q = Query::new().equals("illness", "diabetes");
+        assert!(check_query_with_credentials(
+            &params, authority.public_params(), "lta:hospital-a", "alice", &[cred], &q, &rules, 50
+        )
+        .is_err());
+    }
+}

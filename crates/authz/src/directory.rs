@@ -1,0 +1,230 @@
+//! Attribute directories and eligibility rules.
+//!
+//! §III: *"the LTA checks whether a user either actually possesses the
+//! attribute value set `W` underlying `Q̂`, or is eligible for those
+//! values. One way to achieve this is to maintain a database of attribute
+//! values for all users in the LTA's local domain."* This module is that
+//! database plus the per-field eligibility policy.
+
+use apks_core::{Condition, FieldValue, Query};
+use std::collections::{HashMap, HashSet};
+
+/// How a field may be queried by a user.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Eligibility {
+    /// The user may only query values they *possess* (e.g. a patient may
+    /// only search for their own illness — the patient-matching rule).
+    #[default]
+    OwnsValue,
+    /// Any value may be queried (e.g. a physician searching the disease
+    /// they treat, or demographic fields).
+    AnyValue,
+    /// The field may not be queried at all through this LTA.
+    Forbidden,
+}
+
+/// Per-field eligibility rules with a default.
+#[derive(Clone, Debug, Default)]
+pub struct EligibilityRules {
+    per_field: HashMap<String, Eligibility>,
+    default: Eligibility,
+}
+
+impl EligibilityRules {
+    /// Rules where every field defaults to the given eligibility.
+    pub fn with_default(default: Eligibility) -> Self {
+        EligibilityRules {
+            per_field: HashMap::new(),
+            default,
+        }
+    }
+
+    /// Sets one field's rule.
+    pub fn set(mut self, field: impl Into<String>, rule: Eligibility) -> Self {
+        self.per_field.insert(field.into(), rule);
+        self
+    }
+
+    /// The rule applying to a field.
+    pub fn rule(&self, field: &str) -> Eligibility {
+        self.per_field.get(field).copied().unwrap_or(self.default)
+    }
+}
+
+/// A user's registered attribute values, one per field.
+pub type UserAttributes = HashMap<String, FieldValue>;
+
+/// The LTA's user database.
+#[derive(Clone, Debug, Default)]
+pub struct AttributeDirectory {
+    users: HashMap<String, UserAttributes>,
+}
+
+impl AttributeDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a user's attributes.
+    pub fn register_user(
+        &mut self,
+        user: impl Into<String>,
+        attributes: impl IntoIterator<Item = (impl Into<String>, FieldValue)>,
+    ) {
+        self.users.insert(
+            user.into(),
+            attributes
+                .into_iter()
+                .map(|(k, v)| (k.into(), v))
+                .collect(),
+        );
+    }
+
+    /// Removes a user (local revocation of future capability requests).
+    pub fn remove_user(&mut self, user: &str) -> bool {
+        self.users.remove(user).is_some()
+    }
+
+    /// A user's attributes, if registered.
+    pub fn attributes(&self, user: &str) -> Option<&UserAttributes> {
+        self.users.get(user)
+    }
+
+    /// Checks a query against a user's attributes under the rules.
+    /// Returns the set of offending fields (empty = authorized).
+    pub fn check_query(
+        &self,
+        user: &str,
+        query: &Query,
+        rules: &EligibilityRules,
+    ) -> Result<(), Vec<String>> {
+        let Some(attrs) = self.users.get(user) else {
+            return Err(vec!["<user not registered>".to_string()]);
+        };
+        let mut offending: HashSet<String> = HashSet::new();
+        for cond in &query.conditions {
+            let field = cond.field();
+            match rules.rule(field) {
+                Eligibility::AnyValue => {}
+                Eligibility::Forbidden => {
+                    offending.insert(field.to_string());
+                }
+                Eligibility::OwnsValue => {
+                    let owned = attrs.get(field);
+                    let ok = match (cond, owned) {
+                        (_, None) => false,
+                        (Condition::Equals { value, .. }, Some(v)) => value == v,
+                        (Condition::OneOf { values, .. }, Some(v)) => values.contains(v),
+                        (Condition::Range { lo, hi, .. }, Some(v)) => {
+                            v.as_num().is_some_and(|n| *lo <= n && n <= *hi)
+                        }
+                    };
+                    if !ok {
+                        offending.insert(field.to_string());
+                    }
+                }
+            }
+        }
+        if offending.is_empty() {
+            Ok(())
+        } else {
+            let mut v: Vec<String> = offending.into_iter().collect();
+            v.sort();
+            Err(v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directory() -> AttributeDirectory {
+        let mut dir = AttributeDirectory::new();
+        dir.register_user(
+            "alice",
+            [
+                ("illness", FieldValue::text("diabetes")),
+                ("age", FieldValue::num(25)),
+                ("region", FieldValue::text("Boston")),
+            ],
+        );
+        dir
+    }
+
+    #[test]
+    fn owns_value_allows_matching_query() {
+        let dir = directory();
+        let rules = EligibilityRules::with_default(Eligibility::OwnsValue);
+        let q = Query::new().equals("illness", "diabetes");
+        assert!(dir.check_query("alice", &q, &rules).is_ok());
+    }
+
+    #[test]
+    fn owns_value_rejects_other_values() {
+        let dir = directory();
+        let rules = EligibilityRules::with_default(Eligibility::OwnsValue);
+        let q = Query::new().equals("illness", "cancer");
+        assert_eq!(
+            dir.check_query("alice", &q, &rules).unwrap_err(),
+            vec!["illness".to_string()]
+        );
+    }
+
+    #[test]
+    fn range_ownership_checks_containment() {
+        let dir = directory();
+        let rules = EligibilityRules::with_default(Eligibility::OwnsValue);
+        assert!(dir
+            .check_query("alice", &Query::new().range("age", 20, 30), &rules)
+            .is_ok());
+        assert!(dir
+            .check_query("alice", &Query::new().range("age", 30, 40), &rules)
+            .is_err());
+    }
+
+    #[test]
+    fn subset_ownership_checks_membership() {
+        let dir = directory();
+        let rules = EligibilityRules::with_default(Eligibility::OwnsValue);
+        let yes = Query::new().one_of("region", ["Boston", "Worcester"]);
+        let no = Query::new().one_of("region", ["Springfield", "Worcester"]);
+        assert!(dir.check_query("alice", &yes, &rules).is_ok());
+        assert!(dir.check_query("alice", &no, &rules).is_err());
+    }
+
+    #[test]
+    fn any_value_and_forbidden_rules() {
+        let dir = directory();
+        let rules = EligibilityRules::with_default(Eligibility::OwnsValue)
+            .set("illness", Eligibility::AnyValue)
+            .set("region", Eligibility::Forbidden);
+        assert!(dir
+            .check_query("alice", &Query::new().equals("illness", "cancer"), &rules)
+            .is_ok());
+        assert!(dir
+            .check_query("alice", &Query::new().equals("region", "Boston"), &rules)
+            .is_err());
+    }
+
+    #[test]
+    fn unregistered_user_rejected() {
+        let dir = directory();
+        let rules = EligibilityRules::with_default(Eligibility::AnyValue);
+        assert!(dir
+            .check_query("mallory", &Query::new().equals("age", 1), &rules)
+            .is_err());
+    }
+
+    #[test]
+    fn remove_user_revokes() {
+        let mut dir = directory();
+        assert!(dir.remove_user("alice"));
+        assert!(!dir.remove_user("alice"));
+        let rules = EligibilityRules::with_default(Eligibility::AnyValue);
+        assert!(dir
+            .check_query("alice", &Query::new().equals("age", 25), &rules)
+            .is_err());
+    }
+}

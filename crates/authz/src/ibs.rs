@@ -1,0 +1,240 @@
+//! Cha–Cheon identity-based signatures over the type-A pairing.
+//!
+//! The paper has every TA/LTA prove its authorization by attaching an
+//! identity-based signature \[31\] to each capability it issues; the server
+//! verifies the signature against the *identity string* of a registered
+//! authority — no per-authority certificate distribution needed.
+//!
+//! Scheme (Cha–Cheon, PKC 2003):
+//!
+//! ```text
+//! Setup:    msk s ∈ F_q,  P_pub = s·G
+//! Extract:  D_id = s·Q_id            where Q_id = H₁(id) ∈ G
+//! Sign:     r ∈ F_q, U = r·Q_id, h = H₂(m, U), V = (r + h)·D_id
+//! Verify:   e(V, G) == e(U + h·Q_id, P_pub)
+//! ```
+
+use apks_curve::pairing::pairing_fp2;
+use apks_curve::{CurveParams, G1Affine};
+use apks_math::encode::{DecodeError, Reader, Writer};
+use apks_math::hash::hash_to_fr;
+use apks_math::Fr;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Public parameters of the IBS: the master public key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IbsPublicParams {
+    /// `P_pub = s·G`.
+    pub p_pub: G1Affine,
+}
+
+/// The IBS authority (holds the master signing secret).
+#[derive(Clone, Debug)]
+pub struct IbsAuthority {
+    params: Arc<CurveParams>,
+    msk: Fr,
+    public: IbsPublicParams,
+}
+
+/// An identity's signing key `D_id = s·Q_id`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UserSignKey {
+    /// The identity string this key signs for.
+    pub id: String,
+    /// `D_id`.
+    pub key: G1Affine,
+}
+
+/// A Cha–Cheon signature `(U, V)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IbsSignature {
+    /// `U = r·Q_id`.
+    pub u: G1Affine,
+    /// `V = (r + h)·D_id`.
+    pub v: G1Affine,
+}
+
+/// Hashes an identity onto the curve.
+fn q_id(params: &CurveParams, id: &str) -> G1Affine {
+    params.hash_to_point("apks:ibs:id", id.as_bytes())
+}
+
+/// `H₂(m, U) ∈ F_q`.
+fn challenge(params: &CurveParams, msg: &[u8], u: &G1Affine) -> Fr {
+    let mut data = u.to_bytes(params.fp());
+    data.extend_from_slice(msg);
+    hash_to_fr("apks:ibs:challenge", &data)
+}
+
+impl IbsAuthority {
+    /// Creates an authority with a fresh master secret.
+    pub fn new<R: Rng + ?Sized>(params: Arc<CurveParams>, rng: &mut R) -> IbsAuthority {
+        let msk = Fr::random_nonzero(rng);
+        let p_pub = params.mul_generator(msk).to_affine(params.fp());
+        IbsAuthority {
+            params,
+            msk,
+            public: IbsPublicParams { p_pub },
+        }
+    }
+
+    /// The public parameters to distribute.
+    pub fn public_params(&self) -> &IbsPublicParams {
+        &self.public
+    }
+
+    /// `Extract`: issues the signing key for an identity.
+    pub fn extract(&self, id: &str) -> UserSignKey {
+        let q = q_id(&self.params, id);
+        UserSignKey {
+            id: id.to_string(),
+            key: self.params.mul(&q, self.msk),
+        }
+    }
+}
+
+impl UserSignKey {
+    /// Signs a message.
+    pub fn sign<R: Rng + ?Sized>(
+        &self,
+        params: &CurveParams,
+        msg: &[u8],
+        rng: &mut R,
+    ) -> IbsSignature {
+        let q = q_id(params, &self.id);
+        let r = Fr::random_nonzero(rng);
+        let u = params.mul(&q, r);
+        let h = challenge(params, msg, &u);
+        let v = params.mul(&self.key, r + h);
+        IbsSignature { u, v }
+    }
+}
+
+impl IbsSignature {
+    /// Verifies the signature of `id` over `msg`.
+    pub fn verify(
+        &self,
+        params: &CurveParams,
+        public: &IbsPublicParams,
+        id: &str,
+        msg: &[u8],
+    ) -> bool {
+        let fp = params.fp();
+        if !self.u.is_on_curve(fp) || !self.v.is_on_curve(fp) {
+            return false;
+        }
+        let q = q_id(params, id);
+        let h = challenge(params, msg, &self.u);
+        let hq = params.mul(&q, h);
+        let lhs = pairing_fp2(params, &self.v, &params.generator());
+        let sum = self
+            .u
+            .to_projective(fp)
+            .add_mixed(fp, &hq)
+            .to_affine(fp);
+        let rhs = pairing_fp2(params, &sum, &public.p_pub);
+        lhs == rhs
+    }
+
+    /// Canonical encoding.
+    pub fn encode(&self, params: &CurveParams, w: &mut Writer) {
+        w.bytes(&self.u.to_bytes(params.fp()));
+        w.bytes(&self.v.to_bytes(params.fp()));
+    }
+
+    /// Decodes a signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed points.
+    pub fn decode(params: &CurveParams, r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = 8 * apks_math::FP_LIMBS + 1;
+        let u = G1Affine::from_bytes(params.fp(), r.bytes(len)?)
+            .ok_or(DecodeError::Invalid("signature point U"))?;
+        let v = G1Affine::from_bytes(params.fp(), r.bytes(len)?)
+            .ok_or(DecodeError::Invalid("signature point V"))?;
+        Ok(IbsSignature { u, v })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(600);
+        let authority = IbsAuthority::new(params.clone(), &mut rng);
+        let key = authority.extract("lta:hospital-a");
+        let sig = key.sign(&params, b"capability bytes", &mut rng);
+        assert!(sig.verify(
+            &params,
+            authority.public_params(),
+            "lta:hospital-a",
+            b"capability bytes"
+        ));
+    }
+
+    #[test]
+    fn wrong_message_rejected() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(601);
+        let authority = IbsAuthority::new(params.clone(), &mut rng);
+        let key = authority.extract("lta:a");
+        let sig = key.sign(&params, b"msg", &mut rng);
+        assert!(!sig.verify(&params, authority.public_params(), "lta:a", b"other"));
+    }
+
+    #[test]
+    fn wrong_identity_rejected() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(602);
+        let authority = IbsAuthority::new(params.clone(), &mut rng);
+        let key = authority.extract("lta:a");
+        let sig = key.sign(&params, b"msg", &mut rng);
+        assert!(!sig.verify(&params, authority.public_params(), "lta:b", b"msg"));
+    }
+
+    #[test]
+    fn forged_key_rejected() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(603);
+        let authority = IbsAuthority::new(params.clone(), &mut rng);
+        // adversary self-issues a key for an identity it does not own
+        let fake = UserSignKey {
+            id: "lta:victim".into(),
+            key: params.mul(&params.generator(), Fr::random(&mut rng)),
+        };
+        let sig = fake.sign(&params, b"msg", &mut rng);
+        assert!(!sig.verify(&params, authority.public_params(), "lta:victim", b"msg"));
+    }
+
+    #[test]
+    fn encoding_roundtrip() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(604);
+        let authority = IbsAuthority::new(params.clone(), &mut rng);
+        let sig = authority.extract("x").sign(&params, b"m", &mut rng);
+        let mut w = Writer::new();
+        sig.encode(&params, &mut w);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        let sig2 = IbsSignature::decode(&params, &mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(sig, sig2);
+    }
+
+    #[test]
+    fn distinct_authorities_do_not_cross_verify() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(605);
+        let a1 = IbsAuthority::new(params.clone(), &mut rng);
+        let a2 = IbsAuthority::new(params.clone(), &mut rng);
+        let sig = a1.extract("id").sign(&params, b"m", &mut rng);
+        assert!(!sig.verify(&params, a2.public_params(), "id", b"m"));
+    }
+}

@@ -1,0 +1,29 @@
+//! The fine-grained search-authorization framework (§III of the paper).
+//!
+//! Owners delegate trust to a **trusted authority** (TA) and a tree of
+//! **local trusted authorities** (LTAs). The TA runs `Setup`, hands each
+//! second-level LTA a *base capability* restricting everything in its
+//! local domain, and then stays (semi-)offline. Each LTA:
+//!
+//! * maintains an attribute directory for the users in its domain,
+//! * authorizes capability requests by checking the requester *possesses*
+//!   (or is *eligible for*) every attribute value in the query,
+//! * derives the capability by `DelegateCap` from its own — so the LTA's
+//!   restrictions are inherited automatically — and
+//! * signs it with an **identity-based signature** so the cloud server can
+//!   verify the issuing authority before searching.
+//!
+//! The IBS is Cha–Cheon over the same type-A pairing (the paper cites
+//! Paterson–Schuldt \[31\]; see DESIGN.md §5 for the substitution note).
+
+pub mod authority;
+pub mod credential;
+pub mod directory;
+pub mod ibs;
+pub mod signed;
+
+pub use authority::{AuthzError, Lta, TrustedAuthority};
+pub use credential::{check_query_with_credentials, issue_credential, AttributeCredential};
+pub use directory::{AttributeDirectory, Eligibility, EligibilityRules};
+pub use ibs::{IbsAuthority, IbsPublicParams, IbsSignature, UserSignKey};
+pub use signed::SignedCapability;

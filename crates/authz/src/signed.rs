@@ -1,0 +1,61 @@
+//! Authority-signed capabilities.
+//!
+//! §III: *"a TA/LTA can issue an identity-based signature on each
+//! capability it generated/delegated. The server has to verify that a
+//! received capability has a valid signature from a registered LTA before
+//! performing search for a user."*
+
+use crate::ibs::{IbsPublicParams, IbsSignature};
+use apks_core::Capability;
+use apks_curve::CurveParams;
+use apks_math::encode::{DecodeError, Reader, Writer};
+
+/// A capability together with its issuing authority's signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignedCapability {
+    /// The (finalized) capability.
+    pub capability: Capability,
+    /// Identity of the issuing TA/LTA (e.g. `"lta:hospital-a"`).
+    pub issuer: String,
+    /// IBS over the capability bytes.
+    pub signature: IbsSignature,
+}
+
+impl SignedCapability {
+    /// The byte string the signature covers.
+    pub fn signed_bytes(params: &CurveParams, capability: &Capability, issuer: &str) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.string(issuer);
+        capability.encode(params, &mut w);
+        w.finish()
+    }
+
+    /// Verifies the signature against the IBS public parameters.
+    pub fn verify(&self, params: &CurveParams, ibs: &IbsPublicParams) -> bool {
+        let msg = Self::signed_bytes(params, &self.capability, &self.issuer);
+        self.signature.verify(params, ibs, &self.issuer, &msg)
+    }
+
+    /// Canonical encoding.
+    pub fn encode(&self, params: &CurveParams, w: &mut Writer) {
+        w.string(&self.issuer);
+        self.capability.encode(params, w);
+        self.signature.encode(params, w);
+    }
+
+    /// Decodes a signed capability.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed bytes.
+    pub fn decode(params: &CurveParams, r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let issuer = r.string()?;
+        let capability = Capability::decode(params, r)?;
+        let signature = IbsSignature::decode(params, r)?;
+        Ok(SignedCapability {
+            capability,
+            issuer,
+            signature,
+        })
+    }
+}

@@ -1,0 +1,172 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! * multi-pairing (shared squarings + one final exponentiation) vs `n`
+//!   independent pairings — why `Search` is "`n + 3` pairings" but far
+//!   cheaper than `n + 3 ×` the single-pairing cost;
+//! * fixed-base comb vs generic double-and-add for generator
+//!   exponentiations — the Setup/GenKey workhorse;
+//! * hierarchical (`k`-level, `d` small) vs flat (`d = N`) range
+//!   encoding — the paper's central efficiency claim (§IV-C);
+//! * prepared vs raw Miller loops at multi-pairing scale.
+
+use apks_bench::bench_params;
+use apks_core::{ApksSystem, Hierarchy, Query, QueryPolicy, Record, Schema};
+use apks_core::FieldValue;
+use apks_curve::{multi_pairing, pairing, G1Affine};
+use apks_math::Fr;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_multi_pairing(c: &mut Criterion) {
+    let params = bench_params();
+    let mut rng = StdRng::seed_from_u64(100);
+    let g = params.generator();
+    let pairs: Vec<(G1Affine, G1Affine)> = (0..13)
+        .map(|_| {
+            (
+                params.mul(&g, Fr::random(&mut rng)),
+                params.mul(&g, Fr::random(&mut rng)),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_multi_pairing_13");
+    group.bench_function("multi_pairing", |b| {
+        b.iter(|| multi_pairing(&params, &pairs))
+    });
+    group.bench_function("sequential_product", |b| {
+        b.iter(|| {
+            let mut acc = apks_curve::Gt::identity(&params);
+            for (p, q) in &pairs {
+                acc = acc.mul(&params, &pairing(&params, p, q));
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_fixed_base(c: &mut Criterion) {
+    let params = bench_params();
+    let mut rng = StdRng::seed_from_u64(101);
+    let k = Fr::random(&mut rng);
+    let g = params.generator();
+    let mut group = c.benchmark_group("ablation_generator_mul");
+    group.bench_function("fixed_base_comb", |b| b.iter(|| params.mul_generator(k)));
+    group.bench_function("wnaf4", |b| b.iter(|| params.mul(&g, k)));
+    group.bench_function("binary_ladder", |b| {
+        let fp = params.fp();
+        let gp = g.to_projective(fp);
+        b.iter(|| gp.mul_scalar_binary(fp, k))
+    });
+    group.finish();
+}
+
+fn bench_hierarchy_vs_flat(c: &mut Criterion) {
+    // Query "0 ≤ v ≤ 15" over a 64-value domain:
+    //  - hierarchical: 1 equality on a level-1 simple range (k = 4, d = 1)
+    //  - flat: 16 OR terms (d = 16) — the paper's O(N·m) strawman
+    let params = bench_params();
+    let mut rng = StdRng::seed_from_u64(102);
+
+    let hier_schema = Schema::builder()
+        .hierarchical_field("v", Hierarchy::numeric(0, 63, 4), 1)
+        .build()
+        .unwrap();
+    let hier = ApksSystem::new(params.clone(), hier_schema);
+    let (hpk, hmsk) = hier.setup(&mut rng);
+
+    let flat_schema = Schema::builder().flat_field("v", 16).build().unwrap();
+    let flat = ApksSystem::new(params.clone(), flat_schema);
+    let (fpk, fmsk) = flat.setup(&mut rng);
+
+    let record = Record::new(vec![FieldValue::num(7)]);
+    let query = Query::new().range("v", 0, 15);
+    let policy = QueryPolicy::permissive();
+
+    let mut group = c.benchmark_group("ablation_hierarchy_vs_flat");
+    group.sample_size(10);
+    group.bench_function("hier_encrypt", |b| {
+        b.iter(|| hier.gen_index(&hpk, &record, &mut rng).unwrap())
+    });
+    group.bench_function("flat_encrypt", |b| {
+        b.iter(|| flat.gen_index(&fpk, &record, &mut rng).unwrap())
+    });
+    group.bench_function("hier_search", |b| {
+        let cap = hier.gen_cap(&hpk, &hmsk, &query, &policy, &mut rng).unwrap();
+        let idx = hier.gen_index(&hpk, &record, &mut rng).unwrap();
+        b.iter(|| hier.search(&hpk, &cap, &idx).unwrap())
+    });
+    group.bench_function("flat_search", |b| {
+        let cap = flat.gen_cap(&fpk, &fmsk, &query, &policy, &mut rng).unwrap();
+        let idx = flat.gen_index(&fpk, &record, &mut rng).unwrap();
+        b.iter(|| flat.search(&fpk, &cap, &idx).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_msm(c: &mut Criterion) {
+    use apks_dpvs::DpvsVector;
+    let params = bench_params();
+    let mut rng = StdRng::seed_from_u64(103);
+    let g = params.generator();
+    let dim = 13;
+    let rows: Vec<DpvsVector> = (0..13)
+        .map(|_| {
+            DpvsVector(
+                (0..dim)
+                    .map(|_| params.mul(&g, Fr::random(&mut rng)))
+                    .collect(),
+            )
+        })
+        .collect();
+    let refs: Vec<&DpvsVector> = rows.iter().collect();
+    let coeffs: Vec<Fr> = (0..13).map(|_| Fr::random(&mut rng)).collect();
+    let mut group = c.benchmark_group("ablation_msm_13x13");
+    group.sample_size(10);
+    group.bench_function("interleaved", |b| {
+        b.iter(|| DpvsVector::linear_combination(&params, &refs, &coeffs))
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| DpvsVector::linear_combination_naive(&params, &refs, &coeffs))
+    });
+    group.finish();
+}
+
+fn bench_delegation_depth(c: &mut Criterion) {
+    // Delegation cost and capability size vs chain depth ℓ: each level
+    // adds one re-randomization vector, so Delegate is O((ℓ+3)·n₀)
+    // point multiplications and keys grow by one n₀-vector per level.
+    use apks_bench::BenchSystem;
+    let params = bench_params();
+    let mut sys = BenchSystem::new(params.clone(), 1, 104);
+    let base_q = sys.sparse_query(2);
+    let mut cap = sys.cap_for(&base_q);
+    let narrow = apks_core::Query::new().equals("class", "priority");
+    let mut group = c.benchmark_group("ablation_delegation_depth");
+    group.sample_size(10);
+    for level in 1..=3u32 {
+        group.bench_function(format!("delegate_from_level_{level}"), |b| {
+            b.iter(|| {
+                sys.system
+                    .delegate_cap(&sys.pk, &cap, &narrow, &mut sys.rng)
+                    .unwrap()
+            })
+        });
+        cap = sys
+            .system
+            .delegate_cap(&sys.pk, &cap, &narrow, &mut sys.rng)
+            .unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multi_pairing,
+    bench_fixed_base,
+    bench_hierarchy_vs_flat,
+    bench_msm,
+    bench_delegation_depth
+);
+criterion_main!(benches);

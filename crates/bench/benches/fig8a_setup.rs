@@ -1,0 +1,39 @@
+//! **Fig. 8(a)** — `Setup` time vs `n`.
+//!
+//! The paper: APKS setup is `O(n₀²)` exponentiations per basis (≈ 40 s at
+//! `n = 46` on their box); MRQED^D setup is `O(n)`. The criterion sweep
+//! covers the low end of the paper's grid; the `report` binary runs the
+//! full grid single-shot.
+
+use apks_bench::{bench_params, PAPER_N_GRID};
+use apks_core::ApksSystem;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_setup(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig8a_setup");
+    group.sample_size(10);
+    for &n in &PAPER_N_GRID[..3] {
+        let d = (n - 1) / 9;
+        let schema = apks_dataset::nursery_schema(d).unwrap();
+        let system = ApksSystem::new(params.clone(), schema);
+        group.bench_with_input(BenchmarkId::new("apks", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| system.setup(&mut rng));
+        });
+    }
+    // MRQED^D setup for contrast (constant group ops → flat line)
+    for &n in &PAPER_N_GRID[..3] {
+        let mrqed = apks_mrqed::Mrqed::new(params.clone(), 9, (((n - 1) / 9) + 1) as u32);
+        group.bench_with_input(BenchmarkId::new("mrqed", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| mrqed.setup(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_setup);
+criterion_main!(benches);

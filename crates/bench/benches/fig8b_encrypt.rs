@@ -1,0 +1,54 @@
+//! **Fig. 8(b)** — per-index encryption time vs `n`.
+//!
+//! The paper varies either `d` (with `m' = 9`) or `m'` (with `d = 1`) and
+//! confirms the time depends only on `n = m'·d`; both sweeps here follow
+//! the same grid so the equality is visible in the criterion output.
+
+use apks_bench::{bench_params, BenchSystem};
+use apks_core::{ApksSystem, FieldValue, Record, Schema};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Sweep 1: m' = 9 fixed, d varies.
+fn bench_encrypt_by_d(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig8b_encrypt_m9");
+    group.sample_size(10);
+    for d in [1usize, 2, 3] {
+        let mut sys = BenchSystem::new(params.clone(), d, 10 + d as u64);
+        let n = sys.n();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sys.encrypt_one());
+        });
+    }
+    group.finish();
+}
+
+/// Sweep 2: d = 1 fixed, m' varies (field duplication mimics hierarchy
+/// expansion, as in the paper).
+fn bench_encrypt_by_m(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig8b_encrypt_d1");
+    group.sample_size(10);
+    for k in [1usize, 2, 3] {
+        // m' = 9k flat fields of degree 1 → n = 9k + 1
+        let mut b = Schema::builder();
+        for f in 0..9 * k {
+            b = b.flat_field(format!("f{f}"), 1);
+        }
+        let schema = b.build().unwrap();
+        let n = schema.n();
+        let system = ApksSystem::new(params.clone(), schema);
+        let mut rng = StdRng::seed_from_u64(20 + k as u64);
+        let (pk, _msk) = system.setup(&mut rng);
+        let record = Record::new((0..9 * k).map(|i| FieldValue::num(i as i64)).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| system.gen_index(&pk, &record, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encrypt_by_d, bench_encrypt_by_m);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! **Fig. 8(c)** — capability generation and first-level delegation vs
+//! `n`, in the paper's two experiment sets:
+//!
+//! * set 1 (worst case): all 9 dimensions constrained, `d` keywords each
+//!   — the predicate vector has no zeros;
+//! * set 2 (realistic): `d = 1`, expansion factor `k` grows, queries
+//!   touch at most 3 dimensions — "don't care" zeros make both
+//!   operations cheaper, which is the effect the paper plots.
+
+use apks_bench::{bench_params, BenchSystem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_worst_case(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig8c_set1_worst_case");
+    group.sample_size(10);
+    for d in [1usize, 2] {
+        let mut sys = BenchSystem::new(params.clone(), d, 30 + d as u64);
+        let n = sys.n();
+        let q = sys.worst_case_query();
+        let policy = apks_core::QueryPolicy::permissive();
+        group.bench_with_input(BenchmarkId::new("gen_cap_points", n), &n, |b, _| {
+            b.iter(|| {
+                sys.system
+                    .gen_cap_via_points(&sys.pk, &sys.msk, &q, &policy, &mut sys.rng)
+                    .unwrap()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("gen_cap_exponent", n), &n, |b, _| {
+            b.iter(|| sys.cap_for(&q));
+        });
+        let mut sys2 = BenchSystem::new(params.clone(), d, 40 + d as u64);
+        let q1 = sys2.worst_case_query();
+        let parent = sys2.cap_for(&q1);
+        // delegation constraint: restrict the class dimension further
+        let q2 = apks_core::Query::new().equals("class", "priority");
+        group.bench_with_input(BenchmarkId::new("delegate", n), &n, |b, _| {
+            b.iter(|| {
+                sys2.system
+                    .delegate_cap(&sys2.pk, &parent, &q2, &mut sys2.rng)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig8c_set2_dont_care");
+    group.sample_size(10);
+    for d in [1usize, 2] {
+        let mut sys = BenchSystem::new(params.clone(), d, 50 + d as u64);
+        let n = sys.n();
+        let q = sys.sparse_query(3);
+        let policy = apks_core::QueryPolicy::permissive();
+        group.bench_with_input(BenchmarkId::new("gen_cap_points", n), &n, |b, _| {
+            b.iter(|| {
+                sys.system
+                    .gen_cap_via_points(&sys.pk, &sys.msk, &q, &policy, &mut sys.rng)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worst_case, bench_sparse);
+criterion_main!(benches);

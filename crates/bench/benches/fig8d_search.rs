@@ -1,0 +1,49 @@
+//! **Fig. 8(d)** — per-index search time vs `n`.
+//!
+//! Search is one multi-pairing of `n + 3` coordinate pairs; the paper
+//! reports linearity in `n` and a 5.5 ms → 2.5 ms per-pairing drop with
+//! preprocessing. Measured here: APKS `Search` across `n`, plus the raw
+//! vs prepared single-pairing cost.
+
+use apks_bench::{bench_params, BenchSystem};
+use apks_curve::{pairing, pairing_prepared, PreparedG1};
+use apks_math::Fr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_search(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig8d_search");
+    group.sample_size(10);
+    for d in [1usize, 2, 3] {
+        let mut sys = BenchSystem::new(params.clone(), d, 60 + d as u64);
+        let n = sys.n();
+        let idx = sys.encrypt_one();
+        let q = sys.sparse_query(3);
+        let cap = sys.cap_for(&q);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| sys.system.search(&sys.pk, &cap, &idx).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairing_modes(c: &mut Criterion) {
+    let params = bench_params();
+    let mut rng = StdRng::seed_from_u64(70);
+    let g = params.generator();
+    let p = params.mul(&g, Fr::random(&mut rng));
+    let q = params.mul(&g, Fr::random(&mut rng));
+    let prep = PreparedG1::new(&params, &p);
+
+    let mut group = c.benchmark_group("fig8d_pairing");
+    group.bench_function("raw", |b| b.iter(|| pairing(&params, &p, &q)));
+    group.bench_function("preprocessed", |b| {
+        b.iter(|| pairing_prepared(&params, &prep, &q))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_search, bench_pairing_modes);
+criterion_main!(benches);

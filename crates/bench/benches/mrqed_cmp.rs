@@ -1,0 +1,59 @@
+//! **MRQED^D comparison** (quoted throughout §VII): the baseline wins
+//! setup/encrypt/capability generation (`O(n)` vs `O(n₀²)`), APKS wins
+//! search (`n + 3` pairings vs ≈ `5n` unlabeled try-decryptions).
+
+use apks_bench::{bench_params, BenchSystem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Comparable configuration: 9 dimensions, `log N = d + 1` bits per
+/// dimension so the baseline's `D (log N + 1)` components track `n`.
+fn mrqed_for(d: usize) -> apks_mrqed::Mrqed {
+    apks_mrqed::Mrqed::new(bench_params(), 9, (d + 1) as u32)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("mrqed_cmp");
+    group.sample_size(10);
+    for d in [1usize, 2] {
+        let n = 9 * d + 1;
+        // --- baseline ---------------------------------------------------
+        let mrqed = mrqed_for(d);
+        let mut rng = StdRng::seed_from_u64(90 + d as u64);
+        let (mpk, mmsk) = mrqed.setup(&mut rng);
+        // misaligned ranges force realistic multi-node covers
+        let point = vec![1u64; 9];
+        let ranges: Vec<(u64, u64)> = (0..9)
+            .map(|_| (1, ((1u64 << (d + 1)) - 2).max(1)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("mrqed_encrypt", n), &n, |b, _| {
+            b.iter(|| mrqed.encrypt(&mpk, &point, &mut rng));
+        });
+        group.bench_with_input(BenchmarkId::new("mrqed_genkey", n), &n, |b, _| {
+            b.iter(|| mrqed.gen_key(&mmsk, &ranges));
+        });
+        let ct = mrqed.encrypt(&mpk, &point, &mut rng);
+        let key = mrqed.gen_key(&mmsk, &ranges);
+        group.bench_with_input(BenchmarkId::new("mrqed_match", n), &n, |b, _| {
+            b.iter(|| mrqed.matches(&key, &ct));
+        });
+
+        // --- APKS at the same n ------------------------------------------
+        let mut sys = BenchSystem::new(params.clone(), d, 95 + d as u64);
+        let idx = sys.encrypt_one();
+        let q = sys.sparse_query(3);
+        let cap = sys.cap_for(&q);
+        group.bench_with_input(BenchmarkId::new("apks_encrypt", n), &n, |b, _| {
+            b.iter(|| sys.encrypt_one());
+        });
+        group.bench_with_input(BenchmarkId::new("apks_search", n), &n, |b, _| {
+            b.iter(|| sys.system.search(&sys.pk, &cap, &idx).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

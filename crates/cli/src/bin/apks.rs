@@ -1,0 +1,11 @@
+//! The `apks` binary: forwards the process arguments to the library
+//! dispatcher and maps errors to exit code 1.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(e) = apks_cli::run(&args, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,609 @@
+//! Command dispatch and implementations.
+
+use crate::record::parse_record;
+use crate::schema_dsl::parse_schema;
+use apks_core::persist::{describe_schema, SavedDeployment};
+use apks_core::{
+    proxy_transform, ApksError, Capability, EncryptedIndex, Query, QueryPolicy,
+};
+use apks_hpe::ProxyTransformKey;
+use apks_math::encode::{Reader, Writer};
+use core::fmt;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs;
+use std::path::Path;
+
+/// CLI errors (message + non-zero exit).
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ApksError> for CliError {
+    fn from(e: ApksError) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError(format!("io error: {e}"))
+    }
+}
+
+/// Minimal flag parser: `--name value` options plus positional arguments.
+struct Args {
+    options: Vec<(String, String)>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, CliError> {
+        let mut options = Vec::new();
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            if let Some(name) = a.strip_prefix("--") {
+                // boolean flags take no value
+                if matches!(name, "plus" | "finalize" | "points") {
+                    flags.push(name.to_string());
+                } else {
+                    i += 1;
+                    let value = args
+                        .get(i)
+                        .ok_or_else(|| CliError(format!("--{name} needs a value")))?;
+                    options.push((name.to_string(), value.clone()));
+                }
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(Args {
+            options,
+            flags,
+            positional,
+        })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError(format!("missing required option --{name}")))
+    }
+
+    fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+const USAGE: &str = "\
+usage: apks <command> [options]
+
+commands:
+  setup      --schema <file> --out <deploy> [--plus] [--curve fast|standard] [--seed N]
+  inspect    <deploy>
+  gen-index  --deploy <deploy> --record \"f=v,...\" --out <file> [--seed N]
+  gen-cap    --deploy <deploy> --query \"...\" --out <file> [--min-dims N] [--finalize] [--seed N]
+  delegate   --deploy <deploy> --cap <file> --query \"...\" --out <file> [--seed N]
+  search     --deploy <deploy> --cap <file> <index-file>...
+  transform  --deploy <deploy> --in <partial-index> --out <file>   (APKS+ proxy step)
+  demo       [--seed N]
+";
+
+/// Entry point: dispatches on `args[0]` (the command).
+///
+/// # Errors
+///
+/// Returns a printable error; the binary maps it to exit code 1.
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError(USAGE.into()));
+    };
+    let parsed = Args::parse(rest)?;
+    match cmd.as_str() {
+        "setup" => cmd_setup(&parsed, out),
+        "inspect" => cmd_inspect(&parsed, out),
+        "gen-index" => cmd_gen_index(&parsed, out),
+        "gen-cap" => cmd_gen_cap(&parsed, out),
+        "delegate" => cmd_delegate(&parsed, out),
+        "search" => cmd_search(&parsed, out),
+        "transform" => cmd_transform(&parsed, out),
+        "demo" => cmd_demo(&parsed, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+fn rng_from(args: &Args) -> StdRng {
+    match args.get("seed").and_then(|s| s.parse().ok()) {
+        Some(seed) => StdRng::seed_from_u64(seed),
+        None => StdRng::from_entropy(),
+    }
+}
+
+fn load_deployment(
+    path: &str,
+) -> Result<(apks_core::ApksSystem, SavedDeployment), CliError> {
+    let bytes = fs::read(path)?;
+    SavedDeployment::from_bytes(&bytes).map_err(Into::into)
+}
+
+fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    fs::write(path, bytes)?;
+    Ok(())
+}
+
+fn cmd_setup(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let schema_path = args.require("schema")?;
+    let out_path = args.require("out")?;
+    let schema_text = fs::read_to_string(schema_path)?;
+    let schema = parse_schema(&schema_text)?;
+    let params = match args.get("curve").unwrap_or("fast") {
+        "fast" => apks_curve::CurveParams::fast(),
+        "standard" => apks_curve::CurveParams::standard(),
+        other => return Err(CliError(format!("unknown curve {other:?}"))),
+    };
+    let system = apks_core::ApksSystem::new(params.clone(), schema);
+    let mut rng = rng_from(args);
+    let saved = if args.has_flag("plus") {
+        let (pk, mk) = system.setup_plus(&mut rng);
+        SavedDeployment::new_plus(&system, &pk, &mk)
+    } else {
+        let (pk, msk) = system.setup(&mut rng);
+        SavedDeployment::new(&system, &pk, Some(&msk))
+    };
+    let bytes = saved.to_bytes(&params);
+    write_file(out_path, &bytes)?;
+    writeln!(
+        out,
+        "deployment written to {out_path} ({} bytes, n = {}, curve {})",
+        bytes.len(),
+        system.n(),
+        params.label()
+    )?;
+    Ok(())
+}
+
+fn cmd_inspect(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError("inspect needs a deployment file".into()))?;
+    let (system, saved) = load_deployment(path)?;
+    writeln!(out, "curve:   {}", saved.curve_label)?;
+    writeln!(out, "n:       {} (vector length)", system.n())?;
+    writeln!(
+        out,
+        "mode:    {}",
+        if saved.blinding.is_some() {
+            "APKS+ (query private)"
+        } else {
+            "APKS"
+        }
+    )?;
+    writeln!(
+        out,
+        "keys:    public{}",
+        if saved.msk.is_some() { " + master" } else { "" }
+    )?;
+    writeln!(out, "fields:")?;
+    for line in describe_schema(system.schema()) {
+        writeln!(out, "  - {line}")?;
+    }
+    Ok(())
+}
+
+fn cmd_gen_index(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (system, saved) = load_deployment(args.require("deploy")?)?;
+    let record = parse_record(system.schema(), args.require("record")?)?;
+    let out_path = args.require("out")?;
+    let mut rng = rng_from(args);
+    let idx = system.gen_index(&saved.pk, &record, &mut rng)?;
+    let mut w = Writer::new();
+    idx.encode(system.params(), &mut w);
+    let bytes = w.finish();
+    write_file(out_path, &bytes)?;
+    let note = if saved.blinding.is_some() {
+        " (partial — requires proxy transform before it is searchable)"
+    } else {
+        ""
+    };
+    writeln!(out, "index written to {out_path} ({} bytes){note}", bytes.len())?;
+    Ok(())
+}
+
+fn cmd_gen_cap(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (system, saved) = load_deployment(args.require("deploy")?)?;
+    let msk = saved
+        .msk
+        .as_ref()
+        .ok_or_else(|| CliError("this deployment file has no master key".into()))?;
+    let query = Query::parse(args.require("query")?)?;
+    let out_path = args.require("out")?;
+    let policy = QueryPolicy {
+        min_dimensions: args
+            .get("min-dims")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1),
+        max_total_or_terms: 0,
+    };
+    let mut rng = rng_from(args);
+    let cap = if args.has_flag("points") {
+        system.gen_cap_via_points(&saved.pk, msk, &query, &policy, &mut rng)?
+    } else {
+        system.gen_cap(&saved.pk, msk, &query, &policy, &mut rng)?
+    };
+    let cap = if args.has_flag("finalize") {
+        cap.finalize()
+    } else {
+        cap
+    };
+    let mut w = Writer::new();
+    cap.encode(system.params(), &mut w);
+    let bytes = w.finish();
+    write_file(out_path, &bytes)?;
+    writeln!(
+        out,
+        "capability for `{query}` written to {out_path} ({} bytes{})",
+        bytes.len(),
+        if args.has_flag("finalize") {
+            ", finalized"
+        } else {
+            ", delegatable"
+        }
+    )?;
+    Ok(())
+}
+
+fn cmd_delegate(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (system, saved) = load_deployment(args.require("deploy")?)?;
+    let cap_bytes = fs::read(args.require("cap")?)?;
+    let mut r = Reader::new(&cap_bytes);
+    let parent = Capability::decode(system.params(), &mut r)
+        .map_err(|e| CliError(format!("capability decode: {e}")))?;
+    let query = Query::parse(args.require("query")?)?;
+    let out_path = args.require("out")?;
+    let mut rng = rng_from(args);
+    let child = system.delegate_cap(&saved.pk, &parent, &query, &mut rng)?;
+    let mut w = Writer::new();
+    child.encode(system.params(), &mut w);
+    let bytes = w.finish();
+    write_file(out_path, &bytes)?;
+    writeln!(
+        out,
+        "delegated capability (AND `{query}`) written to {out_path} ({} bytes)",
+        bytes.len()
+    )?;
+    Ok(())
+}
+
+fn cmd_search(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (system, saved) = load_deployment(args.require("deploy")?)?;
+    let cap_bytes = fs::read(args.require("cap")?)?;
+    let mut r = Reader::new(&cap_bytes);
+    let cap = Capability::decode(system.params(), &mut r)
+        .map_err(|e| CliError(format!("capability decode: {e}")))?;
+    if args.positional.is_empty() {
+        return Err(CliError("search needs at least one index file".into()));
+    }
+    let mut matches = 0usize;
+    for path in &args.positional {
+        let idx_bytes = fs::read(path)?;
+        let mut r = Reader::new(&idx_bytes);
+        let idx = EncryptedIndex::decode(system.params(), &mut r)
+            .map_err(|e| CliError(format!("{path}: index decode: {e}")))?;
+        let hit = system.search(&saved.pk, &cap, &idx)?;
+        if hit {
+            matches += 1;
+        }
+        writeln!(out, "{path}: {}", if hit { "MATCH" } else { "-" })?;
+    }
+    writeln!(out, "{matches}/{} matched", args.positional.len())?;
+    Ok(())
+}
+
+fn cmd_transform(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (system, saved) = load_deployment(args.require("deploy")?)?;
+    let blinding = saved
+        .blinding
+        .ok_or_else(|| CliError("not an APKS+ deployment (no proxy secret)".into()))?;
+    let in_bytes = fs::read(args.require("in")?)?;
+    let mut r = Reader::new(&in_bytes);
+    let partial = EncryptedIndex::decode(system.params(), &mut r)
+        .map_err(|e| CliError(format!("index decode: {e}")))?;
+    let share = ProxyTransformKey {
+        r_inv: blinding
+            .inv()
+            .ok_or_else(|| CliError("degenerate blinding secret".into()))?,
+    };
+    let full = proxy_transform(&system, &share, &partial);
+    let mut w = Writer::new();
+    full.encode(system.params(), &mut w);
+    let bytes = w.finish();
+    let out_path = args.require("out")?;
+    write_file(out_path, &bytes)?;
+    writeln!(out, "transformed index written to {out_path}")?;
+    Ok(())
+}
+
+fn cmd_demo(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let mut rng = rng_from(args);
+    let schema = parse_schema(
+        "field age numeric 0 63 4 d=2\nfield sex flat d=1\nfield illness flat d=2",
+    )?;
+    let system = apks_core::ApksSystem::new(apks_curve::CurveParams::fast(), schema);
+    let (pk, msk) = system.setup(&mut rng);
+    writeln!(out, "setup done (n = {})", system.n())?;
+    let people = [
+        "age=25,sex=female,illness=diabetes",
+        "age=61,sex=male,illness=diabetes",
+        "age=18,sex=female,illness=diabetes",
+    ];
+    let indexes: Vec<_> = people
+        .iter()
+        .map(|p| {
+            let r = parse_record(system.schema(), p).unwrap();
+            system.gen_index(&pk, &r, &mut rng).unwrap()
+        })
+        .collect();
+    let q = Query::parse("age in [16,31] and sex = female and illness = diabetes")?;
+    let cap = system.gen_cap(&pk, &msk, &q, &QueryPolicy::default(), &mut rng)?;
+    for (p, idx) in people.iter().zip(&indexes) {
+        let hit = system.search(&pk, &cap, idx)?;
+        writeln!(out, "  {p}: {}", if hit { "MATCH" } else { "-" })?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_strs(args: &[&str]) -> Result<String, CliError> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&owned, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("apks-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn full_cli_flow() {
+        let dir = tmpdir("flow");
+        let schema = dir.join("s.schema");
+        std::fs::write(&schema, "field age numeric 0 15 4 d=2\nfield sex flat d=1\n").unwrap();
+        let deploy = dir.join("d.apks");
+        let out = run_strs(&[
+            "setup",
+            "--schema",
+            schema.to_str().unwrap(),
+            "--out",
+            deploy.to_str().unwrap(),
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        assert!(out.contains("deployment written"));
+
+        let out = run_strs(&["inspect", deploy.to_str().unwrap()]).unwrap();
+        assert!(out.contains("APKS"));
+        assert!(out.contains("age"));
+
+        let idx_a = dir.join("a.idx");
+        run_strs(&[
+            "gen-index",
+            "--deploy",
+            deploy.to_str().unwrap(),
+            "--record",
+            "age=6,sex=female",
+            "--out",
+            idx_a.to_str().unwrap(),
+            "--seed",
+            "2",
+        ])
+        .unwrap();
+        let idx_b = dir.join("b.idx");
+        run_strs(&[
+            "gen-index",
+            "--deploy",
+            deploy.to_str().unwrap(),
+            "--record",
+            "age=12,sex=male",
+            "--out",
+            idx_b.to_str().unwrap(),
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+
+        let cap = dir.join("cap.bin");
+        run_strs(&[
+            "gen-cap",
+            "--deploy",
+            deploy.to_str().unwrap(),
+            "--query",
+            "age in [4,7] and sex = female",
+            "--out",
+            cap.to_str().unwrap(),
+            "--seed",
+            "4",
+        ])
+        .unwrap();
+
+        let out = run_strs(&[
+            "search",
+            "--deploy",
+            deploy.to_str().unwrap(),
+            "--cap",
+            cap.to_str().unwrap(),
+            idx_a.to_str().unwrap(),
+            idx_b.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("a.idx: MATCH"));
+        assert!(out.contains("b.idx: -"));
+        assert!(out.contains("1/2 matched"));
+
+        // delegation narrows further
+        let cap2 = dir.join("cap2.bin");
+        run_strs(&[
+            "delegate",
+            "--deploy",
+            deploy.to_str().unwrap(),
+            "--cap",
+            cap.to_str().unwrap(),
+            "--query",
+            "age = 6",
+            "--out",
+            cap2.to_str().unwrap(),
+            "--seed",
+            "5",
+        ])
+        .unwrap();
+        let out = run_strs(&[
+            "search",
+            "--deploy",
+            deploy.to_str().unwrap(),
+            "--cap",
+            cap2.to_str().unwrap(),
+            idx_a.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("MATCH"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn plus_flow_with_transform() {
+        let dir = tmpdir("plus");
+        let schema = dir.join("s.schema");
+        std::fs::write(&schema, "field kw flat d=1\n").unwrap();
+        let deploy = dir.join("d.apks");
+        run_strs(&[
+            "setup",
+            "--schema",
+            schema.to_str().unwrap(),
+            "--out",
+            deploy.to_str().unwrap(),
+            "--plus",
+            "--seed",
+            "1",
+        ])
+        .unwrap();
+        let out = run_strs(&["inspect", deploy.to_str().unwrap()]).unwrap();
+        assert!(out.contains("APKS+"));
+
+        let partial = dir.join("p.idx");
+        run_strs(&[
+            "gen-index",
+            "--deploy",
+            deploy.to_str().unwrap(),
+            "--record",
+            "kw=x",
+            "--out",
+            partial.to_str().unwrap(),
+            "--seed",
+            "2",
+        ])
+        .unwrap();
+        let cap = dir.join("cap.bin");
+        run_strs(&[
+            "gen-cap",
+            "--deploy",
+            deploy.to_str().unwrap(),
+            "--query",
+            "kw = x",
+            "--out",
+            cap.to_str().unwrap(),
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        // untransformed: no match
+        let out = run_strs(&[
+            "search",
+            "--deploy",
+            deploy.to_str().unwrap(),
+            "--cap",
+            cap.to_str().unwrap(),
+            partial.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("0/1 matched"));
+        // transform, then it matches
+        let full = dir.join("f.idx");
+        run_strs(&[
+            "transform",
+            "--deploy",
+            deploy.to_str().unwrap(),
+            "--in",
+            partial.to_str().unwrap(),
+            "--out",
+            full.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run_strs(&[
+            "search",
+            "--deploy",
+            deploy.to_str().unwrap(),
+            "--cap",
+            cap.to_str().unwrap(),
+            full.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("1/1 matched"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn demo_runs() {
+        let out = run_strs(&["demo", "--seed", "9"]).unwrap();
+        assert!(out.contains("MATCH"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run_strs(&[]).is_err());
+        assert!(run_strs(&["frobnicate"]).is_err());
+        assert!(run_strs(&["setup", "--schema"]).is_err()); // missing value
+        assert!(run_strs(&["setup", "--out", "x"]).is_err()); // missing schema
+        assert!(run_strs(&["inspect", "/nonexistent/path"]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_strs(&["help"]).unwrap();
+        assert!(out.contains("usage: apks"));
+    }
+}

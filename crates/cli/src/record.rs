@@ -1,0 +1,88 @@
+//! Record and query text helpers for the CLI.
+//!
+//! Records are written `field=value,field=value,…` in schema field order
+//! or by name; values that parse as integers become numeric.
+
+use apks_core::{ApksError, FieldValue, Record, Schema};
+use std::collections::HashMap;
+
+/// Parses `field=value,…` against a schema into a [`Record`]
+/// (schema field order; all fields required).
+///
+/// # Errors
+///
+/// Fails on unknown/duplicate/missing fields or empty values.
+pub fn parse_record(schema: &Schema, text: &str) -> Result<Record, ApksError> {
+    let mut by_name: HashMap<String, FieldValue> = HashMap::new();
+    for part in text.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (name, value) = part
+            .split_once('=')
+            .ok_or_else(|| ApksError::Parse(format!("expected field=value, got {part:?}")))?;
+        let name = name.trim();
+        let value = value.trim();
+        if value.is_empty() {
+            return Err(ApksError::Parse(format!("empty value for {name:?}")));
+        }
+        // verify the field exists
+        schema.field_index(name)?;
+        let fv = match value.parse::<i64>() {
+            Ok(n) => FieldValue::num(n),
+            Err(_) => FieldValue::text(value),
+        };
+        if by_name.insert(name.to_string(), fv).is_some() {
+            return Err(ApksError::Parse(format!("duplicate field {name:?}")));
+        }
+    }
+    let mut values = Vec::with_capacity(schema.fields().len());
+    for f in schema.fields() {
+        let v = by_name.remove(&f.name).ok_or_else(|| {
+            ApksError::Parse(format!("record is missing field {:?}", f.name))
+        })?;
+        values.push(v);
+    }
+    Ok(Record::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apks_core::Schema;
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::builder()
+            .flat_field("age", 1)
+            .flat_field("sex", 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_in_any_order() {
+        let s = schema();
+        let r = parse_record(&s, "sex=female, age=25").unwrap();
+        assert_eq!(r.values[0], FieldValue::num(25));
+        assert_eq!(r.values[1], FieldValue::text("female"));
+    }
+
+    #[test]
+    fn numeric_detection() {
+        let s = schema();
+        let r = parse_record(&s, "age=-3,sex=07b").unwrap();
+        assert_eq!(r.values[0], FieldValue::num(-3));
+        assert_eq!(r.values[1], FieldValue::text("07b"));
+    }
+
+    #[test]
+    fn rejects_bad_records() {
+        let s = schema();
+        assert!(parse_record(&s, "age=25").is_err()); // missing sex
+        assert!(parse_record(&s, "age=25,age=26,sex=f").is_err()); // dup
+        assert!(parse_record(&s, "age=25,zodiac=leo,sex=f").is_err()); // unknown
+        assert!(parse_record(&s, "age 25,sex=f").is_err()); // no '='
+        assert!(parse_record(&s, "age=,sex=f").is_err()); // empty
+    }
+}

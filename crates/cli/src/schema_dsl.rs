@@ -1,0 +1,218 @@
+//! The schema definition DSL.
+//!
+//! One field per line; blank lines and `#` comments ignored:
+//!
+//! ```text
+//! # PHR index schema
+//! field age   numeric 0 127 4   d=2      # balanced numeric tree, branching 4
+//! field sex   flat              d=1
+//! field region tree(MA(East(Boston,Cambridge),West(Worcester,Springfield))) d=1
+//! ```
+//!
+//! * `flat` — a single-dimension field;
+//! * `numeric LO HI BRANCH` — a balanced numeric hierarchy over `[LO, HI]`;
+//! * `tree(...)` — an explicit semantic hierarchy (labels may contain
+//!   spaces; `(`, `)`, `,` delimit structure);
+//! * `d=K` — the per-dimension OR budget.
+
+use apks_core::hierarchy::Node;
+use apks_core::{ApksError, Hierarchy, Schema};
+use std::sync::Arc;
+
+/// Parses the DSL into a schema.
+///
+/// # Errors
+///
+/// Returns [`ApksError::Parse`] with line context on malformed input, or
+/// schema-validation errors from the builder.
+pub fn parse_schema(text: &str) -> Result<Arc<Schema>, ApksError> {
+    let mut builder = Schema::builder();
+    let mut saw_field = false;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| ApksError::Parse(format!("line {}: {msg}", lineno + 1));
+        let rest = line
+            .strip_prefix("field ")
+            .ok_or_else(|| err("expected `field <name> <kind> d=<K>`".into()))?;
+        let mut parts = rest.split_whitespace().peekable();
+        let name = parts
+            .next()
+            .ok_or_else(|| err("missing field name".into()))?
+            .to_string();
+        let kind = parts
+            .next()
+            .ok_or_else(|| err("missing field kind".into()))?
+            .to_string();
+        // everything else, re-joined (tree bodies may contain spaces)
+        let tail: Vec<&str> = parts.collect();
+        let (kind_args, d) = split_budget(&kind, &tail).map_err(err)?;
+
+        if kind == "flat" {
+            builder = builder.flat_field(name, d);
+        } else if kind == "numeric" {
+            let nums: Vec<i64> = kind_args
+                .split_whitespace()
+                .map(|t| t.parse::<i64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| err("numeric needs `LO HI BRANCH`".into()))?;
+            if nums.len() != 3 {
+                return Err(err("numeric needs exactly `LO HI BRANCH`".into()));
+            }
+            if nums[0] > nums[1] || nums[2] < 2 {
+                return Err(err("numeric needs LO ≤ HI and BRANCH ≥ 2".into()));
+            }
+            builder = builder.hierarchical_field(
+                name,
+                Hierarchy::numeric(nums[0], nums[1], nums[2] as usize),
+                d,
+            );
+        } else if let Some(body) = kind.strip_prefix("tree(") {
+            // the tree body may have been split on spaces; re-join
+            let mut full = body.to_string();
+            if !kind_args.is_empty() {
+                full.push(' ');
+                full.push_str(&kind_args);
+            }
+            let full = full
+                .strip_suffix(')')
+                .ok_or_else(|| err("unterminated tree(...)".into()))?;
+            let root = parse_tree(full).map_err(err)?;
+            let h = Hierarchy::semantic(root)?;
+            builder = builder.hierarchical_field(name, h, d);
+        } else {
+            return Err(err(format!("unknown field kind {kind:?}")));
+        }
+        saw_field = true;
+    }
+    if !saw_field {
+        return Err(ApksError::Parse("schema has no `field` lines".into()));
+    }
+    builder.build()
+}
+
+/// Splits the trailing `d=K` token off and returns the remaining args
+/// (joined by spaces) plus the budget.
+fn split_budget(kind: &str, tail: &[&str]) -> Result<(String, usize), String> {
+    let mut args: Vec<&str> = tail.to_vec();
+    let budget_tok = match args.pop() {
+        Some(t) if t.starts_with("d=") => t,
+        Some(_) | None => {
+            // maybe the kind itself carries it (e.g. `flat d=1` with kind
+            // consumed separately) — then tail's last must be d=
+            return Err(format!("field {kind:?} is missing the trailing `d=K` budget"));
+        }
+    };
+    let d: usize = budget_tok[2..]
+        .parse()
+        .map_err(|_| format!("bad budget {budget_tok:?}"))?;
+    Ok((args.join(" "), d))
+}
+
+/// Parses `Label(Child1,Child2(Grand1,Grand2),...)`.
+fn parse_tree(text: &str) -> Result<Node, String> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut pos = 0usize;
+    let node = parse_node(&chars, &mut pos)?;
+    if pos != chars.len() {
+        return Err(format!("trailing characters after tree at offset {pos}"));
+    }
+    Ok(node)
+}
+
+fn parse_node(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+    let mut label = String::new();
+    while *pos < chars.len() && !"(),".contains(chars[*pos]) {
+        label.push(chars[*pos]);
+        *pos += 1;
+    }
+    let label = label.trim().to_string();
+    if label.is_empty() {
+        return Err(format!("empty label at offset {pos}", pos = *pos));
+    }
+    let mut children = Vec::new();
+    if *pos < chars.len() && chars[*pos] == '(' {
+        *pos += 1;
+        loop {
+            children.push(parse_node(chars, pos)?);
+            match chars.get(*pos) {
+                Some(',') => {
+                    *pos += 1;
+                }
+                Some(')') => {
+                    *pos += 1;
+                    break;
+                }
+                _ => return Err("expected `,` or `)` in tree".into()),
+            }
+        }
+    }
+    Ok(Node {
+        label,
+        interval: None,
+        children,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_schema() {
+        let text = "
+            # PHR schema
+            field age numeric 0 15 4 d=2
+            field sex flat d=1
+            field region tree(MA(East(Boston,Cambridge),West(Worcester,Springfield))) d=1
+        ";
+        let s = parse_schema(text).unwrap();
+        assert_eq!(s.fields().len(), 3);
+        assert_eq!(s.fields()[0].name, "age");
+        // age tree: 16 → 4 → 1 → depth 3; region depth 3
+        assert_eq!(s.m_prime(), 3 + 1 + 3);
+    }
+
+    #[test]
+    fn tree_labels_with_spaces() {
+        let text = "field region tree(MA(East MA(Boston),West MA(Worcester))) d=1";
+        let s = parse_schema(text).unwrap();
+        let apks_core::schema::FieldKind::Hierarchical(h) = &s.fields()[0].kind else {
+            panic!("expected hierarchy");
+        };
+        assert!(h.locate("East MA").is_some());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "field",
+            "field age",
+            "field age flat",              // missing d=
+            "field age numeric 0 15 d=1",  // missing branch
+            "field age numeric 15 0 4 d=1",
+            "field x tree(A(B,C) d=1",     // unbalanced parens
+            "field x wat d=1",
+            "notfield x flat d=1",
+            "field x flat d=zero",
+        ] {
+            assert!(parse_schema(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_tree_rejected_by_validation() {
+        // leaf depths differ → Hierarchy::semantic refuses
+        let text = "field x tree(A(B,C(D))) d=1";
+        assert!(parse_schema(text).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "\n# hi\n\nfield a flat d=1 # trailing\n";
+        assert!(parse_schema(text).is_ok());
+    }
+}

@@ -1,0 +1,18 @@
+//! The cloud server (Fig. 1 of the paper).
+//!
+//! Stores the encrypted indexes contributed by all owners, verifies that a
+//! submitted capability carries a valid identity-based signature from a
+//! *registered* authority (§III), and evaluates `Search` over the store —
+//! sequentially or across threads (§VII-B.4: "if the cloud server have
+//! multiple processors the search computation can be done in a paralleled
+//! way").
+//!
+//! The [`adversary`] module implements the honest-but-curious server's
+//! **dictionary attack** (§V) used by the security tests and the
+//! `query_privacy` example: it succeeds against plain APKS capabilities
+//! and fails against APKS⁺.
+
+pub mod adversary;
+pub mod server;
+
+pub use server::{CloudServer, DocumentId, SearchOutcome, SearchStats};

@@ -1,0 +1,370 @@
+//! The encrypted-index store and search engine.
+
+use apks_authz::{IbsPublicParams, SignedCapability};
+use apks_core::{ApksError, ApksPublicKey, ApksSystem, Capability, EncryptedIndex};
+use core::fmt;
+use parking_lot::RwLock;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An opaque document identifier assigned at upload.
+pub type DocumentId = u64;
+
+/// Errors from search submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// The capability's signature did not verify.
+    BadSignature,
+    /// The issuing authority is not registered with this server.
+    UnknownIssuer(String),
+    /// The underlying APKS evaluation failed (deployment mismatch, …).
+    Apks(ApksError),
+}
+
+impl fmt::Display for SearchOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchOutcome::BadSignature => write!(f, "capability signature invalid"),
+            SearchOutcome::UnknownIssuer(id) => write!(f, "issuer {id:?} not registered"),
+            SearchOutcome::Apks(e) => write!(f, "apks error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchOutcome {}
+
+/// Accounting for one search run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Number of indexes evaluated.
+    pub scanned: usize,
+    /// Number of matches returned.
+    pub matched: usize,
+}
+
+/// The cloud server.
+pub struct CloudServer {
+    system: ApksSystem,
+    pk: ApksPublicKey,
+    ibs: IbsPublicParams,
+    registered: RwLock<HashSet<String>>,
+    store: RwLock<Vec<(DocumentId, EncryptedIndex)>>,
+    next_id: AtomicUsize,
+}
+
+impl CloudServer {
+    /// Creates a server for one deployment.
+    pub fn new(system: ApksSystem, pk: ApksPublicKey, ibs: IbsPublicParams) -> CloudServer {
+        CloudServer {
+            system,
+            pk,
+            ibs,
+            registered: RwLock::new(HashSet::new()),
+            store: RwLock::new(Vec::new()),
+            next_id: AtomicUsize::new(0),
+        }
+    }
+
+    /// Registers an authority identity whose signatures are accepted.
+    pub fn register_authority(&self, id: impl Into<String>) {
+        self.registered.write().insert(id.into());
+    }
+
+    /// Stores an encrypted index; returns its document id.
+    pub fn upload(&self, index: EncryptedIndex) -> DocumentId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) as DocumentId;
+        self.store.write().push((id, index));
+        id
+    }
+
+    /// Number of stored indexes.
+    pub fn len(&self) -> usize {
+        self.store.read().len()
+    }
+
+    /// True iff the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.read().is_empty()
+    }
+
+    /// Verifies a signed capability (signature + issuer registration).
+    ///
+    /// # Errors
+    ///
+    /// Returns why the capability was rejected.
+    pub fn admit(&self, cap: &SignedCapability) -> Result<(), SearchOutcome> {
+        if !self.registered.read().contains(&cap.issuer) {
+            return Err(SearchOutcome::UnknownIssuer(cap.issuer.clone()));
+        }
+        if !cap.verify(self.system.params(), &self.ibs) {
+            return Err(SearchOutcome::BadSignature);
+        }
+        Ok(())
+    }
+
+    /// Full search: admit, then scan the store sequentially.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the capability is rejected or malformed.
+    pub fn search(
+        &self,
+        cap: &SignedCapability,
+    ) -> Result<(Vec<DocumentId>, SearchStats), SearchOutcome> {
+        self.admit(cap)?;
+        self.scan(&cap.capability, 1)
+    }
+
+    /// Full search with a worker-thread pool (the paper's parallel-search
+    /// remark in §VII-B.4).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the capability is rejected or malformed.
+    pub fn search_parallel(
+        &self,
+        cap: &SignedCapability,
+        threads: usize,
+    ) -> Result<(Vec<DocumentId>, SearchStats), SearchOutcome> {
+        self.admit(cap)?;
+        self.scan(&cap.capability, threads.max(1))
+    }
+
+    /// Evaluates an *unsigned* capability — used by benchmarks that are
+    /// not measuring the authorization layer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on deployment mismatch.
+    pub fn scan(
+        &self,
+        cap: &Capability,
+        threads: usize,
+    ) -> Result<(Vec<DocumentId>, SearchStats), SearchOutcome> {
+        let store = self.store.read();
+        let scanned = store.len();
+        let mut matches: Vec<DocumentId> = if threads <= 1 {
+            let mut out = Vec::new();
+            for (id, idx) in store.iter() {
+                if self
+                    .system
+                    .search(&self.pk, cap, idx)
+                    .map_err(SearchOutcome::Apks)?
+                {
+                    out.push(*id);
+                }
+            }
+            out
+        } else {
+            let chunk = store.len().div_ceil(threads);
+            let results: Vec<Result<Vec<DocumentId>, ApksError>> =
+                crossbeam::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for part in store.chunks(chunk.max(1)) {
+                        let system = &self.system;
+                        let pk = &self.pk;
+                        handles.push(scope.spawn(move |_| {
+                            let mut out = Vec::new();
+                            for (id, idx) in part {
+                                if system.search(pk, cap, idx)? {
+                                    out.push(*id);
+                                }
+                            }
+                            Ok(out)
+                        }));
+                    }
+                    handles.into_iter().map(|h| h.join().unwrap()).collect()
+                })
+                .expect("worker panicked");
+            let mut out = Vec::new();
+            for r in results {
+                out.extend(r.map_err(SearchOutcome::Apks)?);
+            }
+            out
+        };
+        matches.sort_unstable();
+        let stats = SearchStats {
+            scanned,
+            matched: matches.len(),
+        };
+        Ok((matches, stats))
+    }
+
+    /// The deployment's public key (public information).
+    pub fn public_key(&self) -> &ApksPublicKey {
+        &self.pk
+    }
+
+    /// The system context (public information).
+    pub fn system(&self) -> &ApksSystem {
+        &self.system
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apks_authz::{AttributeDirectory, Eligibility, EligibilityRules, TrustedAuthority};
+    use apks_core::{FieldValue, Query, QueryPolicy, Record, Schema};
+    use apks_curve::CurveParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn deployment() -> (CloudServer, TrustedAuthority, StdRng) {
+        let schema = Schema::builder()
+            .flat_field("illness", 1)
+            .flat_field("sex", 1)
+            .build()
+            .unwrap();
+        let sys = ApksSystem::new(CurveParams::fast(), schema);
+        let mut rng = StdRng::seed_from_u64(1100);
+        let ta = TrustedAuthority::setup(sys, &mut rng);
+        let server = CloudServer::new(
+            ta.system().clone(),
+            ta.public_key().clone(),
+            ta.ibs_params().clone(),
+        );
+        server.register_authority("ta");
+        (server, ta, rng)
+    }
+
+    fn upload_corpus(server: &CloudServer, ta: &TrustedAuthority, rng: &mut StdRng) -> Vec<DocumentId> {
+        let sys = ta.system();
+        let pk = ta.public_key();
+        let mut ids = Vec::new();
+        for (illness, sex) in [
+            ("flu", "female"),
+            ("flu", "male"),
+            ("diabetes", "female"),
+            ("cancer", "male"),
+            ("flu", "female"),
+        ] {
+            let rec = Record::new(vec![FieldValue::text(illness), FieldValue::text(sex)]);
+            ids.push(server.upload(sys.gen_index(pk, &rec, rng).unwrap()));
+        }
+        ids
+    }
+
+    #[test]
+    fn signed_search_returns_matches() {
+        let (server, ta, mut rng) = deployment();
+        let ids = upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu").equals("sex", "female"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let (hits, stats) = server.search(&cap).unwrap();
+        assert_eq!(hits, vec![ids[0], ids[4]]);
+        assert_eq!(stats.scanned, 5);
+        assert_eq!(stats.matched, 2);
+    }
+
+    #[test]
+    fn parallel_search_matches_sequential() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let (seq, _) = server.search(&cap).unwrap();
+        let (par, _) = server.search_parallel(&cap, 4).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn unknown_issuer_rejected() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let mut cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        cap.issuer = "lta:rogue".into();
+        assert!(matches!(
+            server.search(&cap),
+            Err(SearchOutcome::UnknownIssuer(_))
+        ));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let good = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let other = ta
+            .issue_capability(
+                &Query::new().equals("illness", "cancer"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        // graft flu's signature onto cancer's capability
+        let forged = SignedCapability {
+            capability: other.capability.clone(),
+            issuer: good.issuer.clone(),
+            signature: good.signature.clone(),
+        };
+        assert_eq!(server.search(&forged), Err(SearchOutcome::BadSignature));
+    }
+
+    #[test]
+    fn lta_issued_capability_accepted_after_registration() {
+        let schema = Schema::builder()
+            .flat_field("provider", 1)
+            .flat_field("illness", 1)
+            .build()
+            .unwrap();
+        let sys = ApksSystem::new(CurveParams::fast(), schema);
+        let mut rng = StdRng::seed_from_u64(1101);
+        let mut ta = TrustedAuthority::setup(sys, &mut rng);
+        let server = CloudServer::new(
+            ta.system().clone(),
+            ta.public_key().clone(),
+            ta.ibs_params().clone(),
+        );
+        let mut dir = AttributeDirectory::new();
+        dir.register_user("alice", [("illness", FieldValue::text("flu"))]);
+        let lta = ta
+            .register_lta(
+                "lta:h",
+                &Query::new().equals("provider", "h"),
+                dir,
+                EligibilityRules::with_default(Eligibility::OwnsValue),
+                QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let sys = ta.system().clone();
+        let pk = ta.public_key().clone();
+        let cap = lta
+            .request_capability(&sys, &pk, "alice", &Query::new().equals("illness", "flu"), &mut rng)
+            .unwrap();
+        // not yet registered
+        assert!(matches!(
+            server.search(&cap),
+            Err(SearchOutcome::UnknownIssuer(_))
+        ));
+        server.register_authority("lta:h");
+        let rec = Record::new(vec![FieldValue::text("h"), FieldValue::text("flu")]);
+        server.upload(sys.gen_index(&pk, &rec, &mut rng).unwrap());
+        let (hits, _) = server.search(&cap).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+}

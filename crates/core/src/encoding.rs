@@ -1,0 +1,207 @@
+//! The vector encodings `ψ` (index → plaintext vector) and `φ`
+//! (query → predicate vector) of §IV-C.1.
+//!
+//! The multi-dimensional query polynomial is
+//!
+//! ```text
+//! p(Z₁,…,Z_{m'}) = Σᵢ rᵢ · (Zᵢ − w_{i,1})⋯(Zᵢ − w_{i,dᵢ})
+//! ```
+//!
+//! with fresh `rᵢ ∈ F_q` per constrained dimension and `rᵢ = 0` for
+//! "don't care" dimensions. Writing each univariate factor in coefficient
+//! form gives the predicate vector
+//! `v⃗ = (c_{1,d₁}, …, c_{1,1}, …, c_{m',d_{m'}}, …, c_{m',1}, c₀)` and the
+//! plaintext vector
+//! `x⃗ = ψ(Z⃗) = (z₁^{d₁}, …, z₁, …, z_{m'}^{d_{m'}}, …, z_{m'}, 1)`, so
+//! `x⃗ · v⃗ = p(z₁,…,z_{m'})`, which is zero iff every constrained
+//! dimension's keyword is among the queried ones (up to the negligible
+//! chance of a random root).
+
+use crate::query::ConvertedQuery;
+use crate::schema::Schema;
+use apks_math::Fr;
+use rand::Rng;
+
+/// `ψ`: lifts per-dimension keywords into the plaintext vector
+/// `x⃗ = (z₁^{d₁}, …, z₁, …, 1)` of length `schema.n()`.
+///
+/// # Panics
+///
+/// Panics if `keywords.len()` differs from the schema's dimension count
+/// (an internal invariant — records are converted by the same schema).
+pub fn psi(schema: &Schema, keywords: &[Fr]) -> Vec<Fr> {
+    assert_eq!(
+        keywords.len(),
+        schema.m_prime(),
+        "keyword count must equal the expanded dimension count"
+    );
+    let mut x = Vec::with_capacity(schema.n());
+    for (dim, &z) in schema.expanded().iter().zip(keywords) {
+        // z^d, z^{d-1}, …, z
+        let mut powers = Vec::with_capacity(dim.degree);
+        let mut acc = z;
+        powers.push(acc); // z^1
+        for _ in 1..dim.degree {
+            acc *= z;
+            powers.push(acc);
+        }
+        powers.reverse();
+        x.extend(powers);
+    }
+    x.push(Fr::one());
+    debug_assert_eq!(x.len(), schema.n());
+    x
+}
+
+/// `φ`: encodes a converted query into the predicate vector of length
+/// `schema.n()`, drawing fresh blinding scalars `rᵢ` from `rng`.
+///
+/// Dimensions absent from the query get zero coefficients (the "don't
+/// care" case whose cheaper capability generation Fig. 8(c) measures).
+pub fn phi<R: Rng + ?Sized>(schema: &Schema, query: &ConvertedQuery, rng: &mut R) -> Vec<Fr> {
+    let mut v = vec![Fr::ZERO; schema.n()];
+    let mut c0 = Fr::ZERO;
+    let mut offset = 0usize;
+    let mut term_iter = query.terms.iter().peekable();
+    for (i, dim) in schema.expanded().iter().enumerate() {
+        if let Some(term) = term_iter.peek() {
+            if term.dim == i {
+                let term = term_iter.next().unwrap();
+                debug_assert!(!term.keywords.is_empty() && term.keywords.len() <= dim.degree);
+                let r = Fr::random_nonzero(rng);
+                let coeffs = poly_from_roots(&term.keywords);
+                // coeffs[t] is the coefficient of Z^t, t = 0..=deg
+                for (t, &c) in coeffs.iter().enumerate().skip(1) {
+                    // position of z^t within this dimension's block:
+                    // block layout is z^d … z^1 at offsets 0 … d−1
+                    v[offset + dim.degree - t] = r * c;
+                }
+                c0 += r * coeffs[0];
+            }
+        }
+        offset += dim.degree;
+    }
+    v[schema.n() - 1] = c0;
+    v
+}
+
+/// Expands `Π (Z − wⱼ)` into coefficients `[c₀, c₁, …, c_m]`
+/// (index = power of `Z`).
+pub fn poly_from_roots(roots: &[Fr]) -> Vec<Fr> {
+    let mut coeffs = vec![Fr::one()]; // the constant polynomial 1
+    for &w in roots {
+        // multiply by (Z - w)
+        let mut next = vec![Fr::ZERO; coeffs.len() + 1];
+        for (t, &c) in coeffs.iter().enumerate() {
+            next[t + 1] += c; // c·Z^{t+1}
+            next[t] -= c * w; // −w·c·Z^t
+        }
+        coeffs = next;
+    }
+    coeffs
+}
+
+/// Evaluates `x⃗ · v⃗` — used by tests and the plaintext oracle.
+pub fn inner_product(x: &[Fr], v: &[Fr]) -> Fr {
+    debug_assert_eq!(x.len(), v.len());
+    x.iter().zip(v).map(|(&a, &b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::Hierarchy;
+    use crate::keyword::FieldValue;
+    use crate::query::Query;
+    use crate::schema::{Record, Schema};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder()
+            .hierarchical_field("age", Hierarchy::numeric(0, 15, 4), 2)
+            .flat_field("sex", 1)
+            .flat_field("illness", 3)
+            .build()
+            .unwrap()
+    }
+
+    fn record(age: i64, sex: &str, illness: &str) -> Record {
+        Record::new(vec![
+            FieldValue::num(age),
+            FieldValue::text(sex),
+            FieldValue::text(illness),
+        ])
+    }
+
+    #[test]
+    fn poly_from_roots_small() {
+        let r = vec![Fr::from_u64(2), Fr::from_u64(3)];
+        // (Z-2)(Z-3) = Z² − 5Z + 6
+        let c = poly_from_roots(&r);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], Fr::from_u64(6));
+        assert_eq!(c[1], Fr::from_i64(-5));
+        assert_eq!(c[2], Fr::one());
+    }
+
+    #[test]
+    fn matching_query_gives_zero_inner_product() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(400);
+        let rec = record(6, "female", "flu");
+        let x = psi(&s, &s.convert_record(&rec).unwrap());
+        let q = Query::new()
+            .range("age", 4, 7)
+            .equals("sex", "female")
+            .one_of("illness", ["flu", "cold"]);
+        let v = phi(&s, &q.convert(&s).unwrap(), &mut rng);
+        assert_eq!(x.len(), s.n());
+        assert_eq!(v.len(), s.n());
+        assert!(inner_product(&x, &v).is_zero());
+    }
+
+    #[test]
+    fn non_matching_query_gives_nonzero() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(401);
+        let rec = record(6, "female", "flu");
+        let x = psi(&s, &s.convert_record(&rec).unwrap());
+        let q = Query::new().range("age", 8, 11).equals("sex", "female");
+        let v = phi(&s, &q.convert(&s).unwrap(), &mut rng);
+        assert!(!inner_product(&x, &v).is_zero());
+    }
+
+    #[test]
+    fn dont_care_dimensions_are_zero() {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(402);
+        let q = Query::new().equals("sex", "male");
+        let v = phi(&s, &q.convert(&s).unwrap(), &mut rng);
+        // age block: 3 dims × degree 2 = positions 0..6 must be zero
+        assert!(v[..6].iter().all(|c| c.is_zero()));
+        // sex coefficient present
+        assert!(!v[6].is_zero());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_encrypted_match_agrees_with_plain(age in 0i64..16, qlo in 0i64..16, qspan in 0i64..8, seed in any::<u64>()) {
+            let qhi = (qlo + qspan).min(15);
+            let s = schema();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rec = record(age, "f", "flu");
+            let q = Query::new().range("age", qlo, qhi);
+            // only test ranges the scheme can express
+            if let Ok(conv) = q.convert(&s) {
+                let x = psi(&s, &s.convert_record(&rec).unwrap());
+                let v = phi(&s, &conv, &mut rng);
+                let plain = q.matches_record(&s, &rec).unwrap();
+                prop_assert_eq!(inner_product(&x, &v).is_zero(), plain);
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! The APKS error type.
+
+use core::fmt;
+
+/// Errors surfaced by the APKS layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApksError {
+    /// A schema was internally inconsistent (duplicate field names, zero
+    /// degree, empty hierarchy, …).
+    InvalidSchema(String),
+    /// A record did not match the schema (wrong arity or value kind).
+    InvalidRecord(String),
+    /// A query referenced an unknown field.
+    UnknownField(String),
+    /// A query term was not expressible under the schema (range not a
+    /// union of ≤ d same-level simple ranges, too many OR terms, …).
+    UnsupportedQuery(String),
+    /// The query violates the active [`crate::QueryPolicy`].
+    PolicyViolation(String),
+    /// A value failed hierarchy lookup (e.g. out-of-range number).
+    ValueNotInHierarchy(String),
+    /// Query text failed to parse.
+    Parse(String),
+    /// An error bubbled up from the HPE layer.
+    Hpe(apks_hpe::HpeError),
+    /// A capability cannot be delegated (it was finalized).
+    NotDelegatable,
+}
+
+impl fmt::Display for ApksError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApksError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
+            ApksError::InvalidRecord(m) => write!(f, "invalid record: {m}"),
+            ApksError::UnknownField(name) => write!(f, "unknown field: {name}"),
+            ApksError::UnsupportedQuery(m) => write!(f, "unsupported query: {m}"),
+            ApksError::PolicyViolation(m) => write!(f, "policy violation: {m}"),
+            ApksError::ValueNotInHierarchy(m) => write!(f, "value not in hierarchy: {m}"),
+            ApksError::Parse(m) => write!(f, "query parse error: {m}"),
+            ApksError::Hpe(e) => write!(f, "hpe error: {e}"),
+            ApksError::NotDelegatable => write!(f, "capability was finalized"),
+        }
+    }
+}
+
+impl std::error::Error for ApksError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ApksError::Hpe(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<apks_hpe::HpeError> for ApksError {
+    fn from(e: apks_hpe::HpeError) -> Self {
+        ApksError::Hpe(e)
+    }
+}

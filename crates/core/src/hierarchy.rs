@@ -1,0 +1,400 @@
+//! Attribute hierarchies (§IV-C, Fig. 3 of the paper).
+//!
+//! A hierarchy over a field is a balanced tree in which every internal node
+//! represents the union of its children: intervals for numeric fields
+//! ("0-100" → "0-30" → "0-10"), *semantic containment* for categorical
+//! fields ("MA" ⊐ "East MA" ⊐ "Boston"). A node at level `l` is a
+//! *level-`l` simple range*; a range query selects up to `d` simple ranges
+//! from one level, turning an `O(N)`-term OR into a handful of equality
+//! terms.
+//!
+//! Every leaf sits at the same depth, so each field value has a well-defined
+//! *path* `P(z)` from root to leaf — the per-level entries of the expanded
+//! index (Fig. 4(a)).
+
+use crate::error::ApksError;
+use core::fmt;
+
+/// One node of a hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// The node's keyword label (hashed into the index/query).
+    pub label: String,
+    /// Closed interval covered by this node, for numeric hierarchies.
+    pub interval: Option<(i64, i64)>,
+    /// Children (empty for leaves).
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    /// A semantic (label-only) node.
+    pub fn semantic(label: impl Into<String>, children: Vec<Node>) -> Node {
+        Node {
+            label: label.into(),
+            interval: None,
+            children,
+        }
+    }
+
+    /// A semantic leaf.
+    pub fn leaf(label: impl Into<String>) -> Node {
+        Node::semantic(label, Vec::new())
+    }
+
+    fn contains_num(&self, v: i64) -> bool {
+        self.interval.is_some_and(|(lo, hi)| lo <= v && v <= hi)
+    }
+}
+
+/// A balanced attribute hierarchy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hierarchy {
+    root: Node,
+    depth: usize,
+}
+
+impl Hierarchy {
+    /// Builds a balanced numeric hierarchy over the closed interval
+    /// `[lo, hi]` with the given branching factor: leaves are the single
+    /// values, each upper level groups `branching` consecutive nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `branching < 2`.
+    pub fn numeric(lo: i64, hi: i64, branching: usize) -> Hierarchy {
+        assert!(lo <= hi, "empty interval");
+        assert!(branching >= 2, "branching factor must be at least 2");
+        // bottom level: singletons
+        let mut level: Vec<Node> = (lo..=hi)
+            .map(|v| Node {
+                label: v.to_string(),
+                interval: Some((v, v)),
+                children: Vec::new(),
+            })
+            .collect();
+        while level.len() > 1 {
+            let mut upper = Vec::with_capacity(level.len().div_ceil(branching));
+            for chunk in level.chunks(branching) {
+                let lo = chunk.first().unwrap().interval.unwrap().0;
+                let hi = chunk.last().unwrap().interval.unwrap().1;
+                upper.push(Node {
+                    label: format!("{lo}-{hi}"),
+                    interval: Some((lo, hi)),
+                    children: chunk.to_vec(),
+                });
+            }
+            level = upper;
+        }
+        let root = level.pop().unwrap();
+        let depth = Self::measure_depth(&root);
+        Hierarchy { root, depth }
+    }
+
+    /// Builds a semantic hierarchy from an explicit tree.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless all leaves are at the same depth and labels within
+    /// each level are unique.
+    pub fn semantic(root: Node) -> Result<Hierarchy, ApksError> {
+        let mut depths = Vec::new();
+        collect_leaf_depths(&root, 1, &mut depths);
+        let Some(&d) = depths.first() else {
+            return Err(ApksError::InvalidSchema("empty hierarchy".into()));
+        };
+        if depths.iter().any(|&x| x != d) {
+            return Err(ApksError::InvalidSchema(
+                "hierarchy is unbalanced (leaves at differing depths)".into(),
+            ));
+        }
+        let h = Hierarchy { root, depth: d };
+        for l in 0..d {
+            let labels: Vec<&str> = h.level_nodes(l).iter().map(|n| n.label.as_str()).collect();
+            let mut sorted = labels.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != labels.len() {
+                return Err(ApksError::InvalidSchema(format!(
+                    "duplicate label at hierarchy level {l}"
+                )));
+            }
+        }
+        Ok(h)
+    }
+
+    fn measure_depth(root: &Node) -> usize {
+        let mut d = 1;
+        let mut cur = root;
+        while let Some(first) = cur.children.first() {
+            d += 1;
+            cur = first;
+        }
+        d
+    }
+
+    /// Number of levels (the paper's *expansion factor* `k`).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// All nodes at level `l` (level 0 = root), left to right.
+    pub fn level_nodes(&self, l: usize) -> Vec<&Node> {
+        let mut cur = vec![&self.root];
+        for _ in 0..l {
+            cur = cur.iter().flat_map(|n| n.children.iter()).collect();
+        }
+        cur
+    }
+
+    /// The root-to-leaf path for a numeric value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the value lies outside the hierarchy.
+    pub fn path_for_num(&self, v: i64) -> Result<Vec<&Node>, ApksError> {
+        if !self.root.contains_num(v) {
+            return Err(ApksError::ValueNotInHierarchy(format!(
+                "{v} outside {}",
+                self.root.label
+            )));
+        }
+        let mut path = vec![&self.root];
+        let mut cur = &self.root;
+        while !cur.children.is_empty() {
+            cur = cur
+                .children
+                .iter()
+                .find(|c| c.contains_num(v))
+                .ok_or_else(|| {
+                    ApksError::ValueNotInHierarchy(format!("{v} fell into a gap"))
+                })?;
+            path.push(cur);
+        }
+        Ok(path)
+    }
+
+    /// The root-to-leaf path for a leaf label (semantic hierarchies).
+    ///
+    /// # Errors
+    ///
+    /// Fails if no leaf carries the label.
+    pub fn path_for_label(&self, label: &str) -> Result<Vec<&Node>, ApksError> {
+        fn dfs<'a>(node: &'a Node, label: &str, path: &mut Vec<&'a Node>) -> bool {
+            path.push(node);
+            if node.children.is_empty() && node.label == label {
+                return true;
+            }
+            for c in &node.children {
+                if dfs(c, label, path) {
+                    return true;
+                }
+            }
+            path.pop();
+            false
+        }
+        let mut path = Vec::new();
+        if dfs(&self.root, label, &mut path) {
+            Ok(path)
+        } else {
+            Err(ApksError::ValueNotInHierarchy(format!(
+                "no leaf labelled {label:?}"
+            )))
+        }
+    }
+
+    /// Finds any node (internal or leaf) with the given label; returns
+    /// `(level, node)`.
+    pub fn locate(&self, label: &str) -> Option<(usize, &Node)> {
+        for l in 0..self.depth {
+            if let Some(n) = self.level_nodes(l).into_iter().find(|n| n.label == label) {
+                return Some((l, n));
+            }
+        }
+        None
+    }
+
+    /// Expresses the closed numeric range `[s, t]` as at most `max_nodes`
+    /// *simple ranges of a single level* (the paper's query class).
+    ///
+    /// Levels are scanned root-down; among levels whose nodes cover
+    /// `[s, t]` exactly, the one needing fewest nodes wins.
+    ///
+    /// # Errors
+    ///
+    /// Fails when no level covers the range exactly within the budget —
+    /// such ranges are outside the supported query class (§IV-C: "we only
+    /// consider the class of range queries containing simple ranges from
+    /// one specific level").
+    pub fn cover_range(
+        &self,
+        s: i64,
+        t: i64,
+        max_nodes: usize,
+    ) -> Result<(usize, Vec<&Node>), ApksError> {
+        if s > t {
+            return Err(ApksError::UnsupportedQuery(format!("empty range [{s}, {t}]")));
+        }
+        let mut best: Option<(usize, Vec<&Node>)> = None;
+        for l in 0..self.depth {
+            let nodes: Vec<&Node> = self
+                .level_nodes(l)
+                .into_iter()
+                .filter(|n| {
+                    n.interval
+                        .is_some_and(|(lo, hi)| hi >= s && lo <= t)
+                })
+                .collect();
+            if nodes.is_empty() {
+                continue;
+            }
+            let lo = nodes.first().unwrap().interval.unwrap().0;
+            let hi = nodes.last().unwrap().interval.unwrap().1;
+            if lo == s && hi == t && nodes.len() <= max_nodes {
+                match &best {
+                    Some((_, b)) if b.len() <= nodes.len() => {}
+                    _ => best = Some((l, nodes)),
+                }
+            }
+        }
+        best.ok_or_else(|| {
+            ApksError::UnsupportedQuery(format!(
+                "[{s}, {t}] is not a union of ≤ {max_nodes} same-level simple ranges"
+            ))
+        })
+    }
+}
+
+impl fmt::Display for Hierarchy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hierarchy({}, depth {})", self.root.label, self.depth)
+    }
+}
+
+fn collect_leaf_depths(node: &Node, depth: usize, out: &mut Vec<usize>) {
+    if node.children.is_empty() {
+        out.push(depth);
+    } else {
+        for c in &node.children {
+            collect_leaf_depths(c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region_hierarchy() -> Hierarchy {
+        Hierarchy::semantic(Node::semantic(
+            "MA",
+            vec![
+                Node::semantic(
+                    "East MA",
+                    vec![Node::leaf("Boston"), Node::leaf("Cambridge")],
+                ),
+                Node::semantic(
+                    "West MA",
+                    vec![Node::leaf("Worcester"), Node::leaf("Springfield")],
+                ),
+            ],
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn numeric_structure() {
+        let h = Hierarchy::numeric(0, 15, 4);
+        assert_eq!(h.depth(), 3); // 16 → 4 → 1
+        assert_eq!(h.level_nodes(0).len(), 1);
+        assert_eq!(h.level_nodes(1).len(), 4);
+        assert_eq!(h.level_nodes(2).len(), 16);
+        assert_eq!(h.root().label, "0-15");
+    }
+
+    #[test]
+    fn numeric_path() {
+        let h = Hierarchy::numeric(0, 15, 4);
+        let path = h.path_for_num(6).unwrap();
+        let labels: Vec<&str> = path.iter().map(|n| n.label.as_str()).collect();
+        assert_eq!(labels, vec!["0-15", "4-7", "6"]);
+        assert!(h.path_for_num(16).is_err());
+        assert!(h.path_for_num(-1).is_err());
+    }
+
+    #[test]
+    fn semantic_path_and_locate() {
+        let h = region_hierarchy();
+        assert_eq!(h.depth(), 3);
+        let path = h.path_for_label("Worcester").unwrap();
+        let labels: Vec<&str> = path.iter().map(|n| n.label.as_str()).collect();
+        assert_eq!(labels, vec!["MA", "West MA", "Worcester"]);
+        let (level, node) = h.locate("East MA").unwrap();
+        assert_eq!(level, 1);
+        assert_eq!(node.label, "East MA");
+        assert!(h.locate("NYC").is_none());
+        assert!(h.path_for_label("East MA").is_err()); // not a leaf
+    }
+
+    #[test]
+    fn unbalanced_semantic_rejected() {
+        let bad = Node::semantic(
+            "root",
+            vec![Node::leaf("a"), Node::semantic("b", vec![Node::leaf("c")])],
+        );
+        assert!(matches!(
+            Hierarchy::semantic(bad),
+            Err(ApksError::InvalidSchema(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let bad = Node::semantic("root", vec![Node::leaf("x"), Node::leaf("x")]);
+        assert!(Hierarchy::semantic(bad).is_err());
+    }
+
+    #[test]
+    fn cover_range_exact_levels() {
+        let h = Hierarchy::numeric(0, 15, 4);
+        // whole tree: root alone
+        let (l, nodes) = h.cover_range(0, 15, 5).unwrap();
+        assert_eq!((l, nodes.len()), (0, 1));
+        // one level-1 block
+        let (l, nodes) = h.cover_range(4, 7, 5).unwrap();
+        assert_eq!((l, nodes.len()), (1, 1));
+        assert_eq!(nodes[0].label, "4-7");
+        // two level-1 blocks
+        let (l, nodes) = h.cover_range(4, 11, 5).unwrap();
+        assert_eq!((l, nodes.len()), (1, 2));
+        // misaligned range needs leaves
+        let (l, nodes) = h.cover_range(5, 6, 5).unwrap();
+        assert_eq!((l, nodes.len()), (2, 2));
+        // misaligned and too wide for the budget
+        assert!(h.cover_range(1, 14, 5).is_err());
+    }
+
+    #[test]
+    fn cover_range_respects_budget() {
+        let h = Hierarchy::numeric(0, 15, 4);
+        // [0,7] = 2 level-1 nodes; with budget 1 it's inexpressible
+        assert!(h.cover_range(0, 7, 1).is_err());
+        let (l, nodes) = h.cover_range(0, 7, 2).unwrap();
+        assert_eq!((l, nodes.len()), (1, 2));
+    }
+
+    #[test]
+    fn numeric_non_power_sizes() {
+        let h = Hierarchy::numeric(1, 10, 3); // 10 values, branching 3
+        assert!(h.depth() >= 3);
+        for v in 1..=10 {
+            let p = h.path_for_num(v).unwrap();
+            assert_eq!(p.len(), h.depth());
+            assert_eq!(p.last().unwrap().label, v.to_string());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Field values and their mapping into `F_q` keywords.
+//!
+//! Every attribute value — a number, a category label, a hierarchy node —
+//! becomes a *keyword* in `F_q` via a domain-separated hash, exactly as the
+//! paper maps keywords with `H : {0,1}* → F_q` (§II-D). The domain string
+//! binds the field name and sub-field level, so "Boston" under `region`
+//! can never collide with "Boston" under `provider`.
+
+use apks_math::hash::hash_to_fr;
+use apks_math::Fr;
+use core::fmt;
+
+/// A plaintext value of one index field.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FieldValue {
+    /// A numeric value (ages, lab values, day indexes, …).
+    Num(i64),
+    /// A categorical value ("female", "diabetes", "Hospital A", …).
+    Text(String),
+}
+
+impl FieldValue {
+    /// Shorthand numeric constructor.
+    pub fn num(v: i64) -> FieldValue {
+        FieldValue::Num(v)
+    }
+
+    /// Shorthand text constructor.
+    pub fn text(s: impl Into<String>) -> FieldValue {
+        FieldValue::Text(s.into())
+    }
+
+    /// The canonical label used for hashing and hierarchy lookup.
+    pub fn label(&self) -> String {
+        match self {
+            FieldValue::Num(v) => v.to_string(),
+            FieldValue::Text(s) => s.clone(),
+        }
+    }
+
+    /// The numeric payload, if any.
+    pub fn as_num(&self) -> Option<i64> {
+        match self {
+            FieldValue::Num(v) => Some(*v),
+            FieldValue::Text(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Num(v) => write!(f, "{v}"),
+            FieldValue::Text(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::Num(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(s: &str) -> Self {
+        FieldValue::Text(s.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(s: String) -> Self {
+        FieldValue::Text(s)
+    }
+}
+
+/// Hashes a keyword (node label) for a given field and sub-field level
+/// into `F_q`.
+pub fn keyword(field: &str, level: usize, label: &str) -> Fr {
+    let domain = format!("apks:kw:{field}:{level}");
+    hash_to_fr(&domain, label.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_domain_separation() {
+        let a = keyword("region", 0, "Boston");
+        let b = keyword("provider", 0, "Boston");
+        let c = keyword("region", 1, "Boston");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, keyword("region", 0, "Boston"));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FieldValue::num(25).label(), "25");
+        assert_eq!(FieldValue::text("flu").label(), "flu");
+        assert_eq!(FieldValue::from(-3).label(), "-3");
+    }
+}

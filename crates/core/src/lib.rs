@@ -1,0 +1,76 @@
+//! **APKS** — Authorized Private Keyword Search over encrypted data.
+//!
+//! This crate is the paper's primary contribution: a searchable-encryption
+//! layer in which
+//!
+//! * data owners publish *encrypted multi-dimensional keyword indexes*
+//!   ([`ApksSystem::gen_index`]),
+//! * authorities issue *search capabilities* for multi-dimensional queries
+//!   with equality, subset and simple-range terms
+//!   ([`ApksSystem::gen_cap`]),
+//! * capabilities can be *delegated* — each delegation strictly restricts
+//!   the query ([`ApksSystem::delegate_cap`]),
+//! * the server evaluates a capability against an index learning only the
+//!   boolean outcome ([`ApksSystem::search`]).
+//!
+//! Range queries are made efficient with **attribute hierarchies**
+//! ([`Hierarchy`]): each hierarchical field is expanded into one sub-field
+//! per tree level, and a range query selects up to `d` *simple ranges*
+//! (nodes) from a single level — §IV-C of the paper.
+//!
+//! Revocation is expressed with a time attribute ([`revocation`]), and the
+//! statistical-attack countermeasure of §VI with a [`QueryPolicy`].
+//!
+//! The `plus` API variants implement **APKS⁺** (partial encryption +
+//! proxy transformation) for query privacy.
+//!
+//! # Example
+//!
+//! ```
+//! use apks_core::{ApksSystem, FieldValue, Hierarchy, Query, Record, Schema};
+//! use apks_curve::CurveParams;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let schema = Schema::builder()
+//!     .hierarchical_field("age", Hierarchy::numeric(0, 63, 4), 2)
+//!     .flat_field("sex", 1)
+//!     .build()?;
+//! let system = ApksSystem::new(CurveParams::fast(), schema);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let (pk, msk) = system.setup(&mut rng);
+//!
+//! let alice = Record::new(vec![FieldValue::num(25), FieldValue::text("female")]);
+//! let index = system.gen_index(&pk, &alice, &mut rng)?;
+//!
+//! let query = Query::parse("age in [16, 31] and sex = \"female\"")?;
+//! let policy = apks_core::QueryPolicy::default();
+//! let cap = system.gen_cap(&pk, &msk, &query, &policy, &mut rng)?;
+//! assert!(system.search(&pk, &cap, &index)?);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod encoding;
+pub mod error;
+pub mod hierarchy;
+pub mod keyword;
+pub mod parser;
+pub mod persist;
+pub mod policy;
+pub mod query;
+pub mod revocation;
+pub mod scheme;
+pub mod schema;
+
+pub use error::ApksError;
+pub use persist::SavedDeployment;
+pub use hierarchy::Hierarchy;
+pub use keyword::FieldValue;
+pub use policy::QueryPolicy;
+pub use query::{Condition, Query};
+pub use scheme::{
+    proxy_transform, ApksMasterKey, ApksPlusMasterKey, ApksPublicKey, ApksSystem, Capability,
+    EncryptedIndex,
+};
+pub use schema::{Record, Schema, SchemaBuilder};

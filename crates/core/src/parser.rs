@@ -1,0 +1,393 @@
+//! A small textual query language.
+//!
+//! Grammar (case-insensitive keywords, `and`-separated conjuncts):
+//!
+//! ```text
+//! query    := term ("and" term)*
+//! term     := range | between | equals | subset
+//! range    := "(" range ")" | number cmp ident cmp number   // 20 < age <= 30
+//! between  := ident "in" "[" number "," number "]"          // age in [20, 30]
+//! equals   := ident "=" value                               // sex = "female"
+//! subset   := ident "in" "{" value ("," value)* "}"         // region in {"a","b"}
+//! value    := string-literal | number | bare-ident
+//! ```
+//!
+//! Comparison operators `<` and `<=` are normalized to the closed ranges
+//! the scheme supports (`a < x` becomes `a+1 ≤ x`).
+
+use crate::error::ApksError;
+use crate::keyword::FieldValue;
+use crate::query::{Condition, Query};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(i64),
+    Le,
+    Lt,
+    Eq,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+    And,
+    In,
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, ApksError> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            '[' => {
+                chars.next();
+                out.push(Tok::LBracket);
+            }
+            ']' => {
+                chars.next();
+                out.push(Tok::RBracket);
+            }
+            '{' => {
+                chars.next();
+                out.push(Tok::LBrace);
+            }
+            '}' => {
+                chars.next();
+                out.push(Tok::RBrace);
+            }
+            ',' => {
+                chars.next();
+                out.push(Tok::Comma);
+            }
+            '=' => {
+                chars.next();
+                out.push(Tok::Eq);
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(Tok::Le);
+                } else {
+                    out.push(Tok::Lt);
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(ApksError::Parse("unterminated string".into())),
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            '-' | '0'..='9' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let v: i64 = s
+                    .parse()
+                    .map_err(|_| ApksError::Parse(format!("bad number {s:?}")))?;
+                out.push(Tok::Num(v));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '-' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match s.to_ascii_lowercase().as_str() {
+                    "and" => out.push(Tok::And),
+                    "in" => out.push(Tok::In),
+                    _ => out.push(Tok::Ident(s)),
+                }
+            }
+            other => {
+                return Err(ApksError::Parse(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok, ApksError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| ApksError::Parse("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ApksError> {
+        let got = self.next()?;
+        if &got == want {
+            Ok(())
+        } else {
+            Err(ApksError::Parse(format!("expected {want:?}, got {got:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<FieldValue, ApksError> {
+        match self.next()? {
+            Tok::Str(s) => Ok(FieldValue::Text(s)),
+            Tok::Num(v) => Ok(FieldValue::Num(v)),
+            Tok::Ident(s) => Ok(FieldValue::Text(s)),
+            other => Err(ApksError::Parse(format!("expected a value, got {other:?}"))),
+        }
+    }
+
+    fn term(&mut self) -> Result<Condition, ApksError> {
+        if self.peek() == Some(&Tok::LParen) {
+            self.next()?;
+            let t = self.term()?;
+            self.expect(&Tok::RParen)?;
+            return Ok(t);
+        }
+        match self.next()? {
+            // number cmp ident cmp number
+            Tok::Num(lo) => {
+                let lo_strict = match self.next()? {
+                    Tok::Le => false,
+                    Tok::Lt => true,
+                    other => {
+                        return Err(ApksError::Parse(format!(
+                            "expected < or <= after number, got {other:?}"
+                        )))
+                    }
+                };
+                let field = match self.next()? {
+                    Tok::Ident(f) => f,
+                    other => {
+                        return Err(ApksError::Parse(format!(
+                            "expected field name, got {other:?}"
+                        )))
+                    }
+                };
+                let hi_strict = match self.next()? {
+                    Tok::Le => false,
+                    Tok::Lt => true,
+                    other => {
+                        return Err(ApksError::Parse(format!(
+                            "expected < or <= after field, got {other:?}"
+                        )))
+                    }
+                };
+                let hi = match self.next()? {
+                    Tok::Num(v) => v,
+                    other => {
+                        return Err(ApksError::Parse(format!(
+                            "expected upper bound, got {other:?}"
+                        )))
+                    }
+                };
+                Ok(Condition::Range {
+                    field,
+                    lo: if lo_strict { lo + 1 } else { lo },
+                    hi: if hi_strict { hi - 1 } else { hi },
+                })
+            }
+            Tok::Ident(field) => match self.next()? {
+                Tok::Eq => Ok(Condition::Equals {
+                    field,
+                    value: self.value()?,
+                }),
+                Tok::In => match self.next()? {
+                    Tok::LBracket => {
+                        let lo = match self.next()? {
+                            Tok::Num(v) => v,
+                            other => {
+                                return Err(ApksError::Parse(format!(
+                                    "expected number, got {other:?}"
+                                )))
+                            }
+                        };
+                        self.expect(&Tok::Comma)?;
+                        let hi = match self.next()? {
+                            Tok::Num(v) => v,
+                            other => {
+                                return Err(ApksError::Parse(format!(
+                                    "expected number, got {other:?}"
+                                )))
+                            }
+                        };
+                        self.expect(&Tok::RBracket)?;
+                        Ok(Condition::Range { field, lo, hi })
+                    }
+                    Tok::LBrace => {
+                        let mut values = vec![self.value()?];
+                        while self.peek() == Some(&Tok::Comma) {
+                            self.next()?;
+                            values.push(self.value()?);
+                        }
+                        self.expect(&Tok::RBrace)?;
+                        Ok(Condition::OneOf { field, values })
+                    }
+                    other => Err(ApksError::Parse(format!(
+                        "expected [ or {{ after 'in', got {other:?}"
+                    ))),
+                },
+                other => Err(ApksError::Parse(format!(
+                    "expected = or 'in' after field, got {other:?}"
+                ))),
+            },
+            other => Err(ApksError::Parse(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// Parses the query language into a [`Query`].
+///
+/// # Errors
+///
+/// Returns [`ApksError::Parse`] with a description of the offending token.
+pub fn parse_query(text: &str) -> Result<Query, ApksError> {
+    let toks = lex(text)?;
+    if toks.is_empty() {
+        return Err(ApksError::Parse("empty query".into()));
+    }
+    let mut p = Parser { toks, pos: 0 };
+    let mut conditions = vec![p.term()?];
+    while p.peek() == Some(&Tok::And) {
+        p.next()?;
+        conditions.push(p.term()?);
+    }
+    if p.pos != p.toks.len() {
+        return Err(ApksError::Parse(format!(
+            "trailing tokens starting at {:?}",
+            p.toks[p.pos]
+        )));
+    }
+    Ok(Query { conditions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example() {
+        // the query from the paper's introduction
+        let q = parse_query(
+            "(20 < age < 30) and sex = \"female\" and illness = \"diabetes\"",
+        )
+        .unwrap();
+        assert_eq!(q.conditions.len(), 3);
+        assert_eq!(
+            q.conditions[0],
+            Condition::Range {
+                field: "age".into(),
+                lo: 21,
+                hi: 29
+            }
+        );
+        assert_eq!(
+            q.conditions[1],
+            Condition::Equals {
+                field: "sex".into(),
+                value: FieldValue::text("female")
+            }
+        );
+    }
+
+    #[test]
+    fn parses_inclusive_range_forms() {
+        let a = parse_query("30 <= age <= 60").unwrap();
+        let b = parse_query("age in [30, 60]").unwrap();
+        assert_eq!(a.conditions, b.conditions);
+    }
+
+    #[test]
+    fn parses_subset() {
+        let q = parse_query("region in {\"Boston\", \"Worcester\"}").unwrap();
+        assert_eq!(
+            q.conditions[0],
+            Condition::OneOf {
+                field: "region".into(),
+                values: vec![FieldValue::text("Boston"), FieldValue::text("Worcester")],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_bare_idents_and_numbers_as_values() {
+        let q = parse_query("sex = male and age = 25").unwrap();
+        assert_eq!(
+            q.conditions[1],
+            Condition::Equals {
+                field: "age".into(),
+                value: FieldValue::num(25)
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "and",
+            "age >",
+            "age in [1 2]",
+            "region in {",
+            "sex = \"unterminated",
+            "20 < age",
+            "age = 5 garbage",
+        ] {
+            assert!(parse_query(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let q = parse_query("temp in [-10, 5]").unwrap();
+        assert_eq!(
+            q.conditions[0],
+            Condition::Range {
+                field: "temp".into(),
+                lo: -10,
+                hi: 5
+            }
+        );
+    }
+}

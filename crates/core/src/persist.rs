@@ -1,0 +1,410 @@
+//! Persistence — saving and loading a deployment.
+//!
+//! A real multi-owner deployment needs its schema, public key and (at the
+//! TA) master key to survive process restarts and to travel between the
+//! TA, owners, users and the server. This module provides a canonical
+//! binary format for all of them, bundled as a [`SavedDeployment`]:
+//!
+//! ```text
+//! magic "APKS" | version | curve label | schema | pk | optional msk(+r)
+//! ```
+//!
+//! Loading re-derives the [`crate::ApksSystem`] (and re-checks the schema
+//! digest), so decoded objects interoperate with freshly created ones.
+
+use crate::error::ApksError;
+use crate::hierarchy::{Hierarchy, Node};
+use crate::scheme::{ApksMasterKey, ApksPlusMasterKey, ApksPublicKey, ApksSystem};
+use crate::schema::{Field, FieldKind, Schema};
+use apks_curve::CurveParams;
+use apks_hpe::{HpeMasterKey, HpePublicKey};
+use apks_math::encode::{DecodeError, Reader, Writer};
+use apks_math::Fr;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"APKS";
+const VERSION: u8 = 1;
+
+/// Encodes a hierarchy node recursively.
+fn encode_node(node: &Node, w: &mut Writer) {
+    w.string(&node.label);
+    match node.interval {
+        Some((lo, hi)) => {
+            w.u8(1);
+            w.u64(lo as u64);
+            w.u64(hi as u64);
+        }
+        None => {
+            w.u8(0);
+        }
+    }
+    w.u32(node.children.len() as u32);
+    for c in &node.children {
+        encode_node(c, w);
+    }
+}
+
+fn decode_node(r: &mut Reader<'_>, depth: usize) -> Result<Node, DecodeError> {
+    if depth > 64 {
+        return Err(DecodeError::Invalid("hierarchy too deep"));
+    }
+    let label = r.string()?;
+    let interval = match r.u8()? {
+        0 => None,
+        1 => {
+            let lo = r.u64()? as i64;
+            let hi = r.u64()? as i64;
+            Some((lo, hi))
+        }
+        _ => return Err(DecodeError::Invalid("interval tag")),
+    };
+    let count = r.u32()? as usize;
+    if count > 1 << 20 {
+        return Err(DecodeError::Invalid("oversized hierarchy node"));
+    }
+    let mut children = Vec::with_capacity(count);
+    for _ in 0..count {
+        children.push(decode_node(r, depth + 1)?);
+    }
+    Ok(Node {
+        label,
+        interval,
+        children,
+    })
+}
+
+/// Encodes a schema.
+pub fn encode_schema(schema: &Schema, w: &mut Writer) {
+    w.u32(schema.fields().len() as u32);
+    for f in schema.fields() {
+        w.string(&f.name);
+        w.u32(f.max_or_terms as u32);
+        match &f.kind {
+            FieldKind::Flat => {
+                w.u8(0);
+            }
+            FieldKind::Hierarchical(h) => {
+                w.u8(1);
+                encode_node(h.root(), w);
+            }
+        }
+    }
+}
+
+/// Decodes a schema (re-validating every hierarchy).
+///
+/// # Errors
+///
+/// Returns an error on malformed bytes or an invalid schema.
+pub fn decode_schema(r: &mut Reader<'_>) -> Result<Arc<Schema>, DecodeError> {
+    let count = r.u32()? as usize;
+    let mut builder = Schema::builder();
+    for _ in 0..count {
+        let name = r.string()?;
+        let d = r.u32()? as usize;
+        match r.u8()? {
+            0 => {
+                builder = builder.flat_field(name, d);
+            }
+            1 => {
+                let root = decode_node(r, 0)?;
+                let h = Hierarchy::semantic(root)
+                    .map_err(|_| DecodeError::Invalid("unbalanced hierarchy"))?;
+                builder = builder.hierarchical_field(name, h, d);
+            }
+            _ => return Err(DecodeError::Invalid("field kind tag")),
+        }
+    }
+    builder
+        .build()
+        .map_err(|_| DecodeError::Invalid("schema validation"))
+}
+
+/// A deployment bundle: everything needed to reconstruct an
+/// [`ApksSystem`] plus its keys.
+#[derive(Clone, Debug)]
+pub struct SavedDeployment {
+    /// Curve parameter label (`"standard-512"` or `"fast-192"`).
+    pub curve_label: String,
+    /// The index schema.
+    pub schema: Arc<Schema>,
+    /// The public key.
+    pub pk: ApksPublicKey,
+    /// The master key, if this bundle belongs to the TA.
+    pub msk: Option<ApksMasterKey>,
+    /// The APKS⁺ blinding secret, if this is a query-private deployment.
+    pub blinding: Option<Fr>,
+}
+
+impl SavedDeployment {
+    /// Serializes the bundle.
+    pub fn to_bytes(&self, params: &CurveParams) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u8(VERSION);
+        w.string(&self.curve_label);
+        encode_schema(&self.schema, &mut w);
+        self.pk.hpe.encode(params, &mut w);
+        match &self.msk {
+            Some(msk) => {
+                w.u8(1);
+                msk.hpe.encode(params, &mut w);
+            }
+            None => {
+                w.u8(0);
+            }
+        }
+        match &self.blinding {
+            Some(r) => {
+                w.u8(1);
+                w.bytes(&r.to_bytes());
+            }
+            None => {
+                w.u8(0);
+            }
+        }
+        w.finish()
+    }
+
+    /// Deserializes a bundle and reconstructs the system.
+    ///
+    /// The curve parameters are resolved from the recorded label.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed bytes, unknown curve labels, or version
+    /// mismatches.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(ApksSystem, SavedDeployment), ApksError> {
+        let mut r = Reader::new(bytes);
+        let mut parse = || -> Result<(ApksSystem, SavedDeployment), DecodeError> {
+            let magic = r.bytes(4)?;
+            if magic != MAGIC {
+                return Err(DecodeError::Invalid("magic"));
+            }
+            if r.u8()? != VERSION {
+                return Err(DecodeError::Invalid("version"));
+            }
+            let curve_label = r.string()?;
+            let params = match curve_label.as_str() {
+                "standard-512" => CurveParams::standard(),
+                "fast-192" => CurveParams::fast(),
+                _ => return Err(DecodeError::Invalid("unknown curve label")),
+            };
+            let schema = decode_schema(&mut r)?;
+            let system = ApksSystem::new(params.clone(), schema.clone());
+            let hpe_pk = HpePublicKey::decode(&params, &mut r)?;
+            if hpe_pk.n != schema.n() {
+                return Err(DecodeError::Invalid("public key dimension"));
+            }
+            let pk = system.public_key_from_parts(hpe_pk);
+            let msk = match r.u8()? {
+                0 => None,
+                1 => {
+                    let hpe = HpeMasterKey::decode(&params, &mut r)?;
+                    if hpe.b_star.dim() != schema.n() + 3 {
+                        return Err(DecodeError::Invalid("master key dimension"));
+                    }
+                    Some(ApksMasterKey { hpe })
+                }
+                _ => return Err(DecodeError::Invalid("msk tag")),
+            };
+            let blinding = match r.u8()? {
+                0 => None,
+                1 => {
+                    let b: [u8; 32] = r
+                        .bytes(32)?
+                        .try_into()
+                        .map_err(|_| DecodeError::UnexpectedEnd)?;
+                    Some(Fr::from_bytes(&b).ok_or(DecodeError::Invalid("blinding"))?)
+                }
+                _ => return Err(DecodeError::Invalid("blinding tag")),
+            };
+            r.finish()?;
+            Ok((
+                system,
+                SavedDeployment {
+                    curve_label,
+                    schema,
+                    pk,
+                    msk,
+                    blinding,
+                },
+            ))
+        };
+        parse().map_err(|e| ApksError::InvalidRecord(format!("deployment decode: {e}")))
+    }
+
+    /// Builds a bundle from a plain deployment.
+    pub fn new(
+        system: &ApksSystem,
+        pk: &ApksPublicKey,
+        msk: Option<&ApksMasterKey>,
+    ) -> SavedDeployment {
+        SavedDeployment {
+            curve_label: system.params().label().to_string(),
+            schema: system.schema().clone(),
+            pk: pk.clone(),
+            msk: msk.cloned(),
+            blinding: None,
+        }
+    }
+
+    /// Builds a bundle from an APKS⁺ deployment (records the blinding so
+    /// proxies can be re-provisioned).
+    pub fn new_plus(
+        system: &ApksSystem,
+        pk: &ApksPublicKey,
+        mk: &ApksPlusMasterKey,
+    ) -> SavedDeployment {
+        SavedDeployment {
+            curve_label: system.params().label().to_string(),
+            schema: system.schema().clone(),
+            pk: pk.clone(),
+            msk: Some(mk.inner.clone()),
+            blinding: Some(mk.blinding),
+        }
+    }
+
+    /// Reassembles the APKS⁺ master key, if this bundle holds one.
+    pub fn plus_master_key(&self) -> Option<ApksPlusMasterKey> {
+        match (&self.msk, &self.blinding) {
+            (Some(msk), Some(blinding)) => Some(ApksPlusMasterKey {
+                inner: msk.clone(),
+                blinding: *blinding,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Convenience: field accessors used by the CLI's schema printer.
+pub fn describe_schema(schema: &Schema) -> Vec<String> {
+    schema
+        .fields()
+        .iter()
+        .map(|f: &Field| match &f.kind {
+            FieldKind::Flat => format!("{} (flat, d={})", f.name, f.max_or_terms),
+            FieldKind::Hierarchical(h) => format!(
+                "{} (hierarchical, depth={}, d={})",
+                f.name,
+                h.depth(),
+                f.max_or_terms
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keyword::FieldValue;
+    use crate::policy::QueryPolicy;
+    use crate::query::Query;
+    use crate::schema::Record;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_schema() -> Arc<Schema> {
+        Schema::builder()
+            .hierarchical_field("age", Hierarchy::numeric(0, 15, 4), 2)
+            .flat_field("sex", 1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let schema = sample_schema();
+        let mut w = Writer::new();
+        encode_schema(&schema, &mut w);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        let back = decode_schema(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(*back, *schema);
+    }
+
+    #[test]
+    fn deployment_roundtrip_interoperates() {
+        let params = CurveParams::fast();
+        let system = ApksSystem::new(params.clone(), sample_schema());
+        let mut rng = StdRng::seed_from_u64(1600);
+        let (pk, msk) = system.setup(&mut rng);
+
+        // owner encrypts under the original deployment
+        let rec = Record::new(vec![FieldValue::num(6), FieldValue::text("female")]);
+        let idx = system.gen_index(&pk, &rec, &mut rng).unwrap();
+
+        // save + load
+        let saved = SavedDeployment::new(&system, &pk, Some(&msk));
+        let bytes = saved.to_bytes(&params);
+        let (system2, loaded) = SavedDeployment::from_bytes(&bytes).unwrap();
+        let msk2 = loaded.msk.clone().unwrap();
+
+        // the reloaded TA can authorize searches over the old index
+        let q = Query::new().range("age", 4, 7).equals("sex", "female");
+        let cap = system2
+            .gen_cap(&loaded.pk, &msk2, &q, &QueryPolicy::default(), &mut rng)
+            .unwrap();
+        assert!(system2.search(&loaded.pk, &cap, &idx).unwrap());
+    }
+
+    #[test]
+    fn plus_deployment_roundtrip() {
+        let params = CurveParams::fast();
+        let system = ApksSystem::new(params.clone(), sample_schema());
+        let mut rng = StdRng::seed_from_u64(1601);
+        let (pk, mk) = system.setup_plus(&mut rng);
+        let saved = SavedDeployment::new_plus(&system, &pk, &mk);
+        let bytes = saved.to_bytes(&params);
+        let (system2, loaded) = SavedDeployment::from_bytes(&bytes).unwrap();
+        let mk2 = loaded.plus_master_key().unwrap();
+        assert_eq!(mk2.blinding, mk.blinding);
+
+        // full APKS⁺ flow with the reloaded keys
+        let rec = Record::new(vec![FieldValue::num(3), FieldValue::text("male")]);
+        let partial = system2.gen_partial_index(&loaded.pk, &rec, &mut rng).unwrap();
+        let share = apks_hpe::ProxyTransformKey {
+            r_inv: mk2.blinding.inv().unwrap(),
+        };
+        let full = crate::scheme::proxy_transform(&system2, &share, &partial);
+        let cap = system2
+            .gen_cap(
+                &loaded.pk,
+                &mk2.inner,
+                &Query::new().equals("sex", "male"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        assert!(system2.search(&loaded.pk, &cap, &full).unwrap());
+    }
+
+    #[test]
+    fn corrupted_bundles_rejected() {
+        let params = CurveParams::fast();
+        let system = ApksSystem::new(params.clone(), sample_schema());
+        let mut rng = StdRng::seed_from_u64(1602);
+        let (pk, _) = system.setup(&mut rng);
+        let bytes = SavedDeployment::new(&system, &pk, None).to_bytes(&params);
+
+        // bad magic
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(SavedDeployment::from_bytes(&bad).is_err());
+        // truncation
+        assert!(SavedDeployment::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        // trailing garbage
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(SavedDeployment::from_bytes(&long).is_err());
+    }
+
+    #[test]
+    fn describe_schema_lists_fields() {
+        let lines = describe_schema(&sample_schema());
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("hierarchical"));
+        assert!(lines[1].contains("flat"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Query policies — the statistical-attack countermeasure of §VI.
+//!
+//! With background knowledge of keyword frequencies, a curious server can
+//! guess the keywords behind a capability from its match *rate*. The
+//! paper's countermeasure is to require every authorized query to
+//! constrain at least a minimum number of dimensions, diluting per-keyword
+//! frequency signals. [`QueryPolicy`] encodes that requirement (and a cap
+//! on total OR terms, which bounds the information a single capability
+//! can sweep).
+
+use crate::error::ApksError;
+use crate::query::ConvertedQuery;
+
+/// Authority-side constraints a query must meet before a capability is
+/// issued.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryPolicy {
+    /// Minimum number of constrained dimensions (§VI: "require each query
+    /// must contain no less than a certain number of dimensions").
+    pub min_dimensions: usize,
+    /// Maximum total OR terms across all dimensions (0 = unlimited).
+    pub max_total_or_terms: usize,
+}
+
+impl Default for QueryPolicy {
+    fn default() -> Self {
+        QueryPolicy {
+            min_dimensions: 1,
+            max_total_or_terms: 0,
+        }
+    }
+}
+
+impl QueryPolicy {
+    /// A policy with only the non-empty-query requirement.
+    pub fn permissive() -> QueryPolicy {
+        QueryPolicy::default()
+    }
+
+    /// Checks a converted query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApksError::PolicyViolation`] when a limit is breached.
+    pub fn check(&self, query: &ConvertedQuery) -> Result<(), ApksError> {
+        if query.dimensions() < self.min_dimensions {
+            return Err(ApksError::PolicyViolation(format!(
+                "query constrains {} dimension(s); policy requires at least {}",
+                query.dimensions(),
+                self.min_dimensions
+            )));
+        }
+        if self.max_total_or_terms > 0 {
+            let total: usize = query.terms.iter().map(|t| t.keywords.len()).sum();
+            if total > self.max_total_or_terms {
+                return Err(ApksError::PolicyViolation(format!(
+                    "query uses {total} OR terms; policy allows at most {}",
+                    self.max_total_or_terms
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use crate::schema::Schema;
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::builder()
+            .flat_field("a", 3)
+            .flat_field("b", 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn min_dimensions_enforced() {
+        let s = schema();
+        let policy = QueryPolicy {
+            min_dimensions: 2,
+            max_total_or_terms: 0,
+        };
+        let one = Query::new().equals("a", "x").convert(&s).unwrap();
+        assert!(matches!(
+            policy.check(&one),
+            Err(ApksError::PolicyViolation(_))
+        ));
+        let two = Query::new()
+            .equals("a", "x")
+            .equals("b", "y")
+            .convert(&s)
+            .unwrap();
+        assert!(policy.check(&two).is_ok());
+    }
+
+    #[test]
+    fn or_budget_enforced() {
+        let s = schema();
+        let policy = QueryPolicy {
+            min_dimensions: 1,
+            max_total_or_terms: 3,
+        };
+        let q = Query::new()
+            .one_of("a", ["x", "y"])
+            .one_of("b", ["u", "v"])
+            .convert(&s)
+            .unwrap();
+        assert!(policy.check(&q).is_err());
+        let q2 = Query::new()
+            .one_of("a", ["x", "y"])
+            .equals("b", "u")
+            .convert(&s)
+            .unwrap();
+        assert!(policy.check(&q2).is_ok());
+    }
+
+    #[test]
+    fn default_rejects_empty() {
+        let s = schema();
+        let empty = Query::new().convert(&s).unwrap();
+        assert!(QueryPolicy::default().check(&empty).is_err());
+    }
+}

@@ -1,0 +1,414 @@
+//! Multi-dimensional keyword queries and their conversion to CNF over the
+//! expanded index (§II-D and Fig. 4(b) of the paper).
+//!
+//! A [`Query`] is a conjunction of per-field terms: equality, subset
+//! (`field ∈ {…}`), and numeric range. Conversion resolves every term to
+//! one *expanded dimension* (a hierarchy level) and at most `d` keywords
+//! ORed within it — the exact query class the paper's vector encoding
+//! supports.
+
+use crate::error::ApksError;
+use crate::hierarchy::Hierarchy;
+use crate::keyword::{keyword, FieldValue};
+use crate::schema::{FieldKind, Record, Schema};
+use apks_math::Fr;
+use core::fmt;
+
+/// One conjunct of a query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Condition {
+    /// `field = value`. On a hierarchical field the value may name any
+    /// node — a leaf, a simple range like `"31-60"`, or a semantic range
+    /// like `"East MA"`.
+    Equals {
+        /// Field name.
+        field: String,
+        /// The value or node label.
+        value: FieldValue,
+    },
+    /// `field ∈ values` (the paper's subset query). On hierarchical
+    /// fields all values must resolve to nodes of the same level.
+    OneOf {
+        /// Field name.
+        field: String,
+        /// The allowed values (≤ the field's OR budget).
+        values: Vec<FieldValue>,
+    },
+    /// `lo ≤ field ≤ hi` on a numeric field.
+    Range {
+        /// Field name.
+        field: String,
+        /// Lower bound (inclusive).
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+}
+
+impl Condition {
+    /// The field this condition constrains.
+    pub fn field(&self) -> &str {
+        match self {
+            Condition::Equals { field, .. }
+            | Condition::OneOf { field, .. }
+            | Condition::Range { field, .. } => field,
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Equals { field, value } => write!(f, "{field} = {value}"),
+            Condition::OneOf { field, values } => {
+                write!(f, "{field} in {{")?;
+                for (i, v) in values.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Condition::Range { field, lo, hi } => write!(f, "{lo} <= {field} <= {hi}"),
+        }
+    }
+}
+
+/// A conjunctive multi-dimensional query.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Query {
+    /// The conjuncts; fields not mentioned are "don't care".
+    pub conditions: Vec<Condition>,
+}
+
+impl Query {
+    /// The empty query (matches everything — rejected by capability
+    /// policies, but useful as a builder seed).
+    pub fn new() -> Query {
+        Query::default()
+    }
+
+    /// Adds an equality conjunct.
+    pub fn equals(mut self, field: impl Into<String>, value: impl Into<FieldValue>) -> Query {
+        self.conditions.push(Condition::Equals {
+            field: field.into(),
+            value: value.into(),
+        });
+        self
+    }
+
+    /// Adds a subset conjunct.
+    pub fn one_of(
+        mut self,
+        field: impl Into<String>,
+        values: impl IntoIterator<Item = impl Into<FieldValue>>,
+    ) -> Query {
+        self.conditions.push(Condition::OneOf {
+            field: field.into(),
+            values: values.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// Adds a range conjunct.
+    pub fn range(mut self, field: impl Into<String>, lo: i64, hi: i64) -> Query {
+        self.conditions.push(Condition::Range {
+            field: field.into(),
+            lo,
+            hi,
+        });
+        self
+    }
+
+    /// Parses the textual query language (see [`crate::parser`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ApksError::Parse`] on malformed input.
+    pub fn parse(text: &str) -> Result<Query, ApksError> {
+        crate::parser::parse_query(text)
+    }
+
+    /// Number of distinct fields constrained.
+    pub fn constrained_fields(&self) -> usize {
+        let mut fields: Vec<&str> = self.conditions.iter().map(|c| c.field()).collect();
+        fields.sort_unstable();
+        fields.dedup();
+        fields.len()
+    }
+
+    /// Converts the query against a schema into per-dimension keyword
+    /// disjunctions (the CNF `Q̂` of Fig. 4(b)).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a field is unknown, a term exceeds the OR budget, values
+    /// resolve to different hierarchy levels, or a range has no exact
+    /// same-level cover.
+    pub fn convert(&self, schema: &Schema) -> Result<ConvertedQuery, ApksError> {
+        let mut terms: Vec<DimTerm> = Vec::new();
+        for cond in &self.conditions {
+            let field_idx = schema.field_index(cond.field())?;
+            let field = &schema.fields()[field_idx];
+            let d = field.max_or_terms;
+            let (level, labels): (usize, Vec<String>) = match (&field.kind, cond) {
+                (FieldKind::Flat, Condition::Equals { value, .. }) => (0, vec![value.label()]),
+                (FieldKind::Flat, Condition::OneOf { values, .. }) => {
+                    (0, values.iter().map(FieldValue::label).collect())
+                }
+                (FieldKind::Flat, Condition::Range { lo, hi, .. }) => {
+                    if lo > hi {
+                        return Err(ApksError::UnsupportedQuery(format!(
+                            "empty range on {:?}",
+                            field.name
+                        )));
+                    }
+                    (0, (*lo..=*hi).map(|v| v.to_string()).collect())
+                }
+                (FieldKind::Hierarchical(h), Condition::Equals { value, .. }) => {
+                    let (level, node) = locate_value(h, value, &field.name)?;
+                    (level, vec![node])
+                }
+                (FieldKind::Hierarchical(h), Condition::OneOf { values, .. }) => {
+                    if values.is_empty() {
+                        return Err(ApksError::UnsupportedQuery(format!(
+                            "empty subset on {:?}",
+                            field.name
+                        )));
+                    }
+                    let mut level = None;
+                    let mut labels = Vec::with_capacity(values.len());
+                    for v in values {
+                        let (l, node) = locate_value(h, v, &field.name)?;
+                        match level {
+                            None => level = Some(l),
+                            Some(prev) if prev != l => {
+                                return Err(ApksError::UnsupportedQuery(format!(
+                                    "subset on {:?} mixes hierarchy levels {prev} and {l}",
+                                    field.name
+                                )));
+                            }
+                            _ => {}
+                        }
+                        labels.push(node);
+                    }
+                    (level.unwrap(), labels)
+                }
+                (FieldKind::Hierarchical(h), Condition::Range { lo, hi, .. }) => {
+                    let (level, nodes) = h.cover_range(*lo, *hi, d)?;
+                    (level, nodes.into_iter().map(|n| n.label.clone()).collect())
+                }
+            };
+            if labels.len() > d {
+                return Err(ApksError::UnsupportedQuery(format!(
+                    "{} OR terms on {:?} exceed the budget d = {d}",
+                    labels.len(),
+                    field.name
+                )));
+            }
+            let dim = schema.dims_of_field(field_idx).start + level;
+            if terms.iter().any(|t| t.dim == dim) {
+                return Err(ApksError::UnsupportedQuery(format!(
+                    "two conditions target sub-field level {level} of {:?}",
+                    field.name
+                )));
+            }
+            let keywords = labels
+                .iter()
+                .map(|label| keyword(&field.name, level, label))
+                .collect();
+            terms.push(DimTerm { dim, keywords });
+        }
+        terms.sort_by_key(|t| t.dim);
+        Ok(ConvertedQuery { terms })
+    }
+
+    /// Ground-truth evaluation against a plaintext record, mirroring the
+    /// converted (level-based) semantics — the oracle used by tests.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record or query do not fit the schema.
+    pub fn matches_record(&self, schema: &Schema, record: &Record) -> Result<bool, ApksError> {
+        let converted = self.convert(schema)?;
+        let record_kws = schema.convert_record(record)?;
+        Ok(converted
+            .terms
+            .iter()
+            .all(|t| t.keywords.contains(&record_kws[t.dim])))
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conditions.is_empty() {
+            return write!(f, "TRUE");
+        }
+        for (i, c) in self.conditions.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "({c})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Resolves a query value to a hierarchy node: `(level, label)`.
+fn locate_value(
+    h: &Hierarchy,
+    value: &FieldValue,
+    field: &str,
+) -> Result<(usize, String), ApksError> {
+    let label = value.label();
+    h.locate(&label)
+        .map(|(l, node)| (l, node.label.clone()))
+        .ok_or_else(|| {
+            ApksError::ValueNotInHierarchy(format!("{label:?} not in hierarchy of {field:?}"))
+        })
+}
+
+/// One converted per-dimension disjunction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DimTerm {
+    /// Expanded-dimension index.
+    pub dim: usize,
+    /// Keywords ORed within the dimension (1 ≤ len ≤ d).
+    pub keywords: Vec<Fr>,
+}
+
+/// A fully converted query: CNF with one disjunction per constrained
+/// dimension; unmentioned dimensions are don't-care.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConvertedQuery {
+    /// The per-dimension terms, sorted by dimension.
+    pub terms: Vec<DimTerm>,
+}
+
+impl ConvertedQuery {
+    /// Number of constrained dimensions.
+    pub fn dimensions(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::builder()
+            .hierarchical_field("age", Hierarchy::numeric(0, 15, 4), 2)
+            .flat_field("sex", 1)
+            .flat_field("illness", 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn equality_conversion() {
+        let s = schema();
+        let q = Query::new().equals("sex", "male");
+        let c = q.convert(&s).unwrap();
+        assert_eq!(c.dimensions(), 1);
+        assert_eq!(c.terms[0].dim, 3);
+        assert_eq!(c.terms[0].keywords, vec![keyword("sex", 0, "male")]);
+    }
+
+    #[test]
+    fn hierarchical_equality_at_internal_node() {
+        let s = schema();
+        let q = Query::new().equals("age", "4-7");
+        let c = q.convert(&s).unwrap();
+        assert_eq!(c.terms[0].dim, 1); // level 1 of age
+        assert_eq!(c.terms[0].keywords, vec![keyword("age", 1, "4-7")]);
+    }
+
+    #[test]
+    fn range_conversion_uses_cover() {
+        let s = schema();
+        let q = Query::new().range("age", 4, 11);
+        let c = q.convert(&s).unwrap();
+        assert_eq!(c.terms[0].dim, 1);
+        assert_eq!(
+            c.terms[0].keywords,
+            vec![keyword("age", 1, "4-7"), keyword("age", 1, "8-11")]
+        );
+    }
+
+    #[test]
+    fn subset_level_mixing_rejected() {
+        let s = schema();
+        let q = Query::new().one_of("age", [FieldValue::text("4-7"), FieldValue::num(3)]);
+        assert!(matches!(
+            q.convert(&s),
+            Err(ApksError::UnsupportedQuery(_))
+        ));
+    }
+
+    #[test]
+    fn or_budget_enforced() {
+        let s = schema();
+        // illness budget is 3
+        let q = Query::new().one_of("illness", ["a", "b", "c", "d"]);
+        assert!(matches!(q.convert(&s), Err(ApksError::UnsupportedQuery(_))));
+        let q = Query::new().one_of("illness", ["a", "b", "c"]);
+        assert!(q.convert(&s).is_ok());
+    }
+
+    #[test]
+    fn flat_numeric_range_enumerates() {
+        let s = Schema::builder().flat_field("count", 4).build().unwrap();
+        let q = Query::new().range("count", 2, 5);
+        let c = q.convert(&s).unwrap();
+        assert_eq!(c.terms[0].keywords.len(), 4);
+        let q = Query::new().range("count", 0, 9);
+        assert!(q.convert(&s).is_err()); // 10 > budget 4
+    }
+
+    #[test]
+    fn duplicate_dim_rejected_but_distinct_levels_ok() {
+        let s = schema();
+        let dup = Query::new().equals("sex", "male").equals("sex", "female");
+        assert!(dup.convert(&s).is_err());
+        // same field, different hierarchy levels → different dims → OK
+        let two_levels = Query::new().equals("age", "4-7").equals("age", 5);
+        let c = two_levels.convert(&s).unwrap();
+        assert_eq!(c.dimensions(), 2);
+    }
+
+    #[test]
+    fn unknown_field_rejected() {
+        let s = schema();
+        let q = Query::new().equals("zodiac", "leo");
+        assert!(matches!(q.convert(&s), Err(ApksError::UnknownField(_))));
+    }
+
+    #[test]
+    fn matches_record_oracle() {
+        let s = schema();
+        let alice = Record::new(vec![
+            FieldValue::num(6),
+            FieldValue::text("female"),
+            FieldValue::text("flu"),
+        ]);
+        let hit = Query::new().range("age", 4, 7).equals("sex", "female");
+        let miss = Query::new().range("age", 8, 11).equals("sex", "female");
+        assert!(hit.matches_record(&s, &alice).unwrap());
+        assert!(!miss.matches_record(&s, &alice).unwrap());
+    }
+
+    #[test]
+    fn display_forms() {
+        let q = Query::new()
+            .range("age", 30, 60)
+            .equals("sex", "male")
+            .one_of("region", ["Boston", "Worcester"]);
+        let text = q.to_string();
+        assert!(text.contains("30 <= age <= 60"));
+        assert!(text.contains("AND"));
+        assert_eq!(Query::new().to_string(), "TRUE");
+    }
+}

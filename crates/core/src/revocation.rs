@@ -1,0 +1,212 @@
+//! Revocation via a time attribute (§IV-C, "Revocation").
+//!
+//! Indexes carry their creation time in a hierarchical *time field*
+//! (`year → month → week → day`, expressed here as a numeric day-index
+//! hierarchy with calendar-shaped branching); capabilities carry an
+//! authorized search *period* as a simple-range term over that field. A
+//! capability whose period has passed cannot match indexes created later —
+//! owners re-stamp the time value when they update their records, so
+//! revoked users must return to an LTA for a fresh capability.
+
+use crate::error::ApksError;
+use crate::hierarchy::Hierarchy;
+use crate::keyword::FieldValue;
+use crate::query::Query;
+use crate::schema::SchemaBuilder;
+
+/// Name of the conventional time field.
+pub const TIME_FIELD: &str = "time";
+
+/// A date, resolved to day granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Date {
+    /// Year (e.g. 2010).
+    pub year: i64,
+    /// Month 1–12.
+    pub month: i64,
+    /// Day 1–28 (the scheme's calendar uses uniform 28-day months:
+    /// 4 weeks × 7 days — the hierarchy shape matters, not leap years).
+    pub day: i64,
+}
+
+impl Date {
+    /// Builds a date.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range month/day.
+    pub fn new(year: i64, month: i64, day: i64) -> Date {
+        assert!((1..=12).contains(&month), "month out of range");
+        assert!((1..=28).contains(&day), "day out of range");
+        Date { year, month, day }
+    }
+
+    /// The day index used in the numeric time hierarchy.
+    pub fn day_index(&self, epoch_year: i64) -> i64 {
+        ((self.year - epoch_year) * 12 + (self.month - 1)) * 28 + (self.day - 1)
+    }
+}
+
+/// Builds the `year-month-week-day` time hierarchy covering
+/// `[epoch_year, epoch_year + years)`.
+///
+/// Levels: root (whole span) → years → months → weeks → days; branching
+/// follows the calendar (12 months/year, 4 weeks/month, 7 days/week), so a
+/// capability period can be a run of years, months, weeks or days.
+pub fn time_hierarchy(years: i64) -> Hierarchy {
+    assert!(years >= 1);
+    let total_days = years * 12 * 28;
+    // Build day → week(7) → month(4) → year(12) → root by chained grouping.
+    // Hierarchy::numeric groups uniformly, so compose via branching stages:
+    // we use branching 7 at the bottom; the upper groupings by 4 and 12 are
+    // realized by nesting numeric grouping stages manually.
+    build_grouped(total_days, &[12, 4, 7])
+}
+
+/// Groups `0..count` by the given per-level branching factors
+/// (top-down order), producing a balanced hierarchy.
+fn build_grouped(count: i64, branchings: &[usize]) -> Hierarchy {
+    use crate::hierarchy::Node;
+    let mut level: Vec<Node> = (0..count)
+        .map(|v| Node {
+            label: v.to_string(),
+            interval: Some((v, v)),
+            children: Vec::new(),
+        })
+        .collect();
+    for &b in branchings.iter().rev() {
+        let mut upper = Vec::with_capacity(level.len().div_ceil(b));
+        for chunk in level.chunks(b) {
+            let lo = chunk.first().unwrap().interval.unwrap().0;
+            let hi = chunk.last().unwrap().interval.unwrap().1;
+            upper.push(Node {
+                label: format!("{lo}-{hi}"),
+                interval: Some((lo, hi)),
+                children: chunk.to_vec(),
+            });
+        }
+        level = upper;
+    }
+    let root = if level.len() == 1 {
+        level.pop().unwrap()
+    } else {
+        let lo = level.first().unwrap().interval.unwrap().0;
+        let hi = level.last().unwrap().interval.unwrap().1;
+        Node {
+            label: format!("{lo}-{hi}"),
+            interval: Some((lo, hi)),
+            children: level,
+        }
+    };
+    Hierarchy::semantic(root).expect("grouped hierarchy is balanced by construction")
+}
+
+/// Extends a schema builder with the conventional time field.
+///
+/// `d` bounds how many same-level periods one capability may span.
+pub fn with_time_field(builder: SchemaBuilder, years: i64, d: usize) -> SchemaBuilder {
+    builder.hierarchical_field(TIME_FIELD, time_hierarchy(years), d)
+}
+
+/// The record value for an index created on `date`.
+pub fn time_value(date: Date, epoch_year: i64) -> FieldValue {
+    FieldValue::num(date.day_index(epoch_year))
+}
+
+/// Restricts a query to the search period `[from, to]` (inclusive).
+///
+/// # Errors
+///
+/// The resulting query will fail conversion if the period is not a union
+/// of at most `d` same-level calendar ranges.
+pub fn with_period(query: Query, from: Date, to: Date, epoch_year: i64) -> Result<Query, ApksError> {
+    let lo = from.day_index(epoch_year);
+    let hi = to.day_index(epoch_year);
+    if lo > hi {
+        return Err(ApksError::UnsupportedQuery(
+            "search period is empty".into(),
+        ));
+    }
+    Ok(query.range(TIME_FIELD, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Record, Schema};
+
+    #[test]
+    fn hierarchy_shape() {
+        let h = time_hierarchy(2);
+        // levels: root, years(2), months(24), weeks(96), days(672)
+        assert_eq!(h.depth(), 5);
+        assert_eq!(h.level_nodes(1).len(), 2);
+        assert_eq!(h.level_nodes(2).len(), 24);
+        assert_eq!(h.level_nodes(3).len(), 96);
+        assert_eq!(h.level_nodes(4).len(), 672);
+    }
+
+    #[test]
+    fn day_index_math() {
+        let epoch = 2010;
+        assert_eq!(Date::new(2010, 1, 1).day_index(epoch), 0);
+        assert_eq!(Date::new(2010, 2, 1).day_index(epoch), 28);
+        assert_eq!(Date::new(2011, 1, 1).day_index(epoch), 336);
+    }
+
+    #[test]
+    fn period_query_matches_in_window_only() {
+        let epoch = 2010;
+        let schema: std::sync::Arc<Schema> =
+            with_time_field(Schema::builder().flat_field("illness", 1), 2, 6)
+                .build()
+                .unwrap();
+        // index created in March 2010
+        let rec = Record::new(vec![
+            FieldValue::text("flu"),
+            time_value(Date::new(2010, 3, 10), epoch),
+        ]);
+        // capability valid Jan–Jun 2010 (6 month nodes)
+        let q = with_period(
+            Query::new().equals("illness", "flu"),
+            Date::new(2010, 1, 1),
+            Date::new(2010, 6, 28),
+            epoch,
+        )
+        .unwrap();
+        assert!(q.matches_record(&schema, &rec).unwrap());
+
+        // an index created in July 2010 is outside the window
+        let late = Record::new(vec![
+            FieldValue::text("flu"),
+            time_value(Date::new(2010, 7, 1), epoch),
+        ]);
+        assert!(!q.matches_record(&schema, &late).unwrap());
+    }
+
+    #[test]
+    fn expired_capability_cannot_reach_new_indexes() {
+        let epoch = 2010;
+        let schema = with_time_field(Schema::builder().flat_field("x", 1), 2, 4)
+            .build()
+            .unwrap();
+        let q = with_period(
+            Query::new().equals("x", "v"),
+            Date::new(2010, 1, 1),
+            Date::new(2010, 4, 28),
+            epoch,
+        )
+        .unwrap();
+        let fresh = Record::new(vec![
+            FieldValue::text("v"),
+            time_value(Date::new(2011, 2, 2), epoch),
+        ]);
+        assert!(!q.matches_record(&schema, &fresh).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "month out of range")]
+    fn invalid_month_panics() {
+        let _ = Date::new(2010, 13, 1);
+    }
+}

@@ -1,0 +1,321 @@
+//! Index schemas and records.
+//!
+//! A [`Schema`] declares the index fields, which of them carry an attribute
+//! hierarchy, and the per-dimension OR budget `d`. It also owns the
+//! *expansion* of Fig. 4(a): each hierarchical field of depth `k` becomes
+//! `k` sub-fields (one per level), so an original `m`-field index becomes
+//! an `m'`-dimension converted index, and the HPE vector length is
+//! `n = Σ dᵢ + 1` over the expanded dimensions.
+
+use crate::error::ApksError;
+use crate::hierarchy::Hierarchy;
+use crate::keyword::{keyword, FieldValue};
+use apks_math::Fr;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The kind of one original field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FieldKind {
+    /// A flat field: one dimension, equality/subset terms only.
+    Flat,
+    /// A hierarchical field: expands into `hierarchy.depth()` sub-fields.
+    Hierarchical(Hierarchy),
+}
+
+/// One original index field.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Field name ("age", "illness", …).
+    pub name: String,
+    /// Flat or hierarchical.
+    pub kind: FieldKind,
+    /// Maximum number of OR terms (`d`) per sub-field of this field.
+    pub max_or_terms: usize,
+}
+
+/// One dimension of the *converted* index (a sub-field).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExpandedDim {
+    /// Index of the original field.
+    pub field: usize,
+    /// Hierarchy level this dimension carries (0 for flat fields).
+    pub level: usize,
+    /// Per-dimension polynomial degree (the field's `d`).
+    pub degree: usize,
+}
+
+/// An index schema shared by owners, authorities and the server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: HashMap<String, usize>,
+    expanded: Vec<ExpandedDim>,
+    /// First expanded-dimension index per field.
+    field_dim_start: Vec<usize>,
+    n: usize,
+}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder { fields: Vec::new() }
+    }
+
+    /// The original fields.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Looks a field up by name.
+    pub fn field_index(&self, name: &str) -> Result<usize, ApksError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ApksError::UnknownField(name.to_string()))
+    }
+
+    /// The expanded (converted) dimensions, in vector order.
+    pub fn expanded(&self) -> &[ExpandedDim] {
+        &self.expanded
+    }
+
+    /// Number of expanded dimensions `m'`.
+    pub fn m_prime(&self) -> usize {
+        self.expanded.len()
+    }
+
+    /// The HPE predicate-vector length `n = Σ dᵢ + 1`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The expanded-dimension range belonging to original field `f`.
+    pub fn dims_of_field(&self, f: usize) -> std::ops::Range<usize> {
+        let start = self.field_dim_start[f];
+        let end = start
+            + match &self.fields[f].kind {
+                FieldKind::Flat => 1,
+                FieldKind::Hierarchical(h) => h.depth(),
+            };
+        start..end
+    }
+
+    /// Converts a record into per-dimension keywords (Fig. 4(a)).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record arity mismatches or a value is not in its
+    /// field's hierarchy.
+    pub fn convert_record(&self, record: &Record) -> Result<Vec<Fr>, ApksError> {
+        if record.values.len() != self.fields.len() {
+            return Err(ApksError::InvalidRecord(format!(
+                "expected {} values, got {}",
+                self.fields.len(),
+                record.values.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(self.m_prime());
+        for (field, value) in self.fields.iter().zip(&record.values) {
+            match &field.kind {
+                FieldKind::Flat => {
+                    out.push(keyword(&field.name, 0, &value.label()));
+                }
+                FieldKind::Hierarchical(h) => {
+                    let path = match value {
+                        FieldValue::Num(v) => h.path_for_num(*v)?,
+                        FieldValue::Text(s) => h.path_for_label(s)?,
+                    };
+                    debug_assert_eq!(path.len(), h.depth());
+                    for (level, node) in path.iter().enumerate() {
+                        out.push(keyword(&field.name, level, &node.label));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Builder for [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    fields: Vec<Field>,
+}
+
+impl SchemaBuilder {
+    /// Adds a flat field with OR budget `d`.
+    pub fn flat_field(mut self, name: impl Into<String>, d: usize) -> Self {
+        self.fields.push(Field {
+            name: name.into(),
+            kind: FieldKind::Flat,
+            max_or_terms: d,
+        });
+        self
+    }
+
+    /// Adds a hierarchical field with per-sub-field OR budget `d`.
+    pub fn hierarchical_field(
+        mut self,
+        name: impl Into<String>,
+        hierarchy: Hierarchy,
+        d: usize,
+    ) -> Self {
+        self.fields.push(Field {
+            name: name.into(),
+            kind: FieldKind::Hierarchical(hierarchy),
+            max_or_terms: d,
+        });
+        self
+    }
+
+    /// Finishes the schema.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate/empty names, zero OR budgets, or no fields.
+    pub fn build(self) -> Result<Arc<Schema>, ApksError> {
+        if self.fields.is_empty() {
+            return Err(ApksError::InvalidSchema("schema has no fields".into()));
+        }
+        let mut by_name = HashMap::new();
+        for (i, f) in self.fields.iter().enumerate() {
+            if f.name.is_empty() {
+                return Err(ApksError::InvalidSchema("empty field name".into()));
+            }
+            if f.max_or_terms == 0 {
+                return Err(ApksError::InvalidSchema(format!(
+                    "field {:?} has zero OR budget",
+                    f.name
+                )));
+            }
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(ApksError::InvalidSchema(format!(
+                    "duplicate field name {:?}",
+                    f.name
+                )));
+            }
+        }
+        let mut expanded = Vec::new();
+        let mut field_dim_start = Vec::with_capacity(self.fields.len());
+        for (i, f) in self.fields.iter().enumerate() {
+            field_dim_start.push(expanded.len());
+            match &f.kind {
+                FieldKind::Flat => expanded.push(ExpandedDim {
+                    field: i,
+                    level: 0,
+                    degree: f.max_or_terms,
+                }),
+                FieldKind::Hierarchical(h) => {
+                    for level in 0..h.depth() {
+                        expanded.push(ExpandedDim {
+                            field: i,
+                            level,
+                            degree: f.max_or_terms,
+                        });
+                    }
+                }
+            }
+        }
+        let n = expanded.iter().map(|d| d.degree).sum::<usize>() + 1;
+        Ok(Arc::new(Schema {
+            fields: self.fields,
+            by_name,
+            expanded,
+            field_dim_start,
+            n,
+        }))
+    }
+}
+
+/// A plaintext record: one value per schema field, in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// The field values.
+    pub values: Vec<FieldValue>,
+}
+
+impl Record {
+    /// Builds a record.
+    pub fn new(values: Vec<FieldValue>) -> Record {
+        Record { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phr_schema() -> Arc<Schema> {
+        Schema::builder()
+            .hierarchical_field("age", Hierarchy::numeric(0, 15, 4), 2)
+            .flat_field("sex", 1)
+            .flat_field("illness", 3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn expansion_shape() {
+        let s = phr_schema();
+        // age depth 3 → 3 dims of degree 2; sex → 1 dim degree 1; illness → 1 dim degree 3
+        assert_eq!(s.m_prime(), 5);
+        assert_eq!(s.n(), 3 * 2 + 1 + 3 + 1);
+        assert_eq!(s.dims_of_field(0), 0..3);
+        assert_eq!(s.dims_of_field(1), 3..4);
+        assert_eq!(s.dims_of_field(2), 4..5);
+    }
+
+    #[test]
+    fn record_conversion() {
+        let s = phr_schema();
+        let r = Record::new(vec![
+            FieldValue::num(6),
+            FieldValue::text("female"),
+            FieldValue::text("flu"),
+        ]);
+        let kws = s.convert_record(&r).unwrap();
+        assert_eq!(kws.len(), 5);
+        // first three are the path labels 0-15, 4-7, 6 under field "age"
+        assert_eq!(kws[0], keyword("age", 0, "0-15"));
+        assert_eq!(kws[1], keyword("age", 1, "4-7"));
+        assert_eq!(kws[2], keyword("age", 2, "6"));
+        assert_eq!(kws[3], keyword("sex", 0, "female"));
+        assert_eq!(kws[4], keyword("illness", 0, "flu"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let s = phr_schema();
+        let r = Record::new(vec![FieldValue::num(6)]);
+        assert!(matches!(
+            s.convert_record(&r),
+            Err(ApksError::InvalidRecord(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_hierarchy_value_rejected() {
+        let s = phr_schema();
+        let r = Record::new(vec![
+            FieldValue::num(99),
+            FieldValue::text("female"),
+            FieldValue::text("flu"),
+        ]);
+        assert!(matches!(
+            s.convert_record(&r),
+            Err(ApksError::ValueNotInHierarchy(_))
+        ));
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(Schema::builder().build().is_err());
+        assert!(Schema::builder().flat_field("a", 0).build().is_err());
+        assert!(Schema::builder()
+            .flat_field("a", 1)
+            .flat_field("a", 1)
+            .build()
+            .is_err());
+    }
+}

@@ -1,0 +1,568 @@
+//! The APKS scheme: `Setup`, `GenIndex`, `GenCap`, `Search`,
+//! `DelegateCap` (Fig. 5 of the paper), plus the APKS⁺ variants.
+//!
+//! All objects carry a schema digest so that indexes, capabilities and
+//! public keys from different deployments cannot be mixed silently.
+
+use crate::encoding::{phi, psi};
+use crate::error::ApksError;
+use crate::policy::QueryPolicy;
+use crate::query::Query;
+use crate::schema::{Record, Schema};
+use apks_curve::CurveParams;
+use apks_hpe::{Hpe, HpeCiphertext, HpeMasterKey, HpePublicKey, HpeSecretKey};
+use apks_math::encode::{DecodeError, Reader, Writer};
+use apks_math::sha256::Sha256;
+use rand::Rng;
+use std::sync::Arc;
+
+/// The APKS system context: curve parameters + schema + the derived HPE
+/// instance.
+#[derive(Clone, Debug)]
+pub struct ApksSystem {
+    params: Arc<CurveParams>,
+    schema: Arc<Schema>,
+    hpe: Hpe,
+    digest: [u8; 32],
+}
+
+/// The APKS public key (the paper's `PK = (pk, φ, ψ)`: the HPE public key
+/// plus the schema, which determines both mappings).
+#[derive(Clone, Debug)]
+pub struct ApksPublicKey {
+    /// The underlying HPE public key.
+    pub hpe: HpePublicKey,
+    digest: [u8; 32],
+}
+
+/// The APKS master secret key, held by the TA.
+#[derive(Clone, Debug)]
+pub struct ApksMasterKey {
+    /// The underlying HPE master key.
+    pub hpe: HpeMasterKey,
+}
+
+/// The APKS⁺ master secret key: blinded master key plus the blinding
+/// secret `r` (provisioned to proxies as `r⁻¹` shares).
+#[derive(Clone, Debug)]
+pub struct ApksPlusMasterKey {
+    /// The blinded master key used for capability generation.
+    pub inner: ApksMasterKey,
+    /// The blinding secret `r`.
+    pub blinding: apks_math::Fr,
+}
+
+/// An encrypted index entry (one per record).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EncryptedIndex {
+    /// The HPE ciphertext.
+    pub ct: HpeCiphertext,
+    digest: [u8; 32],
+}
+
+/// A search capability (trapdoor) `T_Q`.
+///
+/// `delegatable` capabilities can be further restricted by an LTA;
+/// [`Capability::finalize`] strips that power before the capability is
+/// shipped to the cloud server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Capability {
+    /// The underlying (possibly delegated) HPE secret key.
+    pub key: HpeSecretKey,
+    digest: [u8; 32],
+}
+
+impl ApksSystem {
+    /// Builds a system for the given parameters and schema.
+    pub fn new(params: Arc<CurveParams>, schema: Arc<Schema>) -> ApksSystem {
+        let hpe = Hpe::new(params.clone(), schema.n());
+        let digest = schema_digest(&schema);
+        ApksSystem {
+            params,
+            schema,
+            hpe,
+            digest,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The curve parameters.
+    pub fn params(&self) -> &Arc<CurveParams> {
+        &self.params
+    }
+
+    /// The underlying HPE instance.
+    pub fn hpe(&self) -> &Hpe {
+        &self.hpe
+    }
+
+    /// Vector length `n` (= `Σ dᵢ + 1` over expanded dimensions).
+    pub fn n(&self) -> usize {
+        self.schema.n()
+    }
+
+    /// Rewraps a decoded HPE public key with this system's digest
+    /// (used by persistence; the dimension is validated by the caller).
+    pub fn public_key_from_parts(&self, hpe: HpePublicKey) -> ApksPublicKey {
+        ApksPublicKey {
+            hpe,
+            digest: self.digest,
+        }
+    }
+
+    /// `Setup(1^κ)` — Fig. 5.
+    pub fn setup<R: Rng + ?Sized>(&self, rng: &mut R) -> (ApksPublicKey, ApksMasterKey) {
+        let (pk, msk) = self.hpe.setup(rng);
+        (
+            ApksPublicKey {
+                hpe: pk,
+                digest: self.digest,
+            },
+            ApksMasterKey { hpe: msk },
+        )
+    }
+
+    /// APKS⁺ setup: blinded master key for query privacy (§V).
+    pub fn setup_plus<R: Rng + ?Sized>(&self, rng: &mut R) -> (ApksPublicKey, ApksPlusMasterKey) {
+        let (pk, mk) = self.hpe.setup_plus(rng);
+        (
+            ApksPublicKey {
+                hpe: pk,
+                digest: self.digest,
+            },
+            ApksPlusMasterKey {
+                inner: ApksMasterKey {
+                    hpe: mk.msk,
+                },
+                blinding: mk.blinding,
+            },
+        )
+    }
+
+    /// `GenIndex(PK, Z⃗)`: encrypts a record's keyword index.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the record does not fit the schema or the key belongs to a
+    /// different deployment.
+    pub fn gen_index<R: Rng + ?Sized>(
+        &self,
+        pk: &ApksPublicKey,
+        record: &Record,
+        rng: &mut R,
+    ) -> Result<EncryptedIndex, ApksError> {
+        self.check_digest(pk.digest)?;
+        let keywords = self.schema.convert_record(record)?;
+        let x = psi(&self.schema, &keywords);
+        let ct = self.hpe.encrypt_marker(&pk.hpe, &x, rng)?;
+        Ok(EncryptedIndex {
+            ct,
+            digest: self.digest,
+        })
+    }
+
+    /// APKS⁺ `PartialEnc`: identical computation to [`Self::gen_index`];
+    /// the result only becomes searchable after proxy transformation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::gen_index`].
+    pub fn gen_partial_index<R: Rng + ?Sized>(
+        &self,
+        pk: &ApksPublicKey,
+        record: &Record,
+        rng: &mut R,
+    ) -> Result<EncryptedIndex, ApksError> {
+        self.gen_index(pk, record, rng)
+    }
+
+    /// `GenCap(PK, MSK, Q)`: issues a capability for a query, subject to a
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the query cannot be converted under the schema or violates
+    /// the policy.
+    pub fn gen_cap<R: Rng + ?Sized>(
+        &self,
+        pk: &ApksPublicKey,
+        msk: &ApksMasterKey,
+        query: &Query,
+        policy: &QueryPolicy,
+        rng: &mut R,
+    ) -> Result<Capability, ApksError> {
+        self.check_digest(pk.digest)?;
+        let converted = query.convert(&self.schema)?;
+        policy.check(&converted)?;
+        let v = phi(&self.schema, &converted, rng);
+        let key = self.hpe.gen_key(&pk.hpe, &msk.hpe, &v, rng)?;
+        Ok(Capability {
+            key,
+            digest: self.digest,
+        })
+    }
+
+    /// As [`Self::gen_cap`] but assembling the key by point arithmetic
+    /// over `B*` (the paper's measured implementation — Fig. 8(c)'s
+    /// "don't care" speed-up lives here; the exponent path of
+    /// [`Self::gen_cap`] is flat in the number of constrained
+    /// dimensions).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::gen_cap`].
+    pub fn gen_cap_via_points<R: Rng + ?Sized>(
+        &self,
+        pk: &ApksPublicKey,
+        msk: &ApksMasterKey,
+        query: &Query,
+        policy: &QueryPolicy,
+        rng: &mut R,
+    ) -> Result<Capability, ApksError> {
+        self.check_digest(pk.digest)?;
+        let converted = query.convert(&self.schema)?;
+        policy.check(&converted)?;
+        let v = phi(&self.schema, &converted, rng);
+        let key = self.hpe.gen_key_via_points(&pk.hpe, &msk.hpe, &v, rng)?;
+        Ok(Capability {
+            key,
+            digest: self.digest,
+        })
+    }
+
+    /// `DelegateCap(PK, T_{Q₁}, Q₂)`: restricts an existing capability to
+    /// `Q₁ ∧ Q₂`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the parent capability was finalized or the new query is
+    /// invalid.
+    pub fn delegate_cap<R: Rng + ?Sized>(
+        &self,
+        pk: &ApksPublicKey,
+        parent: &Capability,
+        query: &Query,
+        rng: &mut R,
+    ) -> Result<Capability, ApksError> {
+        self.check_digest(pk.digest)?;
+        self.check_digest(parent.digest)?;
+        if !parent.key.can_delegate() {
+            return Err(ApksError::NotDelegatable);
+        }
+        let converted = query.convert(&self.schema)?;
+        let v = phi(&self.schema, &converted, rng);
+        let key = self.hpe.delegate(&pk.hpe, &parent.key, &v, rng)?;
+        Ok(Capability {
+            key,
+            digest: self.digest,
+        })
+    }
+
+    /// `Search(PK, T_Q, E(Z⃗))`: evaluates a capability against one
+    /// encrypted index. Costs `n + 3` pairings (one multi-pairing).
+    ///
+    /// # Errors
+    ///
+    /// Fails on deployment mismatch.
+    pub fn search(
+        &self,
+        pk: &ApksPublicKey,
+        cap: &Capability,
+        index: &EncryptedIndex,
+    ) -> Result<bool, ApksError> {
+        self.check_digest(cap.digest)?;
+        self.check_digest(index.digest)?;
+        Ok(self.hpe.test(&pk.hpe, &cap.key, &index.ct)?)
+    }
+
+    fn check_digest(&self, digest: [u8; 32]) -> Result<(), ApksError> {
+        if digest != self.digest {
+            return Err(ApksError::InvalidRecord(
+                "object belongs to a different deployment/schema".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Capability {
+    /// Strips delegation/re-randomization components so the recipient can
+    /// only run `Search`.
+    pub fn finalize(&self) -> Capability {
+        Capability {
+            key: self.key.finalize(),
+            digest: self.digest,
+        }
+    }
+
+    /// True iff this capability may be further delegated.
+    pub fn can_delegate(&self) -> bool {
+        self.key.can_delegate()
+    }
+
+    /// Canonical encoding.
+    pub fn encode(&self, params: &CurveParams, w: &mut Writer) {
+        w.bytes(&self.digest);
+        self.key.encode(params, w);
+    }
+
+    /// Decodes a capability.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed bytes.
+    pub fn decode(params: &CurveParams, r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let digest: [u8; 32] = r
+            .bytes(32)?
+            .try_into()
+            .map_err(|_| DecodeError::UnexpectedEnd)?;
+        let key = HpeSecretKey::decode(params, r)?;
+        Ok(Capability { key, digest })
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        32 + self.key.encoded_size()
+    }
+}
+
+impl EncryptedIndex {
+    /// Canonical encoding.
+    pub fn encode(&self, params: &CurveParams, w: &mut Writer) {
+        w.bytes(&self.digest);
+        self.ct.encode(params, w);
+    }
+
+    /// Decodes an index entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed bytes.
+    pub fn decode(params: &CurveParams, r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let digest: [u8; 32] = r
+            .bytes(32)?
+            .try_into()
+            .map_err(|_| DecodeError::UnexpectedEnd)?;
+        let ct = HpeCiphertext::decode(params, r)?;
+        Ok(EncryptedIndex { ct, digest })
+    }
+}
+
+/// APKS⁺ proxy transformation: applies a proxy's share to a partial index.
+pub fn proxy_transform(
+    system: &ApksSystem,
+    share: &apks_hpe::ProxyTransformKey,
+    index: &EncryptedIndex,
+) -> EncryptedIndex {
+    EncryptedIndex {
+        ct: share.transform(system.hpe(), &index.ct),
+        digest: index.digest,
+    }
+}
+
+/// A deterministic structural digest of a schema (hash of the canonical
+/// encoding, stable across processes).
+fn schema_digest(schema: &Schema) -> [u8; 32] {
+    let mut w = Writer::new();
+    crate::persist::encode_schema(schema, &mut w);
+    let mut h = Sha256::new();
+    h.update(b"apks:schema:v1");
+    h.update(&w.finish());
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::Hierarchy;
+    use crate::keyword::FieldValue;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_system() -> ApksSystem {
+        let schema = Schema::builder()
+            .hierarchical_field("age", Hierarchy::numeric(0, 15, 4), 2)
+            .flat_field("sex", 1)
+            .build()
+            .unwrap();
+        ApksSystem::new(CurveParams::fast(), schema)
+    }
+
+    fn record(age: i64, sex: &str) -> Record {
+        Record::new(vec![FieldValue::num(age), FieldValue::text(sex)])
+    }
+
+    #[test]
+    fn end_to_end_search() {
+        let sys = small_system();
+        let mut rng = StdRng::seed_from_u64(500);
+        let (pk, msk) = sys.setup(&mut rng);
+        let idx = sys.gen_index(&pk, &record(6, "female"), &mut rng).unwrap();
+
+        let hit = Query::new().range("age", 4, 7).equals("sex", "female");
+        let cap = sys
+            .gen_cap(&pk, &msk, &hit, &QueryPolicy::default(), &mut rng)
+            .unwrap();
+        assert!(sys.search(&pk, &cap, &idx).unwrap());
+
+        let miss = Query::new().range("age", 8, 11).equals("sex", "female");
+        let cap2 = sys
+            .gen_cap(&pk, &msk, &miss, &QueryPolicy::default(), &mut rng)
+            .unwrap();
+        assert!(!sys.search(&pk, &cap2, &idx).unwrap());
+    }
+
+    #[test]
+    fn delegation_restricts() {
+        let sys = small_system();
+        let mut rng = StdRng::seed_from_u64(501);
+        let (pk, msk) = sys.setup(&mut rng);
+
+        // LTA capability: sex = female
+        let base = sys
+            .gen_cap(
+                &pk,
+                &msk,
+                &Query::new().equals("sex", "female"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        // delegated: AND age in [4, 7]
+        let delegated = sys
+            .delegate_cap(&pk, &base, &Query::new().range("age", 4, 7), &mut rng)
+            .unwrap();
+
+        let young_f = sys.gen_index(&pk, &record(5, "female"), &mut rng).unwrap();
+        let old_f = sys.gen_index(&pk, &record(12, "female"), &mut rng).unwrap();
+        let young_m = sys.gen_index(&pk, &record(5, "male"), &mut rng).unwrap();
+
+        assert!(sys.search(&pk, &base, &young_f).unwrap());
+        assert!(sys.search(&pk, &base, &old_f).unwrap());
+        assert!(sys.search(&pk, &delegated, &young_f).unwrap());
+        assert!(!sys.search(&pk, &delegated, &old_f).unwrap());
+        assert!(!sys.search(&pk, &delegated, &young_m).unwrap());
+    }
+
+    #[test]
+    fn finalized_capability_cannot_delegate() {
+        let sys = small_system();
+        let mut rng = StdRng::seed_from_u64(502);
+        let (pk, msk) = sys.setup(&mut rng);
+        let cap = sys
+            .gen_cap(
+                &pk,
+                &msk,
+                &Query::new().equals("sex", "male"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let fin = cap.finalize();
+        assert!(!fin.can_delegate());
+        let err = sys
+            .delegate_cap(&pk, &fin, &Query::new().range("age", 0, 3), &mut rng)
+            .unwrap_err();
+        assert_eq!(err, ApksError::NotDelegatable);
+        // still searches
+        let idx = sys.gen_index(&pk, &record(2, "male"), &mut rng).unwrap();
+        assert!(sys.search(&pk, &fin, &idx).unwrap());
+    }
+
+    #[test]
+    fn policy_enforced_at_gen_cap() {
+        let sys = small_system();
+        let mut rng = StdRng::seed_from_u64(503);
+        let (pk, msk) = sys.setup(&mut rng);
+        let policy = QueryPolicy {
+            min_dimensions: 2,
+            max_total_or_terms: 0,
+        };
+        let thin = Query::new().equals("sex", "male");
+        assert!(matches!(
+            sys.gen_cap(&pk, &msk, &thin, &policy, &mut rng),
+            Err(ApksError::PolicyViolation(_))
+        ));
+    }
+
+    #[test]
+    fn plus_flow_with_proxy() {
+        let sys = small_system();
+        let mut rng = StdRng::seed_from_u64(504);
+        let (pk, mk) = sys.setup_plus(&mut rng);
+        let cap = sys
+            .gen_cap(
+                &pk,
+                &mk.inner,
+                &Query::new().equals("sex", "female"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let partial = sys
+            .gen_partial_index(&pk, &record(6, "female"), &mut rng)
+            .unwrap();
+        // untransformed: unsearchable
+        assert!(!sys.search(&pk, &cap, &partial).unwrap());
+        let share = apks_hpe::ProxyTransformKey {
+            r_inv: mk.blinding.inv().unwrap(),
+        };
+        let full = proxy_transform(&sys, &share, &partial);
+        assert!(sys.search(&pk, &cap, &full).unwrap());
+    }
+
+    #[test]
+    fn capability_encoding_roundtrip() {
+        let sys = small_system();
+        let mut rng = StdRng::seed_from_u64(505);
+        let (pk, msk) = sys.setup(&mut rng);
+        let cap = sys
+            .gen_cap(
+                &pk,
+                &msk,
+                &Query::new().equals("sex", "female"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let mut w = Writer::new();
+        cap.encode(sys.params(), &mut w);
+        let buf = w.finish();
+        assert_eq!(buf.len(), cap.encoded_size());
+        let mut r = Reader::new(&buf);
+        let cap2 = Capability::decode(sys.params(), &mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(cap, cap2);
+    }
+
+    #[test]
+    fn cross_deployment_objects_rejected() {
+        let sys_a = small_system();
+        let schema_b = Schema::builder().flat_field("other", 1).build().unwrap();
+        let sys_b = ApksSystem::new(CurveParams::fast(), schema_b);
+        let mut rng = StdRng::seed_from_u64(506);
+        let (pk_a, msk_a) = sys_a.setup(&mut rng);
+        let (pk_b, _) = sys_b.setup(&mut rng);
+        let cap = sys_a
+            .gen_cap(
+                &pk_a,
+                &msk_a,
+                &Query::new().equals("sex", "male"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let idx_b = sys_b
+            .gen_index(&pk_b, &Record::new(vec![FieldValue::text("v")]), &mut rng)
+            .unwrap();
+        assert!(sys_a.search(&pk_a, &cap, &idx_b).is_err());
+        // and pk from the wrong system
+        assert!(sys_a
+            .gen_index(&pk_b, &record(3, "male"), &mut rng)
+            .is_err());
+    }
+}

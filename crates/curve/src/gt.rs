@@ -1,0 +1,135 @@
+//! The pairing target group `G_T = μ_q ⊂ F_{p²}^*`.
+//!
+//! After the final exponentiation, pairing values live in the order-`q`
+//! cyclotomic subgroup, where the Frobenius (conjugation) computes the
+//! inverse for free: `a^p = a^{−1}` because `p ≡ −1 (mod q)`.
+
+use crate::params::CurveParams;
+use apks_math::fp2::{Fp2, Fp2Ops};
+use apks_math::Fr;
+
+/// An element of `G_T`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Gt(pub Fp2);
+
+impl Gt {
+    /// The identity element.
+    pub fn identity(params: &CurveParams) -> Gt {
+        Gt(params.fp().fp2_one())
+    }
+
+    /// True iff this is the identity.
+    pub fn is_identity(&self, params: &CurveParams) -> bool {
+        self.0 == params.fp().fp2_one()
+    }
+
+    /// Group operation.
+    pub fn mul(&self, params: &CurveParams, rhs: &Gt) -> Gt {
+        Gt(params.fp().fp2_mul(self.0, rhs.0))
+    }
+
+    /// Inversion — free conjugation in the cyclotomic subgroup.
+    pub fn inverse(&self, params: &CurveParams) -> Gt {
+        Gt(params.fp().fp2_conj(self.0))
+    }
+
+    /// Exponentiation by a scalar.
+    pub fn pow(&self, params: &CurveParams, k: Fr) -> Gt {
+        Gt(params.gt_pow(&self.0, k))
+    }
+
+    /// Canonical encoding (an `F_{p²}` encoding).
+    pub fn to_bytes(&self, params: &CurveParams) -> Vec<u8> {
+        params.fp().fp2_to_bytes(self.0)
+    }
+
+    /// Decodes an encoding; `None` if malformed.
+    pub fn from_bytes(params: &CurveParams, bytes: &[u8]) -> Option<Gt> {
+        params.fp().fp2_from_bytes(bytes).map(Gt)
+    }
+
+    /// Compressed encoding (`8·FP_LIMBS + 1` bytes — the paper's "65B in
+    /// compressed form" for `G_T` elements at 512-bit `p`).
+    ///
+    /// Valid `G_T` elements are unitary (`c0² + c1² = 1` in `F_p[i]`), so
+    /// the imaginary part is recoverable from the real part up to sign.
+    pub fn to_bytes_compressed(&self, params: &CurveParams) -> Vec<u8> {
+        let fp = params.fp();
+        let mut out = fp.to_bytes(self.0.c0);
+        out.push(2 | u8::from(fp.parity(self.0.c1)));
+        out
+    }
+
+    /// Decodes a compressed encoding; `None` if malformed or not unitary.
+    pub fn from_bytes_compressed(params: &CurveParams, bytes: &[u8]) -> Option<Gt> {
+        let fp = params.fp();
+        let n = 8 * apks_math::FP_LIMBS;
+        if bytes.len() != n + 1 {
+            return None;
+        }
+        let flag = bytes[n];
+        if flag & !3 != 0 || flag & 2 == 0 {
+            return None;
+        }
+        let c0 = fp.from_bytes(&bytes[..n])?;
+        // c1² = 1 − c0²
+        let rhs = fp.sub(fp.one(), fp.sqr(c0));
+        let mut c1 = fp.sqrt(rhs)?;
+        if fp.parity(c1) != (flag & 1 == 1) {
+            c1 = fp.neg(c1);
+        }
+        Some(Gt(Fp2::new(c0, c1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairing::pairing;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inverse_is_conjugate() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(90);
+        let g = params.generator();
+        let e = pairing(&params, &g, &params.mul(&g, Fr::random(&mut rng)));
+        let inv = e.inverse(&params);
+        assert!(e.mul(&params, &inv).is_identity(&params));
+    }
+
+    #[test]
+    fn pow_laws() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(91);
+        let g = params.generator();
+        let e = pairing(&params, &g, &g);
+        let (a, b) = (Fr::random(&mut rng), Fr::random(&mut rng));
+        let lhs = e.pow(&params, a).mul(&params, &e.pow(&params, b));
+        let rhs = e.pow(&params, a + b);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let params = CurveParams::fast();
+        let g = params.generator();
+        let e = pairing(&params, &g, &g);
+        let enc = e.to_bytes(&params);
+        assert_eq!(Gt::from_bytes(&params, &enc), Some(e));
+    }
+
+    #[test]
+    fn compressed_roundtrip() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(92);
+        let g = params.generator();
+        for _ in 0..4 {
+            let e = pairing(&params, &g, &params.mul(&g, Fr::random(&mut rng)));
+            let enc = e.to_bytes_compressed(&params);
+            assert_eq!(enc.len(), 8 * apks_math::FP_LIMBS + 1);
+            assert_eq!(Gt::from_bytes_compressed(&params, &enc), Some(e));
+        }
+    }
+}

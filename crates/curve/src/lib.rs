@@ -1,0 +1,53 @@
+//! The pairing substrate: PBC-style *type A* supersingular curve.
+//!
+//! The paper's prototype runs on PBC's type-A parameters: the supersingular
+//! curve `E : y² = x³ + x` over `F_p` with `p ≡ 3 (mod 4)`,
+//! `#E(F_p) = p + 1 = h·q`, embedding degree 2, and the distortion map
+//! `φ(x, y) = (−x, i·y)` turning the Tate pairing into a *symmetric*
+//! pairing `ê : G × G → G_T ⊆ F_{p²}^*` on the order-`q` subgroup.
+//!
+//! This crate provides
+//!
+//! * [`CurveParams`] — a parameter context ([`CurveParams::standard`] is the
+//!   512-bit/160-bit set matching the paper's 80-bit security level;
+//!   [`CurveParams::fast`] is a smaller test set from the same family),
+//! * [`G1Affine`] / [`G1Projective`] — the group law (Jacobian coordinates),
+//!   scalar multiplication, hash-to-point, compression,
+//! * [`pairing()`], [`multi_pairing`] — Tate pairing with denominator
+//!   elimination; multi-pairing shares Miller squarings and the final
+//!   exponentiation (this is what makes `Search` cost `n + 3` pairings),
+//! * [`PreparedG1`] — pairing *preprocessing* (precomputed Miller line
+//!   coefficients for a fixed first argument), the paper's
+//!   "with preprocessing" mode (§VII-B.4),
+//! * [`Gt`] — the target group.
+//!
+//! # Example
+//!
+//! ```
+//! use apks_curve::{CurveParams, pairing};
+//! use apks_math::Fr;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let params = CurveParams::fast();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let (a, b) = (Fr::random(&mut rng), Fr::random(&mut rng));
+//! let g = params.generator();
+//! let ga = params.mul(&g, a);
+//! let gb = params.mul(&g, b);
+//! // bilinearity: e(aG, bG) = e(G, G)^{ab}
+//! let lhs = pairing(&params, &ga, &gb);
+//! let rhs = pairing(&params, &g, &g).pow(&params, a * b);
+//! assert_eq!(lhs, rhs);
+//! ```
+
+pub mod gt;
+pub mod pairing;
+pub mod params;
+pub mod point;
+pub mod prepared;
+
+pub use gt::Gt;
+pub use pairing::{final_exponentiation, multi_pairing, pairing, pairing_fp2, pairing_unreduced};
+pub use params::CurveParams;
+pub use point::{G1Affine, G1Projective};
+pub use prepared::{multi_pairing_prepared, pairing_prepared, PreparedG1};

@@ -1,0 +1,240 @@
+//! Pairing preprocessing — the paper's "with preprocessing" mode.
+//!
+//! PBC lets callers preprocess the first pairing argument; the paper reports
+//! 5.5 ms per raw pairing vs 2.5 ms with preprocessing (§VII-B.4). The same
+//! trick here: for a fixed `P`, the Miller loop's point arithmetic depends
+//! only on `P`, so we precompute per-step line *coefficients* once. A
+//! prepared pairing then only evaluates each stored line at `φ(Q)` (two
+//! `F_p` multiplications) and accumulates.
+//!
+//! Stored line form: `l(Q) = (a + b·x_Q) + i·(c·y_Q)`.
+
+use crate::pairing::{final_exponentiation, MillerValue};
+use crate::params::CurveParams;
+use crate::point::G1Affine;
+use apks_math::fp::{Fp, FpCtx};
+use apks_math::fp2::{Fp2, Fp2Ops};
+use apks_math::Fr;
+
+/// One precomputed Miller step.
+#[derive(Clone, Copy, Debug)]
+enum Step {
+    /// A line with coefficients `(a, b, c)`; evaluation is
+    /// `(a + b·x_Q) + i(c·y_Q)`.
+    Line { a: Fp, b: Fp, c: Fp },
+    /// A squaring-only step (vertical line dropped at the loop tail).
+    Skip,
+}
+
+/// A first pairing argument with its Miller lines precomputed.
+#[derive(Clone, Debug)]
+pub struct PreparedG1 {
+    /// `(double-step line, optional add-step line)` per loop iteration.
+    steps: Vec<(Step, Option<Step>)>,
+    infinity: bool,
+}
+
+impl PreparedG1 {
+    /// Preprocesses a point.
+    pub fn new(params: &CurveParams, p: &G1Affine) -> Self {
+        let fp = params.fp();
+        if p.infinity {
+            return PreparedG1 {
+                steps: Vec::new(),
+                infinity: true,
+            };
+        }
+        let order = Fr::modulus();
+        let nbits = order.bits();
+        let mut steps = Vec::with_capacity(nbits - 1);
+
+        // Affine walk with per-step inversion: preprocessing is a one-time
+        // cost, and affine coefficients are what we must store anyway.
+        let mut tx = p.x;
+        let mut ty = p.y;
+        let mut t_inf = false;
+        for i in (0..nbits - 1).rev() {
+            let dbl = if t_inf {
+                Step::Skip
+            } else {
+                // tangent: λ = (3x²+1)/(2y); line c0 = λ(x_Q + x_T) − y_T,
+                // so a = λ·x_T − y_T, b = λ, c = 1.
+                let num = fp.add(fp.add(fp.dbl(fp.sqr(tx)), fp.sqr(tx)), fp.one());
+                let lambda = fp.mul(num, fp.inv(fp.dbl(ty)).expect("y ≠ 0"));
+                let a = fp.sub(fp.mul(lambda, tx), ty);
+                let step = Step::Line {
+                    a,
+                    b: lambda,
+                    c: fp.one(),
+                };
+                let x3 = fp.sub(fp.sqr(lambda), fp.dbl(tx));
+                let y3 = fp.sub(fp.mul(lambda, fp.sub(tx, x3)), ty);
+                tx = x3;
+                ty = y3;
+                step
+            };
+            let add = if order.bit(i) && !t_inf {
+                if tx == p.x {
+                    t_inf = true;
+                    Some(Step::Skip)
+                } else {
+                    let lambda = fp.mul(
+                        fp.sub(ty, p.y),
+                        fp.inv(fp.sub(tx, p.x)).expect("distinct x"),
+                    );
+                    let a = fp.sub(fp.mul(lambda, tx), ty);
+                    let step = Step::Line {
+                        a,
+                        b: lambda,
+                        c: fp.one(),
+                    };
+                    let x3 = fp.sub(fp.sqr(lambda), fp.add(tx, p.x));
+                    let y3 = fp.sub(fp.mul(lambda, fp.sub(tx, x3)), ty);
+                    tx = x3;
+                    ty = y3;
+                    Some(step)
+                }
+            } else {
+                None
+            };
+            steps.push((dbl, add));
+        }
+        PreparedG1 {
+            steps,
+            infinity: false,
+        }
+    }
+
+    /// True iff the prepared point is the identity.
+    pub fn is_infinity(&self) -> bool {
+        self.infinity
+    }
+
+    fn eval_step(fp: &FpCtx, step: &Step, q: &G1Affine, f: Fp2) -> Fp2 {
+        match step {
+            Step::Skip => f,
+            Step::Line { a, b, c } => {
+                let c0 = fp.add(*a, fp.mul(*b, q.x));
+                let c1 = fp.mul(*c, q.y);
+                fp.fp2_mul(f, Fp2::new(c0, c1))
+            }
+        }
+    }
+}
+
+/// Pairing with a prepared first argument (unreduced).
+pub fn pairing_prepared_unreduced(
+    params: &CurveParams,
+    prep: &PreparedG1,
+    q: &G1Affine,
+) -> MillerValue {
+    let fp = params.fp();
+    if prep.infinity || q.infinity {
+        return MillerValue(fp.fp2_one());
+    }
+    let mut f = fp.fp2_one();
+    for (dbl, add) in &prep.steps {
+        f = fp.fp2_sqr(f);
+        f = PreparedG1::eval_step(fp, dbl, q, f);
+        if let Some(add) = add {
+            f = PreparedG1::eval_step(fp, add, q, f);
+        }
+    }
+    MillerValue(f)
+}
+
+/// Full pairing with a prepared first argument.
+pub fn pairing_prepared(params: &CurveParams, prep: &PreparedG1, q: &G1Affine) -> crate::Gt {
+    crate::Gt(final_exponentiation(
+        params,
+        pairing_prepared_unreduced(params, prep, q),
+    ))
+}
+
+/// Product of prepared pairings with shared squarings and one final
+/// exponentiation.
+pub fn multi_pairing_prepared(
+    params: &CurveParams,
+    pairs: &[(&PreparedG1, G1Affine)],
+) -> crate::Gt {
+    let fp = params.fp();
+    let live: Vec<&(&PreparedG1, G1Affine)> = pairs
+        .iter()
+        .filter(|(p, q)| !p.infinity && !q.infinity)
+        .collect();
+    if live.is_empty() {
+        return crate::Gt(fp.fp2_one());
+    }
+    let nsteps = live[0].0.steps.len();
+    debug_assert!(live.iter().all(|(p, _)| p.steps.len() == nsteps));
+    let mut f = fp.fp2_one();
+    for s in 0..nsteps {
+        f = fp.fp2_sqr(f);
+        for (prep, q) in &live {
+            let (dbl, add) = &prep.steps[s];
+            f = PreparedG1::eval_step(fp, dbl, q, f);
+            if let Some(add) = add {
+                f = PreparedG1::eval_step(fp, add, q, f);
+            }
+        }
+    }
+    crate::Gt(final_exponentiation(params, MillerValue(f)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairing::{multi_pairing, pairing};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn prepared_matches_plain() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(100);
+        let g = params.generator();
+        for _ in 0..3 {
+            let p = params.mul(&g, Fr::random(&mut rng));
+            let q = params.mul(&g, Fr::random(&mut rng));
+            let prep = PreparedG1::new(&params, &p);
+            assert_eq!(
+                pairing_prepared(&params, &prep, &q),
+                pairing(&params, &p, &q)
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_identity() {
+        let params = CurveParams::fast();
+        let g = params.generator();
+        let prep = PreparedG1::new(&params, &G1Affine::identity());
+        assert!(prep.is_infinity());
+        assert!(pairing_prepared(&params, &prep, &g).is_identity(&params));
+    }
+
+    #[test]
+    fn multi_prepared_matches_multi() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(101);
+        let g = params.generator();
+        let pts: Vec<(G1Affine, G1Affine)> = (0..3)
+            .map(|_| {
+                (
+                    params.mul(&g, Fr::random(&mut rng)),
+                    params.mul(&g, Fr::random(&mut rng)),
+                )
+            })
+            .collect();
+        let preps: Vec<PreparedG1> = pts.iter().map(|(p, _)| PreparedG1::new(&params, p)).collect();
+        let pairs: Vec<(&PreparedG1, G1Affine)> = preps
+            .iter()
+            .zip(pts.iter())
+            .map(|(prep, (_, q))| (prep, *q))
+            .collect();
+        assert_eq!(
+            multi_pairing_prepared(&params, &pairs),
+            multi_pairing(&params, &pts)
+        );
+    }
+}

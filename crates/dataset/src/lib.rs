@@ -1,0 +1,21 @@
+//! Workload generators for the evaluation (§VII-A of the paper).
+//!
+//! * [`nursery`] — the UCI **Nursery** dataset the paper benchmarks on:
+//!   8 categorical attributes (≤ 5 values each) whose full Cartesian
+//!   product is exactly the dataset's 12,960 instances, plus the class
+//!   column as 9th dimension. We reconstruct it generatively (see
+//!   DESIGN.md §5: the benchmarks depend only on the attribute structure;
+//!   the class label uses a fixed rule approximating the original
+//!   expert model).
+//! * [`phr`] — synthetic Personal Health Records exercising the paper's
+//!   motivating scenario: hierarchical age/region/illness/time fields.
+//! * [`zipf`] — Zipf-distributed keyword sampling for the statistical
+//!   attack discussion in §VI.
+
+pub mod nursery;
+pub mod phr;
+pub mod zipf;
+
+pub use nursery::{nursery_records, nursery_schema, NURSERY_ATTRIBUTES, NURSERY_ROWS};
+pub use phr::{phr_schema, random_phr_record, PhrConfig};
+pub use zipf::Zipf;

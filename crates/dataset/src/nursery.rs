@@ -1,0 +1,183 @@
+//! The UCI Nursery dataset, reconstructed generatively.
+//!
+//! Nursery (Olave, Rajkovič & Bohanec, 1989; UCI ML Repository) ranks
+//! nursery-school applications. Its 12,960 instances are the *complete*
+//! Cartesian product of 8 categorical attributes — which is why it can be
+//! reconstructed exactly on the attribute side without the original file.
+//! The 9th column (the class) came from an expert decision model; we use
+//! the model's well-known dominant rules (`health = not_recom ⇒
+//! not_recom`, etc.), which preserves the label distribution's shape —
+//! irrelevant to the timing experiments, which only hash attribute
+//! values.
+
+use apks_core::{ApksError, FieldValue, Record, Schema};
+use std::sync::Arc;
+
+/// The 8 input attributes and their value sets, in UCI column order.
+pub const NURSERY_ATTRIBUTES: [(&str, &[&str]); 8] = [
+    ("parents", &["usual", "pretentious", "great_pret"]),
+    (
+        "has_nurs",
+        &["proper", "less_proper", "improper", "critical", "very_crit"],
+    ),
+    ("form", &["complete", "completed", "incomplete", "foster"]),
+    ("children", &["1", "2", "3", "more"]),
+    ("housing", &["convenient", "less_conv", "critical"]),
+    ("finance", &["convenient", "inconv"]),
+    ("social", &["nonprob", "slightly_prob", "problematic"]),
+    ("health", &["recommended", "priority", "not_recom"]),
+];
+
+/// Class values of the 9th column.
+pub const NURSERY_CLASSES: [&str; 5] = [
+    "not_recom",
+    "recommend",
+    "very_recom",
+    "priority",
+    "spec_prior",
+];
+
+/// Total number of instances: `3·5·4·4·3·2·3·3 = 12960`.
+pub const NURSERY_ROWS: usize = 12_960;
+
+/// Builds the 9-dimension APKS schema for the Nursery table with OR
+/// budget `d` per dimension (the paper's `m = 9`, `d_i = d`
+/// configuration).
+///
+/// # Errors
+///
+/// Propagates schema-construction errors (none for valid `d > 0`).
+pub fn nursery_schema(d: usize) -> Result<Arc<Schema>, ApksError> {
+    let mut b = Schema::builder();
+    for (name, _) in NURSERY_ATTRIBUTES {
+        b = b.flat_field(name, d);
+    }
+    b.flat_field("class", d).build()
+}
+
+/// The class-label rule approximating the original expert model.
+fn class_of(values: &[&str; 8]) -> &'static str {
+    let [parents, has_nurs, _form, _children, housing, finance, social, health] = *values;
+    if health == "not_recom" {
+        return "not_recom";
+    }
+    if social == "problematic" {
+        return "spec_prior";
+    }
+    if has_nurs == "very_crit" {
+        return "spec_prior";
+    }
+    if has_nurs == "critical" || parents == "great_pret" {
+        return "priority";
+    }
+    if health == "priority" {
+        return "priority";
+    }
+    // health == recommended, application unproblematic
+    if housing == "convenient" && finance == "convenient" && social == "nonprob" {
+        if parents == "usual" && has_nurs == "proper" {
+            "recommend"
+        } else {
+            "very_recom"
+        }
+    } else {
+        "very_recom"
+    }
+}
+
+/// Generates all 12,960 records (attribute product order, class appended
+/// as 9th value).
+pub fn nursery_records() -> Vec<Record> {
+    let mut out = Vec::with_capacity(NURSERY_ROWS);
+    let sizes: Vec<usize> = NURSERY_ATTRIBUTES.iter().map(|(_, v)| v.len()).collect();
+    let total: usize = sizes.iter().product();
+    debug_assert_eq!(total, NURSERY_ROWS);
+    for mut idx in 0..total {
+        let mut values: [&str; 8] = [""; 8];
+        for (slot, (_, vals)) in NURSERY_ATTRIBUTES.iter().enumerate().rev() {
+            values[slot] = vals[idx % vals.len()];
+            idx /= vals.len();
+        }
+        let mut rec: Vec<FieldValue> = values.iter().map(|v| FieldValue::text(*v)).collect();
+        rec.push(FieldValue::text(class_of(&values)));
+        out.push(Record::new(rec));
+    }
+    out
+}
+
+/// A deterministic subsample of the dataset (for bounded benchmark runs).
+pub fn nursery_sample(count: usize) -> Vec<Record> {
+    let all = nursery_records();
+    let stride = (all.len() / count.max(1)).max(1);
+    all.into_iter().step_by(stride).take(count).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_count_exact() {
+        let rows = nursery_records();
+        assert_eq!(rows.len(), NURSERY_ROWS);
+    }
+
+    #[test]
+    fn rows_are_distinct_and_complete() {
+        let rows = nursery_records();
+        let mut seen = std::collections::HashSet::new();
+        for r in &rows {
+            let key: Vec<String> = r.values[..8].iter().map(|v| v.label()).collect();
+            assert!(seen.insert(key), "duplicate attribute combination");
+        }
+        assert_eq!(seen.len(), NURSERY_ROWS);
+    }
+
+    #[test]
+    fn all_class_values_appear() {
+        let rows = nursery_records();
+        let mut classes = std::collections::HashSet::new();
+        for r in &rows {
+            classes.insert(r.values[8].label());
+        }
+        for c in NURSERY_CLASSES {
+            assert!(classes.contains(c), "missing class {c}");
+        }
+    }
+
+    #[test]
+    fn not_recom_is_exactly_one_third() {
+        // health has 3 values; health = not_recom forces the class, so a
+        // third of all instances are not_recom — matching the real
+        // dataset's 4320.
+        let rows = nursery_records();
+        let n = rows
+            .iter()
+            .filter(|r| r.values[8] == FieldValue::text("not_recom"))
+            .count();
+        assert_eq!(n, NURSERY_ROWS / 3);
+    }
+
+    #[test]
+    fn schema_dimensions() {
+        let s = nursery_schema(5).unwrap();
+        assert_eq!(s.m_prime(), 9);
+        assert_eq!(s.n(), 9 * 5 + 1); // the paper's n = 46 configuration
+        let s1 = nursery_schema(1).unwrap();
+        assert_eq!(s1.n(), 10);
+    }
+
+    #[test]
+    fn records_fit_schema() {
+        let s = nursery_schema(2).unwrap();
+        for r in nursery_sample(50) {
+            s.convert_record(&r).unwrap();
+        }
+    }
+
+    #[test]
+    fn sample_is_bounded() {
+        assert_eq!(nursery_sample(100).len(), 100);
+        assert!(nursery_sample(100_000).len() <= NURSERY_ROWS);
+    }
+}

@@ -1,0 +1,105 @@
+//! Zipf-distributed keyword sampling.
+//!
+//! §VI observes that with background knowledge of keyword frequencies a
+//! server can guess query keywords from capability match rates. Real
+//! keyword frequencies are Zipfian; this sampler feeds the statistical
+//! attack demonstration and its min-dimension countermeasure.
+
+use rand::Rng;
+
+/// A Zipf(`s`) distribution over ranks `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution (`s` = skew exponent, typically ~1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "empty support");
+        assert!(s >= 0.0, "negative skew");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True iff the support is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (0 = most frequent).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(10, 1.0);
+        let total: f64 = (0..10).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_zero_most_frequent() {
+        let z = Zipf::new(20, 1.2);
+        for k in 1..20 {
+            assert!(z.pmf(0) >= z.pmf(k));
+        }
+    }
+
+    #[test]
+    fn samples_follow_skew() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(1400);
+        let mut counts = [0usize; 5];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-9);
+        }
+    }
+}

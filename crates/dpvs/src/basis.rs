@@ -1,0 +1,281 @@
+//! Dual orthonormal basis generation.
+//!
+//! [`Dpvs::generate_dual_bases`] samples the master matrix
+//! `X ∈ GL(n, F_q)` and materializes `B = X·A` and `B* = (Xᵀ)⁻¹·A*` as
+//! point matrices: row `i` of `B` is `(g^{X_{i,1}}, …, g^{X_{i,n}})`.
+//! Both bases cost `n²` fixed-base exponentiations — the `O(n₀²)` setup
+//! the paper measures in Fig. 8(a).
+
+use crate::matrix::FrMatrix;
+use crate::vector::DpvsVector;
+use apks_curve::CurveParams;
+use apks_math::Fr;
+use rand::Rng;
+use std::sync::Arc;
+
+/// A basis of the point vector space: `n` rows of dimension `n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DpvsBasis {
+    rows: Vec<DpvsVector>,
+}
+
+impl DpvsBasis {
+    /// Builds a basis from rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are ragged.
+    pub fn from_rows(rows: Vec<DpvsVector>) -> Self {
+        if let Some(first) = rows.first() {
+            assert!(rows.iter().all(|r| r.dim() == first.dim()), "ragged basis");
+        }
+        DpvsBasis { rows }
+    }
+
+    /// Number of rows (may be less than the dimension for the *published*
+    /// part `B̂` of a basis).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the basis holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The ambient dimension.
+    pub fn dim(&self) -> usize {
+        self.rows.first().map_or(0, |r| r.dim())
+    }
+
+    /// A row.
+    pub fn row(&self, i: usize) -> &DpvsVector {
+        &self.rows[i]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[DpvsVector] {
+        &self.rows
+    }
+
+    /// Linear combination of *all* rows by `coeffs` (zeros skipped).
+    pub fn combine(&self, params: &CurveParams, coeffs: &[Fr]) -> DpvsVector {
+        let refs: Vec<&DpvsVector> = self.rows.iter().collect();
+        DpvsVector::linear_combination(params, &refs, coeffs)
+    }
+
+    /// Canonical encoding: row count then each row.
+    pub fn encode(&self, params: &CurveParams, w: &mut apks_math::encode::Writer) {
+        w.u32(self.rows.len() as u32);
+        for row in &self.rows {
+            row.encode(params, w);
+        }
+    }
+
+    /// Decodes a basis.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation, invalid points, or ragged rows.
+    pub fn decode(
+        params: &CurveParams,
+        r: &mut apks_math::encode::Reader<'_>,
+    ) -> Result<Self, apks_math::encode::DecodeError> {
+        let count = r.u32()? as usize;
+        let mut rows = Vec::with_capacity(count);
+        for _ in 0..count {
+            rows.push(DpvsVector::decode(params, r)?);
+        }
+        if let Some(first) = rows.first() {
+            if !rows.iter().all(|row| row.dim() == first.dim()) {
+                return Err(apks_math::encode::DecodeError::Invalid("ragged basis"));
+            }
+        }
+        Ok(DpvsBasis { rows })
+    }
+}
+
+/// The DPVS context: curve parameters plus the space dimension.
+#[derive(Clone, Debug)]
+pub struct Dpvs {
+    params: Arc<CurveParams>,
+    n: usize,
+}
+
+impl Dpvs {
+    /// Creates a context for `n`-dimensional spaces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(params: Arc<CurveParams>, n: usize) -> Self {
+        assert!(n > 0, "dimension must be positive");
+        Dpvs { params, n }
+    }
+
+    /// The ambient dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The underlying curve parameters.
+    pub fn params(&self) -> &Arc<CurveParams> {
+        &self.params
+    }
+
+    /// Samples `X ∈ GL(n, F_q)` and returns `(B, B*, X, Y)` where
+    /// `Y = (Xᵀ)⁻¹` is the exponent matrix of `B*`.
+    ///
+    /// `B` and `B*` satisfy `e(bᵢ, b*ⱼ) = g_T^{δᵢⱼ}`. Holding `Y` lets
+    /// the master-key owner build `B*`-combinations in the exponent
+    /// (one `F_q` matvec plus `n` fixed-base exponentiations instead of
+    /// `n²` point multiplications) — this is what keeps HPE `GenKey` at
+    /// the paper's `O(n₀²)` cost.
+    pub fn generate_dual_bases<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> (DpvsBasis, DpvsBasis, FrMatrix, FrMatrix) {
+        let (x, x_inv) = FrMatrix::random_invertible(self.n, rng);
+        let b = self.basis_from_matrix(&x);
+        // B* rows use Y = (Xᵀ)⁻¹ = (X⁻¹)ᵀ
+        let y = x_inv.transpose();
+        let b_star = self.basis_from_matrix(&y);
+        (b, b_star, x, y)
+    }
+
+    /// Computes `Σᵢ coeffs[i] · g^{Y_{i,·}}` — a basis combination done in
+    /// the exponent: `e = coeffsᵀ·Y` over `F_q`, then one fixed-base
+    /// exponentiation per coordinate.
+    pub fn combine_in_exponent(&self, y: &FrMatrix, coeffs: &[Fr]) -> DpvsVector {
+        assert_eq!(y.rows(), coeffs.len(), "rows/coeffs mismatch");
+        assert_eq!(y.cols(), self.n, "matrix width mismatch");
+        let fp = self.params.fp();
+        let mut exps = vec![Fr::ZERO; self.n];
+        for (i, &c) in coeffs.iter().enumerate() {
+            if c.is_zero() {
+                continue;
+            }
+            for (j, e) in exps.iter_mut().enumerate() {
+                *e += c * y[(i, j)];
+            }
+        }
+        let proj: Vec<_> = exps.iter().map(|&e| self.params.mul_generator(e)).collect();
+        DpvsVector(apks_curve::point::batch_to_affine(fp, &proj))
+    }
+
+    /// Materializes the point matrix `g^{M}` row by row (fixed-base
+    /// exponentiations of the group generator).
+    pub fn basis_from_matrix(&self, m: &FrMatrix) -> DpvsBasis {
+        assert_eq!(m.rows(), self.n);
+        assert_eq!(m.cols(), self.n);
+        let fp = self.params.fp();
+        let rows = (0..self.n)
+            .map(|i| {
+                let proj: Vec<_> = m.row(i).iter().map(|&c| self.params.mul_generator(c)).collect();
+                DpvsVector(apks_curve::point::batch_to_affine(fp, &proj))
+            })
+            .collect();
+        DpvsBasis::from_rows(rows)
+    }
+
+    /// Scales every row of a basis by `k` — the HPE⁺ blinding
+    /// `B̃* := r·B*` (Fig. 7 of the paper).
+    pub fn scale_basis(&self, basis: &DpvsBasis, k: Fr) -> DpvsBasis {
+        DpvsBasis::from_rows(
+            basis
+                .rows()
+                .iter()
+                .map(|row| row.scale(&self.params, k))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dual_orthonormality() {
+        let params = CurveParams::fast();
+        let dpvs = Dpvs::new(params.clone(), 4);
+        let mut rng = StdRng::seed_from_u64(20);
+        let (b, b_star, _, _) = dpvs.generate_dual_bases(&mut rng);
+        let gt_gen = apks_curve::Gt(params.gt_generator());
+        let one = apks_curve::Gt::identity(&params);
+        for i in 0..4 {
+            for j in 0..4 {
+                let e = b.row(i).pair(&params, b_star.row(j));
+                if i == j {
+                    assert_eq!(e, gt_gen, "e(b_{i}, b*_{j}) must be g_T");
+                } else {
+                    assert_eq!(e, one, "e(b_{i}, b*_{j}) must be 1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inner_product_in_exponent() {
+        let params = CurveParams::fast();
+        let n = 3;
+        let dpvs = Dpvs::new(params.clone(), n);
+        let mut rng = StdRng::seed_from_u64(21);
+        let (b, b_star, _, _) = dpvs.generate_dual_bases(&mut rng);
+        let x: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let v: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let cx = b.combine(&params, &x);
+        let kv = b_star.combine(&params, &v);
+        let lhs = cx.pair(&params, &kv);
+        let ip: Fr = x.iter().zip(&v).map(|(&a, &b)| a * b).sum();
+        let rhs = apks_curve::Gt(params.gt_generator()).pow(&params, ip);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn exponent_combination_matches_point_combination() {
+        let params = CurveParams::fast();
+        let n = 4;
+        let dpvs = Dpvs::new(params.clone(), n);
+        let mut rng = StdRng::seed_from_u64(25);
+        let (_b, b_star, _x, y) = dpvs.generate_dual_bases(&mut rng);
+        let mut coeffs: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        coeffs[1] = Fr::ZERO;
+        let via_points = b_star.combine(&params, &coeffs);
+        let via_exponent = dpvs.combine_in_exponent(&y, &coeffs);
+        assert_eq!(via_points, via_exponent);
+    }
+
+    #[test]
+    fn orthogonal_vectors_pair_to_identity() {
+        let params = CurveParams::fast();
+        let n = 3;
+        let dpvs = Dpvs::new(params.clone(), n);
+        let mut rng = StdRng::seed_from_u64(22);
+        let (b, b_star, _, _) = dpvs.generate_dual_bases(&mut rng);
+        // x = (1, t, 0), v = (−t·s, s, 0) ⇒ x·v = 0
+        let t = Fr::random(&mut rng);
+        let s = Fr::random_nonzero(&mut rng);
+        let x = vec![Fr::one(), t, Fr::ZERO];
+        let v = vec![-(t * s), s, Fr::ZERO];
+        let cx = b.combine(&params, &x);
+        let kv = b_star.combine(&params, &v);
+        assert!(cx.pair(&params, &kv).is_identity(&params));
+    }
+
+    #[test]
+    fn scaled_basis_shifts_pairing() {
+        // e(x, r·y) = e(x, y)^r — the HPE⁺ blinding relation.
+        let params = CurveParams::fast();
+        let dpvs = Dpvs::new(params.clone(), 2);
+        let mut rng = StdRng::seed_from_u64(23);
+        let (b, b_star, _, _) = dpvs.generate_dual_bases(&mut rng);
+        let r = Fr::random_nonzero(&mut rng);
+        let scaled = dpvs.scale_basis(&b_star, r);
+        let e1 = b.row(0).pair(&params, scaled.row(0));
+        let e2 = b.row(0).pair(&params, b_star.row(0)).pow(&params, r);
+        assert_eq!(e1, e2);
+    }
+}

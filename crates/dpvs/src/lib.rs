@@ -1,0 +1,27 @@
+//! Dual Pairing Vector Spaces (DPVS) — the algebraic frame of HPE.
+//!
+//! Okamoto–Takashima's HPE works in `n₀`-dimensional vector spaces
+//! `V = G × … × G` over a bilinear group. A master secret is a random
+//! change-of-basis matrix `X ∈ GL(n₀, F_q)`; the public basis is
+//! `B = X·A` (with `A` the canonical basis) and the dual secret basis is
+//! `B* = (Xᵀ)⁻¹·A*`. The defining property is *dual orthonormality*:
+//!
+//! ```text
+//! e(b_i, b*_j) = g_T^{δ_ij}
+//! ```
+//!
+//! so that for vectors expressed in the dual bases,
+//! `e(Σ xᵢ bᵢ, Σ vⱼ b*ⱼ) = g_T^{x⃗·v⃗}` — inner products in the exponent,
+//! which is exactly what inner-product predicate encryption needs.
+//!
+//! The crate provides [`FrMatrix`] (the `F_q` linear algebra), [`DpvsVector`]
+//! (a vector of curve points with group operations and MSM), and [`Dpvs`]
+//! (basis generation and the pairing form).
+
+pub mod basis;
+pub mod matrix;
+pub mod vector;
+
+pub use basis::{Dpvs, DpvsBasis};
+pub use matrix::FrMatrix;
+pub use vector::DpvsVector;

@@ -1,0 +1,296 @@
+//! Dense matrices over the scalar field `F_q`.
+//!
+//! Used for the DPVS change-of-basis matrices: random `GL(n, F_q)`
+//! sampling, inversion (Gauss–Jordan), transpose, and multiplication.
+//! A uniformly random matrix over a 160-bit field is invertible with
+//! overwhelming probability, so rejection sampling terminates immediately
+//! in practice.
+
+use apks_math::Fr;
+use rand::Rng;
+
+/// A dense `rows × cols` matrix over `F_q`, row-major.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Fr>,
+}
+
+impl FrMatrix {
+    /// The zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        FrMatrix {
+            rows,
+            cols,
+            data: vec![Fr::ZERO; rows * cols],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = FrMatrix::zero(n, n);
+        for i in 0..n {
+            m[(i, i)] = Fr::one();
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major element vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Fr>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        FrMatrix { rows, cols, data }
+    }
+
+    /// A uniformly random matrix.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        FrMatrix {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| Fr::random(rng)).collect(),
+        }
+    }
+
+    /// Samples a uniformly random invertible matrix together with its
+    /// inverse (the DPVS master-secret pair).
+    pub fn random_invertible<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (Self, Self) {
+        loop {
+            let m = FrMatrix::random(n, n, rng);
+            if let Some(inv) = m.inverse() {
+                return (m, inv);
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// A row as a slice.
+    pub fn row(&self, i: usize) -> &[Fr] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix multiplication.
+    ///
+    /// # Panics
+    ///
+    /// Panics on incompatible shapes.
+    pub fn mul(&self, rhs: &FrMatrix) -> FrMatrix {
+        assert_eq!(self.cols, rhs.rows, "matrix shape mismatch");
+        let mut out = FrMatrix::zero(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `M·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[Fr]) -> Vec<Fr> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(v).map(|(&a, &b)| a * b).sum())
+            .collect()
+    }
+
+    /// Scalar multiple of the whole matrix.
+    pub fn scale(&self, k: Fr) -> FrMatrix {
+        FrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| v * k).collect(),
+        }
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> FrMatrix {
+        let mut out = FrMatrix::zero(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Gauss–Jordan inversion; `None` if singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<FrMatrix> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = FrMatrix::identity(n);
+        for col in 0..n {
+            // find pivot
+            let pivot_row = (col..n).find(|&r| !a[(r, col)].is_zero())?;
+            if pivot_row != col {
+                a.swap_rows(pivot_row, col);
+                inv.swap_rows(pivot_row, col);
+            }
+            let pinv = a[(col, col)].inv().expect("pivot nonzero");
+            for j in 0..n {
+                a[(col, j)] *= pinv;
+                inv[(col, j)] *= pinv;
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a[(r, col)];
+                if factor.is_zero() {
+                    continue;
+                }
+                for j in 0..n {
+                    let av = a[(col, j)];
+                    let iv = inv[(col, j)];
+                    a[(r, j)] -= factor * av;
+                    inv[(r, j)] -= factor * iv;
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(i * self.cols + c, j * self.cols + c);
+        }
+    }
+
+    /// Canonical encoding: shape header plus row-major field elements.
+    pub fn encode(&self, w: &mut apks_math::encode::Writer) {
+        w.u32(self.rows as u32);
+        w.u32(self.cols as u32);
+        for v in &self.data {
+            w.bytes(&v.to_bytes());
+        }
+    }
+
+    /// Decodes a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a non-canonical field element.
+    pub fn decode(
+        r: &mut apks_math::encode::Reader<'_>,
+    ) -> Result<Self, apks_math::encode::DecodeError> {
+        use apks_math::encode::DecodeError;
+        let rows = r.u32()? as usize;
+        let cols = r.u32()? as usize;
+        let count = rows
+            .checked_mul(cols)
+            .ok_or(DecodeError::Invalid("matrix shape overflow"))?;
+        let mut data = Vec::with_capacity(count);
+        for _ in 0..count {
+            let bytes: [u8; 32] = r
+                .bytes(32)?
+                .try_into()
+                .map_err(|_| DecodeError::UnexpectedEnd)?;
+            data.push(Fr::from_bytes(&bytes).ok_or(DecodeError::Invalid("Fr element"))?);
+        }
+        Ok(FrMatrix { rows, cols, data })
+    }
+}
+
+impl core::ops::Index<(usize, usize)> for FrMatrix {
+    type Output = Fr;
+    fn index(&self, (i, j): (usize, usize)) -> &Fr {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl core::ops::IndexMut<(usize, usize)> for FrMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Fr {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = FrMatrix::random(4, 4, &mut rng);
+        assert_eq!(m.mul(&FrMatrix::identity(4)), m);
+        assert_eq!(FrMatrix::identity(4).mul(&m), m);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (m, minv) = FrMatrix::random_invertible(6, &mut rng);
+        assert_eq!(m.mul(&minv), FrMatrix::identity(6));
+        assert_eq!(minv.mul(&m), FrMatrix::identity(6));
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let mut m = FrMatrix::zero(3, 3);
+        m[(0, 0)] = Fr::one();
+        m[(1, 1)] = Fr::one();
+        // third row zero → singular
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = FrMatrix::random(3, 5, &mut rng);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = FrMatrix::random(4, 3, &mut rng);
+        let v: Vec<Fr> = (0..3).map(|_| Fr::random(&mut rng)).collect();
+        let as_matrix = FrMatrix::from_vec(3, 1, v.clone());
+        let prod = m.mul(&as_matrix);
+        let direct = m.mul_vec(&v);
+        for i in 0..4 {
+            assert_eq!(prod[(i, 0)], direct[i]);
+        }
+    }
+
+    #[test]
+    fn transpose_inverse_commutes() {
+        // (Xᵀ)⁻¹ == (X⁻¹)ᵀ — the identity the dual basis construction uses.
+        let mut rng = StdRng::seed_from_u64(5);
+        let (x, xinv) = FrMatrix::random_invertible(5, &mut rng);
+        let a = x.transpose().inverse().unwrap();
+        let b = xinv.transpose();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,285 @@
+//! Vectors of curve points with the group operations HPE needs.
+//!
+//! A [`DpvsVector`] is an element of `V = G^{n₀}`: coordinate-wise point
+//! addition, scalar multiplication, linear combinations of basis rows
+//! (a small multi-scalar multiplication per coordinate), and the pairing
+//! form `e(x, y) = Π e(xᵢ, yᵢ)` evaluated as one multi-pairing.
+
+use apks_curve::{multi_pairing, CurveParams, G1Affine, G1Projective, Gt};
+use apks_math::encode::{DecodeError, Reader, Writer};
+use apks_math::Fr;
+
+/// An element of the `n₀`-dimensional point vector space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DpvsVector(pub Vec<G1Affine>);
+
+impl DpvsVector {
+    /// The zero vector (all identities) of dimension `n`.
+    pub fn zero(n: usize) -> Self {
+        DpvsVector(vec![G1Affine::identity(); n])
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Coordinate-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn add(&self, params: &CurveParams, rhs: &DpvsVector) -> DpvsVector {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        let fp = params.fp();
+        let proj: Vec<G1Projective> = self
+            .0
+            .iter()
+            .zip(&rhs.0)
+            .map(|(a, b)| a.to_projective(fp).add_mixed(fp, b))
+            .collect();
+        DpvsVector(apks_curve::point::batch_to_affine(fp, &proj))
+    }
+
+    /// Scalar multiplication of every coordinate.
+    pub fn scale(&self, params: &CurveParams, k: Fr) -> DpvsVector {
+        let fp = params.fp();
+        let proj: Vec<G1Projective> = self
+            .0
+            .iter()
+            .map(|a| a.to_projective(fp).mul_scalar(fp, k))
+            .collect();
+        DpvsVector(apks_curve::point::batch_to_affine(fp, &proj))
+    }
+
+    /// Linear combination `Σ coeffs[i] · rows[i]`.
+    ///
+    /// This is the workhorse of HPE key generation and encryption: each
+    /// output coordinate is an MSM of up to `rows.len()` terms. Zero
+    /// coefficients are skipped, which is exactly the "don't care"
+    /// speed-up the paper measures in Fig. 8(c). The MSM interleaves all
+    /// terms of a coordinate into one shared doubling chain (Straus),
+    /// which is several times faster than per-term double-and-add; the
+    /// naive path is kept as [`DpvsVector::linear_combination_naive`] for
+    /// the ablation benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` and `coeffs` lengths differ, or rows have unequal
+    /// dimensions.
+    pub fn linear_combination(
+        params: &CurveParams,
+        rows: &[&DpvsVector],
+        coeffs: &[Fr],
+    ) -> DpvsVector {
+        assert_eq!(rows.len(), coeffs.len(), "rows/coeffs mismatch");
+        assert!(!rows.is_empty(), "empty linear combination");
+        let n = rows[0].dim();
+        assert!(rows.iter().all(|r| r.dim() == n), "ragged rows");
+        let fp = params.fp();
+
+        // live terms: skip zero coefficients entirely
+        let live: Vec<(usize, apks_math::UintR)> = coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(i, c)| (i, c.to_uint()))
+            .collect();
+        if live.is_empty() {
+            return DpvsVector::zero(n);
+        }
+        let top = live.iter().map(|(_, s)| s.bits()).max().unwrap_or(0);
+
+        let mut acc = Vec::with_capacity(n);
+        for j in 0..n {
+            let mut a = G1Projective::identity(fp);
+            for bit in (0..top).rev() {
+                a = a.double(fp);
+                for (i, scalar) in &live {
+                    if scalar.bit(bit) {
+                        a = a.add_mixed(fp, &rows[*i].0[j]);
+                    }
+                }
+            }
+            acc.push(a);
+        }
+        DpvsVector(apks_curve::point::batch_to_affine(fp, &acc))
+    }
+
+    /// The naive per-term double-and-add linear combination (ablation
+    /// baseline for the interleaved MSM).
+    ///
+    /// # Panics
+    ///
+    /// As [`DpvsVector::linear_combination`].
+    pub fn linear_combination_naive(
+        params: &CurveParams,
+        rows: &[&DpvsVector],
+        coeffs: &[Fr],
+    ) -> DpvsVector {
+        assert_eq!(rows.len(), coeffs.len(), "rows/coeffs mismatch");
+        assert!(!rows.is_empty(), "empty linear combination");
+        let n = rows[0].dim();
+        assert!(rows.iter().all(|r| r.dim() == n), "ragged rows");
+        let fp = params.fp();
+        let mut acc = vec![G1Projective::identity(fp); n];
+        for (row, &c) in rows.iter().zip(coeffs) {
+            if c.is_zero() {
+                continue;
+            }
+            for (j, accj) in acc.iter_mut().enumerate() {
+                let term = row.0[j].to_projective(fp).mul_scalar(fp, c);
+                *accj = accj.add(fp, &term);
+            }
+        }
+        DpvsVector(apks_curve::point::batch_to_affine(fp, &acc))
+    }
+
+    /// The pairing form `e(x, y) = Π e(xᵢ, yᵢ)`, computed as one
+    /// multi-pairing with a single final exponentiation.
+    ///
+    /// For `x = Σ xᵢ bᵢ` and `y = Σ vⱼ b*ⱼ` this equals `g_T^{x⃗·v⃗}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn pair(&self, params: &CurveParams, rhs: &DpvsVector) -> Gt {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        let pairs: Vec<(G1Affine, G1Affine)> = self
+            .0
+            .iter()
+            .zip(&rhs.0)
+            .map(|(a, b)| (*a, *b))
+            .collect();
+        multi_pairing(params, &pairs)
+    }
+
+    /// Canonical encoding: dimension, then compressed points.
+    pub fn encode(&self, params: &CurveParams, w: &mut Writer) {
+        w.u32(self.dim() as u32);
+        for p in &self.0 {
+            w.bytes(&p.to_bytes(params.fp()));
+        }
+    }
+
+    /// Decodes a vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or an off-curve point.
+    pub fn decode(params: &CurveParams, r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let n = r.u32()? as usize;
+        let len = 8 * apks_math::FP_LIMBS + 1;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let bytes = r.bytes(len)?;
+            let p = G1Affine::from_bytes(params.fp(), bytes)
+                .ok_or(DecodeError::Invalid("curve point"))?;
+            out.push(p);
+        }
+        Ok(DpvsVector(out))
+    }
+
+    /// Encoded size in bytes for a vector of dimension `n`.
+    pub fn encoded_size(n: usize) -> usize {
+        4 + n * (8 * apks_math::FP_LIMBS + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_vector(params: &CurveParams, n: usize, rng: &mut StdRng) -> DpvsVector {
+        DpvsVector(
+            (0..n)
+                .map(|_| params.mul(&params.generator(), Fr::random(rng)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(10);
+        let v = random_vector(&params, 4, &mut rng);
+        let two_v = v.scale(&params, Fr::from_u64(2));
+        assert_eq!(v.add(&params, &v), two_v);
+        let zero = DpvsVector::zero(4);
+        assert_eq!(v.add(&params, &zero), v);
+    }
+
+    #[test]
+    fn linear_combination_matches_manual() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(11);
+        let rows: Vec<DpvsVector> = (0..3).map(|_| random_vector(&params, 4, &mut rng)).collect();
+        let coeffs: Vec<Fr> = (0..3).map(|_| Fr::random(&mut rng)).collect();
+        let refs: Vec<&DpvsVector> = rows.iter().collect();
+        let combo = DpvsVector::linear_combination(&params, &refs, &coeffs);
+        let manual = rows[0]
+            .scale(&params, coeffs[0])
+            .add(&params, &rows[1].scale(&params, coeffs[1]))
+            .add(&params, &rows[2].scale(&params, coeffs[2]));
+        assert_eq!(combo, manual);
+    }
+
+    #[test]
+    fn interleaved_msm_matches_naive() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(15);
+        let rows: Vec<DpvsVector> = (0..5).map(|_| random_vector(&params, 3, &mut rng)).collect();
+        let refs: Vec<&DpvsVector> = rows.iter().collect();
+        let mut coeffs: Vec<Fr> = (0..5).map(|_| Fr::random(&mut rng)).collect();
+        coeffs[2] = Fr::ZERO; // exercise the zero-skip path
+        let fast = DpvsVector::linear_combination(&params, &refs, &coeffs);
+        let slow = DpvsVector::linear_combination_naive(&params, &refs, &coeffs);
+        assert_eq!(fast, slow);
+        // all-zero coefficients give the zero vector
+        let zeros = vec![Fr::ZERO; 5];
+        assert_eq!(
+            DpvsVector::linear_combination(&params, &refs, &zeros),
+            DpvsVector::zero(3)
+        );
+    }
+
+    #[test]
+    fn zero_coefficients_skipped() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(12);
+        let rows: Vec<DpvsVector> = (0..2).map(|_| random_vector(&params, 3, &mut rng)).collect();
+        let refs: Vec<&DpvsVector> = rows.iter().collect();
+        let combo =
+            DpvsVector::linear_combination(&params, &refs, &[Fr::ZERO, Fr::from_u64(5)]);
+        assert_eq!(combo, rows[1].scale(&params, Fr::from_u64(5)));
+    }
+
+    #[test]
+    fn pair_is_bilinear_form() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = random_vector(&params, 3, &mut rng);
+        let y = random_vector(&params, 3, &mut rng);
+        let k = Fr::random(&mut rng);
+        let lhs = x.scale(&params, k).pair(&params, &y);
+        let rhs = x.pair(&params, &y).pow(&params, k);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn encode_roundtrip() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(14);
+        let v = random_vector(&params, 5, &mut rng);
+        let mut w = Writer::new();
+        v.encode(&params, &mut w);
+        let buf = w.finish();
+        assert_eq!(buf.len(), DpvsVector::encoded_size(5));
+        let mut r = Reader::new(&buf);
+        let back = DpvsVector::decode(&params, &mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,52 @@
+//! Hierarchical Predicate Encryption for inner products.
+//!
+//! This crate implements the Okamoto–Takashima HPE scheme (ASIACRYPT 2009)
+//! in its **general delegation** form — the variant the APKS paper builds
+//! on (its Appendix A reproduces the same algorithms). The predicate family
+//! is inner products: a ciphertext for attribute vector `x⃗` can be
+//! decrypted by a key for predicate vector `v⃗` iff `x⃗ · v⃗ = 0`; a
+//! delegated key for `(v⃗₁, …, v⃗_ℓ)` requires *all* inner products to
+//! vanish, which is what makes delegated search capabilities strictly more
+//! restrictive.
+//!
+//! Layout of the `n+3`-dimensional DPVS (for `n`-dimensional predicates):
+//! coordinates `0..n` carry the attribute/predicate vectors, coordinates
+//! `n, n+1` (published only as their sum `d_{n+1} = b_{n+1} + b_{n+2}`)
+//! carry the message-binding randomness `ζ`, and coordinate `n+2` carries
+//! ciphertext randomization `δ₂`.
+//!
+//! The [`plus`] module implements **HPE⁺** (Fig. 7 of the APKS paper): the
+//! master key bases are blinded by a secret `r` so that only ciphertexts
+//! transformed by a proxy holding `r⁻¹` are searchable — defeating the
+//! dictionary attack on query privacy.
+//!
+//! # Example
+//!
+//! ```
+//! use apks_curve::CurveParams;
+//! use apks_hpe::{Hpe, HpeError};
+//! use apks_math::Fr;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), HpeError> {
+//! let hpe = Hpe::new(CurveParams::fast(), 2);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let (pk, msk) = hpe.setup(&mut rng);
+//!
+//! // x · v = 3·5 + 5·(−3) = 0
+//! let x = vec![Fr::from_u64(3), Fr::from_u64(5)];
+//! let v = vec![Fr::from_u64(5), Fr::from_i64(-3)];
+//! let key = hpe.gen_key(&pk, &msk, &v, &mut rng)?;
+//! let ct = hpe.encrypt_marker(&pk, &x, &mut rng)?;
+//! assert!(hpe.test(&pk, &key, &ct)?);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod keys;
+pub mod plus;
+pub mod scheme;
+
+pub use keys::{HpeCiphertext, HpeMasterKey, HpePublicKey, HpeSecretKey};
+pub use plus::{HpePlusMasterKey, ProxyTransformKey};
+pub use scheme::{Hpe, HpeError};

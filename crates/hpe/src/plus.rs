@@ -1,0 +1,232 @@
+//! HPE⁺ — query privacy via proxy-blinded bases (Fig. 7 of the paper).
+//!
+//! The plain scheme is public-key: anyone can encrypt, so an
+//! honest-but-curious server can mount a **dictionary attack** on a
+//! capability by encrypting every candidate index and testing it. HPE⁺
+//! breaks this: the TA draws a secret `r ∈ F_q \ {0}` and builds keys over
+//! the blinded basis `B̃* = r·B*`. Owners still encrypt with the public
+//! `B̂`, producing *partial* ciphertexts that match nothing; a proxy holding
+//! `r⁻¹` transforms `c₁ ↦ r⁻¹·c₁` before storage, after which
+//! `e(r⁻¹c₁, r·k*) = e(c₁, k*)` and search works as before. Without
+//! cooperation from a proxy the server cannot fabricate searchable
+//! ciphertexts, so the dictionary attack fails.
+//!
+//! Multi-proxy deployments split `r = r₁·r₂⋯r_P`; each proxy holds one
+//! `rᵢ⁻¹` and the transforms compose in any order (see `apks-proxy`).
+
+use crate::keys::{HpeCiphertext, HpeMasterKey, HpePublicKey};
+use crate::scheme::Hpe;
+use apks_math::Fr;
+use rand::Rng;
+
+/// The HPE⁺ master key: the blinded dual basis plus the blinding secret.
+///
+/// The TA retains `r` (needed to provision proxies); the blinded basis is
+/// what key generation uses, exactly as `msk := (X, B̃*)` in Fig. 7.
+#[derive(Clone, Debug)]
+pub struct HpePlusMasterKey {
+    /// Master key over the blinded basis `B̃* = r·B*`.
+    pub msk: HpeMasterKey,
+    /// The blinding secret `r`.
+    pub blinding: Fr,
+}
+
+/// A proxy's share of the unblinding secret.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProxyTransformKey {
+    /// `rᵢ⁻¹` — the factor this proxy applies to `c₁`.
+    pub r_inv: Fr,
+}
+
+impl ProxyTransformKey {
+    /// `HPE⁺-ProxyEnc`: transforms a partial ciphertext,
+    /// `c₁ ↦ rᵢ⁻¹ · c₁` (`c₂` unchanged).
+    pub fn transform(&self, hpe: &Hpe, ct: &HpeCiphertext) -> HpeCiphertext {
+        HpeCiphertext {
+            c1: ct.c1.scale(hpe.params(), self.r_inv),
+            c2: ct.c2,
+        }
+    }
+}
+
+impl Hpe {
+    /// `HPE⁺-Setup`: like [`Hpe::setup`] but returns a blinded master key.
+    ///
+    /// For a single-proxy deployment, hand the proxy
+    /// `ProxyTransformKey { r_inv: blinding.inv() }`; for multi-proxy,
+    /// split with [`split_blinding`].
+    pub fn setup_plus<R: Rng + ?Sized>(&self, rng: &mut R) -> (HpePublicKey, HpePlusMasterKey) {
+        let (pk, msk) = self.setup(rng);
+        let blinding = Fr::random_nonzero(rng);
+        let dpvs = apks_dpvs::Dpvs::new(self.params().clone(), self.n0());
+        let blinded = dpvs.scale_basis(&msk.b_star, blinding);
+        (
+            pk,
+            HpePlusMasterKey {
+                msk: HpeMasterKey {
+                    b_star: blinded,
+                    y: msk.y.scale(blinding),
+                },
+                blinding,
+            },
+        )
+    }
+
+    /// `HPE⁺-PartialEnc` is identical to `HPE-Enc`; exposed under the
+    /// paper's name for call-site clarity.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch.
+    pub fn partial_encrypt<R: Rng + ?Sized>(
+        &self,
+        pk: &HpePublicKey,
+        x: &[Fr],
+        rng: &mut R,
+    ) -> Result<HpeCiphertext, crate::HpeError> {
+        self.encrypt_marker(pk, x, rng)
+    }
+}
+
+/// Splits the blinding secret for `count` proxies:
+/// returns `(r₁⁻¹, …, r_P⁻¹)` with `r = Π rᵢ`.
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+pub fn split_blinding<R: Rng + ?Sized>(
+    blinding: Fr,
+    count: usize,
+    rng: &mut R,
+) -> Vec<ProxyTransformKey> {
+    assert!(count > 0, "at least one proxy required");
+    let mut shares = Vec::with_capacity(count);
+    let mut acc = Fr::one();
+    for _ in 0..count - 1 {
+        let ri = Fr::random_nonzero(rng);
+        acc *= ri;
+        shares.push(ri);
+    }
+    // last share makes the product equal `blinding`
+    shares.push(blinding * acc.inv().expect("product of non-zeros"));
+    shares
+        .into_iter()
+        .map(|ri| ProxyTransformKey {
+            r_inv: ri.inv().expect("non-zero share"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apks_curve::CurveParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn orthogonal_pair(rng: &mut StdRng) -> (Vec<Fr>, Vec<Fr>) {
+        let t = Fr::random(rng);
+        let x = vec![Fr::one(), t];
+        let b = Fr::random_nonzero(rng);
+        (x, vec![-(b * t), b])
+    }
+
+    #[test]
+    fn transformed_ciphertext_matches() {
+        let hpe = Hpe::new(CurveParams::fast(), 2);
+        let mut rng = StdRng::seed_from_u64(300);
+        let (pk, mk) = hpe.setup_plus(&mut rng);
+        let (x, v) = orthogonal_pair(&mut rng);
+        let key = hpe.gen_key(&pk, &mk.msk, &v, &mut rng).unwrap();
+        let partial = hpe.partial_encrypt(&pk, &x, &mut rng).unwrap();
+        let proxy = ProxyTransformKey {
+            r_inv: mk.blinding.inv().unwrap(),
+        };
+        let full = proxy.transform(&hpe, &partial);
+        assert!(hpe.test(&pk, &key, &full).unwrap());
+    }
+
+    #[test]
+    fn untransformed_ciphertext_does_not_match() {
+        // The essence of the dictionary-attack defence: a ciphertext built
+        // from the public key alone does not verify against blinded keys.
+        let hpe = Hpe::new(CurveParams::fast(), 2);
+        let mut rng = StdRng::seed_from_u64(301);
+        let (pk, mk) = hpe.setup_plus(&mut rng);
+        let (x, v) = orthogonal_pair(&mut rng);
+        let key = hpe.gen_key(&pk, &mk.msk, &v, &mut rng).unwrap();
+        let partial = hpe.partial_encrypt(&pk, &x, &mut rng).unwrap();
+        assert!(!hpe.test(&pk, &key, &partial).unwrap());
+    }
+
+    #[test]
+    fn non_matching_index_still_rejected_after_transform() {
+        let hpe = Hpe::new(CurveParams::fast(), 2);
+        let mut rng = StdRng::seed_from_u64(302);
+        let (pk, mk) = hpe.setup_plus(&mut rng);
+        let (x, mut v) = orthogonal_pair(&mut rng);
+        v[0] += Fr::one();
+        let key = hpe.gen_key(&pk, &mk.msk, &v, &mut rng).unwrap();
+        let proxy = ProxyTransformKey {
+            r_inv: mk.blinding.inv().unwrap(),
+        };
+        let full = proxy.transform(&hpe, &hpe.partial_encrypt(&pk, &x, &mut rng).unwrap());
+        assert!(!hpe.test(&pk, &key, &full).unwrap());
+    }
+
+    #[test]
+    fn multi_proxy_chain_composes() {
+        let hpe = Hpe::new(CurveParams::fast(), 2);
+        let mut rng = StdRng::seed_from_u64(303);
+        let (pk, mk) = hpe.setup_plus(&mut rng);
+        let (x, v) = orthogonal_pair(&mut rng);
+        let key = hpe.gen_key(&pk, &mk.msk, &v, &mut rng).unwrap();
+        for count in [1usize, 2, 4] {
+            let proxies = split_blinding(mk.blinding, count, &mut rng);
+            let mut ct = hpe.partial_encrypt(&pk, &x, &mut rng).unwrap();
+            // any order works; apply in reverse for spice
+            for p in proxies.iter().rev() {
+                ct = p.transform(&hpe, &ct);
+            }
+            assert!(hpe.test(&pk, &key, &ct).unwrap(), "count={count}");
+        }
+    }
+
+    #[test]
+    fn partial_chain_insufficient() {
+        let hpe = Hpe::new(CurveParams::fast(), 2);
+        let mut rng = StdRng::seed_from_u64(304);
+        let (pk, mk) = hpe.setup_plus(&mut rng);
+        let (x, v) = orthogonal_pair(&mut rng);
+        let key = hpe.gen_key(&pk, &mk.msk, &v, &mut rng).unwrap();
+        let proxies = split_blinding(mk.blinding, 3, &mut rng);
+        let mut ct = hpe.partial_encrypt(&pk, &x, &mut rng).unwrap();
+        for p in &proxies[..2] {
+            ct = p.transform(&hpe, &ct);
+        }
+        assert!(!hpe.test(&pk, &key, &ct).unwrap());
+    }
+
+    #[test]
+    fn delegation_works_under_plus() {
+        let hpe = Hpe::new(CurveParams::fast(), 3);
+        let mut rng = StdRng::seed_from_u64(305);
+        let (pk, mk) = hpe.setup_plus(&mut rng);
+        let t = Fr::random(&mut rng);
+        let x = vec![Fr::one(), t, t * t];
+        let mk_orth = |rng: &mut StdRng| {
+            let b = Fr::random(rng);
+            let c = Fr::random(rng);
+            vec![-(b * t + c * t * t), b, c]
+        };
+        let v1 = mk_orth(&mut rng);
+        let v2 = mk_orth(&mut rng);
+        let k1 = hpe.gen_key(&pk, &mk.msk, &v1, &mut rng).unwrap();
+        let k2 = hpe.delegate(&pk, &k1, &v2, &mut rng).unwrap();
+        let proxy = ProxyTransformKey {
+            r_inv: mk.blinding.inv().unwrap(),
+        };
+        let ct = proxy.transform(&hpe, &hpe.partial_encrypt(&pk, &x, &mut rng).unwrap());
+        assert!(hpe.test(&pk, &k2, &ct).unwrap());
+    }
+}

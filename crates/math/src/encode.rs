@@ -1,0 +1,207 @@
+//! Canonical binary encoding for wire objects.
+//!
+//! All crypto objects in the workspace (keys, ciphertexts, capabilities)
+//! serialize through this little writer/reader pair so the size accounting
+//! in the paper's §VII ("PK is `65[n₀(n₀−1)+3]` bytes", …) can be checked
+//! against real encodings. The format is deliberately simple: fixed-width
+//! little-endian integers and length-prefixed byte strings.
+
+use core::fmt;
+
+/// Encoding/decoding error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the expected field.
+    UnexpectedEnd,
+    /// A field failed validation (e.g. a non-reduced field element or a
+    /// point not on the curve).
+    Invalid(&'static str),
+    /// Trailing bytes after a complete object.
+    TrailingBytes,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            DecodeError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after object"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An append-only byte sink with typed helpers.
+#[derive(Debug, Default, Clone)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn var_bytes(&mut self, b: &[u8]) -> &mut Self {
+        self.u32(b.len() as u32);
+        self.bytes(b)
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.var_bytes(s.as_bytes())
+    }
+
+    /// Finishes and returns the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// A cursor over an encoded object.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Reads exactly `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn var_bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let n = self.u32()? as usize;
+        self.bytes(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        let b = self.var_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| DecodeError::Invalid("utf-8 string"))
+    }
+
+    /// Asserts the entire input has been consumed.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = Writer::new();
+        w.u8(7).u32(0xdead_beef).u64(42).string("hello").var_bytes(&[1, 2, 3]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.string().unwrap(), "hello");
+        assert_eq!(r.var_bytes().unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut w = Writer::new();
+        w.u64(1);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf[..4]);
+        assert_eq!(r.u64(), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let buf = [0u8; 3];
+        let mut r = Reader::new(&buf);
+        let _ = r.u8().unwrap();
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes));
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut w = Writer::new();
+        w.var_bytes(&[0xff, 0xfe]);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.string(), Err(DecodeError::Invalid(_))));
+    }
+}

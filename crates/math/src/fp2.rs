@@ -1,0 +1,256 @@
+//! The quadratic extension `F_{p²} = F_p[i] / (i² + 1)`.
+//!
+//! Valid because every type-A prime satisfies `p ≡ 3 (mod 4)` (so `-1` is a
+//! non-residue). Elements are pairs `c0 + c1·i`. The pairing target group
+//! `G_T = μ_q ⊂ F_{p²}^*` lives here; for unitary elements the Frobenius is
+//! conjugation and inversion is free.
+
+use crate::fp::{Fp, FpCtx};
+use crate::UintP;
+use core::fmt;
+use rand::Rng;
+
+/// An element `c0 + c1·i` of `F_{p²}`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fp2 {
+    /// Real part.
+    pub c0: Fp,
+    /// Imaginary part.
+    pub c1: Fp,
+}
+
+impl Fp2 {
+    /// Builds an element from its parts.
+    pub fn new(c0: Fp, c1: Fp) -> Self {
+        Fp2 { c0, c1 }
+    }
+}
+
+impl fmt::Debug for Fp2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fp2({:?} + {:?}·i)", self.c0, self.c1)
+    }
+}
+
+/// `F_{p²}` operations, parameterized by the base-field context.
+///
+/// Methods are free functions over [`FpCtx`] rather than a separate context
+/// struct: the extension needs no extra precomputation.
+pub trait Fp2Ops {
+    /// The zero element of `F_{p²}`.
+    fn fp2_zero(&self) -> Fp2;
+    /// The one element of `F_{p²}`.
+    fn fp2_one(&self) -> Fp2;
+    /// Addition in `F_{p²}`.
+    fn fp2_add(&self, a: Fp2, b: Fp2) -> Fp2;
+    /// Subtraction in `F_{p²}`.
+    fn fp2_sub(&self, a: Fp2, b: Fp2) -> Fp2;
+    /// Negation in `F_{p²}`.
+    fn fp2_neg(&self, a: Fp2) -> Fp2;
+    /// Multiplication in `F_{p²}` (Karatsuba, 3 base mults).
+    fn fp2_mul(&self, a: Fp2, b: Fp2) -> Fp2;
+    /// Squaring in `F_{p²}` (complex squaring, 2 base mults).
+    fn fp2_sqr(&self, a: Fp2) -> Fp2;
+    /// Conjugation `c0 - c1·i` (= Frobenius `a^p`).
+    fn fp2_conj(&self, a: Fp2) -> Fp2;
+    /// Inversion; `None` for zero.
+    fn fp2_inv(&self, a: Fp2) -> Option<Fp2>;
+    /// Exponentiation by a plain integer (limbs little-endian).
+    fn fp2_pow(&self, a: Fp2, exp_limbs: &[u64]) -> Fp2;
+    /// True iff zero.
+    fn fp2_is_zero(&self, a: Fp2) -> bool;
+    /// Uniformly random element.
+    fn fp2_random<R: Rng + ?Sized>(&self, rng: &mut R) -> Fp2
+    where
+        Self: Sized;
+    /// Canonical encoding (two `F_p` encodings concatenated).
+    fn fp2_to_bytes(&self, a: Fp2) -> Vec<u8>;
+    /// Decode; `None` if malformed.
+    fn fp2_from_bytes(&self, bytes: &[u8]) -> Option<Fp2>;
+}
+
+impl Fp2Ops for FpCtx {
+    fn fp2_zero(&self) -> Fp2 {
+        Fp2::new(self.zero(), self.zero())
+    }
+
+    fn fp2_one(&self) -> Fp2 {
+        Fp2::new(self.one(), self.zero())
+    }
+
+    #[inline]
+    fn fp2_add(&self, a: Fp2, b: Fp2) -> Fp2 {
+        Fp2::new(self.add(a.c0, b.c0), self.add(a.c1, b.c1))
+    }
+
+    #[inline]
+    fn fp2_sub(&self, a: Fp2, b: Fp2) -> Fp2 {
+        Fp2::new(self.sub(a.c0, b.c0), self.sub(a.c1, b.c1))
+    }
+
+    #[inline]
+    fn fp2_neg(&self, a: Fp2) -> Fp2 {
+        Fp2::new(self.neg(a.c0), self.neg(a.c1))
+    }
+
+    #[inline]
+    fn fp2_mul(&self, a: Fp2, b: Fp2) -> Fp2 {
+        // Karatsuba: (a0+a1 i)(b0+b1 i) = (a0b0 - a1b1) + ((a0+a1)(b0+b1) - a0b0 - a1b1) i
+        let t0 = self.mul(a.c0, b.c0);
+        let t1 = self.mul(a.c1, b.c1);
+        let s = self.mul(self.add(a.c0, a.c1), self.add(b.c0, b.c1));
+        Fp2::new(self.sub(t0, t1), self.sub(self.sub(s, t0), t1))
+    }
+
+    #[inline]
+    fn fp2_sqr(&self, a: Fp2) -> Fp2 {
+        // (a0+a1 i)^2 = (a0+a1)(a0-a1) + 2 a0 a1 i
+        let c0 = self.mul(self.add(a.c0, a.c1), self.sub(a.c0, a.c1));
+        let c1 = self.dbl(self.mul(a.c0, a.c1));
+        Fp2::new(c0, c1)
+    }
+
+    #[inline]
+    fn fp2_conj(&self, a: Fp2) -> Fp2 {
+        Fp2::new(a.c0, self.neg(a.c1))
+    }
+
+    fn fp2_inv(&self, a: Fp2) -> Option<Fp2> {
+        // 1/(a0+a1 i) = (a0 - a1 i) / (a0² + a1²)
+        let norm = self.add(self.sqr(a.c0), self.sqr(a.c1));
+        let ninv = self.inv(norm)?;
+        Some(Fp2::new(self.mul(a.c0, ninv), self.neg(self.mul(a.c1, ninv))))
+    }
+
+    fn fp2_pow(&self, a: Fp2, exp_limbs: &[u64]) -> Fp2 {
+        let nbits = 64 * exp_limbs.len();
+        let mut acc = self.fp2_one();
+        let mut started = false;
+        for i in (0..nbits).rev() {
+            if started {
+                acc = self.fp2_sqr(acc);
+            }
+            if (exp_limbs[i / 64] >> (i % 64)) & 1 == 1 {
+                acc = self.fp2_mul(acc, a);
+                started = true;
+            }
+        }
+        acc
+    }
+
+    fn fp2_is_zero(&self, a: Fp2) -> bool {
+        self.is_zero(a.c0) && self.is_zero(a.c1)
+    }
+
+    fn fp2_random<R: Rng + ?Sized>(&self, rng: &mut R) -> Fp2 {
+        Fp2::new(self.random(rng), self.random(rng))
+    }
+
+    fn fp2_to_bytes(&self, a: Fp2) -> Vec<u8> {
+        let mut out = self.to_bytes(a.c0);
+        out.extend_from_slice(&self.to_bytes(a.c1));
+        out
+    }
+
+    fn fp2_from_bytes(&self, bytes: &[u8]) -> Option<Fp2> {
+        let half = 8 * crate::FP_LIMBS;
+        if bytes.len() != 2 * half {
+            return None;
+        }
+        Some(Fp2::new(
+            self.from_bytes(&bytes[..half])?,
+            self.from_bytes(&bytes[half..])?,
+        ))
+    }
+}
+
+/// Frobenius endomorphism `a ↦ a^p` — conjugation in `F_p[i]`.
+pub fn frobenius(ctx: &FpCtx, a: Fp2) -> Fp2 {
+    ctx.fp2_conj(a)
+}
+
+/// Exponentiation helper taking a [`UintP`] exponent.
+pub fn fp2_pow_uint(ctx: &FpCtx, a: Fp2, exp: &UintP) -> Fp2 {
+    ctx.fp2_pow(a, &exp.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::TypeAParams;
+    use crate::uint::Uint;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_ctx() -> FpCtx {
+        let mut rng = StdRng::seed_from_u64(42);
+        FpCtx::new(TypeAParams::generate(192, &mut rng).p)
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        let ctx = test_ctx();
+        let mut rng = StdRng::seed_from_u64(50);
+        for _ in 0..10 {
+            let a = ctx.fp2_random(&mut rng);
+            let b = ctx.fp2_random(&mut rng);
+            let got = ctx.fp2_mul(a, b);
+            // schoolbook
+            let c0 = ctx.sub(ctx.mul(a.c0, b.c0), ctx.mul(a.c1, b.c1));
+            let c1 = ctx.add(ctx.mul(a.c0, b.c1), ctx.mul(a.c1, b.c0));
+            assert_eq!(got, Fp2::new(c0, c1));
+        }
+    }
+
+    #[test]
+    fn sqr_matches_mul() {
+        let ctx = test_ctx();
+        let mut rng = StdRng::seed_from_u64(51);
+        let a = ctx.fp2_random(&mut rng);
+        assert_eq!(ctx.fp2_sqr(a), ctx.fp2_mul(a, a));
+    }
+
+    #[test]
+    fn inversion() {
+        let ctx = test_ctx();
+        let mut rng = StdRng::seed_from_u64(52);
+        let a = ctx.fp2_random(&mut rng);
+        let ai = ctx.fp2_inv(a).unwrap();
+        assert_eq!(ctx.fp2_mul(a, ai), ctx.fp2_one());
+        assert!(ctx.fp2_inv(ctx.fp2_zero()).is_none());
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let ctx = test_ctx();
+        let i = Fp2::new(ctx.zero(), ctx.one());
+        let m1 = Fp2::new(ctx.neg(ctx.one()), ctx.zero());
+        assert_eq!(ctx.fp2_sqr(i), m1);
+    }
+
+    #[test]
+    fn frobenius_is_pth_power() {
+        let ctx = test_ctx();
+        let mut rng = StdRng::seed_from_u64(53);
+        let a = ctx.fp2_random(&mut rng);
+        let via_pow = fp2_pow_uint(&ctx, a, ctx.modulus());
+        assert_eq!(frobenius(&ctx, a), via_pow);
+    }
+
+    #[test]
+    fn pow_small() {
+        let ctx = test_ctx();
+        let mut rng = StdRng::seed_from_u64(54);
+        let a = ctx.fp2_random(&mut rng);
+        let a3 = ctx.fp2_pow(a, &Uint::<1>::from_u64(3).0);
+        assert_eq!(a3, ctx.fp2_mul(ctx.fp2_mul(a, a), a));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let ctx = test_ctx();
+        let mut rng = StdRng::seed_from_u64(55);
+        let a = ctx.fp2_random(&mut rng);
+        assert_eq!(ctx.fp2_from_bytes(&ctx.fp2_to_bytes(a)), Some(a));
+    }
+}

@@ -1,0 +1,288 @@
+//! The scalar field `F_q` for the fixed 160-bit group order `q`.
+//!
+//! Every type-A parameter set in this workspace shares the same group order
+//! (`q = 2^159 + 2^17 + 1`, see [`crate::prime::group_order`]), so `F_q`
+//! can have a process-global Montgomery context and ergonomic operator
+//! overloads — important because the DPVS layer does large amounts of
+//! `F_q` linear algebra.
+//!
+//! Values are stored in Montgomery form internally; the representation is
+//! not observable through the public API.
+
+use crate::mont::MontCtx;
+use crate::prime::group_order;
+use crate::uint::Uint;
+use crate::{FR_LIMBS, UintR};
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use rand::Rng;
+use std::sync::OnceLock;
+
+fn ctx() -> &'static MontCtx<FR_LIMBS> {
+    static CTX: OnceLock<MontCtx<FR_LIMBS>> = OnceLock::new();
+    CTX.get_or_init(|| MontCtx::new(group_order()))
+}
+
+/// An element of the scalar field `F_q`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Fr(UintR);
+
+impl Fr {
+    /// The additive identity.
+    pub const ZERO: Fr = Fr(Uint::ZERO);
+
+    /// The additive identity (method form, for parity with [`Fr::one`]).
+    pub fn zero() -> Fr {
+        Fr::ZERO
+    }
+
+    /// The multiplicative identity.
+    pub fn one() -> Fr {
+        Fr(ctx().r)
+    }
+
+    /// Lifts a `u64` into the field.
+    pub fn from_u64(v: u64) -> Fr {
+        Fr(ctx().to_mont(&Uint::from_u64(v)))
+    }
+
+    /// Lifts a signed integer into the field (negatives wrap mod `q`).
+    pub fn from_i64(v: i64) -> Fr {
+        if v >= 0 {
+            Fr::from_u64(v as u64)
+        } else {
+            -Fr::from_u64(v.unsigned_abs())
+        }
+    }
+
+    /// Builds a field element from an integer, reducing modulo `q`.
+    pub fn from_uint_reduced(v: &UintR) -> Fr {
+        let (_, r) = v.div_rem(&ctx().modulus);
+        Fr(ctx().to_mont(&r))
+    }
+
+    /// Returns the canonical integer representative in `[0, q)`.
+    pub fn to_uint(self) -> UintR {
+        ctx().from_mont(&self.0)
+    }
+
+    /// The modulus `q`.
+    pub fn modulus() -> UintR {
+        ctx().modulus
+    }
+
+    /// True iff this is the additive identity.
+    pub fn is_zero(self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Uniformly random field element.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Fr {
+        Fr(ctx().to_mont(&crate::prime::random_below(&ctx().modulus, rng)))
+    }
+
+    /// Uniformly random *non-zero* field element (used for the `∈_R F_q \ {0}`
+    /// draws in the schemes).
+    pub fn random_nonzero<R: Rng + ?Sized>(rng: &mut R) -> Fr {
+        loop {
+            let v = Fr::random(rng);
+            if !v.is_zero() {
+                return v;
+            }
+        }
+    }
+
+    /// Multiplicative inverse; `None` for zero.
+    pub fn inv(self) -> Option<Fr> {
+        ctx().inv(&self.0).map(Fr)
+    }
+
+    /// Squaring.
+    pub fn square(self) -> Fr {
+        Fr(ctx().sqr(&self.0))
+    }
+
+    /// Doubling.
+    pub fn double(self) -> Fr {
+        Fr(ctx().dbl(&self.0))
+    }
+
+    /// Exponentiation by a plain integer.
+    pub fn pow(self, exp: &UintR) -> Fr {
+        Fr(ctx().pow(&self.0, exp))
+    }
+
+    /// Canonical 32-byte little-endian encoding of the plain representative.
+    pub fn to_bytes(self) -> [u8; 32] {
+        let u = self.to_uint();
+        let mut out = [0u8; 32];
+        for (i, l) in u.0.iter().enumerate() {
+            out[8 * i..8 * i + 8].copy_from_slice(&l.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a canonical 32-byte encoding; `None` if not reduced mod `q`.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Option<Fr> {
+        let u = UintR::from_le_bytes(bytes)?;
+        if u >= ctx().modulus {
+            return None;
+        }
+        Some(Fr(ctx().to_mont(&u)))
+    }
+
+}
+
+impl Add for Fr {
+    type Output = Fr;
+    fn add(self, rhs: Fr) -> Fr {
+        Fr(ctx().add(&self.0, &rhs.0))
+    }
+}
+
+impl AddAssign for Fr {
+    fn add_assign(&mut self, rhs: Fr) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Fr {
+    type Output = Fr;
+    fn sub(self, rhs: Fr) -> Fr {
+        Fr(ctx().sub(&self.0, &rhs.0))
+    }
+}
+
+impl SubAssign for Fr {
+    fn sub_assign(&mut self, rhs: Fr) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Fr {
+    type Output = Fr;
+    fn mul(self, rhs: Fr) -> Fr {
+        Fr(ctx().mul(&self.0, &rhs.0))
+    }
+}
+
+impl MulAssign for Fr {
+    fn mul_assign(&mut self, rhs: Fr) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Fr {
+    type Output = Fr;
+    fn neg(self) -> Fr {
+        Fr(ctx().neg(&self.0))
+    }
+}
+
+impl Sum for Fr {
+    fn sum<I: Iterator<Item = Fr>>(iter: I) -> Fr {
+        iter.fold(Fr::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Fr {
+    fn product<I: Iterator<Item = Fr>>(iter: I) -> Fr {
+        iter.fold(Fr::one(), |a, b| a * b)
+    }
+}
+
+impl From<u64> for Fr {
+    fn from(v: u64) -> Fr {
+        Fr::from_u64(v)
+    }
+}
+
+impl fmt::Debug for Fr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fr(0x{:x})", self.to_uint())
+    }
+}
+
+impl fmt::Display for Fr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fr(0x{:x})", self.to_uint())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn field_identities() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Fr::random(&mut rng);
+        assert_eq!(a + Fr::ZERO, a);
+        assert_eq!(a * Fr::one(), a);
+        assert_eq!(a - a, Fr::ZERO);
+        assert_eq!(a + (-a), Fr::ZERO);
+    }
+
+    #[test]
+    fn inverse_works() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let a = Fr::random_nonzero(&mut rng);
+            assert_eq!(a * a.inv().unwrap(), Fr::one());
+        }
+        assert!(Fr::ZERO.inv().is_none());
+    }
+
+    #[test]
+    fn from_i64_negative() {
+        assert_eq!(Fr::from_i64(-3) + Fr::from_u64(3), Fr::ZERO);
+        assert_eq!(Fr::from_i64(5), Fr::from_u64(5));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            let a = Fr::random(&mut rng);
+            assert_eq!(Fr::from_bytes(&a.to_bytes()), Some(a));
+        }
+        // a non-reduced encoding is rejected
+        let mut all_ff = [0xffu8; 32];
+        all_ff[31] = 0xff;
+        assert!(Fr::from_bytes(&all_ff).is_none());
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = Fr::from_u64(3);
+        let e = Uint::from_u64(10);
+        assert_eq!(a.pow(&e), Fr::from_u64(59049));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutes(x in any::<u64>(), y in any::<u64>()) {
+            let (a, b) = (Fr::from_u64(x), Fr::from_u64(y));
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_mul_distributes(x in any::<u64>(), y in any::<u64>(), z in any::<u64>()) {
+            let (a, b, c) = (Fr::from_u64(x), Fr::from_u64(y), Fr::from_u64(z));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_u64_homomorphism(x in any::<u32>(), y in any::<u32>()) {
+            // small enough that x*y and x+y do not wrap in u64
+            let a = Fr::from_u64(x as u64) * Fr::from_u64(y as u64);
+            prop_assert_eq!(a, Fr::from_u64(x as u64 * y as u64));
+            let s = Fr::from_u64(x as u64) + Fr::from_u64(y as u64);
+            prop_assert_eq!(s, Fr::from_u64(x as u64 + y as u64));
+        }
+    }
+}

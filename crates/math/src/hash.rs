@@ -1,0 +1,97 @@
+//! Hashing into fields — the paper's `H : {0,1}* → F_q` keyword map.
+//!
+//! Every attribute value (keyword) is mapped into the scalar field with a
+//! domain-separated hash, exactly as the paper maps keywords with SHA-1
+//! (§II-D); we use SHA-256. `hash_to_fp` additionally supports hash-to-point
+//! in the curve layer.
+
+use crate::fp::{Fp, FpCtx};
+use crate::fr::Fr;
+use crate::sha256::Sha256;
+use crate::uint::Uint;
+use crate::{FP_LIMBS, FR_LIMBS, UintP, UintR};
+
+/// Hashes arbitrary bytes into `F_q` with a domain-separation tag.
+///
+/// Two 32-byte SHA-256 outputs are concatenated and reduced mod `q`, making
+/// the output statistically close to uniform.
+pub fn hash_to_fr(domain: &str, data: &[u8]) -> Fr {
+    let wide = expand(domain, data, 64);
+    let lo = UintR::from_le_bytes(&wide[..8 * FR_LIMBS]).expect("sized");
+    let hi = UintR::from_le_bytes(&wide[8 * FR_LIMBS..16 * FR_LIMBS]).expect("sized");
+    let reduced = Uint::reduce_wide(&lo, &hi, &Fr::modulus());
+    Fr::from_uint_reduced(&reduced)
+}
+
+/// Hashes a keyword string into `F_q` (the paper's keyword map `H`).
+pub fn keyword_to_fr(keyword: &str) -> Fr {
+    hash_to_fr("apks:keyword", keyword.as_bytes())
+}
+
+/// Hashes arbitrary bytes into `F_p` for the given context.
+pub fn hash_to_fp(ctx: &FpCtx, domain: &str, data: &[u8]) -> Fp {
+    let wide = expand(domain, data, 16 * FP_LIMBS);
+    let lo = UintP::from_le_bytes(&wide[..8 * FP_LIMBS]).expect("sized");
+    let hi = UintP::from_le_bytes(&wide[8 * FP_LIMBS..]).expect("sized");
+    let reduced = Uint::reduce_wide(&lo, &hi, ctx.modulus());
+    ctx.from_uint_reduced(&reduced)
+}
+
+/// Expands `(domain, data)` into `len` pseudorandom bytes with counter-mode
+/// SHA-256.
+fn expand(domain: &str, data: &[u8], len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut counter: u32 = 0;
+    while out.len() < len {
+        let mut h = Sha256::new();
+        h.update(&(domain.len() as u32).to_le_bytes());
+        h.update(domain.as_bytes());
+        h.update(&counter.to_le_bytes());
+        h.update(data);
+        out.extend_from_slice(&h.finalize());
+        counter += 1;
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::TypeAParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keyword_hash_deterministic_and_distinct() {
+        let a = keyword_to_fr("diabetes");
+        let b = keyword_to_fr("diabetes");
+        let c = keyword_to_fr("flu");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn domain_separation() {
+        let a = hash_to_fr("domain-a", b"x");
+        let b = hash_to_fr("domain-b", b"x");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fp_hash_in_field() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let ctx = FpCtx::new(TypeAParams::generate(192, &mut rng).p);
+        let a = hash_to_fp(&ctx, "test", b"hello");
+        assert!(ctx.to_uint(a) < *ctx.modulus());
+        // deterministic
+        assert_eq!(a, hash_to_fp(&ctx, "test", b"hello"));
+    }
+
+    #[test]
+    fn expand_lengths() {
+        assert_eq!(expand("d", b"x", 64).len(), 64);
+        assert_eq!(expand("d", b"x", 100).len(), 100);
+        assert_ne!(expand("d", b"x", 64)[..32], expand("d", b"x", 64)[32..]);
+    }
+}

@@ -1,0 +1,381 @@
+//! Montgomery-form modular arithmetic over a runtime odd modulus.
+//!
+//! [`MontCtx`] precomputes everything needed for CIOS Montgomery
+//! multiplication over an `N`-limb odd modulus `m`: the negated inverse of
+//! `m` modulo `2^64`, and the Montgomery radix constants `R mod m` and
+//! `R^2 mod m` (with `R = 2^{64N}`).
+//!
+//! Values handled by a context are *Montgomery residues* (`a·R mod m`); the
+//! caller is responsible for tracking which representation a [`Uint`] is in
+//! (the field wrappers in [`crate::fp`] / [`crate::fr`] do exactly that).
+
+use crate::uint::{adc, mac, sbb, Uint};
+
+/// Precomputed context for Montgomery arithmetic modulo an odd `m`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MontCtx<const N: usize> {
+    /// The modulus `m` (odd, > 1).
+    pub modulus: Uint<N>,
+    /// `-m^{-1} mod 2^64`.
+    pub neg_inv: u64,
+    /// `R mod m` — the Montgomery form of 1.
+    pub r: Uint<N>,
+    /// `R^2 mod m` — used to convert into Montgomery form.
+    pub r2: Uint<N>,
+    /// `m - 2`, the Fermat inversion exponent (valid when `m` is prime).
+    pub m_minus_2: Uint<N>,
+}
+
+impl<const N: usize> MontCtx<N> {
+    /// Builds a context for the given odd modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is even or ≤ 1.
+    pub fn new(modulus: Uint<N>) -> Self {
+        assert!(modulus.is_odd(), "Montgomery modulus must be odd");
+        assert!(modulus > Uint::one(), "modulus must exceed 1");
+
+        // Newton iteration for m^{-1} mod 2^64 (5 steps double the precision).
+        let m0 = modulus.0[0];
+        let mut inv = m0; // correct mod 2^3 already (odd)
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        let neg_inv = inv.wrapping_neg();
+
+        // R mod m by doubling 1, 64N times, reducing each step.
+        let mut r = Uint::one();
+        // ensure r < m to start (m > 1 so fine)
+        for _ in 0..64 * N {
+            let (d, carry) = r.shl1();
+            r = d;
+            if carry || r >= modulus {
+                let (s, _) = r.sub_borrow(&modulus);
+                r = s;
+            }
+        }
+        // R^2 mod m by doubling another 64N times.
+        let mut r2 = r;
+        for _ in 0..64 * N {
+            let (d, carry) = r2.shl1();
+            r2 = d;
+            if carry || r2 >= modulus {
+                let (s, _) = r2.sub_borrow(&modulus);
+                r2 = s;
+            }
+        }
+
+        let (m_minus_2, _) = modulus.sub_borrow(&Uint::from_u64(2));
+
+        MontCtx {
+            modulus,
+            neg_inv,
+            r,
+            r2,
+            m_minus_2,
+        }
+    }
+
+    /// CIOS Montgomery multiplication: returns `a·b·R^{-1} mod m`.
+    ///
+    /// Inputs must be `< m`; the output is `< m`.
+    #[inline]
+    #[allow(clippy::needless_range_loop)] // limb indexing is the idiom here
+    pub fn mul(&self, a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
+        let m = &self.modulus.0;
+        let mut t = [0u64; N];
+        let mut t_n = 0u64;
+
+        for i in 0..N {
+            // t += a[i] * b
+            let mut carry = 0u64;
+            for j in 0..N {
+                let (lo, hi) = mac(t[j], a.0[i], b.0[j], carry);
+                t[j] = lo;
+                carry = hi;
+            }
+            let (s, c) = adc(t_n, carry, 0);
+            t_n = s;
+            let t_n1 = c;
+
+            // u = t[0] * neg_inv; t += u * m; t >>= 64
+            let u = t[0].wrapping_mul(self.neg_inv);
+            let (_, mut carry) = mac(t[0], u, m[0], 0);
+            for j in 1..N {
+                let (lo, hi) = mac(t[j], u, m[j], carry);
+                t[j - 1] = lo;
+                carry = hi;
+            }
+            let (s, c) = adc(t_n, carry, 0);
+            t[N - 1] = s;
+            t_n = t_n1 + c; // t_n1 ∈ {0,1}, no overflow
+        }
+
+        let mut out = Uint(t);
+        if t_n != 0 || out >= self.modulus {
+            let (d, _) = out.sub_borrow(&self.modulus);
+            out = d;
+        }
+        out
+    }
+
+    /// Montgomery squaring (delegates to [`MontCtx::mul`]).
+    #[inline]
+    pub fn sqr(&self, a: &Uint<N>) -> Uint<N> {
+        self.mul(a, a)
+    }
+
+    /// Converts a plain residue (`< m`) into Montgomery form.
+    pub fn to_mont(&self, a: &Uint<N>) -> Uint<N> {
+        debug_assert!(*a < self.modulus);
+        self.mul(a, &self.r2)
+    }
+
+    /// Converts a Montgomery-form value back into a plain residue.
+    pub fn from_mont(&self, a: &Uint<N>) -> Uint<N> {
+        self.mul(a, &Uint::one())
+    }
+
+    /// Modular addition of two residues (either form, consistently).
+    #[inline]
+    pub fn add(&self, a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
+        let (s, carry) = a.add_carry(b);
+        if carry || s >= self.modulus {
+            let (d, _) = s.sub_borrow(&self.modulus);
+            d
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction of two residues.
+    #[inline]
+    pub fn sub(&self, a: &Uint<N>, b: &Uint<N>) -> Uint<N> {
+        let (d, borrow) = a.sub_borrow(b);
+        if borrow {
+            let (s, _) = d.add_carry(&self.modulus);
+            s
+        } else {
+            d
+        }
+    }
+
+    /// Modular negation.
+    #[inline]
+    pub fn neg(&self, a: &Uint<N>) -> Uint<N> {
+        if a.is_zero() {
+            *a
+        } else {
+            let (d, _) = self.modulus.sub_borrow(a);
+            d
+        }
+    }
+
+    /// Modular doubling.
+    #[inline]
+    pub fn dbl(&self, a: &Uint<N>) -> Uint<N> {
+        self.add(a, a)
+    }
+
+    /// Fixed-window exponentiation of a Montgomery-form base by a plain
+    /// integer exponent; returns a Montgomery-form result.
+    pub fn pow(&self, base: &Uint<N>, exp: &Uint<N>) -> Uint<N> {
+        self.pow_limbs(base, &exp.0)
+    }
+
+    /// As [`MontCtx::pow`] but with the exponent given as little-endian limbs
+    /// of arbitrary length.
+    pub fn pow_limbs(&self, base: &Uint<N>, exp: &[u64]) -> Uint<N> {
+        // 4-bit fixed window.
+        let mut table = [self.r; 16]; // table[0] = 1 in Montgomery form
+        table[1] = *base;
+        for i in 2..16 {
+            table[i] = self.mul(&table[i - 1], base);
+        }
+        let nbits = 64 * exp.len();
+        let mut acc = self.r;
+        let mut started = false;
+        let mut i = nbits.div_ceil(4);
+        while i > 0 {
+            i -= 1;
+            let bitpos = i * 4;
+            let limb = bitpos / 64;
+            let off = bitpos % 64;
+            let w = if limb < exp.len() {
+                ((exp[limb] >> off) & 0xf) as usize
+            } else {
+                0
+            };
+            if started {
+                acc = self.sqr(&acc);
+                acc = self.sqr(&acc);
+                acc = self.sqr(&acc);
+                acc = self.sqr(&acc);
+            }
+            if w != 0 {
+                acc = self.mul(&acc, &table[w]);
+                started = true;
+            } else if started {
+                // nothing to multiply
+            }
+        }
+        acc
+    }
+
+    /// Fermat inversion of a Montgomery-form value (`m` must be prime).
+    ///
+    /// Returns `None` for zero.
+    pub fn inv(&self, a: &Uint<N>) -> Option<Uint<N>> {
+        if a.is_zero() {
+            return None;
+        }
+        Some(self.pow(a, &self.m_minus_2))
+    }
+}
+
+/// Helpers shared with tests: schoolbook wide add used in test oracles.
+#[doc(hidden)]
+#[allow(clippy::needless_range_loop)]
+pub fn add_limbs(a: &[u64], b: &[u64], out: &mut [u64]) -> u64 {
+    let mut c = 0u64;
+    for i in 0..out.len() {
+        let (s, c2) = adc(
+            a.get(i).copied().unwrap_or(0),
+            b.get(i).copied().unwrap_or(0),
+            c,
+        );
+        out[i] = s;
+        c = c2;
+    }
+    c
+}
+
+#[doc(hidden)]
+#[allow(clippy::needless_range_loop)]
+pub fn sub_limbs(a: &[u64], b: &[u64], out: &mut [u64]) -> u64 {
+    let mut bo = 0u64;
+    for i in 0..out.len() {
+        let (d, b2) = sbb(
+            a.get(i).copied().unwrap_or(0),
+            b.get(i).copied().unwrap_or(0),
+            bo,
+        );
+        out[i] = d;
+        bo = b2;
+    }
+    bo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_u128(m: u128) -> MontCtx<2> {
+        MontCtx::new(Uint([m as u64, (m >> 64) as u64]))
+    }
+
+    fn to_u128(u: Uint<2>) -> u128 {
+        u.0[0] as u128 | (u.0[1] as u128) << 64
+    }
+
+    #[test]
+    fn mont_mul_matches_u128() {
+        let m = 0xffff_ffff_ffff_fff1_u128; // odd
+        let ctx = ctx_u128(m);
+        let a = 0x1234_5678_9abc_def0_u128 % m;
+        let b = 0x0fed_cba9_8765_4321_u128 % m;
+        let am = ctx.to_mont(&Uint([a as u64, (a >> 64) as u64]));
+        let bm = ctx.to_mont(&Uint([b as u64, (b >> 64) as u64]));
+        let cm = ctx.mul(&am, &bm);
+        let c = to_u128(ctx.from_mont(&cm));
+        assert_eq!(c, (a * b) % m);
+    }
+
+    #[test]
+    fn to_from_mont_roundtrip() {
+        let ctx = ctx_u128(1_000_000_007);
+        for v in [0u128, 1, 2, 999_999_999, 123_456_789] {
+            let u = Uint([v as u64, 0]);
+            assert_eq!(ctx.from_mont(&ctx.to_mont(&u)), u);
+        }
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let m = 97u128;
+        let ctx = ctx_u128(m);
+        let a = Uint::<2>::from_u64(50);
+        let b = Uint::<2>::from_u64(60);
+        assert_eq!(to_u128(ctx.add(&a, &b)), (50 + 60) % 97);
+        assert_eq!(to_u128(ctx.sub(&a, &b)), (97 + 50 - 60));
+        assert_eq!(to_u128(ctx.neg(&a)), 97 - 50);
+        assert_eq!(to_u128(ctx.neg(&Uint::ZERO)), 0);
+    }
+
+    #[test]
+    fn pow_matches_naive() {
+        let m = 1_000_000_007u128;
+        let ctx = ctx_u128(m);
+        let base = 3u128;
+        let bm = ctx.to_mont(&Uint([base as u64, 0]));
+        let e = 65537u64;
+        let pm = ctx.pow(&bm, &Uint::from_u64(e));
+        let got = to_u128(ctx.from_mont(&pm));
+        let mut want = 1u128;
+        for _ in 0..e {
+            want = want * base % m;
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn fermat_inverse() {
+        let ctx = ctx_u128(1_000_000_007);
+        let a = ctx.to_mont(&Uint::from_u64(123456));
+        let ai = ctx.inv(&a).unwrap();
+        let prod = ctx.mul(&a, &ai);
+        assert_eq!(prod, ctx.r); // 1 in Montgomery form
+        assert!(ctx.inv(&Uint::ZERO).is_none());
+    }
+
+    #[test]
+    fn r_is_one_in_mont_form() {
+        let ctx = ctx_u128(1_000_000_007);
+        assert_eq!(ctx.from_mont(&ctx.r), Uint::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_modulus_rejected() {
+        let _ = MontCtx::new(Uint::<2>::from_u64(100));
+    }
+
+    #[test]
+    fn tiny_modulus_three() {
+        let ctx = ctx_u128(3);
+        let two = ctx.to_mont(&Uint::from_u64(2));
+        // 2·2 = 4 ≡ 1 (mod 3)
+        assert_eq!(ctx.from_mont(&ctx.mul(&two, &two)), Uint::one());
+        // 2⁻¹ = 2 (mod 3)
+        assert_eq!(ctx.from_mont(&ctx.inv(&two).unwrap()), Uint::from_u64(2));
+    }
+
+    #[test]
+    fn pow_zero_exponent_is_one() {
+        let ctx = ctx_u128(1_000_000_007);
+        let a = ctx.to_mont(&Uint::from_u64(12345));
+        assert_eq!(ctx.pow(&a, &Uint::ZERO), ctx.r);
+    }
+
+    #[test]
+    fn max_width_modulus() {
+        // a modulus using nearly every bit of the limb width
+        let m = Uint::<2>([u64::MAX, u64::MAX >> 1]); // odd, 127-bit
+        let ctx = MontCtx::new(m);
+        let a = ctx.to_mont(&Uint::from_u64(987654321));
+        let b = ctx.to_mont(&Uint::from_u64(123456789));
+        let prod = ctx.from_mont(&ctx.mul(&a, &b));
+        assert_eq!(to_u128(prod), 987654321u128 * 123456789u128 % to_u128(m));
+    }
+}

@@ -1,0 +1,270 @@
+//! Primality testing and type-A pairing parameter generation.
+//!
+//! The paper's prototype uses PBC's *type A* parameters: a supersingular
+//! curve `E : y^2 = x^3 + x` over `F_p` with `#E(F_p) = p + 1 = h·q`, where
+//! `q` is the 160-bit prime group order and `4 | h` (so `p ≡ 3 mod 4` and
+//! `F_{p^2} = F_p[i]`). [`TypeAParams::generate`] reproduces exactly this
+//! family for any base-field size up to 512 bits.
+
+use crate::uint::Uint;
+use crate::{FP_LIMBS, FR_LIMBS, UintP, UintR};
+use crate::mont::MontCtx;
+use rand::Rng;
+
+/// Small primes used to pre-sieve candidates before Miller–Rabin.
+const SMALL_PRIMES: [u64; 54] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Miller–Rabin probable-prime test with `rounds` random bases.
+///
+/// For the sizes used here (160–512 bits) 40 rounds push the error
+/// probability below `2^-80`.
+pub fn is_prime<const N: usize, R: Rng + ?Sized>(n: &Uint<N>, rounds: usize, rng: &mut R) -> bool {
+    if n.is_zero() || *n == Uint::one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pp = Uint::<N>::from_u64(p);
+        if *n == pp {
+            return true;
+        }
+        if n.mod_u64(p) == 0 {
+            return false;
+        }
+    }
+    if !n.is_odd() {
+        return false;
+    }
+
+    // n - 1 = d * 2^s with d odd
+    let (n_minus_1, _) = n.sub_borrow(&Uint::one());
+    let mut d = n_minus_1;
+    let mut s = 0usize;
+    while !d.is_odd() {
+        d = d.shr1();
+        s += 1;
+    }
+
+    let ctx = MontCtx::new(*n);
+    let n_minus_1_mont = ctx.to_mont(&ctx.sub(&Uint::ZERO, &Uint::one()));
+    'outer: for _ in 0..rounds {
+        // random base in [2, n-2]
+        let a = loop {
+            let cand = random_below(n, rng);
+            if cand > Uint::one() && cand < n_minus_1 {
+                break cand;
+            }
+        };
+        let am = ctx.to_mont(&a);
+        let mut x = ctx.pow(&am, &d);
+        if x == ctx.r || x == n_minus_1_mont {
+            continue 'outer;
+        }
+        for _ in 0..s - 1 {
+            x = ctx.sqr(&x);
+            if x == n_minus_1_mont {
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Samples a uniformly random value in `[0, bound)`.
+pub fn random_below<const N: usize, R: Rng + ?Sized>(bound: &Uint<N>, rng: &mut R) -> Uint<N> {
+    assert!(!bound.is_zero());
+    let bits = bound.bits();
+    let top_limb = (bits - 1) / 64;
+    let top_mask = if bits.is_multiple_of(64) {
+        u64::MAX
+    } else {
+        (1u64 << (bits % 64)) - 1
+    };
+    loop {
+        let mut l = [0u64; N];
+        for limb in l.iter_mut().take(top_limb + 1) {
+            *limb = rng.gen();
+        }
+        l[top_limb] &= top_mask;
+        let v = Uint(l);
+        if v < *bound {
+            return v;
+        }
+    }
+}
+
+/// The fixed 160-bit group order `q` shared by every parameter set.
+///
+/// `q = 2^159 + 2^17 + 1` if that is prime (verified by a unit test against
+/// Miller–Rabin at build-test time); see [`group_order`].
+pub fn group_order() -> UintR {
+    // 2^159 + 2^17 + 1 — a Solinas-style trinomial chosen for a sparse
+    // Miller loop; primality is asserted by `tests::q_is_prime`.
+    let mut q = Uint::<FR_LIMBS>::ZERO;
+    q.0[0] = (1u64 << 17) | 1;
+    q.0[2] = 1u64 << 31; // bit 159
+    q
+}
+
+/// Type-A pairing parameters: `p = h·q − 1`, prime, with `4 | h`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TypeAParams {
+    /// The base-field prime `p` (`p ≡ 3 mod 4`).
+    pub p: UintP,
+    /// The group order `q` (160-bit prime).
+    pub q: UintR,
+    /// The cofactor `h = (p + 1) / q`, a multiple of 4.
+    pub h: UintP,
+    /// Bit length requested for `p`.
+    pub p_bits: usize,
+}
+
+impl TypeAParams {
+    /// Generates fresh parameters with a `p_bits`-bit prime `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_bits` is not in `[168, 512]` (the cofactor needs at
+    /// least a few bits; the limb width caps the top).
+    pub fn generate<R: Rng + ?Sized>(p_bits: usize, rng: &mut R) -> Self {
+        assert!(
+            (168..=64 * FP_LIMBS).contains(&p_bits),
+            "p_bits must be within [168, {}]",
+            64 * FP_LIMBS
+        );
+        let q = group_order();
+        let q_wide = widen::<FR_LIMBS, FP_LIMBS>(&q);
+        // q is barely above 2^{bits(q)−1}, so h·q lands at
+        // `h_bits + bits(q) − 1` bits almost always; solve for that.
+        let h_bits = p_bits - (q.bits() - 1);
+        loop {
+            // random h with exact bit length h_bits and 4 | h
+            let mut h = random_below(
+                &{
+                    let mut b = Uint::<FP_LIMBS>::ZERO;
+                    b.0[h_bits / 64] = 1u64 << (h_bits % 64); // 2^h_bits
+                    b
+                },
+                rng,
+            );
+            h.0[0] &= !0b11; // force 4 | h
+            if h.bits() != h_bits {
+                h.0[(h_bits - 1) / 64] |= 1u64 << ((h_bits - 1) % 64);
+            }
+            if h.is_zero() {
+                continue;
+            }
+            let hq = h.mul_exact(&q_wide);
+            let (p, borrow) = hq.sub_borrow(&Uint::one());
+            debug_assert!(!borrow);
+            if p.bits() != p_bits {
+                continue;
+            }
+            debug_assert_eq!(p.mod_u64(4), 3, "p ≡ 3 mod 4 by construction");
+            if is_prime(&p, 40, rng) {
+                return TypeAParams {
+                    p,
+                    q,
+                    h,
+                    p_bits,
+                };
+            }
+        }
+    }
+}
+
+/// Zero-extends a `Uint<M>` into a wider `Uint<N>`.
+///
+/// # Panics
+///
+/// Panics if `N < M`.
+pub fn widen<const M: usize, const N: usize>(x: &Uint<M>) -> Uint<N> {
+    assert!(N >= M);
+    let mut out = [0u64; N];
+    out[..M].copy_from_slice(&x.0);
+    Uint(out)
+}
+
+/// Truncates a `Uint<N>` into a narrower `Uint<M>`, asserting no data loss.
+///
+/// # Panics
+///
+/// Panics if the discarded limbs are non-zero.
+pub fn narrow<const N: usize, const M: usize>(x: &Uint<N>) -> Uint<M> {
+    assert!(M <= N);
+    assert!(x.0[M..].iter().all(|&l| l == 0), "narrow would lose bits");
+    let mut out = [0u64; M];
+    out.copy_from_slice(&x.0[..M]);
+    Uint(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_detected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u64, 3, 5, 7, 65537, 1_000_000_007] {
+            assert!(is_prime(&Uint::<2>::from_u64(p), 20, &mut rng), "{p}");
+        }
+        for c in [1u64, 4, 9, 15, 65535, 1_000_000_006] {
+            assert!(!is_prime(&Uint::<2>::from_u64(c), 20, &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn carmichael_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // 561, 1105, 1729 are Carmichael numbers
+        for c in [561u64, 1105, 1729, 41041] {
+            assert!(!is_prime(&Uint::<2>::from_u64(c), 20, &mut rng), "{c}");
+        }
+    }
+
+    #[test]
+    fn q_is_prime() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = group_order();
+        assert_eq!(q.bits(), 160);
+        assert!(is_prime(&q, 40, &mut rng), "group order must be prime");
+    }
+
+    #[test]
+    fn generate_small_params() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let params = TypeAParams::generate(192, &mut rng);
+        assert_eq!(params.p.bits(), 192);
+        assert_eq!(params.p.mod_u64(4), 3);
+        // p + 1 == h * q
+        let (p1, _) = params.p.add_carry(&Uint::one());
+        let hq = params.h.mul_exact(&widen::<FR_LIMBS, FP_LIMBS>(&params.q));
+        assert_eq!(p1, hq);
+        assert!(is_prime(&params.p, 40, &mut rng));
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bound = Uint::<2>::from_u64(1000);
+        for _ in 0..200 {
+            let v = random_below(&bound, &mut rng);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn widen_narrow_roundtrip() {
+        let x = Uint::<2>([5, 7]);
+        let w: Uint<4> = widen(&x);
+        assert_eq!(w.0, [5, 7, 0, 0]);
+        let n: Uint<2> = narrow(&w);
+        assert_eq!(n, x);
+    }
+}

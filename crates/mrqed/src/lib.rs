@@ -1,0 +1,29 @@
+//! `MRQED^D` — the paper's comparison baseline, reimplemented.
+//!
+//! The APKS paper compares against the multi-dimensional range query
+//! scheme of Shi, Bethencourt, Chan, Song & Perrig (S&P 2007), whose
+//! running times it *estimates* from benchmark figures. This crate is an
+//! executable reimplementation over the same pairing substrate, preserving
+//! the baseline's cost profile:
+//!
+//! * `Setup`/`Encrypt`/`GenKey` are `O(D log N)` — *linear* in the vector
+//!   length (vs APKS's quadratic setup/encrypt), and
+//! * `Match` performs try-decryptions of anonymous-IBE components —
+//!   roughly `5n` pairings in the paper's accounting (vs APKS's `n + 3`),
+//!   because ciphertext components are unlabeled (anonymity) and each key
+//!   node must be tried against each component of its dimension.
+//!
+//! Construction: per dimension a binary interval tree over `[0, 2^k)`;
+//! encryption splits a secret across dimensions and encrypts dimension
+//! `d`'s share under every identity on the path of `x_d` (Boneh–Franklin
+//! anonymous IBE); a decryption key for a range holds IBE keys for the
+//! canonical cover; matching recovers one share per dimension and checks
+//! the combined tag.
+
+pub mod aibe;
+pub mod scheme;
+pub mod tree;
+
+pub use aibe::{AibeCiphertext, AibeKey, AibeMaster, AibePublic};
+pub use scheme::{Mrqed, MrqedCiphertext, MrqedKey, MrqedMaster, MrqedPublic};
+pub use tree::{cover, path, NodeId};

@@ -1,0 +1,151 @@
+//! Binary interval trees over `[0, 2^k)`.
+//!
+//! Node `(level, index)` covers `[index · 2^{k−level}, (index+1) · 2^{k−level})`;
+//! level 0 is the root. A point's *path* has `k + 1` nodes; any range has a
+//! *canonical cover* of at most `2k` nodes (the classic segment-tree
+//! decomposition MRQED uses).
+
+/// A node of the interval tree: `(level, index)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    /// Depth from the root (0 = root).
+    pub level: u32,
+    /// Index within the level (`0 ≤ index < 2^level`).
+    pub index: u64,
+}
+
+impl NodeId {
+    /// The closed interval `[lo, hi]` this node covers in a `k`-bit tree.
+    pub fn interval(&self, k: u32) -> (u64, u64) {
+        debug_assert!(self.level <= k);
+        let width = 1u64 << (k - self.level);
+        (self.index * width, (self.index + 1) * width - 1)
+    }
+
+    /// A canonical byte label for identity hashing.
+    pub fn label(&self, dim: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(20);
+        out.extend_from_slice(&(dim as u32).to_le_bytes());
+        out.extend_from_slice(&self.level.to_le_bytes());
+        out.extend_from_slice(&self.index.to_le_bytes());
+        out
+    }
+}
+
+/// The root-to-leaf path of point `v` in a `k`-bit tree (`k + 1` nodes).
+///
+/// # Panics
+///
+/// Panics if `v ≥ 2^k`.
+pub fn path(v: u64, k: u32) -> Vec<NodeId> {
+    assert!(k == 64 || v < (1u64 << k), "point outside domain");
+    (0..=k)
+        .map(|level| NodeId {
+            level,
+            index: v >> (k - level),
+        })
+        .collect()
+}
+
+/// The canonical cover of the closed range `[s, t]`: the minimal set of
+/// maximal-depth-bounded nodes whose disjoint union is exactly `[s, t]`
+/// (at most `2k` nodes).
+///
+/// # Panics
+///
+/// Panics if `s > t` or `t ≥ 2^k`.
+pub fn cover(s: u64, t: u64, k: u32) -> Vec<NodeId> {
+    assert!(s <= t, "empty range");
+    assert!(k == 64 || t < (1u64 << k), "range outside domain");
+    let mut out = Vec::new();
+    let mut lo = s;
+    while lo <= t {
+        // largest aligned block starting at lo that fits within [lo, t]
+        let max_by_align = if lo == 0 { k } else { lo.trailing_zeros().min(k) };
+        let mut size_log = max_by_align;
+        while size_log > 0 && lo + (1u64 << size_log) - 1 > t {
+            size_log -= 1;
+        }
+        out.push(NodeId {
+            level: k - size_log,
+            index: lo >> size_log,
+        });
+        let step = 1u64 << size_log;
+        if lo.checked_add(step).is_none() {
+            break;
+        }
+        lo += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn path_shape() {
+        let p = path(5, 3); // 5 = 0b101
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[0], NodeId { level: 0, index: 0 });
+        assert_eq!(p[1], NodeId { level: 1, index: 1 });
+        assert_eq!(p[2], NodeId { level: 2, index: 2 });
+        assert_eq!(p[3], NodeId { level: 3, index: 5 });
+    }
+
+    #[test]
+    fn interval_math() {
+        let n = NodeId { level: 1, index: 1 };
+        assert_eq!(n.interval(3), (4, 7));
+        let leaf = NodeId { level: 3, index: 5 };
+        assert_eq!(leaf.interval(3), (5, 5));
+    }
+
+    #[test]
+    fn cover_whole_domain_is_root() {
+        let c = cover(0, 7, 3);
+        assert_eq!(c, vec![NodeId { level: 0, index: 0 }]);
+    }
+
+    #[test]
+    fn cover_misaligned() {
+        // [1,6] in a 3-bit tree: 1, [2,3], [4,5], 6
+        let c = cover(1, 6, 3);
+        assert_eq!(c.len(), 4);
+        let total: u64 = c.iter().map(|n| {
+            let (lo, hi) = n.interval(3);
+            hi - lo + 1
+        }).sum();
+        assert_eq!(total, 6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cover_is_exact_partition(s in 0u64..256, span in 0u64..256) {
+            let k = 8u32;
+            let t = (s + span).min(255);
+            let c = cover(s, t, k);
+            // size bound
+            prop_assert!(c.len() <= 2 * k as usize);
+            // disjoint, exact union
+            let mut covered: Vec<(u64, u64)> = c.iter().map(|n| n.interval(k)).collect();
+            covered.sort();
+            prop_assert_eq!(covered.first().unwrap().0, s);
+            prop_assert_eq!(covered.last().unwrap().1, t);
+            for w in covered.windows(2) {
+                prop_assert_eq!(w[0].1 + 1, w[1].0);
+            }
+        }
+
+        #[test]
+        fn prop_point_in_range_iff_path_meets_cover(v in 0u64..64, s in 0u64..64, span in 0u64..64) {
+            let k = 6u32;
+            let t = (s + span).min(63);
+            let p = path(v, k);
+            let c = cover(s, t, k);
+            let hit = p.iter().any(|n| c.contains(n));
+            prop_assert_eq!(hit, s <= v && v <= t);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! APKS⁺ proxy infrastructure (§V, Fig. 6 of the paper).
+//!
+//! Proxies hold shares of the unblinding secret and transform owners'
+//! *partial* ciphertexts into searchable ones. The threat model assumes
+//! the cloud server cannot launch **probe-response attacks** — flooding a
+//! proxy with guessed partial indexes — *"as there exist some detection
+//! mechanism (e.g., traffic monitoring)"*; [`RateLimiter`] makes that
+//! assumption executable.
+//!
+//! Deployment shapes:
+//!
+//! * single proxy — [`ProxyServer`] with the full `r⁻¹`,
+//! * a chain of `P` proxies with `r = r₁⋯r_P` — [`ProxyChain`], where a
+//!   partial ciphertext must traverse *all* proxies (any order) before it
+//!   becomes searchable.
+
+use apks_core::{proxy_transform, ApksPlusMasterKey, ApksSystem, EncryptedIndex};
+use apks_hpe::{plus::split_blinding, ProxyTransformKey};
+use core::fmt;
+use parking_lot::Mutex;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Proxy-layer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProxyError {
+    /// The client exceeded its transformation budget — the configured
+    /// probe-response defence tripped.
+    RateLimited {
+        /// The client that tripped the limiter.
+        client: String,
+    },
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::RateLimited { client } => {
+                write!(f, "client {client:?} exceeded the transformation rate limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+/// A fixed-window per-client rate limiter (the "traffic monitoring"
+/// assumption of §V made concrete).
+#[derive(Debug)]
+pub struct RateLimiter {
+    max_per_window: usize,
+    window: u64,
+    counts: Mutex<HashMap<String, (u64, usize)>>,
+}
+
+impl RateLimiter {
+    /// Allows `max_per_window` transformations per client per window of
+    /// `window` ticks (the caller supplies the clock — deterministic for
+    /// tests).
+    pub fn new(max_per_window: usize, window: u64) -> RateLimiter {
+        RateLimiter {
+            max_per_window,
+            window,
+            counts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Records one request at time `now`; `false` means the budget is
+    /// exhausted.
+    pub fn allow(&self, client: &str, now: u64) -> bool {
+        let mut counts = self.counts.lock();
+        let slot = now / self.window.max(1);
+        let entry = counts.entry(client.to_string()).or_insert((slot, 0));
+        if entry.0 != slot {
+            *entry = (slot, 0);
+        }
+        if entry.1 >= self.max_per_window {
+            false
+        } else {
+            entry.1 += 1;
+            true
+        }
+    }
+}
+
+/// One proxy server holding an unblinding share.
+#[derive(Debug)]
+pub struct ProxyServer {
+    id: String,
+    share: ProxyTransformKey,
+    limiter: RateLimiter,
+}
+
+impl ProxyServer {
+    /// Creates a proxy.
+    pub fn new(id: impl Into<String>, share: ProxyTransformKey, limiter: RateLimiter) -> Self {
+        ProxyServer {
+            id: id.into(),
+            share,
+            limiter,
+        }
+    }
+
+    /// The proxy's identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// `ProxyEnc`: transforms a partial index for `client` at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the client is rate-limited.
+    pub fn transform(
+        &self,
+        system: &ApksSystem,
+        client: &str,
+        now: u64,
+        index: &EncryptedIndex,
+    ) -> Result<EncryptedIndex, ProxyError> {
+        if !self.limiter.allow(client, now) {
+            return Err(ProxyError::RateLimited {
+                client: client.to_string(),
+            });
+        }
+        Ok(proxy_transform(system, &self.share, index))
+    }
+}
+
+/// An ordered deployment of one or more proxies.
+#[derive(Debug)]
+pub struct ProxyChain {
+    proxies: Vec<ProxyServer>,
+}
+
+impl ProxyChain {
+    /// Provisions a chain of `count` proxies from the APKS⁺ master key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn provision<R: Rng + ?Sized>(
+        mk: &ApksPlusMasterKey,
+        count: usize,
+        max_per_window: usize,
+        window: u64,
+        rng: &mut R,
+    ) -> ProxyChain {
+        let shares = split_blinding(mk.blinding, count, rng);
+        let proxies = shares
+            .into_iter()
+            .enumerate()
+            .map(|(i, share)| {
+                ProxyServer::new(
+                    format!("proxy-{i}"),
+                    share,
+                    RateLimiter::new(max_per_window, window),
+                )
+            })
+            .collect();
+        ProxyChain { proxies }
+    }
+
+    /// The proxies in the chain.
+    pub fn proxies(&self) -> &[ProxyServer] {
+        &self.proxies
+    }
+
+    /// Sends a partial index through every proxy in order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any proxy rate-limits the client.
+    pub fn ingest(
+        &self,
+        system: &ApksSystem,
+        client: &str,
+        now: u64,
+        index: &EncryptedIndex,
+    ) -> Result<EncryptedIndex, ProxyError> {
+        let mut ct = index.clone();
+        for p in &self.proxies {
+            ct = p.transform(system, client, now, &ct)?;
+        }
+        Ok(ct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apks_core::{FieldValue, Query, QueryPolicy, Record, Schema};
+    use apks_curve::CurveParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn system() -> ApksSystem {
+        let schema = Schema::builder().flat_field("kw", 1).build().unwrap();
+        ApksSystem::new(CurveParams::fast(), schema)
+    }
+
+    #[test]
+    fn single_proxy_flow() {
+        let sys = system();
+        let mut rng = StdRng::seed_from_u64(1000);
+        let (pk, mk) = sys.setup_plus(&mut rng);
+        let chain = ProxyChain::provision(&mk, 1, 100, 60, &mut rng);
+        let cap = sys
+            .gen_cap(
+                &pk,
+                &mk.inner,
+                &Query::new().equals("kw", "x"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let partial = sys
+            .gen_partial_index(&pk, &Record::new(vec![FieldValue::text("x")]), &mut rng)
+            .unwrap();
+        assert!(!sys.search(&pk, &cap, &partial).unwrap());
+        let full = chain.ingest(&sys, "owner-1", 0, &partial).unwrap();
+        assert!(sys.search(&pk, &cap, &full).unwrap());
+    }
+
+    #[test]
+    fn three_proxy_chain_requires_all() {
+        let sys = system();
+        let mut rng = StdRng::seed_from_u64(1001);
+        let (pk, mk) = sys.setup_plus(&mut rng);
+        let chain = ProxyChain::provision(&mk, 3, 100, 60, &mut rng);
+        let cap = sys
+            .gen_cap(
+                &pk,
+                &mk.inner,
+                &Query::new().equals("kw", "x"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let partial = sys
+            .gen_partial_index(&pk, &Record::new(vec![FieldValue::text("x")]), &mut rng)
+            .unwrap();
+        // through only two of three proxies: still unsearchable
+        let mut two = partial.clone();
+        for p in &chain.proxies()[..2] {
+            two = p.transform(&sys, "o", 0, &two).unwrap();
+        }
+        assert!(!sys.search(&pk, &cap, &two).unwrap());
+        // full chain works
+        let full = chain.ingest(&sys, "o", 0, &partial).unwrap();
+        assert!(sys.search(&pk, &cap, &full).unwrap());
+    }
+
+    #[test]
+    fn rate_limiter_blocks_probe_response() {
+        let sys = system();
+        let mut rng = StdRng::seed_from_u64(1002);
+        let (pk, mk) = sys.setup_plus(&mut rng);
+        let chain = ProxyChain::provision(&mk, 1, 3, 60, &mut rng);
+        let partial = sys
+            .gen_partial_index(&pk, &Record::new(vec![FieldValue::text("x")]), &mut rng)
+            .unwrap();
+        for i in 0..3 {
+            assert!(chain.ingest(&sys, "prober", i, &partial).is_ok());
+        }
+        assert_eq!(
+            chain.ingest(&sys, "prober", 3, &partial).unwrap_err(),
+            ProxyError::RateLimited {
+                client: "prober".into()
+            }
+        );
+        // other clients unaffected
+        assert!(chain.ingest(&sys, "honest", 3, &partial).is_ok());
+        // budget refreshes next window
+        assert!(chain.ingest(&sys, "prober", 60, &partial).is_ok());
+    }
+
+    #[test]
+    fn rate_limiter_windows() {
+        let rl = RateLimiter::new(2, 10);
+        assert!(rl.allow("a", 0));
+        assert!(rl.allow("a", 5));
+        assert!(!rl.allow("a", 9));
+        assert!(rl.allow("a", 10)); // new window
+    }
+}

@@ -1,0 +1,116 @@
+//! Patient matching in a health social network (§I, §III of the paper):
+//! *"a patient should only be matched to patients having similar symptoms
+//! as her, while shall not learn any information about those who do not."*
+//!
+//! Alice (diagnosed with diabetes) may only obtain a capability for her
+//! own illness; Mallory (with flu) is refused a diabetes capability.
+//!
+//! ```text
+//! cargo run --example patient_matching
+//! ```
+
+use apks_authz::{AttributeDirectory, AuthzError, Eligibility, EligibilityRules, TrustedAuthority};
+use apks_cloud::CloudServer;
+use apks_core::{ApksSystem, FieldValue, Query, QueryPolicy, Record, Schema};
+use apks_curve::CurveParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = Schema::builder()
+        .flat_field("provider", 1)
+        .flat_field("illness", 2)
+        .flat_field("symptom", 2)
+        .build()?;
+    let system = ApksSystem::new(CurveParams::fast(), schema);
+    let mut rng = StdRng::seed_from_u64(11);
+
+    let mut ta = TrustedAuthority::setup(system, &mut rng);
+    let system = ta.system().clone();
+    let pk = ta.public_key().clone();
+
+    // hospital A's patient directory
+    let mut directory = AttributeDirectory::new();
+    directory.register_user(
+        "alice",
+        [
+            ("illness", FieldValue::text("diabetes")),
+            ("symptom", FieldValue::text("fatigue")),
+        ],
+    );
+    directory.register_user(
+        "mallory",
+        [
+            ("illness", FieldValue::text("flu")),
+            ("symptom", FieldValue::text("cough")),
+        ],
+    );
+    // patients may only search values they possess
+    let rules = EligibilityRules::with_default(Eligibility::OwnsValue);
+    let lta = ta.register_lta(
+        "lta:hospital-a",
+        &Query::new().equals("provider", "Hospital A"),
+        directory,
+        rules,
+        QueryPolicy {
+            min_dimensions: 1,
+            max_total_or_terms: 4,
+        },
+        &mut rng,
+    )?;
+
+    let server = CloudServer::new(system.clone(), pk.clone(), ta.ibs_params().clone());
+    server.register_authority("lta:hospital-a");
+
+    // other patients' encrypted profiles
+    for (illness, symptom) in [
+        ("diabetes", "fatigue"),
+        ("diabetes", "thirst"),
+        ("flu", "cough"),
+        ("cancer", "fatigue"),
+    ] {
+        let r = Record::new(vec![
+            FieldValue::text("Hospital A"),
+            FieldValue::text(illness),
+            FieldValue::text(symptom),
+        ]);
+        server.upload(system.gen_index(&pk, &r, &mut rng)?);
+    }
+
+    // Alice matches patients with her illness
+    let alice_cap = lta.request_capability(
+        &system,
+        &pk,
+        "alice",
+        &Query::new().equals("illness", "diabetes"),
+        &mut rng,
+    )?;
+    let (hits, _) = server.search(&alice_cap)?;
+    println!("alice's diabetes matches: {hits:?} (2 fellow patients)");
+
+    // Mallory tries to probe for diabetes patients and is refused
+    match lta.request_capability(
+        &system,
+        &pk,
+        "mallory",
+        &Query::new().equals("illness", "diabetes"),
+        &mut rng,
+    ) {
+        Err(AuthzError::NotEligible { fields }) => {
+            println!("mallory refused a diabetes capability (not her attribute): {fields:?}");
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+
+    // Mallory can still match her own illness
+    let mallory_cap = lta.request_capability(
+        &system,
+        &pk,
+        "mallory",
+        &Query::new().equals("illness", "flu"),
+        &mut rng,
+    )?;
+    let (hits, _) = server.search(&mallory_cap)?;
+    println!("mallory's flu matches: {hits:?}");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! APKS⁺ query privacy (§V): the honest-but-curious server's dictionary
+//! attack recovers the query behind a plain APKS capability, but learns
+//! nothing from an APKS⁺ capability; the proxy chain (with probe-response
+//! rate limiting) keeps legitimate ingestion working.
+//!
+//! ```text
+//! cargo run --example query_privacy
+//! ```
+
+use apks_cloud::adversary::DictionaryAttack;
+use apks_core::{ApksSystem, FieldValue, Query, QueryPolicy, Record, Schema};
+use apks_curve::CurveParams;
+use apks_proxy::ProxyChain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn universe() -> Vec<Record> {
+    let mut out = Vec::new();
+    for illness in ["flu", "diabetes", "cancer", "asthma"] {
+        for sex in ["female", "male"] {
+            out.push(Record::new(vec![
+                FieldValue::text(illness),
+                FieldValue::text(sex),
+            ]));
+        }
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let schema = Schema::builder()
+        .flat_field("illness", 1)
+        .flat_field("sex", 1)
+        .build()?;
+    let system = ApksSystem::new(CurveParams::fast(), schema);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    let secret = Query::new().equals("illness", "cancer").equals("sex", "female");
+    println!("user's secret query: {secret}");
+
+    // --- plain APKS: the attack works -----------------------------------
+    let (pk, msk) = system.setup(&mut rng);
+    let cap = system
+        .gen_cap(&pk, &msk, &secret, &QueryPolicy::default(), &mut rng)?
+        .finalize();
+    let report = DictionaryAttack::new(&system, &pk).run(&cap, &universe(), &mut rng);
+    println!(
+        "\n[plain APKS]  server brute-forced {} candidate indexes; capability matched:",
+        report.trials
+    );
+    for m in &report.matched {
+        println!("    -> {:?}  (query keywords exposed!)", m.values);
+    }
+
+    // --- APKS⁺: the same attack fails ------------------------------------
+    let (pk2, mk) = system.setup_plus(&mut rng);
+    let cap2 = system
+        .gen_cap(&pk2, &mk.inner, &secret, &QueryPolicy::default(), &mut rng)?
+        .finalize();
+    let report2 = DictionaryAttack::new(&system, &pk2).run(&cap2, &universe(), &mut rng);
+    println!(
+        "\n[APKS+]       server brute-forced {} candidates; capability matched {} — query stays private",
+        report2.trials,
+        report2.matched.len()
+    );
+
+    // --- but the legitimate pipeline still works -------------------------
+    let chain = ProxyChain::provision(&mk, 2, 5, 60, &mut rng);
+    let target = Record::new(vec![FieldValue::text("cancer"), FieldValue::text("female")]);
+    let partial = system.gen_partial_index(&pk2, &target, &mut rng)?;
+    let searchable = chain.ingest(&system, "owner-1", 0, &partial)?;
+    println!(
+        "\nproxy chain of {} transformed the owner's partial index; search now: {}",
+        chain.proxies().len(),
+        system.search(&pk2, &cap2, &searchable)?
+    );
+
+    // --- probe-response attack rate-limited -------------------------------
+    let mut blocked = 0;
+    for i in 0..8 {
+        if chain.ingest(&system, "curious-server", i, &partial).is_err() {
+            blocked += 1;
+        }
+    }
+    println!("probe-response flood: {blocked}/8 transformation requests blocked by traffic monitoring");
+    Ok(())
+}

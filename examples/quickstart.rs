@@ -1,0 +1,59 @@
+//! Quickstart: encrypt a few records, get a capability, search.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use apks_core::{ApksSystem, FieldValue, Hierarchy, Query, QueryPolicy, Record, Schema};
+use apks_curve::CurveParams;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A schema: one hierarchical numeric field, two flat fields.
+    let schema = Schema::builder()
+        .hierarchical_field("age", Hierarchy::numeric(0, 63, 4), 2)
+        .flat_field("sex", 1)
+        .flat_field("illness", 2)
+        .build()?;
+
+    // `fast()` is the reduced test curve; swap for `standard()` to run the
+    // paper's 512-bit configuration.
+    let system = ApksSystem::new(CurveParams::fast(), schema);
+    let mut rng = StdRng::seed_from_u64(42);
+
+    // 2. The trusted authority runs Setup.
+    let (pk, msk) = system.setup(&mut rng);
+    println!("setup done: n = {} (vector length)", system.n());
+
+    // 3. Owners encrypt their records' keyword indexes.
+    let people = [
+        (25, "female", "diabetes"),
+        (61, "male", "diabetes"),
+        (33, "female", "flu"),
+        (18, "female", "diabetes"),
+    ];
+    let mut indexes = Vec::new();
+    for (age, sex, illness) in people {
+        let record = Record::new(vec![
+            FieldValue::num(age),
+            FieldValue::text(sex),
+            FieldValue::text(illness),
+        ]);
+        indexes.push(system.gen_index(&pk, &record, &mut rng)?);
+    }
+    println!("encrypted {} indexes", indexes.len());
+
+    // 4. A user is authorized for a multi-dimensional query.
+    let query = Query::parse("(16 <= age <= 31) and sex = female and illness = diabetes")?;
+    println!("query: {query}");
+    let cap = system.gen_cap(&pk, &msk, &query, &QueryPolicy::default(), &mut rng)?;
+
+    // 5. The server evaluates the capability against each index, learning
+    //    only which match.
+    for (i, ((age, sex, illness), idx)) in people.iter().zip(&indexes).enumerate() {
+        let hit = system.search(&pk, &cap, idx)?;
+        println!("  record {i} ({age}, {sex}, {illness}): {}", if hit { "MATCH" } else { "-" });
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Workload-level simulation: a multi-owner, multi-user deployment over
+//! simulated days, with real cryptography end to end.
+//!
+//! ```text
+//! cargo run --release --example simulation
+//! APKS_SIM_PROXIES=2 APKS_SIM_DAYS=10 cargo run --release --example simulation
+//! ```
+
+use apks_sim::{SimConfig, Simulation};
+
+fn env(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SimConfig {
+        owners: env("APKS_SIM_OWNERS", 8),
+        users: env("APKS_SIM_USERS", 6),
+        days: env("APKS_SIM_DAYS", 5),
+        uploads_per_day: env("APKS_SIM_UPLOADS", 3),
+        queries_per_day: env("APKS_SIM_QUERIES", 3),
+        proxies: env("APKS_SIM_PROXIES", 0),
+        seed: env("APKS_SIM_SEED", 1) as u64,
+    };
+    println!(
+        "simulating {} days: {} owners, {} users, {} uploads/day, {} queries/day, {} proxies",
+        config.days,
+        config.owners,
+        config.users,
+        config.uploads_per_day,
+        config.queries_per_day,
+        config.proxies
+    );
+    let report = Simulation::new(config)?.run()?;
+    println!();
+    println!("uploads:          {}", report.uploads);
+    println!("  per upload:     {:?} (encrypt + proxy + store)", report.per_upload());
+    println!("capability reqs:  {} issued, {} denied by attribute check", report.issued, report.denied);
+    println!("searches:         {} ({} stale-window)", report.searches, report.stale_searches);
+    println!("indexes scanned:  {}", report.scanned);
+    println!("  per index:      {:?}", report.per_index_search());
+    println!("matches returned: {}", report.matches);
+    Ok(())
+}

@@ -1,0 +1,159 @@
+//! End-to-end integration: owners → TA/LTA → cloud server → users,
+//! across the real crate boundaries.
+
+use apks_authz::{AttributeDirectory, Eligibility, EligibilityRules, TrustedAuthority};
+use apks_cloud::CloudServer;
+use apks_core::{FieldValue, Query, QueryPolicy, Record};
+use apks_dataset::phr::{random_phr_record, PHR_EPOCH};
+use apks_core::revocation::{with_period, Date};
+use apks_tests::{phr_system, tiny_record, tiny_system};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn multi_owner_multi_user_flow() {
+    let sys = tiny_system();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut ta = TrustedAuthority::setup(sys, &mut rng);
+    let sys = ta.system().clone();
+    let pk = ta.public_key().clone();
+
+    // two hospitals as LTAs
+    let mut dir_a = AttributeDirectory::new();
+    dir_a.register_user("alice", [("illness", FieldValue::text("diabetes"))]);
+    let lta_a = ta
+        .register_lta(
+            "lta:hospital-a",
+            &Query::new().equals("provider", "hospital-a"),
+            dir_a,
+            EligibilityRules::with_default(Eligibility::OwnsValue)
+                .set("sex", Eligibility::AnyValue),
+            QueryPolicy::default(),
+            &mut rng,
+        )
+        .unwrap();
+    let mut dir_b = AttributeDirectory::new();
+    dir_b.register_user("bob", [("illness", FieldValue::text("flu"))]);
+    let lta_b = ta
+        .register_lta(
+            "lta:hospital-b",
+            &Query::new().equals("provider", "hospital-b"),
+            dir_b,
+            EligibilityRules::with_default(Eligibility::OwnsValue),
+            QueryPolicy::default(),
+            &mut rng,
+        )
+        .unwrap();
+
+    let server = CloudServer::new(sys.clone(), pk.clone(), ta.ibs_params().clone());
+    server.register_authority("lta:hospital-a");
+    server.register_authority("lta:hospital-b");
+
+    // many owners contribute
+    let corpus = [
+        ("hospital-a", "diabetes", "female"),
+        ("hospital-a", "diabetes", "male"),
+        ("hospital-a", "flu", "female"),
+        ("hospital-b", "diabetes", "female"),
+        ("hospital-b", "flu", "male"),
+    ];
+    let mut ids = Vec::new();
+    for (p, i, s) in corpus {
+        ids.push(server.upload(sys.gen_index(&pk, &tiny_record(p, i, s), &mut rng).unwrap()));
+    }
+
+    // Alice (hospital A patient) matches same-illness patients in A only
+    let alice_cap = lta_a
+        .request_capability(
+            &sys,
+            &pk,
+            "alice",
+            &Query::new().equals("illness", "diabetes"),
+            &mut rng,
+        )
+        .unwrap();
+    let (hits, stats) = server.search(&alice_cap).unwrap();
+    assert_eq!(hits, vec![ids[0], ids[1]]);
+    assert_eq!(stats.scanned, 5);
+
+    // Bob's capability from hospital B cannot reach hospital A's records
+    let bob_cap = lta_b
+        .request_capability(&sys, &pk, "bob", &Query::new().equals("illness", "flu"), &mut rng)
+        .unwrap();
+    let (hits, _) = server.search(&bob_cap).unwrap();
+    assert_eq!(hits, vec![ids[4]]);
+}
+
+#[test]
+fn phr_hierarchical_end_to_end() {
+    let (sys, cfg) = phr_system();
+    let mut rng = StdRng::seed_from_u64(2);
+    let (pk, msk) = sys.setup(&mut rng);
+
+    // upload random PHRs plus one known target
+    let mut indexes = Vec::new();
+    for _ in 0..5 {
+        let r = random_phr_record(&cfg, &mut rng);
+        indexes.push((r.clone(), sys.gen_index(&pk, &r, &mut rng).unwrap()));
+    }
+    let target = Record::new(vec![
+        FieldValue::num(45),
+        FieldValue::text("female"),
+        FieldValue::text("Worcester"),
+        FieldValue::text("diabetes-2"),
+        FieldValue::text("Hospital A"),
+        apks_core::revocation::time_value(Date::new(2010, 3, 5), PHR_EPOCH),
+    ]);
+    let target_idx = sys.gen_index(&pk, &target, &mut rng).unwrap();
+
+    // researcher query: age range + semantic region + illness class, with
+    // a validity period
+    let q = Query::new()
+        .range("age", 32, 63)
+        .equals("region", "Central MA")
+        .equals("illness", "chronic");
+    let q = with_period(q, Date::new(2010, 1, 1), Date::new(2010, 6, 28), PHR_EPOCH).unwrap();
+    let cap = sys
+        .gen_cap(&pk, &msk, &q, &QueryPolicy::default(), &mut rng)
+        .unwrap();
+
+    assert!(sys.search(&pk, &cap, &target_idx).unwrap());
+    // every random index agrees with the plaintext oracle
+    for (rec, idx) in &indexes {
+        let expected = q.matches_record(sys.schema(), rec).unwrap();
+        assert_eq!(sys.search(&pk, &cap, idx).unwrap(), expected, "record {rec:?}");
+    }
+}
+
+#[test]
+fn encrypted_results_agree_with_plaintext_oracle_randomized() {
+    let (sys, cfg) = phr_system();
+    let mut rng = StdRng::seed_from_u64(3);
+    let (pk, msk) = sys.setup(&mut rng);
+
+    let queries = [
+        Query::new().range("age", 0, 31),
+        Query::new().equals("sex", "male").equals("illness", "infectious"),
+        Query::new().one_of("region", ["Boston", "Cambridge"]),
+        Query::new().equals("region", "West MA").range("age", 64, 127),
+    ];
+    let caps: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            sys.gen_cap(&pk, &msk, q, &QueryPolicy::default(), &mut rng)
+                .unwrap()
+        })
+        .collect();
+    for _ in 0..6 {
+        let rec = random_phr_record(&cfg, &mut rng);
+        let idx = sys.gen_index(&pk, &rec, &mut rng).unwrap();
+        for (q, cap) in queries.iter().zip(&caps) {
+            let expected = q.matches_record(sys.schema(), &rec).unwrap();
+            assert_eq!(
+                sys.search(&pk, cap, &idx).unwrap(),
+                expected,
+                "query {q} on {rec:?}"
+            );
+        }
+    }
+}

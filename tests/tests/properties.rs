@@ -1,0 +1,150 @@
+//! Property-based tests over the query language, encodings, and the
+//! algebraic invariants that hold the scheme together.
+
+use apks_core::encoding::{inner_product, phi, psi};
+use apks_core::{Condition, FieldValue, Hierarchy, Query, Record, Schema};
+use apks_math::Fr;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("reserved word", |s| s != "and" && s != "in")
+}
+
+fn field_value() -> impl Strategy<Value = FieldValue> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| FieldValue::num(v as i64)),
+        "[a-zA-Z][a-zA-Z0-9 _-]{0,10}".prop_map(FieldValue::text),
+    ]
+}
+
+fn condition() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        (ident(), field_value()).prop_map(|(field, value)| Condition::Equals { field, value }),
+        (ident(), prop::collection::vec(field_value(), 1..4))
+            .prop_map(|(field, values)| Condition::OneOf { field, values }),
+        (ident(), any::<i32>(), 0i32..1000).prop_map(|(field, lo, span)| Condition::Range {
+            field,
+            lo: lo as i64,
+            hi: lo as i64 + span as i64,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The textual form of any query parses back to the same AST.
+    #[test]
+    fn parser_roundtrips_display(conds in prop::collection::vec(condition(), 1..5)) {
+        let q = Query { conditions: conds };
+        let text = q.to_string();
+        let parsed = Query::parse(&text).unwrap_or_else(|e| panic!("{text:?}: {e}"));
+        prop_assert_eq!(parsed, q);
+    }
+
+    /// ψ/φ: the inner product vanishes exactly when every constrained
+    /// dimension's record keyword is among the queried ones.
+    #[test]
+    fn psi_phi_inner_product_iff_match(
+        value in 0i64..64,
+        q_from in 0i64..64,
+        q_span in 0i64..16,
+        seed in any::<u64>(),
+    ) {
+        let schema: Arc<Schema> = Schema::builder()
+            .hierarchical_field("v", Hierarchy::numeric(0, 63, 4), 3)
+            .build()
+            .unwrap();
+        let q_to = (q_from + q_span).min(63);
+        let query = Query::new().range("v", q_from, q_to);
+        if let Ok(conv) = query.convert(&schema) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let rec = Record::new(vec![FieldValue::num(value)]);
+            let x = psi(&schema, &schema.convert_record(&rec).unwrap());
+            let v = phi(&schema, &conv, &mut rng);
+            let matched = inner_product(&x, &v).is_zero();
+            prop_assert_eq!(matched, q_from <= value && value <= q_to);
+        }
+    }
+
+    /// Hierarchy covers are exact partitions of the requested range.
+    #[test]
+    fn hierarchy_cover_partitions(lo in 0i64..100, span in 0i64..100, branching in 2usize..6) {
+        let h = Hierarchy::numeric(0, 99, branching);
+        let hi = (lo + span).min(99);
+        if let Ok((_, nodes)) = h.cover_range(lo, hi, 64) {
+            let mut total = 0i64;
+            let mut prev_hi = lo - 1;
+            for n in &nodes {
+                let (s, t) = n.interval.unwrap();
+                prop_assert_eq!(s, prev_hi + 1, "contiguous");
+                prop_assert!(t <= hi);
+                total += t - s + 1;
+                prev_hi = t;
+            }
+            prop_assert_eq!(total, hi - lo + 1);
+        }
+    }
+
+    /// Every value's path is consistent with every expressible range
+    /// query: converted semantics equals plain interval membership.
+    #[test]
+    fn hierarchy_path_respects_ranges(v in 0i64..32, lo in 0i64..32, span in 0i64..32) {
+        let schema: Arc<Schema> = Schema::builder()
+            .hierarchical_field("x", Hierarchy::numeric(0, 31, 2), 2)
+            .build()
+            .unwrap();
+        let hi = (lo + span).min(31);
+        let q = Query::new().range("x", lo, hi);
+        if q.convert(&schema).is_ok() {
+            let rec = Record::new(vec![FieldValue::num(v)]);
+            let m = q.matches_record(&schema, &rec).unwrap();
+            prop_assert_eq!(m, lo <= v && v <= hi);
+        }
+    }
+
+    /// poly_from_roots really produces a polynomial vanishing exactly on
+    /// its roots.
+    #[test]
+    fn poly_roots_vanish(roots in prop::collection::vec(any::<u64>(), 1..6), probe in any::<u64>()) {
+        use apks_core::encoding::poly_from_roots;
+        let roots_fr: Vec<Fr> = roots.iter().map(|&r| Fr::from_u64(r)).collect();
+        let coeffs = poly_from_roots(&roots_fr);
+        let eval = |z: Fr| -> Fr {
+            let mut acc = Fr::ZERO;
+            let mut zp = Fr::one();
+            for &c in &coeffs {
+                acc += c * zp;
+                zp *= z;
+            }
+            acc
+        };
+        for &r in &roots_fr {
+            prop_assert!(eval(r).is_zero());
+        }
+        let probe_fr = Fr::from_u64(probe);
+        if !roots_fr.contains(&probe_fr) {
+            prop_assert!(!eval(probe_fr).is_zero());
+        }
+    }
+}
+
+/// Schema digests must differ whenever schemas differ structurally.
+#[test]
+fn schema_digest_distinguishes() {
+    use apks_core::ApksSystem;
+    use apks_curve::CurveParams;
+    let s1 = Schema::builder().flat_field("a", 1).build().unwrap();
+    let s2 = Schema::builder().flat_field("a", 2).build().unwrap();
+    let sys1 = ApksSystem::new(CurveParams::fast(), s1);
+    let sys2 = ApksSystem::new(CurveParams::fast(), s2);
+    let mut rng = StdRng::seed_from_u64(7);
+    let (pk1, _) = sys1.setup(&mut rng);
+    // n differs → dimension mismatch surfaces as an error, not silence
+    assert!(sys2
+        .gen_index(&pk1, &Record::new(vec![FieldValue::text("x")]), &mut rng)
+        .is_err());
+}

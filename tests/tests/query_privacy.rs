@@ -1,0 +1,137 @@
+//! Query-privacy integration: dictionary attack vs APKS and APKS⁺ with
+//! the full proxy pipeline, and APKS vs MRQED^D result agreement.
+
+use apks_cloud::adversary::DictionaryAttack;
+use apks_core::{FieldValue, Query, QueryPolicy, Record};
+use apks_mrqed::Mrqed;
+use apks_proxy::ProxyChain;
+use apks_tests::{tiny_record, tiny_system};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn universe() -> Vec<Record> {
+    let mut out = Vec::new();
+    for p in ["hospital-a", "hospital-b"] {
+        for i in ["flu", "diabetes", "cancer"] {
+            for s in ["female", "male"] {
+                out.push(tiny_record(p, i, s));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn dictionary_attack_succeeds_on_apks_fails_on_plus() {
+    let sys = tiny_system();
+    let mut rng = StdRng::seed_from_u64(20);
+    let secret = Query::new()
+        .equals("provider", "hospital-a")
+        .equals("illness", "cancer")
+        .equals("sex", "male");
+
+    // plain APKS: the attack pinpoints the queried keywords
+    let (pk, msk) = sys.setup(&mut rng);
+    let cap = sys
+        .gen_cap(&pk, &msk, &secret, &QueryPolicy::default(), &mut rng)
+        .unwrap()
+        .finalize();
+    let report = DictionaryAttack::new(&sys, &pk).run(&cap, &universe(), &mut rng);
+    assert_eq!(report.matched, vec![tiny_record("hospital-a", "cancer", "male")]);
+
+    // APKS⁺: same attack recovers nothing, yet the search still works
+    // after the proxy chain
+    let (pk2, mk) = sys.setup_plus(&mut rng);
+    let cap2 = sys
+        .gen_cap(&pk2, &mk.inner, &secret, &QueryPolicy::default(), &mut rng)
+        .unwrap()
+        .finalize();
+    let report2 = DictionaryAttack::new(&sys, &pk2).run(&cap2, &universe(), &mut rng);
+    assert!(report2.matched.is_empty());
+
+    let chain = ProxyChain::provision(&mk, 2, 100, 60, &mut rng);
+    let partial = sys
+        .gen_partial_index(&pk2, &tiny_record("hospital-a", "cancer", "male"), &mut rng)
+        .unwrap();
+    let full = chain.ingest(&sys, "owner", 0, &partial).unwrap();
+    assert!(sys.search(&pk2, &cap2, &full).unwrap());
+}
+
+#[test]
+fn min_dimension_policy_reduces_exposure() {
+    // With the §VI countermeasure, a 1-dimension probe capability is not
+    // even issued.
+    let sys = tiny_system();
+    let mut rng = StdRng::seed_from_u64(21);
+    let (pk, msk) = sys.setup(&mut rng);
+    let policy = QueryPolicy {
+        min_dimensions: 2,
+        max_total_or_terms: 4,
+    };
+    assert!(sys
+        .gen_cap(&pk, &msk, &Query::new().equals("illness", "flu"), &policy, &mut rng)
+        .is_err());
+    assert!(sys
+        .gen_cap(
+            &pk,
+            &msk,
+            &Query::new().equals("illness", "flu").equals("sex", "female"),
+            &policy,
+            &mut rng
+        )
+        .is_ok());
+}
+
+#[test]
+fn apks_and_mrqed_agree_on_range_membership() {
+    // Both systems answer "is the point in the box" — run the same
+    // workload through each and compare verdicts.
+    use apks_core::{ApksSystem, Schema};
+    use apks_curve::CurveParams;
+
+    let mut rng = StdRng::seed_from_u64(22);
+    let params = CurveParams::fast();
+
+    // two numeric dimensions over [0, 16)
+    let schema = Schema::builder()
+        .hierarchical_field("x", apks_core::Hierarchy::numeric(0, 15, 2), 2)
+        .hierarchical_field("y", apks_core::Hierarchy::numeric(0, 15, 2), 2)
+        .build()
+        .unwrap();
+    let apks = ApksSystem::new(params.clone(), schema);
+    let (pk, msk) = apks.setup(&mut rng);
+
+    let mrqed = Mrqed::new(params, 2, 4);
+    let (mpk, mmsk) = mrqed.setup(&mut rng);
+
+    // aligned boxes are expressible in both schemes
+    let boxes = [((0u64, 7u64), (8u64, 15u64)), ((4, 7), (0, 7)), ((8, 11), (12, 15))];
+    let points = [[2u64, 9u64], [5, 3], [9, 13], [15, 0]];
+    for ((xs, xe), (ys, ye)) in boxes {
+        let apks_cap = apks
+            .gen_cap(
+                &pk,
+                &msk,
+                &Query::new()
+                    .range("x", xs as i64, xe as i64)
+                    .range("y", ys as i64, ye as i64),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let mrqed_key = mrqed.gen_key(&mmsk, &[(xs, xe), (ys, ye)]);
+        for p in points {
+            let rec = Record::new(vec![
+                FieldValue::num(p[0] as i64),
+                FieldValue::num(p[1] as i64),
+            ]);
+            let idx = apks.gen_index(&pk, &rec, &mut rng).unwrap();
+            let apks_hit = apks.search(&pk, &apks_cap, &idx).unwrap();
+            let ct = mrqed.encrypt(&mpk, &p, &mut rng);
+            let mrqed_hit = mrqed.matches(&mrqed_key, &ct);
+            let truth = xs <= p[0] && p[0] <= xe && ys <= p[1] && p[1] <= ye;
+            assert_eq!(apks_hit, truth, "APKS box {:?} point {:?}", ((xs, xe), (ys, ye)), p);
+            assert_eq!(mrqed_hit, truth, "MRQED box {:?} point {:?}", ((xs, xe), (ys, ye)), p);
+        }
+    }
+}

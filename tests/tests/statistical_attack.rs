@@ -1,0 +1,158 @@
+//! The §VI statistical attack and its countermeasure, made executable.
+//!
+//! An honest-but-curious server that knows the keyword *frequency
+//! distribution* (Zipfian here) can guess the keyword behind a
+//! single-dimension capability from its match rate over the stored
+//! corpus. Requiring queries to constrain several dimensions (the
+//! [`QueryPolicy`] countermeasure) collapses the per-keyword frequency
+//! signal: many keyword combinations share each observable match rate.
+
+use apks_core::{ApksSystem, FieldValue, Query, QueryPolicy, Record, Schema};
+use apks_curve::CurveParams;
+use apks_dataset::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ILLNESSES: [&str; 6] = ["flu", "cold", "covid", "diabetes", "cancer", "rare-x"];
+const REGIONS: [&str; 4] = ["north", "south", "east", "west"];
+
+fn corpus(rng: &mut StdRng, size: usize) -> Vec<Record> {
+    // illness Zipf-distributed (the attacker's background knowledge),
+    // region uniform
+    let zipf = Zipf::new(ILLNESSES.len(), 1.1);
+    (0..size)
+        .map(|_| {
+            Record::new(vec![
+                FieldValue::text(ILLNESSES[zipf.sample(rng)]),
+                FieldValue::text(REGIONS[rng.gen_range(0..REGIONS.len())]),
+            ])
+        })
+        .collect()
+}
+
+#[test]
+fn match_rate_identifies_single_dimension_keyword() {
+    let schema = Schema::builder()
+        .flat_field("illness", 1)
+        .flat_field("region", 1)
+        .build()
+        .unwrap();
+    let sys = ApksSystem::new(CurveParams::fast(), schema);
+    let mut rng = StdRng::seed_from_u64(42);
+    let (pk, msk) = sys.setup(&mut rng);
+
+    let records = corpus(&mut rng, 60);
+    let indexes: Vec<_> = records
+        .iter()
+        .map(|r| sys.gen_index(&pk, r, &mut rng).unwrap())
+        .collect();
+
+    // The victim queries illness = "flu" (the most frequent keyword).
+    let permissive = QueryPolicy::permissive();
+    let cap = sys
+        .gen_cap(&pk, &msk, &Query::new().equals("illness", "flu"), &permissive, &mut rng)
+        .unwrap();
+
+    // The server observes the match rate …
+    let observed = indexes
+        .iter()
+        .filter(|i| sys.search(&pk, &cap, i).unwrap())
+        .count() as f64
+        / indexes.len() as f64;
+
+    // … and compares with the known keyword frequencies: the nearest
+    // expected frequency identifies the keyword.
+    let empirical: Vec<(usize, f64)> = ILLNESSES
+        .iter()
+        .enumerate()
+        .map(|(k, name)| {
+            let f = records
+                .iter()
+                .filter(|r| r.values[0] == FieldValue::text(*name))
+                .count() as f64
+                / records.len() as f64;
+            (k, f)
+        })
+        .collect();
+    let guess = empirical
+        .iter()
+        .min_by(|a, b| {
+            (a.1 - observed)
+                .abs()
+                .partial_cmp(&(b.1 - observed).abs())
+                .unwrap()
+        })
+        .unwrap()
+        .0;
+    assert_eq!(ILLNESSES[guess], "flu", "frequency analysis pins the keyword");
+}
+
+#[test]
+fn min_dimension_policy_blurs_the_signal() {
+    let schema = Schema::builder()
+        .flat_field("illness", 1)
+        .flat_field("region", 1)
+        .build()
+        .unwrap();
+    let sys = ApksSystem::new(CurveParams::fast(), schema);
+    let mut rng = StdRng::seed_from_u64(43);
+    let (pk, msk) = sys.setup(&mut rng);
+
+    // The countermeasure policy refuses 1-dimension probes outright …
+    let policy = QueryPolicy {
+        min_dimensions: 2,
+        max_total_or_terms: 2,
+    };
+    assert!(sys
+        .gen_cap(&pk, &msk, &Query::new().equals("illness", "flu"), &policy, &mut rng)
+        .is_err());
+
+    // … and conjunctive capabilities have ambiguous match rates: several
+    // (illness, region) pairs share (approximately) every observable
+    // rate, so the count no longer identifies the illness.
+    let records = corpus(&mut rng, 80);
+    let indexes: Vec<_> = records
+        .iter()
+        .map(|r| sys.gen_index(&pk, r, &mut rng).unwrap())
+        .collect();
+    let cap = sys
+        .gen_cap(
+            &pk,
+            &msk,
+            &Query::new().equals("illness", "flu").equals("region", "north"),
+            &policy,
+            &mut rng,
+        )
+        .unwrap();
+    let observed = indexes
+        .iter()
+        .filter(|i| sys.search(&pk, &cap, i).unwrap())
+        .count() as f64
+        / indexes.len() as f64;
+
+    // count how many conjunctive hypotheses are within sampling noise of
+    // the observed rate (±√(np̂) records, the binomial std-dev the
+    // attacker cannot see through) — ambiguity must be > 1 hypothesis
+    let noise = (observed * records.len() as f64).sqrt().max(2.0);
+    let tolerance = noise / records.len() as f64;
+    let mut plausible = 0;
+    for illness in ILLNESSES {
+        for region in REGIONS {
+            let f = records
+                .iter()
+                .filter(|r| {
+                    r.values[0] == FieldValue::text(illness)
+                        && r.values[1] == FieldValue::text(region)
+                })
+                .count() as f64
+                / records.len() as f64;
+            if (f - observed).abs() <= tolerance {
+                plausible += 1;
+            }
+        }
+    }
+    assert!(
+        plausible > 1,
+        "conjunctive match rates must be ambiguous (got {plausible} hypothesis)"
+    );
+}
