@@ -10,7 +10,9 @@
 use crate::directory::{AttributeDirectory, EligibilityRules};
 use crate::ibs::{IbsAuthority, IbsPublicParams, UserSignKey};
 use crate::signed::SignedCapability;
-use apks_core::{ApksError, ApksMasterKey, ApksPublicKey, ApksSystem, Capability, Query, QueryPolicy};
+use apks_core::{
+    ApksError, ApksMasterKey, ApksPublicKey, ApksSystem, Capability, Query, QueryPolicy,
+};
 use core::fmt;
 use rand::Rng;
 
@@ -30,7 +32,11 @@ impl fmt::Display for AuthzError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AuthzError::NotEligible { fields } => {
-                write!(f, "requester not eligible for fields: {}", fields.join(", "))
+                write!(
+                    f,
+                    "requester not eligible for fields: {}",
+                    fields.join(", ")
+                )
             }
             AuthzError::Apks(e) => write!(f, "apks error: {e}"),
         }
@@ -324,7 +330,10 @@ mod tests {
             )
             .unwrap();
         assert!(signed.verify(sys.params(), ta.ibs_params()));
-        assert!(!signed.capability.can_delegate(), "finalized for the server");
+        assert!(
+            !signed.capability.can_delegate(),
+            "finalized for the server"
+        );
 
         // The capability inherits the LTA's provider restriction.
         let in_domain = sys

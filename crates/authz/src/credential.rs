@@ -33,7 +33,13 @@ pub struct AttributeCredential {
     pub signature: IbsSignature,
 }
 
-fn claim_bytes(user: &str, field: &str, value: &FieldValue, expires_at: u64, issuer: &str) -> Vec<u8> {
+fn claim_bytes(
+    user: &str,
+    field: &str,
+    value: &FieldValue,
+    expires_at: u64,
+    issuer: &str,
+) -> Vec<u8> {
     let mut w = Writer::new();
     w.string("apks:credential:v1");
     w.string(user);
@@ -76,7 +82,13 @@ impl AttributeCredential {
         if now > self.expires_at {
             return false;
         }
-        let msg = claim_bytes(&self.user, &self.field, &self.value, self.expires_at, &self.issuer);
+        let msg = claim_bytes(
+            &self.user,
+            &self.field,
+            &self.value,
+            self.expires_at,
+            &self.issuer,
+        );
         self.signature.verify(params, ibs, &self.issuer, &msg)
     }
 
@@ -156,10 +168,9 @@ pub fn check_query_with_credentials(
                     && match cond {
                         Condition::Equals { value, .. } => value == &c.value,
                         Condition::OneOf { values, .. } => values.contains(&c.value),
-                        Condition::Range { lo, hi, .. } => c
-                            .value
-                            .as_num()
-                            .is_some_and(|n| *lo <= n && n <= *hi),
+                        Condition::Range { lo, hi, .. } => {
+                            c.value.as_num().is_some_and(|n| *lo <= n && n <= *hi)
+                        }
                     }
             }),
         };
@@ -183,7 +194,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (std::sync::Arc<CurveParams>, IbsAuthority, UserSignKey, StdRng) {
+    fn setup() -> (
+        std::sync::Arc<CurveParams>,
+        IbsAuthority,
+        UserSignKey,
+        StdRng,
+    ) {
         let params = CurveParams::fast();
         let mut rng = StdRng::seed_from_u64(1500);
         let authority = IbsAuthority::new(params.clone(), &mut rng);
@@ -205,7 +221,10 @@ mod tests {
         );
         assert!(cred.verify(&params, authority.public_params(), 50));
         assert!(cred.verify(&params, authority.public_params(), 100));
-        assert!(!cred.verify(&params, authority.public_params(), 101), "expired");
+        assert!(
+            !cred.verify(&params, authority.public_params(), 101),
+            "expired"
+        );
     }
 
     #[test]
@@ -228,19 +247,51 @@ mod tests {
     fn query_check_with_credentials() {
         let (params, authority, key, mut rng) = setup();
         let creds = vec![
-            issue_credential(&params, &key, "alice", "illness", FieldValue::text("diabetes"), 100, &mut rng),
-            issue_credential(&params, &key, "alice", "age", FieldValue::num(25), 100, &mut rng),
+            issue_credential(
+                &params,
+                &key,
+                "alice",
+                "illness",
+                FieldValue::text("diabetes"),
+                100,
+                &mut rng,
+            ),
+            issue_credential(
+                &params,
+                &key,
+                "alice",
+                "age",
+                FieldValue::num(25),
+                100,
+                &mut rng,
+            ),
         ];
         let rules = EligibilityRules::with_default(Eligibility::OwnsValue);
-        let ok = Query::new().equals("illness", "diabetes").range("age", 20, 30);
+        let ok = Query::new()
+            .equals("illness", "diabetes")
+            .range("age", 20, 30);
         assert!(check_query_with_credentials(
-            &params, authority.public_params(), "lta:hospital-a", "alice", &creds, &ok, &rules, 50
+            &params,
+            authority.public_params(),
+            "lta:hospital-a",
+            "alice",
+            &creds,
+            &ok,
+            &rules,
+            50
         )
         .is_ok());
         let bad = Query::new().equals("illness", "cancer");
         assert_eq!(
             check_query_with_credentials(
-                &params, authority.public_params(), "lta:hospital-a", "alice", &creds, &bad, &rules, 50
+                &params,
+                authority.public_params(),
+                "lta:hospital-a",
+                "alice",
+                &creds,
+                &bad,
+                &rules,
+                50
             )
             .unwrap_err(),
             vec!["illness".to_string()]
@@ -248,12 +299,26 @@ mod tests {
         // someone else's credential does not help
         let mallory_q = Query::new().equals("illness", "diabetes");
         assert!(check_query_with_credentials(
-            &params, authority.public_params(), "lta:hospital-a", "mallory", &creds, &mallory_q, &rules, 50
+            &params,
+            authority.public_params(),
+            "lta:hospital-a",
+            "mallory",
+            &creds,
+            &mallory_q,
+            &rules,
+            50
         )
         .is_err());
         // expired credentials do not help
         assert!(check_query_with_credentials(
-            &params, authority.public_params(), "lta:hospital-a", "alice", &creds, &ok, &rules, 200
+            &params,
+            authority.public_params(),
+            "lta:hospital-a",
+            "alice",
+            &creds,
+            &ok,
+            &rules,
+            200
         )
         .is_err());
     }
@@ -292,7 +357,14 @@ mod tests {
         let rules = EligibilityRules::with_default(Eligibility::OwnsValue);
         let q = Query::new().equals("illness", "diabetes");
         assert!(check_query_with_credentials(
-            &params, authority.public_params(), "lta:hospital-a", "alice", &[cred], &q, &rules, 50
+            &params,
+            authority.public_params(),
+            "lta:hospital-a",
+            "alice",
+            &[cred],
+            &q,
+            &rules,
+            50
         )
         .is_err());
     }

@@ -74,10 +74,7 @@ impl AttributeDirectory {
     ) {
         self.users.insert(
             user.into(),
-            attributes
-                .into_iter()
-                .map(|(k, v)| (k.into(), v))
-                .collect(),
+            attributes.into_iter().map(|(k, v)| (k.into(), v)).collect(),
         );
     }
 

@@ -128,11 +128,7 @@ impl IbsSignature {
         let h = challenge(params, msg, &self.u);
         let hq = params.mul(&q, h);
         let lhs = pairing_fp2(params, &self.v, &params.generator());
-        let sum = self
-            .u
-            .to_projective(fp)
-            .add_mixed(fp, &hq)
-            .to_affine(fp);
+        let sum = self.u.to_projective(fp).add_mixed(fp, &hq).to_affine(fp);
         let rhs = pairing_fp2(params, &sum, &public.p_pub);
         lhs == rhs
     }

@@ -10,8 +10,8 @@
 //! * prepared vs raw Miller loops at multi-pairing scale.
 
 use apks_bench::bench_params;
-use apks_core::{ApksSystem, Hierarchy, Query, QueryPolicy, Record, Schema};
 use apks_core::FieldValue;
+use apks_core::{ApksSystem, Hierarchy, Query, QueryPolicy, Record, Schema};
 use apks_curve::{multi_pairing, pairing, G1Affine};
 use apks_math::Fr;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -93,12 +93,16 @@ fn bench_hierarchy_vs_flat(c: &mut Criterion) {
         b.iter(|| flat.gen_index(&fpk, &record, &mut rng).unwrap())
     });
     group.bench_function("hier_search", |b| {
-        let cap = hier.gen_cap(&hpk, &hmsk, &query, &policy, &mut rng).unwrap();
+        let cap = hier
+            .gen_cap(&hpk, &hmsk, &query, &policy, &mut rng)
+            .unwrap();
         let idx = hier.gen_index(&hpk, &record, &mut rng).unwrap();
         b.iter(|| hier.search(&hpk, &cap, &idx).unwrap())
     });
     group.bench_function("flat_search", |b| {
-        let cap = flat.gen_cap(&fpk, &fmsk, &query, &policy, &mut rng).unwrap();
+        let cap = flat
+            .gen_cap(&fpk, &fmsk, &query, &policy, &mut rng)
+            .unwrap();
         let idx = flat.gen_index(&fpk, &record, &mut rng).unwrap();
         b.iter(|| flat.search(&fpk, &cap, &idx).unwrap())
     });

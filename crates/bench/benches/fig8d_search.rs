@@ -2,8 +2,10 @@
 //!
 //! Search is one multi-pairing of `n + 3` coordinate pairs; the paper
 //! reports linearity in `n` and a 5.5 ms → 2.5 ms per-pairing drop with
-//! preprocessing. Measured here: APKS `Search` across `n`, plus the raw
-//! vs prepared single-pairing cost.
+//! preprocessing. Measured here: APKS `Search` across `n` in both the
+//! plain and the prepared-capability mode (the default corpus-scan
+//! path), the one-time capability preparation cost, and the raw vs
+//! prepared single-pairing cost.
 
 use apks_bench::{bench_params, BenchSystem};
 use apks_curve::{pairing, pairing_prepared, PreparedG1};
@@ -22,8 +24,15 @@ fn bench_search(c: &mut Criterion) {
         let idx = sys.encrypt_one();
         let q = sys.sparse_query(3);
         let cap = sys.cap_for(&q);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+        group.bench_with_input(BenchmarkId::new("plain", n), &n, |b, _| {
             b.iter(|| sys.system.search(&sys.pk, &cap, &idx).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("prepare_once", n), &n, |b, _| {
+            b.iter(|| sys.system.prepare_capability(&cap).unwrap());
+        });
+        let prep = sys.system.prepare_capability(&cap).unwrap();
+        group.bench_with_input(BenchmarkId::new("prepared", n), &n, |b, _| {
+            b.iter(|| sys.system.search_prepared(&sys.pk, &prep, &idx).unwrap());
         });
     }
     group.finish();

@@ -10,7 +10,9 @@
 //! generation/delegation, Fig. 8(d) search, Table III projection, the
 //! §VII size accounting, and the MRQED^D comparison.
 
-use apks_bench::{bench_params, fmt_duration, paper, time_mean, time_once, BenchSystem, PAPER_N_GRID};
+use apks_bench::{
+    bench_params, fmt_duration, paper, time_mean, time_once, BenchSystem, PAPER_N_GRID,
+};
 use apks_core::Query;
 use apks_curve::{pairing, pairing_prepared, PreparedG1};
 use apks_dataset::nursery::NURSERY_ROWS;
@@ -43,6 +45,8 @@ fn main() {
     let mut gencap_sparse = Vec::new();
     let mut delegate_times = Vec::new();
     let mut search_times = Vec::new();
+    let mut search_prepared_times = Vec::new();
+    let mut prepare_times = Vec::new();
     let mut sizes = Vec::new();
 
     for (i, &n) in grid.iter().enumerate() {
@@ -98,6 +102,16 @@ fn main() {
             sys.system.search(&sys.pk, &cap, &idx).unwrap();
         });
         search_times.push(t_search);
+
+        // the default corpus-scan path: prepare once, evaluate many
+        let (t_prepare, prep_cap) = time_once(|| sys.system.prepare_capability(&cap).unwrap());
+        prepare_times.push(t_prepare);
+        let t_search_prep = time_mean(5, || {
+            sys.system
+                .search_prepared(&sys.pk, &prep_cap, &idx)
+                .unwrap();
+        });
+        search_prepared_times.push(t_search_prep);
 
         sizes.push(sys.sizes());
     }
@@ -167,13 +181,21 @@ fn main() {
     // ---- Fig 8(d) --------------------------------------------------------
     println!("## Fig. 8(d) — per-index search time vs n");
     println!();
-    println!("| n | measured | scaling check (t/(n+3)) | paper (n+3 pairings @ 2.5 ms) |");
-    println!("|---|----------|--------------------------|-------------------------------|");
-    for (&n, t) in grid.iter().zip(&search_times) {
+    println!(
+        "| n | plain | prepared | one-time prepare | speed-up | paper (n+3 pairings @ 2.5 ms) |"
+    );
+    println!(
+        "|---|-------|----------|------------------|----------|-------------------------------|"
+    );
+    for (i, &n) in grid.iter().enumerate() {
+        let t = search_times[i];
+        let tp = search_prepared_times[i];
         println!(
-            "| {n} | {} | {:.2} ms/pairing | {:.1} ms |",
-            fmt_duration(*t),
-            t.as_secs_f64() * 1e3 / (n + 3) as f64,
+            "| {n} | {} | {} | {} | {:.2}× | {:.1} ms |",
+            fmt_duration(t),
+            fmt_duration(tp),
+            fmt_duration(prepare_times[i]),
+            t.as_secs_f64() / tp.as_secs_f64().max(1e-9),
             (n + 3) as f64 * paper::PAIRING_MS.1,
         );
     }
@@ -202,16 +224,18 @@ fn main() {
     // ---- Table III --------------------------------------------------------
     println!("## Table III — projected total search time, Nursery ({NURSERY_ROWS} indexes)");
     println!();
-    println!("| n | measured projection | paper (s) | ratio (paper/ours) |");
-    println!("|---|---------------------|-----------|--------------------|");
+    println!("| n | plain projection | prepared projection (incl. one-time prep) | paper (s) | ratio (paper/prepared) |");
+    println!("|---|------------------|--------------------------------------------|-----------|------------------------|");
     for (i, &n) in grid.iter().enumerate() {
         let total = search_times[i] * NURSERY_ROWS as u32;
+        let total_prep = search_prepared_times[i] * NURSERY_ROWS as u32 + prepare_times[i];
         let idx = PAPER_N_GRID.iter().position(|&g| g == n).unwrap();
         let paper_s = paper::TABLE3_SECONDS[idx];
         println!(
-            "| {n} | {} | {paper_s:.0} | {:.0}× |",
+            "| {n} | {} | {} | {paper_s:.0} | {:.0}× |",
             fmt_duration(total),
-            paper_s / total.as_secs_f64().max(1e-9),
+            fmt_duration(total_prep),
+            paper_s / total_prep.as_secs_f64().max(1e-9),
         );
     }
     println!();
@@ -268,19 +292,31 @@ fn main() {
                 "setup",
                 setup_times[i],
                 t_msetup,
-                format!("{:.1} s vs {:.1} s", paper::SETUP_AT_46, paper::MRQED_AT_46.0),
+                format!(
+                    "{:.1} s vs {:.1} s",
+                    paper::SETUP_AT_46,
+                    paper::MRQED_AT_46.0
+                ),
             ),
             (
                 "encrypt",
                 encrypt_times[i],
                 t_menc,
-                format!("{:.1} s vs {:.1} s", paper::ENCRYPT_AT_46, paper::MRQED_AT_46.1),
+                format!(
+                    "{:.1} s vs {:.1} s",
+                    paper::ENCRYPT_AT_46,
+                    paper::MRQED_AT_46.1
+                ),
             ),
             (
                 "capability",
                 gencap_worst[i],
                 t_mkey,
-                format!("{:.1} s vs {:.1} s", paper::DELEGATE_AT_46, paper::MRQED_AT_46.2),
+                format!(
+                    "{:.1} s vs {:.1} s",
+                    paper::DELEGATE_AT_46,
+                    paper::MRQED_AT_46.2
+                ),
             ),
             (
                 "search",
@@ -302,7 +338,5 @@ fn main() {
         }
     }
     println!();
-    println!(
-        "shape check: APKS loses setup/encrypt/capability, wins search — matching §VII."
-    );
+    println!("shape check: APKS loses setup/encrypt/capability, wins search — matching §VII.");
 }

@@ -8,11 +8,14 @@
 //! reference numbers so the `report` binary can print
 //! paper-vs-measured tables.
 
-use apks_core::{ApksMasterKey, ApksPublicKey, ApksSystem, Capability, EncryptedIndex, Query, QueryPolicy, Record};
+use apks_core::FieldValue;
+use apks_core::{
+    ApksMasterKey, ApksPublicKey, ApksSystem, Capability, EncryptedIndex, Query, QueryPolicy,
+    Record,
+};
 use apks_curve::CurveParams;
 use apks_dataset::nursery::NURSERY_ATTRIBUTES;
 use apks_math::encode::Writer;
-use apks_core::FieldValue;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -27,7 +30,8 @@ pub const PAPER_N_GRID: [usize; 8] = [10, 19, 28, 37, 46, 55, 64, 73];
 pub mod paper {
     /// Table III: projected total Nursery search seconds (with pairing
     /// preprocessing) per `n` in [`super::PAPER_N_GRID`].
-    pub const TABLE3_SECONDS: [f64; 8] = [424.0, 714.0, 1016.0, 1330.0, 1625.0, 1911.0, 2194.0, 2498.0];
+    pub const TABLE3_SECONDS: [f64; 8] =
+        [424.0, 714.0, 1016.0, 1330.0, 1625.0, 1911.0, 2194.0, 2498.0];
     /// Fig. 8(a) anchor: setup ≈ 40 s at n = 46.
     pub const SETUP_AT_46: f64 = 40.0;
     /// Fig. 8(b) anchor: per-index encryption ≈ 15 s at n = 46.
@@ -86,7 +90,7 @@ impl BenchSystem {
             .map(|(_, vals)| FieldValue::text(vals[self.rng.gen_range(0..vals.len())]))
             .collect();
         values.push(FieldValue::text(
-            apks_dataset::nursery::NURSERY_CLASSES[self.rng.gen_range(0..5)],
+            apks_dataset::nursery::NURSERY_CLASSES[self.rng.gen_range(0..5usize)],
         ));
         Record::new(values)
     }
@@ -147,7 +151,13 @@ impl BenchSystem {
     /// Issues a capability for a query.
     pub fn cap_for(&mut self, q: &Query) -> Capability {
         self.system
-            .gen_cap(&self.pk, &self.msk, q, &QueryPolicy::permissive(), &mut self.rng)
+            .gen_cap(
+                &self.pk,
+                &self.msk,
+                q,
+                &QueryPolicy::permissive(),
+                &mut self.rng,
+            )
             .expect("query valid")
     }
 
@@ -247,6 +257,9 @@ mod tests {
         let mut b = BenchSystem::new(CurveParams::fast(), 1, 4);
         let (pk, ct, cap) = b.sizes();
         assert!(pk > ct);
-        assert!(cap > ct, "capability (n+3 component vectors) dwarfs one ciphertext");
+        assert!(
+            cap > ct,
+            "capability (n+3 component vectors) dwarfs one ciphertext"
+        );
     }
 }

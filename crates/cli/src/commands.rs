@@ -3,9 +3,7 @@
 use crate::record::parse_record;
 use crate::schema_dsl::parse_schema;
 use apks_core::persist::{describe_schema, SavedDeployment};
-use apks_core::{
-    proxy_transform, ApksError, Capability, EncryptedIndex, Query, QueryPolicy,
-};
+use apks_core::{proxy_transform, ApksError, Capability, EncryptedIndex, Query, QueryPolicy};
 use apks_hpe::ProxyTransformKey;
 use apks_math::encode::{Reader, Writer};
 use core::fmt;
@@ -142,9 +140,7 @@ fn rng_from(args: &Args) -> StdRng {
     }
 }
 
-fn load_deployment(
-    path: &str,
-) -> Result<(apks_core::ApksSystem, SavedDeployment), CliError> {
+fn load_deployment(path: &str) -> Result<(apks_core::ApksSystem, SavedDeployment), CliError> {
     let bytes = fs::read(path)?;
     SavedDeployment::from_bytes(&bytes).map_err(Into::into)
 }
@@ -234,7 +230,11 @@ fn cmd_gen_index(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliErr
     } else {
         ""
     };
-    writeln!(out, "index written to {out_path} ({} bytes){note}", bytes.len())?;
+    writeln!(
+        out,
+        "index written to {out_path} ({} bytes){note}",
+        bytes.len()
+    )?;
     Ok(())
 }
 
@@ -312,13 +312,15 @@ fn cmd_search(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError>
     if args.positional.is_empty() {
         return Err(CliError("search needs at least one index file".into()));
     }
+    // prepare the capability's Miller lines once for the whole scan
+    let prepared = system.prepare_capability(&cap)?;
     let mut matches = 0usize;
     for path in &args.positional {
         let idx_bytes = fs::read(path)?;
         let mut r = Reader::new(&idx_bytes);
         let idx = EncryptedIndex::decode(system.params(), &mut r)
             .map_err(|e| CliError(format!("{path}: index decode: {e}")))?;
-        let hit = system.search(&saved.pk, &cap, &idx)?;
+        let hit = system.search_prepared(&saved.pk, &prepared, &idx)?;
         if hit {
             matches += 1;
         }
@@ -354,9 +356,8 @@ fn cmd_transform(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliErr
 
 fn cmd_demo(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
     let mut rng = rng_from(args);
-    let schema = parse_schema(
-        "field age numeric 0 63 4 d=2\nfield sex flat d=1\nfield illness flat d=2",
-    )?;
+    let schema =
+        parse_schema("field age numeric 0 63 4 d=2\nfield sex flat d=1\nfield illness flat d=2")?;
     let system = apks_core::ApksSystem::new(apks_curve::CurveParams::fast(), schema);
     let (pk, msk) = system.setup(&mut rng);
     writeln!(out, "setup done (n = {})", system.n())?;
@@ -402,7 +403,11 @@ mod tests {
     fn full_cli_flow() {
         let dir = tmpdir("flow");
         let schema = dir.join("s.schema");
-        std::fs::write(&schema, "field age numeric 0 15 4 d=2\nfield sex flat d=1\n").unwrap();
+        std::fs::write(
+            &schema,
+            "field age numeric 0 15 4 d=2\nfield sex flat d=1\n",
+        )
+        .unwrap();
         let deploy = dir.join("d.apks");
         let out = run_strs(&[
             "setup",

@@ -39,9 +39,9 @@ pub fn parse_record(schema: &Schema, text: &str) -> Result<Record, ApksError> {
     }
     let mut values = Vec::with_capacity(schema.fields().len());
     for f in schema.fields() {
-        let v = by_name.remove(&f.name).ok_or_else(|| {
-            ApksError::Parse(format!("record is missing field {:?}", f.name))
-        })?;
+        let v = by_name
+            .remove(&f.name)
+            .ok_or_else(|| ApksError::Parse(format!("record is missing field {:?}", f.name)))?;
         values.push(v);
     }
     Ok(Record::new(values))

@@ -16,8 +16,19 @@
 //! * `d=K` — the per-dimension OR budget.
 
 use apks_core::hierarchy::Node;
+use apks_core::schema::FieldKind;
 use apks_core::{ApksError, Hierarchy, Schema};
 use std::sync::Arc;
+
+/// Maximum nesting depth accepted inside `tree(...)` — bounds the
+/// recursive-descent parser's stack so a hostile schema file cannot
+/// overflow it.
+const MAX_TREE_DEPTH: usize = 64;
+
+/// Largest `HI - LO + 1` domain accepted for `numeric` fields. The
+/// hierarchy materializes one node per domain value, so this bound is a
+/// memory bound, too.
+const MAX_NUMERIC_DOMAIN: i64 = 1 << 20;
 
 /// Parses the DSL into a schema.
 ///
@@ -64,6 +75,15 @@ pub fn parse_schema(text: &str) -> Result<Arc<Schema>, ApksError> {
             if nums[0] > nums[1] || nums[2] < 2 {
                 return Err(err("numeric needs LO ≤ HI and BRANCH ≥ 2".into()));
             }
+            match nums[1].checked_sub(nums[0]) {
+                Some(span) if span < MAX_NUMERIC_DOMAIN => {}
+                _ => {
+                    return Err(err(format!(
+                        "numeric domain [{}, {}] exceeds {MAX_NUMERIC_DOMAIN} values",
+                        nums[0], nums[1]
+                    )))
+                }
+            }
             builder = builder.hierarchical_field(
                 name,
                 Hierarchy::numeric(nums[0], nums[1], nums[2] as usize),
@@ -102,7 +122,9 @@ fn split_budget(kind: &str, tail: &[&str]) -> Result<(String, usize), String> {
         Some(_) | None => {
             // maybe the kind itself carries it (e.g. `flat d=1` with kind
             // consumed separately) — then tail's last must be d=
-            return Err(format!("field {kind:?} is missing the trailing `d=K` budget"));
+            return Err(format!(
+                "field {kind:?} is missing the trailing `d=K` budget"
+            ));
         }
     };
     let d: usize = budget_tok[2..]
@@ -111,18 +133,45 @@ fn split_budget(kind: &str, tail: &[&str]) -> Result<(String, usize), String> {
     Ok((args.join(" "), d))
 }
 
+/// Looks up field `name` in `schema` and returns its hierarchy.
+///
+/// The fallible counterpart of pattern-matching on
+/// [`FieldKind::Hierarchical`]: CLI commands that need a hierarchy (e.g.
+/// to resolve a subtree query) surface a parse error instead of crashing
+/// when the schema file declared the field `flat`.
+///
+/// # Errors
+///
+/// [`ApksError::Parse`] when the field does not exist or is flat.
+pub fn field_hierarchy<'a>(schema: &'a Schema, name: &str) -> Result<&'a Hierarchy, ApksError> {
+    let field = schema
+        .fields()
+        .iter()
+        .find(|f| f.name == name)
+        .ok_or_else(|| ApksError::Parse(format!("schema has no field {name:?}")))?;
+    match &field.kind {
+        FieldKind::Hierarchical(h) => Ok(h),
+        FieldKind::Flat => Err(ApksError::Parse(format!(
+            "field {name:?} is flat — expected hierarchy"
+        ))),
+    }
+}
+
 /// Parses `Label(Child1,Child2(Grand1,Grand2),...)`.
 fn parse_tree(text: &str) -> Result<Node, String> {
     let chars: Vec<char> = text.chars().collect();
     let mut pos = 0usize;
-    let node = parse_node(&chars, &mut pos)?;
+    let node = parse_node(&chars, &mut pos, 1)?;
     if pos != chars.len() {
         return Err(format!("trailing characters after tree at offset {pos}"));
     }
     Ok(node)
 }
 
-fn parse_node(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+fn parse_node(chars: &[char], pos: &mut usize, depth: usize) -> Result<Node, String> {
+    if depth > MAX_TREE_DEPTH {
+        return Err(format!("tree nesting exceeds {MAX_TREE_DEPTH} levels"));
+    }
     let mut label = String::new();
     while *pos < chars.len() && !"(),".contains(chars[*pos]) {
         label.push(chars[*pos]);
@@ -136,7 +185,7 @@ fn parse_node(chars: &[char], pos: &mut usize) -> Result<Node, String> {
     if *pos < chars.len() && chars[*pos] == '(' {
         *pos += 1;
         loop {
-            children.push(parse_node(chars, pos)?);
+            children.push(parse_node(chars, pos, depth + 1)?);
             match chars.get(*pos) {
                 Some(',') => {
                     *pos += 1;
@@ -179,10 +228,48 @@ mod tests {
     fn tree_labels_with_spaces() {
         let text = "field region tree(MA(East MA(Boston),West MA(Worcester))) d=1";
         let s = parse_schema(text).unwrap();
-        let apks_core::schema::FieldKind::Hierarchical(h) = &s.fields()[0].kind else {
-            panic!("expected hierarchy");
-        };
+        let h = field_hierarchy(&s, "region").unwrap();
         assert!(h.locate("East MA").is_some());
+    }
+
+    #[test]
+    fn field_hierarchy_rejects_flat_and_missing_fields() {
+        let s = parse_schema("field sex flat d=1\nfield age numeric 0 15 4 d=2").unwrap();
+        assert!(field_hierarchy(&s, "age").is_ok());
+        assert!(matches!(
+            field_hierarchy(&s, "sex"),
+            Err(ApksError::Parse(msg)) if msg.contains("flat")
+        ));
+        assert!(matches!(
+            field_hierarchy(&s, "zip"),
+            Err(ApksError::Parse(msg)) if msg.contains("no field")
+        ));
+    }
+
+    #[test]
+    fn deep_tree_nesting_is_an_error_not_a_stack_overflow() {
+        let body = format!("{}B{}", "A(".repeat(500), ")".repeat(500));
+        let text = format!("field x tree({body}) d=1");
+        assert!(matches!(
+            parse_schema(&text),
+            Err(ApksError::Parse(msg)) if msg.contains("nesting")
+        ));
+    }
+
+    #[test]
+    fn huge_numeric_domain_rejected() {
+        for bad in [
+            "field age numeric 0 9223372036854775806 2 d=1",
+            "field age numeric -9223372036854775808 9223372036854775807 2 d=1", // span overflows i64
+            "field age numeric 0 1048576 2 d=1",                                // one past the cap
+        ] {
+            assert!(matches!(
+                parse_schema(bad),
+                Err(ApksError::Parse(msg)) if msg.contains("domain")
+            ));
+        }
+        // at the cap still accepted *by the bound* (builder may still veto)
+        assert!(parse_schema("field age numeric 0 1048575 2 d=1").is_ok());
     }
 
     #[test]
@@ -191,10 +278,10 @@ mod tests {
             "",
             "field",
             "field age",
-            "field age flat",              // missing d=
-            "field age numeric 0 15 d=1",  // missing branch
+            "field age flat",             // missing d=
+            "field age numeric 0 15 d=1", // missing branch
             "field age numeric 15 0 4 d=1",
-            "field x tree(A(B,C) d=1",     // unbalanced parens
+            "field x tree(A(B,C) d=1", // unbalanced parens
             "field x wat d=1",
             "notfield x flat d=1",
             "field x flat d=zero",

@@ -48,7 +48,11 @@ impl<'a> DictionaryAttack<'a> {
             let Ok(ct) = self.system.gen_index(self.pk, candidate, rng) else {
                 continue;
             };
-            if self.system.search(self.pk, capability, &ct).unwrap_or(false) {
+            if self
+                .system
+                .search(self.pk, capability, &ct)
+                .unwrap_or(false)
+            {
                 report.matched.push(candidate.clone());
             }
         }
@@ -90,7 +94,9 @@ mod tests {
         let sys = ApksSystem::new(CurveParams::fast(), schema());
         let mut rng = StdRng::seed_from_u64(1200);
         let (pk, msk) = sys.setup(&mut rng);
-        let secret_query = Query::new().equals("illness", "diabetes").equals("sex", "female");
+        let secret_query = Query::new()
+            .equals("illness", "diabetes")
+            .equals("sex", "female");
         let cap = sys
             .gen_cap(&pk, &msk, &secret_query, &QueryPolicy::default(), &mut rng)
             .unwrap()
@@ -113,9 +119,17 @@ mod tests {
         let sys = ApksSystem::new(CurveParams::fast(), schema());
         let mut rng = StdRng::seed_from_u64(1201);
         let (pk, mk) = sys.setup_plus(&mut rng);
-        let secret_query = Query::new().equals("illness", "diabetes").equals("sex", "female");
+        let secret_query = Query::new()
+            .equals("illness", "diabetes")
+            .equals("sex", "female");
         let cap = sys
-            .gen_cap(&pk, &mk.inner, &secret_query, &QueryPolicy::default(), &mut rng)
+            .gen_cap(
+                &pk,
+                &mk.inner,
+                &secret_query,
+                &QueryPolicy::default(),
+                &mut rng,
+            )
             .unwrap()
             .finalize();
         let attack = DictionaryAttack::new(&sys, &pk);
@@ -132,7 +146,10 @@ mod tests {
         let partial = sys
             .gen_partial_index(
                 &pk,
-                &Record::new(vec![FieldValue::text("diabetes"), FieldValue::text("female")]),
+                &Record::new(vec![
+                    FieldValue::text("diabetes"),
+                    FieldValue::text("female"),
+                ]),
                 &mut rng,
             )
             .unwrap();

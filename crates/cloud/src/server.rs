@@ -40,6 +40,13 @@ pub struct SearchStats {
     pub scanned: usize,
     /// Number of matches returned.
     pub matched: usize,
+    /// One-time capability preprocessing cost in microseconds (0 on the
+    /// unprepared path).
+    pub prepare_micros: u64,
+    /// Corpus-scan wall time in microseconds (excludes preparation).
+    pub scan_micros: u64,
+    /// Pairing evaluations performed by the scan (`n + 3` per document).
+    pub pairings: usize,
 }
 
 /// The cloud server.
@@ -133,6 +140,12 @@ impl CloudServer {
     /// Evaluates an *unsigned* capability — used by benchmarks that are
     /// not measuring the authorization layer.
     ///
+    /// The capability's Miller lines are precomputed **once per search**
+    /// and shared (by reference) across all worker threads, so every
+    /// per-document pairing runs in the paper's "with preprocessing"
+    /// mode (§VII-B.4). The one-time cost is reported in
+    /// [`SearchStats::prepare_micros`].
+    ///
     /// # Errors
     ///
     /// Fails on deployment mismatch.
@@ -141,41 +154,75 @@ impl CloudServer {
         cap: &Capability,
         threads: usize,
     ) -> Result<(Vec<DocumentId>, SearchStats), SearchOutcome> {
+        self.scan_with_mode(cap, threads, true)
+    }
+
+    /// [`CloudServer::scan`] with the prepared path toggled explicitly —
+    /// `prepare = false` forces the plain per-document multi-pairing
+    /// (the pre-preprocessing baseline; kept for benchmarks and the
+    /// equivalence tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails on deployment mismatch.
+    pub fn scan_with_mode(
+        &self,
+        cap: &Capability,
+        threads: usize,
+        prepare: bool,
+    ) -> Result<(Vec<DocumentId>, SearchStats), SearchOutcome> {
         let store = self.store.read();
         let scanned = store.len();
+
+        let prep_start = std::time::Instant::now();
+        let prepared = if prepare {
+            Some(
+                self.system
+                    .prepare_capability(cap)
+                    .map_err(SearchOutcome::Apks)?,
+            )
+        } else {
+            None
+        };
+        let prepare_micros = prep_start.elapsed().as_micros() as u64;
+
+        let eval = |idx: &EncryptedIndex| -> Result<bool, ApksError> {
+            match &prepared {
+                Some(p) => self.system.search_prepared(&self.pk, p, idx),
+                None => self.system.search(&self.pk, cap, idx),
+            }
+        };
+
+        let scan_start = std::time::Instant::now();
         let mut matches: Vec<DocumentId> = if threads <= 1 {
             let mut out = Vec::new();
             for (id, idx) in store.iter() {
-                if self
-                    .system
-                    .search(&self.pk, cap, idx)
-                    .map_err(SearchOutcome::Apks)?
-                {
+                if eval(idx).map_err(SearchOutcome::Apks)? {
                     out.push(*id);
                 }
             }
             out
         } else {
             let chunk = store.len().div_ceil(threads);
-            let results: Vec<Result<Vec<DocumentId>, ApksError>> =
-                crossbeam::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for part in store.chunks(chunk.max(1)) {
-                        let system = &self.system;
-                        let pk = &self.pk;
-                        handles.push(scope.spawn(move |_| {
-                            let mut out = Vec::new();
-                            for (id, idx) in part {
-                                if system.search(pk, cap, idx)? {
-                                    out.push(*id);
-                                }
+            let results: Vec<Result<Vec<DocumentId>, ApksError>> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for part in store.chunks(chunk.max(1)) {
+                    let eval = &eval;
+                    handles.push(scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for (id, idx) in part {
+                            if eval(idx)? {
+                                out.push(*id);
                             }
-                            Ok(out)
-                        }));
-                    }
-                    handles.into_iter().map(|h| h.join().unwrap()).collect()
-                })
-                .expect("worker panicked");
+                        }
+                        Ok(out)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
             let mut out = Vec::new();
             for r in results {
                 out.extend(r.map_err(SearchOutcome::Apks)?);
@@ -186,6 +233,9 @@ impl CloudServer {
         let stats = SearchStats {
             scanned,
             matched: matches.len(),
+            prepare_micros,
+            scan_micros: scan_start.elapsed().as_micros() as u64,
+            pairings: scanned * (self.system.n() + 3),
         };
         Ok((matches, stats))
     }
@@ -228,7 +278,11 @@ mod tests {
         (server, ta, rng)
     }
 
-    fn upload_corpus(server: &CloudServer, ta: &TrustedAuthority, rng: &mut StdRng) -> Vec<DocumentId> {
+    fn upload_corpus(
+        server: &CloudServer,
+        ta: &TrustedAuthority,
+        rng: &mut StdRng,
+    ) -> Vec<DocumentId> {
         let sys = ta.system();
         let pk = ta.public_key();
         let mut ids = Vec::new();
@@ -251,7 +305,9 @@ mod tests {
         let ids = upload_corpus(&server, &ta, &mut rng);
         let cap = ta
             .issue_capability(
-                &Query::new().equals("illness", "flu").equals("sex", "female"),
+                &Query::new()
+                    .equals("illness", "flu")
+                    .equals("sex", "female"),
                 &QueryPolicy::default(),
                 &mut rng,
             )
@@ -277,6 +333,45 @@ mod tests {
         let (par, _) = server.search_parallel(&cap, 4).unwrap();
         assert_eq!(seq, par);
         assert_eq!(seq.len(), 3);
+    }
+
+    #[test]
+    fn prepared_and_plain_scan_agree_across_thread_counts() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let n0 = ta.system().n() + 3;
+        let (baseline, base_stats) = server.scan_with_mode(&cap.capability, 1, false).unwrap();
+        assert_eq!(
+            base_stats.prepare_micros, 0,
+            "unprepared scan must not prepare"
+        );
+        for threads in [1usize, 4] {
+            for prepare in [false, true] {
+                let (hits, stats) = server
+                    .scan_with_mode(&cap.capability, threads, prepare)
+                    .unwrap();
+                assert_eq!(
+                    hits, baseline,
+                    "results diverged (threads={threads}, prepare={prepare})"
+                );
+                assert_eq!(stats.scanned, base_stats.scanned);
+                assert_eq!(stats.matched, base_stats.matched);
+                assert_eq!(stats.pairings, stats.scanned * n0);
+                if !prepare {
+                    assert_eq!(stats.prepare_micros, 0);
+                }
+            }
+        }
+        // the default scan is the prepared path and agrees too
+        let (default_hits, _) = server.scan(&cap.capability, 2).unwrap();
+        assert_eq!(default_hits, baseline);
     }
 
     #[test]
@@ -354,7 +449,13 @@ mod tests {
         let sys = ta.system().clone();
         let pk = ta.public_key().clone();
         let cap = lta
-            .request_capability(&sys, &pk, "alice", &Query::new().equals("illness", "flu"), &mut rng)
+            .request_capability(
+                &sys,
+                &pk,
+                "alice",
+                &Query::new().equals("illness", "flu"),
+                &mut rng,
+            )
             .unwrap();
         // not yet registered
         assert!(matches!(

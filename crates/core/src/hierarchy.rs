@@ -170,9 +170,7 @@ impl Hierarchy {
                 .children
                 .iter()
                 .find(|c| c.contains_num(v))
-                .ok_or_else(|| {
-                    ApksError::ValueNotInHierarchy(format!("{v} fell into a gap"))
-                })?;
+                .ok_or_else(|| ApksError::ValueNotInHierarchy(format!("{v} fell into a gap")))?;
             path.push(cur);
         }
         Ok(path)
@@ -237,17 +235,16 @@ impl Hierarchy {
         max_nodes: usize,
     ) -> Result<(usize, Vec<&Node>), ApksError> {
         if s > t {
-            return Err(ApksError::UnsupportedQuery(format!("empty range [{s}, {t}]")));
+            return Err(ApksError::UnsupportedQuery(format!(
+                "empty range [{s}, {t}]"
+            )));
         }
         let mut best: Option<(usize, Vec<&Node>)> = None;
         for l in 0..self.depth {
             let nodes: Vec<&Node> = self
                 .level_nodes(l)
                 .into_iter()
-                .filter(|n| {
-                    n.interval
-                        .is_some_and(|(lo, hi)| hi >= s && lo <= t)
-                })
+                .filter(|n| n.interval.is_some_and(|(lo, hi)| hi >= s && lo <= t))
                 .collect();
             if nodes.is_empty() {
                 continue;

@@ -60,17 +60,17 @@ pub mod persist;
 pub mod policy;
 pub mod query;
 pub mod revocation;
-pub mod scheme;
 pub mod schema;
+pub mod scheme;
 
 pub use error::ApksError;
-pub use persist::SavedDeployment;
 pub use hierarchy::Hierarchy;
 pub use keyword::FieldValue;
+pub use persist::SavedDeployment;
 pub use policy::QueryPolicy;
 pub use query::{Condition, Query};
+pub use schema::{Record, Schema, SchemaBuilder};
 pub use scheme::{
     proxy_transform, ApksMasterKey, ApksPlusMasterKey, ApksPublicKey, ApksSystem, Capability,
-    EncryptedIndex,
+    EncryptedIndex, PreparedCapability,
 };
-pub use schema::{Record, Schema, SchemaBuilder};

@@ -309,10 +309,8 @@ mod tests {
     #[test]
     fn parses_paper_example() {
         // the query from the paper's introduction
-        let q = parse_query(
-            "(20 < age < 30) and sex = \"female\" and illness = \"diabetes\"",
-        )
-        .unwrap();
+        let q =
+            parse_query("(20 < age < 30) and sex = \"female\" and illness = \"diabetes\"").unwrap();
         assert_eq!(q.conditions.len(), 3);
         assert_eq!(
             q.conditions[0],

@@ -14,8 +14,8 @@
 
 use crate::error::ApksError;
 use crate::hierarchy::{Hierarchy, Node};
-use crate::scheme::{ApksMasterKey, ApksPlusMasterKey, ApksPublicKey, ApksSystem};
 use crate::schema::{Field, FieldKind, Schema};
+use crate::scheme::{ApksMasterKey, ApksPlusMasterKey, ApksPublicKey, ApksSystem};
 use apks_curve::CurveParams;
 use apks_hpe::{HpeMasterKey, HpePublicKey};
 use apks_math::encode::{DecodeError, Reader, Writer};
@@ -363,7 +363,9 @@ mod tests {
 
         // full APKS⁺ flow with the reloaded keys
         let rec = Record::new(vec![FieldValue::num(3), FieldValue::text("male")]);
-        let partial = system2.gen_partial_index(&loaded.pk, &rec, &mut rng).unwrap();
+        let partial = system2
+            .gen_partial_index(&loaded.pk, &rec, &mut rng)
+            .unwrap();
         let share = apks_hpe::ProxyTransformKey {
             r_inv: mk2.blinding.inv().unwrap(),
         };

@@ -342,10 +342,7 @@ mod tests {
     fn subset_level_mixing_rejected() {
         let s = schema();
         let q = Query::new().one_of("age", [FieldValue::text("4-7"), FieldValue::num(3)]);
-        assert!(matches!(
-            q.convert(&s),
-            Err(ApksError::UnsupportedQuery(_))
-        ));
+        assert!(matches!(q.convert(&s), Err(ApksError::UnsupportedQuery(_))));
     }
 
     #[test]

@@ -119,13 +119,16 @@ pub fn time_value(date: Date, epoch_year: i64) -> FieldValue {
 ///
 /// The resulting query will fail conversion if the period is not a union
 /// of at most `d` same-level calendar ranges.
-pub fn with_period(query: Query, from: Date, to: Date, epoch_year: i64) -> Result<Query, ApksError> {
+pub fn with_period(
+    query: Query,
+    from: Date,
+    to: Date,
+    epoch_year: i64,
+) -> Result<Query, ApksError> {
     let lo = from.day_index(epoch_year);
     let hi = to.day_index(epoch_year);
     if lo > hi {
-        return Err(ApksError::UnsupportedQuery(
-            "search period is empty".into(),
-        ));
+        return Err(ApksError::UnsupportedQuery("search period is empty".into()));
     }
     Ok(query.range(TIME_FIELD, lo, hi))
 }

@@ -10,7 +10,7 @@ use crate::policy::QueryPolicy;
 use crate::query::Query;
 use crate::schema::{Record, Schema};
 use apks_curve::CurveParams;
-use apks_hpe::{Hpe, HpeCiphertext, HpeMasterKey, HpePublicKey, HpeSecretKey};
+use apks_hpe::{Hpe, HpeCiphertext, HpeMasterKey, HpePublicKey, HpeSecretKey, PreparedHpeKey};
 use apks_math::encode::{DecodeError, Reader, Writer};
 use apks_math::sha256::Sha256;
 use rand::Rng;
@@ -70,6 +70,26 @@ pub struct Capability {
     /// The underlying (possibly delegated) HPE secret key.
     pub key: HpeSecretKey,
     digest: [u8; 32],
+}
+
+/// A capability preprocessed for a corpus scan.
+///
+/// Produced once per search by [`ApksSystem::prepare_capability`]; every
+/// [`ApksSystem::search_prepared`] against it skips the Miller-loop
+/// point arithmetic (precomputed line coefficients are evaluated
+/// instead). Verdicts are identical to [`ApksSystem::search`].
+#[derive(Clone, Debug)]
+pub struct PreparedCapability {
+    /// The prepared HPE key (decryption component only).
+    pub key: PreparedHpeKey,
+    digest: [u8; 32],
+}
+
+impl PreparedCapability {
+    /// Ambient dimension `n₀` of the prepared key.
+    pub fn dim(&self) -> usize {
+        self.key.dim()
+    }
 }
 
 impl ApksSystem {
@@ -135,9 +155,7 @@ impl ApksSystem {
                 digest: self.digest,
             },
             ApksPlusMasterKey {
-                inner: ApksMasterKey {
-                    hpe: mk.msk,
-                },
+                inner: ApksMasterKey { hpe: mk.msk },
                 blinding: mk.blinding,
             },
         )
@@ -279,6 +297,42 @@ impl ApksSystem {
         Ok(self.hpe.test(&pk.hpe, &cap.key, &index.ct)?)
     }
 
+    /// Precomputes a capability's Miller lines for a corpus scan.
+    ///
+    /// One-time cost of `n + 3` Miller loops; amortized away after a
+    /// couple of [`ApksSystem::search_prepared`] calls. The digest check
+    /// happens here once, so the per-document path only re-checks the
+    /// index side.
+    ///
+    /// # Errors
+    ///
+    /// Fails on deployment mismatch.
+    pub fn prepare_capability(&self, cap: &Capability) -> Result<PreparedCapability, ApksError> {
+        self.check_digest(cap.digest)?;
+        Ok(PreparedCapability {
+            key: self.hpe.prepare_key(&cap.key),
+            digest: cap.digest,
+        })
+    }
+
+    /// [`ApksSystem::search`] with a prepared capability: identical
+    /// verdicts, pairings evaluated from precomputed line coefficients
+    /// (the paper's "with preprocessing" mode, §VII-B.4).
+    ///
+    /// # Errors
+    ///
+    /// Fails on deployment mismatch.
+    pub fn search_prepared(
+        &self,
+        pk: &ApksPublicKey,
+        cap: &PreparedCapability,
+        index: &EncryptedIndex,
+    ) -> Result<bool, ApksError> {
+        self.check_digest(cap.digest)?;
+        self.check_digest(index.digest)?;
+        Ok(self.hpe.test_prepared(&pk.hpe, &cap.key, &index.ct)?)
+    }
+
     fn check_digest(&self, digest: [u8; 32]) -> Result<(), ApksError> {
         if digest != self.digest {
             return Err(ApksError::InvalidRecord(
@@ -414,6 +468,59 @@ mod tests {
             .gen_cap(&pk, &msk, &miss, &QueryPolicy::default(), &mut rng)
             .unwrap();
         assert!(!sys.search(&pk, &cap2, &idx).unwrap());
+    }
+
+    #[test]
+    fn prepared_search_matches_plain_search() {
+        let sys = small_system();
+        let mut rng = StdRng::seed_from_u64(507);
+        let (pk, msk) = sys.setup(&mut rng);
+        let cap = sys
+            .gen_cap(
+                &pk,
+                &msk,
+                &Query::new().range("age", 4, 7).equals("sex", "female"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let prep = sys.prepare_capability(&cap).unwrap();
+        assert_eq!(prep.dim(), sys.n() + 3);
+        for (age, sex) in [(6, "female"), (12, "female"), (6, "male"), (0, "male")] {
+            let idx = sys.gen_index(&pk, &record(age, sex), &mut rng).unwrap();
+            assert_eq!(
+                sys.search_prepared(&pk, &prep, &idx).unwrap(),
+                sys.search(&pk, &cap, &idx).unwrap(),
+                "verdict diverged for age={age} sex={sex}"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_search_rejects_cross_deployment() {
+        let sys_a = small_system();
+        let schema_b = Schema::builder().flat_field("other", 1).build().unwrap();
+        let sys_b = ApksSystem::new(CurveParams::fast(), schema_b);
+        let mut rng = StdRng::seed_from_u64(508);
+        let (pk_a, msk_a) = sys_a.setup(&mut rng);
+        let (pk_b, _) = sys_b.setup(&mut rng);
+        let cap = sys_a
+            .gen_cap(
+                &pk_a,
+                &msk_a,
+                &Query::new().equals("sex", "male"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        // preparing a foreign capability fails up front
+        assert!(sys_b.prepare_capability(&cap).is_err());
+        // and a prepared capability still rejects foreign indexes
+        let prep = sys_a.prepare_capability(&cap).unwrap();
+        let idx_b = sys_b
+            .gen_index(&pk_b, &Record::new(vec![FieldValue::text("v")]), &mut rng)
+            .unwrap();
+        assert!(sys_a.search_prepared(&pk_a, &prep, &idx_b).is_err());
     }
 
     #[test]

@@ -271,7 +271,8 @@ mod tests {
         for _ in 0..3 {
             let p = params.mul(&params.generator(), Fr::random(&mut rng));
             let q = params.mul(&params.generator(), Fr::random(&mut rng));
-            let fast = final_exponentiation(params.as_ref(), pairing_unreduced(params.as_ref(), &p, &q));
+            let fast =
+                final_exponentiation(params.as_ref(), pairing_unreduced(params.as_ref(), &p, &q));
             let slow = final_exponentiation(
                 params.as_ref(),
                 MillerValue(miller_affine_reference(fp, &p, &q)),
@@ -292,10 +293,7 @@ mod tests {
         let e_gg = pairing_fp2(&params, &g, &g);
         assert_eq!(e_ab, params.gt_pow(&e_gg, a * b));
         // e(aG, G) = e(G, aG) (symmetry)
-        assert_eq!(
-            pairing_fp2(&params, &ga, &g),
-            pairing_fp2(&params, &g, &ga)
-        );
+        assert_eq!(pairing_fp2(&params, &ga, &g), pairing_fp2(&params, &g, &ga));
     }
 
     #[test]

@@ -252,7 +252,10 @@ mod tests {
         }
         // edge scalars
         assert!(params.mul_generator(Fr::ZERO).is_identity(fp));
-        assert_eq!(params.mul_generator(Fr::one()).to_affine(fp), params.generator());
+        assert_eq!(
+            params.mul_generator(Fr::one()).to_affine(fp),
+            params.generator()
+        );
     }
 
     #[test]

@@ -161,7 +161,11 @@ impl G1Projective {
         let y3 = fp.sub(fp.mul(m, fp.sub(s, x3)), fp.mul_u64(yyyy, 8));
         // Z3 = (Y+Z)² − YY − ZZ = 2YZ
         let z3 = fp.sub(fp.sub(fp.sqr(fp.add(self.y, self.z)), yy), zz);
-        G1Projective { x: x3, y: y3, z: z3 }
+        G1Projective {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed addition with an affine point (`madd-2007-bl`).
@@ -190,7 +194,11 @@ impl G1Projective {
         let x3 = fp.sub(fp.sub(fp.sqr(rr), j), fp.dbl(v));
         let y3 = fp.sub(fp.mul(rr, fp.sub(v, x3)), fp.dbl(fp.mul(self.y, j)));
         let z3 = fp.sub(fp.sub(fp.sqr(fp.add(self.z, h)), zz), hh);
-        G1Projective { x: x3, y: y3, z: z3 }
+        G1Projective {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General projective addition.
@@ -222,7 +230,11 @@ impl G1Projective {
         let x3 = fp.sub(fp.sub(fp.sqr(rr), j), fp.dbl(v));
         let y3 = fp.sub(fp.mul(rr, fp.sub(v, x3)), fp.dbl(fp.mul(s1, j)));
         let z3 = fp.mul(fp.mul(fp.dbl(self.z), rhs.z), h);
-        G1Projective { x: x3, y: y3, z: z3 }
+        G1Projective {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Negation.

@@ -185,6 +185,7 @@ pub fn multi_pairing_prepared(
 mod tests {
     use super::*;
     use crate::pairing::{multi_pairing, pairing};
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -226,7 +227,10 @@ mod tests {
                 )
             })
             .collect();
-        let preps: Vec<PreparedG1> = pts.iter().map(|(p, _)| PreparedG1::new(&params, p)).collect();
+        let preps: Vec<PreparedG1> = pts
+            .iter()
+            .map(|(p, _)| PreparedG1::new(&params, p))
+            .collect();
         let pairs: Vec<(&PreparedG1, G1Affine)> = preps
             .iter()
             .zip(pts.iter())
@@ -236,5 +240,23 @@ mod tests {
             multi_pairing_prepared(&params, &pairs),
             multi_pairing(&params, &pts)
         );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        // Scalars come straight from the generator, so `a == 0` / `b == 0`
+        // exercise the identity branches too.
+        #[test]
+        fn prop_pairing_prepared_matches_pairing(a in any::<u64>(), b in any::<u64>()) {
+            let params = CurveParams::fast();
+            let g = params.generator();
+            let p = params.mul(&g, Fr::from_u64(a));
+            let q = params.mul(&g, Fr::from_u64(b));
+            let prep = PreparedG1::new(&params, &p);
+            prop_assert_eq!(
+                pairing_prepared(&params, &prep, &q),
+                pairing(&params, &p, &q)
+            );
+        }
     }
 }

@@ -13,7 +13,7 @@ use rand::Rng;
 use std::sync::Arc;
 
 /// Generation knobs.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PhrConfig {
     /// Maximum OR terms per dimension.
     pub d: usize,

@@ -171,7 +171,11 @@ impl Dpvs {
         let fp = self.params.fp();
         let rows = (0..self.n)
             .map(|i| {
-                let proj: Vec<_> = m.row(i).iter().map(|&c| self.params.mul_generator(c)).collect();
+                let proj: Vec<_> = m
+                    .row(i)
+                    .iter()
+                    .map(|&c| self.params.mul_generator(c))
+                    .collect();
                 DpvsVector(apks_curve::point::batch_to_affine(fp, &proj))
             })
             .collect();

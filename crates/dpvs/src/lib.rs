@@ -20,8 +20,10 @@
 
 pub mod basis;
 pub mod matrix;
+pub mod prepared;
 pub mod vector;
 
 pub use basis::{Dpvs, DpvsBasis};
 pub use matrix::FrMatrix;
+pub use prepared::PreparedDpvsVector;
 pub use vector::DpvsVector;

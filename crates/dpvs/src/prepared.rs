@@ -1,0 +1,127 @@
+//! Prepared vectors: the pairing form with a fixed left argument.
+//!
+//! A corpus scan evaluates `e(x, y) = Π e(xᵢ, yᵢ)` once per document with
+//! the *same* capability vector `y` every time. The Miller loop's point
+//! arithmetic depends only on the first argument, so preparing each
+//! coordinate of `y` once ([`apks_curve::PreparedG1`]) turns every
+//! subsequent pairing into line *evaluations* only. The underlying
+//! pairing is symmetric (`e(P, Q) = e(Q, P)`), so a prepared vector can
+//! stand on either side of the form.
+
+use crate::vector::DpvsVector;
+use apks_curve::{multi_pairing_prepared, CurveParams, Gt, PreparedG1};
+
+/// A [`DpvsVector`] with every coordinate's Miller lines precomputed.
+///
+/// Preparation costs roughly one Miller loop per coordinate; each
+/// subsequent [`PreparedDpvsVector::pair`] then runs at the paper's
+/// "with preprocessing" rate (§VII-B.4). Break-even is after a couple of
+/// pairings, so any scan over more than a handful of documents wins.
+#[derive(Clone, Debug)]
+pub struct PreparedDpvsVector {
+    coords: Vec<PreparedG1>,
+}
+
+impl PreparedDpvsVector {
+    /// Precomputes Miller line coefficients for every coordinate of `v`.
+    pub fn prepare(params: &CurveParams, v: &DpvsVector) -> Self {
+        PreparedDpvsVector {
+            coords: v.0.iter().map(|p| PreparedG1::new(params, p)).collect(),
+        }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The pairing form `e(self, rhs) = Π e(selfᵢ, rhsᵢ)` as one
+    /// prepared multi-pairing (shared squarings, one final
+    /// exponentiation).
+    ///
+    /// Equals [`DpvsVector::pair`] of the unprepared vector with `rhs`
+    /// — and, by symmetry of the pairing, `rhs.pair(self)` too.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn pair(&self, params: &CurveParams, rhs: &DpvsVector) -> Gt {
+        assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        let pairs: Vec<(&PreparedG1, apks_curve::G1Affine)> = self
+            .coords
+            .iter()
+            .zip(&rhs.0)
+            .map(|(prep, q)| (prep, *q))
+            .collect();
+        multi_pairing_prepared(params, &pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apks_math::Fr;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_vector(params: &CurveParams, n: usize, rng: &mut StdRng) -> DpvsVector {
+        DpvsVector(
+            (0..n)
+                .map(|_| params.mul(&params.generator(), Fr::random(rng)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn prepared_pair_matches_plain_pair() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(40);
+        for n in [1, 3, 6] {
+            let x = random_vector(&params, n, &mut rng);
+            let y = random_vector(&params, n, &mut rng);
+            let prep = PreparedDpvsVector::prepare(&params, &y);
+            assert_eq!(prep.dim(), n);
+            // symmetric pairing: prepared-y against x == x against y
+            assert_eq!(prep.pair(&params, &x), x.pair(&params, &y));
+        }
+    }
+
+    #[test]
+    fn prepared_pair_handles_identity_coordinates() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut y = random_vector(&params, 4, &mut rng);
+        y.0[2] = apks_curve::G1Affine::identity();
+        let x = random_vector(&params, 4, &mut rng);
+        let prep = PreparedDpvsVector::prepare(&params, &y);
+        assert_eq!(prep.pair(&params, &x), x.pair(&params, &y));
+        // all-identity vector pairs to the identity of G_T
+        let zero = DpvsVector::zero(4);
+        let prep_zero = PreparedDpvsVector::prepare(&params, &zero);
+        assert!(prep_zero.pair(&params, &x).is_identity(&params));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(42);
+        let y = random_vector(&params, 3, &mut rng);
+        let x = random_vector(&params, 4, &mut rng);
+        PreparedDpvsVector::prepare(&params, &y).pair(&params, &x);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+        #[test]
+        fn prop_prepared_pair_matches_plain_pair(seed in any::<u64>(), n in 1usize..5) {
+            let params = CurveParams::fast();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let x = random_vector(&params, n, &mut rng);
+            let y = random_vector(&params, n, &mut rng);
+            let prep = PreparedDpvsVector::prepare(&params, &y);
+            prop_assert_eq!(prep.pair(&params, &x), x.pair(&params, &y));
+        }
+    }
+}

@@ -145,12 +145,8 @@ impl DpvsVector {
     /// Panics on dimension mismatch.
     pub fn pair(&self, params: &CurveParams, rhs: &DpvsVector) -> Gt {
         assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
-        let pairs: Vec<(G1Affine, G1Affine)> = self
-            .0
-            .iter()
-            .zip(&rhs.0)
-            .map(|(a, b)| (*a, *b))
-            .collect();
+        let pairs: Vec<(G1Affine, G1Affine)> =
+            self.0.iter().zip(&rhs.0).map(|(a, b)| (*a, *b)).collect();
         multi_pairing(params, &pairs)
     }
 
@@ -215,7 +211,9 @@ mod tests {
     fn linear_combination_matches_manual() {
         let params = CurveParams::fast();
         let mut rng = StdRng::seed_from_u64(11);
-        let rows: Vec<DpvsVector> = (0..3).map(|_| random_vector(&params, 4, &mut rng)).collect();
+        let rows: Vec<DpvsVector> = (0..3)
+            .map(|_| random_vector(&params, 4, &mut rng))
+            .collect();
         let coeffs: Vec<Fr> = (0..3).map(|_| Fr::random(&mut rng)).collect();
         let refs: Vec<&DpvsVector> = rows.iter().collect();
         let combo = DpvsVector::linear_combination(&params, &refs, &coeffs);
@@ -230,7 +228,9 @@ mod tests {
     fn interleaved_msm_matches_naive() {
         let params = CurveParams::fast();
         let mut rng = StdRng::seed_from_u64(15);
-        let rows: Vec<DpvsVector> = (0..5).map(|_| random_vector(&params, 3, &mut rng)).collect();
+        let rows: Vec<DpvsVector> = (0..5)
+            .map(|_| random_vector(&params, 3, &mut rng))
+            .collect();
         let refs: Vec<&DpvsVector> = rows.iter().collect();
         let mut coeffs: Vec<Fr> = (0..5).map(|_| Fr::random(&mut rng)).collect();
         coeffs[2] = Fr::ZERO; // exercise the zero-skip path
@@ -249,10 +249,11 @@ mod tests {
     fn zero_coefficients_skipped() {
         let params = CurveParams::fast();
         let mut rng = StdRng::seed_from_u64(12);
-        let rows: Vec<DpvsVector> = (0..2).map(|_| random_vector(&params, 3, &mut rng)).collect();
+        let rows: Vec<DpvsVector> = (0..2)
+            .map(|_| random_vector(&params, 3, &mut rng))
+            .collect();
         let refs: Vec<&DpvsVector> = rows.iter().collect();
-        let combo =
-            DpvsVector::linear_combination(&params, &refs, &[Fr::ZERO, Fr::from_u64(5)]);
+        let combo = DpvsVector::linear_combination(&params, &refs, &[Fr::ZERO, Fr::from_u64(5)]);
         assert_eq!(combo, rows[1].scale(&params, Fr::from_u64(5)));
     }
 

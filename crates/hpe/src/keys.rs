@@ -130,6 +130,28 @@ pub struct HpeSecretKey {
     pub del: Vec<DpvsVector>,
 }
 
+/// A secret key preprocessed for repeated `Search`/`Dec` evaluation.
+///
+/// Holds the Miller line precomputation of `k*_dec` (the only component
+/// `Search` pairs with). Produced once per scan by
+/// [`crate::Hpe::prepare_key`] and reused across every document; the
+/// `ran`/`del` components are deliberately absent — a prepared key can
+/// only evaluate, not delegate.
+#[derive(Clone, Debug)]
+pub struct PreparedHpeKey {
+    /// Delegation level of the source key.
+    pub level: usize,
+    /// `k*_dec` with per-coordinate Miller lines precomputed.
+    pub dec: apks_dpvs::PreparedDpvsVector,
+}
+
+impl PreparedHpeKey {
+    /// Ambient dimension `n₀` of the prepared decryption vector.
+    pub fn dim(&self) -> usize {
+        self.dec.dim()
+    }
+}
+
 impl HpeSecretKey {
     /// True iff this key can still be delegated.
     pub fn can_delegate(&self) -> bool {

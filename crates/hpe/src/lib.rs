@@ -47,6 +47,6 @@ pub mod keys;
 pub mod plus;
 pub mod scheme;
 
-pub use keys::{HpeCiphertext, HpeMasterKey, HpePublicKey, HpeSecretKey};
+pub use keys::{HpeCiphertext, HpeMasterKey, HpePublicKey, HpeSecretKey, PreparedHpeKey};
 pub use plus::{HpePlusMasterKey, ProxyTransformKey};
 pub use scheme::{Hpe, HpeError};

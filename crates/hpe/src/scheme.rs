@@ -15,9 +15,9 @@
 //! exactly `g_T^ζ` to decryption. Delegation (`Delegate`, verbatim from
 //! the paper's appendix) preserves both invariants.
 
-use crate::keys::{HpeCiphertext, HpeMasterKey, HpePublicKey, HpeSecretKey};
+use crate::keys::{HpeCiphertext, HpeMasterKey, HpePublicKey, HpeSecretKey, PreparedHpeKey};
 use apks_curve::{CurveParams, Gt};
-use apks_dpvs::{Dpvs, DpvsVector};
+use apks_dpvs::{Dpvs, DpvsVector, PreparedDpvsVector};
 use apks_math::Fr;
 use core::fmt;
 use rand::Rng;
@@ -43,7 +43,10 @@ impl fmt::Display for HpeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HpeError::DimensionMismatch { expected, got } => {
-                write!(f, "vector dimension mismatch: expected {expected}, got {got}")
+                write!(
+                    f,
+                    "vector dimension mismatch: expected {expected}, got {got}"
+                )
             }
             HpeError::KeyNotDelegatable => {
                 write!(f, "key was finalized and cannot be delegated")
@@ -356,6 +359,63 @@ impl Hpe {
         Ok(self.decrypt(pk, key, ct)?.is_identity(&self.params))
     }
 
+    /// Precomputes the Miller lines of `k*_dec` for repeated evaluation.
+    ///
+    /// One-time cost of roughly one Miller loop per coordinate (`n₀`
+    /// total); every subsequent [`Hpe::test_prepared`] on the result
+    /// then runs in the paper's "with preprocessing" mode (§VII-B.4) —
+    /// the corpus-scan amortization.
+    pub fn prepare_key(&self, key: &HpeSecretKey) -> PreparedHpeKey {
+        PreparedHpeKey {
+            level: key.level,
+            dec: PreparedDpvsVector::prepare(&self.params, &key.dec),
+        }
+    }
+
+    /// [`Hpe::decrypt`] with a prepared key: `c₂ / e(c₁, k*_dec)`, the
+    /// pairing evaluated from the precomputed lines (the pairing is
+    /// symmetric, so fixing the key side is sound).
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch.
+    pub fn decrypt_prepared(
+        &self,
+        _pk: &HpePublicKey,
+        key: &PreparedHpeKey,
+        ct: &HpeCiphertext,
+    ) -> Result<Gt, HpeError> {
+        if ct.c1.dim() != self.n0() || key.dim() != self.n0() {
+            return Err(HpeError::DimensionMismatch {
+                expected: self.n0(),
+                got: if ct.c1.dim() != self.n0() {
+                    ct.c1.dim()
+                } else {
+                    key.dim()
+                },
+            });
+        }
+        let e = key.dec.pair(&self.params, &ct.c1);
+        Ok(ct.c2.mul(&self.params, &e.inverse(&self.params)))
+    }
+
+    /// [`Hpe::test`] with a prepared key — identical verdicts, amortized
+    /// Miller loops.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch.
+    pub fn test_prepared(
+        &self,
+        pk: &HpePublicKey,
+        key: &PreparedHpeKey,
+        ct: &HpeCiphertext,
+    ) -> Result<bool, HpeError> {
+        Ok(self
+            .decrypt_prepared(pk, key, ct)?
+            .is_identity(&self.params))
+    }
+
     /// `HPE-Delegate`: derives a level-`ℓ+1` key that additionally
     /// requires `x⃗ · v⃗_{ℓ+1} = 0` (the paper's appendix, verbatim).
     ///
@@ -467,6 +527,51 @@ mod tests {
     }
 
     #[test]
+    fn prepared_key_matches_plain_test_and_decrypt() {
+        let (hpe, pk, msk, mut rng) = setup(3, 212);
+        let (x, v) = orthogonal_pair(&mut rng);
+        let key = hpe.gen_key(&pk, &msk, &v, &mut rng).unwrap();
+        let prep = hpe.prepare_key(&key);
+        assert_eq!(prep.dim(), hpe.n0());
+        assert_eq!(prep.level, key.level);
+
+        // matching ciphertext: same verdict and same decrypted value
+        let m = Gt(hpe.params().gt_generator()).pow(hpe.params(), Fr::random(&mut rng));
+        let ct = hpe.encrypt(&pk, &x, &m, &mut rng).unwrap();
+        assert_eq!(
+            hpe.decrypt_prepared(&pk, &prep, &ct).unwrap(),
+            hpe.decrypt(&pk, &key, &ct).unwrap()
+        );
+        assert!(hpe.test_prepared(&pk, &hpe.prepare_key(&key), &ct).is_ok());
+
+        // non-matching ciphertext: both reject
+        let x_bad = vec![
+            Fr::random(&mut rng),
+            Fr::random(&mut rng),
+            Fr::random(&mut rng),
+        ];
+        let ct_bad = hpe.encrypt_marker(&pk, &x_bad, &mut rng).unwrap();
+        assert_eq!(
+            hpe.test_prepared(&pk, &prep, &ct_bad).unwrap(),
+            hpe.test(&pk, &key, &ct_bad).unwrap()
+        );
+        let ct_hit = hpe.encrypt_marker(&pk, &x, &mut rng).unwrap();
+        assert!(hpe.test_prepared(&pk, &prep, &ct_hit).unwrap());
+
+        // dimension mismatch surfaces as an error, not a panic
+        let other = Hpe::new(CurveParams::fast(), 5);
+        let mut rng2 = StdRng::seed_from_u64(213);
+        let (pk5, msk5) = other.setup(&mut rng2);
+        let v5 = vec![Fr::one(), Fr::one(), Fr::one(), Fr::one(), Fr::one()];
+        let key5 = other.gen_key(&pk5, &msk5, &v5, &mut rng2).unwrap();
+        let prep5 = other.prepare_key(&key5);
+        assert!(matches!(
+            hpe.test_prepared(&pk, &prep5, &ct_hit),
+            Err(HpeError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
     fn test_rejects_non_orthogonal() {
         let (hpe, pk, msk, mut rng) = setup(3, 201);
         let (x, mut v) = orthogonal_pair(&mut rng);
@@ -516,7 +621,11 @@ mod tests {
         // Simpler: x' = (1, s, s², s³) for fresh s satisfies neither —
         // instead construct directly in the dual: pick x' random with
         // x'·v1 = 0 via solving last coordinate.
-        let mut xp = vec![Fr::random(&mut rng), Fr::random(&mut rng), Fr::random(&mut rng)];
+        let mut xp = vec![
+            Fr::random(&mut rng),
+            Fr::random(&mut rng),
+            Fr::random(&mut rng),
+        ];
         let last = -(xp[0] * v1[0] + xp[1] * v1[1] + xp[2] * v1[2])
             * v1[3].inv().expect("nonzero with overwhelming probability");
         xp.push(last);
@@ -531,12 +640,13 @@ mod tests {
     fn two_level_delegation_chain() {
         let (hpe, pk, msk, mut rng) = setup(5, 204);
         let t = Fr::random(&mut rng);
-        let x: Vec<Fr> = (0..5).scan(Fr::one(), |acc, _| {
-            let cur = *acc;
-            *acc *= t;
-            Some(cur)
-        })
-        .collect();
+        let x: Vec<Fr> = (0..5)
+            .scan(Fr::one(), |acc, _| {
+                let cur = *acc;
+                *acc *= t;
+                Some(cur)
+            })
+            .collect();
         let mk_orth = |rng: &mut StdRng| {
             let tail: Vec<Fr> = (0..4).map(|_| Fr::random(rng)).collect();
             let a = -(tail[0] * x[1] + tail[1] * x[2] + tail[2] * x[3] + tail[3] * x[4]);
@@ -565,7 +675,11 @@ mod tests {
         let ct = hpe.encrypt_marker(&pk, &x, &mut rng).unwrap();
         assert!(hpe.test(&pk, &rr, &ct).unwrap());
         // still rejects non-matching ciphertexts
-        let x_bad = vec![Fr::random(&mut rng), Fr::random(&mut rng), Fr::random(&mut rng)];
+        let x_bad = vec![
+            Fr::random(&mut rng),
+            Fr::random(&mut rng),
+            Fr::random(&mut rng),
+        ];
         let ct_bad = hpe.encrypt_marker(&pk, &x_bad, &mut rng).unwrap();
         assert!(!hpe.test(&pk, &rr, &ct_bad).unwrap());
         // delegation still works after re-randomization
@@ -594,7 +708,10 @@ mod tests {
         let short = vec![Fr::one(); 2];
         assert!(matches!(
             hpe.gen_key(&pk, &msk, &short, &mut rng),
-            Err(HpeError::DimensionMismatch { expected: 3, got: 2 })
+            Err(HpeError::DimensionMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
         assert!(matches!(
             hpe.encrypt_marker(&pk, &short, &mut rng),

@@ -167,7 +167,11 @@ mod tests {
     #[test]
     fn roundtrip_all_types() {
         let mut w = Writer::new();
-        w.u8(7).u32(0xdead_beef).u64(42).string("hello").var_bytes(&[1, 2, 3]);
+        w.u8(7)
+            .u32(0xdead_beef)
+            .u64(42)
+            .string("hello")
+            .var_bytes(&[1, 2, 3]);
         let buf = w.finish();
         let mut r = Reader::new(&buf);
         assert_eq!(r.u8().unwrap(), 7);

@@ -8,7 +8,7 @@
 
 use crate::mont::MontCtx;
 use crate::uint::Uint;
-use crate::{FP_LIMBS, UintP};
+use crate::{UintP, FP_LIMBS};
 use core::fmt;
 use rand::Rng;
 

@@ -119,7 +119,10 @@ impl Fp2Ops for FpCtx {
         // 1/(a0+a1 i) = (a0 - a1 i) / (a0² + a1²)
         let norm = self.add(self.sqr(a.c0), self.sqr(a.c1));
         let ninv = self.inv(norm)?;
-        Some(Fp2::new(self.mul(a.c0, ninv), self.neg(self.mul(a.c1, ninv))))
+        Some(Fp2::new(
+            self.mul(a.c0, ninv),
+            self.neg(self.mul(a.c1, ninv)),
+        ))
     }
 
     fn fp2_pow(&self, a: Fp2, exp_limbs: &[u64]) -> Fp2 {

@@ -12,7 +12,7 @@
 use crate::mont::MontCtx;
 use crate::prime::group_order;
 use crate::uint::Uint;
-use crate::{FR_LIMBS, UintR};
+use crate::{UintR, FR_LIMBS};
 use core::fmt;
 use core::iter::{Product, Sum};
 use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
@@ -131,7 +131,6 @@ impl Fr {
         }
         Some(Fr(ctx().to_mont(&u)))
     }
-
 }
 
 impl Add for Fr {

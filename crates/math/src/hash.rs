@@ -9,7 +9,7 @@ use crate::fp::{Fp, FpCtx};
 use crate::fr::Fr;
 use crate::sha256::Sha256;
 use crate::uint::Uint;
-use crate::{FP_LIMBS, FR_LIMBS, UintP, UintR};
+use crate::{UintP, UintR, FP_LIMBS, FR_LIMBS};
 
 /// Hashes arbitrary bytes into `F_q` with a domain-separation tag.
 ///

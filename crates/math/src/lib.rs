@@ -40,7 +40,7 @@ pub mod uint;
 pub use fp::{Fp, FpCtx};
 pub use fp2::Fp2;
 pub use fr::Fr;
-pub use uint::Uint;
+pub use uint::{HexParseError, Uint};
 
 /// Number of 64-bit limbs in a base-field element (supports `p` up to 512 bits).
 pub const FP_LIMBS: usize = 8;

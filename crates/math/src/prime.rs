@@ -6,16 +6,16 @@
 //! `F_{p^2} = F_p[i]`). [`TypeAParams::generate`] reproduces exactly this
 //! family for any base-field size up to 512 bits.
 
-use crate::uint::Uint;
-use crate::{FP_LIMBS, FR_LIMBS, UintP, UintR};
 use crate::mont::MontCtx;
+use crate::uint::Uint;
+use crate::{UintP, UintR, FP_LIMBS, FR_LIMBS};
 use rand::Rng;
 
 /// Small primes used to pre-sieve candidates before Miller–Rabin.
 const SMALL_PRIMES: [u64; 54] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Miller–Rabin probable-prime test with `rounds` random bases.
@@ -166,12 +166,7 @@ impl TypeAParams {
             }
             debug_assert_eq!(p.mod_u64(4), 3, "p ≡ 3 mod 4 by construction");
             if is_prime(&p, 40, rng) {
-                return TypeAParams {
-                    p,
-                    q,
-                    h,
-                    p_bits,
-                };
+                return TypeAParams { p, q, h, p_bits };
             }
         }
     }

@@ -29,6 +29,44 @@ pub fn mac(acc: u64, a: u64, b: u64, carry: u64) -> (u64, u64) {
     (t as u64, (t >> 64) as u64)
 }
 
+/// Rejection reason from [`Uint::try_from_be_hex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HexParseError {
+    /// The string has more hex digits than `Uint<N>` can hold.
+    TooLong {
+        /// Number of digits supplied.
+        len: usize,
+        /// Maximum digits representable (`16 * N`).
+        max: usize,
+    },
+    /// A byte outside `[0-9a-fA-F]`.
+    InvalidDigit {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// The offending byte.
+        byte: u8,
+    },
+}
+
+impl fmt::Display for HexParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HexParseError::TooLong { len, max } => {
+                write!(f, "hex string has {len} digits, at most {max} fit")
+            }
+            HexParseError::InvalidDigit { position, byte } => {
+                write!(
+                    f,
+                    "invalid hex digit {:?} at offset {position}",
+                    *byte as char
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for HexParseError {}
+
 /// A fixed-width unsigned integer with `N` little-endian 64-bit limbs.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Uint<const N: usize>(pub [u64; N]);
@@ -57,25 +95,52 @@ impl<const N: usize> Uint<N> {
     }
 
     /// Parses a big-endian hexadecimal string (no `0x` prefix, any length
-    /// up to `16 * N` digits).
+    /// up to `16 * N` digits), rejecting malformed input.
     ///
-    /// # Panics
+    /// This is the runtime entry point: anything that parses
+    /// externally-supplied hex must come through here.
     ///
-    /// Panics if the string contains a non-hex character or is too long;
-    /// intended for compile-time constants in the source tree.
-    pub fn from_be_hex(s: &str) -> Self {
-        assert!(s.len() <= 16 * N, "hex literal too long for Uint<{N}>");
+    /// # Errors
+    ///
+    /// [`HexParseError::TooLong`] when more than `16 * N` digits are
+    /// supplied, [`HexParseError::InvalidDigit`] on the first byte outside
+    /// `[0-9a-fA-F]`.
+    pub fn try_from_be_hex(s: &str) -> Result<Self, HexParseError> {
+        if s.len() > 16 * N {
+            return Err(HexParseError::TooLong {
+                len: s.len(),
+                max: 16 * N,
+            });
+        }
         let mut out = [0u64; N];
-        for (i, c) in s.bytes().rev().enumerate() {
+        for (position, c) in s.bytes().enumerate() {
             let d = match c {
                 b'0'..=b'9' => c - b'0',
                 b'a'..=b'f' => c - b'a' + 10,
                 b'A'..=b'F' => c - b'A' + 10,
-                _ => panic!("invalid hex digit in Uint literal"),
+                _ => return Err(HexParseError::InvalidDigit { position, byte: c }),
             } as u64;
+            // nibble index counted from the least-significant end
+            let i = s.len() - 1 - position;
             out[i / 16] |= d << (4 * (i % 16));
         }
-        Uint(out)
+        Ok(Uint(out))
+    }
+
+    /// Parses a big-endian hexadecimal literal, panicking on malformed
+    /// input.
+    ///
+    /// Only for constants written in the source tree; runtime input goes
+    /// through [`Uint::try_from_be_hex`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string contains a non-hex character or is too long.
+    pub fn from_be_hex(s: &str) -> Self {
+        match Self::try_from_be_hex(s) {
+            Ok(v) => v,
+            Err(e) => panic!("invalid Uint<{N}> hex literal: {e}"),
+        }
     }
 
     /// Little-endian byte encoding (`8 * N` bytes).
@@ -441,5 +506,51 @@ mod tests {
         let a = U4::from_be_hex("0123456789abcdef00112233445566778899aabbccddeeff");
         let b = U4::from_le_bytes(&a.to_le_bytes()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn try_from_be_hex_accepts_what_the_literal_path_accepts() {
+        for s in ["0", "ff", "DEADbeef", "0123456789abcdef0123456789abcdef"] {
+            assert_eq!(U4::try_from_be_hex(s).unwrap(), U4::from_be_hex(s));
+        }
+    }
+
+    #[test]
+    fn try_from_be_hex_rejects_invalid_digits() {
+        assert_eq!(
+            U4::try_from_be_hex("12g4"),
+            Err(HexParseError::InvalidDigit {
+                position: 2,
+                byte: b'g'
+            })
+        );
+        assert_eq!(
+            U4::try_from_be_hex("0x12"), // prefix is not accepted
+            Err(HexParseError::InvalidDigit {
+                position: 1,
+                byte: b'x'
+            })
+        );
+        assert!(matches!(
+            U4::try_from_be_hex(" ff"),
+            Err(HexParseError::InvalidDigit { position: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn try_from_be_hex_rejects_overlong_input() {
+        let s = "f".repeat(65);
+        assert_eq!(
+            U4::try_from_be_hex(&s),
+            Err(HexParseError::TooLong { len: 65, max: 64 })
+        );
+        // exactly 64 digits still fits
+        assert!(U4::try_from_be_hex(&"f".repeat(64)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid Uint<4> hex literal")]
+    fn literal_constructor_panics_on_bad_digit() {
+        U4::from_be_hex("not hex");
     }
 }

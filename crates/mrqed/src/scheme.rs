@@ -271,6 +271,9 @@ mod tests {
         let key = m.gen_key(&msk, &[(1, 14), (1, 14)]);
         // misaligned ranges → covers of several nodes × 5 components each
         let worst = m.worst_case_pairings(&key);
-        assert!(worst > 2 * (m.bits() as usize + 1), "try-all costs dominate");
+        assert!(
+            worst > 2 * (m.bits() as usize + 1),
+            "try-all costs dominate"
+        );
     }
 }

@@ -61,7 +61,11 @@ pub fn cover(s: u64, t: u64, k: u32) -> Vec<NodeId> {
     let mut lo = s;
     while lo <= t {
         // largest aligned block starting at lo that fits within [lo, t]
-        let max_by_align = if lo == 0 { k } else { lo.trailing_zeros().min(k) };
+        let max_by_align = if lo == 0 {
+            k
+        } else {
+            lo.trailing_zeros().min(k)
+        };
         let mut size_log = max_by_align;
         while size_log > 0 && lo + (1u64 << size_log) - 1 > t {
             size_log -= 1;
@@ -113,10 +117,13 @@ mod tests {
         // [1,6] in a 3-bit tree: 1, [2,3], [4,5], 6
         let c = cover(1, 6, 3);
         assert_eq!(c.len(), 4);
-        let total: u64 = c.iter().map(|n| {
-            let (lo, hi) = n.interval(3);
-            hi - lo + 1
-        }).sum();
+        let total: u64 = c
+            .iter()
+            .map(|n| {
+                let (lo, hi) = n.interval(3);
+                hi - lo + 1
+            })
+            .sum();
         assert_eq!(total, 6);
     }
 

@@ -30,14 +30,20 @@ pub enum ProxyError {
         /// The client that tripped the limiter.
         client: String,
     },
+    /// The underlying APKS evaluation failed (deployment mismatch, …).
+    Apks(apks_core::ApksError),
 }
 
 impl fmt::Display for ProxyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProxyError::RateLimited { client } => {
-                write!(f, "client {client:?} exceeded the transformation rate limit")
+                write!(
+                    f,
+                    "client {client:?} exceeded the transformation rate limit"
+                )
             }
+            ProxyError::Apks(e) => write!(f, "apks error: {e}"),
         }
     }
 }
@@ -184,6 +190,41 @@ impl ProxyChain {
         }
         Ok(ct)
     }
+
+    /// Transforms a batch of partial indexes and evaluates a capability
+    /// against each transformed result — the "transform then search"
+    /// flow. The capability's Miller lines are prepared **once** for the
+    /// whole batch, so per-index evaluation runs in the paper's "with
+    /// preprocessing" mode, matching the cloud server's corpus scan.
+    ///
+    /// Returns one `(transformed index, matched)` pair per input, in
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any proxy rate-limits the client or the capability
+    /// belongs to a different deployment.
+    pub fn ingest_and_search(
+        &self,
+        system: &ApksSystem,
+        pk: &apks_core::ApksPublicKey,
+        cap: &apks_core::Capability,
+        client: &str,
+        now: u64,
+        batch: &[EncryptedIndex],
+    ) -> Result<Vec<(EncryptedIndex, bool)>, ProxyError> {
+        let prepared = system.prepare_capability(cap).map_err(ProxyError::Apks)?;
+        batch
+            .iter()
+            .map(|partial| {
+                let full = self.ingest(system, client, now, partial)?;
+                let hit = system
+                    .search_prepared(pk, &prepared, &full)
+                    .map_err(ProxyError::Apks)?;
+                Ok((full, hit))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +290,40 @@ mod tests {
         // full chain works
         let full = chain.ingest(&sys, "o", 0, &partial).unwrap();
         assert!(sys.search(&pk, &cap, &full).unwrap());
+    }
+
+    #[test]
+    fn batch_ingest_and_search_matches_per_index_flow() {
+        let sys = system();
+        let mut rng = StdRng::seed_from_u64(1003);
+        let (pk, mk) = sys.setup_plus(&mut rng);
+        let chain = ProxyChain::provision(&mk, 2, 100, 60, &mut rng);
+        let cap = sys
+            .gen_cap(
+                &pk,
+                &mk.inner,
+                &Query::new().equals("kw", "x"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let batch: Vec<EncryptedIndex> = ["x", "y", "x", "z"]
+            .iter()
+            .map(|kw| {
+                sys.gen_partial_index(&pk, &Record::new(vec![FieldValue::text(*kw)]), &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        let results = chain
+            .ingest_and_search(&sys, &pk, &cap, "owner", 0, &batch)
+            .unwrap();
+        assert_eq!(results.len(), 4);
+        let verdicts: Vec<bool> = results.iter().map(|(_, hit)| *hit).collect();
+        assert_eq!(verdicts, vec![true, false, true, false]);
+        // transformed outputs agree with the plain (unprepared) search
+        for (full, hit) in &results {
+            assert_eq!(sys.search(&pk, &cap, full).unwrap(), *hit);
+        }
     }
 
     #[test]

@@ -21,9 +21,7 @@ use apks_cloud::CloudServer;
 use apks_core::revocation::{with_period, Date};
 use apks_core::{ApksSystem, FieldValue, Query, QueryPolicy, Record};
 use apks_curve::CurveParams;
-use apks_dataset::phr::{
-    phr_schema, PhrConfig, ILLNESSES, PHR_EPOCH, PROVIDERS, REGIONS,
-};
+use apks_dataset::phr::{phr_schema, PhrConfig, ILLNESSES, PHR_EPOCH, PROVIDERS, REGIONS};
 use apks_proxy::ProxyChain;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -165,10 +163,7 @@ impl Simulation {
         for provider in PROVIDERS {
             let mut dir = AttributeDirectory::new();
             for u in &users {
-                dir.register_user(
-                    u.name.clone(),
-                    [("illness", FieldValue::text(u.illness))],
-                );
+                dir.register_user(u.name.clone(), [("illness", FieldValue::text(u.illness))]);
             }
             let rules = EligibilityRules::with_default(Eligibility::AnyValue)
                 .set("illness", Eligibility::OwnsValue);
@@ -207,7 +202,11 @@ impl Simulation {
     fn random_record(&mut self, day: usize) -> Record {
         let date = date_of_day(day);
         let age = self.rng.gen_range(0..128i64);
-        let sex = if self.rng.gen_bool(0.5) { "female" } else { "male" };
+        let sex = if self.rng.gen_bool(0.5) {
+            "female"
+        } else {
+            "male"
+        };
         let region = REGIONS[self.rng.gen_range(0..REGIONS.len())];
         let illness = ILLNESSES[self.rng.gen_range(0..ILLNESSES.len())];
         let provider = PROVIDERS[self.rng.gen_range(0..PROVIDERS.len())];
@@ -261,8 +260,7 @@ impl Simulation {
                         report.issue_time += t.elapsed();
                         report.issued += 1;
                         let t = Instant::now();
-                        let (hits, stats) =
-                            self.server.search(&cap).expect("registered issuer");
+                        let (hits, stats) = self.server.search(&cap).expect("registered issuer");
                         report.search_time += t.elapsed();
                         report.searches += 1;
                         report.scanned += stats.scanned;
@@ -271,10 +269,7 @@ impl Simulation {
                             report.stale_searches += 1;
                             // a window entirely in the past cannot match
                             // anything uploaded during the run
-                            assert!(
-                                hits.is_empty(),
-                                "stale capability must not see fresh data"
-                            );
+                            assert!(hits.is_empty(), "stale capability must not see fresh data");
                         }
                     }
                     Err(AuthzError::NotEligible { .. }) => {

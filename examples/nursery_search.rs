@@ -89,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .filter(|r| query.matches_record(system.schema(), r).unwrap())
         .count();
-    assert_eq!(truth, stats.matched, "encrypted search equals plaintext search");
+    assert_eq!(
+        truth, stats.matched,
+        "encrypted search equals plaintext search"
+    );
     println!("verified against plaintext oracle: {truth} true matches");
     Ok(())
 }

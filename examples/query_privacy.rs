@@ -35,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let system = ApksSystem::new(CurveParams::fast(), schema);
     let mut rng = StdRng::seed_from_u64(5);
 
-    let secret = Query::new().equals("illness", "cancer").equals("sex", "female");
+    let secret = Query::new()
+        .equals("illness", "cancer")
+        .equals("sex", "female");
     println!("user's secret query: {secret}");
 
     // --- plain APKS: the attack works -----------------------------------
@@ -78,10 +80,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- probe-response attack rate-limited -------------------------------
     let mut blocked = 0;
     for i in 0..8 {
-        if chain.ingest(&system, "curious-server", i, &partial).is_err() {
+        if chain
+            .ingest(&system, "curious-server", i, &partial)
+            .is_err()
+        {
             blocked += 1;
         }
     }
-    println!("probe-response flood: {blocked}/8 transformation requests blocked by traffic monitoring");
+    println!(
+        "probe-response flood: {blocked}/8 transformation requests blocked by traffic monitoring"
+    );
     Ok(())
 }

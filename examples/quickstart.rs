@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    only which match.
     for (i, ((age, sex, illness), idx)) in people.iter().zip(&indexes).enumerate() {
         let hit = system.search(&pk, &cap, idx)?;
-        println!("  record {i} ({age}, {sex}, {illness}): {}", if hit { "MATCH" } else { "-" });
+        println!(
+            "  record {i} ({age}, {sex}, {illness}): {}",
+            if hit { "MATCH" } else { "-" }
+        );
     }
     Ok(())
 }

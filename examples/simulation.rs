@@ -37,9 +37,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = Simulation::new(config)?.run()?;
     println!();
     println!("uploads:          {}", report.uploads);
-    println!("  per upload:     {:?} (encrypt + proxy + store)", report.per_upload());
-    println!("capability reqs:  {} issued, {} denied by attribute check", report.issued, report.denied);
-    println!("searches:         {} ({} stale-window)", report.searches, report.stale_searches);
+    println!(
+        "  per upload:     {:?} (encrypt + proxy + store)",
+        report.per_upload()
+    );
+    println!(
+        "capability reqs:  {} issued, {} denied by attribute check",
+        report.issued, report.denied
+    );
+    println!(
+        "searches:         {} ({} stale-window)",
+        report.searches, report.stale_searches
+    );
     println!("indexes scanned:  {}", report.scanned);
     println!("  per index:      {:?}", report.per_index_search());
     println!("matches returned: {}", report.matches);

@@ -68,7 +68,12 @@ fn delegation_cannot_widen_scope() {
         )
         .unwrap();
     let widened = sys
-        .delegate_cap(&pk, &base, &Query::new().equals("illness", "cancer"), &mut rng)
+        .delegate_cap(
+            &pk,
+            &base,
+            &Query::new().equals("illness", "cancer"),
+            &mut rng,
+        )
         .unwrap();
     for illness in ["flu", "cancer", "cold"] {
         let idx = sys

@@ -3,9 +3,9 @@
 
 use apks_authz::{AttributeDirectory, Eligibility, EligibilityRules, TrustedAuthority};
 use apks_cloud::CloudServer;
+use apks_core::revocation::{with_period, Date};
 use apks_core::{FieldValue, Query, QueryPolicy, Record};
 use apks_dataset::phr::{random_phr_record, PHR_EPOCH};
-use apks_core::revocation::{with_period, Date};
 use apks_tests::{phr_system, tiny_record, tiny_system};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -78,7 +78,13 @@ fn multi_owner_multi_user_flow() {
 
     // Bob's capability from hospital B cannot reach hospital A's records
     let bob_cap = lta_b
-        .request_capability(&sys, &pk, "bob", &Query::new().equals("illness", "flu"), &mut rng)
+        .request_capability(
+            &sys,
+            &pk,
+            "bob",
+            &Query::new().equals("illness", "flu"),
+            &mut rng,
+        )
         .unwrap();
     let (hits, _) = server.search(&bob_cap).unwrap();
     assert_eq!(hits, vec![ids[4]]);
@@ -121,7 +127,11 @@ fn phr_hierarchical_end_to_end() {
     // every random index agrees with the plaintext oracle
     for (rec, idx) in &indexes {
         let expected = q.matches_record(sys.schema(), rec).unwrap();
-        assert_eq!(sys.search(&pk, &cap, idx).unwrap(), expected, "record {rec:?}");
+        assert_eq!(
+            sys.search(&pk, &cap, idx).unwrap(),
+            expected,
+            "record {rec:?}"
+        );
     }
 }
 
@@ -133,9 +143,13 @@ fn encrypted_results_agree_with_plaintext_oracle_randomized() {
 
     let queries = [
         Query::new().range("age", 0, 31),
-        Query::new().equals("sex", "male").equals("illness", "infectious"),
+        Query::new()
+            .equals("sex", "male")
+            .equals("illness", "infectious"),
         Query::new().one_of("region", ["Boston", "Cambridge"]),
-        Query::new().equals("region", "West MA").range("age", 64, 127),
+        Query::new()
+            .equals("region", "West MA")
+            .range("age", 64, 127),
     ];
     let caps: Vec<_> = queries
         .iter()

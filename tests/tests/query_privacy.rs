@@ -37,7 +37,10 @@ fn dictionary_attack_succeeds_on_apks_fails_on_plus() {
         .unwrap()
         .finalize();
     let report = DictionaryAttack::new(&sys, &pk).run(&cap, &universe(), &mut rng);
-    assert_eq!(report.matched, vec![tiny_record("hospital-a", "cancer", "male")]);
+    assert_eq!(
+        report.matched,
+        vec![tiny_record("hospital-a", "cancer", "male")]
+    );
 
     // APKS⁺: same attack recovers nothing, yet the search still works
     // after the proxy chain
@@ -69,13 +72,21 @@ fn min_dimension_policy_reduces_exposure() {
         max_total_or_terms: 4,
     };
     assert!(sys
-        .gen_cap(&pk, &msk, &Query::new().equals("illness", "flu"), &policy, &mut rng)
+        .gen_cap(
+            &pk,
+            &msk,
+            &Query::new().equals("illness", "flu"),
+            &policy,
+            &mut rng
+        )
         .is_err());
     assert!(sys
         .gen_cap(
             &pk,
             &msk,
-            &Query::new().equals("illness", "flu").equals("sex", "female"),
+            &Query::new()
+                .equals("illness", "flu")
+                .equals("sex", "female"),
             &policy,
             &mut rng
         )
@@ -105,7 +116,11 @@ fn apks_and_mrqed_agree_on_range_membership() {
     let (mpk, mmsk) = mrqed.setup(&mut rng);
 
     // aligned boxes are expressible in both schemes
-    let boxes = [((0u64, 7u64), (8u64, 15u64)), ((4, 7), (0, 7)), ((8, 11), (12, 15))];
+    let boxes = [
+        ((0u64, 7u64), (8u64, 15u64)),
+        ((4, 7), (0, 7)),
+        ((8, 11), (12, 15)),
+    ];
     let points = [[2u64, 9u64], [5, 3], [9, 13], [15, 0]];
     for ((xs, xe), (ys, ye)) in boxes {
         let apks_cap = apks
@@ -130,8 +145,20 @@ fn apks_and_mrqed_agree_on_range_membership() {
             let ct = mrqed.encrypt(&mpk, &p, &mut rng);
             let mrqed_hit = mrqed.matches(&mrqed_key, &ct);
             let truth = xs <= p[0] && p[0] <= xe && ys <= p[1] && p[1] <= ye;
-            assert_eq!(apks_hit, truth, "APKS box {:?} point {:?}", ((xs, xe), (ys, ye)), p);
-            assert_eq!(mrqed_hit, truth, "MRQED box {:?} point {:?}", ((xs, xe), (ys, ye)), p);
+            assert_eq!(
+                apks_hit,
+                truth,
+                "APKS box {:?} point {:?}",
+                ((xs, xe), (ys, ye)),
+                p
+            );
+            assert_eq!(
+                mrqed_hit,
+                truth,
+                "MRQED box {:?} point {:?}",
+                ((xs, xe), (ys, ye)),
+                p
+            );
         }
     }
 }

@@ -50,7 +50,13 @@ fn match_rate_identifies_single_dimension_keyword() {
     // The victim queries illness = "flu" (the most frequent keyword).
     let permissive = QueryPolicy::permissive();
     let cap = sys
-        .gen_cap(&pk, &msk, &Query::new().equals("illness", "flu"), &permissive, &mut rng)
+        .gen_cap(
+            &pk,
+            &msk,
+            &Query::new().equals("illness", "flu"),
+            &permissive,
+            &mut rng,
+        )
         .unwrap();
 
     // The server observes the match rate …
@@ -84,7 +90,10 @@ fn match_rate_identifies_single_dimension_keyword() {
         })
         .unwrap()
         .0;
-    assert_eq!(ILLNESSES[guess], "flu", "frequency analysis pins the keyword");
+    assert_eq!(
+        ILLNESSES[guess], "flu",
+        "frequency analysis pins the keyword"
+    );
 }
 
 #[test]
@@ -104,7 +113,13 @@ fn min_dimension_policy_blurs_the_signal() {
         max_total_or_terms: 2,
     };
     assert!(sys
-        .gen_cap(&pk, &msk, &Query::new().equals("illness", "flu"), &policy, &mut rng)
+        .gen_cap(
+            &pk,
+            &msk,
+            &Query::new().equals("illness", "flu"),
+            &policy,
+            &mut rng
+        )
         .is_err());
 
     // … and conjunctive capabilities have ambiguous match rates: several
@@ -119,7 +134,9 @@ fn min_dimension_policy_blurs_the_signal() {
         .gen_cap(
             &pk,
             &msk,
-            &Query::new().equals("illness", "flu").equals("region", "north"),
+            &Query::new()
+                .equals("illness", "flu")
+                .equals("region", "north"),
             &policy,
             &mut rng,
         )
