@@ -15,4 +15,4 @@
 pub mod adversary;
 pub mod server;
 
-pub use server::{CloudServer, DocumentId, SearchOutcome, SearchStats};
+pub use server::{CloudServer, DegradedScan, DocumentId, SearchOutcome, SearchStats};

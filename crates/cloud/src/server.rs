@@ -1,6 +1,7 @@
 //! The encrypted-index store and search engine.
 
 use apks_authz::{IbsPublicParams, SignedCapability};
+use apks_core::fault::{DocFault, FaultContext};
 use apks_core::{ApksError, ApksPublicKey, ApksSystem, Capability, EncryptedIndex};
 use core::fmt;
 use parking_lot::RwLock;
@@ -45,8 +46,30 @@ pub struct SearchStats {
     pub prepare_micros: u64,
     /// Corpus-scan wall time in microseconds (excludes preparation).
     pub scan_micros: u64,
-    /// Pairing evaluations performed by the scan (`n + 3` per document).
+    /// Pairing evaluations performed by the scan (`n + 3` per evaluated
+    /// document; skipped documents perform none).
     pub pairings: usize,
+    /// Documents whose evaluation faulted through the whole retry budget
+    /// and were skipped (never silently dropped — also listed in
+    /// [`DegradedScan::faulted`]).
+    pub faulted_docs: usize,
+    /// Evaluation retries performed while scanning flaky documents.
+    pub retries: usize,
+    /// True iff at least one document was skipped: the match set covers
+    /// only the healthy corpus.
+    pub degraded: bool,
+}
+
+/// Outcome of a degraded-mode scan: the matches over the healthy corpus
+/// plus an explicit list of the documents the scan had to skip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedScan {
+    /// Matching document ids among the documents that evaluated.
+    pub matches: Vec<DocumentId>,
+    /// Documents skipped because evaluation faulted past the budget.
+    pub faulted: Vec<DocumentId>,
+    /// Accounting (with `faulted_docs`/`retries`/`degraded` populated).
+    pub stats: SearchStats,
 }
 
 /// The cloud server.
@@ -236,8 +259,152 @@ impl CloudServer {
             prepare_micros,
             scan_micros: scan_start.elapsed().as_micros() as u64,
             pairings: scanned * (self.system.n() + 3),
+            faulted_docs: 0,
+            retries: 0,
+            degraded: false,
         };
         Ok((matches, stats))
+    }
+
+    /// Admit, then scan in degraded mode: documents whose evaluation
+    /// faults (per the injected schedule, or a real evaluation error)
+    /// are skipped and reported instead of aborting the search.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the capability is rejected; evaluation faults degrade
+    /// the result instead of failing it.
+    pub fn search_degraded(
+        &self,
+        cap: &SignedCapability,
+        threads: usize,
+        ctx: &FaultContext<'_>,
+    ) -> Result<DegradedScan, SearchOutcome> {
+        self.admit(cap)?;
+        self.scan_degraded(&cap.capability, threads, ctx)
+    }
+
+    /// Degraded-mode corpus scan under a deterministic fault schedule.
+    ///
+    /// Per document, the injected [`DocFault`] (a pure function of the
+    /// document id) decides the behaviour: slow documents charge virtual
+    /// ticks and evaluate; flaky documents are retried under `ctx.policy`
+    /// (with backoff charged to the virtual clock) and evaluate once the
+    /// burst clears; poisoned documents — and documents whose *real*
+    /// evaluation errors — exhaust the budget, are skipped, and are
+    /// returned in [`DegradedScan::faulted`]. Matches over the healthy
+    /// corpus are exactly what a fault-free scan would return for those
+    /// documents, since faults never touch ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the capability cannot be prepared (deployment
+    /// mismatch).
+    pub fn scan_degraded(
+        &self,
+        cap: &Capability,
+        threads: usize,
+        ctx: &FaultContext<'_>,
+    ) -> Result<DegradedScan, SearchOutcome> {
+        let store = self.store.read();
+        let scanned = store.len();
+
+        let prep_start = std::time::Instant::now();
+        let prepared = self
+            .system
+            .prepare_capability(cap)
+            .map_err(SearchOutcome::Apks)?;
+        let prepare_micros = prep_start.elapsed().as_micros() as u64;
+
+        // Per-document outcome: Some(matched) or None when skipped.
+        // Returns (outcome, retries) so workers stay side-effect free
+        // apart from clock advances.
+        let eval_doc = |id: DocumentId, idx: &EncryptedIndex| -> (Option<bool>, usize) {
+            let evaluate = || self.system.search_prepared(&self.pk, &prepared, idx);
+            match ctx.plan.doc_fault(id) {
+                None => (evaluate().ok(), 0),
+                Some(DocFault::Slow { ticks }) => {
+                    ctx.clock.advance(ticks);
+                    (evaluate().ok(), 0)
+                }
+                Some(DocFault::Flaky { burst }) => {
+                    // attempts 0..burst fault; each retry backs off
+                    let mut retries = 0;
+                    for attempt in 0..ctx.policy.max_attempts {
+                        if attempt >= burst {
+                            return (evaluate().ok(), retries);
+                        }
+                        if attempt + 1 < ctx.policy.max_attempts {
+                            retries += 1;
+                            ctx.clock.advance(ctx.policy.backoff(attempt, id));
+                        }
+                    }
+                    (None, retries)
+                }
+                Some(DocFault::Poisoned) => (None, 0),
+            }
+        };
+
+        let scan_start = std::time::Instant::now();
+        type Part = (Vec<DocumentId>, Vec<DocumentId>, usize);
+        let scan_part = |part: &[(DocumentId, EncryptedIndex)]| -> Part {
+            let mut matches = Vec::new();
+            let mut faulted = Vec::new();
+            let mut retries = 0;
+            for (id, idx) in part {
+                let (outcome, r) = eval_doc(*id, idx);
+                retries += r;
+                match outcome {
+                    Some(true) => matches.push(*id),
+                    Some(false) => {}
+                    None => faulted.push(*id),
+                }
+            }
+            (matches, faulted, retries)
+        };
+
+        let parts: Vec<Part> = if threads <= 1 {
+            vec![scan_part(&store)]
+        } else {
+            let chunk = store.len().div_ceil(threads.max(1));
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for part in store.chunks(chunk.max(1)) {
+                    let scan_part = &scan_part;
+                    handles.push(scope.spawn(move || scan_part(part)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut matches = Vec::new();
+        let mut faulted = Vec::new();
+        let mut retries = 0;
+        for (m, f, r) in parts {
+            matches.extend(m);
+            faulted.extend(f);
+            retries += r;
+        }
+        matches.sort_unstable();
+        faulted.sort_unstable();
+        let stats = SearchStats {
+            scanned,
+            matched: matches.len(),
+            prepare_micros,
+            scan_micros: scan_start.elapsed().as_micros() as u64,
+            pairings: (scanned - faulted.len()) * (self.system.n() + 3),
+            faulted_docs: faulted.len(),
+            retries,
+            degraded: !faulted.is_empty(),
+        };
+        Ok(DegradedScan {
+            matches,
+            faulted,
+            stats,
+        })
     }
 
     /// The deployment's public key (public information).
@@ -372,6 +539,144 @@ mod tests {
         // the default scan is the prepared path and agrees too
         let (default_hits, _) = server.scan(&cap.capability, 2).unwrap();
         assert_eq!(default_hits, baseline);
+    }
+
+    use apks_core::fault::{FaultConfig, FaultPlan, RetryPolicy, VirtualClock};
+
+    #[test]
+    fn degraded_scan_without_faults_equals_plain_scan() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let (plain, _) = server.search(&cap).unwrap();
+        let degraded = server.search_degraded(&cap, 1, &ctx).unwrap();
+        assert_eq!(degraded.matches, plain);
+        assert!(degraded.faulted.is_empty());
+        assert!(!degraded.stats.degraded);
+        assert_eq!(degraded.stats.retries, 0);
+        assert_eq!(clock.now(), 0);
+    }
+
+    #[test]
+    fn poisoned_docs_are_skipped_and_reported_never_silently_dropped() {
+        let (server, ta, mut rng) = deployment();
+        let ids = upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 31,
+            poisoned_doc_permille: 400,
+            ..FaultConfig::default()
+        });
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let poisoned: Vec<DocumentId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| plan.doc_fault(id).is_some())
+            .collect();
+        assert!(
+            !poisoned.is_empty() && poisoned.len() < ids.len(),
+            "seed must poison a strict subset; got {poisoned:?}"
+        );
+        let (plain, _) = server.search(&cap).unwrap();
+        let degraded = server.search_degraded(&cap, 1, &ctx).unwrap();
+        assert_eq!(degraded.faulted, poisoned);
+        assert_eq!(degraded.stats.faulted_docs, poisoned.len());
+        assert!(degraded.stats.degraded);
+        // healthy corpus answers exactly as the fault-free scan does
+        let expected: Vec<DocumentId> = plain
+            .iter()
+            .copied()
+            .filter(|id| !poisoned.contains(id))
+            .collect();
+        assert_eq!(degraded.matches, expected);
+        // subset property + full accounting: every document is either
+        // evaluated or explicitly faulted
+        assert!(degraded.matches.iter().all(|id| plain.contains(id)));
+        assert_eq!(
+            degraded.stats.pairings,
+            (degraded.stats.scanned - poisoned.len()) * (ta.system().n() + 3)
+        );
+    }
+
+    #[test]
+    fn flaky_docs_recover_with_retries_and_slow_docs_charge_the_clock() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 8,
+            flaky_doc_permille: 600,
+            slow_doc_permille: 400,
+            max_fault_burst: 2,
+            slow_doc_ticks: 5,
+            ..FaultConfig::default()
+        });
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let (plain, _) = server.search(&cap).unwrap();
+        let degraded = server.search_degraded(&cap, 1, &ctx).unwrap();
+        // bursts (≤2) fit the budget (4): everything recovers
+        assert_eq!(degraded.matches, plain);
+        assert!(degraded.faulted.is_empty());
+        assert!(!degraded.stats.degraded);
+        assert!(degraded.stats.retries > 0, "flaky docs must retry");
+        assert!(clock.now() > 0, "backoff + slowness on the virtual clock");
+    }
+
+    #[test]
+    fn degraded_scan_is_deterministic_across_thread_counts() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 5,
+            poisoned_doc_permille: 300,
+            flaky_doc_permille: 300,
+            slow_doc_permille: 300,
+            ..FaultConfig::default()
+        });
+        let policy = RetryPolicy::default();
+        let run = |threads: usize| {
+            let clock = VirtualClock::new();
+            let ctx = FaultContext::new(&plan, &policy, &clock);
+            let d = server.search_degraded(&cap, threads, &ctx).unwrap();
+            (d.matches, d.faulted, d.stats.retries, clock.now())
+        };
+        let base = run(1);
+        for threads in [2, 4] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! Deterministic fault injection for the APKS⁺ availability-critical
+//! paths.
+//!
+//! The paper's deployment (§VI) interposes semi-trusted proxies between
+//! owners and the cloud, which makes the proxy hop and the corpus scan
+//! the two paths whose availability decides whether the system is usable
+//! at all. This module provides the *model* of what can go wrong there —
+//! a [`FaultPlan`] that answers, purely as a function of a seed, "does
+//! this operation fault, and for how many attempts?" — plus the two
+//! pieces of machinery the resilient layers above share:
+//!
+//! * [`RetryPolicy`] — capped exponential backoff with deterministic
+//!   jitter, measured in **virtual ticks**, never wall-clock sleeps;
+//! * [`VirtualClock`] — a shared monotonic tick counter the retry loops
+//!   advance instead of sleeping, so chaos tests run at full speed and
+//!   two runs with the same seed advance the clock identically.
+//!
+//! Nothing in this module touches the cryptography: faults are injected
+//! *around* `ProxyEnc` and `Search`, replacing an evaluation with an
+//! error, never corrupting ciphertexts or keys. Every decision is a pure
+//! function of `(seed, site, operation)`, so a run is exactly
+//! reproducible from its [`FaultConfig`] — the property the seeded chaos
+//! suite in `tests/tests/chaos.rs` asserts.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Rates are expressed in permille (0..=1000) so fault decisions stay in
+/// integer arithmetic and are bit-reproducible across platforms.
+pub const PERMILLE: u32 = 1000;
+
+// Domain-separation tags: each fault family draws from an independent
+// deterministic stream, so e.g. raising the timeout rate does not shift
+// which documents are poisoned.
+const DOMAIN_PROXY_TIMEOUT: u64 = 0x50_54;
+const DOMAIN_TRANSFORM_ERROR: u64 = 0x54_45;
+const DOMAIN_DROP_UPLOAD: u64 = 0x44_55;
+const DOMAIN_DOC_POISONED: u64 = 0x44_50;
+const DOMAIN_DOC_FLAKY: u64 = 0x44_46;
+const DOMAIN_DOC_SLOW: u64 = 0x44_53;
+const DOMAIN_BURST: u64 = 0x42_52;
+const DOMAIN_JITTER: u64 = 0x4a_54;
+
+/// SplitMix64 finalizer — the mixing core of every plan decision.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a site label (e.g. a proxy id), so string-identified
+/// components get independent fault streams.
+fn hash_site(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Knobs of a deterministic fault schedule. All rates in permille.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Seed of the schedule; same seed ⇒ same faults, always.
+    pub seed: u64,
+    /// Probability a proxy transform operation times out.
+    pub proxy_timeout_permille: u32,
+    /// Probability a proxy transform fails transiently (e.g. a crashed
+    /// worker) — distinct stream from timeouts.
+    pub transform_error_permille: u32,
+    /// Probability an upload to the cloud store is dropped in flight.
+    pub drop_upload_permille: u32,
+    /// Probability a stored document is *poisoned*: its evaluation
+    /// faults on every attempt and the scan must route around it.
+    pub poisoned_doc_permille: u32,
+    /// Probability a stored document is *flaky*: evaluation fails for a
+    /// bounded burst of attempts, then succeeds.
+    pub flaky_doc_permille: u32,
+    /// Probability a stored document is merely *slow* (adds virtual
+    /// latency, still evaluates correctly).
+    pub slow_doc_permille: u32,
+    /// Upper bound on consecutive failing attempts for transient faults;
+    /// a faulted operation's actual burst length is drawn
+    /// deterministically from `1..=max_fault_burst`. Set this above a
+    /// [`RetryPolicy::max_attempts`] to make some operations exceed the
+    /// retry budget (a "dead" component for that operation).
+    pub max_fault_burst: u32,
+    /// Virtual ticks a slow document adds to the clock.
+    pub slow_doc_ticks: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            proxy_timeout_permille: 0,
+            transform_error_permille: 0,
+            drop_upload_permille: 0,
+            poisoned_doc_permille: 0,
+            flaky_doc_permille: 0,
+            slow_doc_permille: 0,
+            max_fault_burst: 2,
+            slow_doc_ticks: 5,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A schedule that only faults the proxy hop (timeouts + transform
+    /// errors at the given rates), with transient bursts short enough
+    /// for the default [`RetryPolicy`] to always recover.
+    pub fn proxy_only(seed: u64, timeout_permille: u32, error_permille: u32) -> FaultConfig {
+        FaultConfig {
+            seed,
+            proxy_timeout_permille: timeout_permille,
+            transform_error_permille: error_permille,
+            ..FaultConfig::default()
+        }
+    }
+}
+
+/// A fault injected on one proxy transform attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProxyFault {
+    /// The proxy did not answer within the (virtual) deadline.
+    Timeout,
+    /// The proxy answered with a transient transform error.
+    TransformError,
+}
+
+/// A fault attached to one stored document during a scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DocFault {
+    /// Evaluation faults on every attempt; degraded mode skips and
+    /// records the document.
+    Poisoned,
+    /// Evaluation fails for `burst` attempts, then succeeds.
+    Flaky {
+        /// Number of leading attempts that fail.
+        burst: u32,
+    },
+    /// Evaluation succeeds but costs `ticks` extra virtual time.
+    Slow {
+        /// Virtual ticks added to the clock.
+        ticks: u64,
+    },
+}
+
+/// A deterministic, seed-driven schedule of faults.
+///
+/// Decisions are pure: `plan.proxy_fault(p, op, a)` returns the same
+/// answer every time it is asked, on every thread, in every run with the
+/// same [`FaultConfig`]. That is what makes chaos runs replayable.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    config: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Wraps a config into a queryable plan.
+    pub fn new(config: FaultConfig) -> FaultPlan {
+        FaultPlan { config }
+    }
+
+    /// The schedule's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// One deterministic draw for `(domain, site, op)`.
+    fn roll(&self, domain: u64, site: u64, op: u64) -> u64 {
+        mix(mix(self.config.seed ^ domain) ^ mix(site).wrapping_add(mix(op)))
+    }
+
+    /// True iff the draw `h` lands under `permille`.
+    fn hits(h: u64, permille: u32) -> bool {
+        (h % PERMILLE as u64) < permille.min(PERMILLE) as u64
+    }
+
+    /// Burst length (consecutive failing attempts) for a faulted
+    /// operation identified by draw `h`: `1..=max_fault_burst`.
+    fn burst(&self, h: u64) -> u32 {
+        1 + (mix(h ^ DOMAIN_BURST) % self.config.max_fault_burst.max(1) as u64) as u32
+    }
+
+    /// Does attempt number `attempt` (0-based) of transform operation
+    /// `op` at proxy `proxy` fault? Transient: once `attempt` reaches
+    /// the operation's burst length the fault clears.
+    pub fn proxy_fault(&self, proxy: &str, op: u64, attempt: u32) -> Option<ProxyFault> {
+        let site = hash_site(proxy);
+        let t = self.roll(DOMAIN_PROXY_TIMEOUT, site, op);
+        if Self::hits(t, self.config.proxy_timeout_permille) && attempt < self.burst(t) {
+            return Some(ProxyFault::Timeout);
+        }
+        let e = self.roll(DOMAIN_TRANSFORM_ERROR, site, op);
+        if Self::hits(e, self.config.transform_error_permille) && attempt < self.burst(e) {
+            return Some(ProxyFault::TransformError);
+        }
+        None
+    }
+
+    /// Does attempt `attempt` of upload operation `op` get dropped?
+    pub fn upload_dropped(&self, op: u64, attempt: u32) -> bool {
+        let h = self.roll(DOMAIN_DROP_UPLOAD, 0, op);
+        Self::hits(h, self.config.drop_upload_permille) && attempt < self.burst(h)
+    }
+
+    /// The fault (if any) attached to stored document `doc`. Document
+    /// faults are a property of the document, not of the attempt — a
+    /// poisoned document is poisoned in every scan.
+    pub fn doc_fault(&self, doc: u64) -> Option<DocFault> {
+        let p = self.roll(DOMAIN_DOC_POISONED, doc, 0);
+        if Self::hits(p, self.config.poisoned_doc_permille) {
+            return Some(DocFault::Poisoned);
+        }
+        let f = self.roll(DOMAIN_DOC_FLAKY, doc, 0);
+        if Self::hits(f, self.config.flaky_doc_permille) {
+            return Some(DocFault::Flaky {
+                burst: self.burst(f),
+            });
+        }
+        let s = self.roll(DOMAIN_DOC_SLOW, doc, 0);
+        if Self::hits(s, self.config.slow_doc_permille) {
+            return Some(DocFault::Slow {
+                ticks: self.config.slow_doc_ticks,
+            });
+        }
+        None
+    }
+}
+
+/// Retry with capped exponential backoff and deterministic jitter.
+///
+/// Delays are virtual ticks fed to a [`VirtualClock`]; no code in the
+/// workspace sleeps on them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per operation (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: u64,
+    /// Cap on the exponential component.
+    pub max_delay: u64,
+    /// Upper bound on the additive jitter drawn per retry.
+    pub jitter: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay: 2,
+            max_delay: 16,
+            jitter: 3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Virtual delay before retry number `retry` (0-based: the delay
+    /// between the first failure and the second attempt is `backoff(0,
+    /// …)`). `token` seeds the jitter so concurrent retriers decorrelate
+    /// while staying deterministic.
+    pub fn backoff(&self, retry: u32, token: u64) -> u64 {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u64 << retry.min(20))
+            .min(self.max_delay);
+        let jitter = if self.jitter == 0 {
+            0
+        } else {
+            mix(token ^ DOMAIN_JITTER ^ retry as u64) % (self.jitter + 1)
+        };
+        exp + jitter
+    }
+}
+
+/// A shared monotonic virtual clock, advanced instead of slept on.
+///
+/// Thread-safe: scan workers advance it concurrently; the total after a
+/// run is the sum of all advances and therefore deterministic even under
+/// parallel scans.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    ticks: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock at tick zero.
+    pub fn new() -> VirtualClock {
+        VirtualClock::default()
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Advances by `ticks`; returns the new time.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        self.ticks.fetch_add(ticks, Ordering::Relaxed) + ticks
+    }
+}
+
+/// Everything a resilient operation needs: the schedule, the retry
+/// budget, and the clock to charge delays to.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultContext<'a> {
+    /// The fault schedule consulted before each attempt.
+    pub plan: &'a FaultPlan,
+    /// The retry/backoff budget.
+    pub policy: &'a RetryPolicy,
+    /// The clock backoff delays are charged to.
+    pub clock: &'a VirtualClock,
+}
+
+impl<'a> FaultContext<'a> {
+    /// Bundles the three pieces.
+    pub fn new(
+        plan: &'a FaultPlan,
+        policy: &'a RetryPolicy,
+        clock: &'a VirtualClock,
+    ) -> FaultContext<'a> {
+        FaultContext {
+            plan,
+            policy,
+            clock,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(config: FaultConfig) -> FaultPlan {
+        FaultPlan::new(config)
+    }
+
+    #[test]
+    fn decisions_are_pure_functions() {
+        let p = plan(FaultConfig {
+            seed: 7,
+            proxy_timeout_permille: 300,
+            transform_error_permille: 200,
+            drop_upload_permille: 150,
+            poisoned_doc_permille: 100,
+            flaky_doc_permille: 100,
+            slow_doc_permille: 100,
+            ..FaultConfig::default()
+        });
+        for op in 0..200u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(
+                    p.proxy_fault("proxy-0", op, attempt),
+                    p.proxy_fault("proxy-0", op, attempt)
+                );
+                assert_eq!(p.upload_dropped(op, attempt), p.upload_dropped(op, attempt));
+            }
+            assert_eq!(p.doc_fault(op), p.doc_fault(op));
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_honoured() {
+        let p = plan(FaultConfig {
+            seed: 42,
+            proxy_timeout_permille: 250,
+            ..FaultConfig::default()
+        });
+        let faulted = (0..4000u64)
+            .filter(|&op| p.proxy_fault("proxy-0", op, 0).is_some())
+            .count();
+        // 25% ± generous slack
+        assert!((700..1300).contains(&faulted), "got {faulted}");
+    }
+
+    #[test]
+    fn transient_faults_clear_within_burst() {
+        let p = plan(FaultConfig {
+            seed: 3,
+            transform_error_permille: 1000,
+            max_fault_burst: 3,
+            ..FaultConfig::default()
+        });
+        for op in 0..100u64 {
+            // every op faults at attempt 0 (rate 1000‰)…
+            assert!(p.proxy_fault("px", op, 0).is_some());
+            // …and clears by attempt max_fault_burst
+            assert!(p.proxy_fault("px", op, 3).is_none());
+        }
+    }
+
+    #[test]
+    fn sites_get_independent_streams() {
+        let p = plan(FaultConfig {
+            seed: 9,
+            proxy_timeout_permille: 500,
+            ..FaultConfig::default()
+        });
+        let a: Vec<bool> = (0..256)
+            .map(|op| p.proxy_fault("proxy-a", op, 0).is_some())
+            .collect();
+        let b: Vec<bool> = (0..256)
+            .map(|op| p.proxy_fault("proxy-b", op, 0).is_some())
+            .collect();
+        assert_ne!(a, b, "distinct proxies must not share a fault stream");
+    }
+
+    #[test]
+    fn seeds_change_the_schedule() {
+        let mk = |seed| {
+            let p = plan(FaultConfig {
+                seed,
+                poisoned_doc_permille: 500,
+                ..FaultConfig::default()
+            });
+            (0..256u64)
+                .map(|d| p.doc_fault(d).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn backoff_is_capped_and_jittered_deterministically() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay: 2,
+            max_delay: 16,
+            jitter: 3,
+        };
+        let mut prev_exp = 0;
+        for retry in 0..6 {
+            let d = policy.backoff(retry, 99);
+            assert_eq!(d, policy.backoff(retry, 99), "deterministic");
+            let exp = (2u64 << retry).min(16);
+            assert!(d >= exp.min(16).max(prev_exp.min(16)));
+            assert!(d <= 16 + 3, "capped: {d}");
+            prev_exp = exp;
+        }
+        // different tokens decorrelate jitter
+        let spread: std::collections::HashSet<u64> =
+            (0..32).map(|t| policy.backoff(0, t)).collect();
+        assert!(spread.len() > 1);
+    }
+
+    #[test]
+    fn virtual_clock_accumulates() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c.advance(7), 12);
+        assert_eq!(c.now(), 12);
+    }
+}

@@ -53,6 +53,7 @@
 
 pub mod encoding;
 pub mod error;
+pub mod fault;
 pub mod hierarchy;
 pub mod keyword;
 pub mod parser;
@@ -64,6 +65,9 @@ pub mod schema;
 pub mod scheme;
 
 pub use error::ApksError;
+pub use fault::{
+    DocFault, FaultConfig, FaultContext, FaultPlan, ProxyFault, RetryPolicy, VirtualClock,
+};
 pub use hierarchy::Hierarchy;
 pub use keyword::FieldValue;
 pub use persist::SavedDeployment;

@@ -403,6 +403,66 @@ mod tests {
     }
 
     #[test]
+    fn truncation_at_every_length_yields_structured_errors() {
+        let params = CurveParams::fast();
+        let system = ApksSystem::new(params.clone(), sample_schema());
+        let mut rng = StdRng::seed_from_u64(1603);
+        let (pk, mk) = system.setup_plus(&mut rng);
+        let bytes = SavedDeployment::new_plus(&system, &pk, &mk).to_bytes(&params);
+        // every strict prefix must fail with an error, never a panic: the
+        // decoder either hits UnexpectedEnd mid-field, or finishes early
+        // and trips the trailing/finish check. Exhaustive over the header
+        // and schema region, strided through the (large) key material.
+        let stride = (bytes.len() / 512).max(1);
+        let lens = (0..bytes.len().min(128)).chain((128..bytes.len()).step_by(stride));
+        for len in lens {
+            let err = SavedDeployment::from_bytes(&bytes[..len])
+                .expect_err(&format!("prefix of length {len} decoded"));
+            assert!(
+                matches!(err, ApksError::InvalidRecord(_)),
+                "len {len}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic() {
+        let params = CurveParams::fast();
+        let system = ApksSystem::new(params.clone(), sample_schema());
+        let mut rng = StdRng::seed_from_u64(1604);
+        let (pk, mk) = system.setup_plus(&mut rng);
+        let bytes = SavedDeployment::new_plus(&system, &pk, &mk).to_bytes(&params);
+        // deterministic fuzz: flip bytes across the bundle (stride keeps
+        // the test fast; offsets cover header, schema, keys and blinding)
+        let stride = (bytes.len() / 192).max(1);
+        for pos in (0..bytes.len()).step_by(stride) {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let mut bad = bytes.clone();
+                bad[pos] ^= flip;
+                // must return a structured Result — a panic fails the test
+                let _ = SavedDeployment::from_bytes(&bad);
+            }
+        }
+        // length-prefix corruption: blow up an interior u32 length field
+        // (the curve-label prefix at offset 5) to an absurd value
+        let mut bad = bytes.clone();
+        bad[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(SavedDeployment::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn roundtrip_is_stable_under_reencoding() {
+        let params = CurveParams::fast();
+        let system = ApksSystem::new(params.clone(), sample_schema());
+        let mut rng = StdRng::seed_from_u64(1605);
+        let (pk, mk) = system.setup_plus(&mut rng);
+        let bytes = SavedDeployment::new_plus(&system, &pk, &mk).to_bytes(&params);
+        let (_, loaded) = SavedDeployment::from_bytes(&bytes).unwrap();
+        // decode∘encode is the identity on canonical bytes
+        assert_eq!(loaded.to_bytes(&params), bytes);
+    }
+
+    #[test]
     fn describe_schema_lists_fields() {
         let lines = describe_schema(&sample_schema());
         assert_eq!(lines.len(), 2);

@@ -21,6 +21,10 @@ use parking_lot::Mutex;
 use rand::Rng;
 use std::collections::HashMap;
 
+pub mod resilient;
+
+pub use resilient::IngestStats;
+
 /// Proxy-layer errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProxyError {
@@ -29,6 +33,15 @@ pub enum ProxyError {
     RateLimited {
         /// The client that tripped the limiter.
         client: String,
+    },
+    /// A chain stage stayed faulted through the whole retry budget and
+    /// every standby holding the same unblinding share; the partial
+    /// ciphertext cannot be recomposed.
+    Unavailable {
+        /// The stage's primary proxy.
+        proxy: String,
+        /// Transform attempts spent across the stage before giving up.
+        attempts: u32,
     },
     /// The underlying APKS evaluation failed (deployment mismatch, …).
     Apks(apks_core::ApksError),
@@ -41,6 +54,12 @@ impl fmt::Display for ProxyError {
                 write!(
                     f,
                     "client {client:?} exceeded the transformation rate limit"
+                )
+            }
+            ProxyError::Unavailable { proxy, attempts } => {
+                write!(
+                    f,
+                    "proxy stage {proxy:?} unavailable after {attempts} attempts"
                 )
             }
             ProxyError::Apks(e) => write!(f, "apks error: {e}"),
@@ -134,9 +153,18 @@ impl ProxyServer {
 }
 
 /// An ordered deployment of one or more proxies.
+///
+/// Each *stage* of the chain holds one unblinding share `rᵢ⁻¹`; a
+/// partial ciphertext must pass through every stage (any order) before
+/// it is searchable. A stage may be replicated: standbys hold the *same*
+/// share, which is what lets the resilient ingest path route around a
+/// dead primary — the product `Π rᵢ⁻¹` still recomposes to `r⁻¹`.
 #[derive(Debug)]
 pub struct ProxyChain {
     proxies: Vec<ProxyServer>,
+    /// `standbys[i]` — replicas of stage `i`'s share, tried in order
+    /// when the primary exhausts its retry budget.
+    standbys: Vec<Vec<ProxyServer>>,
 }
 
 impl ProxyChain {
@@ -152,24 +180,59 @@ impl ProxyChain {
         window: u64,
         rng: &mut R,
     ) -> ProxyChain {
-        let shares = split_blinding(mk.blinding, count, rng);
-        let proxies = shares
-            .into_iter()
-            .enumerate()
-            .map(|(i, share)| {
-                ProxyServer::new(
-                    format!("proxy-{i}"),
-                    share,
-                    RateLimiter::new(max_per_window, window),
-                )
-            })
-            .collect();
-        ProxyChain { proxies }
+        Self::provision_replicated(mk, count, 0, max_per_window, window, rng)
     }
 
-    /// The proxies in the chain.
+    /// Provisions a chain of `count` stages with `standbys` extra
+    /// replicas per stage, each replica holding the stage's share behind
+    /// its own rate limiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn provision_replicated<R: Rng + ?Sized>(
+        mk: &ApksPlusMasterKey,
+        count: usize,
+        standbys: usize,
+        max_per_window: usize,
+        window: u64,
+        rng: &mut R,
+    ) -> ProxyChain {
+        let shares = split_blinding(mk.blinding, count, rng);
+        let mut proxies = Vec::with_capacity(count);
+        let mut standby_stages = Vec::with_capacity(count);
+        for (i, share) in shares.into_iter().enumerate() {
+            proxies.push(ProxyServer::new(
+                format!("proxy-{i}"),
+                share,
+                RateLimiter::new(max_per_window, window),
+            ));
+            standby_stages.push(
+                (0..standbys)
+                    .map(|j| {
+                        ProxyServer::new(
+                            format!("proxy-{i}.s{j}"),
+                            share,
+                            RateLimiter::new(max_per_window, window),
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        ProxyChain {
+            proxies,
+            standbys: standby_stages,
+        }
+    }
+
+    /// The primary proxies, one per stage.
     pub fn proxies(&self) -> &[ProxyServer] {
         &self.proxies
+    }
+
+    /// Stage `i`'s standby replicas.
+    pub fn standbys(&self, stage: usize) -> &[ProxyServer] {
+        &self.standbys[stage]
     }
 
     /// Sends a partial index through every proxy in order.
@@ -357,5 +420,54 @@ mod tests {
         assert!(rl.allow("a", 5));
         assert!(!rl.allow("a", 9));
         assert!(rl.allow("a", 10)); // new window
+    }
+
+    #[test]
+    fn rate_limiter_exact_fill() {
+        // exactly max_per_window requests fit; request max+1 is denied
+        // even at the window's last tick
+        let rl = RateLimiter::new(3, 10);
+        for now in [0, 3, 9] {
+            assert!(rl.allow("a", now));
+        }
+        assert!(!rl.allow("a", 9));
+        // denied attempts must not consume budget in the next window
+        assert!(rl.allow("a", 10));
+    }
+
+    #[test]
+    fn rate_limiter_rollover_at_window_boundary() {
+        // `now == window` is the first tick of the *second* window: the
+        // budget must refresh there, not one tick later
+        let rl = RateLimiter::new(1, 10);
+        assert!(rl.allow("a", 9));
+        assert!(rl.allow("a", 10), "tick `window` starts a fresh window");
+        assert!(!rl.allow("a", 19), "still inside the second window");
+        assert!(rl.allow("a", 20));
+    }
+
+    #[test]
+    fn rate_limiter_multi_client_isolation() {
+        let rl = RateLimiter::new(1, 10);
+        assert!(rl.allow("a", 0));
+        assert!(!rl.allow("a", 1));
+        // b's budget is untouched by a's exhaustion, in the same window
+        assert!(rl.allow("b", 1));
+        assert!(!rl.allow("b", 2));
+        // windows roll over per client, keyed by the same clock
+        assert!(rl.allow("a", 10));
+        assert!(rl.allow("b", 10));
+    }
+
+    #[test]
+    fn rate_limiter_degenerate_configs() {
+        // zero budget: everything denied
+        let rl = RateLimiter::new(0, 10);
+        assert!(!rl.allow("a", 0));
+        // zero-width window is clamped to 1 tick: every tick refreshes
+        let rl = RateLimiter::new(1, 0);
+        assert!(rl.allow("a", 0));
+        assert!(!rl.allow("a", 0));
+        assert!(rl.allow("a", 1));
     }
 }

@@ -1,0 +1,341 @@
+//! Resilient ingest: retry/backoff and share-replica failover around the
+//! proxy hop.
+//!
+//! [`ProxyChain::ingest`] assumes every proxy answers, every time. This
+//! module is the availability story for the hop: each transform attempt
+//! first consults a deterministic [`FaultPlan`]; injected timeouts and
+//! transient transform errors are retried under a [`RetryPolicy`] with
+//! capped exponential backoff + jitter charged to a [`VirtualClock`]
+//! (never a real sleep). When a stage's primary stays faulted through
+//! the whole budget, ingest fails over to standby replicas holding the
+//! *same* unblinding share — the blinding recomposes because the share
+//! product is unchanged — and only when every replica of a stage is
+//! exhausted does the caller see [`ProxyError::Unavailable`].
+//!
+//! Faults are injected strictly *around* `ProxyEnc`: a faulted attempt
+//! performs no transform at all, so the cryptography is untouched and a
+//! recovered ingest is byte-for-byte the ingest that would have happened
+//! without faults.
+
+use crate::{ProxyChain, ProxyError, ProxyServer};
+use apks_core::fault::FaultContext;
+use apks_core::{ApksSystem, EncryptedIndex};
+
+/// Accounting for one resilient ingest.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Transform attempts across all stages (faulted + successful).
+    pub attempts: u32,
+    /// Attempts beyond the first per proxy (i.e. retries after a fault).
+    pub retries: u32,
+    /// Standby activations after a primary exhausted its budget.
+    pub failovers: u32,
+    /// Virtual backoff ticks charged to the clock.
+    pub delay_ticks: u64,
+}
+
+/// What one proxy did with the operation.
+enum AttemptOutcome {
+    /// Transform succeeded.
+    Done(EncryptedIndex),
+    /// The proxy stayed faulted for the whole retry budget.
+    Dead,
+}
+
+impl ProxyChain {
+    /// Retries `proxy.transform` under `ctx`'s plan and policy. Faulted
+    /// attempts consume no rate-limiter budget (the request never
+    /// completes); the successful attempt is a plain [`ProxyServer::transform`]
+    /// at the clock's current virtual time.
+    fn attempt_transform(
+        proxy: &ProxyServer,
+        system: &ApksSystem,
+        client: &str,
+        index: &EncryptedIndex,
+        ctx: &FaultContext<'_>,
+        op: u64,
+        stats: &mut IngestStats,
+    ) -> Result<AttemptOutcome, ProxyError> {
+        for attempt in 0..ctx.policy.max_attempts {
+            stats.attempts += 1;
+            if ctx.plan.proxy_fault(proxy.id(), op, attempt).is_some() {
+                if attempt + 1 < ctx.policy.max_attempts {
+                    stats.retries += 1;
+                    let delay = ctx.policy.backoff(attempt, op);
+                    stats.delay_ticks += delay;
+                    ctx.clock.advance(delay);
+                }
+                continue;
+            }
+            let now = ctx.clock.now();
+            return proxy
+                .transform(system, client, now, index)
+                .map(AttemptOutcome::Done);
+        }
+        Ok(AttemptOutcome::Dead)
+    }
+
+    /// Sends a partial index through every stage, retrying injected
+    /// faults and failing over to stage standbys. The rate limiter sees
+    /// the virtual clock's time.
+    ///
+    /// `op` identifies the operation in the fault schedule — callers use
+    /// a per-upload counter so each ingest draws its own faults.
+    ///
+    /// # Errors
+    ///
+    /// [`ProxyError::Unavailable`] when a stage (primary + all standbys)
+    /// stays faulted through the retry budget;
+    /// [`ProxyError::RateLimited`] when a proxy's probe-response defence
+    /// trips (not retried — it is an intentional denial, not a fault).
+    pub fn ingest_resilient(
+        &self,
+        system: &ApksSystem,
+        client: &str,
+        index: &EncryptedIndex,
+        ctx: &FaultContext<'_>,
+        op: u64,
+    ) -> Result<(EncryptedIndex, IngestStats), ProxyError> {
+        let mut stats = IngestStats::default();
+        let mut ct = index.clone();
+        for (stage, primary) in self.proxies.iter().enumerate() {
+            let mut transformed = None;
+            for (rank, proxy) in std::iter::once(primary)
+                .chain(self.standbys[stage].iter())
+                .enumerate()
+            {
+                if rank > 0 {
+                    stats.failovers += 1;
+                }
+                match Self::attempt_transform(proxy, system, client, &ct, ctx, op, &mut stats)? {
+                    AttemptOutcome::Done(next) => {
+                        transformed = Some(next);
+                        break;
+                    }
+                    AttemptOutcome::Dead => continue,
+                }
+            }
+            ct = transformed.ok_or_else(|| ProxyError::Unavailable {
+                proxy: primary.id().to_string(),
+                attempts: stats.attempts,
+            })?;
+        }
+        Ok((ct, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apks_core::fault::{FaultConfig, FaultPlan, RetryPolicy, VirtualClock};
+    use apks_core::{FieldValue, Query, QueryPolicy, Record, Schema};
+    use apks_curve::CurveParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn system() -> ApksSystem {
+        let schema = Schema::builder().flat_field("kw", 1).build().unwrap();
+        ApksSystem::new(CurveParams::fast(), schema)
+    }
+
+    struct Fixture {
+        sys: ApksSystem,
+        pk: apks_core::ApksPublicKey,
+        cap: apks_core::Capability,
+        partial: EncryptedIndex,
+        chain: ProxyChain,
+    }
+
+    fn fixture(seed: u64, stages: usize, standbys: usize) -> Fixture {
+        let sys = system();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (pk, mk) = sys.setup_plus(&mut rng);
+        let chain =
+            ProxyChain::provision_replicated(&mk, stages, standbys, 10_000, 1_000, &mut rng);
+        let cap = sys
+            .gen_cap(
+                &pk,
+                &mk.inner,
+                &Query::new().equals("kw", "x"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let partial = sys
+            .gen_partial_index(&pk, &Record::new(vec![FieldValue::text("x")]), &mut rng)
+            .unwrap();
+        Fixture {
+            sys,
+            pk,
+            cap,
+            partial,
+            chain,
+        }
+    }
+
+    #[test]
+    fn fault_free_resilient_ingest_equals_plain_ingest_semantics() {
+        let f = fixture(2000, 2, 0);
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let (full, stats) = f
+            .chain
+            .ingest_resilient(&f.sys, "o", &f.partial, &ctx, 0)
+            .unwrap();
+        assert!(f.sys.search(&f.pk, &f.cap, &full).unwrap());
+        assert_eq!(stats.retries, 0);
+        assert_eq!(stats.failovers, 0);
+        assert_eq!(stats.attempts, 2);
+        assert_eq!(clock.now(), 0, "no faults, no backoff");
+    }
+
+    #[test]
+    fn transient_faults_recover_within_budget() {
+        let f = fixture(2001, 2, 0);
+        // every op faults, but bursts (≤2) stay under the budget (4)
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 5,
+            proxy_timeout_permille: 1000,
+            max_fault_burst: 2,
+            ..FaultConfig::default()
+        });
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let (full, stats) = f
+            .chain
+            .ingest_resilient(&f.sys, "o", &f.partial, &ctx, 7)
+            .unwrap();
+        assert!(f.sys.search(&f.pk, &f.cap, &full).unwrap());
+        assert!(stats.retries >= 2, "both stages faulted at least once");
+        assert_eq!(stats.failovers, 0);
+        assert!(clock.now() > 0, "backoff charged to the virtual clock");
+        assert_eq!(stats.delay_ticks, clock.now());
+    }
+
+    #[test]
+    fn dead_primary_fails_over_to_standby_share() {
+        let f = fixture(2002, 1, 1);
+        // bursts can reach 8 > max_attempts: some ops kill the primary
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 11,
+            proxy_timeout_permille: 1000,
+            max_fault_burst: 8,
+            ..FaultConfig::default()
+        });
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        // find an op where the primary is dead but its standby recovers
+        let mut exercised = false;
+        for op in 0..64u64 {
+            let primary_dead =
+                (0..policy.max_attempts).all(|a| plan.proxy_fault("proxy-0", op, a).is_some());
+            let standby_alive =
+                (0..policy.max_attempts).any(|a| plan.proxy_fault("proxy-0.s0", op, a).is_none());
+            if primary_dead && standby_alive {
+                let (full, stats) = f
+                    .chain
+                    .ingest_resilient(&f.sys, "o", &f.partial, &ctx, op)
+                    .unwrap();
+                assert!(
+                    f.sys.search(&f.pk, &f.cap, &full).unwrap(),
+                    "standby share recomposes the blinding"
+                );
+                assert_eq!(stats.failovers, 1);
+                exercised = true;
+                break;
+            }
+        }
+        assert!(exercised, "no op exercised the failover path");
+    }
+
+    #[test]
+    fn unavailable_only_after_budget_and_standbys_exhausted() {
+        let f = fixture(2003, 1, 1);
+        // permanent faults everywhere: burst 100 ≫ any budget
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 1,
+            proxy_timeout_permille: 1000,
+            max_fault_burst: 100,
+            ..FaultConfig::default()
+        });
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let err = f
+            .chain
+            .ingest_resilient(&f.sys, "o", &f.partial, &ctx, 0)
+            .unwrap_err();
+        match err {
+            ProxyError::Unavailable { proxy, attempts } => {
+                assert_eq!(proxy, "proxy-0");
+                // primary + one standby, 3 attempts each
+                assert_eq!(attempts, 6);
+            }
+            other => panic!("expected Unavailable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rate_limit_is_not_retried() {
+        let sys = system();
+        let mut rng = StdRng::seed_from_u64(2004);
+        let (pk, mk) = sys.setup_plus(&mut rng);
+        let chain = ProxyChain::provision(&mk, 1, 1, 1_000, &mut rng);
+        let partial = sys
+            .gen_partial_index(&pk, &Record::new(vec![FieldValue::text("x")]), &mut rng)
+            .unwrap();
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        chain
+            .ingest_resilient(&sys, "prober", &partial, &ctx, 0)
+            .unwrap();
+        let err = chain
+            .ingest_resilient(&sys, "prober", &partial, &ctx, 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProxyError::RateLimited {
+                client: "prober".into()
+            }
+        );
+    }
+
+    #[test]
+    fn resilient_ingest_is_deterministic() {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 77,
+            proxy_timeout_permille: 400,
+            transform_error_permille: 300,
+            max_fault_burst: 3,
+            ..FaultConfig::default()
+        });
+        let policy = RetryPolicy::default();
+        let run = || {
+            let f = fixture(2005, 2, 1);
+            let clock = VirtualClock::new();
+            let ctx = FaultContext::new(&plan, &policy, &clock);
+            let mut all_stats = Vec::new();
+            for op in 0..16u64 {
+                let (_, stats) = f
+                    .chain
+                    .ingest_resilient(&f.sys, "o", &f.partial, &ctx, op)
+                    .unwrap();
+                all_stats.push(stats);
+            }
+            (all_stats, clock.now())
+        };
+        assert_eq!(run(), run());
+    }
+}

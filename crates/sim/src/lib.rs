@@ -18,6 +18,7 @@ use apks_authz::{
     AttributeDirectory, AuthzError, Eligibility, EligibilityRules, Lta, TrustedAuthority,
 };
 use apks_cloud::CloudServer;
+use apks_core::fault::{FaultConfig, FaultContext, FaultPlan, RetryPolicy, VirtualClock};
 use apks_core::revocation::{with_period, Date};
 use apks_core::{ApksSystem, FieldValue, Query, QueryPolicy, Record};
 use apks_curve::CurveParams;
@@ -42,8 +43,15 @@ pub struct SimConfig {
     pub queries_per_day: usize,
     /// APKS⁺ mode with this many proxies (0 = plain APKS).
     pub proxies: usize,
+    /// Standby replicas per proxy stage (share-replicated failover
+    /// targets; only meaningful with `proxies > 0`).
+    pub proxy_standbys: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Deterministic fault schedule; `None` runs fault-free.
+    pub faults: Option<FaultConfig>,
+    /// Retry/backoff budget used when faults are injected.
+    pub retry: RetryPolicy,
 }
 
 impl Default for SimConfig {
@@ -55,7 +63,10 @@ impl Default for SimConfig {
             uploads_per_day: 3,
             queries_per_day: 3,
             proxies: 0,
+            proxy_standbys: 0,
             seed: 1,
+            faults: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -77,6 +88,29 @@ pub struct SimReport {
     pub scanned: usize,
     /// Searches run with an expired window (must match nothing new).
     pub stale_searches: usize,
+    /// Searches that had to skip faulted documents.
+    pub degraded_searches: usize,
+    /// Documents skipped across all searches (each one also counted in
+    /// the per-search `SearchStats`, never silently dropped).
+    pub faulted_docs: usize,
+    /// Evaluation retries performed by degraded scans.
+    pub search_retries: usize,
+    /// Proxy transform retries performed by resilient ingest.
+    pub ingest_retries: usize,
+    /// Standby activations after a primary proxy exhausted its budget.
+    pub ingest_failovers: usize,
+    /// Uploads that never reached the store: the proxy stage stayed
+    /// unavailable through primary + standbys.
+    pub unavailable_uploads: usize,
+    /// Upload attempts dropped in flight (each retried).
+    pub dropped_uploads: usize,
+    /// Uploads lost for good after the drop-retry budget ran out.
+    pub lost_uploads: usize,
+    /// Final virtual-clock reading (total backoff + injected latency).
+    pub virtual_ticks: u64,
+    /// Each search's sorted match set, in execution order — the ground
+    /// truth the chaos suite compares across runs.
+    pub search_hits: Vec<Vec<u64>>,
     /// Wall-clock spent encrypting + ingesting.
     pub ingest_time: Duration,
     /// Wall-clock spent issuing capabilities.
@@ -103,6 +137,45 @@ impl SimReport {
             self.ingest_time / self.uploads as u32
         }
     }
+
+    /// Canonical byte encoding of every *deterministic* field — all
+    /// counters and every search's match set, in a fixed order, as
+    /// little-endian `u64`s. Wall-clock durations are excluded by
+    /// design: they are the only nondeterministic fields, and the chaos
+    /// suite asserts byte-identity of this encoding across same-seed
+    /// runs.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let counters = [
+            self.uploads as u64,
+            self.denied as u64,
+            self.issued as u64,
+            self.searches as u64,
+            self.matches as u64,
+            self.scanned as u64,
+            self.stale_searches as u64,
+            self.degraded_searches as u64,
+            self.faulted_docs as u64,
+            self.search_retries as u64,
+            self.ingest_retries as u64,
+            self.ingest_failovers as u64,
+            self.unavailable_uploads as u64,
+            self.dropped_uploads as u64,
+            self.lost_uploads as u64,
+            self.virtual_ticks,
+            self.search_hits.len() as u64,
+        ];
+        for v in counters {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for hits in &self.search_hits {
+            out.extend_from_slice(&(hits.len() as u64).to_le_bytes());
+            for &id in hits {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        out
+    }
 }
 
 struct SimUser {
@@ -122,6 +195,8 @@ pub struct Simulation {
     chain: Option<ProxyChain>,
     users: Vec<SimUser>,
     rng: StdRng,
+    plan: Option<FaultPlan>,
+    clock: VirtualClock,
 }
 
 impl Simulation {
@@ -141,7 +216,14 @@ impl Simulation {
         // we need the blinded variant, so assemble manually.
         let (ta, chain) = if plus {
             let (pk, mk) = system.setup_plus(&mut rng);
-            let chain = ProxyChain::provision(&mk, config.proxies, 10_000, 1_000_000, &mut rng);
+            let chain = ProxyChain::provision_replicated(
+                &mk,
+                config.proxies,
+                config.proxy_standbys,
+                10_000,
+                1_000_000,
+                &mut rng,
+            );
             let ta = TrustedAuthority::from_parts(system.clone(), pk, mk.inner, &mut rng);
             (ta, Some(chain))
         } else {
@@ -187,6 +269,7 @@ impl Simulation {
             server.register_authority(lta.id());
         }
 
+        let plan = config.faults.clone().map(FaultPlan::new);
         Ok(Simulation {
             config,
             system: ta.system().clone(),
@@ -196,6 +279,8 @@ impl Simulation {
             chain,
             users,
             rng,
+            plan,
+            clock: VirtualClock::new(),
         })
     }
 
@@ -229,21 +314,73 @@ impl Simulation {
     pub fn run(mut self) -> Result<SimReport, AuthzError> {
         let mut report = SimReport::default();
         let pk = self.ta.public_key().clone();
+        let mut upload_op: u64 = 0;
         for day in 0..self.config.days {
             // ---- uploads ------------------------------------------------
             for u in 0..self.config.uploads_per_day {
                 let owner = format!("owner-{}", (day + u) % self.config.owners);
                 let record = self.random_record(day);
+                let op = upload_op;
+                upload_op += 1;
                 let t = Instant::now();
                 let mut idx = self.system.gen_index(&pk, &record, &mut self.rng)?;
-                if let Some(chain) = &self.chain {
-                    idx = chain
-                        .ingest(&self.system, &owner, day as u64, &idx)
-                        .expect("simulated owners stay under the rate limit");
-                }
-                self.server.upload(idx);
-                report.ingest_time += t.elapsed();
                 report.uploads += 1;
+                // proxy hop — resilient when a fault schedule is active
+                if let Some(chain) = &self.chain {
+                    match &self.plan {
+                        Some(plan) => {
+                            let ctx = FaultContext::new(plan, &self.config.retry, &self.clock);
+                            match chain.ingest_resilient(&self.system, &owner, &idx, &ctx, op) {
+                                Ok((full, stats)) => {
+                                    idx = full;
+                                    report.ingest_retries += stats.retries as usize;
+                                    report.ingest_failovers += stats.failovers as usize;
+                                }
+                                Err(apks_proxy::ProxyError::Unavailable { .. }) => {
+                                    // the record never becomes searchable;
+                                    // counted, not hidden
+                                    report.unavailable_uploads += 1;
+                                    report.ingest_time += t.elapsed();
+                                    continue;
+                                }
+                                Err(e) => {
+                                    panic!("simulated owners stay under the rate limit: {e}")
+                                }
+                            }
+                        }
+                        None => {
+                            idx = chain
+                                .ingest(&self.system, &owner, day as u64, &idx)
+                                .expect("simulated owners stay under the rate limit");
+                        }
+                    }
+                }
+                // cloud upload — dropped attempts are retried with backoff
+                let stored = match &self.plan {
+                    Some(plan) => {
+                        let retry = &self.config.retry;
+                        let mut stored = false;
+                        for attempt in 0..retry.max_attempts {
+                            if plan.upload_dropped(op, attempt) {
+                                report.dropped_uploads += 1;
+                                if attempt + 1 < retry.max_attempts {
+                                    self.clock.advance(retry.backoff(attempt, op));
+                                }
+                                continue;
+                            }
+                            stored = true;
+                            break;
+                        }
+                        stored
+                    }
+                    None => true,
+                };
+                if stored {
+                    self.server.upload(idx);
+                } else {
+                    report.lost_uploads += 1;
+                }
+                report.ingest_time += t.elapsed();
             }
 
             // ---- capability requests + searches -------------------------
@@ -260,7 +397,22 @@ impl Simulation {
                         report.issue_time += t.elapsed();
                         report.issued += 1;
                         let t = Instant::now();
-                        let (hits, stats) = self.server.search(&cap).expect("registered issuer");
+                        let (hits, stats) = match &self.plan {
+                            Some(plan) => {
+                                let ctx = FaultContext::new(plan, &self.config.retry, &self.clock);
+                                let d = self
+                                    .server
+                                    .search_degraded(&cap, 1, &ctx)
+                                    .expect("registered issuer");
+                                if d.stats.degraded {
+                                    report.degraded_searches += 1;
+                                }
+                                report.faulted_docs += d.stats.faulted_docs;
+                                report.search_retries += d.stats.retries;
+                                (d.matches, d.stats)
+                            }
+                            None => self.server.search(&cap).expect("registered issuer"),
+                        };
                         report.search_time += t.elapsed();
                         report.searches += 1;
                         report.scanned += stats.scanned;
@@ -271,6 +423,7 @@ impl Simulation {
                             // anything uploaded during the run
                             assert!(hits.is_empty(), "stale capability must not see fresh data");
                         }
+                        report.search_hits.push(hits);
                     }
                     Err(AuthzError::NotEligible { .. }) => {
                         report.denied += 1;
@@ -279,6 +432,7 @@ impl Simulation {
                 }
             }
         }
+        report.virtual_ticks = self.clock.now();
         Ok(report)
     }
 
@@ -357,6 +511,38 @@ mod tests {
         assert_eq!(report.uploads, 4);
         // stale-window assertion inside run() also guards correctness
         assert!(report.issued + report.denied == 4);
+    }
+
+    #[test]
+    fn faulted_simulation_accounts_and_stays_deterministic() {
+        let cfg = SimConfig {
+            days: 2,
+            uploads_per_day: 2,
+            queries_per_day: 2,
+            proxies: 2,
+            proxy_standbys: 1,
+            seed: 9,
+            faults: Some(apks_core::fault::FaultConfig {
+                seed: 9,
+                proxy_timeout_permille: 300,
+                transform_error_permille: 200,
+                poisoned_doc_permille: 200,
+                flaky_doc_permille: 200,
+                slow_doc_permille: 200,
+                drop_upload_permille: 200,
+                max_fault_burst: 2,
+                ..apks_core::fault::FaultConfig::default()
+            }),
+            ..SimConfig::default()
+        };
+        let a = Simulation::new(cfg.clone()).unwrap().run().unwrap();
+        let b = Simulation::new(cfg).unwrap().run().unwrap();
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        assert_eq!(a.uploads, 4);
+        // bursts (≤2) stay under the retry budget (4): nothing is lost
+        assert_eq!(a.lost_uploads, 0);
+        assert_eq!(a.unavailable_uploads, 0);
+        assert!(a.virtual_ticks > 0, "faults must charge the virtual clock");
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Chaos run: the workload simulation under a seeded fault plan, with a
+//! fault-free reference run for comparison.
+//!
+//! ```text
+//! cargo run --release --example chaos
+//! APKS_CHAOS_SEED=9 APKS_CHAOS_TIMEOUT=300 cargo run --release --example chaos
+//! ```
+//!
+//! Knobs (all permille rates): `APKS_CHAOS_SEED`, `APKS_CHAOS_TIMEOUT`,
+//! `APKS_CHAOS_XFORM`, `APKS_CHAOS_DROP`, `APKS_CHAOS_POISON`,
+//! `APKS_CHAOS_FLAKY`, `APKS_CHAOS_SLOW`, `APKS_CHAOS_BURST`, plus the
+//! `APKS_SIM_*` workload knobs of the `simulation` example.
+
+use apks_core::fault::FaultConfig;
+use apks_sim::{SimConfig, Simulation};
+
+fn env(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = SimConfig {
+        owners: env("APKS_SIM_OWNERS", 8),
+        users: env("APKS_SIM_USERS", 6),
+        days: env("APKS_SIM_DAYS", 3),
+        uploads_per_day: env("APKS_SIM_UPLOADS", 3),
+        queries_per_day: env("APKS_SIM_QUERIES", 3),
+        proxies: env("APKS_SIM_PROXIES", 2),
+        proxy_standbys: env("APKS_SIM_STANDBYS", 1),
+        seed: env("APKS_SIM_SEED", 1) as u64,
+        ..SimConfig::default()
+    };
+    let faults = FaultConfig {
+        seed: env("APKS_CHAOS_SEED", 7) as u64,
+        proxy_timeout_permille: env("APKS_CHAOS_TIMEOUT", 200) as u32,
+        transform_error_permille: env("APKS_CHAOS_XFORM", 100) as u32,
+        drop_upload_permille: env("APKS_CHAOS_DROP", 100) as u32,
+        poisoned_doc_permille: env("APKS_CHAOS_POISON", 100) as u32,
+        flaky_doc_permille: env("APKS_CHAOS_FLAKY", 200) as u32,
+        slow_doc_permille: env("APKS_CHAOS_SLOW", 200) as u32,
+        max_fault_burst: env("APKS_CHAOS_BURST", 2) as u32,
+        ..FaultConfig::default()
+    };
+    println!(
+        "workload: {} days × ({} uploads + {} queries), {} proxies (+{} standbys each)",
+        base.days, base.uploads_per_day, base.queries_per_day, base.proxies, base.proxy_standbys
+    );
+    println!("fault plan: {faults:?}");
+    println!();
+
+    let free = Simulation::new(base.clone())?.run()?;
+    let chaos_cfg = SimConfig {
+        faults: Some(faults),
+        ..base
+    };
+    let chaos = Simulation::new(chaos_cfg)?.run()?;
+
+    println!("                      fault-free     under faults");
+    println!(
+        "uploads stored:       {:>10}     {:>12}",
+        free.uploads - free.lost_uploads - free.unavailable_uploads,
+        chaos.uploads - chaos.lost_uploads - chaos.unavailable_uploads
+    );
+    println!(
+        "matches returned:     {free:>10}     {chaos:>12}",
+        free = free.matches,
+        chaos = chaos.matches
+    );
+    println!(
+        "mean ingest:          {:>10?}     {:>12?}",
+        free.per_upload(),
+        chaos.per_upload()
+    );
+    println!(
+        "mean per-index scan:  {:>10?}     {:>12?}",
+        free.per_index_search(),
+        chaos.per_index_search()
+    );
+    println!();
+    println!("chaos accounting:");
+    println!("  ingest retries:      {}", chaos.ingest_retries);
+    println!("  ingest failovers:    {}", chaos.ingest_failovers);
+    println!("  dropped uploads:     {} (retried)", chaos.dropped_uploads);
+    println!("  lost uploads:        {}", chaos.lost_uploads);
+    println!("  unavailable uploads: {}", chaos.unavailable_uploads);
+    println!("  search retries:      {}", chaos.search_retries);
+    println!(
+        "  degraded searches:   {} ({} docs skipped, all accounted)",
+        chaos.degraded_searches, chaos.faulted_docs
+    );
+    println!("  virtual ticks:       {}", chaos.virtual_ticks);
+    // document ids are only comparable across the two runs when no
+    // upload was lost (ids are assigned at store time)
+    if chaos.lost_uploads == 0 && chaos.unavailable_uploads == 0 {
+        let subset = chaos
+            .search_hits
+            .iter()
+            .zip(&free.search_hits)
+            .all(|(c, f)| c.iter().all(|id| f.contains(id)));
+        println!();
+        println!(
+            "result sets under faults ⊆ fault-free result sets: {}",
+            if subset { "yes" } else { "NO — BUG" }
+        );
+    }
+    Ok(())
+}

@@ -24,6 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         queries_per_day: env("APKS_SIM_QUERIES", 3),
         proxies: env("APKS_SIM_PROXIES", 0),
         seed: env("APKS_SIM_SEED", 1) as u64,
+        ..SimConfig::default()
     };
     println!(
         "simulating {} days: {} owners, {} users, {} uploads/day, {} queries/day, {} proxies",

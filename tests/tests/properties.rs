@@ -132,6 +132,92 @@ proptest! {
     }
 }
 
+/// The proxy pipeline is transparent: for random schemas, records and
+/// queries, `ProxyChain::ingest_and_search` over partial indexes returns
+/// exactly what a direct (non-proxy) evaluation of the fully transformed
+/// index returns — which in turn equals plaintext query semantics — and
+/// the result is invariant under shuffling the order the proxies are
+/// applied in (the unblinding shares commute).
+#[cfg(test)]
+mod proxy_pipeline {
+    use super::*;
+    use apks_core::{ApksSystem, QueryPolicy};
+    use apks_curve::CurveParams;
+    use apks_proxy::ProxyChain;
+    use rand::seq::SliceRandom;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn ingest_and_search_equals_direct_search_under_shuffled_proxy_order(
+            field_count in 1usize..3,
+            proxies in 1usize..4,
+            record_words in prop::collection::vec(0usize..3, 1..4),
+            query_word in 0usize..3,
+            seed in any::<u64>(),
+        ) {
+            const WORDS: [&str; 3] = ["alpha", "beta", "gamma"];
+            let mut b = Schema::builder();
+            for i in 0..field_count {
+                b = b.flat_field(format!("f{i}"), 1);
+            }
+            let schema = b.build().unwrap();
+            let sys = ApksSystem::new(CurveParams::fast(), schema.clone());
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (pk, mk) = sys.setup_plus(&mut rng);
+            let chain = ProxyChain::provision(&mk, proxies, 1000, 60, &mut rng);
+            let query = Query::new().equals("f0", WORDS[query_word]);
+            let cap = sys
+                .gen_cap(&pk, &mk.inner, &query, &QueryPolicy::default(), &mut rng)
+                .unwrap();
+
+            // one partial index per record, padded/truncated to the schema
+            let batch: Vec<_> = record_words
+                .iter()
+                .map(|&w| {
+                    let values: Vec<FieldValue> = (0..field_count)
+                        .map(|i| FieldValue::text(WORDS[(w + i) % WORDS.len()]))
+                        .collect();
+                    let rec = Record::new(values);
+                    let idx = sys.gen_partial_index(&pk, &rec, &mut rng).unwrap();
+                    let expected = query.matches_record(&schema, &rec).unwrap();
+                    (idx, expected)
+                })
+                .collect();
+
+            let results = chain
+                .ingest_and_search(
+                    &sys,
+                    &pk,
+                    &cap,
+                    "owner",
+                    0,
+                    &batch.iter().map(|(idx, _)| idx.clone()).collect::<Vec<_>>(),
+                )
+                .unwrap();
+            prop_assert_eq!(results.len(), batch.len());
+
+            let mut order: Vec<usize> = (0..proxies).collect();
+            order.shuffle(&mut rng);
+            for ((partial, expected), (full, hit)) in batch.iter().zip(&results) {
+                // pipeline verdict equals plaintext query semantics
+                prop_assert_eq!(*hit, *expected);
+                // and equals the direct evaluation of the transformed index
+                prop_assert_eq!(sys.search(&pk, &cap, full).unwrap(), *expected);
+                // shuffled proxy order transforms to an equivalent index
+                let mut ct = partial.clone();
+                for &p in &order {
+                    ct = chain.proxies()[p]
+                        .transform(&sys, "owner", 0, &ct)
+                        .unwrap();
+                }
+                prop_assert_eq!(sys.search(&pk, &cap, &ct).unwrap(), *expected);
+            }
+        }
+    }
+}
+
 /// Schema digests must differ whenever schemas differ structurally.
 #[test]
 fn schema_digest_distinguishes() {
