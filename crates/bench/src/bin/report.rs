@@ -23,6 +23,12 @@ use std::time::Duration;
 
 fn main() {
     let params = bench_params();
+    // CI runs just the telemetry section to produce the snapshot
+    // artifact without paying for the full evaluation grid.
+    if std::env::var("APKS_METRICS_ONLY").as_deref() == Ok("1") {
+        metrics_section(&params);
+        return;
+    }
     let grid_len: usize = std::env::var("APKS_GRID")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -341,6 +347,72 @@ fn main() {
     println!("shape check: APKS loses setup/encrypt/capability, wins search — matching §VII.");
 
     resilience_section(&params);
+    metrics_section(&params);
+}
+
+/// Scan telemetry: runs plain and prepared corpus scans over a seeded
+/// corpus, prints the server's metrics snapshot, cross-checks the
+/// measured pairing counter against the legacy `SearchStats`
+/// accounting, and writes the JSON artifact CI uploads
+/// (`APKS_METRICS_OUT`, default `metrics-snapshot.json`).
+fn metrics_section(params: &std::sync::Arc<apks_curve::CurveParams>) {
+    use apks_authz::IbsAuthority;
+    use apks_cloud::CloudServer;
+    use apks_core::{ApksSystem, FieldValue, QueryPolicy, Record, Schema};
+
+    const DOCS: usize = 40;
+    println!();
+    println!("## Observability — metrics snapshot ({DOCS} documents)");
+    println!();
+
+    let schema = Schema::builder()
+        .flat_field("illness", 1)
+        .flat_field("sex", 1)
+        .build()
+        .unwrap();
+    let system = ApksSystem::new(params.clone(), schema);
+    let mut rng = StdRng::seed_from_u64(5000);
+    let (pk, msk) = system.setup(&mut rng);
+    let ibs = IbsAuthority::new(params.clone(), &mut rng);
+    let server = CloudServer::new(system.clone(), pk.clone(), ibs.public_params().clone());
+    let illnesses = ["flu", "diabetes", "cancer", "asthma"];
+    for i in 0..DOCS {
+        let rec = Record::new(vec![
+            FieldValue::text(illnesses[i % illnesses.len()]),
+            FieldValue::text(if i % 2 == 0 { "female" } else { "male" }),
+        ]);
+        server.upload(system.gen_index(&pk, &rec, &mut rng).unwrap());
+    }
+    let query = Query::parse("illness = \"flu\"").unwrap();
+    let cap = system
+        .gen_cap(&pk, &msk, &query, &QueryPolicy::permissive(), &mut rng)
+        .unwrap();
+
+    // one unprepared baseline scan, one prepared parallel scan
+    let (_, plain_stats) = server.scan_with_mode(&cap, 1, false).unwrap();
+    let (_, prep_stats) = server.scan(&cap, 2).unwrap();
+    let snap = server.metrics_snapshot();
+
+    println!("```");
+    println!("{}", snap.render());
+    println!("```");
+    println!();
+    let measured = snap.counter("cloud.scan.pairings").unwrap_or(0);
+    let legacy = (plain_stats.pairings + prep_stats.pairings) as u64;
+    println!(
+        "pairing cross-check: telemetry {measured} vs SearchStats {legacy} — {}",
+        if measured == legacy {
+            "consistent"
+        } else {
+            "MISMATCH"
+        }
+    );
+
+    let path = std::env::var("APKS_METRICS_OUT").unwrap_or_else(|_| "metrics-snapshot.json".into());
+    match std::fs::write(&path, snap.to_json()) {
+        Ok(()) => println!("metrics JSON written to {path}"),
+        Err(e) => println!("could not write metrics JSON to {path}: {e}"),
+    }
 }
 
 /// Degraded-mode scan under a seeded fault plan vs the fault-free scan

@@ -53,7 +53,7 @@ impl Args {
             let a = &args[i];
             if let Some(name) = a.strip_prefix("--") {
                 // boolean flags take no value
-                if matches!(name, "plus" | "finalize" | "points") {
+                if matches!(name, "plus" | "finalize" | "points" | "json") {
                     flags.push(name.to_string());
                 } else {
                     i += 1;
@@ -103,6 +103,7 @@ commands:
   delegate   --deploy <deploy> --cap <file> --query \"...\" --out <file> [--seed N]
   search     --deploy <deploy> --cap <file> <index-file>...
   transform  --deploy <deploy> --in <partial-index> --out <file>   (APKS+ proxy step)
+  stats      [--docs N] [--threads N] [--seed N] [--json]   (scan an in-memory corpus, print telemetry)
   demo       [--seed N]
 ";
 
@@ -124,6 +125,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "delegate" => cmd_delegate(&parsed, out),
         "search" => cmd_search(&parsed, out),
         "transform" => cmd_transform(&parsed, out),
+        "stats" => cmd_stats(&parsed, out),
         "demo" => cmd_demo(&parsed, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
@@ -351,6 +353,81 @@ fn cmd_transform(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliErr
     let out_path = args.require("out")?;
     write_file(out_path, &bytes)?;
     writeln!(out, "transformed index written to {out_path}")?;
+    Ok(())
+}
+
+fn cmd_stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use apks_authz::TrustedAuthority;
+    use apks_cloud::CloudServer;
+    use apks_core::{FieldValue, Record, Schema};
+
+    let docs: usize = args.get("docs").and_then(|v| v.parse().ok()).unwrap_or(24);
+    let threads: usize = args
+        .get("threads")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut rng = rng_from(args);
+
+    // an in-memory illness/sex deployment: enough to exercise the whole
+    // upload → capability → scan path and show what the telemetry layer
+    // records for it
+    let schema = Schema::builder()
+        .flat_field("illness", 1)
+        .flat_field("sex", 1)
+        .build()?;
+    let system = apks_core::ApksSystem::new(apks_curve::CurveParams::fast(), schema);
+    let ta = TrustedAuthority::setup(system, &mut rng);
+    let server = CloudServer::new(
+        ta.system().clone(),
+        ta.public_key().clone(),
+        ta.ibs_params().clone(),
+    );
+    server.register_authority("ta");
+    let illnesses = ["flu", "diabetes", "cancer"];
+    let sexes = ["female", "male"];
+    for i in 0..docs {
+        let rec = Record::new(vec![
+            FieldValue::text(illnesses[i % illnesses.len()]),
+            FieldValue::text(sexes[i % sexes.len()]),
+        ]);
+        server.upload(ta.system().gen_index(ta.public_key(), &rec, &mut rng)?);
+    }
+    let cap = ta
+        .issue_capability(
+            &Query::new().equals("illness", "flu"),
+            &QueryPolicy::default(),
+            &mut rng,
+        )
+        .map_err(|e| CliError(e.to_string()))?;
+    let (hits, stats) = server
+        .search_parallel(&cap, threads)
+        .map_err(|e| CliError(e.to_string()))?;
+    let snap = server.metrics_snapshot();
+    if args.has_flag("json") {
+        writeln!(out, "{}", snap.to_json())?;
+    } else {
+        writeln!(
+            out,
+            "scanned {} docs with {threads} thread(s): {} matched",
+            stats.scanned,
+            hits.len()
+        )?;
+        writeln!(out, "{}", snap.render())?;
+        // the counter measured at the pairing layer must reproduce the
+        // per-scan accounting exactly
+        let telemetry = snap.counter("cloud.scan.pairings").unwrap_or(0);
+        writeln!(
+            out,
+            "cross-check: SearchStats.pairings = {} vs telemetry cloud.scan.pairings = {} ({})",
+            stats.pairings,
+            telemetry,
+            if stats.pairings as u64 == telemetry {
+                "consistent"
+            } else {
+                "MISMATCH"
+            }
+        )?;
+    }
     Ok(())
 }
 
@@ -595,6 +672,24 @@ mod tests {
     fn demo_runs() {
         let out = run_strs(&["demo", "--seed", "9"]).unwrap();
         assert!(out.contains("MATCH"));
+    }
+
+    #[test]
+    fn stats_reports_consistent_pairing_counts() {
+        let out = run_strs(&["stats", "--docs", "6", "--threads", "2", "--seed", "11"]).unwrap();
+        assert!(out.contains("scanned 6 docs"));
+        assert!(out.contains("cloud.scan.pairings"));
+        assert!(out.contains("consistent"), "got:\n{out}");
+        assert!(!out.contains("MISMATCH"));
+    }
+
+    #[test]
+    fn stats_json_is_machine_readable() {
+        let out = run_strs(&["stats", "--docs", "4", "--seed", "11", "--json"]).unwrap();
+        assert!(out.trim_start().starts_with('{'));
+        assert!(out.contains("\"counters\""));
+        assert!(out.contains("\"cloud.scan.pairings\""));
+        assert!(out.contains("\"histograms\""));
     }
 
     #[test]

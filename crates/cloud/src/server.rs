@@ -3,10 +3,13 @@
 use apks_authz::{IbsPublicParams, SignedCapability};
 use apks_core::fault::{DocFault, FaultContext};
 use apks_core::{ApksError, ApksPublicKey, ApksSystem, Capability, EncryptedIndex};
+use apks_telemetry::source::{self, SourceCounts};
+use apks_telemetry::{Clock, MetricsRegistry, MetricsSnapshot, Span, WallClock};
 use core::fmt;
 use parking_lot::RwLock;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// An opaque document identifier assigned at upload.
 pub type DocumentId = u64;
@@ -41,13 +44,16 @@ pub struct SearchStats {
     pub scanned: usize,
     /// Number of matches returned.
     pub matched: usize,
-    /// One-time capability preprocessing cost in microseconds (0 on the
-    /// unprepared path).
+    /// One-time capability preprocessing cost in ticks of the server's
+    /// clock — microseconds under [`WallClock`], virtual ticks when a
+    /// simulation injects its clock. Always 0 on the unprepared path.
     pub prepare_micros: u64,
-    /// Corpus-scan wall time in microseconds (excludes preparation).
+    /// Corpus-scan time in ticks of the server's clock (excludes
+    /// preparation).
     pub scan_micros: u64,
-    /// Pairing evaluations performed by the scan (`n + 3` per evaluated
-    /// document; skipped documents perform none).
+    /// Pairing evaluations performed by the scan, measured at the
+    /// pairing layer (`n + 3` per evaluated document; skipped documents
+    /// perform none).
     pub pairings: usize,
     /// Documents whose evaluation faulted through the whole retry budget
     /// and were skipped (never silently dropped — also listed in
@@ -80,11 +86,34 @@ pub struct CloudServer {
     registered: RwLock<HashSet<String>>,
     store: RwLock<Vec<(DocumentId, EncryptedIndex)>>,
     next_id: AtomicUsize,
+    metrics: Arc<MetricsRegistry>,
+    clock: Arc<dyn Clock>,
 }
 
 impl CloudServer {
-    /// Creates a server for one deployment.
+    /// Creates a server for one deployment, timing against the wall
+    /// clock with a private metrics registry.
     pub fn new(system: ApksSystem, pk: ApksPublicKey, ibs: IbsPublicParams) -> CloudServer {
+        CloudServer::with_telemetry(
+            system,
+            pk,
+            ibs,
+            Arc::new(MetricsRegistry::new()),
+            Arc::new(WallClock),
+        )
+    }
+
+    /// Creates a server that records into `metrics` and charges its
+    /// timings (stats *and* latency histograms) to `clock`. The sim
+    /// passes a deployment-shared registry and its virtual clock so
+    /// same-seed chaos runs reproduce every timing byte for byte.
+    pub fn with_telemetry(
+        system: ApksSystem,
+        pk: ApksPublicKey,
+        ibs: IbsPublicParams,
+        metrics: Arc<MetricsRegistry>,
+        clock: Arc<dyn Clock>,
+    ) -> CloudServer {
         CloudServer {
             system,
             pk,
@@ -92,7 +121,19 @@ impl CloudServer {
             registered: RwLock::new(HashSet::new()),
             store: RwLock::new(Vec::new()),
             next_id: AtomicUsize::new(0),
+            metrics,
+            clock,
         }
+    }
+
+    /// The server's metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of the server's metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Registers an authority identity whose signatures are accepted.
@@ -196,18 +237,22 @@ impl CloudServer {
     ) -> Result<(Vec<DocumentId>, SearchStats), SearchOutcome> {
         let store = self.store.read();
         let scanned = store.len();
+        let clock = &*self.clock;
+        let doc_hist = self.metrics.histogram("cloud.scan.doc_ticks");
 
-        let prep_start = std::time::Instant::now();
-        let prepared = if prepare {
-            Some(
-                self.system
-                    .prepare_capability(cap)
-                    .map_err(SearchOutcome::Apks)?,
-            )
+        // Preparation is timed (through the injected clock) only when it
+        // happens, so the unprepared path reports exactly 0.
+        let mut prep_counts = SourceCounts::default();
+        let (prepared, prepare_micros) = if prepare {
+            let start = clock.now_ticks();
+            let (res, counts) = source::measure(|| self.system.prepare_capability(cap));
+            let ticks = clock.now_ticks().saturating_sub(start);
+            prep_counts = counts;
+            self.metrics.record("cloud.scan.prepare_ticks", ticks);
+            (Some(res.map_err(SearchOutcome::Apks)?), ticks)
         } else {
-            None
+            (None, 0)
         };
-        let prepare_micros = prep_start.elapsed().as_micros() as u64;
 
         let eval = |idx: &EncryptedIndex| -> Result<bool, ApksError> {
             match &prepared {
@@ -216,49 +261,69 @@ impl CloudServer {
             }
         };
 
-        let scan_start = std::time::Instant::now();
-        let mut matches: Vec<DocumentId> = if threads <= 1 {
-            let mut out = Vec::new();
-            for (id, idx) in store.iter() {
-                if eval(idx).map_err(SearchOutcome::Apks)? {
-                    out.push(*id);
+        // Each worker measures its own source-counter delta and hands it
+        // back; summing the deltas is deterministic for any thread count.
+        type Part = (Result<Vec<DocumentId>, ApksError>, SourceCounts);
+        let scan_part = |part: &[(DocumentId, EncryptedIndex)]| -> Part {
+            source::measure(|| {
+                let mut out = Vec::new();
+                for (id, idx) in part {
+                    let span = Span::start(clock, &doc_hist);
+                    let matched = eval(idx);
+                    span.finish();
+                    if matched? {
+                        out.push(*id);
+                    }
                 }
-            }
-            out
+                Ok(out)
+            })
+        };
+
+        let scan_start = clock.now_ticks();
+        let parts: Vec<Part> = if threads <= 1 {
+            vec![scan_part(&store)]
         } else {
             let chunk = store.len().div_ceil(threads);
-            let results: Vec<Result<Vec<DocumentId>, ApksError>> = std::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for part in store.chunks(chunk.max(1)) {
-                    let eval = &eval;
-                    handles.push(scope.spawn(move || {
-                        let mut out = Vec::new();
-                        for (id, idx) in part {
-                            if eval(idx)? {
-                                out.push(*id);
-                            }
-                        }
-                        Ok(out)
-                    }));
+                    let scan_part = &scan_part;
+                    handles.push(scope.spawn(move || scan_part(part)));
                 }
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("worker panicked"))
                     .collect()
-            });
-            let mut out = Vec::new();
-            for r in results {
-                out.extend(r.map_err(SearchOutcome::Apks)?);
-            }
-            out
+            })
         };
+        let scan_micros = clock.now_ticks().saturating_sub(scan_start);
+
+        let mut matches = Vec::new();
+        let mut scan_counts = SourceCounts::default();
+        for (res, counts) in parts {
+            scan_counts += counts;
+            matches.extend(res.map_err(SearchOutcome::Apks)?);
+        }
         matches.sort_unstable();
+
+        self.metrics.add("cloud.scans", 1);
+        self.metrics.add("cloud.scan.docs", scanned as u64);
+        self.metrics.add("cloud.scan.matches", matches.len() as u64);
+        self.metrics
+            .add("cloud.scan.pairings", scan_counts.pairings);
+        self.metrics.add(
+            "cloud.scan.miller_loops",
+            scan_counts.miller_loops + prep_counts.miller_loops,
+        );
+        self.metrics
+            .add("cloud.scan.predicate_evals", scan_counts.predicate_evals);
+
         let stats = SearchStats {
             scanned,
             matched: matches.len(),
             prepare_micros,
-            scan_micros: scan_start.elapsed().as_micros() as u64,
-            pairings: scanned * (self.system.n() + 3),
+            scan_micros,
+            pairings: scan_counts.pairings as usize,
             faulted_docs: 0,
             retries: 0,
             degraded: false,
@@ -308,59 +373,73 @@ impl CloudServer {
     ) -> Result<DegradedScan, SearchOutcome> {
         let store = self.store.read();
         let scanned = store.len();
+        // Degraded scans time against the fault context's virtual clock,
+        // not the server's: a same-seed chaos run then reproduces every
+        // stat — and the metrics snapshot — byte for byte.
+        let clock: &dyn Clock = ctx.clock;
+        let doc_hist = self.metrics.histogram("cloud.scan.doc_ticks");
 
-        let prep_start = std::time::Instant::now();
-        let prepared = self
-            .system
-            .prepare_capability(cap)
-            .map_err(SearchOutcome::Apks)?;
-        let prepare_micros = prep_start.elapsed().as_micros() as u64;
+        let prep_start = clock.now_ticks();
+        let (prep_res, prep_counts) = source::measure(|| self.system.prepare_capability(cap));
+        let prepare_micros = clock.now_ticks().saturating_sub(prep_start);
+        self.metrics
+            .record("cloud.scan.prepare_ticks", prepare_micros);
+        let prepared = prep_res.map_err(SearchOutcome::Apks)?;
 
         // Per-document outcome: Some(matched) or None when skipped.
-        // Returns (outcome, retries) so workers stay side-effect free
-        // apart from clock advances.
-        let eval_doc = |id: DocumentId, idx: &EncryptedIndex| -> (Option<bool>, usize) {
+        // Returns (outcome, retries, charged ticks) so workers stay
+        // side-effect free apart from clock advances. The charged ticks
+        // are computed locally (slowness + backoff the document itself
+        // incurred) rather than read off the shared clock, so the
+        // per-document histogram is identical for any thread count.
+        let eval_doc = |id: DocumentId, idx: &EncryptedIndex| -> (Option<bool>, usize, u64) {
             let evaluate = || self.system.search_prepared(&self.pk, &prepared, idx);
             match ctx.plan.doc_fault(id) {
-                None => (evaluate().ok(), 0),
+                None => (evaluate().ok(), 0, 0),
                 Some(DocFault::Slow { ticks }) => {
                     ctx.clock.advance(ticks);
-                    (evaluate().ok(), 0)
+                    (evaluate().ok(), 0, ticks)
                 }
                 Some(DocFault::Flaky { burst }) => {
                     // attempts 0..burst fault; each retry backs off
                     let mut retries = 0;
+                    let mut charged = 0u64;
                     for attempt in 0..ctx.policy.max_attempts {
                         if attempt >= burst {
-                            return (evaluate().ok(), retries);
+                            return (evaluate().ok(), retries, charged);
                         }
                         if attempt + 1 < ctx.policy.max_attempts {
                             retries += 1;
-                            ctx.clock.advance(ctx.policy.backoff(attempt, id));
+                            let backoff = ctx.policy.backoff(attempt, id);
+                            ctx.clock.advance(backoff);
+                            charged += backoff;
                         }
                     }
-                    (None, retries)
+                    (None, retries, charged)
                 }
-                Some(DocFault::Poisoned) => (None, 0),
+                Some(DocFault::Poisoned) => (None, 0, 0),
             }
         };
 
-        let scan_start = std::time::Instant::now();
-        type Part = (Vec<DocumentId>, Vec<DocumentId>, usize);
+        let scan_start = clock.now_ticks();
+        type Part = (Vec<DocumentId>, Vec<DocumentId>, usize, SourceCounts);
         let scan_part = |part: &[(DocumentId, EncryptedIndex)]| -> Part {
             let mut matches = Vec::new();
             let mut faulted = Vec::new();
             let mut retries = 0;
-            for (id, idx) in part {
-                let (outcome, r) = eval_doc(*id, idx);
-                retries += r;
-                match outcome {
-                    Some(true) => matches.push(*id),
-                    Some(false) => {}
-                    None => faulted.push(*id),
+            let ((), counts) = source::measure(|| {
+                for (id, idx) in part {
+                    let (outcome, r, charged) = eval_doc(*id, idx);
+                    doc_hist.record(charged);
+                    retries += r;
+                    match outcome {
+                        Some(true) => matches.push(*id),
+                        Some(false) => {}
+                        None => faulted.push(*id),
+                    }
                 }
-            }
-            (matches, faulted, retries)
+            });
+            (matches, faulted, retries, counts)
         };
 
         let parts: Vec<Part> = if threads <= 1 {
@@ -383,19 +462,40 @@ impl CloudServer {
         let mut matches = Vec::new();
         let mut faulted = Vec::new();
         let mut retries = 0;
-        for (m, f, r) in parts {
+        let mut scan_counts = SourceCounts::default();
+        for (m, f, r, counts) in parts {
             matches.extend(m);
             faulted.extend(f);
             retries += r;
+            scan_counts += counts;
         }
         matches.sort_unstable();
         faulted.sort_unstable();
+
+        self.metrics.add("cloud.scans", 1);
+        self.metrics.add("cloud.scan.docs", scanned as u64);
+        self.metrics.add("cloud.scan.matches", matches.len() as u64);
+        self.metrics
+            .add("cloud.scan.pairings", scan_counts.pairings);
+        self.metrics.add(
+            "cloud.scan.miller_loops",
+            scan_counts.miller_loops + prep_counts.miller_loops,
+        );
+        self.metrics
+            .add("cloud.scan.predicate_evals", scan_counts.predicate_evals);
+        self.metrics.add("cloud.scan.retries", retries as u64);
+        self.metrics
+            .add("cloud.scan.faulted_docs", faulted.len() as u64);
+        if !faulted.is_empty() {
+            self.metrics.add("cloud.scan.degraded_scans", 1);
+        }
+
         let stats = SearchStats {
             scanned,
             matched: matches.len(),
             prepare_micros,
-            scan_micros: scan_start.elapsed().as_micros() as u64,
-            pairings: (scanned - faulted.len()) * (self.system.n() + 3),
+            scan_micros: clock.now_ticks().saturating_sub(scan_start),
+            pairings: scan_counts.pairings as usize,
             faulted_docs: faulted.len(),
             retries,
             degraded: !faulted.is_empty(),
@@ -677,6 +777,49 @@ mod tests {
         for threads in [2, 4] {
             assert_eq!(run(threads), base, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn telemetry_pairing_counts_match_legacy_stats() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let n0 = ta.system().n() + 3;
+        let (_, stats) = server.search_parallel(&cap, 4).unwrap();
+        let snap = server.metrics_snapshot();
+        // the measured counter reproduces the legacy closed-form value
+        assert_eq!(stats.pairings, stats.scanned * n0);
+        assert_eq!(
+            snap.counter("cloud.scan.pairings"),
+            Some(stats.pairings as u64)
+        );
+        assert_eq!(snap.counter("cloud.scans"), Some(1));
+        assert_eq!(snap.counter("cloud.scan.docs"), Some(stats.scanned as u64));
+        assert_eq!(
+            snap.counter("cloud.scan.predicate_evals"),
+            Some(stats.scanned as u64)
+        );
+        // prepared scan: Miller loops spent once at preparation
+        assert_eq!(snap.counter("cloud.scan.miller_loops"), Some(n0 as u64));
+        // one latency observation per scanned document
+        assert_eq!(
+            snap.histogram("cloud.scan.doc_ticks").unwrap().count,
+            stats.scanned as u64
+        );
+        // a second scan keeps accumulating
+        let (_, stats2) = server.search(&cap).unwrap();
+        let snap2 = server.metrics_snapshot();
+        assert_eq!(
+            snap2.counter("cloud.scan.pairings"),
+            Some((stats.pairings + stats2.pairings) as u64)
+        );
+        assert_eq!(snap2.counter("cloud.scans"), Some(2));
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub fn psi(schema: &Schema, keywords: &[Fr]) -> Vec<Fr> {
     );
     let mut x = Vec::with_capacity(schema.n());
     for (dim, &z) in schema.expanded().iter().zip(keywords) {
+        // The loop below emits z¹ unconditionally, so a zero-degree
+        // dimension would silently shift every later block against φ's
+        // coefficient layout. SchemaBuilder::build rejects degree 0;
+        // re-check the invariant here rather than corrupting x⃗.
+        assert!(
+            dim.degree >= 1,
+            "schema invariant violated: expanded dimension has degree 0"
+        );
         // z^d, z^{d-1}, …, z
         let mut powers = Vec::with_capacity(dim.degree);
         let mut acc = z;

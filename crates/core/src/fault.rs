@@ -303,6 +303,15 @@ impl VirtualClock {
     }
 }
 
+/// A [`VirtualClock`] is a telemetry [`apks_telemetry::Clock`]: spans
+/// recorded during chaos runs charge virtual ticks, so two same-seed
+/// runs produce byte-identical metric snapshots.
+impl apks_telemetry::Clock for VirtualClock {
+    fn now_ticks(&self) -> u64 {
+        self.now()
+    }
+}
+
 /// Everything a resilient operation needs: the schedule, the retry
 /// budget, and the clock to charge delays to.
 #[derive(Clone, Copy, Debug)]

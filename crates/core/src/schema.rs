@@ -217,6 +217,18 @@ impl SchemaBuilder {
                 }
             }
         }
+        // Every expanded dimension must carry degree ≥ 1: the ψ encoder
+        // emits at least z¹ per dimension, and a zero-degree block would
+        // misalign x⃗ against φ. The per-field OR-budget check above
+        // already guarantees this; keep the invariant explicit so any
+        // future expansion path that derives degrees differently fails
+        // here instead of inside the encoder.
+        if let Some(dim) = expanded.iter().find(|d| d.degree == 0) {
+            return Err(ApksError::InvalidSchema(format!(
+                "field {:?} expands to a zero-degree dimension",
+                self.fields[dim.field].name
+            )));
+        }
         let n = expanded.iter().map(|d| d.degree).sum::<usize>() + 1;
         Ok(Arc::new(Schema {
             fields: self.fields,
@@ -315,6 +327,29 @@ mod tests {
         assert!(Schema::builder()
             .flat_field("a", 1)
             .flat_field("a", 1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn zero_degree_dimensions_are_rejected_for_every_field_kind() {
+        // a zero OR budget would expand to a degree-0 dimension, which
+        // would misalign ψ against φ — both field kinds must refuse it
+        // at construction, not at encoding time
+        assert!(matches!(
+            Schema::builder().flat_field("kw", 0).build(),
+            Err(ApksError::InvalidSchema(_))
+        ));
+        assert!(matches!(
+            Schema::builder()
+                .hierarchical_field("age", Hierarchy::numeric(0, 15, 4), 0)
+                .build(),
+            Err(ApksError::InvalidSchema(_))
+        ));
+        // mixed with a valid field the invalid one still dominates
+        assert!(Schema::builder()
+            .flat_field("ok", 2)
+            .flat_field("bad", 0)
             .build()
             .is_err());
     }

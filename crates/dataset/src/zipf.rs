@@ -8,9 +8,40 @@
 use rand::Rng;
 
 /// A Zipf(`s`) distribution over ranks `0..n`.
+///
+/// The pmf is stored directly and the cdf derived from it — not the
+/// other way around. Reconstructing probabilities by differencing a
+/// normalized cdf loses precision catastrophically in the tail: for
+/// large `n`, `cdf[k] − cdf[k−1]` subtracts two nearly equal doubles
+/// and the relative error of the recovered mass grows without bound.
 #[derive(Clone, Debug)]
 pub struct Zipf {
+    pmf: Vec<f64>,
     cdf: Vec<f64>,
+}
+
+/// Compensated (Kahan) running sum, so the cdf and the normalization
+/// constant carry O(ε) error independent of `n`.
+struct KahanSum {
+    sum: f64,
+    carry: f64,
+}
+
+impl KahanSum {
+    fn new() -> KahanSum {
+        KahanSum {
+            sum: 0.0,
+            carry: 0.0,
+        }
+    }
+
+    fn add(&mut self, x: f64) -> f64 {
+        let y = x - self.carry;
+        let t = self.sum + y;
+        self.carry = (t - self.sum) - y;
+        self.sum = t;
+        self.sum
+    }
 }
 
 impl Zipf {
@@ -22,27 +53,29 @@ impl Zipf {
     pub fn new(n: usize, s: f64) -> Zipf {
         assert!(n > 0, "empty support");
         assert!(s >= 0.0, "negative skew");
-        let mut cdf = Vec::with_capacity(n);
-        let mut acc = 0.0;
-        for k in 1..=n {
-            acc += 1.0 / (k as f64).powf(s);
-            cdf.push(acc);
+        let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+        let mut total = KahanSum::new();
+        for &w in &weights {
+            total.add(w);
         }
-        let total = acc;
-        for c in &mut cdf {
-            *c /= total;
-        }
-        Zipf { cdf }
+        let total = total.sum;
+        let pmf: Vec<f64> = weights.into_iter().map(|w| w / total).collect();
+        let mut running = KahanSum::new();
+        let mut cdf: Vec<f64> = pmf.iter().map(|&p| running.add(p)).collect();
+        // the full mass is 1 by construction; pin it so sampling can
+        // never fall off the end
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { pmf, cdf }
     }
 
     /// Support size.
     pub fn len(&self) -> usize {
-        self.cdf.len()
+        self.pmf.len()
     }
 
     /// True iff the support is empty (never, by construction).
     pub fn is_empty(&self) -> bool {
-        self.cdf.is_empty()
+        self.pmf.is_empty()
     }
 
     /// Samples a rank in `0..n` (0 = most frequent).
@@ -53,11 +86,7 @@ impl Zipf {
 
     /// The probability of rank `k`.
     pub fn pmf(&self, k: usize) -> f64 {
-        if k == 0 {
-            self.cdf[0]
-        } else {
-            self.cdf[k] - self.cdf[k - 1]
-        }
+        self.pmf[k]
     }
 }
 
@@ -72,6 +101,42 @@ mod tests {
         let z = Zipf::new(10, 1.0);
         let total: f64 = (0..10).map(|k| z.pmf(k)).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_exact_at_large_n() {
+        // regression: the pmf used to be reconstructed by differencing
+        // the normalized cdf, whose cancellation error swamped the tail
+        // masses at this scale
+        let n = 100_000;
+        let s = 1.0;
+        let z = Zipf::new(n, s);
+        // compensated total, so the tolerance tests the pmf and not the
+        // test's own summation error
+        let mut total = KahanSum::new();
+        for k in 0..n {
+            total.add(z.pmf(k));
+        }
+        assert!(
+            (total.sum - 1.0).abs() < 1e-12,
+            "pmf sums to {} (off by {:e})",
+            total.sum,
+            total.sum - 1.0
+        );
+        // mass ratios reproduce 1/k^s exactly: pmf(k) = (1/k^s)/T with
+        // w_1 = 1.0, so pmf(k)/pmf(0) is the weight itself
+        for k in [1usize, 9, 99, 999, 9_999, 99_999] {
+            let expected = 1.0 / ((k + 1) as f64).powf(s);
+            let ratio = z.pmf(k) / z.pmf(0);
+            assert!(
+                (ratio - expected).abs() <= 1e-15 * expected.abs() * 4.0 + f64::EPSILON,
+                "rank {k}: ratio {ratio:e} vs expected {expected:e}"
+            );
+        }
+        // monotone non-increasing everywhere, down to the very tail
+        for k in 1..n {
+            assert!(z.pmf(k - 1) >= z.pmf(k), "pmf not monotone at rank {k}");
+        }
     }
 
     #[test]

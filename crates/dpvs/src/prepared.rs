@@ -25,6 +25,8 @@ pub struct PreparedDpvsVector {
 impl PreparedDpvsVector {
     /// Precomputes Miller line coefficients for every coordinate of `v`.
     pub fn prepare(params: &CurveParams, v: &DpvsVector) -> Self {
+        // preparation spends the Miller loops up front (no pairings yet)
+        apks_telemetry::source::record_miller_loops(v.dim() as u64);
         PreparedDpvsVector {
             coords: v.0.iter().map(|p| PreparedG1::new(params, p)).collect(),
         }
@@ -47,6 +49,8 @@ impl PreparedDpvsVector {
     /// Panics on dimension mismatch.
     pub fn pair(&self, params: &CurveParams, rhs: &DpvsVector) -> Gt {
         assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        // line evaluations only — the Miller loops were counted at prepare
+        apks_telemetry::source::record_pairings(self.dim() as u64);
         let pairs: Vec<(&PreparedG1, apks_curve::G1Affine)> = self
             .coords
             .iter()

@@ -145,6 +145,9 @@ impl DpvsVector {
     /// Panics on dimension mismatch.
     pub fn pair(&self, params: &CurveParams, rhs: &DpvsVector) -> Gt {
         assert_eq!(self.dim(), rhs.dim(), "dimension mismatch");
+        // plain multi-pairing: one Miller loop per coordinate
+        apks_telemetry::source::record_pairings(self.dim() as u64);
+        apks_telemetry::source::record_miller_loops(self.dim() as u64);
         let pairs: Vec<(G1Affine, G1Affine)> =
             self.0.iter().zip(&rhs.0).map(|(a, b)| (*a, *b)).collect();
         multi_pairing(params, &pairs)

@@ -339,6 +339,7 @@ impl Hpe {
                 got: ct.c1.dim(),
             });
         }
+        apks_telemetry::source::record_predicate_evals(1);
         let e = ct.c1.pair(&self.params, &key.dec);
         Ok(ct.c2.mul(&self.params, &e.inverse(&self.params)))
     }
@@ -395,6 +396,7 @@ impl Hpe {
                 },
             });
         }
+        apks_telemetry::source::record_predicate_evals(1);
         let e = key.dec.pair(&self.params, &ct.c1);
         Ok(ct.c2.mul(&self.params, &e.inverse(&self.params)))
     }

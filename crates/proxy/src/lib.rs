@@ -16,10 +16,12 @@
 
 use apks_core::{proxy_transform, ApksPlusMasterKey, ApksSystem, EncryptedIndex};
 use apks_hpe::{plus::split_blinding, ProxyTransformKey};
+use apks_telemetry::{MetricsRegistry, MetricsSnapshot};
 use core::fmt;
 use parking_lot::Mutex;
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 pub mod resilient;
 
@@ -82,7 +84,16 @@ impl RateLimiter {
     /// Allows `max_per_window` transformations per client per window of
     /// `window` ticks (the caller supplies the clock — deterministic for
     /// tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`: a zero-width window has no meaningful
+    /// semantics, and silently reinterpreting it (the old behaviour
+    /// clamped to 1 tick inside [`RateLimiter::allow`]) would hand a
+    /// misconfigured deployment a per-tick budget instead of the
+    /// intended one. Misconfiguration must fail loudly at construction.
     pub fn new(max_per_window: usize, window: u64) -> RateLimiter {
+        assert!(window > 0, "rate-limiter window must be at least 1 tick");
         RateLimiter {
             max_per_window,
             window,
@@ -94,7 +105,7 @@ impl RateLimiter {
     /// exhausted.
     pub fn allow(&self, client: &str, now: u64) -> bool {
         let mut counts = self.counts.lock();
-        let slot = now / self.window.max(1);
+        let slot = now / self.window;
         let entry = counts.entry(client.to_string()).or_insert((slot, 0));
         if entry.0 != slot {
             *entry = (slot, 0);
@@ -114,21 +125,40 @@ pub struct ProxyServer {
     id: String,
     share: ProxyTransformKey,
     limiter: RateLimiter,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ProxyServer {
-    /// Creates a proxy.
+    /// Creates a proxy with a private metrics registry.
     pub fn new(id: impl Into<String>, share: ProxyTransformKey, limiter: RateLimiter) -> Self {
+        Self::with_metrics(id, share, limiter, Arc::new(MetricsRegistry::new()))
+    }
+
+    /// Creates a proxy recording into a shared registry (how
+    /// [`ProxyChain`] aggregates per-client behaviour across stages —
+    /// the §V traffic-monitoring assumption made measurable).
+    pub fn with_metrics(
+        id: impl Into<String>,
+        share: ProxyTransformKey,
+        limiter: RateLimiter,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
         ProxyServer {
             id: id.into(),
             share,
             limiter,
+            metrics,
         }
     }
 
     /// The proxy's identifier.
     pub fn id(&self) -> &str {
         &self.id
+    }
+
+    /// The proxy's metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// `ProxyEnc`: transforms a partial index for `client` at time `now`.
@@ -144,10 +174,12 @@ impl ProxyServer {
         index: &EncryptedIndex,
     ) -> Result<EncryptedIndex, ProxyError> {
         if !self.limiter.allow(client, now) {
+            self.metrics.add(&format!("proxy.rate_limited.{client}"), 1);
             return Err(ProxyError::RateLimited {
                 client: client.to_string(),
             });
         }
+        self.metrics.add(&format!("proxy.transforms.{client}"), 1);
         Ok(proxy_transform(system, &self.share, index))
     }
 }
@@ -165,6 +197,9 @@ pub struct ProxyChain {
     /// `standbys[i]` — replicas of stage `i`'s share, tried in order
     /// when the primary exhausts its retry budget.
     standbys: Vec<Vec<ProxyServer>>,
+    /// Shared by every proxy of the chain, so per-client counts
+    /// aggregate across stages.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl ProxyChain {
@@ -198,22 +233,50 @@ impl ProxyChain {
         window: u64,
         rng: &mut R,
     ) -> ProxyChain {
+        Self::provision_replicated_with_metrics(
+            mk,
+            count,
+            standbys,
+            max_per_window,
+            window,
+            Arc::new(MetricsRegistry::new()),
+            rng,
+        )
+    }
+
+    /// [`ProxyChain::provision_replicated`] recording into a shared
+    /// registry (the sim passes its deployment-wide one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn provision_replicated_with_metrics<R: Rng + ?Sized>(
+        mk: &ApksPlusMasterKey,
+        count: usize,
+        standbys: usize,
+        max_per_window: usize,
+        window: u64,
+        metrics: Arc<MetricsRegistry>,
+        rng: &mut R,
+    ) -> ProxyChain {
         let shares = split_blinding(mk.blinding, count, rng);
         let mut proxies = Vec::with_capacity(count);
         let mut standby_stages = Vec::with_capacity(count);
         for (i, share) in shares.into_iter().enumerate() {
-            proxies.push(ProxyServer::new(
+            proxies.push(ProxyServer::with_metrics(
                 format!("proxy-{i}"),
                 share,
                 RateLimiter::new(max_per_window, window),
+                Arc::clone(&metrics),
             ));
             standby_stages.push(
                 (0..standbys)
                     .map(|j| {
-                        ProxyServer::new(
+                        ProxyServer::with_metrics(
                             format!("proxy-{i}.s{j}"),
                             share,
                             RateLimiter::new(max_per_window, window),
+                            Arc::clone(&metrics),
                         )
                     })
                     .collect(),
@@ -222,12 +285,23 @@ impl ProxyChain {
         ProxyChain {
             proxies,
             standbys: standby_stages,
+            metrics,
         }
     }
 
     /// The primary proxies, one per stage.
     pub fn proxies(&self) -> &[ProxyServer] {
         &self.proxies
+    }
+
+    /// The chain-wide metrics registry (shared by every stage).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of the chain's metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Stage `i`'s standby replicas.
@@ -460,14 +534,43 @@ mod tests {
     }
 
     #[test]
-    fn rate_limiter_degenerate_configs() {
-        // zero budget: everything denied
+    fn rate_limiter_zero_budget_denies_everything() {
         let rl = RateLimiter::new(0, 10);
         assert!(!rl.allow("a", 0));
-        // zero-width window is clamped to 1 tick: every tick refreshes
-        let rl = RateLimiter::new(1, 0);
-        assert!(rl.allow("a", 0));
-        assert!(!rl.allow("a", 0));
-        assert!(rl.allow("a", 1));
+        assert!(!rl.allow("a", 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "rate-limiter window must be at least 1 tick")]
+    fn rate_limiter_rejects_zero_width_window() {
+        // regression: `new(_, 0)` used to construct fine and silently
+        // clamp to a 1-tick window inside `allow`, turning a per-window
+        // budget into a per-tick one
+        RateLimiter::new(1, 0);
+    }
+
+    #[test]
+    fn chain_metrics_count_transforms_and_rate_limit_trips() {
+        let sys = system();
+        let mut rng = StdRng::seed_from_u64(1004);
+        let (pk, mk) = sys.setup_plus(&mut rng);
+        let chain = ProxyChain::provision(&mk, 2, 2, 60, &mut rng);
+        let partial = sys
+            .gen_partial_index(&pk, &Record::new(vec![FieldValue::text("x")]), &mut rng)
+            .unwrap();
+        chain.ingest(&sys, "alice", 0, &partial).unwrap();
+        chain.ingest(&sys, "alice", 1, &partial).unwrap();
+        chain.ingest(&sys, "bob", 1, &partial).unwrap();
+        // alice's budget (2 per stage) is spent; stage 0 trips
+        assert!(matches!(
+            chain.ingest(&sys, "alice", 2, &partial),
+            Err(ProxyError::RateLimited { .. })
+        ));
+        let snap = chain.metrics_snapshot();
+        // 2 successful ingests × 2 stages for alice, 1 × 2 for bob
+        assert_eq!(snap.counter("proxy.transforms.alice"), Some(4));
+        assert_eq!(snap.counter("proxy.transforms.bob"), Some(2));
+        assert_eq!(snap.counter("proxy.rate_limited.alice"), Some(1));
+        assert_eq!(snap.counter("proxy.rate_limited.bob"), None);
     }
 }

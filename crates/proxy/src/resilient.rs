@@ -61,6 +61,9 @@ impl ProxyChain {
             if ctx.plan.proxy_fault(proxy.id(), op, attempt).is_some() {
                 if attempt + 1 < ctx.policy.max_attempts {
                     stats.retries += 1;
+                    proxy
+                        .metrics()
+                        .add(&format!("proxy.stage.{}.retries", proxy.id()), 1);
                     let delay = ctx.policy.backoff(attempt, op);
                     stats.delay_ticks += delay;
                     ctx.clock.advance(delay);
@@ -106,6 +109,8 @@ impl ProxyChain {
             {
                 if rank > 0 {
                     stats.failovers += 1;
+                    self.metrics
+                        .add(&format!("proxy.stage.{}.failovers", primary.id()), 1);
                 }
                 match Self::attempt_transform(proxy, system, client, &ct, ctx, op, &mut stats)? {
                     AttemptOutcome::Done(next) => {

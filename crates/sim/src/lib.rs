@@ -24,8 +24,10 @@ use apks_core::{ApksSystem, FieldValue, Query, QueryPolicy, Record};
 use apks_curve::CurveParams;
 use apks_dataset::phr::{phr_schema, PhrConfig, ILLNESSES, PHR_EPOCH, PROVIDERS, REGIONS};
 use apks_proxy::ProxyChain;
+use apks_telemetry::{Clock, MetricsRegistry, MetricsSnapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Simulation knobs.
@@ -111,6 +113,11 @@ pub struct SimReport {
     /// Each search's sorted match set, in execution order — the ground
     /// truth the chaos suite compares across runs.
     pub search_hits: Vec<Vec<u64>>,
+    /// The deployment-wide metrics snapshot: cloud scan counters and
+    /// latency histograms, per-client proxy counts, and the sim's own
+    /// mirrors. All timings are charged to the virtual clock, so this is
+    /// deterministic and part of [`SimReport::canonical_bytes`].
+    pub metrics: MetricsSnapshot,
     /// Wall-clock spent encrypting + ingesting.
     pub ingest_time: Duration,
     /// Wall-clock spent issuing capabilities.
@@ -174,6 +181,7 @@ impl SimReport {
                 out.extend_from_slice(&id.to_le_bytes());
             }
         }
+        out.extend_from_slice(&self.metrics.canonical_bytes());
         out
     }
 }
@@ -196,7 +204,8 @@ pub struct Simulation {
     users: Vec<SimUser>,
     rng: StdRng,
     plan: Option<FaultPlan>,
-    clock: VirtualClock,
+    clock: Arc<VirtualClock>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Simulation {
@@ -210,18 +219,25 @@ impl Simulation {
         let schema = phr_schema(&PhrConfig::default())?;
         let system = ApksSystem::new(CurveParams::fast(), schema);
         let mut rng = StdRng::seed_from_u64(config.seed);
+        // one registry and one virtual clock for the whole deployment:
+        // the server and every proxy record into the same snapshot, and
+        // all timings are virtual, so same-seed runs reproduce the
+        // snapshot byte for byte
+        let metrics = Arc::new(MetricsRegistry::new());
+        let clock = Arc::new(VirtualClock::new());
 
         let plus = config.proxies > 0;
         // TrustedAuthority::setup runs plain Setup internally; for APKS⁺
         // we need the blinded variant, so assemble manually.
         let (ta, chain) = if plus {
             let (pk, mk) = system.setup_plus(&mut rng);
-            let chain = ProxyChain::provision_replicated(
+            let chain = ProxyChain::provision_replicated_with_metrics(
                 &mk,
                 config.proxies,
                 config.proxy_standbys,
                 10_000,
                 1_000_000,
+                Arc::clone(&metrics),
                 &mut rng,
             );
             let ta = TrustedAuthority::from_parts(system.clone(), pk, mk.inner, &mut rng);
@@ -260,10 +276,12 @@ impl Simulation {
             ltas.push(lta);
         }
 
-        let server = CloudServer::new(
+        let server = CloudServer::with_telemetry(
             ta.system().clone(),
             ta.public_key().clone(),
             ta.ibs_params().clone(),
+            Arc::clone(&metrics),
+            Arc::clone(&clock) as Arc<dyn Clock>,
         );
         for lta in &ltas {
             server.register_authority(lta.id());
@@ -280,7 +298,8 @@ impl Simulation {
             users,
             rng,
             plan,
-            clock: VirtualClock::new(),
+            clock,
+            metrics,
         })
     }
 
@@ -325,6 +344,7 @@ impl Simulation {
                 let t = Instant::now();
                 let mut idx = self.system.gen_index(&pk, &record, &mut self.rng)?;
                 report.uploads += 1;
+                self.metrics.add("sim.uploads", 1);
                 // proxy hop — resilient when a fault schedule is active
                 if let Some(chain) = &self.chain {
                     match &self.plan {
@@ -396,6 +416,7 @@ impl Simulation {
                     Ok(cap) => {
                         report.issue_time += t.elapsed();
                         report.issued += 1;
+                        self.metrics.add("sim.capabilities_issued", 1);
                         let t = Instant::now();
                         let (hits, stats) = match &self.plan {
                             Some(plan) => {
@@ -415,6 +436,7 @@ impl Simulation {
                         };
                         report.search_time += t.elapsed();
                         report.searches += 1;
+                        self.metrics.add("sim.searches", 1);
                         report.scanned += stats.scanned;
                         report.matches += hits.len();
                         if stale {
@@ -427,12 +449,14 @@ impl Simulation {
                     }
                     Err(AuthzError::NotEligible { .. }) => {
                         report.denied += 1;
+                        self.metrics.add("sim.capabilities_denied", 1);
                     }
                     Err(e @ AuthzError::Apks(_)) => return Err(e),
                 }
             }
         }
         report.virtual_ticks = self.clock.now();
+        report.metrics = self.metrics.snapshot();
         Ok(report)
     }
 
@@ -543,6 +567,50 @@ mod tests {
         assert_eq!(a.lost_uploads, 0);
         assert_eq!(a.unavailable_uploads, 0);
         assert!(a.virtual_ticks > 0, "faults must charge the virtual clock");
+    }
+
+    #[test]
+    fn metrics_snapshot_mirrors_report_counters() {
+        let report = Simulation::new(SimConfig {
+            days: 2,
+            uploads_per_day: 2,
+            queries_per_day: 2,
+            proxies: 2,
+            seed: 7,
+            ..SimConfig::default()
+        })
+        .unwrap()
+        .run()
+        .unwrap();
+        let m = &report.metrics;
+        assert_eq!(m.counter("sim.uploads"), Some(report.uploads as u64));
+        assert_eq!(m.counter("sim.searches"), Some(report.searches as u64));
+        assert_eq!(
+            m.counter("sim.capabilities_issued"),
+            Some(report.issued as u64)
+        );
+        assert_eq!(
+            m.counter("sim.capabilities_denied").unwrap_or(0),
+            report.denied as u64
+        );
+        assert_eq!(m.counter("cloud.scans"), Some(report.searches as u64));
+        assert_eq!(m.counter("cloud.scan.docs"), Some(report.scanned as u64));
+        assert_eq!(m.counter("cloud.scan.matches"), Some(report.matches as u64));
+        // every scanned document costs exactly n+3 pairings
+        let schema = phr_schema(&PhrConfig::default()).unwrap();
+        let n0 = (ApksSystem::new(CurveParams::fast(), schema).n() + 3) as u64;
+        assert_eq!(
+            m.counter("cloud.scan.pairings"),
+            Some(report.scanned as u64 * n0)
+        );
+        // every upload crossed both proxy stages exactly once
+        let transforms: u64 = m
+            .entries()
+            .iter()
+            .filter(|(name, _)| name.starts_with("proxy.transforms."))
+            .filter_map(|(name, _)| m.counter(name))
+            .sum();
+        assert_eq!(transforms, report.uploads as u64 * 2);
     }
 
     #[test]

@@ -1,0 +1,342 @@
+//! Operational telemetry for the APKS stack.
+//!
+//! The paper's §VI traffic-monitoring defence presumes the proxy can
+//! *measure* per-client behaviour, and a deployed corpus scan is only
+//! debuggable if pairing counts and latencies are recorded where they
+//! happen. This crate is that layer, shared by every other crate:
+//!
+//! * [`Counter`] — a relaxed atomic event counter;
+//! * [`Histogram`] — fixed log₂ buckets with a lock-free record path;
+//! * [`Span`] — a scoped timer charging elapsed ticks of an injectable
+//!   [`Clock`] to a histogram ([`WallClock`] in production, the sim's
+//!   virtual clock in chaos runs, so seeded runs reproduce their
+//!   timings byte for byte);
+//! * [`MetricsRegistry`] — a name-keyed registry whose
+//!   [`MetricsSnapshot`] has a stable field order and a canonical byte
+//!   encoding, like `SimReport`;
+//! * [`source`] — thread-local counters the pairing layer increments at
+//!   the call site, collected per worker as deltas so parallel scans
+//!   (and parallel tests) never share mutable state.
+//!
+//! The crate deliberately depends on nothing, not even the workspace
+//! shims: `std::sync` primitives only.
+
+pub mod snapshot;
+pub mod source;
+
+pub use snapshot::{HistogramSnapshot, Metric, MetricsSnapshot, SnapshotDecodeError};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A monotone tick source. Ticks are microseconds under [`WallClock`]
+/// and virtual ticks under the fault layer's `VirtualClock`; code that
+/// charges spans never needs to know which.
+pub trait Clock: Send + Sync {
+    /// The current tick.
+    fn now_ticks(&self) -> u64;
+}
+
+/// Microseconds since the first reading in this process.
+///
+/// Anchoring at first use keeps the value comfortably inside `u64`
+/// and makes deltas exact; absolute values are meaningless by design
+/// (only spans are recorded).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WallClock;
+
+static WALL_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+impl Clock for WallClock {
+    fn now_ticks(&self) -> u64 {
+        let epoch = *WALL_EPOCH.get_or_init(Instant::now);
+        Instant::now().duration_since(epoch).as_micros() as u64
+    }
+}
+
+/// A monotone event counter (relaxed atomics: counts are statistics,
+/// not synchronization).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets. Bucket 0 holds the value 0; bucket
+/// `b ≥ 1` holds values with bit length `b` (i.e. `[2^(b−1), 2^b)`),
+/// and the last bucket absorbs everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// The bucket index for `value` under the log₂ layout above.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// The inclusive upper bound of bucket `b` (used when rendering
+/// approximate quantiles).
+pub fn bucket_upper_bound(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else if b >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// A fixed-bucket latency histogram. Recording is three relaxed
+/// `fetch_add`s — no locks, safe from any number of scan workers.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A scoped timer: charges the ticks between construction and
+/// [`Span::finish`] (or drop) to a histogram.
+pub struct Span<'a> {
+    clock: &'a dyn Clock,
+    hist: &'a Histogram,
+    start: u64,
+    done: bool,
+}
+
+impl<'a> Span<'a> {
+    /// Starts timing against `clock`.
+    pub fn start(clock: &'a dyn Clock, hist: &'a Histogram) -> Span<'a> {
+        Span {
+            clock,
+            hist,
+            start: clock.now_ticks(),
+            done: false,
+        }
+    }
+
+    /// Ticks elapsed so far.
+    pub fn elapsed(&self) -> u64 {
+        self.clock.now_ticks().saturating_sub(self.start)
+    }
+
+    /// Records the elapsed ticks and returns them.
+    pub fn finish(mut self) -> u64 {
+        let e = self.elapsed();
+        self.hist.record(e);
+        self.done = true;
+        e
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.hist.record(self.elapsed());
+        }
+    }
+}
+
+/// A name-keyed registry of counters and histograms.
+///
+/// Registration takes a write lock once per name; the returned handles
+/// are `Arc`s whose hot paths are pure atomics. `BTreeMap` keys give
+/// [`MetricsRegistry::snapshot`] its stable order for free.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, registered on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().expect("registry poisoned").get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.counters.write().expect("registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, registered on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().expect("registry poisoned").get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.histograms.write().expect("registry poisoned");
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Convenience: `counter(name).add(n)`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Convenience: `histogram(name).record(value)`.
+    pub fn record(&self, name: &str, value: u64) {
+        self.histogram(name).record(value);
+    }
+
+    /// A point-in-time snapshot of every metric, sorted by name
+    /// (counters before histograms on a name collision).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self.counters.read().expect("registry poisoned");
+        let histograms = self.histograms.read().expect("registry poisoned");
+        let mut entries = Vec::with_capacity(counters.len() + histograms.len());
+        for (name, c) in counters.iter() {
+            entries.push((name.clone(), Metric::Counter(c.get())));
+        }
+        for (name, h) in histograms.iter() {
+            entries.push((name.clone(), Metric::Histogram(h.snapshot())));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.tag().cmp(&b.1.tag())));
+        MetricsSnapshot { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn bucket_layout() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1 << 29), 30);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // every bucket's upper bound lands in that bucket
+        for b in 0..HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_upper_bound(b)), b, "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn histogram_records() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1006);
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[2], 2); // 2, 3
+        assert_eq!(s.buckets[bucket_index(1000)], 1);
+    }
+
+    /// A settable test clock.
+    struct TestClock(AtomicU64);
+    impl Clock for TestClock {
+        fn now_ticks(&self) -> u64 {
+            self.0.load(Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn span_charges_clock_ticks() {
+        let clock = TestClock(AtomicU64::new(10));
+        let h = Histogram::new();
+        let span = Span::start(&clock, &h);
+        clock.0.store(17, Ordering::Relaxed);
+        assert_eq!(span.elapsed(), 7);
+        assert_eq!(span.finish(), 7);
+        let s = h.snapshot();
+        assert_eq!((s.count, s.sum), (1, 7));
+        // drop path records too
+        {
+            let _span = Span::start(&clock, &h);
+            clock.0.store(20, Ordering::Relaxed);
+        }
+        assert_eq!(h.snapshot().sum, 10);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock;
+        let a = c.now_ticks();
+        let b = c.now_ticks();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn registry_returns_shared_handles_and_sorted_snapshots() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.count").add(2);
+        reg.counter("b.count").add(3);
+        reg.add("a.count", 1);
+        reg.record("c.hist", 9);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.count", "b.count", "c.hist"]);
+        assert_eq!(snap.counter("b.count"), Some(5));
+        assert_eq!(snap.histogram("c.hist").unwrap().count, 1);
+        assert_eq!(snap.counter("missing"), None);
+    }
+}

@@ -1,0 +1,397 @@
+//! Point-in-time metric snapshots with a canonical byte encoding.
+//!
+//! The chaos suite asserts byte-identity of whole reports across
+//! same-seed runs, so the snapshot encoding must be a pure function of
+//! the metric values: entries are sorted by name, every integer is a
+//! little-endian `u64`, and the encoding round-trips through
+//! [`MetricsSnapshot::from_canonical_bytes`].
+
+use crate::{bucket_upper_bound, HISTOGRAM_BUCKETS};
+use core::fmt;
+
+/// A copied-out histogram state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Per-bucket observation counts (log₂ layout — see
+    /// [`crate::bucket_index`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`0.0 ..= 1.0`), resolved to
+    /// the containing bucket's upper edge.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return bucket_upper_bound(b);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// One metric's value inside a snapshot.
+// snapshots are cold read-side values built once per render/export; the
+// histogram variant's inline bucket array is not worth an indirection
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Metric {
+    /// A counter reading.
+    Counter(u64),
+    /// A histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+const TAG_COUNTER: u64 = 0;
+const TAG_HISTOGRAM: u64 = 1;
+
+impl Metric {
+    /// Encoding tag (also the tie-break sort key on name collisions).
+    pub(crate) fn tag(&self) -> u64 {
+        match self {
+            Metric::Counter(_) => TAG_COUNTER,
+            Metric::Histogram(_) => TAG_HISTOGRAM,
+        }
+    }
+}
+
+/// Why a canonical byte string failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotDecodeError {
+    /// Input ended inside a field.
+    Truncated,
+    /// Unknown metric tag.
+    BadTag(u64),
+    /// A metric name was not UTF-8.
+    BadName,
+    /// Bytes left over after the declared entries.
+    TrailingBytes,
+}
+
+impl fmt::Display for SnapshotDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotDecodeError::Truncated => write!(f, "snapshot bytes truncated"),
+            SnapshotDecodeError::BadTag(t) => write!(f, "unknown metric tag {t}"),
+            SnapshotDecodeError::BadName => write!(f, "metric name is not UTF-8"),
+            SnapshotDecodeError::TrailingBytes => write!(f, "trailing bytes after snapshot"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotDecodeError {}
+
+/// A point-in-time copy of a whole [`crate::MetricsRegistry`], sorted
+/// by metric name.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub(crate) entries: Vec<(String, Metric)>,
+}
+
+impl MetricsSnapshot {
+    /// Builds a snapshot from raw entries (sorted into canonical order).
+    pub fn from_entries(mut entries: Vec<(String, Metric)>) -> MetricsSnapshot {
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.tag().cmp(&b.1.tag())));
+        MetricsSnapshot { entries }
+    }
+
+    /// All entries in canonical (name-sorted) order.
+    pub fn entries(&self) -> &[(String, Metric)] {
+        &self.entries
+    }
+
+    /// True iff no metric was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().find_map(|(n, m)| match m {
+            Metric::Counter(v) if n == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.entries.iter().find_map(|(n, m)| match m {
+            Metric::Histogram(h) if n == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Canonical byte encoding: entry count, then per entry the name
+    /// (length-prefixed), a tag, and the value — every integer a
+    /// little-endian `u64`. Same metrics ⇒ same bytes, always.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        push_u64(&mut out, self.entries.len() as u64);
+        for (name, metric) in &self.entries {
+            push_u64(&mut out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+            push_u64(&mut out, metric.tag());
+            match metric {
+                Metric::Counter(v) => push_u64(&mut out, *v),
+                Metric::Histogram(h) => {
+                    push_u64(&mut out, h.count);
+                    push_u64(&mut out, h.sum);
+                    for &b in &h.buckets {
+                        push_u64(&mut out, b);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes bytes produced by [`MetricsSnapshot::canonical_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotDecodeError`] on malformed input.
+    pub fn from_canonical_bytes(bytes: &[u8]) -> Result<MetricsSnapshot, SnapshotDecodeError> {
+        let mut pos = 0usize;
+        let count = read_u64(bytes, &mut pos)?;
+        let mut entries = Vec::new();
+        for _ in 0..count {
+            let name_len = read_u64(bytes, &mut pos)? as usize;
+            let end = pos
+                .checked_add(name_len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or(SnapshotDecodeError::Truncated)?;
+            let name = std::str::from_utf8(&bytes[pos..end])
+                .map_err(|_| SnapshotDecodeError::BadName)?
+                .to_string();
+            pos = end;
+            let metric = match read_u64(bytes, &mut pos)? {
+                TAG_COUNTER => Metric::Counter(read_u64(bytes, &mut pos)?),
+                TAG_HISTOGRAM => {
+                    let count = read_u64(bytes, &mut pos)?;
+                    let sum = read_u64(bytes, &mut pos)?;
+                    let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+                    for b in &mut buckets {
+                        *b = read_u64(bytes, &mut pos)?;
+                    }
+                    Metric::Histogram(HistogramSnapshot {
+                        count,
+                        sum,
+                        buckets,
+                    })
+                }
+                tag => return Err(SnapshotDecodeError::BadTag(tag)),
+            };
+            entries.push((name, metric));
+        }
+        if pos != bytes.len() {
+            return Err(SnapshotDecodeError::TrailingBytes);
+        }
+        Ok(MetricsSnapshot { entries })
+    }
+
+    /// A human-readable rendering, one metric per line.
+    pub fn render(&self) -> String {
+        use fmt::Write;
+        let mut out = String::new();
+        for (name, metric) in &self.entries {
+            match metric {
+                Metric::Counter(v) => {
+                    let _ = writeln!(out, "counter    {name} = {v}");
+                }
+                Metric::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "histogram  {name}: count={} sum={} mean={:.1} p50≤{} p99≤{}",
+                        h.count,
+                        h.sum,
+                        h.mean(),
+                        h.quantile_upper_bound(0.5),
+                        h.quantile_upper_bound(0.99),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// A JSON rendering (counters and histograms keyed by name) for the
+    /// CI artifact. Hand-rolled — the workspace has no JSON dependency.
+    pub fn to_json(&self) -> String {
+        use fmt::Write;
+        let mut counters = String::new();
+        let mut histograms = String::new();
+        for (name, metric) in &self.entries {
+            match metric {
+                Metric::Counter(v) => {
+                    if !counters.is_empty() {
+                        counters.push(',');
+                    }
+                    let _ = write!(counters, "{}:{v}", json_string(name));
+                }
+                Metric::Histogram(h) => {
+                    if !histograms.is_empty() {
+                        histograms.push(',');
+                    }
+                    let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+                    let _ = write!(
+                        histograms,
+                        "{}:{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                        json_string(name),
+                        h.count,
+                        h.sum,
+                        buckets.join(",")
+                    );
+                }
+            }
+        }
+        format!("{{\"counters\":{{{counters}}},\"histograms\":{{{histograms}}}}}")
+    }
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, SnapshotDecodeError> {
+    let end = pos
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or(SnapshotDecodeError::Truncated)?;
+    let mut le = [0u8; 8];
+    le.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Ok(u64::from_le_bytes(le))
+}
+
+/// Escapes a metric name as a JSON string literal (names are ASCII in
+/// practice; quotes/backslashes/control bytes are escaped anyway).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut hist = HistogramSnapshot {
+            count: 3,
+            sum: 10,
+            ..HistogramSnapshot::default()
+        };
+        hist.buckets[0] = 1;
+        hist.buckets[3] = 2;
+        MetricsSnapshot::from_entries(vec![
+            ("z.last".into(), Metric::Counter(7)),
+            ("a.first".into(), Metric::Counter(1)),
+            ("m.hist".into(), Metric::Histogram(hist)),
+        ])
+    }
+
+    #[test]
+    fn entries_are_sorted() {
+        let snap = sample();
+        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.first", "m.hist", "z.last"]);
+    }
+
+    #[test]
+    fn canonical_bytes_round_trip() {
+        let snap = sample();
+        let bytes = snap.canonical_bytes();
+        let back = MetricsSnapshot::from_canonical_bytes(&bytes).unwrap();
+        assert_eq!(back, snap);
+        // empty snapshot round-trips too
+        let empty = MetricsSnapshot::default();
+        assert_eq!(
+            MetricsSnapshot::from_canonical_bytes(&empty.canonical_bytes()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn decode_rejects_malformed_input() {
+        let snap = sample();
+        let bytes = snap.canonical_bytes();
+        assert_eq!(
+            MetricsSnapshot::from_canonical_bytes(&bytes[..bytes.len() - 1]),
+            Err(SnapshotDecodeError::Truncated)
+        );
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert_eq!(
+            MetricsSnapshot::from_canonical_bytes(&trailing),
+            Err(SnapshotDecodeError::TrailingBytes)
+        );
+        let mut bad_tag = bytes.clone();
+        // first entry's tag sits after count (8) + name len (8) + name
+        let tag_at = 8 + 8 + "a.first".len();
+        bad_tag[tag_at] = 9;
+        assert_eq!(
+            MetricsSnapshot::from_canonical_bytes(&bad_tag),
+            Err(SnapshotDecodeError::BadTag(9))
+        );
+    }
+
+    #[test]
+    fn quantile_bounds_are_sane() {
+        let mut h = HistogramSnapshot::default();
+        // 10 observations of value 5 (bucket 3: 4..=7)
+        h.count = 10;
+        h.sum = 50;
+        h.buckets[3] = 10;
+        assert_eq!(h.quantile_upper_bound(0.5), 7);
+        assert_eq!(h.quantile_upper_bound(0.99), 7);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(HistogramSnapshot::default().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = sample().to_json();
+        assert!(j.starts_with("{\"counters\":{"));
+        assert!(j.contains("\"a.first\":1"));
+        assert!(j.contains("\"m.hist\":{\"count\":3,\"sum\":10,\"buckets\":[1,0,0,2,"));
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -1,0 +1,144 @@
+//! Thread-local at-source counters for the pairing layer.
+//!
+//! The dpvs/hpe crates increment these at the exact call sites that
+//! perform pairings and Miller loops. The counters are thread-local on
+//! purpose: a process-global atomic would be polluted by whatever else
+//! runs concurrently (parallel scan workers of *another* search,
+//! parallel tests), while a per-thread delta collected by
+//! [`measure`] is attributable — each scan worker measures its own
+//! work and the scan sums the deltas, which is deterministic for any
+//! thread count.
+
+use std::cell::Cell;
+use std::ops::{Add, AddAssign, Sub};
+
+thread_local! {
+    static PAIRINGS: Cell<u64> = const { Cell::new(0) };
+    static MILLER_LOOPS: Cell<u64> = const { Cell::new(0) };
+    static PREDICATE_EVALS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A reading (or delta) of the source counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SourceCounts {
+    /// Pairing evaluations (one per coordinate of a multi-pairing).
+    pub pairings: u64,
+    /// Miller loops run (plain pairings run one each; prepared pairings
+    /// run none — their loops were spent at preparation time).
+    pub miller_loops: u64,
+    /// Predicate evaluations (HPE decrypt/test calls).
+    pub predicate_evals: u64,
+}
+
+impl Add for SourceCounts {
+    type Output = SourceCounts;
+    fn add(self, rhs: SourceCounts) -> SourceCounts {
+        SourceCounts {
+            pairings: self.pairings + rhs.pairings,
+            miller_loops: self.miller_loops + rhs.miller_loops,
+            predicate_evals: self.predicate_evals + rhs.predicate_evals,
+        }
+    }
+}
+
+impl AddAssign for SourceCounts {
+    fn add_assign(&mut self, rhs: SourceCounts) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SourceCounts {
+    type Output = SourceCounts;
+    fn sub(self, rhs: SourceCounts) -> SourceCounts {
+        SourceCounts {
+            pairings: self.pairings - rhs.pairings,
+            miller_loops: self.miller_loops - rhs.miller_loops,
+            predicate_evals: self.predicate_evals - rhs.predicate_evals,
+        }
+    }
+}
+
+/// Records `n` pairing evaluations on this thread.
+pub fn record_pairings(n: u64) {
+    PAIRINGS.with(|c| c.set(c.get() + n));
+}
+
+/// Records `n` Miller loops on this thread.
+pub fn record_miller_loops(n: u64) {
+    MILLER_LOOPS.with(|c| c.set(c.get() + n));
+}
+
+/// Records `n` predicate evaluations on this thread.
+pub fn record_predicate_evals(n: u64) {
+    PREDICATE_EVALS.with(|c| c.set(c.get() + n));
+}
+
+/// This thread's running totals since it started.
+pub fn totals() -> SourceCounts {
+    SourceCounts {
+        pairings: PAIRINGS.with(Cell::get),
+        miller_loops: MILLER_LOOPS.with(Cell::get),
+        predicate_evals: PREDICATE_EVALS.with(Cell::get),
+    }
+}
+
+/// Runs `f` and returns its result together with the source counts it
+/// caused **on this thread**. Work `f` spawns onto other threads must
+/// be measured there (each scan worker wraps its own part).
+pub fn measure<T>(f: impl FnOnce() -> T) -> (T, SourceCounts) {
+    let before = totals();
+    let out = f();
+    (out, totals() - before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_the_delta() {
+        let (out, counts) = measure(|| {
+            record_pairings(5);
+            record_miller_loops(2);
+            record_predicate_evals(1);
+            "done"
+        });
+        assert_eq!(out, "done");
+        assert_eq!(
+            counts,
+            SourceCounts {
+                pairings: 5,
+                miller_loops: 2,
+                predicate_evals: 1
+            }
+        );
+        // a second measurement starts from the new baseline
+        let ((), counts) = measure(|| record_pairings(1));
+        assert_eq!(counts.pairings, 1);
+        assert_eq!(counts.miller_loops, 0);
+    }
+
+    #[test]
+    fn deltas_are_per_thread() {
+        let ((), counts) = measure(|| {
+            std::thread::spawn(|| record_pairings(100)).join().unwrap();
+        });
+        assert_eq!(counts.pairings, 0, "other threads' work is not charged");
+        // ... but the worker can measure its own delta and hand it back
+        let worker = std::thread::spawn(|| measure(|| record_pairings(3)).1);
+        assert_eq!(worker.join().unwrap().pairings, 3);
+    }
+
+    #[test]
+    fn counts_add_and_subtract() {
+        let a = SourceCounts {
+            pairings: 3,
+            miller_loops: 2,
+            predicate_evals: 1,
+        };
+        let mut sum = a;
+        sum += a;
+        assert_eq!(sum.pairings, 6);
+        assert_eq!(sum - a, a);
+    }
+}

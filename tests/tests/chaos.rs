@@ -68,6 +68,14 @@ fn same_seed_chaos_runs_are_byte_identical() {
         b.canonical_bytes(),
         "same seed must replay the exact same chaos"
     );
+    // the telemetry snapshot rides inside canonical_bytes, but assert it
+    // separately so a regression points straight at the metrics layer
+    assert_eq!(
+        a.metrics.canonical_bytes(),
+        b.metrics.canonical_bytes(),
+        "same seed must reproduce the metrics snapshot byte for byte"
+    );
+    assert!(!a.metrics.is_empty(), "chaos runs must record metrics");
     assert!(
         a.ingest_retries + a.search_retries + a.dropped_uploads > 0,
         "the schedule must actually inject faults"
