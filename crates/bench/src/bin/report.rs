@@ -27,6 +27,7 @@ fn main() {
     // artifact without paying for the full evaluation grid.
     if std::env::var("APKS_METRICS_ONLY").as_deref() == Ok("1") {
         metrics_section(&params);
+        overload_section();
         return;
     }
     let grid_len: usize = std::env::var("APKS_GRID")
@@ -348,6 +349,60 @@ fn main() {
 
     resilience_section(&params);
     metrics_section(&params);
+    overload_section();
+}
+
+/// Overload protection under a saturating Zipf burst: the admission
+/// controller's shed/brown-out ledger, end-of-run breaker states, and
+/// the headline comparison — p99 time-to-shed vs p99 time-to-result on
+/// the shared virtual clock. Writes the overload metrics snapshot CI
+/// uploads (`APKS_OVERLOAD_OUT`, default
+/// `overload-metrics-snapshot.json`).
+fn overload_section() {
+    use apks_sim::overload::{run_overload, OverloadConfig};
+
+    println!();
+    println!("## Overload — saturating burst vs unloaded twin (virtual ticks)");
+    println!();
+    let loaded = run_overload(&OverloadConfig::default()).unwrap();
+    let unloaded = run_overload(&OverloadConfig::default().unloaded()).unwrap();
+
+    println!("| run | admitted | queue-full shed | browned out | displaced | deadline-expired | unscanned docs | p99 time-to-shed | p99 time-to-result |");
+    println!("|-----|----------|-----------------|-------------|-----------|------------------|----------------|------------------|--------------------|");
+    for (label, r) in [("loaded", &loaded), ("unloaded", &unloaded)] {
+        println!(
+            "| {label} | {} / {} | {} | {} (max level {}) | {} | {} | {} | {} | {} |",
+            r.admitted,
+            r.arrivals,
+            r.shed_queue_full,
+            r.shed_brownout,
+            r.max_brownout_level,
+            r.displaced,
+            r.deadline_expired,
+            r.unscanned_docs,
+            r.time_to_shed_p99(),
+            r.scan_latency_p99(),
+        );
+    }
+    println!();
+    let shed_p99 = loaded.time_to_shed_p99().max(1);
+    println!(
+        "shedding is {}x cheaper than scanning at p99 (shed {} ticks vs scan {} ticks)",
+        loaded.scan_latency_p99() / shed_p99,
+        loaded.time_to_shed_p99(),
+        loaded.scan_latency_p99(),
+    );
+    println!("end-of-run breaker states:");
+    for (id, state) in &loaded.breaker_states {
+        println!("  {id}: {state}");
+    }
+
+    let path = std::env::var("APKS_OVERLOAD_OUT")
+        .unwrap_or_else(|_| "overload-metrics-snapshot.json".into());
+    match std::fs::write(&path, loaded.metrics.to_json()) {
+        Ok(()) => println!("overload metrics JSON written to {path}"),
+        Err(e) => println!("could not write overload metrics JSON to {path}: {e}"),
+    }
 }
 
 /// Scan telemetry: runs plain and prepared corpus scans over a seeded

@@ -53,7 +53,7 @@ impl Args {
             let a = &args[i];
             if let Some(name) = a.strip_prefix("--") {
                 // boolean flags take no value
-                if matches!(name, "plus" | "finalize" | "points" | "json") {
+                if matches!(name, "plus" | "finalize" | "points" | "json" | "overload") {
                     flags.push(name.to_string());
                 } else {
                     i += 1;
@@ -103,7 +103,7 @@ commands:
   delegate   --deploy <deploy> --cap <file> --query \"...\" --out <file> [--seed N]
   search     --deploy <deploy> --cap <file> <index-file>...
   transform  --deploy <deploy> --in <partial-index> --out <file>   (APKS+ proxy step)
-  stats      [--docs N] [--threads N] [--seed N] [--json]   (scan an in-memory corpus, print telemetry)
+  stats      [--docs N] [--threads N] [--seed N] [--json] [--overload]   (scan an in-memory corpus, print telemetry)
   demo       [--seed N]
 ";
 
@@ -361,6 +361,9 @@ fn cmd_stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> 
     use apks_cloud::CloudServer;
     use apks_core::{FieldValue, Record, Schema};
 
+    if args.has_flag("overload") {
+        return cmd_stats_overload(args, out);
+    }
     let docs: usize = args.get("docs").and_then(|v| v.parse().ok()).unwrap_or(24);
     let threads: usize = args
         .get("threads")
@@ -428,6 +431,48 @@ fn cmd_stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> 
             }
         )?;
     }
+    Ok(())
+}
+
+/// `apks stats --overload`: replay the deterministic overload scenario
+/// and print its admission, brown-out, breaker, and latency telemetry.
+fn cmd_stats_overload(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use apks_sim::overload::{run_overload, OverloadConfig};
+
+    let config = OverloadConfig {
+        seed: args.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1),
+        ..OverloadConfig::default()
+    };
+    let r = run_overload(&config).map_err(|e| CliError(e.to_string()))?;
+    if args.has_flag("json") {
+        writeln!(out, "{}", r.metrics.to_json())?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "overload scenario (seed {}): {} arrivals over {} virtual ticks, {} docs",
+        config.seed, r.arrivals, r.virtual_ticks, r.docs_stored
+    )?;
+    writeln!(
+        out,
+        "admission: {} admitted, {} shed at the queue, {} browned out (max level {}), {} displaced by priority",
+        r.admitted, r.shed_queue_full, r.shed_brownout, r.max_brownout_level, r.displaced
+    )?;
+    writeln!(
+        out,
+        "degradation: {} deadline-expired, {} budget-exhausted, {} documents left unscanned",
+        r.deadline_expired, r.budget_exhausted, r.unscanned_docs
+    )?;
+    writeln!(out, "circuit breakers:")?;
+    for (id, state) in &r.breaker_states {
+        writeln!(out, "  {id}: {state}")?;
+    }
+    writeln!(
+        out,
+        "p99 time-to-shed {} ticks vs p99 time-to-result {} ticks",
+        r.time_to_shed_p99(),
+        r.scan_latency_p99()
+    )?;
     Ok(())
 }
 
@@ -681,6 +726,18 @@ mod tests {
         assert!(out.contains("cloud.scan.pairings"));
         assert!(out.contains("consistent"), "got:\n{out}");
         assert!(!out.contains("MISMATCH"));
+    }
+
+    #[test]
+    fn stats_overload_reports_breakers_and_sheds() {
+        let out = run_strs(&["stats", "--overload", "--seed", "1"]).unwrap();
+        assert!(out.contains("overload scenario (seed 1)"));
+        assert!(out.contains("circuit breakers:"));
+        assert!(out.contains("proxy-0: "));
+        assert!(out.contains("p99 time-to-shed"));
+        // the same seed replays identically
+        let again = run_strs(&["stats", "--overload", "--seed", "1"]).unwrap();
+        assert_eq!(out, again);
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! Admission control: bounded queue + brown-out ladder.
+//!
+//! Under overload the server must decide *before* spending pairings
+//! which requests to serve. The [`AdmissionController`] keeps a bounded
+//! queue of in-flight requests and makes two kinds of decisions, both
+//! pure functions of the call sequence (no wall time, no randomness —
+//! same-seed overload runs replay identical decisions):
+//!
+//! - **Shed-newest on a full queue.** A request arriving at a full
+//!   queue is shed immediately (time-to-shed is the cheap admission
+//!   check, not a corpus scan). The exception is a [`RequestClass::
+//!   Priority`] request — revocation checks must not starve — which
+//!   displaces the newest normal request instead of being shed.
+//! - **Brown-out by query shape.** As occupancy climbs past the
+//!   configured thresholds the controller progressively disables the
+//!   expensive query shapes: deep range sub-fields first (they cost the
+//!   most capability dimensions per scan), then shallow ranges and
+//!   subset queries, and finally every non-priority request.
+//!
+//! Every decision is counted in the server's [`MetricsRegistry`], so
+//! the shed/displaced totals surface in the metrics snapshot alongside
+//! the scan counters.
+
+use apks_telemetry::MetricsRegistry;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Identifier the caller assigns to a request (the sim uses the arrival
+/// ordinal).
+pub type RequestId = u64;
+
+/// Query shapes ordered by evaluation cost: later variants are browned
+/// out earlier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QueryShape {
+    /// Single-value equality terms only.
+    Equality,
+    /// `one_of` subset terms.
+    Subset,
+    /// Range terms covered by few same-level hierarchy nodes.
+    ShallowRange,
+    /// Range terms that decompose into deep sub-field unions.
+    DeepRange,
+}
+
+impl QueryShape {
+    /// Stable lowercase label (used by telemetry and the CLI).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryShape::Equality => "equality",
+            QueryShape::Subset => "subset",
+            QueryShape::ShallowRange => "shallow-range",
+            QueryShape::DeepRange => "deep-range",
+        }
+    }
+}
+
+/// How the admission controller treats a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestClass {
+    /// Revocation-freshness checks: never browned out, and displace the
+    /// newest normal request when the queue is full.
+    Priority,
+    /// An ordinary search, classified by its query shape.
+    Normal(QueryShape),
+}
+
+/// Admission tuning. Brown-out thresholds are queue occupancy in
+/// permille of `queue_bound`; they must be ordered `l1 ≤ l2 ≤ l3`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum in-flight requests before shed-newest kicks in.
+    pub queue_bound: usize,
+    /// Occupancy (permille) at which deep ranges are shed (level 1).
+    pub brownout_l1_permille: u32,
+    /// Occupancy at which shallow ranges and subsets are also shed
+    /// (level 2).
+    pub brownout_l2_permille: u32,
+    /// Occupancy at which every normal request is shed (level 3).
+    pub brownout_l3_permille: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            queue_bound: 64,
+            brownout_l1_permille: 500,
+            brownout_l2_permille: 750,
+            brownout_l3_permille: 900,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// A checked config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queue_bound == 0` (every request would be shed) or the
+    /// brown-out thresholds are not ordered `l1 ≤ l2 ≤ l3`.
+    pub fn new(queue_bound: usize, l1: u32, l2: u32, l3: u32) -> AdmissionConfig {
+        assert!(queue_bound > 0, "admission queue bound must be positive");
+        assert!(
+            l1 <= l2 && l2 <= l3,
+            "brown-out thresholds must be ordered l1 <= l2 <= l3"
+        );
+        AdmissionConfig {
+            queue_bound,
+            brownout_l1_permille: l1,
+            brownout_l2_permille: l2,
+            brownout_l3_permille: l3,
+        }
+    }
+
+    /// The brown-out level at `depth` in-flight requests: 0 (none) to 3
+    /// (all normal traffic shed). Pure, so tests can table the ladder.
+    pub fn brownout_level_at(&self, depth: usize) -> u8 {
+        let permille = (depth.saturating_mul(1000) / self.queue_bound) as u32;
+        if permille >= self.brownout_l3_permille {
+            3
+        } else if permille >= self.brownout_l2_permille {
+            2
+        } else if permille >= self.brownout_l1_permille {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// True iff `shape` is disabled at brown-out `level`.
+    pub fn browned_out(level: u8, shape: QueryShape) -> bool {
+        match level {
+            0 => false,
+            1 => shape == QueryShape::DeepRange,
+            2 => shape >= QueryShape::Subset,
+            _ => true,
+        }
+    }
+}
+
+/// Why a request was shed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The queue was at its bound and the request had no displacement
+    /// right.
+    QueueFull,
+    /// The request's shape is disabled at the current brown-out level.
+    Brownout {
+        /// Ladder level (1–3) in force at the decision.
+        level: u8,
+    },
+}
+
+impl ShedReason {
+    /// Stable lowercase label (used by telemetry and reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::Brownout { .. } => "brownout",
+        }
+    }
+}
+
+/// Outcome of [`AdmissionController::offer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// The request may proceed to the scan.
+    Admitted {
+        /// Brown-out level in force when the request was admitted.
+        brownout_level: u8,
+        /// Normal request bumped out by an arriving priority request.
+        displaced: Option<RequestId>,
+    },
+    /// The request was refused before any scan work.
+    Shed {
+        /// Why it was refused.
+        reason: ShedReason,
+    },
+}
+
+/// The bounded admission queue. See the module docs for the policy.
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    queue: Mutex<VecDeque<(RequestId, RequestClass)>>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl AdmissionController {
+    /// An empty controller recording into `metrics`.
+    pub fn new(config: AdmissionConfig, metrics: Arc<MetricsRegistry>) -> AdmissionController {
+        AdmissionController {
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            metrics,
+        }
+    }
+
+    /// The tuning this controller runs under.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// The brown-out level a request arriving now would face.
+    pub fn brownout_level(&self) -> u8 {
+        self.config.brownout_level_at(self.queue.lock().len())
+    }
+
+    /// Offers a request for admission. Decisions and their telemetry:
+    /// brown-out sheds count `cloud.admission.shed.brownout`, full-queue
+    /// sheds `cloud.admission.shed.queue_full`, admissions
+    /// `cloud.admission.admitted` (plus a `cloud.admission.depth`
+    /// observation), and priority displacements
+    /// `cloud.admission.displaced`.
+    pub fn offer(&self, id: RequestId, class: RequestClass) -> AdmissionDecision {
+        let mut queue = self.queue.lock();
+        let level = self.config.brownout_level_at(queue.len());
+        if let RequestClass::Normal(shape) = class {
+            if AdmissionConfig::browned_out(level, shape) {
+                self.metrics.add("cloud.admission.shed.brownout", 1);
+                return AdmissionDecision::Shed {
+                    reason: ShedReason::Brownout { level },
+                };
+            }
+        }
+        let mut displaced = None;
+        if queue.len() >= self.config.queue_bound {
+            if class == RequestClass::Priority {
+                // displace the newest normal request (scan from the back)
+                let victim = queue
+                    .iter()
+                    .rposition(|(_, c)| matches!(c, RequestClass::Normal(_)));
+                match victim {
+                    Some(pos) => {
+                        displaced = queue.remove(pos).map(|(id, _)| id);
+                        self.metrics.add("cloud.admission.displaced", 1);
+                    }
+                    None => {
+                        // saturated with priority work: even priority sheds
+                        self.metrics.add("cloud.admission.shed.queue_full", 1);
+                        return AdmissionDecision::Shed {
+                            reason: ShedReason::QueueFull,
+                        };
+                    }
+                }
+            } else {
+                self.metrics.add("cloud.admission.shed.queue_full", 1);
+                return AdmissionDecision::Shed {
+                    reason: ShedReason::QueueFull,
+                };
+            }
+        }
+        queue.push_back((id, class));
+        self.metrics.add("cloud.admission.admitted", 1);
+        self.metrics
+            .record("cloud.admission.depth", queue.len() as u64);
+        AdmissionDecision::Admitted {
+            brownout_level: level,
+            displaced,
+        }
+    }
+
+    /// Marks a previously admitted request finished, freeing its queue
+    /// slot. Returns `false` if the id was not in flight (already
+    /// displaced or never admitted).
+    pub fn complete(&self, id: RequestId) -> bool {
+        let mut queue = self.queue.lock();
+        match queue.iter().position(|(q, _)| *q == id) {
+            Some(pos) => {
+                queue.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(bound: usize) -> AdmissionController {
+        AdmissionController::new(
+            AdmissionConfig::new(bound, 500, 750, 900),
+            Arc::new(MetricsRegistry::new()),
+        )
+    }
+
+    fn admitted(d: AdmissionDecision) -> bool {
+        matches!(d, AdmissionDecision::Admitted { .. })
+    }
+
+    #[test]
+    fn admits_under_the_bound_and_sheds_the_newest_at_it() {
+        let c = controller(4);
+        // bound 4 with l3 at 900‰: depth 4 = 1000‰ is brown-out level 3,
+        // so use priority traffic to isolate the queue-full path
+        for id in 0..4 {
+            assert!(admitted(c.offer(id, RequestClass::Priority)));
+        }
+        assert_eq!(c.depth(), 4);
+        assert_eq!(
+            c.offer(4, RequestClass::Priority),
+            AdmissionDecision::Shed {
+                reason: ShedReason::QueueFull
+            },
+            "a queue saturated with priority work sheds even priority"
+        );
+        assert_eq!(c.depth(), 4, "the shed request never occupied a slot");
+    }
+
+    #[test]
+    fn priority_displaces_the_newest_normal_request() {
+        let c = AdmissionController::new(
+            AdmissionConfig::new(3, 1001, 1001, 1001), // ladder disabled
+            Arc::new(MetricsRegistry::new()),
+        );
+        assert!(admitted(c.offer(0, RequestClass::Priority)));
+        assert!(admitted(
+            c.offer(1, RequestClass::Normal(QueryShape::Equality))
+        ));
+        assert!(admitted(
+            c.offer(2, RequestClass::Normal(QueryShape::Equality))
+        ));
+        // full: a normal arrival is shed…
+        assert_eq!(
+            c.offer(3, RequestClass::Normal(QueryShape::Equality)),
+            AdmissionDecision::Shed {
+                reason: ShedReason::QueueFull
+            }
+        );
+        // …but a priority arrival bumps the newest normal (id 2)
+        assert_eq!(
+            c.offer(4, RequestClass::Priority),
+            AdmissionDecision::Admitted {
+                brownout_level: 0,
+                displaced: Some(2)
+            }
+        );
+        assert_eq!(c.depth(), 3);
+        assert!(
+            !c.complete(2),
+            "the displaced request is no longer in flight"
+        );
+        assert!(c.complete(4));
+    }
+
+    #[test]
+    fn brownout_ladder_sheds_expensive_shapes_first() {
+        let cfg = AdmissionConfig::new(10, 500, 750, 900);
+        assert_eq!(cfg.brownout_level_at(0), 0);
+        assert_eq!(cfg.brownout_level_at(4), 0);
+        assert_eq!(cfg.brownout_level_at(5), 1);
+        assert_eq!(cfg.brownout_level_at(7), 1);
+        assert_eq!(cfg.brownout_level_at(8), 2);
+        assert_eq!(cfg.brownout_level_at(9), 3);
+        // level 1: only deep ranges disabled
+        assert!(AdmissionConfig::browned_out(1, QueryShape::DeepRange));
+        assert!(!AdmissionConfig::browned_out(1, QueryShape::ShallowRange));
+        // level 2: everything but equality
+        assert!(AdmissionConfig::browned_out(2, QueryShape::ShallowRange));
+        assert!(AdmissionConfig::browned_out(2, QueryShape::Subset));
+        assert!(!AdmissionConfig::browned_out(2, QueryShape::Equality));
+        // level 3: all normal shapes
+        assert!(AdmissionConfig::browned_out(3, QueryShape::Equality));
+    }
+
+    #[test]
+    fn brownout_decisions_apply_at_offer_time() {
+        let c = controller(10);
+        for id in 0..5 {
+            assert!(admitted(
+                c.offer(id, RequestClass::Normal(QueryShape::Equality))
+            ));
+        }
+        // depth 5 = level 1: deep ranges shed, equality still served
+        assert_eq!(
+            c.offer(5, RequestClass::Normal(QueryShape::DeepRange)),
+            AdmissionDecision::Shed {
+                reason: ShedReason::Brownout { level: 1 }
+            }
+        );
+        assert!(admitted(
+            c.offer(6, RequestClass::Normal(QueryShape::Equality))
+        ));
+        // priority is never browned out
+        for id in 7..16 {
+            assert!(
+                admitted(c.offer(id, RequestClass::Priority)),
+                "priority shed at id {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn completion_frees_capacity_and_lowers_the_ladder() {
+        let c = controller(4);
+        for id in 0..2 {
+            assert!(admitted(
+                c.offer(id, RequestClass::Normal(QueryShape::Equality))
+            ));
+        }
+        // depth 2/4 = 500‰ = level 1
+        assert_eq!(c.brownout_level(), 1);
+        assert!(c.complete(0));
+        assert_eq!(c.brownout_level(), 0);
+        assert!(admitted(
+            c.offer(2, RequestClass::Normal(QueryShape::DeepRange))
+        ));
+        assert!(!c.complete(0), "double completion is reported");
+    }
+
+    #[test]
+    fn decisions_are_counted() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        // l2/l3 above 1000‰ keep the full queue at level 1, so the
+        // equality request below hits the queue-full path, not brown-out
+        let c = AdmissionController::new(AdmissionConfig::new(2, 500, 1001, 1001), metrics.clone());
+        assert!(admitted(
+            c.offer(0, RequestClass::Normal(QueryShape::Equality))
+        ));
+        // depth 1/2 = 500‰ = level 1: deep range browned out
+        assert!(!admitted(
+            c.offer(1, RequestClass::Normal(QueryShape::DeepRange))
+        ));
+        assert!(admitted(
+            c.offer(2, RequestClass::Normal(QueryShape::Equality))
+        ));
+        // full: normal shed, priority displaces
+        assert!(!admitted(
+            c.offer(3, RequestClass::Normal(QueryShape::Equality))
+        ));
+        assert!(admitted(c.offer(4, RequestClass::Priority)));
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("cloud.admission.admitted"), Some(3));
+        assert_eq!(snap.counter("cloud.admission.shed.brownout"), Some(1));
+        assert_eq!(snap.counter("cloud.admission.shed.queue_full"), Some(1));
+        assert_eq!(snap.counter("cloud.admission.displaced"), Some(1));
+        assert_eq!(snap.histogram("cloud.admission.depth").unwrap().count, 3);
+    }
+
+    #[test]
+    fn shape_labels_are_stable() {
+        assert_eq!(QueryShape::Equality.label(), "equality");
+        assert_eq!(QueryShape::Subset.label(), "subset");
+        assert_eq!(QueryShape::ShallowRange.label(), "shallow-range");
+        assert_eq!(QueryShape::DeepRange.label(), "deep-range");
+        assert_eq!(ShedReason::QueueFull.label(), "queue-full");
+        assert_eq!(ShedReason::Brownout { level: 2 }.label(), "brownout");
+    }
+
+    #[test]
+    #[should_panic(expected = "admission queue bound must be positive")]
+    fn zero_bound_rejected() {
+        AdmissionConfig::new(0, 500, 750, 900);
+    }
+
+    #[test]
+    #[should_panic(expected = "brown-out thresholds must be ordered")]
+    fn unordered_thresholds_rejected() {
+        AdmissionConfig::new(8, 800, 750, 900);
+    }
+}

@@ -12,7 +12,12 @@
 //! `query_privacy` example: it succeeds against plain APKS capabilities
 //! and fails against APKS⁺.
 
+pub mod admission;
 pub mod adversary;
 pub mod server;
 
+pub use admission::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, QueryShape, RequestClass, RequestId,
+    ShedReason,
+};
 pub use server::{CloudServer, DegradedScan, DocumentId, SearchOutcome, SearchStats};

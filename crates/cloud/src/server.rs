@@ -2,7 +2,10 @@
 
 use apks_authz::{IbsPublicParams, SignedCapability};
 use apks_core::fault::{DocFault, FaultContext};
-use apks_core::{ApksError, ApksPublicKey, ApksSystem, Capability, EncryptedIndex};
+use apks_core::{
+    ApksError, ApksPublicKey, ApksSystem, Budget, Capability, Deadline, EncryptedIndex,
+    PreparedCapability,
+};
 use apks_telemetry::source::{self, SourceCounts};
 use apks_telemetry::{Clock, MetricsRegistry, MetricsSnapshot, Span, WallClock};
 use core::fmt;
@@ -64,6 +67,14 @@ pub struct SearchStats {
     /// True iff at least one document was skipped: the match set covers
     /// only the healthy corpus.
     pub degraded: bool,
+    /// True iff the request's [`Deadline`] expired before or during the
+    /// scan: the tail of the corpus was never evaluated.
+    pub deadline_expired: bool,
+    /// True iff the request's pairing [`Budget`] ran out mid-scan.
+    pub budget_exhausted: bool,
+    /// Documents never evaluated because the deadline or budget cut the
+    /// scan short (also listed in [`DegradedScan::unscanned`]).
+    pub unscanned_docs: usize,
 }
 
 /// Outcome of a degraded-mode scan: the matches over the healthy corpus
@@ -74,6 +85,9 @@ pub struct DegradedScan {
     pub matches: Vec<DocumentId>,
     /// Documents skipped because evaluation faulted past the budget.
     pub faulted: Vec<DocumentId>,
+    /// Documents never evaluated: a deadline or pairing budget stopped
+    /// the scan before reaching them. Empty on unbounded scans.
+    pub unscanned: Vec<DocumentId>,
     /// Accounting (with `faulted_docs`/`retries`/`degraded` populated).
     pub stats: SearchStats,
 }
@@ -324,9 +338,7 @@ impl CloudServer {
             prepare_micros,
             scan_micros,
             pairings: scan_counts.pairings as usize,
-            faulted_docs: 0,
-            retries: 0,
-            degraded: false,
+            ..SearchStats::default()
         };
         Ok((matches, stats))
     }
@@ -386,39 +398,8 @@ impl CloudServer {
             .record("cloud.scan.prepare_ticks", prepare_micros);
         let prepared = prep_res.map_err(SearchOutcome::Apks)?;
 
-        // Per-document outcome: Some(matched) or None when skipped.
-        // Returns (outcome, retries, charged ticks) so workers stay
-        // side-effect free apart from clock advances. The charged ticks
-        // are computed locally (slowness + backoff the document itself
-        // incurred) rather than read off the shared clock, so the
-        // per-document histogram is identical for any thread count.
         let eval_doc = |id: DocumentId, idx: &EncryptedIndex| -> (Option<bool>, usize, u64) {
-            let evaluate = || self.system.search_prepared(&self.pk, &prepared, idx);
-            match ctx.plan.doc_fault(id) {
-                None => (evaluate().ok(), 0, 0),
-                Some(DocFault::Slow { ticks }) => {
-                    ctx.clock.advance(ticks);
-                    (evaluate().ok(), 0, ticks)
-                }
-                Some(DocFault::Flaky { burst }) => {
-                    // attempts 0..burst fault; each retry backs off
-                    let mut retries = 0;
-                    let mut charged = 0u64;
-                    for attempt in 0..ctx.policy.max_attempts {
-                        if attempt >= burst {
-                            return (evaluate().ok(), retries, charged);
-                        }
-                        if attempt + 1 < ctx.policy.max_attempts {
-                            retries += 1;
-                            let backoff = ctx.policy.backoff(attempt, id);
-                            ctx.clock.advance(backoff);
-                            charged += backoff;
-                        }
-                    }
-                    (None, retries, charged)
-                }
-                Some(DocFault::Poisoned) => (None, 0, 0),
-            }
+            self.eval_doc_faulted(&prepared, ctx, id, idx)
         };
 
         let scan_start = clock.now_ticks();
@@ -499,10 +480,217 @@ impl CloudServer {
             faulted_docs: faulted.len(),
             retries,
             degraded: !faulted.is_empty(),
+            ..SearchStats::default()
         };
         Ok(DegradedScan {
             matches,
             faulted,
+            unscanned: Vec::new(),
+            stats,
+        })
+    }
+
+    /// Per-document outcome under the injected fault schedule:
+    /// `Some(matched)` or `None` when skipped. Returns `(outcome,
+    /// retries, charged ticks)` so callers stay side-effect free apart
+    /// from clock advances. The charged ticks are computed locally
+    /// (slowness + backoff the document itself incurred) rather than
+    /// read off the shared clock, so the per-document histogram is
+    /// identical for any thread count.
+    fn eval_doc_faulted(
+        &self,
+        prepared: &PreparedCapability,
+        ctx: &FaultContext<'_>,
+        id: DocumentId,
+        idx: &EncryptedIndex,
+    ) -> (Option<bool>, usize, u64) {
+        let evaluate = || self.system.search_prepared(&self.pk, prepared, idx);
+        match ctx.plan.doc_fault(id) {
+            None => (evaluate().ok(), 0, 0),
+            Some(DocFault::Slow { ticks }) => {
+                ctx.clock.advance(ticks);
+                (evaluate().ok(), 0, ticks)
+            }
+            Some(DocFault::Flaky { burst }) => {
+                // attempts 0..burst fault; each retry backs off
+                let mut retries = 0;
+                let mut charged = 0u64;
+                for attempt in 0..ctx.policy.max_attempts {
+                    if attempt >= burst {
+                        return (evaluate().ok(), retries, charged);
+                    }
+                    if attempt + 1 < ctx.policy.max_attempts {
+                        retries += 1;
+                        let backoff = ctx.policy.backoff(attempt, id);
+                        ctx.clock.advance(backoff);
+                        charged += backoff;
+                    }
+                }
+                (None, retries, charged)
+            }
+            Some(DocFault::Poisoned) => (None, 0, 0),
+        }
+    }
+
+    /// Admit, then scan under a deadline and pairing budget — the
+    /// overload-protection entry point.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the capability is rejected; expiry and exhaustion
+    /// degrade the result instead of failing it.
+    pub fn search_bounded(
+        &self,
+        cap: &SignedCapability,
+        ctx: &FaultContext<'_>,
+        deadline: Deadline,
+        budget: &Budget,
+        doc_cost_ticks: u64,
+    ) -> Result<DegradedScan, SearchOutcome> {
+        self.admit(cap)?;
+        self.scan_bounded(&cap.capability, ctx, deadline, budget, doc_cost_ticks)
+    }
+
+    /// Corpus scan bounded by an absolute [`Deadline`] and a pairing
+    /// [`Budget`], under the degraded-mode fault schedule.
+    ///
+    /// The deadline is re-checked against the virtual clock before
+    /// *every* document, and each document reserves its worst-case
+    /// pairing cost (`n + 3`) from the budget before evaluating — an
+    /// expired or exhausted request stops consuming pairings mid-scan
+    /// instead of finishing the corpus. Each evaluated document charges
+    /// `doc_cost_ticks` to the virtual clock (the sim's discrete-event
+    /// service model), on top of any fault-injected slowness or backoff.
+    ///
+    /// The scan is sequential by design: deadline checks read the shared
+    /// clock, so a thread pool would make the cut point — and therefore
+    /// the result — depend on scheduling. Everything the scan did *not*
+    /// do is explicit: [`DegradedScan::unscanned`] lists the documents
+    /// never reached, and [`SearchStats::deadline_expired`] /
+    /// [`SearchStats::budget_exhausted`] say why.
+    ///
+    /// A request whose deadline has already expired on entry performs no
+    /// work at all and touches no counter except
+    /// `cloud.scan.deadline_expired` — shed work must not dilute the
+    /// scan telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the capability cannot be prepared (deployment
+    /// mismatch).
+    pub fn scan_bounded(
+        &self,
+        cap: &Capability,
+        ctx: &FaultContext<'_>,
+        deadline: Deadline,
+        budget: &Budget,
+        doc_cost_ticks: u64,
+    ) -> Result<DegradedScan, SearchOutcome> {
+        let store = self.store.read();
+        let clock: &dyn Clock = ctx.clock;
+
+        if deadline.expired_at(clock.now_ticks()) {
+            self.metrics.add("cloud.scan.deadline_expired", 1);
+            let unscanned: Vec<DocumentId> = store.iter().map(|(id, _)| *id).collect();
+            let stats = SearchStats {
+                deadline_expired: true,
+                unscanned_docs: unscanned.len(),
+                degraded: !unscanned.is_empty(),
+                ..SearchStats::default()
+            };
+            return Ok(DegradedScan {
+                matches: Vec::new(),
+                faulted: Vec::new(),
+                unscanned,
+                stats,
+            });
+        }
+
+        let doc_hist = self.metrics.histogram("cloud.scan.doc_ticks");
+        let prep_start = clock.now_ticks();
+        let (prep_res, prep_counts) = source::measure(|| self.system.prepare_capability(cap));
+        let prepare_micros = clock.now_ticks().saturating_sub(prep_start);
+        self.metrics
+            .record("cloud.scan.prepare_ticks", prepare_micros);
+        let prepared = prep_res.map_err(SearchOutcome::Apks)?;
+
+        let doc_pairings = (self.system.n() + 3) as u64;
+        let mut matches = Vec::new();
+        let mut faulted = Vec::new();
+        let mut unscanned: Vec<DocumentId> = Vec::new();
+        let mut retries = 0usize;
+        let mut deadline_expired = false;
+        let mut budget_exhausted = false;
+        let scan_start = clock.now_ticks();
+        let ((), scan_counts) = source::measure(|| {
+            for (pos, (id, idx)) in store.iter().enumerate() {
+                if deadline.expired_at(clock.now_ticks()) {
+                    deadline_expired = true;
+                } else if !budget.try_charge(doc_pairings) {
+                    budget_exhausted = true;
+                } else {
+                    ctx.clock.advance(doc_cost_ticks);
+                    let (outcome, r, charged) = self.eval_doc_faulted(&prepared, ctx, *id, idx);
+                    doc_hist.record(charged + doc_cost_ticks);
+                    retries += r;
+                    match outcome {
+                        Some(true) => matches.push(*id),
+                        Some(false) => {}
+                        None => faulted.push(*id),
+                    }
+                    continue;
+                }
+                unscanned.extend(store[pos..].iter().map(|(id, _)| *id));
+                break;
+            }
+        });
+        let scanned = store.len() - unscanned.len();
+
+        self.metrics.add("cloud.scans", 1);
+        self.metrics.add("cloud.scan.docs", scanned as u64);
+        self.metrics.add("cloud.scan.matches", matches.len() as u64);
+        self.metrics
+            .add("cloud.scan.pairings", scan_counts.pairings);
+        self.metrics.add(
+            "cloud.scan.miller_loops",
+            scan_counts.miller_loops + prep_counts.miller_loops,
+        );
+        self.metrics
+            .add("cloud.scan.predicate_evals", scan_counts.predicate_evals);
+        self.metrics.add("cloud.scan.retries", retries as u64);
+        self.metrics
+            .add("cloud.scan.faulted_docs", faulted.len() as u64);
+        if !faulted.is_empty() {
+            self.metrics.add("cloud.scan.degraded_scans", 1);
+        }
+        if deadline_expired {
+            self.metrics.add("cloud.scan.deadline_expired", 1);
+        }
+        if budget_exhausted {
+            self.metrics.add("cloud.scan.budget_exhausted", 1);
+        }
+        if !unscanned.is_empty() {
+            self.metrics
+                .add("cloud.scan.unscanned_docs", unscanned.len() as u64);
+        }
+
+        let stats = SearchStats {
+            scanned,
+            matched: matches.len(),
+            prepare_micros,
+            scan_micros: clock.now_ticks().saturating_sub(scan_start),
+            pairings: scan_counts.pairings as usize,
+            faulted_docs: faulted.len(),
+            retries,
+            degraded: !faulted.is_empty() || !unscanned.is_empty(),
+            deadline_expired,
+            budget_exhausted,
+            unscanned_docs: unscanned.len(),
+        };
+        Ok(DegradedScan {
+            matches,
+            faulted,
+            unscanned,
             stats,
         })
     }
@@ -820,6 +1008,146 @@ mod tests {
             Some((stats.pairings + stats2.pairings) as u64)
         );
         assert_eq!(snap2.counter("cloud.scans"), Some(2));
+    }
+
+    #[test]
+    fn bounded_scan_with_no_limits_matches_plain_scan() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let budget = Budget::unlimited();
+        let (plain, _) = server.search(&cap).unwrap();
+        let d = server
+            .search_bounded(&cap, &ctx, Deadline::NEVER, &budget, 3)
+            .unwrap();
+        assert_eq!(d.matches, plain);
+        assert!(d.faulted.is_empty() && d.unscanned.is_empty());
+        assert!(!d.stats.deadline_expired && !d.stats.budget_exhausted);
+        assert!(!d.stats.degraded);
+        assert_eq!(d.stats.scanned, 5);
+        assert_eq!(clock.now(), 15, "5 docs x 3 ticks each");
+        assert!(budget.is_unlimited(), "unlimited budgets are never drawn");
+    }
+
+    #[test]
+    fn already_expired_deadline_consumes_nothing() {
+        let (server, ta, mut rng) = deployment();
+        let ids = upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        clock.advance(100);
+        let budget = Budget::pairings(10_000);
+        let before = budget.remaining();
+        let d = server
+            .search_bounded(&cap, &ctx, Deadline::at(50), &budget, 3)
+            .unwrap();
+        assert!(d.matches.is_empty() && d.faulted.is_empty());
+        assert_eq!(d.unscanned, ids, "every document is explicitly unscanned");
+        assert!(d.stats.deadline_expired);
+        assert_eq!(d.stats.scanned, 0);
+        assert_eq!(d.stats.pairings, 0, "no pairing was spent");
+        assert_eq!(budget.remaining(), before, "no budget was drawn");
+        assert_eq!(clock.now(), 100, "no service time was charged");
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("cloud.scan.deadline_expired"), Some(1));
+        assert_eq!(
+            snap.counter("cloud.scans"),
+            None,
+            "shed work must not dilute the scan telemetry"
+        );
+    }
+
+    #[test]
+    fn mid_scan_deadline_stops_pairing_spend() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let n0 = ta.system().n() + 3;
+        let (plain, _) = server.search(&cap).unwrap();
+        let snap_before = server.metrics_snapshot();
+        // docs are checked at ticks 0, 10, 20, 30: the deadline at 25
+        // admits three documents and cuts the last two off
+        let d = server
+            .search_bounded(&cap, &ctx, Deadline::at(25), &Budget::unlimited(), 10)
+            .unwrap();
+        assert_eq!(d.stats.scanned, 3);
+        assert_eq!(d.unscanned.len(), 2);
+        assert!(d.stats.deadline_expired);
+        assert!(!d.stats.budget_exhausted);
+        assert!(d.stats.degraded);
+        assert_eq!(d.stats.pairings, 3 * n0, "only evaluated docs paid");
+        assert!(
+            d.matches.iter().all(|id| plain.contains(id)),
+            "partial matches are a subset of the full scan"
+        );
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("cloud.scan.deadline_expired"), Some(1));
+        assert_eq!(snap.counter("cloud.scan.unscanned_docs"), Some(2));
+        assert_eq!(
+            snap.counter("cloud.scan.docs"),
+            Some(snap_before.counter("cloud.scan.docs").unwrap() + 3)
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_scan_with_explicit_accounting() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let n0 = ta.system().n() + 3;
+        // budget for exactly two documents
+        let budget = Budget::pairings((2 * n0) as u64);
+        let d = server
+            .search_bounded(&cap, &ctx, Deadline::NEVER, &budget, 1)
+            .unwrap();
+        assert_eq!(d.stats.scanned, 2);
+        assert!(d.stats.budget_exhausted);
+        assert!(!d.stats.deadline_expired);
+        assert_eq!(d.unscanned.len(), 3);
+        assert_eq!(budget.remaining(), 0);
+        assert_eq!(d.stats.pairings, 2 * n0);
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("cloud.scan.budget_exhausted"), Some(1));
+        assert_eq!(snap.counter("cloud.scan.unscanned_docs"), Some(3));
     }
 
     #[test]

@@ -10,6 +10,9 @@ pub enum ApksError {
     InvalidSchema(String),
     /// A record did not match the schema (wrong arity or value kind).
     InvalidRecord(String),
+    /// Stored bytes failed an integrity check (truncation, bit flips, a
+    /// checksum mismatch) — the data is damaged, not merely malformed.
+    Corrupted(String),
     /// A query referenced an unknown field.
     UnknownField(String),
     /// A query term was not expressible under the schema (range not a
@@ -32,6 +35,7 @@ impl fmt::Display for ApksError {
         match self {
             ApksError::InvalidSchema(m) => write!(f, "invalid schema: {m}"),
             ApksError::InvalidRecord(m) => write!(f, "invalid record: {m}"),
+            ApksError::Corrupted(m) => write!(f, "corrupted data: {m}"),
             ApksError::UnknownField(name) => write!(f, "unknown field: {name}"),
             ApksError::UnsupportedQuery(m) => write!(f, "unsupported query: {m}"),
             ApksError::PolicyViolation(m) => write!(f, "policy violation: {m}"),

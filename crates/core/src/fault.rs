@@ -258,6 +258,32 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// A checked policy: `max_attempts` total attempts, exponential
+    /// backoff from `base_delay` capped at `max_delay`, plus up to
+    /// `jitter` ticks of deterministic jitter per retry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts == 0` (a policy that never even tries
+    /// turns every operation into a silent no-op) or if `max_delay <
+    /// base_delay` (the cap would silently truncate the very first
+    /// backoff — like the `RateLimiter` zero-window case, a
+    /// misconfiguration must fail loudly at construction, not be
+    /// reinterpreted at use).
+    pub fn new(max_attempts: u32, base_delay: u64, max_delay: u64, jitter: u64) -> RetryPolicy {
+        assert!(max_attempts > 0, "retry policy needs at least 1 attempt");
+        assert!(
+            max_delay >= base_delay,
+            "max_delay must be at least base_delay"
+        );
+        RetryPolicy {
+            max_attempts,
+            base_delay,
+            max_delay,
+            jitter,
+        }
+    }
+
     /// Virtual delay before retry number `retry` (0-based: the delay
     /// between the first failure and the second attempt is `backoff(0,
     /// …)`). `token` seeds the jitter so concurrent retriers decorrelate
@@ -453,6 +479,32 @@ mod tests {
         let spread: std::collections::HashSet<u64> =
             (0..32).map(|t| policy.backoff(0, t)).collect();
         assert!(spread.len() > 1);
+    }
+
+    #[test]
+    fn checked_retry_policy_accepts_valid_configs() {
+        let p = RetryPolicy::new(4, 2, 16, 3);
+        assert_eq!(p, RetryPolicy::default());
+        // base == max is a legal (constant-backoff) configuration
+        let flat = RetryPolicy::new(1, 8, 8, 0);
+        assert_eq!(flat.backoff(5, 0), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "retry policy needs at least 1 attempt")]
+    fn checked_retry_policy_rejects_zero_attempts() {
+        // regression: `max_attempts == 0` used to construct fine and
+        // silently turned every retried operation into a no-op that
+        // never ran even once
+        RetryPolicy::new(0, 2, 16, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_delay must be at least base_delay")]
+    fn checked_retry_policy_rejects_inverted_delay_bounds() {
+        // regression: a cap below the base silently truncated the very
+        // first backoff instead of failing the misconfiguration
+        RetryPolicy::new(4, 16, 2, 3);
     }
 
     #[test]

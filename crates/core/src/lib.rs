@@ -56,6 +56,7 @@ pub mod error;
 pub mod fault;
 pub mod hierarchy;
 pub mod keyword;
+pub mod overload;
 pub mod parser;
 pub mod persist;
 pub mod policy;
@@ -70,6 +71,7 @@ pub use fault::{
 };
 pub use hierarchy::Hierarchy;
 pub use keyword::FieldValue;
+pub use overload::{Budget, Deadline};
 pub use persist::SavedDeployment;
 pub use policy::QueryPolicy;
 pub use query::{Condition, Query};

@@ -1,0 +1,245 @@
+//! Work-bounding primitives: deadlines and pairing budgets.
+//!
+//! The paper pushes the heavy pairing work onto the cloud/proxy tier
+//! (§VII), which makes that tier the one that falls over under load: a
+//! corpus scan costs `n + 3` pairings *per document*, so a request
+//! nobody is waiting for anymore keeps burning real work unless
+//! something bounds it. This module provides the two bounds the
+//! overload-protection layer threads through every search/ingest call:
+//!
+//! * [`Deadline`] — an absolute expiry instant on the deployment's
+//!   [`VirtualClock`](crate::fault::VirtualClock) (or any tick source).
+//!   Checked at cheap points — before each proxy stage, before each
+//!   document evaluation — so an expired request stops consuming
+//!   pairings mid-scan instead of completing work that will be thrown
+//!   away.
+//! * [`Budget`] — a shared, atomically-charged pairing allowance. Where
+//!   the deadline bounds *when* work may happen, the budget bounds *how
+//!   much*; a scan that exhausts it returns a partial, explicitly
+//!   accounted result.
+//!
+//! Both are deterministic by construction: expiry is a pure comparison
+//! against a tick the caller controls, and budget charges are exact
+//! integer arithmetic — same-seed chaos runs replay identically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An absolute expiry instant in virtual ticks.
+///
+/// `Deadline` is a plain comparison, not a timer: code holding one asks
+/// [`Deadline::expired_at`] with the current clock reading at points
+/// where abandoning the request is cheap and safe. The sentinel
+/// [`Deadline::NEVER`] (tick `u64::MAX`) never expires and is what
+/// legacy entry points without deadline plumbing pass through.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    expires_at: u64,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub const NEVER: Deadline = Deadline {
+        expires_at: u64::MAX,
+    };
+
+    /// A deadline expiring at absolute tick `tick`.
+    pub fn at(tick: u64) -> Deadline {
+        Deadline { expires_at: tick }
+    }
+
+    /// A deadline `ticks` after `now` (saturating: a huge allowance is
+    /// [`Deadline::NEVER`]).
+    pub fn after(now: u64, ticks: u64) -> Deadline {
+        Deadline {
+            expires_at: now.saturating_add(ticks),
+        }
+    }
+
+    /// The absolute expiry tick (`u64::MAX` for [`Deadline::NEVER`]).
+    pub fn expires_at(&self) -> u64 {
+        self.expires_at
+    }
+
+    /// True iff the deadline has passed at clock reading `now`.
+    ///
+    /// The expiry tick itself is *expired*: a request due "by tick 10"
+    /// that is still queued at tick 10 has missed its deadline.
+    /// [`Deadline::NEVER`] never expires (a clock cannot reach
+    /// `u64::MAX` by finite advances).
+    pub fn expired_at(&self, now: u64) -> bool {
+        self.expires_at != u64::MAX && now >= self.expires_at
+    }
+
+    /// Ticks remaining before expiry at clock reading `now` (zero once
+    /// expired, `u64::MAX` for [`Deadline::NEVER`]).
+    pub fn remaining_at(&self, now: u64) -> u64 {
+        if self.expires_at == u64::MAX {
+            u64::MAX
+        } else {
+            self.expires_at.saturating_sub(now)
+        }
+    }
+
+    /// True iff this is the non-expiring sentinel.
+    pub fn is_never(&self) -> bool {
+        self.expires_at == u64::MAX
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::NEVER
+    }
+}
+
+/// A shared pairing budget, charged atomically as the scan spends work.
+///
+/// The budget is *request-scoped* but thread-safe: a parallel scan's
+/// workers all charge the same allowance, and a charge either fits
+/// entirely or is refused entirely — no partial debits, so accounting
+/// stays exact. [`Budget::unlimited`] (the `u64::MAX` sentinel) is never
+/// decremented and therefore never exhausts.
+#[derive(Debug)]
+pub struct Budget {
+    remaining: AtomicU64,
+}
+
+impl Budget {
+    /// A budget that never exhausts.
+    pub fn unlimited() -> Budget {
+        Budget {
+            remaining: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// A budget allowing `pairings` pairing evaluations.
+    pub fn pairings(pairings: u64) -> Budget {
+        Budget {
+            remaining: AtomicU64::new(pairings),
+        }
+    }
+
+    /// Attempts to charge `cost` pairings; `true` iff the whole cost
+    /// fit. A refused charge leaves the budget untouched. The unlimited
+    /// sentinel always fits and is never decremented.
+    pub fn try_charge(&self, cost: u64) -> bool {
+        self.remaining
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |rem| {
+                if rem == u64::MAX {
+                    Some(rem) // unlimited: admit without spending
+                } else {
+                    rem.checked_sub(cost)
+                }
+            })
+            .is_ok()
+    }
+
+    /// Pairings still available (`u64::MAX` when unlimited).
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(Ordering::Relaxed)
+    }
+
+    /// True iff this budget never exhausts.
+    pub fn is_unlimited(&self) -> bool {
+        self.remaining() == u64::MAX
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Clone for Budget {
+    fn clone(&self) -> Self {
+        Budget {
+            remaining: AtomicU64::new(self.remaining()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_never_expires() {
+        assert!(!Deadline::NEVER.expired_at(0));
+        assert!(!Deadline::NEVER.expired_at(u64::MAX));
+        assert!(Deadline::NEVER.is_never());
+        assert_eq!(Deadline::NEVER.remaining_at(u64::MAX), u64::MAX);
+        assert_eq!(Deadline::default(), Deadline::NEVER);
+    }
+
+    #[test]
+    fn expiry_is_inclusive_of_the_deadline_tick() {
+        let d = Deadline::at(10);
+        assert!(!d.expired_at(9));
+        assert!(d.expired_at(10), "the expiry tick itself is expired");
+        assert!(d.expired_at(11));
+        assert_eq!(d.remaining_at(7), 3);
+        assert_eq!(d.remaining_at(10), 0);
+        assert_eq!(d.remaining_at(99), 0);
+    }
+
+    #[test]
+    fn after_is_relative_and_saturating() {
+        assert_eq!(Deadline::after(5, 10), Deadline::at(15));
+        assert_eq!(Deadline::after(5, u64::MAX), Deadline::NEVER);
+        // tick u64::MAX - 1 is a real (reachable) deadline
+        assert!(!Deadline::after(u64::MAX - 2, 1).is_never());
+    }
+
+    #[test]
+    fn budget_charges_exactly_or_not_at_all() {
+        let b = Budget::pairings(10);
+        assert!(b.try_charge(4));
+        assert_eq!(b.remaining(), 6);
+        assert!(!b.try_charge(7), "7 > 6 must be refused");
+        assert_eq!(b.remaining(), 6, "refused charge spends nothing");
+        assert!(b.try_charge(6));
+        assert_eq!(b.remaining(), 0);
+        assert!(!b.try_charge(1));
+        assert!(b.try_charge(0), "zero-cost charge always fits");
+    }
+
+    #[test]
+    fn unlimited_budget_never_decrements() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        for _ in 0..4 {
+            assert!(b.try_charge(u64::MAX / 2));
+        }
+        assert_eq!(b.remaining(), u64::MAX);
+        assert_eq!(Budget::default().remaining(), u64::MAX);
+    }
+
+    #[test]
+    fn budget_clone_copies_the_current_balance() {
+        let b = Budget::pairings(5);
+        assert!(b.try_charge(2));
+        let c = b.clone();
+        assert_eq!(c.remaining(), 3);
+        assert!(c.try_charge(3));
+        // independent balances after the clone
+        assert_eq!(b.remaining(), 3);
+        assert_eq!(c.remaining(), 0);
+    }
+
+    #[test]
+    fn concurrent_charges_never_overspend() {
+        use std::sync::Arc;
+        let b = Arc::new(Budget::pairings(1000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                (0..500).filter(|_| b.try_charge(1)).count()
+            }));
+        }
+        let granted: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(granted, 1000, "exactly the budget is granted");
+        assert_eq!(b.remaining(), 0);
+    }
+}

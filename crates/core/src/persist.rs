@@ -6,11 +6,20 @@
 //! binary format for all of them, bundled as a [`SavedDeployment`]:
 //!
 //! ```text
-//! magic "APKS" | version | curve label | schema | pk | optional msk(+r)
+//! magic "APKS" | version | curve label | schema | pk | optional msk(+r) | sha-256
 //! ```
 //!
 //! Loading re-derives the [`crate::ApksSystem`] (and re-checks the schema
 //! digest), so decoded objects interoperate with freshly created ones.
+//!
+//! Since version 2 the bundle ends in a SHA-256 checksum of everything
+//! before it. Key material dominates the bundle, and a flipped bit deep
+//! inside a group element decodes into *some* other valid-looking field
+//! element — without the trailer, corruption surfaced as whatever decode
+//! error happened to fire first (or, worse, not at all). Verification
+//! happens before any field is decoded, so damage is reported as
+//! [`ApksError::Corrupted`] with the real cause, never as a misleading
+//! schema or key error. Version-1 bundles (no trailer) still load.
 
 use crate::error::ApksError;
 use crate::hierarchy::{Hierarchy, Node};
@@ -23,7 +32,12 @@ use apks_math::Fr;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"APKS";
-const VERSION: u8 = 1;
+/// Current format version: version 2 appends the checksum trailer.
+const VERSION: u8 = 2;
+/// The last version without a checksum trailer (still decodable).
+const VERSION_UNCHECKED: u8 = 1;
+/// Length of the SHA-256 trailer appended since version 2.
+const CHECKSUM_LEN: usize = 32;
 
 /// Encodes a hierarchy node recursively.
 fn encode_node(node: &Node, w: &mut Writer) {
@@ -137,18 +151,29 @@ pub struct SavedDeployment {
 }
 
 impl SavedDeployment {
-    /// Serializes the bundle.
+    /// Serializes the bundle (current version, checksum trailer
+    /// included).
     pub fn to_bytes(&self, params: &CurveParams) -> Vec<u8> {
         let mut w = Writer::new();
         w.bytes(MAGIC);
         w.u8(VERSION);
+        self.encode_body(params, &mut w);
+        let mut out = w.finish();
+        let digest = apks_math::sha256::sha256(&out);
+        out.extend_from_slice(&digest);
+        out
+    }
+
+    /// Everything between the version byte and the checksum trailer
+    /// (identical across format versions 1 and 2).
+    fn encode_body(&self, params: &CurveParams, w: &mut Writer) {
         w.string(&self.curve_label);
-        encode_schema(&self.schema, &mut w);
-        self.pk.hpe.encode(params, &mut w);
+        encode_schema(&self.schema, w);
+        self.pk.hpe.encode(params, w);
         match &self.msk {
             Some(msk) => {
                 w.u8(1);
-                msk.hpe.encode(params, &mut w);
+                msk.hpe.encode(params, w);
             }
             None => {
                 w.u8(0);
@@ -163,7 +188,6 @@ impl SavedDeployment {
                 w.u8(0);
             }
         }
-        w.finish()
     }
 
     /// Deserializes a bundle and reconstructs the system.
@@ -172,18 +196,54 @@ impl SavedDeployment {
     ///
     /// # Errors
     ///
-    /// Fails on malformed bytes, unknown curve labels, or version
-    /// mismatches.
+    /// [`ApksError::Corrupted`] when the bytes fail integrity checks —
+    /// truncation inside the header, a missing trailer, or a checksum
+    /// mismatch; [`ApksError::InvalidRecord`] when the bytes are intact
+    /// but malformed (wrong magic, unknown version or curve label,
+    /// structural decode failures in a version-1 bundle).
     pub fn from_bytes(bytes: &[u8]) -> Result<(ApksSystem, SavedDeployment), ApksError> {
-        let mut r = Reader::new(bytes);
+        // Header first: magic distinguishes "not our format" from "our
+        // format, damaged" — a partial magic match on a short buffer is
+        // truncation, a mismatch is a foreign file.
+        if bytes.len() < MAGIC.len() + 1 {
+            return Err(if bytes == &MAGIC[..bytes.len().min(MAGIC.len())] {
+                ApksError::Corrupted("deployment truncated inside the header".into())
+            } else {
+                ApksError::InvalidRecord("deployment decode: magic".into())
+            });
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(ApksError::InvalidRecord("deployment decode: magic".into()));
+        }
+        let header_len = MAGIC.len() + 1;
+        let body = match bytes[MAGIC.len()] {
+            VERSION_UNCHECKED => &bytes[header_len..],
+            VERSION => {
+                // Integrity before structure: the whole payload is
+                // verified before a single field is decoded.
+                let payload_len = bytes
+                    .len()
+                    .checked_sub(CHECKSUM_LEN)
+                    .filter(|&l| l >= header_len)
+                    .ok_or_else(|| {
+                        ApksError::Corrupted("deployment too short for its checksum trailer".into())
+                    })?;
+                let (payload, trailer) = bytes.split_at(payload_len);
+                if apks_math::sha256::sha256(payload) != trailer {
+                    return Err(ApksError::Corrupted(
+                        "deployment checksum mismatch (truncated or bit-flipped)".into(),
+                    ));
+                }
+                &payload[header_len..]
+            }
+            _ => {
+                return Err(ApksError::InvalidRecord(
+                    "deployment decode: version".into(),
+                ))
+            }
+        };
+        let mut r = Reader::new(body);
         let mut parse = || -> Result<(ApksSystem, SavedDeployment), DecodeError> {
-            let magic = r.bytes(4)?;
-            if magic != MAGIC {
-                return Err(DecodeError::Invalid("magic"));
-            }
-            if r.u8()? != VERSION {
-                return Err(DecodeError::Invalid("version"));
-            }
             let curve_label = r.string()?;
             let params = match curve_label.as_str() {
                 "standard-512" => CurveParams::standard(),
@@ -409,17 +469,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1603);
         let (pk, mk) = system.setup_plus(&mut rng);
         let bytes = SavedDeployment::new_plus(&system, &pk, &mk).to_bytes(&params);
-        // every strict prefix must fail with an error, never a panic: the
-        // decoder either hits UnexpectedEnd mid-field, or finishes early
-        // and trips the trailing/finish check. Exhaustive over the header
-        // and schema region, strided through the (large) key material.
+        // every strict prefix must fail as *corruption*, never a panic
+        // and never a misleading structural error: the header check
+        // catches prefixes shorter than magic+version, and everything
+        // longer fails the checksum before a single field is decoded.
+        // Exhaustive over the header and schema region, strided through
+        // the (large) key material.
         let stride = (bytes.len() / 512).max(1);
         let lens = (0..bytes.len().min(128)).chain((128..bytes.len()).step_by(stride));
         for len in lens {
             let err = SavedDeployment::from_bytes(&bytes[..len])
                 .expect_err(&format!("prefix of length {len} decoded"));
             assert!(
-                matches!(err, ApksError::InvalidRecord(_)),
+                matches!(err, ApksError::Corrupted(_)),
                 "len {len}: unexpected error {err:?}"
             );
         }
@@ -433,21 +495,74 @@ mod tests {
         let (pk, mk) = system.setup_plus(&mut rng);
         let bytes = SavedDeployment::new_plus(&system, &pk, &mk).to_bytes(&params);
         // deterministic fuzz: flip bytes across the bundle (stride keeps
-        // the test fast; offsets cover header, schema, keys and blinding)
+        // the test fast; offsets cover header, schema, keys, blinding and
+        // the trailer itself)
         let stride = (bytes.len() / 192).max(1);
         for pos in (0..bytes.len()).step_by(stride) {
             for flip in [0x01u8, 0x80, 0xff] {
                 let mut bad = bytes.clone();
                 bad[pos] ^= flip;
-                // must return a structured Result — a panic fails the test
-                let _ = SavedDeployment::from_bytes(&bad);
+                let err = SavedDeployment::from_bytes(&bad)
+                    .expect_err(&format!("flip {flip:#x} at {pos} decoded"));
+                if pos < 5 {
+                    // header damage: a flipped magic byte reads as a
+                    // foreign format, a flipped version as an unknown one
+                    assert!(
+                        matches!(err, ApksError::InvalidRecord(_)),
+                        "pos {pos}: unexpected error {err:?}"
+                    );
+                } else {
+                    // payload or trailer damage: the checksum catches it
+                    // before any field is decoded
+                    assert!(
+                        matches!(err, ApksError::Corrupted(_)),
+                        "pos {pos}: unexpected error {err:?}"
+                    );
+                }
             }
         }
         // length-prefix corruption: blow up an interior u32 length field
-        // (the curve-label prefix at offset 5) to an absurd value
+        // (the curve-label prefix right after the header) to an absurd
+        // value — caught by the checksum, reported as corruption
         let mut bad = bytes.clone();
         bad[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert!(SavedDeployment::from_bytes(&bad).is_err());
+        assert!(matches!(
+            SavedDeployment::from_bytes(&bad),
+            Err(ApksError::Corrupted(_))
+        ));
+    }
+
+    #[test]
+    fn version1_bundles_without_trailer_still_load() {
+        let params = CurveParams::fast();
+        let system = ApksSystem::new(params.clone(), sample_schema());
+        let mut rng = StdRng::seed_from_u64(1606);
+        let (pk, mk) = system.setup_plus(&mut rng);
+        let saved = SavedDeployment::new_plus(&system, &pk, &mk);
+        // a version-1 bundle: same body, version byte 1, no trailer
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u8(VERSION_UNCHECKED);
+        saved.encode_body(&params, &mut w);
+        let v1_bytes = w.finish();
+        let (_, loaded) = SavedDeployment::from_bytes(&v1_bytes).unwrap();
+        assert_eq!(loaded.curve_label, saved.curve_label);
+        assert_eq!(loaded.plus_master_key().unwrap().blinding, mk.blinding);
+        // saving again upgrades to the checksummed format
+        let upgraded = loaded.to_bytes(&params);
+        assert_eq!(upgraded, saved.to_bytes(&params));
+        assert_eq!(upgraded.len(), v1_bytes.len() + CHECKSUM_LEN);
+        // v1 structural errors still surface as InvalidRecord: truncating
+        // a v1 body hits the legacy decode path, not the checksum
+        let err = SavedDeployment::from_bytes(&v1_bytes[..v1_bytes.len() / 2]).unwrap_err();
+        assert!(matches!(err, ApksError::InvalidRecord(_)), "{err:?}");
+        // an unknown future version is malformed, not corrupt
+        let mut future = v1_bytes.clone();
+        future[4] = 9;
+        assert!(matches!(
+            SavedDeployment::from_bytes(&future),
+            Err(ApksError::InvalidRecord(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Per-replica circuit breakers on the virtual clock.
+//!
+//! The resilient ingest path (PR 2) rediscovers a dead replica the hard
+//! way on *every* call: it burns the full retry budget against the sick
+//! primary before failing over. A circuit breaker remembers — after
+//! `failure_threshold` consecutive budget exhaustions the breaker
+//! *opens* and the replica is skipped outright; after `open_ticks` of
+//! cooldown on the virtual clock it becomes *half-open* and admits one
+//! probe, whose outcome decides between closing again and re-opening.
+//!
+//! Every transition is a pure function of the counters the breaker has
+//! seen and the clock reading the caller passes in: no wall time, no
+//! randomness, no background threads. Same-seed chaos runs replay the
+//! exact same open/close history, which is what lets the chaos suite
+//! assert byte-identical overload runs.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Sentinel for "not open" in [`CircuitBreaker::opened_at`].
+const CLOSED: u64 = u64::MAX;
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (budget exhaustions) that trip the breaker.
+    pub failure_threshold: u32,
+    /// Virtual ticks an open breaker waits before admitting a probe.
+    pub open_ticks: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_ticks: 64,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// A checked config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure_threshold == 0` (the breaker would open before
+    /// the first attempt and never admit traffic) or `open_ticks == 0`
+    /// (an open breaker would be indistinguishable from a closed one).
+    pub fn new(failure_threshold: u32, open_ticks: u64) -> BreakerConfig {
+        assert!(failure_threshold > 0, "breaker threshold must be positive");
+        assert!(open_ticks > 0, "breaker cooldown must be at least 1 tick");
+        BreakerConfig {
+            failure_threshold,
+            open_ticks,
+        }
+    }
+}
+
+/// Observable breaker state at a given clock reading.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Traffic flows; consecutive failures are being counted.
+    Closed,
+    /// The replica is presumed sick; all traffic is skipped.
+    Open,
+    /// Cooldown has elapsed; the next request is admitted as a probe.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label (used by telemetry and the CLI).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// One replica's breaker: closed → open → half-open, on the virtual
+/// clock.
+///
+/// State is derived, not stored: the breaker records *when* it opened
+/// and how many consecutive failures it has seen, and
+/// [`CircuitBreaker::state`] computes the phase from the caller's clock
+/// reading. Atomics make the fast path lock-free; chaos runs drive each
+/// chain single-threaded, so relaxed ordering is deterministic there.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    /// Consecutive failures since the last success.
+    failures: AtomicU32,
+    /// Clock tick the breaker opened at; [`CLOSED`] when not open.
+    opened_at: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            failures: AtomicU32::new(0),
+            opened_at: AtomicU64::new(CLOSED),
+        }
+    }
+
+    /// The tuning this breaker runs under.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// The breaker's phase at clock reading `now`.
+    pub fn state(&self, now: u64) -> BreakerState {
+        let opened = self.opened_at.load(Ordering::Relaxed);
+        if opened == CLOSED {
+            BreakerState::Closed
+        } else if now.saturating_sub(opened) >= self.config.open_ticks {
+            BreakerState::HalfOpen
+        } else {
+            BreakerState::Open
+        }
+    }
+
+    /// True iff a request may be sent at `now` (closed, or half-open —
+    /// the half-open admission *is* the probe).
+    pub fn allows(&self, now: u64) -> bool {
+        self.state(now) != BreakerState::Open
+    }
+
+    /// Records a successful operation: the breaker closes and the
+    /// failure streak resets.
+    pub fn record_success(&self) {
+        self.failures.store(0, Ordering::Relaxed);
+        self.opened_at.store(CLOSED, Ordering::Relaxed);
+    }
+
+    /// Records a failed operation at clock reading `now`. Returns `true`
+    /// iff this failure (re)opened the breaker: a failed half-open probe
+    /// re-opens immediately, and a closed breaker opens once the streak
+    /// reaches the threshold.
+    pub fn record_failure(&self, now: u64) -> bool {
+        match self.state(now) {
+            BreakerState::HalfOpen => {
+                // the probe failed: restart the cooldown from now
+                self.opened_at.store(now, Ordering::Relaxed);
+                true
+            }
+            BreakerState::Open => false,
+            BreakerState::Closed => {
+                let streak = self.failures.fetch_add(1, Ordering::Relaxed) + 1;
+                if streak >= self.config.failure_threshold {
+                    self.failures.store(0, Ordering::Relaxed);
+                    self.opened_at.store(now, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(BreakerConfig::new(3, 10));
+        assert_eq!(b.state(0), BreakerState::Closed);
+        assert!(!b.record_failure(0));
+        assert!(!b.record_failure(1));
+        assert!(b.allows(1), "still under the threshold");
+        assert!(b.record_failure(2), "third consecutive failure trips");
+        assert_eq!(b.state(2), BreakerState::Open);
+        assert!(!b.allows(3));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let b = CircuitBreaker::new(BreakerConfig::new(2, 10));
+        assert!(!b.record_failure(0));
+        b.record_success();
+        assert!(!b.record_failure(1), "streak restarted by the success");
+        assert!(b.record_failure(2));
+    }
+
+    #[test]
+    fn cooldown_half_opens_and_probe_outcome_decides() {
+        let cfg = BreakerConfig::new(1, 10);
+        let b = CircuitBreaker::new(cfg);
+        assert!(b.record_failure(5));
+        assert_eq!(b.state(14), BreakerState::Open);
+        assert_eq!(b.state(15), BreakerState::HalfOpen, "5 + 10 ticks");
+        assert!(b.allows(15), "half-open admits the probe");
+        // failed probe: re-open, cooldown restarts from the failure
+        assert!(b.record_failure(15));
+        assert_eq!(b.state(20), BreakerState::Open);
+        assert_eq!(b.state(25), BreakerState::HalfOpen);
+        // successful probe: breaker closes for good
+        b.record_success();
+        assert_eq!(b.state(25), BreakerState::Closed);
+        assert!(b.allows(26));
+    }
+
+    #[test]
+    fn failures_while_open_are_inert() {
+        let b = CircuitBreaker::new(BreakerConfig::new(1, 100));
+        assert!(b.record_failure(0));
+        // a straggler failing while the breaker is already open neither
+        // re-trips nor extends the cooldown
+        assert!(!b.record_failure(1));
+        assert_eq!(b.state(100), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn state_labels_are_stable() {
+        assert_eq!(BreakerState::Closed.label(), "closed");
+        assert_eq!(BreakerState::Open.label(), "open");
+        assert_eq!(BreakerState::HalfOpen.label(), "half-open");
+    }
+
+    #[test]
+    #[should_panic(expected = "breaker threshold must be positive")]
+    fn zero_threshold_rejected() {
+        BreakerConfig::new(0, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "breaker cooldown must be at least 1 tick")]
+    fn zero_cooldown_rejected() {
+        BreakerConfig::new(3, 0);
+    }
+}

@@ -23,8 +23,10 @@ use rand::Rng;
 use std::collections::HashMap;
 use std::sync::Arc;
 
+pub mod breaker;
 pub mod resilient;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use resilient::IngestStats;
 
 /// Proxy-layer errors.
@@ -45,6 +47,15 @@ pub enum ProxyError {
         /// Transform attempts spent across the stage before giving up.
         attempts: u32,
     },
+    /// The request's deadline expired before this stage ran; the
+    /// remaining stages were never attempted and no further work was
+    /// spent on the request.
+    DeadlineExpired {
+        /// The stage the ingest stopped in front of.
+        proxy: String,
+        /// The clock reading at which expiry was observed.
+        now: u64,
+    },
     /// The underlying APKS evaluation failed (deployment mismatch, …).
     Apks(apks_core::ApksError),
 }
@@ -63,6 +74,9 @@ impl fmt::Display for ProxyError {
                     f,
                     "proxy stage {proxy:?} unavailable after {attempts} attempts"
                 )
+            }
+            ProxyError::DeadlineExpired { proxy, now } => {
+                write!(f, "deadline expired before stage {proxy:?} at tick {now}")
             }
             ProxyError::Apks(e) => write!(f, "apks error: {e}"),
         }
@@ -197,6 +211,12 @@ pub struct ProxyChain {
     /// `standbys[i]` — replicas of stage `i`'s share, tried in order
     /// when the primary exhausts its retry budget.
     standbys: Vec<Vec<ProxyServer>>,
+    /// `breakers[i][r]` — circuit breaker for stage `i`, rank `r` (rank
+    /// 0 is the primary, rank `r ≥ 1` is standby `r − 1`). Tripped by
+    /// consecutive retry-budget exhaustions, cooled down on the virtual
+    /// clock, so ingest skips known-sick replicas instead of
+    /// rediscovering them by burning the budget on every call.
+    breakers: Vec<Vec<CircuitBreaker>>,
     /// Shared by every proxy of the chain, so per-client counts
     /// aggregate across stages.
     metrics: Arc<MetricsRegistry>,
@@ -262,6 +282,7 @@ impl ProxyChain {
         let shares = split_blinding(mk.blinding, count, rng);
         let mut proxies = Vec::with_capacity(count);
         let mut standby_stages = Vec::with_capacity(count);
+        let mut breakers = Vec::with_capacity(count);
         for (i, share) in shares.into_iter().enumerate() {
             proxies.push(ProxyServer::with_metrics(
                 format!("proxy-{i}"),
@@ -279,14 +300,52 @@ impl ProxyChain {
                             Arc::clone(&metrics),
                         )
                     })
+                    .collect::<Vec<_>>(),
+            );
+            breakers.push(
+                (0..=standbys)
+                    .map(|_| CircuitBreaker::new(BreakerConfig::default()))
                     .collect(),
             );
         }
         ProxyChain {
             proxies,
             standbys: standby_stages,
+            breakers,
             metrics,
         }
+    }
+
+    /// Replaces every breaker with a fresh one under `config`. Breakers
+    /// hold trip history, so reconfiguring resets them — done at
+    /// provisioning time, before traffic flows.
+    pub fn set_breaker_config(&mut self, config: BreakerConfig) {
+        for stage in &mut self.breakers {
+            for b in stage.iter_mut() {
+                *b = CircuitBreaker::new(config);
+            }
+        }
+    }
+
+    /// The breaker guarding stage `stage`, rank `rank` (0 = primary).
+    pub fn breaker(&self, stage: usize, rank: usize) -> &CircuitBreaker {
+        &self.breakers[stage][rank]
+    }
+
+    /// Every replica's `(id, state)` at clock reading `now`, primaries
+    /// first within each stage — what `apks stats` renders.
+    pub fn breaker_states(&self, now: u64) -> Vec<(String, BreakerState)> {
+        let mut out = Vec::new();
+        for (stage, primary) in self.proxies.iter().enumerate() {
+            out.push((primary.id().to_string(), self.breakers[stage][0].state(now)));
+            for (j, standby) in self.standbys[stage].iter().enumerate() {
+                out.push((
+                    standby.id().to_string(),
+                    self.breakers[stage][j + 1].state(now),
+                ));
+            }
+        }
+        out
     }
 
     /// The primary proxies, one per stage.

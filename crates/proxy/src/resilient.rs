@@ -17,9 +17,10 @@
 //! recovered ingest is byte-for-byte the ingest that would have happened
 //! without faults.
 
+use crate::breaker::BreakerState;
 use crate::{ProxyChain, ProxyError, ProxyServer};
 use apks_core::fault::FaultContext;
-use apks_core::{ApksSystem, EncryptedIndex};
+use apks_core::{ApksSystem, Deadline, EncryptedIndex};
 
 /// Accounting for one resilient ingest.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -30,6 +31,9 @@ pub struct IngestStats {
     pub retries: u32,
     /// Standby activations after a primary exhausted its budget.
     pub failovers: u32,
+    /// Replicas skipped outright because their circuit breaker was open
+    /// (no attempts were spent on them at all).
+    pub breaker_skips: u32,
     /// Virtual backoff ticks charged to the clock.
     pub delay_ticks: u64,
 }
@@ -80,7 +84,8 @@ impl ProxyChain {
 
     /// Sends a partial index through every stage, retrying injected
     /// faults and failing over to stage standbys. The rate limiter sees
-    /// the virtual clock's time.
+    /// the virtual clock's time. Equivalent to
+    /// [`ProxyChain::ingest_bounded`] with [`Deadline::NEVER`].
     ///
     /// `op` identifies the operation in the fault schedule — callers use
     /// a per-upload counter so each ingest draws its own faults.
@@ -99,14 +104,64 @@ impl ProxyChain {
         ctx: &FaultContext<'_>,
         op: u64,
     ) -> Result<(EncryptedIndex, IngestStats), ProxyError> {
+        self.ingest_bounded(system, client, index, ctx, op, Deadline::NEVER)
+    }
+
+    /// [`ProxyChain::ingest_resilient`] with end-to-end work bounds: the
+    /// deadline is checked before each stage (the cheap point — past it,
+    /// the stage's transform would spend real group operations on a
+    /// request nobody is waiting for), and each replica's circuit
+    /// breaker is consulted before any attempt is spent on it.
+    ///
+    /// Breaker bookkeeping: a replica that exhausts the whole retry
+    /// budget records one failure; `failure_threshold` consecutive
+    /// failures open its breaker and later ingests skip it (counted in
+    /// [`IngestStats::breaker_skips`] and `proxy.breaker.<id>.skips`)
+    /// until `open_ticks` of virtual cooldown admit a half-open probe.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProxyChain::ingest_resilient`], plus
+    /// [`ProxyError::DeadlineExpired`] when the deadline passes between
+    /// stages — the remaining stages are never attempted, so an expired
+    /// request stops consuming proxy work immediately.
+    pub fn ingest_bounded(
+        &self,
+        system: &ApksSystem,
+        client: &str,
+        index: &EncryptedIndex,
+        ctx: &FaultContext<'_>,
+        op: u64,
+        deadline: Deadline,
+    ) -> Result<(EncryptedIndex, IngestStats), ProxyError> {
         let mut stats = IngestStats::default();
         let mut ct = index.clone();
         for (stage, primary) in self.proxies.iter().enumerate() {
+            let now = ctx.clock.now();
+            if deadline.expired_at(now) {
+                self.metrics.add("proxy.deadline_expired", 1);
+                return Err(ProxyError::DeadlineExpired {
+                    proxy: primary.id().to_string(),
+                    now,
+                });
+            }
             let mut transformed = None;
             for (rank, proxy) in std::iter::once(primary)
                 .chain(self.standbys[stage].iter())
                 .enumerate()
             {
+                let breaker = &self.breakers[stage][rank];
+                let phase = breaker.state(ctx.clock.now());
+                if phase == BreakerState::Open {
+                    stats.breaker_skips += 1;
+                    self.metrics
+                        .add(&format!("proxy.breaker.{}.skips", proxy.id()), 1);
+                    continue;
+                }
+                if phase == BreakerState::HalfOpen {
+                    self.metrics
+                        .add(&format!("proxy.breaker.{}.probes", proxy.id()), 1);
+                }
                 if rank > 0 {
                     stats.failovers += 1;
                     self.metrics
@@ -114,10 +169,17 @@ impl ProxyChain {
                 }
                 match Self::attempt_transform(proxy, system, client, &ct, ctx, op, &mut stats)? {
                     AttemptOutcome::Done(next) => {
+                        breaker.record_success();
                         transformed = Some(next);
                         break;
                     }
-                    AttemptOutcome::Dead => continue,
+                    AttemptOutcome::Dead => {
+                        if breaker.record_failure(ctx.clock.now()) {
+                            self.metrics
+                                .add(&format!("proxy.breaker.{}.opened", proxy.id()), 1);
+                        }
+                        continue;
+                    }
                 }
             }
             ct = transformed.ok_or_else(|| ProxyError::Unavailable {
@@ -315,6 +377,147 @@ mod tests {
                 client: "prober".into()
             }
         );
+    }
+
+    #[test]
+    fn open_breaker_skips_sick_primary_and_half_open_probe_recloses() {
+        use crate::breaker::{BreakerConfig, BreakerState};
+        let mut f = fixture(2006, 1, 1);
+        // trip on the first budget exhaustion, cool down after 50 ticks
+        f.chain.set_breaker_config(BreakerConfig::new(1, 50));
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 11,
+            proxy_timeout_permille: 1000,
+            max_fault_burst: 8,
+            ..FaultConfig::default()
+        });
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        // an op where the primary is dead but its standby recovers
+        let op = (0..64u64)
+            .find(|&op| {
+                (0..policy.max_attempts).all(|a| plan.proxy_fault("proxy-0", op, a).is_some())
+                    && (0..policy.max_attempts)
+                        .any(|a| plan.proxy_fault("proxy-0.s0", op, a).is_none())
+            })
+            .expect("schedule must kill some primary");
+        let (_, s1) = f
+            .chain
+            .ingest_resilient(&f.sys, "o", &f.partial, &ctx, op)
+            .unwrap();
+        assert_eq!(s1.failovers, 1);
+        assert_eq!(s1.breaker_skips, 0, "first discovery spends the budget");
+        assert_eq!(
+            f.chain.breaker(0, 0).state(clock.now()),
+            BreakerState::Open,
+            "one exhaustion trips at threshold 1"
+        );
+        // second ingest: the open breaker skips the primary outright —
+        // zero attempts are burned rediscovering the known-sick replica
+        let (_, s2) = f
+            .chain
+            .ingest_resilient(&f.sys, "o", &f.partial, &ctx, op)
+            .unwrap();
+        assert_eq!(s2.breaker_skips, 1);
+        assert_eq!(s2.failovers, 1, "standby serves while the primary cools");
+        assert!(
+            s2.attempts < s1.attempts,
+            "skipping must be cheaper than rediscovery ({} vs {})",
+            s2.attempts,
+            s1.attempts
+        );
+        // cooldown elapses → half-open; a successful probe recloses
+        clock.advance(200);
+        assert_eq!(
+            f.chain.breaker(0, 0).state(clock.now()),
+            BreakerState::HalfOpen
+        );
+        let alive_op = (0..64u64)
+            .find(|&op| {
+                (0..policy.max_attempts).any(|a| plan.proxy_fault("proxy-0", op, a).is_none())
+            })
+            .expect("some op lets the primary recover within budget");
+        let (_, s3) = f
+            .chain
+            .ingest_resilient(&f.sys, "o", &f.partial, &ctx, alive_op)
+            .unwrap();
+        assert_eq!(s3.breaker_skips, 0);
+        assert_eq!(s3.failovers, 0, "the probe succeeded on the primary");
+        assert_eq!(
+            f.chain.breaker(0, 0).state(clock.now()),
+            BreakerState::Closed
+        );
+        let snap = f.chain.metrics_snapshot();
+        assert_eq!(snap.counter("proxy.breaker.proxy-0.opened"), Some(1));
+        assert_eq!(snap.counter("proxy.breaker.proxy-0.skips"), Some(1));
+        assert_eq!(snap.counter("proxy.breaker.proxy-0.probes"), Some(1));
+    }
+
+    #[test]
+    fn expired_deadline_stops_ingest_before_any_stage_work() {
+        use apks_core::Deadline;
+        let f = fixture(2007, 2, 0);
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        clock.advance(10);
+        let err = f
+            .chain
+            .ingest_bounded(&f.sys, "o", &f.partial, &ctx, 0, Deadline::at(5))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ProxyError::DeadlineExpired {
+                proxy: "proxy-0".into(),
+                now: 10
+            }
+        );
+        let snap = f.chain.metrics_snapshot();
+        assert_eq!(snap.counter("proxy.deadline_expired"), Some(1));
+        // no transform ran: the expired request consumed zero proxy work
+        assert_eq!(snap.counter("proxy.transforms.o"), None);
+        // an unexpired deadline lets the same ingest through
+        let (full, _) = f
+            .chain
+            .ingest_bounded(&f.sys, "o", &f.partial, &ctx, 0, Deadline::at(1_000_000))
+            .unwrap();
+        assert!(f.sys.search(&f.pk, &f.cap, &full).unwrap());
+    }
+
+    #[test]
+    fn deadline_expiring_mid_chain_stops_between_stages() {
+        use apks_core::Deadline;
+        let f = fixture(2008, 2, 0);
+        // every op faults once then recovers: the stage-0 retry backoff
+        // pushes the clock past the deadline before stage 1 begins
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 3,
+            transform_error_permille: 1000,
+            max_fault_burst: 1,
+            ..FaultConfig::default()
+        });
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let err = f
+            .chain
+            .ingest_bounded(&f.sys, "o", &f.partial, &ctx, 0, Deadline::at(1))
+            .unwrap_err();
+        match err {
+            ProxyError::DeadlineExpired { proxy, now } => {
+                assert_eq!(proxy, "proxy-1", "stage 0 ran, stage 1 was spared");
+                assert!(now >= 2, "backoff advanced the clock past the deadline");
+            }
+            other => panic!("expected DeadlineExpired, got {other}"),
+        }
+        // exactly one stage's transform was spent
+        let snap = f.chain.metrics_snapshot();
+        assert_eq!(snap.counter("proxy.transforms.o"), Some(1));
     }
 
     #[test]

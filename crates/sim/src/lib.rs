@@ -14,6 +14,8 @@
 //! per-operation benchmarks cannot (e.g. ingest latency including the
 //! proxy hop, match rates under realistic queries, denial rates).
 
+pub mod overload;
+
 use apks_authz::{
     AttributeDirectory, AuthzError, Eligibility, EligibilityRules, Lta, TrustedAuthority,
 };

@@ -234,3 +234,141 @@ fn schema_digest_distinguishes() {
         .gen_index(&pk1, &Record::new(vec![FieldValue::text("x")]), &mut rng)
         .is_err());
 }
+
+/// Overload isolation: a shed or deadline-expired request must leave the
+/// cloud's index and every counter unchanged, except the shed/expired
+/// telemetry itself (satellite of the overload-protection PR).
+mod overload_isolation {
+    use super::*;
+    use apks_authz::TrustedAuthority;
+    use apks_cloud::{
+        AdmissionConfig, AdmissionController, AdmissionDecision, CloudServer, QueryShape,
+        RequestClass, ShedReason,
+    };
+    use apks_core::fault::{FaultConfig, FaultContext, FaultPlan, RetryPolicy, VirtualClock};
+    use apks_core::{ApksSystem, Budget, Deadline, Query, QueryPolicy};
+    use apks_curve::CurveParams;
+    use apks_telemetry::{Metric, MetricsRegistry, MetricsSnapshot};
+
+    /// Snapshot entries minus the counters a shed/expiry is *allowed* to
+    /// touch — everything left must be bit-identical across the event.
+    fn invariant_entries(snap: &MetricsSnapshot) -> Vec<(String, Metric)> {
+        snap.entries()
+            .iter()
+            .filter(|(name, _)| {
+                name != "cloud.admission.shed.queue_full"
+                    && name != "cloud.admission.shed.brownout"
+                    && name != "cloud.scan.deadline_expired"
+            })
+            .cloned()
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// For any seed and queue bound, refusing a request — at the
+        /// queue, by brown-out, or by an expired deadline — never
+        /// partially mutates server state.
+        #[test]
+        fn shed_and_expired_requests_leave_state_untouched(
+            seed in 0u64..1_000,
+            bound in 1usize..5,
+        ) {
+            let schema = Schema::builder()
+                .flat_field("illness", 1)
+                .flat_field("sex", 1)
+                .build()
+                .unwrap();
+            let sys = ApksSystem::new(CurveParams::fast(), schema);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ta = TrustedAuthority::setup(sys, &mut rng);
+            let metrics = std::sync::Arc::new(MetricsRegistry::new());
+            let clock = std::sync::Arc::new(VirtualClock::new());
+            let server = CloudServer::with_telemetry(
+                ta.system().clone(),
+                ta.public_key().clone(),
+                ta.ibs_params().clone(),
+                std::sync::Arc::clone(&metrics),
+                std::sync::Arc::clone(&clock) as std::sync::Arc<dyn apks_telemetry::Clock>,
+            );
+            server.register_authority("ta");
+            for illness in ["flu", "cold", "flu"] {
+                let rec = Record::new(vec![
+                    FieldValue::text(illness),
+                    FieldValue::text("female"),
+                ]);
+                server.upload(ta.system().gen_index(ta.public_key(), &rec, &mut rng).unwrap());
+            }
+            let cap = ta
+                .issue_capability(
+                    &Query::new().equals("illness", "flu"),
+                    &QueryPolicy::default(),
+                    &mut rng,
+                )
+                .unwrap();
+
+            // -- queue-full shed --------------------------------------
+            let admission = AdmissionController::new(
+                AdmissionConfig::new(bound, 1001, 1001, 1001),
+                std::sync::Arc::clone(&metrics),
+            );
+            for id in 0..bound as u64 {
+                let admitted = matches!(
+                    admission.offer(id, RequestClass::Priority),
+                    AdmissionDecision::Admitted { .. }
+                );
+                prop_assert!(admitted, "priority fill must be admitted");
+            }
+            let docs_before = server.len();
+            let before = invariant_entries(&metrics.snapshot());
+            let shed = admission.offer(
+                bound as u64,
+                RequestClass::Normal(QueryShape::Equality),
+            );
+            let expected = AdmissionDecision::Shed { reason: ShedReason::QueueFull };
+            prop_assert_eq!(shed, expected);
+            prop_assert_eq!(server.len(), docs_before);
+            prop_assert_eq!(admission.depth(), bound);
+            let after_snap = metrics.snapshot();
+            prop_assert_eq!(&invariant_entries(&after_snap), &before);
+            prop_assert_eq!(after_snap.counter("cloud.admission.shed.queue_full"), Some(1));
+
+            // -- brown-out shed ---------------------------------------
+            let browned = AdmissionController::new(
+                AdmissionConfig::new(bound, 0, 1001, 1001),
+                std::sync::Arc::clone(&metrics),
+            );
+            let before = invariant_entries(&metrics.snapshot());
+            let shed = browned.offer(0, RequestClass::Normal(QueryShape::DeepRange));
+            let expected = AdmissionDecision::Shed {
+                reason: ShedReason::Brownout { level: 1 },
+            };
+            prop_assert_eq!(shed, expected);
+            prop_assert_eq!(server.len(), docs_before);
+            let after_snap = metrics.snapshot();
+            prop_assert_eq!(&invariant_entries(&after_snap), &before);
+            prop_assert_eq!(after_snap.counter("cloud.admission.shed.brownout"), Some(1));
+
+            // -- expired deadline -------------------------------------
+            let plan = FaultPlan::new(FaultConfig::default());
+            let policy = RetryPolicy::default();
+            let ctx = FaultContext::new(&plan, &policy, &clock);
+            clock.advance(10 + seed % 17);
+            let budget = Budget::pairings(1_000);
+            let budget_before = budget.remaining();
+            let before = invariant_entries(&metrics.snapshot());
+            let d = server
+                .search_bounded(&cap, &ctx, Deadline::at(clock.now() - 1), &budget, 5)
+                .unwrap();
+            prop_assert!(d.matches.is_empty());
+            prop_assert!(d.stats.deadline_expired);
+            prop_assert_eq!(d.unscanned.len(), docs_before);
+            prop_assert_eq!(server.len(), docs_before);
+            prop_assert_eq!(budget.remaining(), budget_before);
+            let after_snap = metrics.snapshot();
+            prop_assert_eq!(&invariant_entries(&after_snap), &before);
+            prop_assert_eq!(after_snap.counter("cloud.scan.deadline_expired"), Some(1));
+        }
+    }
+}
