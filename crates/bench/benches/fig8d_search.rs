@@ -38,6 +38,54 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
+/// Batched wave evaluation vs per-query prepared search for one
+/// document at batch depth 8, half of whose queries are duplicates
+/// (the same capability resubmitted). Per-query mode re-runs the full
+/// multi-pairing for every submission; the wave engine deduplicates at
+/// the scan layer and evaluates each *distinct* capability once in a
+/// lockstep multi-pairing, fanning the verdicts out — so the wave side
+/// measures 4 distinct evaluations serving all 8 queries.
+fn bench_search_batched(c: &mut Criterion) {
+    let params = bench_params();
+    let mut group = c.benchmark_group("fig8d_search_batched");
+    group.sample_size(10);
+    const DEPTH: usize = 8;
+    const DISTINCT: usize = DEPTH / 2;
+    for d in [1usize, 2] {
+        let mut sys = BenchSystem::new(params.clone(), d, 80 + d as u64);
+        let n = sys.n();
+        let idx = sys.encrypt_one();
+        let caps: Vec<_> = (0..DISTINCT)
+            .map(|i| {
+                let q = sys.sparse_query(1 + i);
+                sys.cap_for(&q)
+            })
+            .collect();
+        let prepared: Vec<_> = caps
+            .iter()
+            .map(|cap| sys.system.prepare_capability(cap).unwrap())
+            .collect();
+        let distinct: Vec<_> = prepared.iter().collect();
+        group.bench_with_input(BenchmarkId::new("per_query_prepared", n), &n, |b, _| {
+            b.iter(|| {
+                for i in 0..DEPTH {
+                    sys.system
+                        .search_prepared(&sys.pk, &prepared[i % DISTINCT], &idx)
+                        .unwrap();
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("wave_deduped", n), &n, |b, _| {
+            b.iter(|| {
+                sys.system
+                    .search_prepared_wave(&sys.pk, &distinct, &idx)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_pairing_modes(c: &mut Criterion) {
     let params = bench_params();
     let mut rng = StdRng::seed_from_u64(70);
@@ -54,5 +102,10 @@ fn bench_pairing_modes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_search, bench_pairing_modes);
+criterion_group!(
+    benches,
+    bench_search,
+    bench_search_batched,
+    bench_pairing_modes
+);
 criterion_main!(benches);

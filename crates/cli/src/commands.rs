@@ -53,7 +53,10 @@ impl Args {
             let a = &args[i];
             if let Some(name) = a.strip_prefix("--") {
                 // boolean flags take no value
-                if matches!(name, "plus" | "finalize" | "points" | "json" | "overload") {
+                if matches!(
+                    name,
+                    "plus" | "finalize" | "points" | "json" | "overload" | "batch"
+                ) {
                     flags.push(name.to_string());
                 } else {
                     i += 1;
@@ -103,7 +106,7 @@ commands:
   delegate   --deploy <deploy> --cap <file> --query \"...\" --out <file> [--seed N]
   search     --deploy <deploy> --cap <file> <index-file>...
   transform  --deploy <deploy> --in <partial-index> --out <file>   (APKS+ proxy step)
-  stats      [--docs N] [--threads N] [--seed N] [--json] [--overload]   (scan an in-memory corpus, print telemetry)
+  stats      [--docs N] [--threads N] [--seed N] [--json] [--overload] [--batch]   (scan an in-memory corpus, print telemetry)
   demo       [--seed N]
 ";
 
@@ -364,6 +367,9 @@ fn cmd_stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> 
     if args.has_flag("overload") {
         return cmd_stats_overload(args, out);
     }
+    if args.has_flag("batch") {
+        return cmd_stats_batch(args, out);
+    }
     let docs: usize = args.get("docs").and_then(|v| v.parse().ok()).unwrap_or(24);
     let threads: usize = args
         .get("threads")
@@ -473,6 +479,85 @@ fn cmd_stats_overload(args: &Args, out: &mut dyn std::io::Write) -> Result<(), C
         r.time_to_shed_p99(),
         r.scan_latency_p99()
     )?;
+    Ok(())
+}
+
+/// `apks stats --batch`: replay the overload scenario in micro-batched
+/// admission mode and print the wave engine's `cloud.wave.*` telemetry —
+/// wave sizes, capability dedup, and amortized pairings per query.
+fn cmd_stats_batch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use apks_cloud::WaveConfig;
+    use apks_sim::overload::{run_overload_batched, OverloadConfig};
+
+    let config = OverloadConfig {
+        seed: args.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1),
+        ..OverloadConfig::default()
+    };
+    let wave = WaveConfig::default();
+    let r = run_overload_batched(&config, &wave).map_err(|e| CliError(e.to_string()))?;
+    if args.has_flag("json") {
+        writeln!(out, "{}", r.metrics.to_json())?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "batched overload scenario (seed {}, waves of {} within {} ticks): {} arrivals over {} virtual ticks, {} docs",
+        config.seed, wave.max_wave, wave.window_ticks, r.arrivals, r.virtual_ticks, r.docs_stored
+    )?;
+    writeln!(
+        out,
+        "admission: {} admitted, {} shed at the queue, {} browned out (max level {}), {} displaced by priority",
+        r.admitted, r.shed_queue_full, r.shed_brownout, r.max_brownout_level, r.displaced
+    )?;
+    writeln!(
+        out,
+        "degradation: {} deadline-expired, {} budget-exhausted, {} documents left unscanned",
+        r.deadline_expired, r.budget_exhausted, r.unscanned_docs
+    )?;
+    let m = &r.metrics;
+    let waves = m.counter("cloud.wave.scans").unwrap_or(0);
+    writeln!(
+        out,
+        "waves: {} dispatched ({} filled, {} window-expired, {} drained)",
+        waves,
+        m.counter("cloud.wave.flush.full").unwrap_or(0),
+        m.counter("cloud.wave.flush.window").unwrap_or(0),
+        m.counter("cloud.wave.flush.drain").unwrap_or(0),
+    )?;
+    if let Some(h) = m.histogram("cloud.wave.size") {
+        writeln!(
+            out,
+            "wave size: mean {} (p99<={}), {} duplicate evaluations shared",
+            h.sum / h.count.max(1),
+            h.quantile_upper_bound(0.99),
+            m.counter("cloud.wave.shared_evals").unwrap_or(0),
+        )?;
+    }
+    if let Some(h) = m.histogram("cloud.wave.amortized_pairings_per_query") {
+        writeln!(
+            out,
+            "amortized pairings per query: mean {} (p99<={}) across {} waves",
+            h.sum / h.count.max(1),
+            h.quantile_upper_bound(0.99),
+            h.count,
+        )?;
+    }
+    writeln!(out, "full wave ledger:")?;
+    for (name, metric) in m.entries() {
+        if name.starts_with("cloud.wave.") {
+            match metric {
+                apks_telemetry::Metric::Counter(v) => writeln!(out, "  {name}: {v}")?,
+                apks_telemetry::Metric::Histogram(h) => writeln!(
+                    out,
+                    "  {name}: count {} sum {} p50<={} p99<={}",
+                    h.count,
+                    h.sum,
+                    h.quantile_upper_bound(0.5),
+                    h.quantile_upper_bound(0.99),
+                )?,
+            }
+        }
+    }
     Ok(())
 }
 
@@ -737,6 +822,23 @@ mod tests {
         assert!(out.contains("p99 time-to-shed"));
         // the same seed replays identically
         let again = run_strs(&["stats", "--overload", "--seed", "1"]).unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn stats_batch_reports_wave_ledger() {
+        let out = run_strs(&["stats", "--batch", "--seed", "1"]).unwrap();
+        assert!(out.contains("batched overload scenario (seed 1"));
+        assert!(out.contains("waves: "));
+        assert!(out.contains("amortized pairings per query"));
+        assert!(out.contains("cloud.wave.scans"));
+        assert!(out.contains("cloud.wave.size"));
+        assert!(
+            !out.contains("cloud.scans"),
+            "batched mode must not touch the solo-scan ledger"
+        );
+        // the same seed replays identically
+        let again = run_strs(&["stats", "--batch", "--seed", "1"]).unwrap();
         assert_eq!(out, again);
     }
 

@@ -22,6 +22,7 @@
 //! the scan counters.
 
 use apks_telemetry::MetricsRegistry;
+use core::fmt;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -92,24 +93,83 @@ impl Default for AdmissionConfig {
     }
 }
 
+/// Why an admission or batching config was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// `queue_bound == 0`: every request would be shed.
+    ZeroQueueBound,
+    /// The brown-out ladder is not ordered `l1 ≤ l2 ≤ l3`, so shed
+    /// levels would be skipped silently.
+    UnorderedThresholds {
+        /// Level-1 threshold (permille).
+        l1: u32,
+        /// Level-2 threshold (permille).
+        l2: u32,
+        /// Level-3 threshold (permille).
+        l3: u32,
+    },
+    /// `max_wave == 0`: a wave could never hold a query.
+    ZeroWaveSize,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::ZeroQueueBound => {
+                write!(f, "admission queue bound must be positive")
+            }
+            AdmissionError::UnorderedThresholds { l1, l2, l3 } => write!(
+                f,
+                "brown-out thresholds must be ordered l1 <= l2 <= l3 \
+                 (got {l1} <= {l2} <= {l3})"
+            ),
+            AdmissionError::ZeroWaveSize => {
+                write!(f, "wave size must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
 impl AdmissionConfig {
-    /// A checked config.
+    /// A checked config, rejecting a zero bound or a misordered ladder
+    /// with a structured error.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `queue_bound == 0` (every request would be shed) or the
-    /// brown-out thresholds are not ordered `l1 ≤ l2 ≤ l3`.
-    pub fn new(queue_bound: usize, l1: u32, l2: u32, l3: u32) -> AdmissionConfig {
-        assert!(queue_bound > 0, "admission queue bound must be positive");
-        assert!(
-            l1 <= l2 && l2 <= l3,
-            "brown-out thresholds must be ordered l1 <= l2 <= l3"
-        );
-        AdmissionConfig {
+    /// [`AdmissionError::ZeroQueueBound`] if `queue_bound == 0`;
+    /// [`AdmissionError::UnorderedThresholds`] unless `l1 ≤ l2 ≤ l3`.
+    pub fn try_new(
+        queue_bound: usize,
+        l1: u32,
+        l2: u32,
+        l3: u32,
+    ) -> Result<AdmissionConfig, AdmissionError> {
+        if queue_bound == 0 {
+            return Err(AdmissionError::ZeroQueueBound);
+        }
+        if !(l1 <= l2 && l2 <= l3) {
+            return Err(AdmissionError::UnorderedThresholds { l1, l2, l3 });
+        }
+        Ok(AdmissionConfig {
             queue_bound,
             brownout_l1_permille: l1,
             brownout_l2_permille: l2,
             brownout_l3_permille: l3,
+        })
+    }
+
+    /// [`AdmissionConfig::try_new`] for infallible call sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`AdmissionError`]'s message on an invalid
+    /// config.
+    pub fn new(queue_bound: usize, l1: u32, l2: u32, l3: u32) -> AdmissionConfig {
+        match AdmissionConfig::try_new(queue_bound, l1, l2, l3) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -277,6 +337,135 @@ impl AdmissionController {
             }
             None => false,
         }
+    }
+}
+
+/// Micro-batching tuning for the wave scan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaveConfig {
+    /// Queries per wave: a wave is dispatched as soon as this many are
+    /// pending.
+    pub max_wave: usize,
+    /// Virtual ticks a partially-filled wave may wait for company
+    /// before it is dispatched anyway. `0` means waves only dispatch
+    /// when full (or flushed explicitly).
+    pub window_ticks: u64,
+}
+
+impl Default for WaveConfig {
+    fn default() -> Self {
+        WaveConfig {
+            max_wave: 8,
+            window_ticks: 50,
+        }
+    }
+}
+
+impl WaveConfig {
+    /// A checked config.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::ZeroWaveSize`] if `max_wave == 0`.
+    pub fn try_new(max_wave: usize, window_ticks: u64) -> Result<WaveConfig, AdmissionError> {
+        if max_wave == 0 {
+            return Err(AdmissionError::ZeroWaveSize);
+        }
+        Ok(WaveConfig {
+            max_wave,
+            window_ticks,
+        })
+    }
+
+    /// [`WaveConfig::try_new`] for infallible call sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`AdmissionError`]'s message if `max_wave == 0`.
+    pub fn new(max_wave: usize, window_ticks: u64) -> WaveConfig {
+        match WaveConfig::try_new(max_wave, window_ticks) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+/// Coalesces admitted queries into scan waves.
+///
+/// Sits *behind* the [`AdmissionController`]: a query is offered for
+/// admission first (shed decisions stay per-request and immediate), and
+/// only admitted queries enter the batcher. A wave dispatches when it
+/// reaches [`WaveConfig::max_wave`] queries or the oldest pending query
+/// has waited [`WaveConfig::window_ticks`] — fairness is FIFO, so a
+/// query's wave wait is bounded by the window regardless of arrival
+/// rate. Deadlines keep running while a query waits; the wave scan
+/// re-checks each query's deadline per document, so a query that spent
+/// its slack queueing simply scans a shorter prefix.
+///
+/// Every decision is a pure function of the enqueue/flush call sequence
+/// and the caller's clock readings, keeping same-seed runs replayable.
+pub struct WaveBatcher {
+    config: WaveConfig,
+    /// Pending `(id, enqueued_at)` in arrival order.
+    pending: Mutex<VecDeque<(RequestId, u64)>>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl WaveBatcher {
+    /// An empty batcher recording into `metrics`.
+    pub fn new(config: WaveConfig, metrics: Arc<MetricsRegistry>) -> WaveBatcher {
+        WaveBatcher {
+            config,
+            pending: Mutex::new(VecDeque::new()),
+            metrics,
+        }
+    }
+
+    /// The tuning this batcher runs under.
+    pub fn config(&self) -> &WaveConfig {
+        &self.config
+    }
+
+    /// Queries currently waiting for a wave.
+    pub fn pending(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Adds an admitted query. Returns the full wave (in arrival order)
+    /// if this enqueue filled one; counted as `cloud.wave.flush.full`.
+    pub fn enqueue(&self, id: RequestId, now: u64) -> Option<Vec<RequestId>> {
+        let mut pending = self.pending.lock();
+        pending.push_back((id, now));
+        self.metrics.add("cloud.wave.coalesced", 1);
+        if pending.len() >= self.config.max_wave {
+            self.metrics.add("cloud.wave.flush.full", 1);
+            return Some(pending.drain(..).map(|(q, _)| q).collect());
+        }
+        None
+    }
+
+    /// Dispatches the pending wave if the oldest query has waited out
+    /// the batching window at clock reading `now`; counted as
+    /// `cloud.wave.flush.window`.
+    pub fn flush_due(&self, now: u64) -> Option<Vec<RequestId>> {
+        let mut pending = self.pending.lock();
+        let (_, oldest) = pending.front()?;
+        if now.saturating_sub(*oldest) < self.config.window_ticks {
+            return None;
+        }
+        self.metrics.add("cloud.wave.flush.window", 1);
+        Some(pending.drain(..).map(|(q, _)| q).collect())
+    }
+
+    /// Dispatches whatever is pending regardless of fill or window
+    /// (end-of-schedule drain); counted as `cloud.wave.flush.drain`.
+    pub fn flush_all(&self) -> Option<Vec<RequestId>> {
+        let mut pending = self.pending.lock();
+        if pending.is_empty() {
+            return None;
+        }
+        self.metrics.add("cloud.wave.flush.drain", 1);
+        Some(pending.drain(..).map(|(q, _)| q).collect())
     }
 }
 
@@ -464,5 +653,86 @@ mod tests {
     #[should_panic(expected = "brown-out thresholds must be ordered")]
     fn unordered_thresholds_rejected() {
         AdmissionConfig::new(8, 800, 750, 900);
+    }
+
+    #[test]
+    fn invalid_configs_surface_structured_errors() {
+        assert_eq!(
+            AdmissionConfig::try_new(0, 500, 750, 900),
+            Err(AdmissionError::ZeroQueueBound)
+        );
+        // every misordered pair is caught, not just adjacent ones
+        assert_eq!(
+            AdmissionConfig::try_new(8, 800, 750, 900),
+            Err(AdmissionError::UnorderedThresholds {
+                l1: 800,
+                l2: 750,
+                l3: 900
+            })
+        );
+        assert_eq!(
+            AdmissionConfig::try_new(8, 500, 950, 900),
+            Err(AdmissionError::UnorderedThresholds {
+                l1: 500,
+                l2: 950,
+                l3: 900
+            })
+        );
+        // equal thresholds are a legal (degenerate) ladder
+        assert!(AdmissionConfig::try_new(8, 750, 750, 750).is_ok());
+        let err = AdmissionConfig::try_new(8, 800, 750, 900).unwrap_err();
+        assert!(err.to_string().contains("800 <= 750 <= 900"));
+        assert_eq!(
+            WaveConfig::try_new(0, 10),
+            Err(AdmissionError::ZeroWaveSize)
+        );
+        assert!(WaveConfig::try_new(1, 0).is_ok());
+    }
+
+    #[test]
+    fn brownout_triggers_when_permille_exactly_equals_a_threshold() {
+        // bound 10: depth 5 is exactly 500‰ — the l1 threshold is
+        // inclusive, so level 1 engages at equality, not one past it
+        let cfg = AdmissionConfig::new(10, 500, 750, 900);
+        assert_eq!(cfg.brownout_level_at(4), 0, "400‰ < 500‰");
+        assert_eq!(cfg.brownout_level_at(5), 1, "exactly 500‰ is level 1");
+        // bound 4 with l2 = 750: depth 3 is exactly 750‰
+        let cfg = AdmissionConfig::new(4, 500, 750, 900);
+        assert_eq!(cfg.brownout_level_at(3), 2, "exactly 750‰ is level 2");
+        // bound 10 with l3 = 900: depth 9 is exactly 900‰
+        let cfg = AdmissionConfig::new(10, 500, 750, 900);
+        assert_eq!(cfg.brownout_level_at(9), 3, "exactly 900‰ is level 3");
+        // a degenerate all-equal ladder jumps straight to its top level
+        let flat = AdmissionConfig::new(10, 500, 500, 500);
+        assert_eq!(flat.brownout_level_at(4), 0);
+        assert_eq!(flat.brownout_level_at(5), 3, "equal thresholds stack");
+    }
+
+    #[test]
+    fn batcher_dispatches_on_fill_window_or_drain() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let b = WaveBatcher::new(WaveConfig::new(3, 10), metrics.clone());
+        assert_eq!(b.enqueue(0, 0), None);
+        assert_eq!(b.enqueue(1, 2), None);
+        assert_eq!(b.pending(), 2);
+        // window not yet elapsed for the oldest (enqueued at 0)
+        assert_eq!(b.flush_due(9), None);
+        // third query fills the wave: dispatched in arrival order
+        assert_eq!(b.enqueue(2, 3), Some(vec![0, 1, 2]));
+        assert_eq!(b.pending(), 0);
+        assert_eq!(b.flush_due(100), None, "nothing pending");
+        // window flush: oldest waits out the window alone
+        assert_eq!(b.enqueue(3, 50), None);
+        assert_eq!(b.flush_due(59), None);
+        assert_eq!(b.flush_due(60), Some(vec![3]));
+        // drain flush ignores both fill and window
+        assert_eq!(b.enqueue(4, 70), None);
+        assert_eq!(b.flush_all(), Some(vec![4]));
+        assert_eq!(b.flush_all(), None);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("cloud.wave.coalesced"), Some(5));
+        assert_eq!(snap.counter("cloud.wave.flush.full"), Some(1));
+        assert_eq!(snap.counter("cloud.wave.flush.window"), Some(1));
+        assert_eq!(snap.counter("cloud.wave.flush.drain"), Some(1));
     }
 }

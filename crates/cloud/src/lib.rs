@@ -17,7 +17,7 @@ pub mod adversary;
 pub mod server;
 
 pub use admission::{
-    AdmissionConfig, AdmissionController, AdmissionDecision, QueryShape, RequestClass, RequestId,
-    ShedReason,
+    AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionError, QueryShape,
+    RequestClass, RequestId, ShedReason, WaveBatcher, WaveConfig,
 };
-pub use server::{CloudServer, DegradedScan, DocumentId, SearchOutcome, SearchStats};
+pub use server::{CloudServer, DegradedScan, DocumentId, SearchOutcome, SearchStats, WaveRequest};

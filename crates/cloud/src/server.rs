@@ -92,6 +92,18 @@ pub struct DegradedScan {
     pub stats: SearchStats,
 }
 
+/// One query's slot in a scan wave: its capability plus the overload
+/// bounds that stay **per-request** even when the scan is shared.
+#[derive(Clone, Copy)]
+pub struct WaveRequest<'a> {
+    /// The query's capability.
+    pub cap: &'a Capability,
+    /// The query's own deadline, re-checked per document.
+    pub deadline: Deadline,
+    /// The query's own pairing budget, charged per document.
+    pub budget: &'a Budget,
+}
+
 /// The cloud server.
 pub struct CloudServer {
     system: ApksSystem,
@@ -504,12 +516,26 @@ impl CloudServer {
         id: DocumentId,
         idx: &EncryptedIndex,
     ) -> (Option<bool>, usize, u64) {
-        let evaluate = || self.system.search_prepared(&self.pk, prepared, idx);
+        let (evaluable, retries, charged) = Self::resolve_doc_fault(ctx, id);
+        if evaluable {
+            let outcome = self.system.search_prepared(&self.pk, prepared, idx).ok();
+            (outcome, retries, charged)
+        } else {
+            (None, retries, charged)
+        }
+    }
+
+    /// Resolves a document's injected fault: whether evaluation may
+    /// proceed, the retries spent getting there, and the ticks charged
+    /// (slowness + backoff). The fault is a pure function of the
+    /// document id, so a wave resolves it **once** per document and
+    /// every query in the wave sees the outcome a solo scan would.
+    fn resolve_doc_fault(ctx: &FaultContext<'_>, id: DocumentId) -> (bool, usize, u64) {
         match ctx.plan.doc_fault(id) {
-            None => (evaluate().ok(), 0, 0),
+            None => (true, 0, 0),
             Some(DocFault::Slow { ticks }) => {
                 ctx.clock.advance(ticks);
-                (evaluate().ok(), 0, ticks)
+                (true, 0, ticks)
             }
             Some(DocFault::Flaky { burst }) => {
                 // attempts 0..burst fault; each retry backs off
@@ -517,7 +543,7 @@ impl CloudServer {
                 let mut charged = 0u64;
                 for attempt in 0..ctx.policy.max_attempts {
                     if attempt >= burst {
-                        return (evaluate().ok(), retries, charged);
+                        return (true, retries, charged);
                     }
                     if attempt + 1 < ctx.policy.max_attempts {
                         retries += 1;
@@ -526,9 +552,9 @@ impl CloudServer {
                         charged += backoff;
                     }
                 }
-                (None, retries, charged)
+                (false, retries, charged)
             }
-            Some(DocFault::Poisoned) => (None, 0, 0),
+            Some(DocFault::Poisoned) => (false, 0, 0),
         }
     }
 
@@ -693,6 +719,310 @@ impl CloudServer {
             unscanned,
             stats,
         })
+    }
+
+    /// Admit every capability, then run one batched wave over the
+    /// corpus — the multi-query overload entry point.
+    ///
+    /// # Errors
+    ///
+    /// Fails if **any** capability is rejected (the wave is all-or-
+    /// nothing at admission; shed decisions belong to the admission
+    /// controller, before batching).
+    pub fn search_batched(
+        &self,
+        requests: &[(&SignedCapability, Deadline, &Budget)],
+        ctx: &FaultContext<'_>,
+        doc_cost_ticks: u64,
+    ) -> Result<Vec<DegradedScan>, SearchOutcome> {
+        for (cap, _, _) in requests {
+            self.admit(cap)?;
+        }
+        let wave: Vec<WaveRequest<'_>> = requests
+            .iter()
+            .map(|(cap, deadline, budget)| WaveRequest {
+                cap: &cap.capability,
+                deadline: *deadline,
+                budget,
+            })
+            .collect();
+        self.scan_wave(&wave, ctx, doc_cost_ticks)
+    }
+
+    /// Multi-capability batched corpus scan: walks the store **once**,
+    /// loads each encrypted index a single time, and evaluates every
+    /// query in the wave against it in one lockstep multi-pairing
+    /// ([`ApksSystem::search_prepared_wave`]) — one final exponentiation
+    /// per (document, capability) group. Identical capabilities in the
+    /// wave are deduplicated: their Miller work runs once and the
+    /// verdict fans out, though each duplicate still charges its own
+    /// [`Budget`].
+    ///
+    /// Overload bounds stay per-request. Each query's [`Deadline`] is
+    /// re-checked and its `Budget` charged (`n + 3` pairings) before
+    /// every document, in wave order — a query whose bound dies
+    /// mid-wave stops scanning there and reports the tail in its own
+    /// [`DegradedScan::unscanned`], while the rest of the wave
+    /// continues. The per-document service cost (`doc_cost_ticks`) and
+    /// any fault-injected slowness or backoff are charged to the
+    /// virtual clock **once per document**, not once per query — that
+    /// amortization is the point of batching. Faults are a pure
+    /// function of the document id, so every query in the wave sees
+    /// the outcome a solo scan would; with [`Deadline::NEVER`]
+    /// deadlines a wave's per-query results (matches, faulted,
+    /// unscanned, accounting) are exactly those of sequential
+    /// [`CloudServer::scan_bounded`] runs, and with live deadlines each
+    /// query scans a prefix, so its hits stay a subset of the solo
+    /// scan's.
+    ///
+    /// A query whose deadline has already expired at wave start does no
+    /// work at all — its capability is not even prepared unless a live
+    /// query shares it. Wave telemetry lands under `cloud.wave.*`
+    /// (size, distinct capabilities, measured amortized pairings,
+    /// per-query bound cuts); the per-query `cloud.scan.*` ledger is
+    /// untouched, so solo-scan accounting stays comparable across
+    /// versions.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if some live capability cannot be prepared
+    /// (deployment mismatch).
+    pub fn scan_wave(
+        &self,
+        requests: &[WaveRequest<'_>],
+        ctx: &FaultContext<'_>,
+        doc_cost_ticks: u64,
+    ) -> Result<Vec<DegradedScan>, SearchOutcome> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let store = self.store.read();
+        let clock: &dyn Clock = ctx.clock;
+        let entry = clock.now_ticks();
+        let doc_pairings = (self.system.n() + 3) as u64;
+
+        /// Per-query scan state.
+        struct QState {
+            /// Index into the distinct-capability table.
+            cap_idx: usize,
+            /// Still scanning (not cut by a bound).
+            live: bool,
+            /// Expired before the wave started: no work, no preparation.
+            dead_at_entry: bool,
+            matches: Vec<DocumentId>,
+            faulted: Vec<DocumentId>,
+            /// Store position where a bound cut the scan, if any.
+            cut_pos: Option<usize>,
+            deadline_expired: bool,
+            budget_exhausted: bool,
+            retries: usize,
+            /// Documents actually evaluated (each costs `n + 3`
+            /// logical pairings against this query's budget).
+            evals: usize,
+        }
+
+        // Deduplicate capabilities (waves are small; linear scan).
+        let mut distinct: Vec<&Capability> = Vec::new();
+        let mut states: Vec<QState> = requests
+            .iter()
+            .map(|req| {
+                let cap_idx = match distinct.iter().position(|c| *c == req.cap) {
+                    Some(i) => i,
+                    None => {
+                        distinct.push(req.cap);
+                        distinct.len() - 1
+                    }
+                };
+                let dead_at_entry = req.deadline.expired_at(entry);
+                QState {
+                    cap_idx,
+                    live: !dead_at_entry,
+                    dead_at_entry,
+                    matches: Vec::new(),
+                    faulted: Vec::new(),
+                    cut_pos: if dead_at_entry { Some(0) } else { None },
+                    deadline_expired: dead_at_entry,
+                    budget_exhausted: false,
+                    retries: 0,
+                    evals: 0,
+                }
+            })
+            .collect();
+
+        // Prepare each distinct capability once — but only those some
+        // live query needs (a wave of dead queries does no crypto).
+        let mut prepared: Vec<Option<PreparedCapability>> =
+            (0..distinct.len()).map(|_| None).collect();
+        let mut prep_ticks: Vec<u64> = vec![0; distinct.len()];
+        let mut prep_counts = SourceCounts::default();
+        for q in states.iter().filter(|q| q.live) {
+            if prepared[q.cap_idx].is_some() {
+                continue;
+            }
+            let start = clock.now_ticks();
+            let (res, counts) =
+                source::measure(|| self.system.prepare_capability(distinct[q.cap_idx]));
+            let ticks = clock.now_ticks().saturating_sub(start);
+            prep_counts += counts;
+            self.metrics.record("cloud.wave.prepare_ticks", ticks);
+            prep_ticks[q.cap_idx] = ticks;
+            prepared[q.cap_idx] = Some(res.map_err(SearchOutcome::Apks)?);
+        }
+
+        let doc_hist = self.metrics.histogram("cloud.wave.doc_ticks");
+        let mut docs_touched = 0u64;
+        let mut shared_evals = 0u64;
+        let scan_start = clock.now_ticks();
+        let ((), scan_counts) = source::measure(|| {
+            for (pos, (id, idx)) in store.iter().enumerate() {
+                // Each live query's bounds, in wave order — the same
+                // deadline-then-budget order a solo scan applies.
+                let mut survivors: Vec<usize> = Vec::new();
+                for (qi, q) in states.iter_mut().enumerate() {
+                    if !q.live {
+                        continue;
+                    }
+                    if requests[qi].deadline.expired_at(clock.now_ticks()) {
+                        q.deadline_expired = true;
+                    } else if !requests[qi].budget.try_charge(doc_pairings) {
+                        q.budget_exhausted = true;
+                    } else {
+                        survivors.push(qi);
+                        continue;
+                    }
+                    q.live = false;
+                    q.cut_pos = Some(pos);
+                }
+                if survivors.is_empty() {
+                    break;
+                }
+                docs_touched += 1;
+                // One load + one service charge for the whole wave.
+                ctx.clock.advance(doc_cost_ticks);
+                let (evaluable, retries, charged) = Self::resolve_doc_fault(ctx, *id);
+                doc_hist.record(charged + doc_cost_ticks);
+                for &qi in &survivors {
+                    states[qi].retries += retries;
+                }
+                if !evaluable {
+                    for &qi in &survivors {
+                        states[qi].faulted.push(*id);
+                    }
+                    continue;
+                }
+                // Distinct capabilities among this document's survivors:
+                // duplicates ride along on one evaluation.
+                let mut wave_caps: Vec<usize> = Vec::new();
+                for &qi in &survivors {
+                    if !wave_caps.contains(&states[qi].cap_idx) {
+                        wave_caps.push(states[qi].cap_idx);
+                    }
+                }
+                shared_evals += (survivors.len() - wave_caps.len()) as u64;
+                let cap_refs: Vec<&PreparedCapability> = wave_caps
+                    .iter()
+                    .map(|&ci| {
+                        prepared[ci]
+                            .as_ref()
+                            .expect("live query's capability prepared")
+                    })
+                    .collect();
+                match self.system.search_prepared_wave(&self.pk, &cap_refs, idx) {
+                    Ok(verdicts) => {
+                        for &qi in &survivors {
+                            let slot = wave_caps
+                                .iter()
+                                .position(|&ci| ci == states[qi].cap_idx)
+                                .expect("survivor's capability in wave");
+                            states[qi].evals += 1;
+                            if verdicts[slot] {
+                                states[qi].matches.push(*id);
+                            }
+                        }
+                    }
+                    // an evaluation error degrades the document for the
+                    // wave's survivors, exactly as a solo scan skips it
+                    Err(_) => {
+                        for &qi in &survivors {
+                            states[qi].faulted.push(*id);
+                        }
+                    }
+                }
+            }
+        });
+        let scan_micros = clock.now_ticks().saturating_sub(scan_start);
+
+        self.metrics.add("cloud.wave.scans", 1);
+        self.metrics
+            .record("cloud.wave.size", requests.len() as u64);
+        self.metrics
+            .record("cloud.wave.distinct_caps", distinct.len() as u64);
+        self.metrics.add("cloud.wave.docs", docs_touched);
+        self.metrics
+            .add("cloud.wave.pairings", scan_counts.pairings);
+        self.metrics.add(
+            "cloud.wave.miller_loops",
+            scan_counts.miller_loops + prep_counts.miller_loops,
+        );
+        self.metrics
+            .add("cloud.wave.predicate_evals", scan_counts.predicate_evals);
+        self.metrics.add("cloud.wave.shared_evals", shared_evals);
+        self.metrics.record(
+            "cloud.wave.amortized_pairings_per_query",
+            scan_counts.pairings / requests.len() as u64,
+        );
+
+        let mut out = Vec::with_capacity(requests.len());
+        let mut expired = 0u64;
+        let mut exhausted = 0u64;
+        let mut unscanned_total = 0u64;
+        for q in states {
+            let unscanned: Vec<DocumentId> = match q.cut_pos {
+                Some(pos) => store[pos..].iter().map(|(id, _)| *id).collect(),
+                None => Vec::new(),
+            };
+            if q.deadline_expired {
+                expired += 1;
+            }
+            if q.budget_exhausted {
+                exhausted += 1;
+            }
+            unscanned_total += unscanned.len() as u64;
+            let stats = SearchStats {
+                scanned: store.len() - unscanned.len(),
+                matched: q.matches.len(),
+                prepare_micros: if q.dead_at_entry {
+                    0
+                } else {
+                    prep_ticks[q.cap_idx]
+                },
+                scan_micros: if q.dead_at_entry { 0 } else { scan_micros },
+                pairings: q.evals * doc_pairings as usize,
+                faulted_docs: q.faulted.len(),
+                retries: q.retries,
+                degraded: !q.faulted.is_empty() || !unscanned.is_empty(),
+                deadline_expired: q.deadline_expired,
+                budget_exhausted: q.budget_exhausted,
+                unscanned_docs: unscanned.len(),
+            };
+            out.push(DegradedScan {
+                matches: q.matches,
+                faulted: q.faulted,
+                unscanned,
+                stats,
+            });
+        }
+        if expired > 0 {
+            self.metrics.add("cloud.wave.deadline_expired", expired);
+        }
+        if exhausted > 0 {
+            self.metrics.add("cloud.wave.budget_exhausted", exhausted);
+        }
+        if unscanned_total > 0 {
+            self.metrics
+                .add("cloud.wave.unscanned_docs", unscanned_total);
+        }
+        Ok(out)
     }
 
     /// The deployment's public key (public information).
@@ -1243,5 +1573,237 @@ mod tests {
         server.upload(sys.gen_index(&pk, &rec, &mut rng).unwrap());
         let (hits, _) = server.search(&cap).unwrap();
         assert_eq!(hits.len(), 1);
+    }
+
+    /// Everything but the timing fields, which legitimately differ
+    /// between a batched wave (one clock charge per document) and a
+    /// sequence of solo scans.
+    fn untimed(
+        d: &DegradedScan,
+    ) -> (
+        Vec<DocumentId>,
+        Vec<DocumentId>,
+        Vec<DocumentId>,
+        SearchStats,
+    ) {
+        (
+            d.matches.clone(),
+            d.faulted.clone(),
+            d.unscanned.clone(),
+            SearchStats {
+                prepare_micros: 0,
+                scan_micros: 0,
+                ..d.stats
+            },
+        )
+    }
+
+    #[test]
+    fn wave_matches_sequential_bounded_scans_including_degradation() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let caps: Vec<SignedCapability> = [
+            Query::new()
+                .equals("illness", "flu")
+                .equals("sex", "female"),
+            Query::new().equals("illness", "flu"),
+            Query::new().equals("illness", "cancer"),
+        ]
+        .into_iter()
+        .map(|q| {
+            ta.issue_capability(&q, &QueryPolicy::default(), &mut rng)
+                .unwrap()
+        })
+        .collect();
+        let n0 = (ta.system().n() + 3) as u64;
+        // flaky + poisoned corpus, and one budget that dies mid-wave
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 31,
+            poisoned_doc_permille: 400,
+            flaky_doc_permille: 300,
+            ..FaultConfig::default()
+        });
+        let policy = RetryPolicy::default();
+        let budgets = [
+            Budget::unlimited(),
+            Budget::pairings(2 * n0),
+            Budget::unlimited(),
+        ];
+
+        let mut solo = Vec::new();
+        for (cap, budget) in caps.iter().zip(budgets.iter()) {
+            let clock = VirtualClock::new();
+            let ctx = FaultContext::new(&plan, &policy, &clock);
+            solo.push(
+                server
+                    .search_bounded(cap, &ctx, Deadline::NEVER, &budget.clone(), 7)
+                    .unwrap(),
+            );
+        }
+
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let reqs: Vec<(&SignedCapability, Deadline, &Budget)> = caps
+            .iter()
+            .zip(budgets.iter())
+            .map(|(c, b)| (c, Deadline::NEVER, b))
+            .collect();
+        let wave = server.search_batched(&reqs, &ctx, 7).unwrap();
+
+        assert_eq!(wave.len(), solo.len());
+        for (w, s) in wave.iter().zip(solo.iter()) {
+            assert_eq!(untimed(w), untimed(s));
+        }
+        assert!(
+            wave[1].stats.budget_exhausted && !wave[1].unscanned.is_empty(),
+            "the starved query degrades mid-wave"
+        );
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("cloud.wave.scans"), Some(1));
+        assert_eq!(snap.counter("cloud.wave.budget_exhausted"), Some(1));
+        assert_eq!(
+            snap.counter("cloud.scans"),
+            Some(3),
+            "wave work stays out of the solo-scan ledger"
+        );
+    }
+
+    #[test]
+    fn wave_shares_evaluations_between_identical_capabilities() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let b1 = Budget::unlimited();
+        let b2 = Budget::unlimited();
+        // the SAME capability submitted twice (a re-issued query has
+        // fresh randomness and would not dedup)
+        let wave = server
+            .search_batched(
+                &[(&cap, Deadline::NEVER, &b1), (&cap, Deadline::NEVER, &b2)],
+                &ctx,
+                3,
+            )
+            .unwrap();
+        assert_eq!(wave[0].matches, wave[1].matches);
+        let (plain, _) = server.search(&cap).unwrap();
+        assert_eq!(wave[0].matches, plain);
+        // both queries are billed, but the crypto ran once per document
+        assert_eq!(wave[0].stats.pairings, wave[1].stats.pairings);
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("cloud.wave.shared_evals"), Some(5));
+        assert_eq!(clock.now(), 15, "5 docs x 3 ticks, charged once per doc");
+    }
+
+    #[test]
+    fn empty_wave_is_free() {
+        let (server, _, _) = deployment();
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let out = server.scan_wave(&[], &ctx, 3).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(server.metrics_snapshot().counter("cloud.wave.scans"), None);
+    }
+
+    #[test]
+    fn dead_at_entry_query_rides_the_wave_without_work() {
+        let (server, ta, mut rng) = deployment();
+        let ids = upload_corpus(&server, &ta, &mut rng);
+        let live = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let dead = ta
+            .issue_capability(
+                &Query::new().equals("illness", "cancer"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        clock.advance(100);
+        let dead_budget = Budget::pairings(10_000);
+        let before = dead_budget.remaining();
+        let live_budget = Budget::unlimited();
+        let wave = server
+            .search_batched(
+                &[
+                    (&live, Deadline::NEVER, &live_budget),
+                    (&dead, Deadline::at(50), &dead_budget),
+                ],
+                &ctx,
+                3,
+            )
+            .unwrap();
+        // the live query is untouched by its neighbour's expiry
+        let (plain, _) = server.search(&live).unwrap();
+        assert_eq!(wave[0].matches, plain);
+        assert!(!wave[0].stats.deadline_expired);
+        // the dead query consumed nothing
+        let d = &wave[1];
+        assert!(d.matches.is_empty() && d.faulted.is_empty());
+        assert_eq!(d.unscanned, ids);
+        assert!(d.stats.deadline_expired);
+        assert_eq!(d.stats.scanned, 0);
+        assert_eq!(d.stats.pairings, 0);
+        assert_eq!(d.stats.prepare_micros, 0);
+        assert_eq!(dead_budget.remaining(), before, "no budget was drawn");
+        let snap = server.metrics_snapshot();
+        assert_eq!(snap.counter("cloud.wave.deadline_expired"), Some(1));
+    }
+
+    #[test]
+    fn mid_wave_deadline_scans_a_prefix_and_hits_stay_a_subset() {
+        let (server, ta, mut rng) = deployment();
+        upload_corpus(&server, &ta, &mut rng);
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "flu"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let clock = VirtualClock::new();
+        let ctx = FaultContext::new(&plan, &policy, &clock);
+        let (plain, _) = server.search(&cap).unwrap();
+        let hurried = Budget::unlimited();
+        let patient = Budget::unlimited();
+        // docs are checked at ticks 0, 10, 20, 30: the deadline at 25
+        // admits three documents and cuts the last two off
+        let wave = server
+            .search_batched(
+                &[
+                    (&cap, Deadline::at(25), &hurried),
+                    (&cap, Deadline::NEVER, &patient),
+                ],
+                &ctx,
+                10,
+            )
+            .unwrap();
+        assert_eq!(wave[0].stats.scanned, 3);
+        assert_eq!(wave[0].unscanned.len(), 2);
+        assert!(wave[0].stats.deadline_expired && wave[0].stats.degraded);
+        assert!(wave[0].matches.iter().all(|id| plain.contains(id)));
+        assert_eq!(wave[1].matches, plain, "the patient query finishes");
+        assert!(!wave[1].stats.deadline_expired);
     }
 }

@@ -122,11 +122,18 @@ impl Budget {
     /// Attempts to charge `cost` pairings; `true` iff the whole cost
     /// fit. A refused charge leaves the budget untouched. The unlimited
     /// sentinel always fits and is never decremented.
+    ///
+    /// An exhausted budget refuses *every* charge, including zero-cost
+    /// ones: "may I do more work?" must answer no once the allowance is
+    /// spent, or a scan whose per-step cost rounds to zero would run
+    /// forever on an empty budget.
     pub fn try_charge(&self, cost: u64) -> bool {
         self.remaining
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |rem| {
                 if rem == u64::MAX {
                     Some(rem) // unlimited: admit without spending
+                } else if rem == 0 {
+                    None // exhausted: even zero-cost work is refused
                 } else {
                     rem.checked_sub(cost)
                 }
@@ -198,10 +205,14 @@ mod tests {
         assert_eq!(b.remaining(), 6);
         assert!(!b.try_charge(7), "7 > 6 must be refused");
         assert_eq!(b.remaining(), 6, "refused charge spends nothing");
+        assert!(b.try_charge(0), "zero-cost charge fits while solvent");
         assert!(b.try_charge(6));
         assert_eq!(b.remaining(), 0);
         assert!(!b.try_charge(1));
-        assert!(b.try_charge(0), "zero-cost charge always fits");
+        assert!(
+            !b.try_charge(0),
+            "an exhausted budget refuses even zero-cost work"
+        );
     }
 
     #[test]

@@ -333,6 +333,30 @@ impl ApksSystem {
         Ok(self.hpe.test_prepared(&pk.hpe, &cap.key, &index.ct)?)
     }
 
+    /// [`ApksSystem::search_prepared`] for a wave of prepared
+    /// capabilities against one index: the ciphertext's coordinates are
+    /// loaded once and all Miller loops run in lockstep
+    /// ([`Hpe::test_prepared_wave`]), one final exponentiation per
+    /// capability. Verdict `j` is identical to `search_prepared(pk,
+    /// caps[j], index)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on deployment mismatch of the index or any capability.
+    pub fn search_prepared_wave(
+        &self,
+        pk: &ApksPublicKey,
+        caps: &[&PreparedCapability],
+        index: &EncryptedIndex,
+    ) -> Result<Vec<bool>, ApksError> {
+        for cap in caps {
+            self.check_digest(cap.digest)?;
+        }
+        self.check_digest(index.digest)?;
+        let keys: Vec<&PreparedHpeKey> = caps.iter().map(|c| &c.key).collect();
+        Ok(self.hpe.test_prepared_wave(&pk.hpe, &keys, &index.ct)?)
+    }
+
     fn check_digest(&self, digest: [u8; 32]) -> Result<(), ApksError> {
         if digest != self.digest {
             return Err(ApksError::InvalidRecord(

@@ -50,4 +50,6 @@ pub use gt::Gt;
 pub use pairing::{final_exponentiation, multi_pairing, pairing, pairing_fp2, pairing_unreduced};
 pub use params::CurveParams;
 pub use point::{G1Affine, G1Projective};
-pub use prepared::{multi_pairing_prepared, pairing_prepared, PreparedG1};
+pub use prepared::{
+    multi_pairing_prepared, multi_pairing_prepared_many, pairing_prepared, PreparedG1,
+};

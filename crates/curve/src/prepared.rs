@@ -7,7 +7,9 @@
 //! prepared pairing then only evaluates each stored line at `φ(Q)` (two
 //! `F_p` multiplications) and accumulates.
 //!
-//! Stored line form: `l(Q) = (a + b·x_Q) + i·(c·y_Q)`.
+//! Stored line form: `l(Q) = (a + b·x_Q) + i·y_Q` — the imaginary
+//! coefficient of an affine tangent/chord line is always 1, so it is
+//! not stored and evaluation reads `y_Q` directly.
 
 use crate::pairing::{final_exponentiation, MillerValue};
 use crate::params::CurveParams;
@@ -19,9 +21,9 @@ use apks_math::Fr;
 /// One precomputed Miller step.
 #[derive(Clone, Copy, Debug)]
 enum Step {
-    /// A line with coefficients `(a, b, c)`; evaluation is
-    /// `(a + b·x_Q) + i(c·y_Q)`.
-    Line { a: Fp, b: Fp, c: Fp },
+    /// A line with coefficients `(a, b)`; evaluation is
+    /// `(a + b·x_Q) + i·y_Q`.
+    Line { a: Fp, b: Fp },
     /// A squaring-only step (vertical line dropped at the loop tail).
     Skip,
 }
@@ -58,15 +60,11 @@ impl PreparedG1 {
                 Step::Skip
             } else {
                 // tangent: λ = (3x²+1)/(2y); line c0 = λ(x_Q + x_T) − y_T,
-                // so a = λ·x_T − y_T, b = λ, c = 1.
+                // so a = λ·x_T − y_T, b = λ.
                 let num = fp.add(fp.add(fp.dbl(fp.sqr(tx)), fp.sqr(tx)), fp.one());
                 let lambda = fp.mul(num, fp.inv(fp.dbl(ty)).expect("y ≠ 0"));
                 let a = fp.sub(fp.mul(lambda, tx), ty);
-                let step = Step::Line {
-                    a,
-                    b: lambda,
-                    c: fp.one(),
-                };
+                let step = Step::Line { a, b: lambda };
                 let x3 = fp.sub(fp.sqr(lambda), fp.dbl(tx));
                 let y3 = fp.sub(fp.mul(lambda, fp.sub(tx, x3)), ty);
                 tx = x3;
@@ -83,11 +81,7 @@ impl PreparedG1 {
                         fp.inv(fp.sub(tx, p.x)).expect("distinct x"),
                     );
                     let a = fp.sub(fp.mul(lambda, tx), ty);
-                    let step = Step::Line {
-                        a,
-                        b: lambda,
-                        c: fp.one(),
-                    };
+                    let step = Step::Line { a, b: lambda };
                     let x3 = fp.sub(fp.sqr(lambda), fp.add(tx, p.x));
                     let y3 = fp.sub(fp.mul(lambda, fp.sub(tx, x3)), ty);
                     tx = x3;
@@ -113,10 +107,9 @@ impl PreparedG1 {
     fn eval_step(fp: &FpCtx, step: &Step, q: &G1Affine, f: Fp2) -> Fp2 {
         match step {
             Step::Skip => f,
-            Step::Line { a, b, c } => {
+            Step::Line { a, b } => {
                 let c0 = fp.add(*a, fp.mul(*b, q.x));
-                let c1 = fp.mul(*c, q.y);
-                fp.fp2_mul(f, Fp2::new(c0, c1))
+                fp.fp2_mul(f, Fp2::new(c0, q.y))
             }
         }
     }
@@ -181,6 +174,62 @@ pub fn multi_pairing_prepared(
     crate::Gt(final_exponentiation(params, MillerValue(f)))
 }
 
+/// Several prepared multi-pairings evaluated in one lockstep Miller
+/// walk: one accumulator and one final exponentiation *per group*, with
+/// the step loop shared across groups.
+///
+/// Each group is a pair list as in [`multi_pairing_prepared`]; the
+/// result at index `i` equals `multi_pairing_prepared(params,
+/// groups[i])`. The wave scan uses this to evaluate every capability in
+/// a batch against one document in a single pass over the loop
+/// iterations, keeping all line coefficients for the step hot while
+/// each group folds its own product.
+pub fn multi_pairing_prepared_many(
+    params: &CurveParams,
+    groups: &[&[(&PreparedG1, G1Affine)]],
+) -> Vec<crate::Gt> {
+    let fp = params.fp();
+    // per-group live pairs (identity on either side contributes 1)
+    let live: Vec<Vec<&(&PreparedG1, G1Affine)>> = groups
+        .iter()
+        .map(|pairs| {
+            pairs
+                .iter()
+                .filter(|(p, q)| !p.infinity && !q.infinity)
+                .collect()
+        })
+        .collect();
+    let nsteps = live
+        .iter()
+        .flat_map(|g| g.first())
+        .map(|(p, _)| p.steps.len())
+        .next()
+        .unwrap_or(0);
+    debug_assert!(live
+        .iter()
+        .all(|g| g.iter().all(|(p, _)| p.steps.len() == nsteps)));
+    let mut acc: Vec<Fp2> = vec![fp.fp2_one(); groups.len()];
+    for s in 0..nsteps {
+        for (g, f) in live.iter().zip(acc.iter_mut()) {
+            if g.is_empty() {
+                continue;
+            }
+            let mut v = fp.fp2_sqr(*f);
+            for (prep, q) in g {
+                let (dbl, add) = &prep.steps[s];
+                v = PreparedG1::eval_step(fp, dbl, q, v);
+                if let Some(add) = add {
+                    v = PreparedG1::eval_step(fp, add, q, v);
+                }
+            }
+            *f = v;
+        }
+    }
+    acc.into_iter()
+        .map(|f| crate::Gt(final_exponentiation(params, MillerValue(f))))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +289,73 @@ mod tests {
             multi_pairing_prepared(&params, &pairs),
             multi_pairing(&params, &pts)
         );
+    }
+
+    #[test]
+    fn many_matches_per_group_multi() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(102);
+        let g = params.generator();
+        // three groups of different sizes, one containing an identity pair
+        let mut groups_pts: Vec<Vec<(G1Affine, G1Affine)>> = (1..=3)
+            .map(|n| {
+                (0..n)
+                    .map(|_| {
+                        (
+                            params.mul(&g, Fr::random(&mut rng)),
+                            params.mul(&g, Fr::random(&mut rng)),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        groups_pts[2][1].1 = G1Affine::identity();
+        let preps: Vec<Vec<PreparedG1>> = groups_pts
+            .iter()
+            .map(|pts| {
+                pts.iter()
+                    .map(|(p, _)| PreparedG1::new(&params, p))
+                    .collect()
+            })
+            .collect();
+        let pairs: Vec<Vec<(&PreparedG1, G1Affine)>> = preps
+            .iter()
+            .zip(&groups_pts)
+            .map(|(ps, pts)| {
+                ps.iter()
+                    .zip(pts)
+                    .map(|(prep, (_, q))| (prep, *q))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[(&PreparedG1, G1Affine)]> = pairs.iter().map(|g| g.as_slice()).collect();
+        let many = multi_pairing_prepared_many(&params, &refs);
+        assert_eq!(many.len(), 3);
+        for (out, group) in many.iter().zip(&pairs) {
+            assert_eq!(*out, multi_pairing_prepared(&params, group));
+        }
+    }
+
+    #[test]
+    fn many_handles_empty_and_all_identity_groups() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(103);
+        let g = params.generator();
+        let p = params.mul(&g, Fr::random(&mut rng));
+        let q = params.mul(&g, Fr::random(&mut rng));
+        let prep = PreparedG1::new(&params, &p);
+        let prep_inf = PreparedG1::new(&params, &G1Affine::identity());
+        let live: Vec<(&PreparedG1, G1Affine)> = vec![(&prep, q)];
+        let dead: Vec<(&PreparedG1, G1Affine)> = vec![(&prep_inf, q)];
+        let empty: Vec<(&PreparedG1, G1Affine)> = Vec::new();
+        let out = multi_pairing_prepared_many(
+            &params,
+            &[live.as_slice(), dead.as_slice(), empty.as_slice()],
+        );
+        assert_eq!(out[0], pairing_prepared(&params, &prep, &q));
+        assert!(out[1].is_identity(&params));
+        assert!(out[2].is_identity(&params));
+        assert!(multi_pairing_prepared_many(&params, &[]).is_empty());
     }
 
     proptest! {

@@ -9,7 +9,9 @@
 //! stand on either side of the form.
 
 use crate::vector::DpvsVector;
-use apks_curve::{multi_pairing_prepared, CurveParams, Gt, PreparedG1};
+use apks_curve::{
+    multi_pairing_prepared, multi_pairing_prepared_many, CurveParams, Gt, PreparedG1,
+};
 
 /// A [`DpvsVector`] with every coordinate's Miller lines precomputed.
 ///
@@ -59,6 +61,41 @@ impl PreparedDpvsVector {
             .collect();
         multi_pairing_prepared(params, &pairs)
     }
+
+    /// The pairing forms `e(keyⱼ, rhs)` for several prepared vectors
+    /// against one right-hand side, in a single lockstep Miller walk
+    /// ([`multi_pairing_prepared_many`]): the wave scan's inner step,
+    /// loading `rhs`'s coordinates once for the whole batch.
+    ///
+    /// Result `j` equals `keys[j].pair(params, rhs)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any key's dimension differs from `rhs`'s.
+    pub fn pair_many(
+        params: &CurveParams,
+        keys: &[&PreparedDpvsVector],
+        rhs: &DpvsVector,
+    ) -> Vec<Gt> {
+        for key in keys {
+            assert_eq!(key.dim(), rhs.dim(), "dimension mismatch");
+        }
+        // each group still folds its own dim-wide product
+        apks_telemetry::source::record_pairings(rhs.dim() as u64 * keys.len() as u64);
+        let groups: Vec<Vec<(&PreparedG1, apks_curve::G1Affine)>> = keys
+            .iter()
+            .map(|key| {
+                key.coords
+                    .iter()
+                    .zip(&rhs.0)
+                    .map(|(prep, q)| (prep, *q))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[(&PreparedG1, apks_curve::G1Affine)]> =
+            groups.iter().map(|g| g.as_slice()).collect();
+        multi_pairing_prepared_many(params, &refs)
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +141,37 @@ mod tests {
         let zero = DpvsVector::zero(4);
         let prep_zero = PreparedDpvsVector::prepare(&params, &zero);
         assert!(prep_zero.pair(&params, &x).is_identity(&params));
+    }
+
+    #[test]
+    fn pair_many_matches_individual_pairs() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(43);
+        let x = random_vector(&params, 4, &mut rng);
+        let keys: Vec<DpvsVector> = (0..3)
+            .map(|_| random_vector(&params, 4, &mut rng))
+            .collect();
+        let preps: Vec<PreparedDpvsVector> = keys
+            .iter()
+            .map(|y| PreparedDpvsVector::prepare(&params, y))
+            .collect();
+        let refs: Vec<&PreparedDpvsVector> = preps.iter().collect();
+        let many = PreparedDpvsVector::pair_many(&params, &refs, &x);
+        assert_eq!(many.len(), 3);
+        for (out, prep) in many.iter().zip(&preps) {
+            assert_eq!(*out, prep.pair(&params, &x));
+        }
+        assert!(PreparedDpvsVector::pair_many(&params, &[], &x).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn pair_many_dimension_mismatch_panics() {
+        let params = CurveParams::fast();
+        let mut rng = StdRng::seed_from_u64(44);
+        let y = PreparedDpvsVector::prepare(&params, &random_vector(&params, 3, &mut rng));
+        let x = random_vector(&params, 4, &mut rng);
+        PreparedDpvsVector::pair_many(&params, &[&y], &x);
     }
 
     #[test]

@@ -418,6 +418,49 @@ impl Hpe {
             .is_identity(&self.params))
     }
 
+    /// [`Hpe::test_prepared`] for a whole wave of prepared keys against
+    /// one ciphertext: the Miller loops run in lockstep
+    /// ([`PreparedDpvsVector::pair_many`]), so `c₁`'s coordinates are
+    /// loaded once for the batch, with one final exponentiation per key.
+    ///
+    /// Verdict `j` is identical to `test_prepared(pk, keys[j], ct)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on dimension mismatch of the ciphertext or any key.
+    pub fn test_prepared_wave(
+        &self,
+        _pk: &HpePublicKey,
+        keys: &[&PreparedHpeKey],
+        ct: &HpeCiphertext,
+    ) -> Result<Vec<bool>, HpeError> {
+        if ct.c1.dim() != self.n0() {
+            return Err(HpeError::DimensionMismatch {
+                expected: self.n0(),
+                got: ct.c1.dim(),
+            });
+        }
+        for key in keys {
+            if key.dim() != self.n0() {
+                return Err(HpeError::DimensionMismatch {
+                    expected: self.n0(),
+                    got: key.dim(),
+                });
+            }
+        }
+        apks_telemetry::source::record_predicate_evals(keys.len() as u64);
+        let decs: Vec<&PreparedDpvsVector> = keys.iter().map(|k| &k.dec).collect();
+        let pairings = PreparedDpvsVector::pair_many(&self.params, &decs, &ct.c1);
+        Ok(pairings
+            .into_iter()
+            .map(|e| {
+                ct.c2
+                    .mul(&self.params, &e.inverse(&self.params))
+                    .is_identity(&self.params)
+            })
+            .collect())
+    }
+
     /// `HPE-Delegate`: derives a level-`ℓ+1` key that additionally
     /// requires `x⃗ · v⃗_{ℓ+1} = 0` (the paper's appendix, verbatim).
     ///
@@ -569,6 +612,41 @@ mod tests {
         let prep5 = other.prepare_key(&key5);
         assert!(matches!(
             hpe.test_prepared(&pk, &prep5, &ct_hit),
+            Err(HpeError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wave_test_matches_per_key_test() {
+        let (hpe, pk, msk, mut rng) = setup(3, 214);
+        let (x, v) = orthogonal_pair(&mut rng);
+        let hit_key = hpe.gen_key(&pk, &msk, &v, &mut rng).unwrap();
+        let (_, v_miss) = orthogonal_pair(&mut rng);
+        let miss_key = hpe.gen_key(&pk, &msk, &v_miss, &mut rng).unwrap();
+        let ct = hpe.encrypt_marker(&pk, &x, &mut rng).unwrap();
+        let preps = [
+            hpe.prepare_key(&hit_key),
+            hpe.prepare_key(&miss_key),
+            hpe.prepare_key(&hit_key),
+        ];
+        let refs: Vec<&PreparedHpeKey> = preps.iter().collect();
+        let wave = hpe.test_prepared_wave(&pk, &refs, &ct).unwrap();
+        let singles: Vec<bool> = preps
+            .iter()
+            .map(|p| hpe.test_prepared(&pk, p, &ct).unwrap())
+            .collect();
+        assert_eq!(wave, singles);
+        assert_eq!(wave, vec![true, false, true]);
+        assert!(hpe.test_prepared_wave(&pk, &[], &ct).unwrap().is_empty());
+
+        // a mismatched key anywhere in the wave errors out
+        let other = Hpe::new(CurveParams::fast(), 5);
+        let mut rng2 = StdRng::seed_from_u64(215);
+        let (pk5, msk5) = other.setup(&mut rng2);
+        let v5 = vec![Fr::one(); 5];
+        let prep5 = other.prepare_key(&other.gen_key(&pk5, &msk5, &v5, &mut rng2).unwrap());
+        assert!(matches!(
+            hpe.test_prepared_wave(&pk, &[&preps[0], &prep5], &ct),
             Err(HpeError::DimensionMismatch { .. })
         ));
     }

@@ -127,9 +127,18 @@ impl CircuitBreaker {
         self.state(now) != BreakerState::Open
     }
 
-    /// Records a successful operation: the breaker closes and the
-    /// failure streak resets.
-    pub fn record_success(&self) {
+    /// Records a successful operation at clock reading `now`: a closed
+    /// breaker resets its failure streak, and a half-open probe success
+    /// closes the breaker.
+    ///
+    /// A success arriving while the breaker is **open** is a stale
+    /// reply — a response to a request sent before the trip. It proves
+    /// nothing about the replica's current health, so it neither closes
+    /// the breaker nor disturbs the cooldown schedule.
+    pub fn record_success(&self, now: u64) {
+        if self.state(now) == BreakerState::Open {
+            return;
+        }
         self.failures.store(0, Ordering::Relaxed);
         self.opened_at.store(CLOSED, Ordering::Relaxed);
     }
@@ -180,7 +189,7 @@ mod tests {
     fn success_resets_the_streak() {
         let b = CircuitBreaker::new(BreakerConfig::new(2, 10));
         assert!(!b.record_failure(0));
-        b.record_success();
+        b.record_success(0);
         assert!(!b.record_failure(1), "streak restarted by the success");
         assert!(b.record_failure(2));
     }
@@ -198,9 +207,25 @@ mod tests {
         assert_eq!(b.state(20), BreakerState::Open);
         assert_eq!(b.state(25), BreakerState::HalfOpen);
         // successful probe: breaker closes for good
-        b.record_success();
+        b.record_success(25);
         assert_eq!(b.state(25), BreakerState::Closed);
         assert!(b.allows(26));
+    }
+
+    #[test]
+    fn stale_success_while_open_is_ignored() {
+        let b = CircuitBreaker::new(BreakerConfig::new(1, 10));
+        assert!(b.record_failure(5), "trips at tick 5");
+        assert_eq!(b.state(6), BreakerState::Open);
+        // a late reply from before the trip lands mid-cooldown: the
+        // breaker must stay open and the half-open instant must not move
+        b.record_success(6);
+        assert_eq!(b.state(6), BreakerState::Open);
+        assert_eq!(b.state(14), BreakerState::Open, "cooldown undisturbed");
+        assert_eq!(b.state(15), BreakerState::HalfOpen, "still 5 + 10 ticks");
+        // and the half-open probe's genuine success still closes it
+        b.record_success(15);
+        assert_eq!(b.state(15), BreakerState::Closed);
     }
 
     #[test]

@@ -421,6 +421,47 @@ impl ProxyChain {
             })
             .collect()
     }
+
+    /// Batch submission for a whole query *wave*: transforms each
+    /// partial index once and evaluates **all** capabilities against it
+    /// in a single lockstep multi-pairing
+    /// ([`ApksSystem::search_prepared_wave`]). Every capability's
+    /// Miller lines are prepared once up front; each index is loaded,
+    /// transformed, and walked once no matter how many queries ride the
+    /// wave — the proxy-side mirror of the cloud server's batched scan.
+    ///
+    /// Returns one `(transformed index, per-capability verdicts)` pair
+    /// per input, in order; verdicts are indexed like `caps`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any proxy rate-limits the client or any capability
+    /// belongs to a different deployment.
+    pub fn ingest_and_search_wave(
+        &self,
+        system: &ApksSystem,
+        pk: &apks_core::ApksPublicKey,
+        caps: &[&apks_core::Capability],
+        client: &str,
+        now: u64,
+        batch: &[EncryptedIndex],
+    ) -> Result<Vec<(EncryptedIndex, Vec<bool>)>, ProxyError> {
+        let prepared = caps
+            .iter()
+            .map(|cap| system.prepare_capability(cap).map_err(ProxyError::Apks))
+            .collect::<Result<Vec<_>, _>>()?;
+        let prepared_refs: Vec<&apks_core::PreparedCapability> = prepared.iter().collect();
+        batch
+            .iter()
+            .map(|partial| {
+                let full = self.ingest(system, client, now, partial)?;
+                let hits = system
+                    .search_prepared_wave(pk, &prepared_refs, &full)
+                    .map_err(ProxyError::Apks)?;
+                Ok((full, hits))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -519,6 +560,48 @@ mod tests {
         // transformed outputs agree with the plain (unprepared) search
         for (full, hit) in &results {
             assert_eq!(sys.search(&pk, &cap, full).unwrap(), *hit);
+        }
+    }
+
+    #[test]
+    fn wave_ingest_and_search_matches_per_capability_flow() {
+        let sys = system();
+        let mut rng = StdRng::seed_from_u64(1004);
+        let (pk, mk) = sys.setup_plus(&mut rng);
+        let chain = ProxyChain::provision(&mk, 2, 100, 60, &mut rng);
+        let caps: Vec<apks_core::Capability> = ["x", "y", "z"]
+            .iter()
+            .map(|kw| {
+                sys.gen_cap(
+                    &pk,
+                    &mk.inner,
+                    &Query::new().equals("kw", *kw),
+                    &QueryPolicy::default(),
+                    &mut rng,
+                )
+                .unwrap()
+            })
+            .collect();
+        let cap_refs: Vec<&apks_core::Capability> = caps.iter().collect();
+        let batch: Vec<EncryptedIndex> = ["x", "y", "x"]
+            .iter()
+            .map(|kw| {
+                sys.gen_partial_index(&pk, &Record::new(vec![FieldValue::text(*kw)]), &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        let results = chain
+            .ingest_and_search_wave(&sys, &pk, &cap_refs, "owner", 0, &batch)
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        for ((full, verdicts), expect_kw) in results.iter().zip(["x", "y", "x"]) {
+            // the wave's verdicts are exactly the per-capability plain
+            // searches over the same transformed index
+            for (cap, &hit) in caps.iter().zip(verdicts) {
+                assert_eq!(sys.search(&pk, cap, full).unwrap(), hit);
+            }
+            let expected: Vec<bool> = ["x", "y", "z"].iter().map(|kw| *kw == expect_kw).collect();
+            assert_eq!(verdicts, &expected);
         }
     }
 

@@ -169,7 +169,7 @@ impl ProxyChain {
                 }
                 match Self::attempt_transform(proxy, system, client, &ct, ctx, op, &mut stats)? {
                     AttemptOutcome::Done(next) => {
-                        breaker.record_success();
+                        breaker.record_success(ctx.clock.now());
                         transformed = Some(next);
                         break;
                     }

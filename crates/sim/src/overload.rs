@@ -19,7 +19,7 @@
 use apks_authz::{AuthzError, SignedCapability, TrustedAuthority};
 use apks_cloud::{
     AdmissionConfig, AdmissionController, AdmissionDecision, CloudServer, QueryShape, RequestClass,
-    ShedReason,
+    ShedReason, WaveBatcher, WaveConfig,
 };
 use apks_core::fault::{FaultConfig, FaultContext, FaultPlan, RetryPolicy, VirtualClock};
 use apks_core::{
@@ -257,12 +257,26 @@ struct CatalogEntry {
     cap: SignedCapability,
 }
 
-/// Runs the scenario and returns its report.
-///
-/// # Errors
-///
-/// Propagates setup/issuance failures (none for valid configs).
-pub fn run_overload(config: &OverloadConfig) -> Result<OverloadReport, AuthzError> {
+/// The provisioned deployment every overload variant runs against:
+/// corpus ingested, catalog issued, schedule pre-generated.
+struct World {
+    server: CloudServer,
+    chain: ProxyChain,
+    catalog: Vec<CatalogEntry>,
+    /// `(arrival tick, catalog entry)` per request, in arrival order.
+    schedule: Vec<(u64, usize)>,
+    docs_stored: usize,
+    metrics: Arc<MetricsRegistry>,
+    clock: Arc<VirtualClock>,
+    retry: RetryPolicy,
+}
+
+/// Builds the deployment, ingests the corpus through the proxy chain,
+/// issues the capability catalog, and pre-generates the arrival
+/// schedule — everything both the per-query and the batched event
+/// loops share, so a config and its batched twin see the identical
+/// request stream.
+fn build_world(config: &OverloadConfig) -> Result<World, AuthzError> {
     // -- deployment: small schema with one flat and one deep field ------
     let schema = Schema::builder()
         .flat_field("illness", 2)
@@ -388,6 +402,35 @@ pub fn run_overload(config: &OverloadConfig) -> Result<OverloadReport, AuthzErro
         })
         .collect();
 
+    Ok(World {
+        server,
+        chain,
+        catalog,
+        schedule,
+        docs_stored,
+        metrics,
+        clock,
+        retry,
+    })
+}
+
+/// Runs the scenario and returns its report.
+///
+/// # Errors
+///
+/// Propagates setup/issuance failures (none for valid configs).
+pub fn run_overload(config: &OverloadConfig) -> Result<OverloadReport, AuthzError> {
+    let World {
+        server,
+        chain,
+        catalog,
+        schedule,
+        docs_stored,
+        metrics,
+        clock,
+        retry,
+    } = build_world(config)?;
+
     // -- event loop: serial server, admission before any scan work ------
     let admission = AdmissionController::new(config.admission, Arc::clone(&metrics));
     let scan_plan = FaultPlan::new(FaultConfig::default());
@@ -472,6 +515,190 @@ pub fn run_overload(config: &OverloadConfig) -> Result<OverloadReport, AuthzErro
         });
     }
 
+    report.virtual_ticks = clock.now();
+    report.breaker_states = chain
+        .breaker_states(clock.now())
+        .into_iter()
+        .map(|(id, state)| (id, state.label()))
+        .collect();
+    report.metrics = metrics.snapshot();
+    Ok(report)
+}
+
+/// Runs the scenario with **micro-batched admission**: admitted
+/// requests coalesce in a [`WaveBatcher`] and execute as one
+/// [`CloudServer::search_batched`] wave when the batch fills, when the
+/// oldest request has waited out the coalescing window, or when the
+/// schedule drains. Shedding is identical to [`run_overload`] — the
+/// admission controller decides before batching — and every request
+/// still carries its own [`Deadline`] (anchored at *arrival*, so time
+/// spent coalescing counts against it) and pairing [`Budget`] into the
+/// wave. The same seed sees the same corpus, catalog, and arrival
+/// stream as the per-query loop, so reports stay comparable and
+/// same-seed batched runs reproduce byte for byte.
+///
+/// # Errors
+///
+/// Propagates setup/issuance failures (none for valid configs).
+pub fn run_overload_batched(
+    config: &OverloadConfig,
+    wave: &WaveConfig,
+) -> Result<OverloadReport, AuthzError> {
+    let World {
+        server,
+        chain,
+        catalog,
+        schedule,
+        docs_stored,
+        metrics,
+        clock,
+        retry,
+    } = build_world(config)?;
+
+    let admission = AdmissionController::new(config.admission, Arc::clone(&metrics));
+    let batcher = WaveBatcher::new(*wave, Arc::clone(&metrics));
+    let scan_plan = FaultPlan::new(FaultConfig::default());
+    let ctx = FaultContext::new(&scan_plan, &retry, &clock);
+    let shed_hist = metrics.histogram("overload.time_to_shed");
+    let latency_hist = metrics.histogram("overload.scan_latency");
+
+    let mut report = OverloadReport {
+        arrivals: config.arrivals,
+        docs_stored,
+        ..OverloadReport::default()
+    };
+    // Admitted-but-unscanned queries parked in the batcher, keyed by
+    // request id: their bounds were fixed at admission.
+    struct Parked {
+        entry: usize,
+        arrival: u64,
+        deadline: Deadline,
+        budget: Budget,
+    }
+    let mut parked: Vec<Option<Parked>> = (0..config.arrivals).map(|_| None).collect();
+    let mut outcomes: Vec<Option<RequestOutcome>> = vec![None; config.arrivals];
+    let mut inflight: VecDeque<(u64, u64)> = VecDeque::new();
+
+    // Executes one wave: scans all members in a single batched pass and
+    // settles their ledgers. Returns the members' `(finish, id)` pairs.
+    let run_wave = |ids: &[u64],
+                    parked: &mut Vec<Option<Parked>>,
+                    outcomes: &mut Vec<Option<RequestOutcome>>,
+                    report: &mut OverloadReport|
+     -> Vec<(u64, u64)> {
+        let members: Vec<(u64, Parked)> = ids
+            .iter()
+            .map(|&id| {
+                (
+                    id,
+                    parked[id as usize]
+                        .take()
+                        .expect("wave members were parked"),
+                )
+            })
+            .collect();
+        let reqs: Vec<(&SignedCapability, Deadline, &Budget)> = members
+            .iter()
+            .map(|(_, p)| (&catalog[p.entry].cap, p.deadline, &p.budget))
+            .collect();
+        let scans = server
+            .search_batched(&reqs, &ctx, config.doc_cost_ticks)
+            .expect("registered issuer");
+        let finish = clock.now();
+        let mut done = Vec::with_capacity(members.len());
+        for ((id, p), d) in members.iter().zip(scans) {
+            report.deadline_expired += usize::from(d.stats.deadline_expired);
+            report.budget_exhausted += usize::from(d.stats.budget_exhausted);
+            report.unscanned_docs += d.stats.unscanned_docs;
+            latency_hist.record(finish.saturating_sub(p.arrival));
+            outcomes[*id as usize] = Some(RequestOutcome::Completed {
+                hits: d.matches,
+                deadline_expired: d.stats.deadline_expired,
+                budget_exhausted: d.stats.budget_exhausted,
+            });
+            done.push((finish, *id));
+        }
+        done
+    };
+
+    for (i, &(tick, entry)) in schedule.iter().enumerate() {
+        let id = i as u64;
+        while let Some(&(finish, done)) = inflight.front() {
+            if finish > tick {
+                break;
+            }
+            admission.complete(done);
+            inflight.pop_front();
+        }
+        if clock.now() < tick {
+            clock.advance(tick - clock.now());
+        }
+        // waves whose oldest member has out-waited the window go first
+        while let Some(ids) = batcher.flush_due(tick) {
+            inflight.extend(run_wave(&ids, &mut parked, &mut outcomes, &mut report));
+        }
+        clock.advance(config.admission_cost_ticks);
+        let entry_ref = &catalog[entry];
+        match admission.offer(id, entry_ref.class) {
+            AdmissionDecision::Shed { reason } => {
+                shed_hist.record(config.admission_cost_ticks);
+                outcomes[i] = Some(match reason {
+                    ShedReason::QueueFull => {
+                        report.shed_queue_full += 1;
+                        RequestOutcome::ShedQueueFull
+                    }
+                    ShedReason::Brownout { level } => {
+                        report.shed_brownout += 1;
+                        report.max_brownout_level = report.max_brownout_level.max(level);
+                        RequestOutcome::ShedBrownout { level }
+                    }
+                });
+            }
+            AdmissionDecision::Admitted {
+                brownout_level,
+                displaced,
+            } => {
+                report.max_brownout_level = report.max_brownout_level.max(brownout_level);
+                if let Some(d) = displaced {
+                    report.displaced += 1;
+                    inflight.retain(|&(_, q)| q != d);
+                }
+                report.admitted += 1;
+                let deadline = if config.deadline_ticks == u64::MAX {
+                    Deadline::NEVER
+                } else {
+                    Deadline::at(tick.saturating_add(config.deadline_ticks))
+                };
+                parked[i] = Some(Parked {
+                    entry,
+                    arrival: tick,
+                    deadline,
+                    budget: Budget::pairings(config.pairing_budget),
+                });
+                if let Some(ids) = batcher.enqueue(id, tick) {
+                    inflight.extend(run_wave(&ids, &mut parked, &mut outcomes, &mut report));
+                }
+            }
+        }
+    }
+    // the schedule is drained: whatever is still coalescing runs now
+    if let Some(ids) = batcher.flush_all() {
+        inflight.extend(run_wave(&ids, &mut parked, &mut outcomes, &mut report));
+    }
+    for (_, done) in inflight {
+        admission.complete(done);
+    }
+
+    report.requests = schedule
+        .iter()
+        .enumerate()
+        .map(|(i, &(tick, entry))| RequestRecord {
+            id: i as u64,
+            arrival: tick,
+            class: catalog[entry].label,
+            outcome: outcomes[i].take().expect("every request was settled"),
+        })
+        .collect();
     report.virtual_ticks = clock.now();
     report.breaker_states = chain
         .breaker_states(clock.now())

@@ -98,14 +98,17 @@ pub fn bucket_index(value: u64) -> usize {
 }
 
 /// The inclusive upper bound of bucket `b` (used when rendering
-/// approximate quantiles).
+/// approximate quantiles). The absorbing last bucket — and any
+/// out-of-range index — reports `u64::MAX`, which renderers show as
+/// "max" rather than a 20-digit literal.
 pub fn bucket_upper_bound(b: usize) -> u64 {
     if b == 0 {
         0
     } else if b >= HISTOGRAM_BUCKETS - 1 {
         u64::MAX
     } else {
-        (1u64 << b) - 1
+        // b < 31 here, but stay shift-safe if the layout ever widens
+        1u64.checked_shl(b as u32).map_or(u64::MAX, |v| v - 1)
     }
 }
 
@@ -274,6 +277,44 @@ mod tests {
         for b in 0..HISTOGRAM_BUCKETS - 1 {
             assert_eq!(bucket_index(bucket_upper_bound(b)), b, "bucket {b}");
         }
+    }
+
+    #[test]
+    fn bucket_boundaries_at_powers_of_two_and_extremes() {
+        // 2^k and 2^k − 1 straddle the bucket edge for every in-range k
+        for k in 1..HISTOGRAM_BUCKETS - 2 {
+            let edge = 1u64 << k;
+            assert_eq!(bucket_index(edge), k + 1, "2^{k} opens bucket {}", k + 1);
+            assert_eq!(bucket_index(edge - 1), k, "2^{k} − 1 closes bucket {k}");
+        }
+        // everything from 2^30 up is absorbed by the last bucket
+        for v in [
+            1u64 << 30,
+            (1u64 << 31) - 1,
+            1u64 << 31,
+            1u64 << 62,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(bucket_index(v), HISTOGRAM_BUCKETS - 1, "value {v}");
+        }
+        // the absorbing bucket's bound saturates instead of shifting out
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS), u64::MAX);
+        assert_eq!(bucket_upper_bound(usize::MAX), u64::MAX);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+    }
+
+    #[test]
+    fn huge_values_record_without_overflow() {
+        let h = Histogram::new();
+        h.record(1u64 << 62);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 2);
+        // sum wraps are the caller's concern; the buckets must not panic
     }
 
     #[test]

@@ -218,7 +218,9 @@ impl MetricsSnapshot {
         Ok(MetricsSnapshot { entries })
     }
 
-    /// A human-readable rendering, one metric per line.
+    /// A human-readable rendering, one metric per line. Quantiles that
+    /// resolve to the absorbing last bucket (values ≥ 2^30, bound
+    /// `u64::MAX`) print as `max` instead of a 20-digit literal.
     pub fn render(&self) -> String {
         use fmt::Write;
         let mut out = String::new();
@@ -234,8 +236,8 @@ impl MetricsSnapshot {
                         h.count,
                         h.sum,
                         h.mean(),
-                        h.quantile_upper_bound(0.5),
-                        h.quantile_upper_bound(0.99),
+                        render_bound(h.quantile_upper_bound(0.5)),
+                        render_bound(h.quantile_upper_bound(0.99)),
                     );
                 }
             }
@@ -274,6 +276,16 @@ impl MetricsSnapshot {
             }
         }
         format!("{{\"counters\":{{{counters}}},\"histograms\":{{{histograms}}}}}")
+    }
+}
+
+/// Formats a bucket bound for display: the absorbing bucket's
+/// `u64::MAX` sentinel means "beyond the largest finite bucket".
+fn render_bound(bound: u64) -> String {
+    if bound == u64::MAX {
+        "max".to_string()
+    } else {
+        bound.to_string()
     }
 }
 
@@ -384,6 +396,31 @@ mod tests {
         assert_eq!(h.quantile_upper_bound(0.99), 7);
         assert!((h.mean() - 5.0).abs() < 1e-12);
         assert_eq!(HistogramSnapshot::default().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn render_shows_max_for_absorbing_bucket_bounds() {
+        let mut h = HistogramSnapshot::default();
+        // observations of 2^62 land in the absorbing bucket
+        h.count = 2;
+        h.sum = 1u64 << 63; // 2^62 + 2^62
+        h.buckets[crate::HISTOGRAM_BUCKETS - 1] = 2;
+        let snap = MetricsSnapshot::from_entries(vec![("huge.hist".into(), Metric::Histogram(h))]);
+        let text = snap.render();
+        assert!(text.contains("p50≤max"), "got: {text}");
+        assert!(text.contains("p99≤max"), "got: {text}");
+        assert!(
+            !text.contains(&u64::MAX.to_string()),
+            "no 20-digit literals in: {text}"
+        );
+        // finite buckets still render numerically
+        let mut h2 = HistogramSnapshot::default();
+        h2.count = 1;
+        h2.sum = 5;
+        h2.buckets[3] = 1;
+        let snap2 =
+            MetricsSnapshot::from_entries(vec![("small.hist".into(), Metric::Histogram(h2))]);
+        assert!(snap2.render().contains("p99≤7"));
     }
 
     #[test]

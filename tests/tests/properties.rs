@@ -372,3 +372,68 @@ mod overload_isolation {
         }
     }
 }
+
+/// Budget draw-down: atomic under concurrency, and an exhausted budget
+/// refuses even zero-cost work (satellite of the wave-scan PR).
+mod budget_drawdown {
+    use super::*;
+    use apks_core::Budget;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Concurrent consumers racing `try_charge` never overdraw: the
+        /// grants plus the leftover always equal the original limit, a
+        /// charge is all-or-nothing, and once the balance reaches zero
+        /// even a zero-cost probe is refused — so a consumer can never
+        /// sneak work past an exhausted budget.
+        #[test]
+        fn concurrent_consumers_never_overdraw(
+            limit in 1u64..2_000,
+            threads in 1usize..5,
+            cost in 1u64..7,
+            per_thread in 1usize..200,
+        ) {
+            let budget = Budget::pairings(limit);
+            let granted: u64 = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        s.spawn(|| {
+                            let mut won = 0u64;
+                            for _ in 0..per_thread {
+                                if budget.try_charge(cost) {
+                                    won += cost;
+                                }
+                            }
+                            won
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            let demand = (threads * per_thread) as u64 * cost;
+            prop_assert!(granted <= limit, "overdraw: granted {} of {}", granted, limit);
+            prop_assert_eq!(
+                granted + budget.remaining(),
+                limit,
+                "every pairing is either granted or still available"
+            );
+            if demand >= limit {
+                prop_assert!(
+                    budget.remaining() < cost,
+                    "excess demand must drain the budget below one charge"
+                );
+            } else {
+                prop_assert_eq!(granted, demand, "an uncontended budget grants everything");
+            }
+            // zero-cost probes: free while solvent, refused when spent
+            let before = budget.remaining();
+            if before == 0 {
+                prop_assert!(!budget.try_charge(0));
+            } else {
+                prop_assert!(budget.try_charge(0));
+                prop_assert_eq!(budget.remaining(), before);
+            }
+        }
+    }
+}
