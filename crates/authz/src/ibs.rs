@@ -139,13 +139,18 @@ impl IbsSignature {
         w.bytes(&self.v.to_bytes(params.fp()));
     }
 
+    /// Encoded size in bytes (two compressed points).
+    pub fn encoded_size() -> usize {
+        2 * G1Affine::ENCODED_LEN
+    }
+
     /// Decodes a signature.
     ///
     /// # Errors
     ///
     /// Returns an error on malformed points.
     pub fn decode(params: &CurveParams, r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        let len = 8 * apks_math::FP_LIMBS + 1;
+        let len = G1Affine::ENCODED_LEN;
         let u = G1Affine::from_bytes(params.fp(), r.bytes(len)?)
             .ok_or(DecodeError::Invalid("signature point U"))?;
         let v = G1Affine::from_bytes(params.fp(), r.bytes(len)?)

@@ -43,6 +43,11 @@ impl SignedCapability {
         self.signature.encode(params, w);
     }
 
+    /// Encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        4 + self.issuer.len() + self.capability.encoded_size() + IbsSignature::encoded_size()
+    }
+
     /// Decodes a signed capability.
     ///
     /// # Errors

@@ -107,6 +107,7 @@ commands:
   search     --deploy <deploy> --cap <file> <index-file>...
   transform  --deploy <deploy> --in <partial-index> --out <file>   (APKS+ proxy step)
   stats      [--docs N] [--threads N] [--seed N] [--json] [--overload] [--batch]   (scan an in-memory corpus, print telemetry)
+  wire-sizes [--seed N]   (print the canonical wire size of every protocol type)
   demo       [--seed N]
 ";
 
@@ -129,6 +130,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "search" => cmd_search(&parsed, out),
         "transform" => cmd_transform(&parsed, out),
         "stats" => cmd_stats(&parsed, out),
+        "wire-sizes" => cmd_wire_sizes(&parsed, out),
         "demo" => cmd_demo(&parsed, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
@@ -437,6 +439,128 @@ fn cmd_stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> 
             }
         )?;
     }
+    Ok(())
+}
+
+/// `apks wire-sizes`: instantiate one of each wire type on a
+/// representative deployment and print its exact serialized size next
+/// to the paper's §VII closed forms.
+fn cmd_wire_sizes(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use apks_authz::TrustedAuthority;
+    use apks_core::{FieldValue, Record, Schema};
+    use apks_wire::protocol::{SearchRequest, SearchResponse};
+    use apks_wire::{CiphertextRecord, IngestBatch, MetricsWire, Request, Response, Wire, WireCtx};
+
+    let mut rng = rng_from(args);
+    let schema = Schema::builder()
+        .flat_field("illness", 1)
+        .flat_field("sex", 1)
+        .build()?;
+    let system = apks_core::ApksSystem::new(apks_curve::CurveParams::fast(), schema);
+    let ta = TrustedAuthority::setup(system, &mut rng);
+    let ctx = WireCtx::new(apks_curve::CurveParams::fast());
+
+    let n0 = ta.system().n() + 3;
+    let point = apks_curve::G1Affine::ENCODED_LEN;
+    writeln!(out, "deployment: n0 = {n0}, compressed point = {point} B")?;
+    writeln!(
+        out,
+        "paper \u{a7}VII: ciphertext 65(n0+1) = {} B + Gt element",
+        point * (n0 + 1)
+    )?;
+    writeln!(out)?;
+
+    let rec = Record::new(vec![FieldValue::text("flu"), FieldValue::text("female")]);
+    let index = ta.system().gen_index(ta.public_key(), &rec, &mut rng)?;
+    let cap = ta
+        .issue_capability(
+            &Query::new().equals("illness", "flu"),
+            &QueryPolicy::default(),
+            &mut rng,
+        )
+        .map_err(|e| CliError(e.to_string()))?;
+    let record = CiphertextRecord {
+        doc_id: 0,
+        index: index.clone(),
+    };
+    let batch = IngestBatch {
+        owner: "owner-a".into(),
+        seq: 0,
+        records: vec![index],
+    };
+    let search = SearchRequest {
+        id: 0,
+        deadline_expires_at: u64::MAX,
+        pairing_budget: u64::MAX,
+        doc_cost_ticks: 0,
+        capability: cap.clone(),
+    };
+    let response = SearchResponse::default();
+    let metrics = MetricsWire(apks_telemetry::MetricsRegistry::new().snapshot());
+
+    let mut row = |name: &str, tag: u8, size: usize, actual: usize| -> Result<(), CliError> {
+        debug_assert_eq!(size, actual);
+        writeln!(out, "  {name:<22} tag {tag:#04x}  {size:>6} B")?;
+        Ok(())
+    };
+    row(
+        "SignedCapability",
+        apks_authz::SignedCapability::TAG,
+        cap.serialized_size(&ctx),
+        cap.to_bytes(&ctx).len(),
+    )?;
+    row(
+        "CiphertextRecord",
+        CiphertextRecord::TAG,
+        record.serialized_size(&ctx),
+        record.to_bytes(&ctx).len(),
+    )?;
+    row(
+        "IngestBatch[1]",
+        IngestBatch::TAG,
+        batch.serialized_size(&ctx),
+        batch.to_bytes(&ctx).len(),
+    )?;
+    row(
+        "SearchRequest",
+        SearchRequest::TAG,
+        search.serialized_size(&ctx),
+        search.to_bytes(&ctx).len(),
+    )?;
+    row(
+        "SearchResponse(empty)",
+        SearchResponse::TAG,
+        response.serialized_size(&ctx),
+        response.to_bytes(&ctx).len(),
+    )?;
+    row(
+        "MetricsWire(empty)",
+        MetricsWire::TAG,
+        metrics.serialized_size(&ctx),
+        metrics.to_bytes(&ctx).len(),
+    )?;
+    let ping = Request::Ping;
+    row(
+        "Request::Ping",
+        Request::TAG,
+        ping.serialized_size(&ctx),
+        ping.to_bytes(&ctx).len(),
+    )?;
+    let pong = Response::Pong;
+    row(
+        "Response::Pong",
+        Response::TAG,
+        pong.serialized_size(&ctx),
+        pong.to_bytes(&ctx).len(),
+    )?;
+    writeln!(out)?;
+    writeln!(
+        out,
+        "framing: {} B header (magic {:?} + u32 length), max payload {} B",
+        apks_wire::FRAME_HEADER_LEN,
+        core::str::from_utf8(&apks_wire::FRAME_MAGIC).unwrap_or("?"),
+        apks_wire::MAX_FRAME_LEN
+    )?;
     Ok(())
 }
 

@@ -1,0 +1,140 @@
+//! Server side of the framed protocol: decodes request frames, drives
+//! the real [`CloudServer`], and answers with framed responses.
+
+use crate::transport::TransportEnd;
+use apks_cloud::{CloudServer, SearchOutcome};
+use apks_core::fault::{FaultContext, FaultPlan, RetryPolicy, VirtualClock};
+use apks_wire::protocol::{ERR_APKS, ERR_BAD_SIGNATURE, ERR_DECODE, ERR_UNKNOWN_ISSUER};
+use apks_wire::{MetricsWire, Request, Response, SearchResponse, Wire, WireCtx, WireError};
+use std::sync::Arc;
+
+/// A protocol endpoint wrapping a [`CloudServer`].
+///
+/// [`ServerEndpoint::poll`] drains every complete request frame from
+/// the transport and answers each in order. A request that fails strict
+/// decoding gets a [`Response::Error`] with [`ERR_DECODE`] — the
+/// connection survives, because framing is still in sync; only a
+/// *framing* error (bad magic, oversized length) kills the stream, and
+/// then [`ServerEndpoint::dead`] reports why.
+pub struct ServerEndpoint {
+    ctx: WireCtx,
+    server: Arc<CloudServer>,
+    transport: TransportEnd,
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    clock: Arc<VirtualClock>,
+    dead: Option<WireError>,
+}
+
+impl ServerEndpoint {
+    /// Wraps `server` behind one end of a [`crate::duplex`] transport.
+    /// `plan`/`policy` govern fault injection during scans; `clock` is
+    /// the deployment's virtual clock (shared with the transport).
+    pub fn new(
+        ctx: WireCtx,
+        server: Arc<CloudServer>,
+        transport: TransportEnd,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+        clock: Arc<VirtualClock>,
+    ) -> ServerEndpoint {
+        ServerEndpoint {
+            ctx,
+            server,
+            transport,
+            plan,
+            policy,
+            clock,
+            dead: None,
+        }
+    }
+
+    /// The wrapped server.
+    pub fn server(&self) -> &Arc<CloudServer> {
+        &self.server
+    }
+
+    /// The framing error that killed the stream, if any.
+    pub fn dead(&self) -> Option<&WireError> {
+        self.dead.as_ref()
+    }
+
+    /// Ledger of frames/bytes through the server's transport end.
+    pub fn transport_stats(&self) -> crate::transport::TransportStats {
+        self.transport.stats()
+    }
+
+    /// SHA-256 over every response frame this endpoint has sent.
+    pub fn sent_digest(&self) -> [u8; 32] {
+        self.transport.sent_digest()
+    }
+
+    /// Drains and answers every complete request frame currently
+    /// queued. Returns the number of requests served this call.
+    pub fn poll(&mut self) -> usize {
+        let mut served = 0;
+        if self.dead.is_some() {
+            return served;
+        }
+        while let Some(frame) = self.transport.recv_frame() {
+            let payload = match frame {
+                Ok(payload) => payload,
+                Err(e) => {
+                    // framing lost sync: a real server closes the socket
+                    self.server.metrics().add("wire.server.framing_errors", 1);
+                    self.dead = Some(e);
+                    return served;
+                }
+            };
+            self.server.metrics().add("wire.server.frames", 1);
+            let response = match Request::from_bytes(&self.ctx, &payload) {
+                Ok(req) => self.dispatch(req),
+                Err(e) => {
+                    self.server.metrics().add("wire.server.decode_errors", 1);
+                    Response::Error {
+                        code: ERR_DECODE,
+                        message: e.to_string(),
+                    }
+                }
+            };
+            self.transport.send_frame(&response.to_bytes(&self.ctx));
+            self.server.metrics().add("wire.server.responses", 1);
+            served += 1;
+        }
+        served
+    }
+
+    fn dispatch(&self, req: Request) -> Response {
+        match req {
+            Request::Ping => Response::Pong,
+            Request::Upload(batch) => Response::Uploaded {
+                ids: self.server.upload_many(batch.records),
+            },
+            Request::Search(search) => {
+                let ctx = FaultContext::new(&self.plan, &self.policy, &self.clock);
+                let budget = search.budget();
+                match self.server.search_bounded(
+                    &search.capability,
+                    &ctx,
+                    search.deadline(),
+                    &budget,
+                    search.doc_cost_ticks,
+                ) {
+                    Ok(scan) => Response::Result(SearchResponse::from_scan(search.id, &scan)),
+                    Err(outcome) => {
+                        let code = match &outcome {
+                            SearchOutcome::BadSignature => ERR_BAD_SIGNATURE,
+                            SearchOutcome::UnknownIssuer(_) => ERR_UNKNOWN_ISSUER,
+                            SearchOutcome::Apks(_) => ERR_APKS,
+                        };
+                        Response::Error {
+                            code,
+                            message: outcome.to_string(),
+                        }
+                    }
+                }
+            }
+            Request::Metrics => Response::Metrics(MetricsWire(self.server.metrics_snapshot())),
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Framed protocol client for APKS cloud servers.
+//!
+//! [`ApksClient`] speaks the `apks-wire` protocol over a byte-stream
+//! [`transport`]: every request is encoded, framed, pushed through the
+//! transport (which charges simulated latency to the deployment's
+//! virtual clock), decoded by a [`ServerEndpoint`] wrapping the real
+//! [`CloudServer`](apks_cloud::CloudServer), and answered with a framed
+//! response. Nothing crosses the boundary except bytes — the same
+//! bytes a TCP deployment would carry — so the overload simulation
+//! exercises the genuine serialization path end to end.
+
+pub mod endpoint;
+pub mod transport;
+
+pub use endpoint::ServerEndpoint;
+pub use transport::{duplex, TransportCost, TransportEnd, TransportStats};
+
+use apks_authz::SignedCapability;
+use apks_core::EncryptedIndex;
+use apks_telemetry::MetricsSnapshot;
+use apks_wire::{
+    IngestBatch, MetricsWire, Request, Response, SearchRequest, SearchResponse, Wire, WireCtx,
+    WireError,
+};
+use core::fmt;
+
+/// A client-side protocol failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientError {
+    /// The response frame or message failed to decode.
+    Wire(WireError),
+    /// The server answered [`Response::Error`].
+    Server {
+        /// Machine-readable error code (`apks_wire::protocol::ERR_*`).
+        code: u16,
+        /// Server-provided detail.
+        message: String,
+    },
+    /// The server answered with the wrong response variant.
+    UnexpectedResponse(&'static str),
+    /// The transport delivered no response frame.
+    NoResponse,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response variant: expected {what}")
+            }
+            ClientError::NoResponse => write!(f, "no response frame from server"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> ClientError {
+        ClientError::Wire(e)
+    }
+}
+
+/// A synchronous protocol client: one in-flight request at a time,
+/// responses matched by stream order.
+pub struct ApksClient {
+    ctx: WireCtx,
+    transport: TransportEnd,
+    next_id: u64,
+}
+
+impl ApksClient {
+    /// Wraps one end of a [`duplex`] transport.
+    pub fn new(ctx: WireCtx, transport: TransportEnd) -> ApksClient {
+        ApksClient {
+            ctx,
+            transport,
+            next_id: 0,
+        }
+    }
+
+    /// The codec context (shared curve parameters).
+    pub fn ctx(&self) -> &WireCtx {
+        &self.ctx
+    }
+
+    /// Ledger of frames/bytes through the client's transport end.
+    pub fn transport_stats(&self) -> transport::TransportStats {
+        self.transport.stats()
+    }
+
+    /// SHA-256 over every request frame this client has sent.
+    pub fn sent_digest(&self) -> [u8; 32] {
+        self.transport.sent_digest()
+    }
+
+    /// Sends one request frame and decodes the one response frame the
+    /// server answers with. The caller must pump the server endpoint
+    /// between `send_frame` and the read — [`ServerEndpoint::poll`]
+    /// does that; [`Self::call`] is the convenience wrapper used when
+    /// the server end is directly at hand.
+    pub fn call(
+        &mut self,
+        server: &mut ServerEndpoint,
+        req: &Request,
+    ) -> Result<Response, ClientError> {
+        self.transport.send_frame(&req.to_bytes(&self.ctx));
+        server.poll();
+        match self.transport.recv_frame() {
+            Some(payload) => Ok(Response::from_bytes(&self.ctx, &payload?)?),
+            None => Err(ClientError::NoResponse),
+        }
+    }
+
+    /// Sends pre-encoded payload bytes as one frame and decodes the
+    /// reply — the rejection harness uses this to push deliberately
+    /// malformed requests through the real path.
+    pub fn call_raw(
+        &mut self,
+        server: &mut ServerEndpoint,
+        payload: &[u8],
+    ) -> Result<Response, ClientError> {
+        self.transport.send_frame(payload);
+        server.poll();
+        match self.transport.recv_frame() {
+            Some(payload) => Ok(Response::from_bytes(&self.ctx, &payload?)?),
+            None => Err(ClientError::NoResponse),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self, server: &mut ServerEndpoint) -> Result<(), ClientError> {
+        match self.call(server, &Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("Pong")),
+        }
+    }
+
+    /// Uploads a batch of encrypted indexes; returns the assigned
+    /// document ids in batch order.
+    pub fn upload(
+        &mut self,
+        server: &mut ServerEndpoint,
+        owner: &str,
+        records: Vec<EncryptedIndex>,
+    ) -> Result<Vec<u64>, ClientError> {
+        let seq = self.next_id;
+        self.next_id += 1;
+        let req = Request::Upload(IngestBatch {
+            owner: owner.to_string(),
+            seq,
+            records,
+        });
+        match self.call(server, &req)? {
+            Response::Uploaded { ids } => Ok(ids),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("Uploaded")),
+        }
+    }
+
+    /// Runs a bounded authorized search; returns the (possibly
+    /// degraded) result.
+    pub fn search(
+        &mut self,
+        server: &mut ServerEndpoint,
+        capability: &SignedCapability,
+        deadline_expires_at: u64,
+        pairing_budget: u64,
+        doc_cost_ticks: u64,
+    ) -> Result<SearchResponse, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request::Search(SearchRequest {
+            id,
+            deadline_expires_at,
+            pairing_budget,
+            doc_cost_ticks,
+            capability: capability.clone(),
+        });
+        match self.call(server, &req)? {
+            Response::Result(resp) if resp.id == id => Ok(resp),
+            Response::Result(_) => Err(ClientError::UnexpectedResponse("matching response id")),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("Result")),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    pub fn metrics(&mut self, server: &mut ServerEndpoint) -> Result<MetricsSnapshot, ClientError> {
+        match self.call(server, &Request::Metrics)? {
+            Response::Metrics(MetricsWire(snap)) => Ok(snap),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::UnexpectedResponse("Metrics")),
+        }
+    }
+}

@@ -174,6 +174,22 @@ impl CloudServer {
         id
     }
 
+    /// Stores a batch of encrypted indexes under one store lock;
+    /// returns their document ids in batch order, guaranteed
+    /// contiguous (no concurrent upload can interleave ids inside a
+    /// batch).
+    pub fn upload_many(&self, indexes: Vec<EncryptedIndex>) -> Vec<DocumentId> {
+        let mut store = self.store.write();
+        indexes
+            .into_iter()
+            .map(|index| {
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed) as DocumentId;
+                store.push((id, index));
+                id
+            })
+            .collect()
+    }
+
     /// Number of stored indexes.
     pub fn len(&self) -> usize {
         self.store.read().len()

@@ -428,6 +428,11 @@ impl EncryptedIndex {
         let ct = HpeCiphertext::decode(params, r)?;
         Ok(EncryptedIndex { ct, digest })
     }
+
+    /// Encoded size in bytes (schema digest + ciphertext).
+    pub fn encoded_size(&self) -> usize {
+        32 + HpeCiphertext::encoded_size(self.ct.c1.dim())
+    }
 }
 
 /// APKS⁺ proxy transformation: applies a proxy's share to a partial index.

@@ -21,6 +21,13 @@ pub struct G1Affine {
 }
 
 impl G1Affine {
+    /// Exact length of the canonical compressed encoding
+    /// ([`G1Affine::to_bytes`]): `8·FP_LIMBS` bytes of `x` plus one
+    /// flag byte — 65 bytes at 512-bit `p`, the paper's "65B in
+    /// compressed form". Every wire-size formula in the workspace is
+    /// expressed in this constant.
+    pub const ENCODED_LEN: usize = 8 * apks_math::FP_LIMBS + 1;
+
     /// The identity element.
     pub fn identity() -> Self {
         G1Affine {

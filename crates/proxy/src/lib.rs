@@ -387,6 +387,29 @@ impl ProxyChain {
         Ok(ct)
     }
 
+    /// Transforms a batch of partial indexes for one client in upload
+    /// order — the shape an `apks-wire` `IngestBatch` frame carries.
+    /// All-or-nothing: the first proxy failure (rate limit, deployment
+    /// mismatch) fails the whole batch, so a half-transformed batch
+    /// never reaches the server.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any proxy rate-limits the client or an index belongs
+    /// to a different deployment.
+    pub fn ingest_batch(
+        &self,
+        system: &ApksSystem,
+        client: &str,
+        now: u64,
+        batch: &[EncryptedIndex],
+    ) -> Result<Vec<EncryptedIndex>, ProxyError> {
+        batch
+            .iter()
+            .map(|partial| self.ingest(system, client, now, partial))
+            .collect()
+    }
+
     /// Transforms a batch of partial indexes and evaluates a capability
     /// against each transformed result — the "transform then search"
     /// flow. The capability's Miller lines are prepared **once** for the

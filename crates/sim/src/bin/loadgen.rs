@@ -1,0 +1,109 @@
+//! `loadgen`: replays the Zipf-bursty overload stream through the real
+//! framed client/server path and prints the wire + scenario ledger.
+//!
+//! ```text
+//! loadgen [--arrivals N] [--docs N] [--burst N] [--seed N]
+//!         [--ticks-per-frame N] [--ticks-per-byte N] [--out PATH]
+//! ```
+//!
+//! With `--out` (or `APKS_LOADGEN_OUT`), the deployment's metrics
+//! snapshot is written to the path as JSON — CI uploads it as the
+//! smoke-run artifact. Exit code 1 on bad flags or a wire failure.
+
+use apks_client::TransportCost;
+use apks_sim::framed::run_overload_framed;
+use apks_sim::overload::OverloadConfig;
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn parse_flags() -> Result<(OverloadConfig, TransportCost, Option<String>), String> {
+    let mut config = OverloadConfig::default();
+    let mut cost = TransportCost {
+        ticks_per_frame: 5,
+        ticks_per_byte: 0,
+    };
+    let mut out = std::env::var("APKS_LOADGEN_OUT").ok();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--arrivals" => config.arrivals = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--docs" => config.docs = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--burst" => config.burst_size = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => config.seed = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--ticks-per-frame" => {
+                cost.ticks_per_frame = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--ticks-per-byte" => {
+                cost.ticks_per_byte = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--out" => out = Some(value(flag)?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok((config, cost, out))
+}
+
+fn main() {
+    let (config, cost, out) = match parse_flags() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+    let framed = match run_overload_framed(&config, cost) {
+        Ok(framed) => framed,
+        Err(e) => {
+            eprintln!("loadgen: scenario failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let r = &framed.report;
+    println!(
+        "loadgen: seed={} arrivals={} docs={}",
+        config.seed, r.arrivals, r.docs_stored
+    );
+    println!(
+        "  admitted={} shed_queue_full={} shed_brownout={} displaced={}",
+        r.admitted, r.shed_queue_full, r.shed_brownout, r.displaced
+    );
+    println!(
+        "  deadline_expired={} budget_exhausted={} unscanned_docs={} max_brownout={}",
+        r.deadline_expired, r.budget_exhausted, r.unscanned_docs, r.max_brownout_level
+    );
+    println!(
+        "  virtual_ticks={} scan_latency_p99={} time_to_shed_p99={}",
+        r.virtual_ticks,
+        r.scan_latency_p99(),
+        r.time_to_shed_p99()
+    );
+    println!(
+        "  wire: frames {}->{} bytes {}->{} (cost {}t/frame {}t/byte)",
+        framed.frames_sent,
+        framed.frames_received,
+        framed.bytes_sent,
+        framed.bytes_received,
+        cost.ticks_per_frame,
+        cost.ticks_per_byte
+    );
+    println!("  request_digest={}", hex(&framed.request_digest));
+    println!("  response_digest={}", hex(&framed.response_digest));
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, r.metrics.to_json()) {
+            eprintln!("loadgen: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  metrics -> {path}");
+    }
+}

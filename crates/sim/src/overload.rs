@@ -197,6 +197,17 @@ impl OverloadReport {
     /// order. The overload chaos tests assert byte-identity of this
     /// encoding (metrics snapshot included) across same-seed runs.
     pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = self.ledger_bytes();
+        out.extend_from_slice(&self.metrics.canonical_bytes());
+        out
+    }
+
+    /// The request-ledger portion of [`OverloadReport::canonical_bytes`]
+    /// — everything except the metrics snapshot. The framed-path
+    /// equivalence test compares this across transports (the framed run
+    /// adds `wire.*` counters, so full snapshots legitimately differ
+    /// while the ledgers must not).
+    pub fn ledger_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         for v in [
             self.arrivals as u64,
@@ -243,7 +254,6 @@ impl OverloadReport {
             out.extend_from_slice(id.as_bytes());
             out.extend_from_slice(state.as_bytes());
         }
-        out.extend_from_slice(&self.metrics.canonical_bytes());
         out
     }
 }
@@ -251,24 +261,24 @@ impl OverloadReport {
 /// Index of the priority entry in the capability catalog.
 const PRIORITY: usize = 5;
 
-struct CatalogEntry {
-    label: &'static str,
-    class: RequestClass,
-    cap: SignedCapability,
+pub(crate) struct CatalogEntry {
+    pub(crate) label: &'static str,
+    pub(crate) class: RequestClass,
+    pub(crate) cap: SignedCapability,
 }
 
 /// The provisioned deployment every overload variant runs against:
 /// corpus ingested, catalog issued, schedule pre-generated.
-struct World {
-    server: CloudServer,
-    chain: ProxyChain,
-    catalog: Vec<CatalogEntry>,
+pub(crate) struct World {
+    pub(crate) server: CloudServer,
+    pub(crate) chain: ProxyChain,
+    pub(crate) catalog: Vec<CatalogEntry>,
     /// `(arrival tick, catalog entry)` per request, in arrival order.
-    schedule: Vec<(u64, usize)>,
-    docs_stored: usize,
-    metrics: Arc<MetricsRegistry>,
-    clock: Arc<VirtualClock>,
-    retry: RetryPolicy,
+    pub(crate) schedule: Vec<(u64, usize)>,
+    pub(crate) docs_stored: usize,
+    pub(crate) metrics: Arc<MetricsRegistry>,
+    pub(crate) clock: Arc<VirtualClock>,
+    pub(crate) retry: RetryPolicy,
 }
 
 /// Builds the deployment, ingests the corpus through the proxy chain,
@@ -276,7 +286,7 @@ struct World {
 /// schedule — everything both the per-query and the batched event
 /// loops share, so a config and its batched twin see the identical
 /// request stream.
-fn build_world(config: &OverloadConfig) -> Result<World, AuthzError> {
+pub(crate) fn build_world(config: &OverloadConfig) -> Result<World, AuthzError> {
     // -- deployment: small schema with one flat and one deep field ------
     let schema = Schema::builder()
         .flat_field("illness", 2)

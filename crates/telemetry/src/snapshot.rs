@@ -174,6 +174,24 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Exact length of [`MetricsSnapshot::canonical_bytes`], computed
+    /// without materializing the encoding — wire-size accounting uses
+    /// this for its closed-form `serialized_size`.
+    pub fn canonical_len(&self) -> usize {
+        8 + self
+            .entries
+            .iter()
+            .map(|(name, metric)| {
+                8 + name.len()
+                    + 8
+                    + match metric {
+                        Metric::Counter(_) => 8,
+                        Metric::Histogram(_) => 16 + 8 * HISTOGRAM_BUCKETS,
+                    }
+            })
+            .sum::<usize>()
+    }
+
     /// Decodes bytes produced by [`MetricsSnapshot::canonical_bytes`].
     ///
     /// # Errors
@@ -387,10 +405,12 @@ mod tests {
 
     #[test]
     fn quantile_bounds_are_sane() {
-        let mut h = HistogramSnapshot::default();
         // 10 observations of value 5 (bucket 3: 4..=7)
-        h.count = 10;
-        h.sum = 50;
+        let mut h = HistogramSnapshot {
+            count: 10,
+            sum: 50,
+            ..HistogramSnapshot::default()
+        };
         h.buckets[3] = 10;
         assert_eq!(h.quantile_upper_bound(0.5), 7);
         assert_eq!(h.quantile_upper_bound(0.99), 7);
@@ -400,10 +420,12 @@ mod tests {
 
     #[test]
     fn render_shows_max_for_absorbing_bucket_bounds() {
-        let mut h = HistogramSnapshot::default();
         // observations of 2^62 land in the absorbing bucket
-        h.count = 2;
-        h.sum = 1u64 << 63; // 2^62 + 2^62
+        let mut h = HistogramSnapshot {
+            count: 2,
+            sum: 1u64 << 63, // 2^62 + 2^62
+            ..HistogramSnapshot::default()
+        };
         h.buckets[crate::HISTOGRAM_BUCKETS - 1] = 2;
         let snap = MetricsSnapshot::from_entries(vec![("huge.hist".into(), Metric::Histogram(h))]);
         let text = snap.render();
@@ -414,9 +436,11 @@ mod tests {
             "no 20-digit literals in: {text}"
         );
         // finite buckets still render numerically
-        let mut h2 = HistogramSnapshot::default();
-        h2.count = 1;
-        h2.sum = 5;
+        let mut h2 = HistogramSnapshot {
+            count: 1,
+            sum: 5,
+            ..HistogramSnapshot::default()
+        };
         h2.buckets[3] = 1;
         let snap2 =
             MetricsSnapshot::from_entries(vec![("small.hist".into(), Metric::Histogram(h2))]);

@@ -1,0 +1,163 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! A frame is `FRAME_MAGIC (4 bytes) ‖ payload length (u32 LE) ‖
+//! payload`. The payload is one encoded [`crate::Wire`] message. The
+//! decoder is incremental: bytes arrive in arbitrary chunks (the
+//! in-process duplex transport deliberately splits them) and complete
+//! payloads pop out once whole. Malformed framing — wrong magic, a
+//! declared length beyond [`MAX_FRAME_LEN`] — is detected as soon as
+//! the header is readable, *before* any payload is buffered, so a
+//! pathological length prefix cannot force an allocation.
+
+use crate::WireError;
+
+/// The four bytes every frame starts with.
+pub const FRAME_MAGIC: [u8; 4] = *b"APKS";
+
+/// Magic + length prefix.
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// Largest accepted payload (16 MiB). A declared length beyond this is
+/// a protocol violation, rejected at header-decode time.
+pub const MAX_FRAME_LEN: u32 = 1 << 24;
+
+/// Wraps a payload in a frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN as usize);
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&FRAME_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental frame reassembler.
+///
+/// Feed bytes with [`FrameDecoder::push`], pop complete payloads with
+/// [`FrameDecoder::next_frame`]. Once an error is returned the stream
+/// is poisoned: framing has lost sync and every subsequent call
+/// returns the same error (a real connection would be closed).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    poisoned: Option<WireError>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes buffered but not yet yielded.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete payload, if one is buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::BadMagic`] / [`WireError::FrameTooLarge`] on a
+    /// malformed header; the decoder stays poisoned afterwards.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let magic: [u8; 4] = self.buf[..4].try_into().expect("4 bytes checked");
+        if magic != FRAME_MAGIC {
+            return Err(self.poison(WireError::BadMagic(magic)));
+        }
+        if self.buf.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes checked"));
+        if len > MAX_FRAME_LEN {
+            return Err(self.poison(WireError::FrameTooLarge { declared: len }));
+        }
+        let total = FRAME_HEADER_LEN + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload = self.buf[FRAME_HEADER_LEN..total].to_vec();
+        self.buf.drain(..total);
+        Ok(Some(payload))
+    }
+
+    fn poison(&mut self, e: WireError) -> WireError {
+        self.poisoned = Some(e.clone());
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let frame = encode_frame(b"hello");
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"hello");
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        let frame = encode_frame(b"split me into pieces");
+        let mut dec = FrameDecoder::new();
+        for b in &frame[..frame.len() - 1] {
+            dec.push(std::slice::from_ref(b));
+            assert_eq!(dec.next_frame().unwrap(), None);
+        }
+        dec.push(&frame[frame.len() - 1..]);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"split me into pieces");
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut stream = encode_frame(b"one");
+        stream.extend_from_slice(&encode_frame(b""));
+        stream.extend_from_slice(&encode_frame(b"three"));
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"one");
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"");
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"three");
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn bad_magic_poisons() {
+        let mut dec = FrameDecoder::new();
+        dec.push(b"NOPE\x01\x00\x00\x00x");
+        assert_eq!(dec.next_frame(), Err(WireError::BadMagic(*b"NOPE")));
+        // poisoned: same error forever, new bytes ignored
+        dec.push(&encode_frame(b"late"));
+        assert_eq!(dec.next_frame(), Err(WireError::BadMagic(*b"NOPE")));
+    }
+
+    #[test]
+    fn pathological_length_rejected_before_buffering() {
+        let mut dec = FrameDecoder::new();
+        let mut hdr = FRAME_MAGIC.to_vec();
+        hdr.extend_from_slice(&u32::MAX.to_le_bytes());
+        dec.push(&hdr);
+        assert_eq!(
+            dec.next_frame(),
+            Err(WireError::FrameTooLarge { declared: u32::MAX })
+        );
+    }
+}

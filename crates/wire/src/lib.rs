@@ -1,0 +1,306 @@
+//! Canonical wire format for every APKS object that crosses a process
+//! boundary, plus the framed request/response protocol spoken between
+//! `apks-client` and the cloud server.
+//!
+//! The paper reports concrete communication sizes (§VII: 65-byte
+//! compressed group elements, `65(n₀+1)`-byte ciphertexts, …), so the
+//! encodings here are pinned down to the byte in the rust-umbral
+//! discipline: every wire type has
+//!
+//! * [`Wire::serialized_size`] — an exact closed-form byte count,
+//! * [`Wire::to_bytes`] — the canonical encoding (fixed-width
+//!   little-endian integers, length-prefixed variable parts, a
+//!   versioned type tag up front), and
+//! * [`Wire::from_bytes`] — a **strict** decoder that rejects
+//!   truncated, oversized, mistagged, misversioned and
+//!   trailing-garbage input with a structured [`WireError`], never a
+//!   panic.
+//!
+//! The golden-vector suite (`tests/tests/wire_golden.rs`) pins the
+//! exact bytes of each type; any encoding drift fails CI loudly.
+//! Framing lives in [`frame`], the protocol messages in [`protocol`],
+//! and the per-type codecs in [`types`].
+
+pub mod frame;
+pub mod protocol;
+pub mod types;
+
+pub use frame::{encode_frame, FrameDecoder, FRAME_HEADER_LEN, FRAME_MAGIC, MAX_FRAME_LEN};
+pub use protocol::{Request, Response, ScanStatsWire, SearchRequest, SearchResponse};
+pub use types::{CiphertextRecord, IngestBatch, MetricsWire};
+
+use apks_curve::CurveParams;
+use apks_math::encode::{DecodeError, Reader, Writer};
+use core::fmt;
+use std::sync::Arc;
+
+/// Everything a codec needs that is not in the bytes themselves: the
+/// curve parameters group elements decode against.
+///
+/// Cheap to clone (one [`Arc`]); both peers of a connection must hold
+/// the same deployment's parameters — the schema digest embedded in
+/// capabilities and ciphertexts rejects cross-deployment mixing after
+/// decode.
+#[derive(Clone, Debug)]
+pub struct WireCtx {
+    params: Arc<CurveParams>,
+}
+
+impl WireCtx {
+    /// Wraps the deployment's curve parameters.
+    pub fn new(params: Arc<CurveParams>) -> WireCtx {
+        WireCtx { params }
+    }
+
+    /// The curve parameters.
+    pub fn params(&self) -> &CurveParams {
+        &self.params
+    }
+}
+
+/// Why a wire object (or frame) failed to decode. Structured — the
+/// rejection suite asserts exact variants, and nothing here panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the field being read.
+    Truncated,
+    /// Bytes left over after a complete object.
+    TrailingBytes,
+    /// The leading type tag is not the expected one.
+    BadTag {
+        /// Tag the decoder was asked to accept.
+        expected: u8,
+        /// Tag actually present.
+        got: u8,
+    },
+    /// The version byte after the tag is unsupported.
+    BadVersion {
+        /// The type tag whose version was wrong.
+        tag: u8,
+        /// Version actually present.
+        got: u8,
+    },
+    /// An enum discriminant inside the body is unknown.
+    BadVariant {
+        /// The type tag being decoded.
+        tag: u8,
+        /// The unknown discriminant.
+        got: u8,
+    },
+    /// A declared element count or length cannot fit in the remaining
+    /// input — rejected before any allocation is attempted.
+    LengthOverflow {
+        /// The declared count/length.
+        declared: u64,
+        /// Bytes actually remaining.
+        available: u64,
+    },
+    /// A field failed validation (off-curve point, bad UTF-8, …).
+    Invalid(&'static str),
+    /// A frame did not start with [`FRAME_MAGIC`].
+    BadMagic([u8; 4]),
+    /// A frame declared a payload longer than [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The declared payload length.
+        declared: u32,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "input truncated"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after object"),
+            WireError::BadTag { expected, got } => {
+                write!(
+                    f,
+                    "wrong type tag: expected {expected:#04x}, got {got:#04x}"
+                )
+            }
+            WireError::BadVersion { tag, got } => {
+                write!(f, "unsupported version {got} for tag {tag:#04x}")
+            }
+            WireError::BadVariant { tag, got } => {
+                write!(f, "unknown variant {got} in tag {tag:#04x}")
+            }
+            WireError::LengthOverflow {
+                declared,
+                available,
+            } => write!(
+                f,
+                "declared length {declared} exceeds remaining input ({available} bytes)"
+            ),
+            WireError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::FrameTooLarge { declared } => {
+                write!(f, "frame payload of {declared} bytes exceeds the maximum")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> WireError {
+        match e {
+            DecodeError::UnexpectedEnd => WireError::Truncated,
+            DecodeError::TrailingBytes => WireError::TrailingBytes,
+            DecodeError::Invalid(what) => WireError::Invalid(what),
+        }
+    }
+}
+
+/// A type with a canonical, versioned, size-accounted byte encoding.
+///
+/// The contract every implementation upholds (and the property suite
+/// enforces):
+///
+/// * `from_bytes(ctx, &to_bytes(ctx, x)) == x` for every value `x`;
+/// * `to_bytes(ctx, x).len() == serialized_size(ctx, x)` exactly;
+/// * `from_bytes` returns a structured [`WireError`] — never panics —
+///   on any malformed input, including truncation at *every* byte
+///   boundary, trailing bytes, foreign tags and unknown versions.
+pub trait Wire: Sized {
+    /// The type tag, first byte of every encoding.
+    const TAG: u8;
+    /// The format version, second byte of every encoding.
+    const VERSION: u8 = 1;
+
+    /// Exact byte size of the body (everything after the 2-byte
+    /// tag+version header).
+    fn body_size(&self, ctx: &WireCtx) -> usize;
+
+    /// Appends the body to `w`.
+    fn encode_body(&self, ctx: &WireCtx, w: &mut Writer);
+
+    /// Reads the body from `r`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed bytes.
+    fn decode_body(ctx: &WireCtx, r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Exact size of [`Wire::to_bytes`]' output.
+    fn serialized_size(&self, ctx: &WireCtx) -> usize {
+        2 + self.body_size(ctx)
+    }
+
+    /// The canonical encoding: `[TAG, VERSION]` then the body.
+    fn to_bytes(&self, ctx: &WireCtx) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u8(Self::TAG).u8(Self::VERSION);
+        self.encode_body(ctx, &mut w);
+        w.finish()
+    }
+
+    /// Strict decoder: checks tag and version, decodes the body, and
+    /// rejects any trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on malformed bytes.
+    fn from_bytes(ctx: &WireCtx, bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8().map_err(WireError::from)?;
+        if tag != Self::TAG {
+            return Err(WireError::BadTag {
+                expected: Self::TAG,
+                got: tag,
+            });
+        }
+        let version = r.u8().map_err(WireError::from)?;
+        if version != Self::VERSION {
+            return Err(WireError::BadVersion { tag, got: version });
+        }
+        let out = Self::decode_body(ctx, &mut r)?;
+        r.finish().map_err(WireError::from)?;
+        Ok(out)
+    }
+}
+
+/// Reads an element count whose elements each occupy at least
+/// `min_elem_size` bytes, rejecting counts that cannot possibly fit in
+/// the remaining input — a pathological `0xFFFF_FFFF` prefix is refused
+/// before any allocation happens.
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] if the count itself is cut off,
+/// [`WireError::LengthOverflow`] if the declared count cannot fit.
+pub fn read_count(r: &mut Reader<'_>, min_elem_size: usize) -> Result<usize, WireError> {
+    let declared = r.u32().map_err(WireError::from)? as u64;
+    let available = r.remaining() as u64;
+    if declared.saturating_mul(min_elem_size.max(1) as u64) > available {
+        return Err(WireError::LengthOverflow {
+            declared,
+            available,
+        });
+    }
+    Ok(declared as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_error_mapping() {
+        assert_eq!(
+            WireError::from(DecodeError::UnexpectedEnd),
+            WireError::Truncated
+        );
+        assert_eq!(
+            WireError::from(DecodeError::TrailingBytes),
+            WireError::TrailingBytes
+        );
+        assert_eq!(
+            WireError::from(DecodeError::Invalid("x")),
+            WireError::Invalid("x")
+        );
+    }
+
+    #[test]
+    fn read_count_rejects_pathological_prefixes() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            read_count(&mut r, 8),
+            Err(WireError::LengthOverflow {
+                declared: u32::MAX as u64,
+                available: 0,
+            })
+        );
+        // a count that fits is accepted
+        let mut w = Writer::new();
+        w.u32(2).u64(1).u64(2);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(read_count(&mut r, 8).unwrap(), 2);
+    }
+
+    #[test]
+    fn errors_render() {
+        for e in [
+            WireError::Truncated,
+            WireError::TrailingBytes,
+            WireError::BadTag {
+                expected: 1,
+                got: 2,
+            },
+            WireError::BadVersion { tag: 1, got: 9 },
+            WireError::BadVariant { tag: 1, got: 9 },
+            WireError::LengthOverflow {
+                declared: 10,
+                available: 1,
+            },
+            WireError::Invalid("field"),
+            WireError::BadMagic(*b"NOPE"),
+            WireError::FrameTooLarge { declared: 1 << 30 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! The framed request/response protocol between `apks-client` and the
+//! cloud server.
+//!
+//! One [`Request`] per frame, one [`Response`] per frame, answered in
+//! order. The protocol is a strict state machine per connection:
+//!
+//! ```text
+//! client                         server
+//!   | -- frame(Request) ---------> |  decode (strict) —— on error:
+//!   |                              |    frame(Response::Error), done
+//!   | <-------- frame(Response) -- |  dispatch, encode reply
+//! ```
+//!
+//! Requests and responses carry their own versioned tags (`0x10`,
+//! `0x11`) so a peer that feeds a response decoder a request (or an
+//! unframed object) fails with [`WireError::BadTag`] instead of
+//! misparsing. Nested objects are encoded as bare bodies — the
+//! envelope's tag+version governs the whole frame.
+
+use crate::types::{IngestBatch, MetricsWire};
+use crate::{read_count, Wire, WireCtx, WireError};
+use apks_authz::SignedCapability;
+use apks_cloud::{DegradedScan, SearchStats};
+use apks_core::{Budget, Deadline};
+use apks_math::encode::{Reader, Writer};
+
+/// Tag of [`SearchRequest`] encodings.
+pub const TAG_SEARCH_REQUEST: u8 = 0x04;
+/// Tag of [`SearchResponse`] encodings.
+pub const TAG_SEARCH_RESPONSE: u8 = 0x05;
+/// Tag of [`Request`] envelopes.
+pub const TAG_REQUEST: u8 = 0x10;
+/// Tag of [`Response`] envelopes.
+pub const TAG_RESPONSE: u8 = 0x11;
+
+/// `Response::Error` code: the request frame failed to decode.
+pub const ERR_DECODE: u16 = 1;
+/// `Response::Error` code: capability signature invalid.
+pub const ERR_BAD_SIGNATURE: u16 = 2;
+/// `Response::Error` code: issuing authority not registered.
+pub const ERR_UNKNOWN_ISSUER: u16 = 3;
+/// `Response::Error` code: APKS evaluation failed.
+pub const ERR_APKS: u16 = 4;
+
+/// A bounded search over the server's corpus: the signed capability
+/// plus the overload bounds the client grants the scan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchRequest {
+    /// Client-chosen request id, echoed in the response.
+    pub id: u64,
+    /// Absolute expiry tick of the scan deadline (`u64::MAX` = never).
+    pub deadline_expires_at: u64,
+    /// Pairing budget granted to the scan (`u64::MAX` = unlimited).
+    pub pairing_budget: u64,
+    /// Simulated per-document scan cost charged to the virtual clock.
+    pub doc_cost_ticks: u64,
+    /// The authority-signed capability to search with.
+    pub capability: SignedCapability,
+}
+
+impl SearchRequest {
+    /// The request's deadline as the server-side type.
+    pub fn deadline(&self) -> Deadline {
+        Deadline::at(self.deadline_expires_at)
+    }
+
+    /// A fresh [`Budget`] carrying the request's pairing allowance.
+    pub fn budget(&self) -> Budget {
+        if self.pairing_budget == u64::MAX {
+            Budget::unlimited()
+        } else {
+            Budget::pairings(self.pairing_budget)
+        }
+    }
+}
+
+impl Wire for SearchRequest {
+    const TAG: u8 = TAG_SEARCH_REQUEST;
+
+    fn body_size(&self, _ctx: &WireCtx) -> usize {
+        8 + 8 + 8 + 8 + self.capability.encoded_size()
+    }
+
+    fn encode_body(&self, ctx: &WireCtx, w: &mut Writer) {
+        w.u64(self.id)
+            .u64(self.deadline_expires_at)
+            .u64(self.pairing_budget)
+            .u64(self.doc_cost_ticks);
+        self.capability.encode(ctx.params(), w);
+    }
+
+    fn decode_body(ctx: &WireCtx, r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let id = r.u64()?;
+        let deadline_expires_at = r.u64()?;
+        let pairing_budget = r.u64()?;
+        let doc_cost_ticks = r.u64()?;
+        let capability = SignedCapability::decode(ctx.params(), r)?;
+        Ok(SearchRequest {
+            id,
+            deadline_expires_at,
+            pairing_budget,
+            doc_cost_ticks,
+            capability,
+        })
+    }
+}
+
+/// Bit in [`ScanStatsWire::flags`]: at least one document was skipped.
+const FLAG_DEGRADED: u8 = 1 << 0;
+/// Bit in [`ScanStatsWire::flags`]: the deadline expired mid-scan.
+const FLAG_DEADLINE_EXPIRED: u8 = 1 << 1;
+/// Bit in [`ScanStatsWire::flags`]: the pairing budget ran out.
+const FLAG_BUDGET_EXHAUSTED: u8 = 1 << 2;
+/// All bits a version-1 decoder understands.
+const FLAG_MASK: u8 = FLAG_DEGRADED | FLAG_DEADLINE_EXPIRED | FLAG_BUDGET_EXHAUSTED;
+
+/// Wire mirror of [`SearchStats`]: fixed-width counters plus a flag
+/// byte whose unknown bits are rejected (a v2 server cannot smuggle new
+/// semantics past a v1 client unnoticed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStatsWire {
+    /// Number of indexes evaluated.
+    pub scanned: u64,
+    /// Number of matches returned.
+    pub matched: u64,
+    /// One-time capability preprocessing cost, server-clock ticks.
+    pub prepare_micros: u64,
+    /// Corpus-scan time, server-clock ticks.
+    pub scan_micros: u64,
+    /// Pairing evaluations performed.
+    pub pairings: u64,
+    /// Documents skipped after exhausting the fault retry budget.
+    pub faulted_docs: u64,
+    /// Evaluation retries performed.
+    pub retries: u64,
+    /// Documents never evaluated (deadline/budget cut the scan short).
+    pub unscanned_docs: u64,
+    /// Degradation flags (`FLAG_*` bits).
+    pub flags: u8,
+}
+
+impl ScanStatsWire {
+    /// Encoded size: eight `u64` counters plus the flag byte.
+    pub const ENCODED_LEN: usize = 8 * 8 + 1;
+
+    /// True iff the scan was degraded (some documents skipped).
+    pub fn degraded(&self) -> bool {
+        self.flags & FLAG_DEGRADED != 0
+    }
+
+    /// True iff the deadline expired before the scan finished.
+    pub fn deadline_expired(&self) -> bool {
+        self.flags & FLAG_DEADLINE_EXPIRED != 0
+    }
+
+    /// True iff the pairing budget ran out mid-scan.
+    pub fn budget_exhausted(&self) -> bool {
+        self.flags & FLAG_BUDGET_EXHAUSTED != 0
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.scanned)
+            .u64(self.matched)
+            .u64(self.prepare_micros)
+            .u64(self.scan_micros)
+            .u64(self.pairings)
+            .u64(self.faulted_docs)
+            .u64(self.retries)
+            .u64(self.unscanned_docs)
+            .u8(self.flags);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let stats = ScanStatsWire {
+            scanned: r.u64()?,
+            matched: r.u64()?,
+            prepare_micros: r.u64()?,
+            scan_micros: r.u64()?,
+            pairings: r.u64()?,
+            faulted_docs: r.u64()?,
+            retries: r.u64()?,
+            unscanned_docs: r.u64()?,
+            flags: r.u8()?,
+        };
+        if stats.flags & !FLAG_MASK != 0 {
+            return Err(WireError::Invalid("unknown scan-stats flag bits"));
+        }
+        Ok(stats)
+    }
+}
+
+impl From<&SearchStats> for ScanStatsWire {
+    fn from(s: &SearchStats) -> ScanStatsWire {
+        let mut flags = 0;
+        if s.degraded {
+            flags |= FLAG_DEGRADED;
+        }
+        if s.deadline_expired {
+            flags |= FLAG_DEADLINE_EXPIRED;
+        }
+        if s.budget_exhausted {
+            flags |= FLAG_BUDGET_EXHAUSTED;
+        }
+        ScanStatsWire {
+            scanned: s.scanned as u64,
+            matched: s.matched as u64,
+            prepare_micros: s.prepare_micros,
+            scan_micros: s.scan_micros,
+            pairings: s.pairings as u64,
+            faulted_docs: s.faulted_docs as u64,
+            retries: s.retries as u64,
+            unscanned_docs: s.unscanned_docs as u64,
+            flags,
+        }
+    }
+}
+
+/// The (possibly degraded) result of a bounded scan: matches over the
+/// healthy evaluated corpus, plus explicit skip lists so partial
+/// coverage is never silent.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchResponse {
+    /// Echo of [`SearchRequest::id`].
+    pub id: u64,
+    /// Matching document ids among the evaluated documents.
+    pub matches: Vec<u64>,
+    /// Documents skipped because evaluation faulted past the budget.
+    pub faulted: Vec<u64>,
+    /// Documents never evaluated (deadline/budget stopped the scan).
+    pub unscanned: Vec<u64>,
+    /// Scan accounting.
+    pub stats: ScanStatsWire,
+}
+
+impl SearchResponse {
+    /// Packages a server-side [`DegradedScan`] for the wire.
+    pub fn from_scan(id: u64, scan: &DegradedScan) -> SearchResponse {
+        SearchResponse {
+            id,
+            matches: scan.matches.clone(),
+            faulted: scan.faulted.clone(),
+            unscanned: scan.unscanned.clone(),
+            stats: (&scan.stats).into(),
+        }
+    }
+}
+
+/// Appends a length-prefixed id list.
+fn encode_ids(w: &mut Writer, ids: &[u64]) {
+    w.u32(ids.len() as u32);
+    for &id in ids {
+        w.u64(id);
+    }
+}
+
+/// Reads a length-prefixed id list, count-guarded.
+fn decode_ids(r: &mut Reader<'_>) -> Result<Vec<u64>, WireError> {
+    let count = read_count(r, 8)?;
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        ids.push(r.u64()?);
+    }
+    Ok(ids)
+}
+
+fn ids_size(ids: &[u64]) -> usize {
+    4 + 8 * ids.len()
+}
+
+impl Wire for SearchResponse {
+    const TAG: u8 = TAG_SEARCH_RESPONSE;
+
+    fn body_size(&self, _ctx: &WireCtx) -> usize {
+        8 + ids_size(&self.matches)
+            + ids_size(&self.faulted)
+            + ids_size(&self.unscanned)
+            + ScanStatsWire::ENCODED_LEN
+    }
+
+    fn encode_body(&self, _ctx: &WireCtx, w: &mut Writer) {
+        w.u64(self.id);
+        encode_ids(w, &self.matches);
+        encode_ids(w, &self.faulted);
+        encode_ids(w, &self.unscanned);
+        self.stats.encode(w);
+    }
+
+    fn decode_body(_ctx: &WireCtx, r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let id = r.u64()?;
+        let matches = decode_ids(r)?;
+        let faulted = decode_ids(r)?;
+        let unscanned = decode_ids(r)?;
+        let stats = ScanStatsWire::decode(r)?;
+        if stats.matched as usize != matches.len() {
+            return Err(WireError::Invalid(
+                "stats.matched disagrees with match list",
+            ));
+        }
+        Ok(SearchResponse {
+            id,
+            matches,
+            faulted,
+            unscanned,
+            stats,
+        })
+    }
+}
+
+/// Variant discriminants of [`Request`].
+mod req_variant {
+    pub const PING: u8 = 0;
+    pub const UPLOAD: u8 = 1;
+    pub const SEARCH: u8 = 2;
+    pub const METRICS: u8 = 3;
+}
+
+/// A client-to-server message. One per frame.
+// a request is built once and consumed by the encoder; boxing the large
+// search variant would buy nothing but an indirection on the hot path
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Store a batch of encrypted indexes.
+    Upload(IngestBatch),
+    /// Run a bounded authorized search.
+    Search(SearchRequest),
+    /// Fetch the server's metrics snapshot.
+    Metrics,
+}
+
+impl Wire for Request {
+    const TAG: u8 = TAG_REQUEST;
+
+    fn body_size(&self, ctx: &WireCtx) -> usize {
+        1 + match self {
+            Request::Ping | Request::Metrics => 0,
+            Request::Upload(batch) => batch.body_size(ctx),
+            Request::Search(req) => req.body_size(ctx),
+        }
+    }
+
+    fn encode_body(&self, ctx: &WireCtx, w: &mut Writer) {
+        match self {
+            Request::Ping => {
+                w.u8(req_variant::PING);
+            }
+            Request::Upload(batch) => {
+                w.u8(req_variant::UPLOAD);
+                batch.encode_body(ctx, w);
+            }
+            Request::Search(req) => {
+                w.u8(req_variant::SEARCH);
+                req.encode_body(ctx, w);
+            }
+            Request::Metrics => {
+                w.u8(req_variant::METRICS);
+            }
+        }
+    }
+
+    fn decode_body(ctx: &WireCtx, r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            req_variant::PING => Ok(Request::Ping),
+            req_variant::UPLOAD => Ok(Request::Upload(IngestBatch::decode_body(ctx, r)?)),
+            req_variant::SEARCH => Ok(Request::Search(SearchRequest::decode_body(ctx, r)?)),
+            req_variant::METRICS => Ok(Request::Metrics),
+            got => Err(WireError::BadVariant {
+                tag: Self::TAG,
+                got,
+            }),
+        }
+    }
+}
+
+/// Variant discriminants of [`Response`].
+mod resp_variant {
+    pub const PONG: u8 = 0;
+    pub const UPLOADED: u8 = 1;
+    pub const RESULT: u8 = 2;
+    pub const METRICS: u8 = 3;
+    pub const ERROR: u8 = 4;
+}
+
+/// A server-to-client message. One per frame, answering the request in
+/// the same position of the stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Upload`]: the assigned document ids, in
+    /// batch order.
+    Uploaded {
+        /// Server-assigned document ids.
+        ids: Vec<u64>,
+    },
+    /// Answer to [`Request::Search`].
+    Result(SearchResponse),
+    /// Answer to [`Request::Metrics`].
+    Metrics(MetricsWire),
+    /// The request could not be served (`ERR_*` codes).
+    Error {
+        /// Machine-readable error code.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Wire for Response {
+    const TAG: u8 = TAG_RESPONSE;
+
+    fn body_size(&self, ctx: &WireCtx) -> usize {
+        1 + match self {
+            Response::Pong => 0,
+            Response::Uploaded { ids } => ids_size(ids),
+            Response::Result(resp) => resp.body_size(ctx),
+            Response::Metrics(m) => m.body_size(ctx),
+            Response::Error { message, .. } => 2 + 4 + message.len(),
+        }
+    }
+
+    fn encode_body(&self, ctx: &WireCtx, w: &mut Writer) {
+        match self {
+            Response::Pong => {
+                w.u8(resp_variant::PONG);
+            }
+            Response::Uploaded { ids } => {
+                w.u8(resp_variant::UPLOADED);
+                encode_ids(w, ids);
+            }
+            Response::Result(resp) => {
+                w.u8(resp_variant::RESULT);
+                resp.encode_body(ctx, w);
+            }
+            Response::Metrics(m) => {
+                w.u8(resp_variant::METRICS);
+                m.encode_body(ctx, w);
+            }
+            Response::Error { code, message } => {
+                w.u8(resp_variant::ERROR);
+                w.bytes(&code.to_le_bytes());
+                w.string(message);
+            }
+        }
+    }
+
+    fn decode_body(ctx: &WireCtx, r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            resp_variant::PONG => Ok(Response::Pong),
+            resp_variant::UPLOADED => Ok(Response::Uploaded {
+                ids: decode_ids(r)?,
+            }),
+            resp_variant::RESULT => Ok(Response::Result(SearchResponse::decode_body(ctx, r)?)),
+            resp_variant::METRICS => Ok(Response::Metrics(MetricsWire::decode_body(ctx, r)?)),
+            resp_variant::ERROR => {
+                let code = u16::from_le_bytes(r.bytes(2)?.try_into().unwrap());
+                let message = r.string()?;
+                Ok(Response::Error { code, message })
+            }
+            got => Err(WireError::BadVariant {
+                tag: Self::TAG,
+                got,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apks_curve::CurveParams;
+
+    fn ctx() -> WireCtx {
+        WireCtx::new(CurveParams::fast())
+    }
+
+    #[test]
+    fn response_variants_roundtrip() {
+        let ctx = ctx();
+        let cases = vec![
+            Response::Pong,
+            Response::Uploaded { ids: vec![3, 1, 4] },
+            Response::Result(SearchResponse {
+                id: 9,
+                matches: vec![1, 2],
+                faulted: vec![5],
+                unscanned: vec![],
+                stats: ScanStatsWire {
+                    scanned: 3,
+                    matched: 2,
+                    faulted_docs: 1,
+                    flags: FLAG_DEGRADED,
+                    ..ScanStatsWire::default()
+                },
+            }),
+            Response::Error {
+                code: ERR_DECODE,
+                message: "truncated".into(),
+            },
+        ];
+        for resp in cases {
+            let bytes = resp.to_bytes(&ctx);
+            assert_eq!(bytes.len(), resp.serialized_size(&ctx));
+            assert_eq!(Response::from_bytes(&ctx, &bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn unknown_variant_rejected() {
+        let ctx = ctx();
+        let mut bytes = Response::Pong.to_bytes(&ctx);
+        bytes[2] = 0x77;
+        assert_eq!(
+            Response::from_bytes(&ctx, &bytes),
+            Err(WireError::BadVariant {
+                tag: TAG_RESPONSE,
+                got: 0x77
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_stats_flags_rejected() {
+        let ctx = ctx();
+        let resp = SearchResponse::default();
+        let mut bytes = resp.to_bytes(&ctx);
+        let flags_at = bytes.len() - 1;
+        bytes[flags_at] = 0x80;
+        assert_eq!(
+            SearchResponse::from_bytes(&ctx, &bytes),
+            Err(WireError::Invalid("unknown scan-stats flag bits"))
+        );
+    }
+
+    #[test]
+    fn matched_count_must_agree() {
+        let ctx = ctx();
+        let resp = SearchResponse {
+            id: 1,
+            matches: vec![7],
+            stats: ScanStatsWire {
+                matched: 1,
+                ..ScanStatsWire::default()
+            },
+            ..SearchResponse::default()
+        };
+        let mut bytes = resp.to_bytes(&ctx);
+        // corrupt the matched counter (second u64 of the stats block)
+        let stats_at = bytes.len() - ScanStatsWire::ENCODED_LEN;
+        bytes[stats_at + 8..stats_at + 16].copy_from_slice(&9u64.to_le_bytes());
+        assert_eq!(
+            SearchResponse::from_bytes(&ctx, &bytes),
+            Err(WireError::Invalid(
+                "stats.matched disagrees with match list"
+            ))
+        );
+    }
+
+    #[test]
+    fn search_request_bounds_map_back() {
+        let req_budget = SearchRequest {
+            id: 0,
+            deadline_expires_at: 1000,
+            pairing_budget: 64,
+            doc_cost_ticks: 5,
+            capability: dummy_capability(),
+        };
+        assert_eq!(req_budget.deadline().expires_at(), 1000);
+        assert!(req_budget.budget().try_charge(64));
+        assert!(!req_budget.budget().try_charge(65));
+
+        let req_never = SearchRequest {
+            deadline_expires_at: u64::MAX,
+            pairing_budget: u64::MAX,
+            ..req_budget
+        };
+        assert!(req_never.deadline().is_never());
+        assert!(req_never.budget().try_charge(u64::MAX - 1));
+    }
+
+    fn dummy_capability() -> SignedCapability {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let schema = apks_core::Schema::builder()
+            .flat_field("illness", 1)
+            .build()
+            .unwrap();
+        let sys = apks_core::ApksSystem::new(CurveParams::fast(), schema);
+        let mut rng = StdRng::seed_from_u64(77);
+        let ta = apks_authz::TrustedAuthority::setup(sys, &mut rng);
+        ta.issue_capability(
+            &apks_core::Query::new().equals("illness", "flu"),
+            &apks_core::QueryPolicy::default(),
+            &mut rng,
+        )
+        .unwrap()
+    }
+}

@@ -1,0 +1,227 @@
+//! [`Wire`] codecs for the deployment objects that cross the wire:
+//! signed capabilities, ciphertext records, proxy ingest batches, and
+//! metrics snapshots.
+//!
+//! Tag space: `0x01`–`0x0F` for standalone objects, `0x10`+ for
+//! protocol envelopes (see [`crate::protocol`]). Tags are never reused
+//! across types; a decoder handed the wrong object fails with
+//! [`WireError::BadTag`] instead of misparsing.
+
+use crate::{read_count, Wire, WireCtx, WireError};
+use apks_authz::SignedCapability;
+use apks_core::EncryptedIndex;
+use apks_math::encode::{Reader, Writer};
+use apks_telemetry::MetricsSnapshot;
+
+/// Tag of [`SignedCapability`] encodings.
+pub const TAG_CAPABILITY: u8 = 0x01;
+/// Tag of [`CiphertextRecord`] encodings.
+pub const TAG_CIPHERTEXT: u8 = 0x02;
+/// Tag of [`IngestBatch`] encodings.
+pub const TAG_INGEST_BATCH: u8 = 0x03;
+/// Tag of [`MetricsWire`] encodings.
+pub const TAG_METRICS: u8 = 0x06;
+
+impl Wire for SignedCapability {
+    const TAG: u8 = TAG_CAPABILITY;
+
+    fn body_size(&self, _ctx: &WireCtx) -> usize {
+        self.encoded_size()
+    }
+
+    fn encode_body(&self, ctx: &WireCtx, w: &mut Writer) {
+        self.encode(ctx.params(), w);
+    }
+
+    fn decode_body(ctx: &WireCtx, r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SignedCapability::decode(ctx.params(), r)?)
+    }
+}
+
+/// A stored document on the wire: its server-assigned id plus the
+/// encrypted index — what a sharded store would ship between nodes and
+/// what `Upload` responses refer to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CiphertextRecord {
+    /// The document id.
+    pub doc_id: u64,
+    /// The encrypted index entry.
+    pub index: EncryptedIndex,
+}
+
+impl Wire for CiphertextRecord {
+    const TAG: u8 = TAG_CIPHERTEXT;
+
+    fn body_size(&self, _ctx: &WireCtx) -> usize {
+        8 + self.index.encoded_size()
+    }
+
+    fn encode_body(&self, ctx: &WireCtx, w: &mut Writer) {
+        w.u64(self.doc_id);
+        self.index.encode(ctx.params(), w);
+    }
+
+    fn decode_body(ctx: &WireCtx, r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let doc_id = r.u64()?;
+        let index = EncryptedIndex::decode(ctx.params(), r)?;
+        Ok(CiphertextRecord { doc_id, index })
+    }
+}
+
+/// A proxy ingest batch: one owner's run of (transformed) encrypted
+/// indexes, shipped to the cloud server in a single frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IngestBatch {
+    /// The contributing owner's identity.
+    pub owner: String,
+    /// The owner's batch sequence number (dedup/replay handle).
+    pub seq: u64,
+    /// The encrypted indexes, in upload order.
+    pub records: Vec<EncryptedIndex>,
+}
+
+/// Minimum bytes any [`EncryptedIndex`] occupies (digest + ciphertext
+/// with an empty vector) — used to reject impossible batch counts
+/// before allocating.
+const MIN_INDEX_LEN: usize = 32 + 4 + apks_curve::G1Affine::ENCODED_LEN;
+
+impl Wire for IngestBatch {
+    const TAG: u8 = TAG_INGEST_BATCH;
+
+    fn body_size(&self, _ctx: &WireCtx) -> usize {
+        4 + self.owner.len()
+            + 8
+            + 4
+            + self
+                .records
+                .iter()
+                .map(EncryptedIndex::encoded_size)
+                .sum::<usize>()
+    }
+
+    fn encode_body(&self, ctx: &WireCtx, w: &mut Writer) {
+        w.string(&self.owner);
+        w.u64(self.seq);
+        w.u32(self.records.len() as u32);
+        for rec in &self.records {
+            rec.encode(ctx.params(), w);
+        }
+    }
+
+    fn decode_body(ctx: &WireCtx, r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let owner = r.string()?;
+        let seq = r.u64()?;
+        let count = read_count(r, MIN_INDEX_LEN)?;
+        let mut records = Vec::with_capacity(count);
+        for _ in 0..count {
+            records.push(EncryptedIndex::decode(ctx.params(), r)?);
+        }
+        Ok(IngestBatch {
+            owner,
+            seq,
+            records,
+        })
+    }
+}
+
+/// A [`MetricsSnapshot`] on the wire.
+///
+/// The snapshot already has a canonical byte encoding (the chaos suite
+/// asserts byte-identity on it); the wire form wraps those bytes in the
+/// tagged, versioned, length-prefixed envelope every other type gets,
+/// and maps the snapshot's own decode errors into [`WireError`]s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsWire(pub MetricsSnapshot);
+
+impl Wire for MetricsWire {
+    const TAG: u8 = TAG_METRICS;
+
+    fn body_size(&self, _ctx: &WireCtx) -> usize {
+        4 + self.0.canonical_len()
+    }
+
+    fn encode_body(&self, _ctx: &WireCtx, w: &mut Writer) {
+        w.var_bytes(&self.0.canonical_bytes());
+    }
+
+    fn decode_body(_ctx: &WireCtx, r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let declared = r.clone().u32()? as u64;
+        let available = r.remaining().saturating_sub(4) as u64;
+        if declared > available {
+            return Err(WireError::LengthOverflow {
+                declared,
+                available,
+            });
+        }
+        let bytes = r.var_bytes()?;
+        let snap = MetricsSnapshot::from_canonical_bytes(bytes).map_err(|e| {
+            use apks_telemetry::SnapshotDecodeError as S;
+            match e {
+                S::Truncated => WireError::Truncated,
+                S::TrailingBytes => WireError::TrailingBytes,
+                S::BadTag(_) => WireError::Invalid("metric tag"),
+                S::BadName => WireError::Invalid("metric name"),
+            }
+        })?;
+        Ok(MetricsWire(snap))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apks_telemetry::MetricsRegistry;
+
+    fn ctx() -> WireCtx {
+        WireCtx::new(apks_curve::CurveParams::fast())
+    }
+
+    #[test]
+    fn metrics_roundtrip_and_size() {
+        let reg = MetricsRegistry::new();
+        reg.add("a.counter", 7);
+        reg.histogram("b.hist").record(12);
+        let snap = MetricsWire(reg.snapshot());
+        let ctx = ctx();
+        let bytes = snap.to_bytes(&ctx);
+        assert_eq!(bytes.len(), snap.serialized_size(&ctx));
+        assert_eq!(MetricsWire::from_bytes(&ctx, &bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn metrics_rejects_wrong_tag_and_version() {
+        let snap = MetricsWire(MetricsSnapshot::default());
+        let ctx = ctx();
+        let mut bytes = snap.to_bytes(&ctx);
+        bytes[0] = 0x7f;
+        assert_eq!(
+            MetricsWire::from_bytes(&ctx, &bytes),
+            Err(WireError::BadTag {
+                expected: TAG_METRICS,
+                got: 0x7f
+            })
+        );
+        let mut bytes = snap.to_bytes(&ctx);
+        bytes[1] = 9;
+        assert_eq!(
+            MetricsWire::from_bytes(&ctx, &bytes),
+            Err(WireError::BadVersion {
+                tag: TAG_METRICS,
+                got: 9
+            })
+        );
+    }
+
+    #[test]
+    fn metrics_inner_length_cannot_exceed_body() {
+        let snap = MetricsWire(MetricsSnapshot::default());
+        let ctx = ctx();
+        let mut bytes = snap.to_bytes(&ctx);
+        // inflate the inner length prefix past the actual payload
+        bytes[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            MetricsWire::from_bytes(&ctx, &bytes),
+            Err(WireError::LengthOverflow { .. })
+        ));
+    }
+}

@@ -625,7 +625,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(16))]
         #[test]
         fn macro_end_to_end(x in 0i64..50, y in any::<u32>(), s in "[A-C]{2,3}") {
-            prop_assert!(x >= 0 && x < 50);
+            prop_assert!((0..50).contains(&x));
             prop_assert!(s.len() == 2 || s.len() == 3);
             prop_assert_eq!(y as u64 + 1, 1 + y as u64);
         }

@@ -373,6 +373,211 @@ mod overload_isolation {
     }
 }
 
+/// Wire-format round trips: for arbitrary values of every wire type,
+/// `from_bytes(to_bytes(x)) == x` and `to_bytes(x).len() ==
+/// serialized_size(x)` (satellite of the canonical wire-format PR).
+mod wire_roundtrip {
+    use super::*;
+    use apks_authz::{SignedCapability, TrustedAuthority};
+    use apks_core::{ApksSystem, EncryptedIndex, QueryPolicy};
+    use apks_curve::CurveParams;
+    use apks_wire::protocol::{ScanStatsWire, SearchRequest, SearchResponse};
+    use apks_wire::{CiphertextRecord, IngestBatch, MetricsWire, Request, Response, Wire, WireCtx};
+    use std::sync::OnceLock;
+
+    /// Crypto objects are expensive to mint, so each proptest case picks
+    /// from a fixed pool instead of generating fresh ones.
+    struct Pool {
+        ctx: WireCtx,
+        caps: Vec<SignedCapability>,
+        indexes: Vec<EncryptedIndex>,
+    }
+
+    fn pool() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| {
+            let schema = Schema::builder()
+                .flat_field("illness", 1)
+                .flat_field("sex", 1)
+                .build()
+                .unwrap();
+            let sys = ApksSystem::new(CurveParams::fast(), schema);
+            let mut rng = StdRng::seed_from_u64(900);
+            let ta = TrustedAuthority::setup(sys, &mut rng);
+            let caps = ["flu", "cold", "cancer"]
+                .iter()
+                .map(|illness| {
+                    ta.issue_capability(
+                        &Query::new().equals("illness", *illness),
+                        &QueryPolicy::default(),
+                        &mut rng,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let indexes = (0..3)
+                .map(|_| {
+                    let rec =
+                        Record::new(vec![FieldValue::text("flu"), FieldValue::text("female")]);
+                    ta.system()
+                        .gen_index(ta.public_key(), &rec, &mut rng)
+                        .unwrap()
+                })
+                .collect();
+            Pool {
+                ctx: WireCtx::new(CurveParams::fast()),
+                caps,
+                indexes,
+            }
+        })
+    }
+
+    fn stats_strategy() -> impl Strategy<Value = ScanStatsWire> {
+        (
+            prop::collection::vec(any::<u64>(), 8..9),
+            0u8..8, // only the three known flag bits
+        )
+            .prop_map(|(c, flags)| ScanStatsWire {
+                scanned: c[0],
+                matched: c[1],
+                prepare_micros: c[2],
+                scan_micros: c[3],
+                pairings: c[4],
+                faulted_docs: c[5],
+                retries: c[6],
+                unscanned_docs: c[7],
+                flags,
+            })
+    }
+
+    fn response_strategy() -> impl Strategy<Value = SearchResponse> {
+        (
+            any::<u64>(),
+            prop::collection::vec(any::<u64>(), 0..8),
+            prop::collection::vec(any::<u64>(), 0..4),
+            prop::collection::vec(any::<u64>(), 0..4),
+            stats_strategy(),
+        )
+            .prop_map(|(id, matches, faulted, unscanned, mut stats)| {
+                // the decoder enforces this cross-field invariant
+                stats.matched = matches.len() as u64;
+                SearchResponse {
+                    id,
+                    matches,
+                    faulted,
+                    unscanned,
+                    stats,
+                }
+            })
+    }
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(value: &T) -> Result<(), TestCaseError> {
+        let ctx = &pool().ctx;
+        let bytes = value.to_bytes(ctx);
+        prop_assert_eq!(bytes.len(), value.serialized_size(ctx), "declared size");
+        match T::from_bytes(ctx, &bytes) {
+            Ok(back) => prop_assert_eq!(&back, value, "round trip changed the value"),
+            Err(e) => prop_assert!(false, "round trip failed to decode: {e:?}"),
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn search_response_roundtrips(resp in response_strategy()) {
+            roundtrip(&resp)?;
+            roundtrip(&Response::Result(resp))?;
+        }
+
+        #[test]
+        fn search_request_roundtrips(
+            cap_idx in 0usize..3,
+            id in any::<u64>(),
+            deadline in any::<u64>(),
+            budget in any::<u64>(),
+            doc_cost in any::<u64>(),
+        ) {
+            let req = SearchRequest {
+                id,
+                deadline_expires_at: deadline,
+                pairing_budget: budget,
+                doc_cost_ticks: doc_cost,
+                capability: pool().caps[cap_idx].clone(),
+            };
+            roundtrip(&req)?;
+            roundtrip(&Request::Search(req))?;
+        }
+
+        #[test]
+        fn ingest_roundtrips(
+            owner in "[a-z0-9._-]{0,24}",
+            seq in any::<u64>(),
+            picks in prop::collection::vec(0usize..3, 0..4),
+            doc_id in any::<u64>(),
+        ) {
+            let p = pool();
+            let batch = IngestBatch {
+                owner,
+                seq,
+                records: picks.iter().map(|&i| p.indexes[i].clone()).collect(),
+            };
+            roundtrip(&batch)?;
+            roundtrip(&Request::Upload(batch))?;
+            roundtrip(&CiphertextRecord { doc_id, index: p.indexes[picks.len() % 3].clone() })?;
+        }
+
+        #[test]
+        fn simple_envelopes_roundtrip(
+            ids in prop::collection::vec(any::<u64>(), 0..16),
+            code in any::<u16>(),
+            message in "[ -~]{0,64}",
+        ) {
+            roundtrip(&Request::Ping)?;
+            roundtrip(&Request::Metrics)?;
+            roundtrip(&Response::Pong)?;
+            roundtrip(&Response::Uploaded { ids })?;
+            roundtrip(&Response::Error { code, message })?;
+        }
+
+        /// Frame reassembly is invariant under how the byte stream is
+        /// chopped into reads.
+        #[test]
+        fn frames_reassemble_under_any_chunking(
+            payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..200), 1..5),
+            chunk in 1usize..64,
+        ) {
+            use apks_wire::{encode_frame, FrameDecoder};
+            let stream: Vec<u8> = payloads.iter().flat_map(|p| encode_frame(p)).collect();
+            let mut dec = FrameDecoder::new();
+            let mut out = Vec::new();
+            for piece in stream.chunks(chunk) {
+                dec.push(piece);
+                while let Some(frame) = dec.next_frame().unwrap() {
+                    out.push(frame);
+                }
+            }
+            prop_assert_eq!(out, payloads);
+        }
+    }
+
+    /// Metrics snapshots cross the wire losslessly too (single case —
+    /// snapshot contents are already covered by telemetry tests).
+    #[test]
+    fn metrics_wire_roundtrips() {
+        use apks_telemetry::MetricsRegistry;
+        let registry = MetricsRegistry::new();
+        registry.add("a.b", 3);
+        registry.histogram("c.d").record(9);
+        let wire = MetricsWire(registry.snapshot());
+        let ctx = &pool().ctx;
+        let bytes = wire.to_bytes(ctx);
+        assert_eq!(bytes.len(), wire.serialized_size(ctx));
+        assert_eq!(MetricsWire::from_bytes(ctx, &bytes).unwrap(), wire);
+    }
+}
+
 /// Budget draw-down: atomic under concurrency, and an exhausted budget
 /// refuses even zero-cost work (satellite of the wave-scan PR).
 mod budget_drawdown {

@@ -1,0 +1,179 @@
+//! Shared fixtures for the wire-format test suites: one deterministic
+//! deployment and one sample value per wire type, all derived from
+//! fixed seeds so the golden vectors are reproducible byte for byte.
+
+// each wire_* test binary uses a different subset of these helpers
+#![allow(dead_code)]
+
+use apks_authz::{SignedCapability, TrustedAuthority};
+use apks_core::{ApksSystem, FieldValue, Query, QueryPolicy, Record, Schema};
+use apks_curve::CurveParams;
+use apks_telemetry::MetricsRegistry;
+use apks_wire::protocol::{ScanStatsWire, SearchRequest, SearchResponse};
+use apks_wire::{CiphertextRecord, IngestBatch, MetricsWire, Request, Response, WireCtx};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+/// The deployment every wire fixture lives on. Fixed seed: the golden
+/// vectors depend on it.
+pub fn deployment() -> (TrustedAuthority, WireCtx, StdRng) {
+    let schema = Schema::builder()
+        .flat_field("illness", 1)
+        .flat_field("sex", 1)
+        .build()
+        .unwrap();
+    let sys = ApksSystem::new(CurveParams::fast(), schema);
+    let mut rng = StdRng::seed_from_u64(0x57495245); // "WIRE"
+    let ta = TrustedAuthority::setup(sys, &mut rng);
+    let ctx = WireCtx::new(CurveParams::fast());
+    (ta, ctx, rng)
+}
+
+/// One sample value per wire type, in a fixed order. The golden suite
+/// pins each one's exact bytes; the rejection suite truncates them.
+pub struct Samples {
+    pub ctx: WireCtx,
+    pub capability: SignedCapability,
+    pub record: CiphertextRecord,
+    pub batch: IngestBatch,
+    pub search_request: SearchRequest,
+    pub search_response: SearchResponse,
+    pub metrics: MetricsWire,
+    pub requests: Vec<(&'static str, Request)>,
+    pub responses: Vec<(&'static str, Response)>,
+}
+
+pub fn samples() -> Samples {
+    let (ta, ctx, mut rng) = deployment();
+    let capability = ta
+        .issue_capability(
+            &Query::new().equals("illness", "flu"),
+            &QueryPolicy::default(),
+            &mut rng,
+        )
+        .unwrap();
+    let index = |rng: &mut StdRng| {
+        let rec = Record::new(vec![FieldValue::text("flu"), FieldValue::text("female")]);
+        ta.system().gen_index(ta.public_key(), &rec, rng).unwrap()
+    };
+    let record = CiphertextRecord {
+        doc_id: 7,
+        index: index(&mut rng),
+    };
+    let batch = IngestBatch {
+        owner: "owner-a".to_string(),
+        seq: 3,
+        records: vec![index(&mut rng), index(&mut rng)],
+    };
+    let search_request = SearchRequest {
+        id: 11,
+        deadline_expires_at: 5000,
+        pairing_budget: 1024,
+        doc_cost_ticks: 25,
+        capability: capability.clone(),
+    };
+    let search_response = SearchResponse {
+        id: 11,
+        matches: vec![0, 4],
+        faulted: vec![2],
+        unscanned: vec![5, 6],
+        stats: ScanStatsWire {
+            scanned: 5,
+            matched: 2,
+            prepare_micros: 40,
+            scan_micros: 125,
+            pairings: 45,
+            faulted_docs: 1,
+            retries: 2,
+            unscanned_docs: 2,
+            flags: 0b011, // degraded + deadline_expired
+        },
+    };
+    let registry = MetricsRegistry::new();
+    registry.add("cloud.scans", 5);
+    registry.add("wire.server.frames", 9);
+    registry.histogram("overload.scan_latency").record(125);
+    let metrics = MetricsWire(registry.snapshot());
+
+    let requests = vec![
+        ("request_ping", Request::Ping),
+        ("request_metrics", Request::Metrics),
+        ("request_upload", Request::Upload(batch.clone())),
+        ("request_search", Request::Search(search_request.clone())),
+    ];
+    let responses = vec![
+        ("response_pong", Response::Pong),
+        (
+            "response_uploaded",
+            Response::Uploaded { ids: vec![0, 1, 2] },
+        ),
+        ("response_result", Response::Result(search_response.clone())),
+        ("response_metrics", Response::Metrics(metrics.clone())),
+        (
+            "response_error",
+            Response::Error {
+                code: apks_wire::protocol::ERR_DECODE,
+                message: "input truncated".to_string(),
+            },
+        ),
+    ];
+    Samples {
+        ctx,
+        capability,
+        record,
+        batch,
+        search_request,
+        search_response,
+        metrics,
+        requests,
+        responses,
+    }
+}
+
+pub fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+pub fn hex_decode(s: &str) -> Vec<u8> {
+    let s: String = s.chars().filter(|c| !c.is_whitespace()).collect();
+    assert!(s.len().is_multiple_of(2), "odd hex length");
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex digit"))
+        .collect()
+}
+
+/// Where the checked-in golden vectors live.
+pub fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{name}.hex"))
+}
+
+/// Compares `bytes` against the checked-in vector `name`. With
+/// `APKS_BLESS=1` the fixture is (re)written instead — run once after
+/// an *intentional* format change, then commit the diff.
+pub fn check_golden(name: &str, bytes: &[u8]) {
+    let path = golden_path(name);
+    if std::env::var_os("APKS_BLESS").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, hex_encode(bytes)).unwrap();
+        return;
+    }
+    let fixture = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden vector {}: {e}\n(generate with APKS_BLESS=1 \
+             cargo test -p apks-tests --test wire_golden)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        hex_encode(bytes),
+        fixture.trim(),
+        "encoding of {name} drifted from the checked-in golden vector \
+         {} — if the format change is intentional, re-bless with \
+         APKS_BLESS=1 and update DESIGN.md",
+        path.display()
+    );
+}

@@ -1,0 +1,114 @@
+//! Golden byte-vector tests: every wire type's encoding is pinned to a
+//! checked-in hex fixture under `tests/golden/`. Any byte-level drift —
+//! field reorder, width change, new tag — fails here before it can
+//! silently break cross-version interop.
+//!
+//! Regenerate after an intentional format change with
+//! `APKS_BLESS=1 cargo test -p apks-tests --test wire_golden`.
+
+mod wire_common;
+
+use apks_authz::SignedCapability;
+use apks_wire::protocol::{SearchRequest, SearchResponse};
+use apks_wire::{
+    encode_frame, CiphertextRecord, FrameDecoder, IngestBatch, MetricsWire, Request, Response, Wire,
+};
+use wire_common::{check_golden, golden_path, hex_decode, samples};
+
+#[test]
+fn golden_signed_capability() {
+    let s = samples();
+    check_golden("signed_capability", &s.capability.to_bytes(&s.ctx));
+}
+
+#[test]
+fn golden_ciphertext_record() {
+    let s = samples();
+    check_golden("ciphertext_record", &s.record.to_bytes(&s.ctx));
+}
+
+#[test]
+fn golden_ingest_batch() {
+    let s = samples();
+    check_golden("ingest_batch", &s.batch.to_bytes(&s.ctx));
+}
+
+#[test]
+fn golden_search_request() {
+    let s = samples();
+    check_golden("search_request", &s.search_request.to_bytes(&s.ctx));
+}
+
+#[test]
+fn golden_search_response() {
+    let s = samples();
+    check_golden("search_response", &s.search_response.to_bytes(&s.ctx));
+}
+
+#[test]
+fn golden_metrics() {
+    let s = samples();
+    check_golden("metrics", &s.metrics.to_bytes(&s.ctx));
+}
+
+#[test]
+fn golden_request_envelopes() {
+    let s = samples();
+    for (name, req) in &s.requests {
+        check_golden(name, &req.to_bytes(&s.ctx));
+    }
+}
+
+#[test]
+fn golden_response_envelopes() {
+    let s = samples();
+    for (name, resp) in &s.responses {
+        check_golden(name, &resp.to_bytes(&s.ctx));
+    }
+}
+
+#[test]
+fn golden_frame() {
+    let s = samples();
+    check_golden("frame_ping", &encode_frame(&Request::Ping.to_bytes(&s.ctx)));
+}
+
+/// The fixtures are not just stable outputs — they must decode back to
+/// the very values that produced them, so an old peer's bytes stay
+/// readable by the current decoder.
+#[test]
+fn golden_vectors_decode_to_fixtures() {
+    if std::env::var_os("APKS_BLESS").is_some_and(|v| v == "1") {
+        return; // fixtures are being rewritten this run
+    }
+    let s = samples();
+    let read = |name: &str| hex_decode(&std::fs::read_to_string(golden_path(name)).unwrap());
+
+    let cap = SignedCapability::from_bytes(&s.ctx, &read("signed_capability")).unwrap();
+    assert_eq!(cap, s.capability);
+    let rec = CiphertextRecord::from_bytes(&s.ctx, &read("ciphertext_record")).unwrap();
+    assert_eq!(rec, s.record);
+    let batch = IngestBatch::from_bytes(&s.ctx, &read("ingest_batch")).unwrap();
+    assert_eq!(batch, s.batch);
+    let sreq = SearchRequest::from_bytes(&s.ctx, &read("search_request")).unwrap();
+    assert_eq!(sreq, s.search_request);
+    let sresp = SearchResponse::from_bytes(&s.ctx, &read("search_response")).unwrap();
+    assert_eq!(sresp, s.search_response);
+    let metrics = MetricsWire::from_bytes(&s.ctx, &read("metrics")).unwrap();
+    assert_eq!(metrics, s.metrics);
+    for (name, req) in &s.requests {
+        assert_eq!(&Request::from_bytes(&s.ctx, &read(name)).unwrap(), req);
+    }
+    for (name, resp) in &s.responses {
+        assert_eq!(&Response::from_bytes(&s.ctx, &read(name)).unwrap(), resp);
+    }
+
+    let mut dec = FrameDecoder::new();
+    dec.push(&read("frame_ping"));
+    let payload = dec.next_frame().unwrap().unwrap();
+    assert_eq!(
+        Request::from_bytes(&s.ctx, &payload).unwrap(),
+        Request::Ping
+    );
+    assert!(dec.next_frame().unwrap().is_none());
+}

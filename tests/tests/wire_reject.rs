@@ -1,0 +1,289 @@
+//! Strict-decoder rejection tests: the decoder must return a structured
+//! [`WireError`] — never panic, never read past the input, never accept
+//! trailing garbage — for every malformed byte string we can construct:
+//! truncation at every boundary, trailing bytes, wrong tags/versions,
+//! unknown variants, pathological length prefixes, and broken frames.
+
+mod wire_common;
+
+use apks_authz::SignedCapability;
+use apks_wire::protocol::{ScanStatsWire, SearchRequest, SearchResponse};
+use apks_wire::{
+    encode_frame, CiphertextRecord, FrameDecoder, IngestBatch, MetricsWire, Request, Response,
+    Wire, WireCtx, WireError, FRAME_HEADER_LEN, MAX_FRAME_LEN,
+};
+use wire_common::samples;
+
+/// Every strict prefix of a valid encoding must fail — at *every* byte
+/// boundary, not just at field edges.
+fn assert_rejects_all_prefixes<T: Wire + std::fmt::Debug>(ctx: &WireCtx, bytes: &[u8], what: &str) {
+    for cut in 0..bytes.len() {
+        match T::from_bytes(ctx, &bytes[..cut]) {
+            Err(_) => {}
+            Ok(v) => panic!(
+                "{what}: prefix of {cut}/{} bytes decoded to {v:?}",
+                bytes.len()
+            ),
+        }
+    }
+    // and the full input must still round-trip, or the loop above
+    // proved nothing
+    T::from_bytes(ctx, bytes).unwrap();
+}
+
+/// One trailing byte after a valid encoding must fail with
+/// [`WireError::TrailingBytes`].
+fn assert_rejects_trailing<T: Wire + std::fmt::Debug>(ctx: &WireCtx, bytes: &[u8], what: &str) {
+    let mut extended = bytes.to_vec();
+    extended.push(0);
+    match T::from_bytes(ctx, &extended) {
+        Err(WireError::TrailingBytes) => {}
+        other => panic!("{what}: trailing byte not rejected: {other:?}"),
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary() {
+    let s = samples();
+    assert_rejects_all_prefixes::<SignedCapability>(
+        &s.ctx,
+        &s.capability.to_bytes(&s.ctx),
+        "SignedCapability",
+    );
+    assert_rejects_all_prefixes::<CiphertextRecord>(
+        &s.ctx,
+        &s.record.to_bytes(&s.ctx),
+        "CiphertextRecord",
+    );
+    assert_rejects_all_prefixes::<IngestBatch>(&s.ctx, &s.batch.to_bytes(&s.ctx), "IngestBatch");
+    assert_rejects_all_prefixes::<SearchRequest>(
+        &s.ctx,
+        &s.search_request.to_bytes(&s.ctx),
+        "SearchRequest",
+    );
+    assert_rejects_all_prefixes::<SearchResponse>(
+        &s.ctx,
+        &s.search_response.to_bytes(&s.ctx),
+        "SearchResponse",
+    );
+    assert_rejects_all_prefixes::<MetricsWire>(&s.ctx, &s.metrics.to_bytes(&s.ctx), "MetricsWire");
+    for (name, req) in &s.requests {
+        assert_rejects_all_prefixes::<Request>(&s.ctx, &req.to_bytes(&s.ctx), name);
+    }
+    for (name, resp) in &s.responses {
+        assert_rejects_all_prefixes::<Response>(&s.ctx, &resp.to_bytes(&s.ctx), name);
+    }
+}
+
+#[test]
+fn trailing_bytes_rejected() {
+    let s = samples();
+    assert_rejects_trailing::<SignedCapability>(
+        &s.ctx,
+        &s.capability.to_bytes(&s.ctx),
+        "SignedCapability",
+    );
+    assert_rejects_trailing::<CiphertextRecord>(
+        &s.ctx,
+        &s.record.to_bytes(&s.ctx),
+        "CiphertextRecord",
+    );
+    assert_rejects_trailing::<IngestBatch>(&s.ctx, &s.batch.to_bytes(&s.ctx), "IngestBatch");
+    assert_rejects_trailing::<SearchRequest>(
+        &s.ctx,
+        &s.search_request.to_bytes(&s.ctx),
+        "SearchRequest",
+    );
+    assert_rejects_trailing::<SearchResponse>(
+        &s.ctx,
+        &s.search_response.to_bytes(&s.ctx),
+        "SearchResponse",
+    );
+    assert_rejects_trailing::<MetricsWire>(&s.ctx, &s.metrics.to_bytes(&s.ctx), "MetricsWire");
+    for (name, req) in &s.requests {
+        assert_rejects_trailing::<Request>(&s.ctx, &req.to_bytes(&s.ctx), name);
+    }
+    for (name, resp) in &s.responses {
+        assert_rejects_trailing::<Response>(&s.ctx, &resp.to_bytes(&s.ctx), name);
+    }
+}
+
+#[test]
+fn wrong_tag_is_a_structured_error() {
+    let s = samples();
+    // feed one type's bytes to another type's decoder
+    let cap_bytes = s.capability.to_bytes(&s.ctx);
+    match CiphertextRecord::from_bytes(&s.ctx, &cap_bytes) {
+        Err(WireError::BadTag { expected, got }) => {
+            assert_eq!(expected, CiphertextRecord::TAG);
+            assert_eq!(got, SignedCapability::TAG);
+        }
+        other => panic!("cross-tag decode not rejected: {other:?}"),
+    }
+    // a tag from outer space
+    let mut bytes = s.record.to_bytes(&s.ctx);
+    bytes[0] = 0x7f;
+    assert!(matches!(
+        CiphertextRecord::from_bytes(&s.ctx, &bytes),
+        Err(WireError::BadTag { got: 0x7f, .. })
+    ));
+}
+
+#[test]
+fn future_version_rejected() {
+    let s = samples();
+    let mut bytes = s.batch.to_bytes(&s.ctx);
+    bytes[1] = 2; // version bump the decoder doesn't know
+    match IngestBatch::from_bytes(&s.ctx, &bytes) {
+        Err(WireError::BadVersion { tag, got }) => {
+            assert_eq!(tag, IngestBatch::TAG);
+            assert_eq!(got, 2);
+        }
+        other => panic!("future version not rejected: {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_envelope_variant_rejected() {
+    let s = samples();
+    let mut bytes = Request::Ping.to_bytes(&s.ctx);
+    bytes[2] = 0xEE;
+    assert!(matches!(
+        Request::from_bytes(&s.ctx, &bytes),
+        Err(WireError::BadVariant { got: 0xEE, .. })
+    ));
+    let mut bytes = Response::Pong.to_bytes(&s.ctx);
+    bytes[2] = 0xEE;
+    assert!(matches!(
+        Response::from_bytes(&s.ctx, &bytes),
+        Err(WireError::BadVariant { got: 0xEE, .. })
+    ));
+}
+
+#[test]
+fn pathological_length_prefixes_do_not_allocate() {
+    let s = samples();
+
+    // IngestBatch with a count prefix claiming u32::MAX records: the
+    // guard must reject on arithmetic, not attempt a 4-billion-element
+    // allocation. Body layout: owner(4+len) seq(8) count(4) ...
+    let bytes = s.batch.to_bytes(&s.ctx);
+    let count_at = 2 + 4 + s.batch.owner.len() + 8;
+    let mut evil = bytes.clone();
+    evil[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    match IngestBatch::from_bytes(&s.ctx, &evil) {
+        Err(WireError::LengthOverflow { declared, .. }) => {
+            assert_eq!(declared, u32::MAX as u64);
+        }
+        other => panic!("pathological count not rejected: {other:?}"),
+    }
+
+    // MetricsWire whose inner length prefix exceeds the frame
+    let bytes = s.metrics.to_bytes(&s.ctx);
+    let mut evil = bytes.clone();
+    evil[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        MetricsWire::from_bytes(&s.ctx, &evil),
+        Err(WireError::LengthOverflow { .. })
+    ));
+
+    // SearchResponse whose matches count overruns the input
+    let bytes = s.search_response.to_bytes(&s.ctx);
+    let mut evil = bytes.clone();
+    evil[2 + 8..2 + 8 + 4].copy_from_slice(&0xFFFF_FFFEu32.to_le_bytes());
+    assert!(matches!(
+        SearchResponse::from_bytes(&s.ctx, &evil),
+        Err(WireError::LengthOverflow { .. })
+    ));
+}
+
+#[test]
+fn stats_with_unknown_flag_bits_rejected() {
+    let s = samples();
+    let mut bytes = s.search_response.to_bytes(&s.ctx);
+    let flags_at = bytes.len() - 1; // flags is the last stats byte
+    bytes[flags_at] |= 0x80;
+    assert!(
+        SearchResponse::from_bytes(&s.ctx, &bytes).is_err(),
+        "unknown ScanStatsWire flag bits must not decode"
+    );
+    let _ = ScanStatsWire::default(); // layout documented in protocol.rs
+}
+
+#[test]
+fn response_stats_must_agree_with_match_list() {
+    let s = samples();
+    let mut tampered = s.search_response.clone();
+    tampered.stats.matched += 1;
+    let bytes = tampered.to_bytes(&s.ctx);
+    assert!(
+        SearchResponse::from_bytes(&s.ctx, &bytes).is_err(),
+        "stats.matched inconsistent with matches.len() must not decode"
+    );
+}
+
+#[test]
+fn frame_split_reads_reassemble() {
+    let s = samples();
+    let payloads: Vec<Vec<u8>> = s.requests.iter().map(|(_, r)| r.to_bytes(&s.ctx)).collect();
+    let stream: Vec<u8> = payloads.iter().flat_map(|p| encode_frame(p)).collect();
+
+    // feed the whole multi-frame stream in every chunk size from one
+    // byte up — reassembly must be independent of read boundaries
+    for chunk in [1, 2, 3, 7, 64, stream.len()] {
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.push(piece);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                out.push(frame);
+            }
+        }
+        assert_eq!(out, payloads, "chunk size {chunk}");
+    }
+}
+
+#[test]
+fn frame_bad_magic_poisons_the_stream() {
+    let mut dec = FrameDecoder::new();
+    dec.push(b"NOPE\x00\x00\x00\x01x");
+    assert!(matches!(
+        dec.next_frame(),
+        Err(WireError::BadMagic(m)) if &m == b"NOPE"
+    ));
+    // the stream stays dead: even a valid frame afterwards is refused
+    dec.push(&encode_frame(b"hi"));
+    assert!(dec.next_frame().is_err());
+}
+
+#[test]
+fn frame_pathological_length_rejected_before_buffering() {
+    let mut dec = FrameDecoder::new();
+    let mut header = Vec::new();
+    header.extend_from_slice(b"APKS");
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    dec.push(&header);
+    match dec.next_frame() {
+        Err(WireError::FrameTooLarge { declared }) => {
+            assert_eq!(declared, u32::MAX);
+            assert!(declared > MAX_FRAME_LEN);
+        }
+        other => panic!("oversized frame not rejected: {other:?}"),
+    }
+}
+
+#[test]
+fn frame_header_truncation_is_not_an_error_yet() {
+    // a short read inside the header just means "need more bytes"
+    let s = samples();
+    let frame = encode_frame(&Request::Ping.to_bytes(&s.ctx));
+    for cut in 0..frame.len() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&frame[..cut]);
+        assert!(
+            dec.next_frame().unwrap().is_none(),
+            "prefix of {cut} bytes must park, not error"
+        );
+    }
+    let _ = FRAME_HEADER_LEN;
+}

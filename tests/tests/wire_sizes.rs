@@ -1,0 +1,138 @@
+//! Byte-size regression table: pins the exact serialized size of every
+//! wire type on the canonical fast-curve deployment (matching the table
+//! in `EXPERIMENTS.md` and the `apks wire-sizes` command). If a type
+//! grows — a new field, a wider prefix — this fails before the change
+//! lands unnoticed; update the table *and* `EXPERIMENTS.md` together.
+
+mod wire_common;
+
+use apks_wire::protocol::{ScanStatsWire, SearchResponse};
+use apks_wire::{CiphertextRecord, IngestBatch, MetricsWire, Request, Response, Wire};
+use wire_common::{deployment, samples};
+
+/// `serialized_size` must be the exact length of `to_bytes` for every
+/// sample value, including the non-trivial ones.
+#[test]
+fn declared_size_matches_encoded_length() {
+    let s = samples();
+    macro_rules! check {
+        ($v:expr, $what:literal) => {{
+            let bytes = $v.to_bytes(&s.ctx);
+            assert_eq!($v.serialized_size(&s.ctx), bytes.len(), $what);
+        }};
+    }
+    check!(s.capability, "SignedCapability");
+    check!(s.record, "CiphertextRecord");
+    check!(s.batch, "IngestBatch");
+    check!(s.search_request, "SearchRequest");
+    check!(s.search_response, "SearchResponse");
+    check!(s.metrics, "MetricsWire");
+    for (name, req) in &s.requests {
+        let bytes = req.to_bytes(&s.ctx);
+        assert_eq!(req.serialized_size(&s.ctx), bytes.len(), "{name}");
+    }
+    for (name, resp) in &s.responses {
+        let bytes = resp.to_bytes(&s.ctx);
+        assert_eq!(resp.serialized_size(&s.ctx), bytes.len(), "{name}");
+    }
+}
+
+/// The regression table proper. Numbers are for the two-field
+/// (`illness`, `sex`) fast-curve deployment — n₀ = 6 attribute vector
+/// entries, 65-byte uncompressed G₁ points — and must stay in sync
+/// with the table in `EXPERIMENTS.md` §Wire format.
+#[test]
+fn byte_size_regression_table() {
+    let (ta, ctx, mut rng) = deployment();
+    let s = samples();
+    // predicate dimension n = 3 expands to an (n+3)-dimensional DPVS
+    let n0 = ta.system().n() + 3;
+    assert_eq!(n0, 6, "schema expansion changed — the whole table moves");
+
+    let point = apks_curve::G1Affine::ENCODED_LEN;
+    assert_eq!(point, 65, "G1 encoding width changed");
+
+    // EncryptedIndex = digest(32) ‖ DPVS vector(4 + n₀·65) ‖ c₂(65)
+    let rec = apks_core::Record::new(vec![
+        apks_core::FieldValue::text("flu"),
+        apks_core::FieldValue::text("female"),
+    ]);
+    let index = ta
+        .system()
+        .gen_index(ta.public_key(), &rec, &mut rng)
+        .unwrap();
+    let index_len = 32 + 4 + n0 * point + point;
+    assert_eq!(index.encoded_size(), index_len);
+    assert_eq!(index_len, 491);
+
+    let table: &[(&str, usize, usize)] = &[
+        ("SignedCapability", s.capability.serialized_size(&ctx), 576),
+        (
+            "CiphertextRecord",
+            CiphertextRecord {
+                doc_id: 0,
+                index: index.clone(),
+            }
+            .serialized_size(&ctx),
+            501,
+        ),
+        (
+            "IngestBatch[1]",
+            IngestBatch {
+                owner: "owner-a".into(),
+                seq: 0,
+                records: vec![index.clone()],
+            }
+            .serialized_size(&ctx),
+            516,
+        ),
+        ("SearchRequest", s.search_request.serialized_size(&ctx), 608),
+        (
+            "SearchResponse(empty)",
+            SearchResponse::default().serialized_size(&ctx),
+            87,
+        ),
+        (
+            "MetricsWire(empty)",
+            MetricsWire(Default::default()).serialized_size(&ctx),
+            14,
+        ),
+        ("Request::Ping", Request::Ping.serialized_size(&ctx), 3),
+        ("Response::Pong", Response::Pong.serialized_size(&ctx), 3),
+    ];
+    for &(name, actual, expected) in table {
+        assert_eq!(
+            actual, expected,
+            "{name} is {actual} bytes, table says {expected} — \
+             update EXPERIMENTS.md if this growth is intentional"
+        );
+    }
+}
+
+/// Envelope overhead is constant: wrapping a message in
+/// [`Request`]/[`Response`] costs exactly tag+version+variant = 3 bytes
+/// (the inner message sheds its own 2-byte header).
+#[test]
+fn envelope_overhead_is_three_bytes() {
+    let s = samples();
+    assert_eq!(
+        Request::Search(s.search_request.clone()).serialized_size(&s.ctx),
+        s.search_request.serialized_size(&s.ctx) + 1,
+    );
+    assert_eq!(
+        Response::Result(s.search_response.clone()).serialized_size(&s.ctx),
+        s.search_response.serialized_size(&s.ctx) + 1,
+    );
+}
+
+/// Scan stats are fixed-width: the paper's §VII accounting (65(n₀+1)
+/// bytes per index ciphertext element) dominates; per-response metadata
+/// stays O(1) at [`ScanStatsWire::ENCODED_LEN`] bytes.
+#[test]
+fn stats_are_fixed_width() {
+    assert_eq!(ScanStatsWire::ENCODED_LEN, 65);
+    let s = samples();
+    let empty = SearchResponse::default().serialized_size(&s.ctx);
+    // header(2) + id(8) + three empty id lists(3·4) + stats
+    assert_eq!(empty, 2 + 8 + 12 + ScanStatsWire::ENCODED_LEN);
+}
