@@ -107,6 +107,7 @@ commands:
   search     --deploy <deploy> --cap <file> <index-file>...
   transform  --deploy <deploy> --in <partial-index> --out <file>   (APKS+ proxy step)
   stats      [--docs N] [--threads N] [--seed N] [--json] [--overload] [--batch]   (scan an in-memory corpus, print telemetry)
+  store-stats --dir <path> [--json]   (inspect an on-disk paged segment store)
   wire-sizes [--seed N]   (print the canonical wire size of every protocol type)
   demo       [--seed N]
 ";
@@ -130,6 +131,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "search" => cmd_search(&parsed, out),
         "transform" => cmd_transform(&parsed, out),
         "stats" => cmd_stats(&parsed, out),
+        "store-stats" => cmd_store_stats(&parsed, out),
         "wire-sizes" => cmd_wire_sizes(&parsed, out),
         "demo" => cmd_demo(&parsed, out),
         "help" | "--help" | "-h" => {
@@ -439,6 +441,81 @@ fn cmd_stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> 
             }
         )?;
     }
+    Ok(())
+}
+
+/// `apks store-stats --dir <path>`: open an on-disk paged segment
+/// store and print its segment ledger and aggregate counters.
+///
+/// The deployment digest and page size are recovered from the first
+/// segment's header (every later segment is then validated against
+/// them), so the command works on any store directory without the
+/// deployment file at hand.
+fn cmd_store_stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use apks_store::{PagedStore, SegmentReader, StoreConfig};
+
+    let dir = Path::new(args.require("dir")?);
+    let mut segments: Vec<std::path::PathBuf> = fs::read_dir(dir)
+        .map_err(|e| CliError(format!("{}: {e}", dir.display())))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("seg-") && name.ends_with(".apks")).then_some(path)
+        })
+        .collect();
+    segments.sort();
+    let first = segments
+        .first()
+        .ok_or_else(|| CliError(format!("{}: no segment files (seg-*.apks)", dir.display())))?;
+    let header = *SegmentReader::open(first, None)
+        .map_err(|e| CliError(format!("{}: {e}", first.display())))?
+        .header();
+    let config = StoreConfig {
+        page_size: header.page_size as usize,
+        ..StoreConfig::default()
+    };
+    let mut store =
+        PagedStore::open(dir, header.schema_digest, config).map_err(|e| CliError(e.to_string()))?;
+    let stats = store.stats().map_err(|e| CliError(e.to_string()))?;
+    let digest: String = header
+        .schema_digest
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect();
+    if args.has_flag("json") {
+        writeln!(
+            out,
+            "{{\"dir\":{:?},\"schema_digest\":\"{digest}\",\"page_size\":{},\"segments\":{},\"pages\":{},\"cells\":{},\"puts\":{},\"tombstones\":{},\"bytes\":{},\"torn_tails\":{}}}",
+            dir.display().to_string(),
+            header.page_size,
+            stats.segments,
+            stats.pages,
+            stats.cells,
+            stats.puts,
+            stats.tombstones,
+            stats.bytes,
+            stats.torn_tails
+        )?;
+        return Ok(());
+    }
+    writeln!(out, "store:    {}", dir.display())?;
+    writeln!(out, "schema:   {digest}")?;
+    writeln!(
+        out,
+        "format:   v{} pages of {} B",
+        header.version, header.page_size
+    )?;
+    writeln!(
+        out,
+        "segments: {} ({} pages, {} bytes)",
+        stats.segments, stats.pages, stats.bytes
+    )?;
+    writeln!(
+        out,
+        "cells:    {} ({} puts, {} tombstones)",
+        stats.cells, stats.puts, stats.tombstones
+    )?;
+    writeln!(out, "torn:     {} tail(s) skipped", stats.torn_tails)?;
     Ok(())
 }
 
@@ -964,6 +1041,46 @@ mod tests {
         // the same seed replays identically
         let again = run_strs(&["stats", "--batch", "--seed", "1"]).unwrap();
         assert_eq!(out, again);
+    }
+
+    #[test]
+    fn store_stats_reads_a_store_directory() {
+        use apks_store::{PagedStore, StoreConfig};
+
+        let dir = tmpdir("store-stats");
+        let config = StoreConfig {
+            page_size: 256,
+            segment_max_bytes: 1024,
+        };
+        let mut store = PagedStore::open(&dir, [5u8; 32], config).unwrap();
+        for doc in 0..20u64 {
+            store.put(doc, vec![0xAB; 32]).unwrap();
+        }
+        store.delete(3).unwrap();
+        store.seal().unwrap();
+
+        let out = run_strs(&["store-stats", "--dir", dir.to_str().unwrap()]).unwrap();
+        assert!(
+            out.contains("cells:    21 (20 puts, 1 tombstones)"),
+            "got:\n{out}"
+        );
+        assert!(out.contains("pages of 256 B"));
+        assert!(out.contains("torn:     0 tail(s) skipped"));
+
+        let json = run_strs(&["store-stats", "--dir", dir.to_str().unwrap(), "--json"]).unwrap();
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.contains("\"puts\":20"));
+        assert!(json.contains("\"tombstones\":1"));
+        assert!(json.contains("\"page_size\":256"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn store_stats_rejects_a_directory_without_segments() {
+        let dir = tmpdir("store-stats-empty");
+        let err = run_strs(&["store-stats", "--dir", dir.to_str().unwrap()]).unwrap_err();
+        assert!(err.0.contains("no segment files"), "got: {}", err.0);
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]

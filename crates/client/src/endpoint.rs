@@ -97,7 +97,13 @@ impl ServerEndpoint {
                     }
                 }
             };
-            self.transport.send_frame(&response.to_bytes(&self.ctx));
+            if let Err(e) = self.transport.send_frame(&response.to_bytes(&self.ctx)) {
+                // a response too large to frame is unrecoverable on
+                // this stream: close it like a framing error
+                self.server.metrics().add("wire.server.framing_errors", 1);
+                self.dead = Some(e);
+                return served;
+            }
             self.server.metrics().add("wire.server.responses", 1);
             served += 1;
         }

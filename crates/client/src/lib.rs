@@ -108,7 +108,7 @@ impl ApksClient {
         server: &mut ServerEndpoint,
         req: &Request,
     ) -> Result<Response, ClientError> {
-        self.transport.send_frame(&req.to_bytes(&self.ctx));
+        self.transport.send_frame(&req.to_bytes(&self.ctx))?;
         server.poll();
         match self.transport.recv_frame() {
             Some(payload) => Ok(Response::from_bytes(&self.ctx, &payload?)?),
@@ -124,7 +124,7 @@ impl ApksClient {
         server: &mut ServerEndpoint,
         payload: &[u8],
     ) -> Result<Response, ClientError> {
-        self.transport.send_frame(payload);
+        self.transport.send_frame(payload)?;
         server.poll();
         match self.transport.recv_frame() {
             Some(payload) => Ok(Response::from_bytes(&self.ctx, &payload?)?),

@@ -99,13 +99,19 @@ pub fn duplex(clock: Arc<VirtualClock>, cost: TransportCost) -> (TransportEnd, T
 impl TransportEnd {
     /// Frames `payload` and queues its bytes for the peer, advancing
     /// the virtual clock by the transport cost.
-    pub fn send_frame(&mut self, payload: &[u8]) {
-        let frame = encode_frame(payload);
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::FrameTooLarge`] if `payload` exceeds the frame cap;
+    /// nothing is queued and the clock does not advance.
+    pub fn send_frame(&mut self, payload: &[u8]) -> Result<(), WireError> {
+        let frame = encode_frame(payload)?;
         self.clock.advance(self.cost.of_frame(frame.len()));
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += frame.len() as u64;
         self.digest.update(&frame);
         self.tx.lock().extend(frame);
+        Ok(())
     }
 
     /// Pops the next complete frame payload, draining queued bytes in
@@ -164,7 +170,7 @@ mod tests {
             ticks_per_byte: 1,
         };
         let (mut a, mut b) = duplex(clock.clone(), cost);
-        a.send_frame(b"hello");
+        a.send_frame(b"hello").unwrap();
         // 8-byte header + 5-byte payload = 13 wire bytes
         assert_eq!(clock.now(), 10 + 13);
         assert_eq!(b.recv_frame().unwrap().unwrap(), b"hello");
@@ -180,8 +186,8 @@ mod tests {
         let clock = Arc::new(VirtualClock::new());
         let (mut a, mut b) = duplex(clock, TransportCost::FREE);
         let big = vec![0xabu8; 10 * RECV_CHUNK + 7];
-        a.send_frame(&big);
-        a.send_frame(b"after");
+        a.send_frame(&big).unwrap();
+        a.send_frame(b"after").unwrap();
         assert_eq!(b.recv_frame().unwrap().unwrap(), big);
         assert_eq!(b.recv_frame().unwrap().unwrap(), b"after");
         assert_eq!(b.recv_frame(), None);
@@ -191,9 +197,9 @@ mod tests {
     fn duplex_is_bidirectional() {
         let clock = Arc::new(VirtualClock::new());
         let (mut a, mut b) = duplex(clock, TransportCost::FREE);
-        a.send_frame(b"ping");
+        a.send_frame(b"ping").unwrap();
         assert_eq!(b.recv_frame().unwrap().unwrap(), b"ping");
-        b.send_frame(b"pong");
+        b.send_frame(b"pong").unwrap();
         assert_eq!(a.recv_frame().unwrap().unwrap(), b"pong");
     }
 

@@ -15,9 +15,11 @@
 pub mod admission;
 pub mod adversary;
 pub mod server;
+pub mod shard;
 
 pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionError, QueryShape,
     RequestClass, RequestId, ShedReason, WaveBatcher, WaveConfig,
 };
 pub use server::{CloudServer, DegradedScan, DocumentId, SearchOutcome, SearchStats, WaveRequest};
+pub use shard::{ClockModel, ShardConfig, ShardOutcome, ShardRouter, ShardedBatch};

@@ -190,6 +190,23 @@ impl CloudServer {
             .collect()
     }
 
+    /// Stores an encrypted index under a caller-assigned document id.
+    ///
+    /// Used by the shard router, which owns the global id space and
+    /// routes each id to one shard — ids must stay globally unique even
+    /// though each shard numbers only a slice of the corpus. Keeps
+    /// `next_id` ahead of every assigned id so a later plain
+    /// [`CloudServer::upload`] cannot collide.
+    pub fn upload_assigned(&self, id: DocumentId, index: EncryptedIndex) {
+        self.store.write().push((id, index));
+        self.next_id.fetch_max(id as usize + 1, Ordering::Relaxed);
+    }
+
+    /// The stored document ids, in store (scan) order.
+    pub fn doc_ids(&self) -> Vec<DocumentId> {
+        self.store.read().iter().map(|(id, _)| *id).collect()
+    }
+
     /// Number of stored indexes.
     pub fn len(&self) -> usize {
         self.store.read().len()

@@ -1,0 +1,589 @@
+//! Scatter-gather search across simulated cloud shards.
+//!
+//! The paper's cloud is one logical server; at 10M documents a single
+//! scan loop is a modeling fiction. [`ShardRouter`] splits the corpus
+//! round-robin across N [`CloudServer`] shards and fans each
+//! [`ShardRouter::search_batched`] wave out to all of them, merging the
+//! per-shard [`DegradedScan`]s **in shard order** — never sorting, so
+//! the merged result is a deterministic function of the corpus and the
+//! bounds.
+//!
+//! # Clock models
+//!
+//! Scans are timed on the deployment's shared [`VirtualClock`], under
+//! one of two models:
+//!
+//! * [`ClockModel::Serial`] — shards scan one after another on the
+//!   shared clock. This is the *oracle* model: with round-robin upload
+//!   through the router, the merged results are equal — result sets
+//!   and every accounting field — to a single-node
+//!   [`CloudServer::search_batched`] over the corpus formed by
+//!   concatenating the shard corpora in shard order, under the same
+//!   deadlines and budgets. That holds because capability preparation
+//!   never advances the virtual clock, budgets charge per document
+//!   only, faults are a pure function of the document id, and the wave
+//!   re-checks each query's bound before every document — a query cut
+//!   in shard *s* enters shard *s+1* dead and contributes its whole
+//!   tail to `unscanned` exactly as the single node would. The only
+//!   fields outside the contract are the two measurement-frame timings
+//!   (`prepare_micros`/`scan_micros`), which the merge reports as
+//!   per-shard sums rather than one wave-wide reading.
+//! * [`ClockModel::Parallel`] — every shard scans on a child clock
+//!   forked at the scatter tick, and the shared clock advances by the
+//!   **slowest** shard's elapsed time. This is the latency model: wave
+//!   p99 is straggler-defined, which is what the sharded sim measures.
+//!
+//! # Stragglers and breakers
+//!
+//! A shard whose scan blows its queries' deadlines contributes a
+//! degraded result (its tail explicitly in [`DegradedScan::unscanned`])
+//! instead of hanging the gather, and records a failure on that shard's
+//! [`CircuitBreaker`]. A shard whose breaker is open is skipped
+//! outright: every query receives that shard's full corpus as
+//! `unscanned`, accounted under `cloud.shard.breaker_skipped` — partial
+//! results with explicit gaps, never silent loss.
+
+use crate::server::{CloudServer, DegradedScan, DocumentId, SearchOutcome, SearchStats};
+use apks_authz::SignedCapability;
+use apks_core::fault::{FaultContext, FaultPlan, RetryPolicy, VirtualClock};
+use apks_core::{Budget, Deadline, EncryptedIndex};
+use apks_proxy::{BreakerConfig, CircuitBreaker};
+use apks_telemetry::MetricsRegistry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How shard scan time maps onto the deployment's shared clock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClockModel {
+    /// Shards scan back-to-back on the shared clock; byte-equal to a
+    /// single node over the shard-order-concatenated corpus.
+    Serial,
+    /// Shards scan concurrently on forked child clocks; the shared
+    /// clock advances by the straggler's elapsed time.
+    Parallel,
+}
+
+/// Router construction knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// Per-shard circuit breaker policy.
+    pub breaker: BreakerConfig,
+    /// Clock model for `search_batched`.
+    pub clock_model: ClockModel,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            // open after 3 consecutive failing waves, probe after 1000 ticks
+            breaker: BreakerConfig::new(3, 1000),
+            clock_model: ClockModel::Serial,
+        }
+    }
+}
+
+/// What one shard contributed to a gathered wave.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardOutcome {
+    /// Shard index.
+    pub shard: usize,
+    /// The shard's breaker was open: no scan ran, its whole corpus is
+    /// in every query's `unscanned`.
+    pub skipped: bool,
+    /// Documents this shard holds.
+    pub docs: usize,
+    /// Ticks the shard's scan took (shared-clock delta under
+    /// [`ClockModel::Serial`], child-clock delta under
+    /// [`ClockModel::Parallel`]; 0 when skipped).
+    pub elapsed_ticks: u64,
+    /// At least one query's deadline expired inside this shard — the
+    /// signal fed to the shard's breaker.
+    pub deadline_failed: bool,
+}
+
+/// A gathered scatter-gather wave: merged per-query results plus
+/// per-shard accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardedBatch {
+    /// One merged [`DegradedScan`] per request, in request order. Each
+    /// is the concatenation of the per-shard scans in shard order.
+    pub results: Vec<DegradedScan>,
+    /// Per-shard accounting, in shard order.
+    pub shards: Vec<ShardOutcome>,
+    /// The slowest shard's elapsed ticks — wave latency under the
+    /// parallel model.
+    pub straggler_ticks: u64,
+}
+
+/// Routes uploads and scatter-gathers searches over N shards.
+pub struct ShardRouter {
+    shards: Vec<Arc<CloudServer>>,
+    breakers: Vec<CircuitBreaker>,
+    clock: Arc<VirtualClock>,
+    metrics: Arc<MetricsRegistry>,
+    model: ClockModel,
+    next_id: AtomicU64,
+}
+
+impl ShardRouter {
+    /// Builds a router over `shards` (at least one), sharing `clock`
+    /// and `metrics` with them.
+    ///
+    /// The shards should have been constructed with
+    /// [`CloudServer::with_telemetry`] against the same registry and
+    /// clock so the deployment's telemetry aggregates deterministically.
+    ///
+    /// # Panics
+    ///
+    /// If `shards` is empty.
+    pub fn new(
+        shards: Vec<Arc<CloudServer>>,
+        config: ShardConfig,
+        clock: Arc<VirtualClock>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> ShardRouter {
+        assert!(!shards.is_empty(), "a router needs at least one shard");
+        let breakers = (0..shards.len())
+            .map(|_| CircuitBreaker::new(config.breaker))
+            .collect();
+        ShardRouter {
+            shards,
+            breakers,
+            clock,
+            metrics,
+            model: config.clock_model,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves (for inspection; uploads should go through
+    /// the router so the global id space stays consistent).
+    pub fn shards(&self) -> &[Arc<CloudServer>] {
+        &self.shards
+    }
+
+    /// The breaker guarding shard `i`.
+    pub fn breaker(&self, shard: usize) -> &CircuitBreaker {
+        &self.breakers[shard]
+    }
+
+    /// The deployment's shared virtual clock.
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// The router's metrics registry (`cloud.shard.*`).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Total documents across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True iff no shard holds any document.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers an authority on every shard.
+    pub fn register_authority(&self, id: &str) {
+        for shard in &self.shards {
+            shard.register_authority(id);
+        }
+    }
+
+    /// Stores an index on shard `id % N` under the next global id.
+    pub fn upload(&self, index: EncryptedIndex) -> DocumentId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shards[(id % self.shards.len() as u64) as usize].upload_assigned(id, index);
+        id
+    }
+
+    /// Stores a batch of indexes round-robin; returns their global ids
+    /// in batch order.
+    pub fn upload_many(&self, indexes: Vec<EncryptedIndex>) -> Vec<DocumentId> {
+        indexes.into_iter().map(|idx| self.upload(idx)).collect()
+    }
+
+    /// Scatter-gather batched search: fans `requests` out to every
+    /// shard, merges the per-shard [`DegradedScan`]s in shard order,
+    /// and reports per-shard accounting under `cloud.shard.*`.
+    ///
+    /// Bounds stay per-request across the whole gather: one [`Deadline`]
+    /// and one [`Budget`] govern a query's scan over *all* shards, so a
+    /// query cut in one shard surfaces every later shard's corpus in
+    /// its merged `unscanned` — exactly the single-node contract.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any capability is rejected by any scanned shard (all
+    /// shards hold the same deployment, so the first shard decides).
+    pub fn search_batched(
+        &self,
+        requests: &[(&SignedCapability, Deadline, &Budget)],
+        plan: &FaultPlan,
+        policy: &RetryPolicy,
+        doc_cost_ticks: u64,
+    ) -> Result<ShardedBatch, SearchOutcome> {
+        if requests.is_empty() {
+            return Ok(ShardedBatch {
+                results: Vec::new(),
+                shards: Vec::new(),
+                straggler_ticks: 0,
+            });
+        }
+
+        let mut results: Vec<DegradedScan> = requests
+            .iter()
+            .map(|_| DegradedScan {
+                matches: Vec::new(),
+                faulted: Vec::new(),
+                unscanned: Vec::new(),
+                stats: SearchStats::default(),
+            })
+            .collect();
+        let mut outcomes = Vec::with_capacity(self.shards.len());
+        let scatter = self.clock.now();
+        let mut straggler = 0u64;
+        let mut skipped = 0u64;
+        let mut degraded_shards = 0u64;
+        // A query cut by its deadline or budget is dead for every later
+        // shard: re-submitting it would let scan_wave's entry check tag
+        // a budget-cut query with a spurious `deadline_expired` the
+        // single-node scan never sets. Dead queries swallow later
+        // shards whole, bound checks untouched.
+        let mut alive: Vec<bool> = vec![true; requests.len()];
+
+        for (s, shard) in self.shards.iter().enumerate() {
+            let entry = self.clock.now();
+            if !self.breakers[s].allows(entry) {
+                // Open breaker: the shard contributes an explicit gap,
+                // not a hang — its whole corpus lands in `unscanned`.
+                skipped += 1;
+                let ids = shard.doc_ids();
+                for merged in &mut results {
+                    merged.stats.unscanned_docs += ids.len();
+                    merged.stats.degraded |= !ids.is_empty();
+                    merged.unscanned.extend_from_slice(&ids);
+                }
+                outcomes.push(ShardOutcome {
+                    shard: s,
+                    skipped: true,
+                    docs: ids.len(),
+                    elapsed_ticks: 0,
+                    deadline_failed: false,
+                });
+                continue;
+            }
+
+            let live_idx: Vec<usize> = (0..requests.len()).filter(|&q| alive[q]).collect();
+            let dead_ids = if live_idx.len() < requests.len() {
+                shard.doc_ids()
+            } else {
+                Vec::new()
+            };
+            for (q, merged) in results.iter_mut().enumerate() {
+                if !alive[q] {
+                    merged.stats.unscanned_docs += dead_ids.len();
+                    merged.stats.degraded |= !dead_ids.is_empty();
+                    merged.unscanned.extend_from_slice(&dead_ids);
+                }
+            }
+            if live_idx.is_empty() {
+                outcomes.push(ShardOutcome {
+                    shard: s,
+                    skipped: false,
+                    docs: shard.len(),
+                    elapsed_ticks: 0,
+                    deadline_failed: false,
+                });
+                continue;
+            }
+            let sub: Vec<(&SignedCapability, Deadline, &Budget)> =
+                live_idx.iter().map(|&q| requests[q]).collect();
+
+            // Parallel shards scan on a clock forked at the scatter
+            // tick; serial shards share the deployment clock directly.
+            let child;
+            let scan_clock: &VirtualClock = match self.model {
+                ClockModel::Serial => &self.clock,
+                ClockModel::Parallel => {
+                    child = VirtualClock::new();
+                    child.advance(scatter);
+                    &child
+                }
+            };
+            let start = scan_clock.now();
+            let ctx = FaultContext::new(plan, policy, scan_clock);
+            let scans = shard.search_batched(&sub, &ctx, doc_cost_ticks)?;
+            let elapsed = scan_clock.now().saturating_sub(start);
+            straggler = straggler.max(elapsed);
+
+            let deadline_failed = scans.iter().any(|d| d.stats.deadline_expired);
+            let now = scan_clock.now();
+            if deadline_failed {
+                self.breakers[s].record_failure(now);
+            } else {
+                self.breakers[s].record_success(now);
+            }
+            if scans.iter().any(|d| d.stats.degraded) {
+                degraded_shards += 1;
+            }
+            for (&q, scan) in live_idx.iter().zip(scans) {
+                if scan.stats.deadline_expired || scan.stats.budget_exhausted {
+                    alive[q] = false;
+                }
+                merge_into(&mut results[q], scan);
+            }
+            self.metrics.record("cloud.shard.ticks", elapsed);
+            outcomes.push(ShardOutcome {
+                shard: s,
+                skipped: false,
+                docs: shard.len(),
+                elapsed_ticks: elapsed,
+                deadline_failed,
+            });
+        }
+
+        if self.model == ClockModel::Parallel {
+            // The wave lasts as long as its slowest shard.
+            self.clock.advance(straggler);
+        }
+
+        self.metrics.add("cloud.shard.batches", 1);
+        self.metrics
+            .record("cloud.shard.fanout", (self.shards.len() as u64) - skipped);
+        if skipped > 0 {
+            self.metrics.add("cloud.shard.breaker_skipped", skipped);
+        }
+        if degraded_shards > 0 {
+            self.metrics
+                .add("cloud.shard.degraded_shards", degraded_shards);
+        }
+        self.metrics
+            .record("cloud.shard.straggler_ticks", straggler);
+
+        Ok(ShardedBatch {
+            results,
+            shards: outcomes,
+            straggler_ticks: straggler,
+        })
+    }
+}
+
+/// Appends one shard's scan to a query's merged result. Vectors
+/// concatenate in call (= shard) order; counters sum; flags OR. The
+/// two timing fields become per-shard sums — the one place the merge
+/// is an aggregate rather than the single-node reading.
+fn merge_into(merged: &mut DegradedScan, scan: DegradedScan) {
+    merged.matches.extend(scan.matches);
+    merged.faulted.extend(scan.faulted);
+    merged.unscanned.extend(scan.unscanned);
+    let s = &mut merged.stats;
+    s.scanned += scan.stats.scanned;
+    s.matched += scan.stats.matched;
+    s.prepare_micros += scan.stats.prepare_micros;
+    s.scan_micros += scan.stats.scan_micros;
+    s.pairings += scan.stats.pairings;
+    s.faulted_docs += scan.stats.faulted_docs;
+    s.retries += scan.stats.retries;
+    s.degraded |= scan.stats.degraded;
+    s.deadline_expired |= scan.stats.deadline_expired;
+    s.budget_exhausted |= scan.stats.budget_exhausted;
+    s.unscanned_docs += scan.stats.unscanned_docs;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apks_authz::TrustedAuthority;
+    use apks_core::fault::FaultConfig;
+    use apks_core::{FieldValue, Query, QueryPolicy, Record, Schema};
+    use apks_curve::CurveParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const CORPUS: [(&str, &str); 7] = [
+        ("flu", "female"),
+        ("flu", "male"),
+        ("diabetes", "female"),
+        ("cancer", "male"),
+        ("flu", "female"),
+        ("cancer", "female"),
+        ("flu", "male"),
+    ];
+
+    fn authority() -> (TrustedAuthority, StdRng) {
+        let schema = Schema::builder()
+            .flat_field("illness", 1)
+            .flat_field("sex", 1)
+            .build()
+            .unwrap();
+        let sys = apks_core::ApksSystem::new(CurveParams::fast(), schema);
+        let mut rng = StdRng::seed_from_u64(4242);
+        let ta = TrustedAuthority::setup(sys, &mut rng);
+        (ta, rng)
+    }
+
+    fn server(ta: &TrustedAuthority, clock: &Arc<VirtualClock>) -> Arc<CloudServer> {
+        let s = Arc::new(CloudServer::with_telemetry(
+            ta.system().clone(),
+            ta.public_key().clone(),
+            ta.ibs_params().clone(),
+            Arc::new(MetricsRegistry::new()),
+            clock.clone(),
+        ));
+        s.register_authority("ta");
+        s
+    }
+
+    fn router(ta: &TrustedAuthority, n: usize, model: ClockModel) -> ShardRouter {
+        let clock = Arc::new(VirtualClock::new());
+        let shards = (0..n).map(|_| server(ta, &clock)).collect();
+        let config = ShardConfig {
+            clock_model: model,
+            ..ShardConfig::default()
+        };
+        ShardRouter::new(shards, config, clock, Arc::new(MetricsRegistry::new()))
+    }
+
+    fn upload_corpus(ta: &TrustedAuthority, rng: &mut StdRng, router: &ShardRouter) {
+        for (illness, sex) in CORPUS {
+            let rec = Record::new(vec![FieldValue::text(illness), FieldValue::text(sex)]);
+            router.upload(ta.system().gen_index(ta.public_key(), &rec, rng).unwrap());
+        }
+    }
+
+    fn flu_cap(ta: &TrustedAuthority, rng: &mut StdRng) -> apks_authz::SignedCapability {
+        ta.issue_capability(
+            &Query::new().equals("illness", "flu"),
+            &QueryPolicy::default(),
+            rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_robin_upload_spreads_and_ids_are_global() {
+        let (ta, mut rng) = authority();
+        let r = router(&ta, 3, ClockModel::Serial);
+        upload_corpus(&ta, &mut rng, &r);
+        assert_eq!(r.len(), CORPUS.len());
+        assert_eq!(r.shards()[0].doc_ids(), vec![0, 3, 6]);
+        assert_eq!(r.shards()[1].doc_ids(), vec![1, 4]);
+        assert_eq!(r.shards()[2].doc_ids(), vec![2, 5]);
+    }
+
+    #[test]
+    fn unbounded_scatter_gather_matches_single_node() {
+        let (ta, mut rng) = authority();
+        let r = router(&ta, 3, ClockModel::Serial);
+        upload_corpus(&ta, &mut rng, &r);
+        let cap = flu_cap(&ta, &mut rng);
+
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let budget = Budget::unlimited();
+        let batch = r
+            .search_batched(&[(&cap, Deadline::NEVER, &budget)], &plan, &policy, 1)
+            .unwrap();
+        // flu docs: ids 0, 1, 4, 6 — shard order 0:[0,6], 1:[1,4], 2:[]
+        assert_eq!(batch.results[0].matches, vec![0, 6, 1, 4]);
+        assert!(batch.results[0].unscanned.is_empty());
+        assert!(!batch.results[0].stats.degraded);
+        assert_eq!(batch.results[0].stats.scanned, CORPUS.len());
+        assert_eq!(batch.shards.len(), 3);
+        assert!(batch.shards.iter().all(|o| !o.skipped));
+    }
+
+    #[test]
+    fn expired_deadline_yields_full_unscanned_not_a_hang() {
+        let (ta, mut rng) = authority();
+        let r = router(&ta, 2, ClockModel::Serial);
+        upload_corpus(&ta, &mut rng, &r);
+        let cap = flu_cap(&ta, &mut rng);
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let budget = Budget::unlimited();
+        // expires immediately: tick 0 is already the deadline
+        let batch = r
+            .search_batched(&[(&cap, Deadline::at(0), &budget)], &plan, &policy, 1)
+            .unwrap();
+        let scan = &batch.results[0];
+        assert!(scan.matches.is_empty());
+        assert!(scan.stats.deadline_expired);
+        assert_eq!(scan.stats.unscanned_docs, CORPUS.len());
+        // shard order: shard 0's docs first, then shard 1's
+        assert_eq!(scan.unscanned, vec![0, 2, 4, 6, 1, 3, 5]);
+    }
+
+    #[test]
+    fn open_breaker_skips_shard_with_explicit_gap() {
+        let (ta, mut rng) = authority();
+        let r = router(&ta, 2, ClockModel::Serial);
+        upload_corpus(&ta, &mut rng, &r);
+        let cap = flu_cap(&ta, &mut rng);
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+
+        // trip shard 1's breaker by hand
+        let now = 0;
+        for _ in 0..ShardConfig::default().breaker.failure_threshold {
+            r.breaker(1).record_failure(now);
+        }
+        assert!(!r.breaker(1).allows(now));
+
+        let budget = Budget::unlimited();
+        let batch = r
+            .search_batched(&[(&cap, Deadline::NEVER, &budget)], &plan, &policy, 1)
+            .unwrap();
+        let scan = &batch.results[0];
+        // shard 0 scanned fully; shard 1 (docs 1,3,5) is an explicit gap
+        assert_eq!(scan.matches, vec![0, 4, 6]);
+        assert_eq!(scan.unscanned, vec![1, 3, 5]);
+        assert!(scan.stats.degraded);
+        assert!(batch.shards[1].skipped);
+        assert_eq!(r.metrics().counter("cloud.shard.breaker_skipped").get(), 1);
+    }
+
+    #[test]
+    fn parallel_model_advances_clock_by_straggler_only() {
+        let (ta, mut rng) = authority();
+        let serial = router(&ta, 2, ClockModel::Serial);
+        upload_corpus(&ta, &mut rng, &serial);
+        let parallel = router(&ta, 2, ClockModel::Parallel);
+        let mut rng2 = StdRng::seed_from_u64(4242);
+        // skip the authority's draws so indexes differ — content is
+        // irrelevant here, only doc counts drive timing
+        upload_corpus(&ta, &mut rng2, &parallel);
+
+        let cap = flu_cap(&ta, &mut rng);
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let b1 = Budget::unlimited();
+        let b2 = Budget::unlimited();
+
+        let sb = serial
+            .search_batched(&[(&cap, Deadline::NEVER, &b1)], &plan, &policy, 10)
+            .unwrap();
+        let pb = parallel
+            .search_batched(&[(&cap, Deadline::NEVER, &b2)], &plan, &policy, 10)
+            .unwrap();
+
+        // serial: the clock walks the whole corpus (7 docs × 10 ticks)
+        assert_eq!(serial.clock().now(), 70);
+        assert_eq!(sb.straggler_ticks, 40); // slower shard has 4 docs
+                                            // parallel: only the straggler's time passes on the shared clock
+        assert_eq!(parallel.clock().now(), 40);
+        assert_eq!(pb.straggler_ticks, 40);
+        // same merged hits either way
+        assert_eq!(sb.results[0].matches, pb.results[0].matches);
+    }
+}

@@ -22,6 +22,17 @@ pub enum ApksError {
     PolicyViolation(String),
     /// A value failed hierarchy lookup (e.g. out-of-range number).
     ValueNotInHierarchy(String),
+    /// A checksum-valid bundle whose body failed structural decode —
+    /// the integrity trailer proves the bytes are exactly what the
+    /// writer produced, so this is a format bug in the writer or the
+    /// decoder, not damaged or foreign caller data. Names the field
+    /// that failed.
+    FormatBug {
+        /// The bundle field that failed to decode.
+        field: &'static str,
+        /// What went wrong inside that field.
+        detail: String,
+    },
     /// Query text failed to parse.
     Parse(String),
     /// An error bubbled up from the HPE layer.
@@ -40,6 +51,12 @@ impl fmt::Display for ApksError {
             ApksError::UnsupportedQuery(m) => write!(f, "unsupported query: {m}"),
             ApksError::PolicyViolation(m) => write!(f, "policy violation: {m}"),
             ApksError::ValueNotInHierarchy(m) => write!(f, "value not in hierarchy: {m}"),
+            ApksError::FormatBug { field, detail } => {
+                write!(
+                    f,
+                    "format bug in checksum-valid bundle, field `{field}`: {detail}"
+                )
+            }
             ApksError::Parse(m) => write!(f, "query parse error: {m}"),
             ApksError::Hpe(e) => write!(f, "hpe error: {e}"),
             ApksError::NotDelegatable => write!(f, "capability was finalized"),

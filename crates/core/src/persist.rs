@@ -72,7 +72,10 @@ fn decode_node(r: &mut Reader<'_>, depth: usize) -> Result<Node, DecodeError> {
         }
         _ => return Err(DecodeError::Invalid("interval tag")),
     };
-    let count = r.u32()? as usize;
+    // a child node is at least 9 bytes (label length prefix, interval
+    // tag, child count); `count` refuses declarations that cannot fit
+    // the remaining input before the Vec is sized for them
+    let count = r.count(9)?;
     if count > 1 << 20 {
         return Err(DecodeError::Invalid("oversized hierarchy node"));
     }
@@ -199,8 +202,12 @@ impl SavedDeployment {
     /// [`ApksError::Corrupted`] when the bytes fail integrity checks —
     /// truncation inside the header, a missing trailer, or a checksum
     /// mismatch; [`ApksError::InvalidRecord`] when the bytes are intact
-    /// but malformed (wrong magic, unknown version or curve label,
-    /// structural decode failures in a version-1 bundle).
+    /// but malformed (wrong magic, unknown version, structural decode
+    /// failures in a version-1 bundle); [`ApksError::FormatBug`] when a
+    /// version-2 bundle passes its checksum but the body fails
+    /// structurally — the trailer proves the bytes are exactly what the
+    /// writer produced, so the failure names the field that broke
+    /// instead of blaming the caller's data.
     pub fn from_bytes(bytes: &[u8]) -> Result<(ApksSystem, SavedDeployment), ApksError> {
         // Header first: magic distinguishes "not our format" from "our
         // format, damaged" — a partial magic match on a short buffer is
@@ -216,6 +223,7 @@ impl SavedDeployment {
             return Err(ApksError::InvalidRecord("deployment decode: magic".into()));
         }
         let header_len = MAGIC.len() + 1;
+        let checksum_verified = bytes[MAGIC.len()] == VERSION;
         let body = match bytes[MAGIC.len()] {
             VERSION_UNCHECKED => &bytes[header_len..],
             VERSION => {
@@ -242,44 +250,78 @@ impl SavedDeployment {
                 ))
             }
         };
+        // each decode step is annotated with the bundle field it reads,
+        // so a checksum-valid body that fails structurally can say
+        // exactly which field broke
+        struct FieldFail {
+            field: &'static str,
+            err: DecodeError,
+        }
+        fn at<T>(field: &'static str, r: Result<T, DecodeError>) -> Result<T, FieldFail> {
+            r.map_err(|err| FieldFail { field, err })
+        }
         let mut r = Reader::new(body);
-        let mut parse = || -> Result<(ApksSystem, SavedDeployment), DecodeError> {
-            let curve_label = r.string()?;
+        let mut parse = || -> Result<(ApksSystem, SavedDeployment), FieldFail> {
+            let curve_label = at("curve_label", r.string())?;
             let params = match curve_label.as_str() {
                 "standard-512" => CurveParams::standard(),
                 "fast-192" => CurveParams::fast(),
-                _ => return Err(DecodeError::Invalid("unknown curve label")),
+                _ => {
+                    return Err(FieldFail {
+                        field: "curve_label",
+                        err: DecodeError::Invalid("unknown curve label"),
+                    })
+                }
             };
-            let schema = decode_schema(&mut r)?;
+            let schema = at("schema", decode_schema(&mut r))?;
             let system = ApksSystem::new(params.clone(), schema.clone());
-            let hpe_pk = HpePublicKey::decode(&params, &mut r)?;
+            let hpe_pk = at("public_key", HpePublicKey::decode(&params, &mut r))?;
             if hpe_pk.n != schema.n() {
-                return Err(DecodeError::Invalid("public key dimension"));
+                return Err(FieldFail {
+                    field: "public_key",
+                    err: DecodeError::Invalid("public key dimension"),
+                });
             }
             let pk = system.public_key_from_parts(hpe_pk);
-            let msk = match r.u8()? {
+            let msk = match at("master_key", r.u8())? {
                 0 => None,
                 1 => {
-                    let hpe = HpeMasterKey::decode(&params, &mut r)?;
+                    let hpe = at("master_key", HpeMasterKey::decode(&params, &mut r))?;
                     if hpe.b_star.dim() != schema.n() + 3 {
-                        return Err(DecodeError::Invalid("master key dimension"));
+                        return Err(FieldFail {
+                            field: "master_key",
+                            err: DecodeError::Invalid("master key dimension"),
+                        });
                     }
                     Some(ApksMasterKey { hpe })
                 }
-                _ => return Err(DecodeError::Invalid("msk tag")),
+                _ => {
+                    return Err(FieldFail {
+                        field: "master_key",
+                        err: DecodeError::Invalid("msk tag"),
+                    })
+                }
             };
-            let blinding = match r.u8()? {
+            let blinding = match at("blinding", r.u8())? {
                 0 => None,
                 1 => {
-                    let b: [u8; 32] = r
-                        .bytes(32)?
-                        .try_into()
-                        .map_err(|_| DecodeError::UnexpectedEnd)?;
-                    Some(Fr::from_bytes(&b).ok_or(DecodeError::Invalid("blinding"))?)
+                    let b: [u8; 32] = at(
+                        "blinding",
+                        r.bytes(32).map(|b| b.try_into().expect("32 bytes read")),
+                    )?;
+                    Some(Fr::from_bytes(&b).ok_or(FieldFail {
+                        field: "blinding",
+                        err: DecodeError::Invalid("blinding"),
+                    })?)
                 }
-                _ => return Err(DecodeError::Invalid("blinding tag")),
+                _ => {
+                    return Err(FieldFail {
+                        field: "blinding",
+                        err: DecodeError::Invalid("blinding tag"),
+                    })
+                }
             };
-            r.finish()?;
+            at("body", r.finish())?;
             Ok((
                 system,
                 SavedDeployment {
@@ -291,7 +333,18 @@ impl SavedDeployment {
                 },
             ))
         };
-        parse().map_err(|e| ApksError::InvalidRecord(format!("deployment decode: {e}")))
+        parse().map_err(|f| {
+            if checksum_verified {
+                ApksError::FormatBug {
+                    field: f.field,
+                    detail: f.err.to_string(),
+                }
+            } else {
+                // v1 bundles carry no integrity trailer: a structural
+                // failure is indistinguishable from damaged caller data
+                ApksError::InvalidRecord(format!("deployment decode: {}", f.err))
+            }
+        })
     }
 
     /// Builds a bundle from a plain deployment.
@@ -563,6 +616,91 @@ mod tests {
             SavedDeployment::from_bytes(&future),
             Err(ApksError::InvalidRecord(_))
         ));
+    }
+
+    #[test]
+    fn hostile_child_count_rejected_before_allocation() {
+        // a hierarchy node declaring u32::MAX children with no child
+        // bytes present must be refused by the remaining-bytes bound,
+        // not pre-allocated for (1 << 20 children would pass the old
+        // cap but still be a ~24 MB allocation per recursion level)
+        let mut w = Writer::new();
+        w.u32(1); // one field
+        w.string("f");
+        w.u32(1); // d
+        w.u8(1); // hierarchical
+        w.string("root");
+        w.u8(0); // no interval
+        w.u32(u32::MAX); // hostile child count, zero child bytes follow
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(decode_schema(&mut r), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn checksum_valid_broken_body_names_the_failing_field() {
+        let params = CurveParams::fast();
+        let system = ApksSystem::new(params.clone(), sample_schema());
+        let mut rng = StdRng::seed_from_u64(1607);
+        let (pk, mk) = system.setup_plus(&mut rng);
+        let saved = SavedDeployment::new_plus(&system, &pk, &mk);
+
+        // a v2 bundle whose body is structurally broken but whose
+        // checksum is *recomputed* over the broken payload: integrity
+        // passes, so the decode failure is a format bug, not bad data
+        let reseal = |payload: Vec<u8>| -> Vec<u8> {
+            let digest = apks_math::sha256::sha256(&payload);
+            let mut out = payload;
+            out.extend_from_slice(&digest);
+            out
+        };
+
+        // unknown curve label → field `curve_label`
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u8(VERSION);
+        w.string("no-such-curve");
+        let err = SavedDeployment::from_bytes(&reseal(w.finish())).unwrap_err();
+        match &err {
+            ApksError::FormatBug { field, detail } => {
+                assert_eq!(*field, "curve_label");
+                assert!(detail.contains("unknown curve label"), "{detail}");
+            }
+            other => panic!("expected FormatBug, got {other:?}"),
+        }
+        assert!(err.to_string().contains("curve_label"));
+
+        // body truncated inside the schema → field `schema`
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u8(VERSION);
+        w.string("fast-192");
+        w.u32(3); // declares three fields, none present
+        let err = SavedDeployment::from_bytes(&reseal(w.finish())).unwrap_err();
+        assert!(
+            matches!(&err, ApksError::FormatBug { field, .. } if *field == "schema"),
+            "{err:?}"
+        );
+
+        // trailing bytes after a complete body → field `body`
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u8(VERSION);
+        saved.encode_body(&params, &mut w);
+        w.u8(0); // one stray byte
+        let err = SavedDeployment::from_bytes(&reseal(w.finish())).unwrap_err();
+        assert!(
+            matches!(&err, ApksError::FormatBug { field, .. } if *field == "body"),
+            "{err:?}"
+        );
+
+        // the same structural breakage in a v1 body stays InvalidRecord
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u8(VERSION_UNCHECKED);
+        w.string("no-such-curve");
+        let err = SavedDeployment::from_bytes(&w.finish()).unwrap_err();
+        assert!(matches!(&err, ApksError::InvalidRecord(_)), "{err:?}");
     }
 
     #[test]

@@ -81,7 +81,9 @@ impl DpvsBasis {
         params: &CurveParams,
         r: &mut apks_math::encode::Reader<'_>,
     ) -> Result<Self, apks_math::encode::DecodeError> {
-        let count = r.u32()? as usize;
+        // a row is at least its 4-byte dimension prefix; refuse row
+        // counts that cannot fit the remaining input before allocating
+        let count = r.count(4)?;
         let mut rows = Vec::with_capacity(count);
         for _ in 0..count {
             rows.push(DpvsVector::decode(params, r)?);
@@ -281,5 +283,18 @@ mod tests {
         let e1 = b.row(0).pair(&params, scaled.row(0));
         let e2 = b.row(0).pair(&params, b_star.row(0)).pow(&params, r);
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn hostile_row_count_rejected_before_allocation() {
+        let params = CurveParams::fast();
+        let mut w = apks_math::encode::Writer::new();
+        w.u32(u32::MAX);
+        let buf = w.finish();
+        let mut r = apks_math::encode::Reader::new(&buf);
+        assert_eq!(
+            DpvsBasis::decode(&params, &mut r),
+            Err(apks_math::encode::DecodeError::UnexpectedEnd)
+        );
     }
 }

@@ -208,6 +208,11 @@ impl FrMatrix {
         let count = rows
             .checked_mul(cols)
             .ok_or(DecodeError::Invalid("matrix shape overflow"))?;
+        // each element is 32 bytes; refuse shapes that cannot fit the
+        // remaining input before the Vec is sized for them
+        if (count as u64).saturating_mul(32) > r.remaining() as u64 {
+            return Err(DecodeError::UnexpectedEnd);
+        }
         let mut data = Vec::with_capacity(count);
         for _ in 0..count {
             let bytes: [u8; 32] = r
@@ -292,5 +297,17 @@ mod tests {
         let a = x.transpose().inverse().unwrap();
         let b = xinv.transpose();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hostile_shape_rejected_before_allocation() {
+        use apks_math::encode::{DecodeError, Reader, Writer};
+        // 65535 × 65535 elements declared, zero element bytes present:
+        // the remaining-bytes bound refuses it before any allocation
+        let mut w = Writer::new();
+        w.u32(0xFFFF).u32(0xFFFF);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(FrMatrix::decode(&mut r), Err(DecodeError::UnexpectedEnd));
     }
 }

@@ -167,8 +167,10 @@ impl DpvsVector {
     ///
     /// Returns an error on truncation or an off-curve point.
     pub fn decode(params: &CurveParams, r: &mut Reader<'_>) -> Result<Self, DecodeError> {
-        let n = r.u32()? as usize;
         let len = 8 * apks_math::FP_LIMBS + 1;
+        // refuse dimensions that cannot fit the remaining input before
+        // the Vec is sized for them
+        let n = r.count(len)?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             let bytes = r.bytes(len)?;
@@ -285,5 +287,20 @@ mod tests {
         let back = DpvsVector::decode(&params, &mut r).unwrap();
         r.finish().unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn hostile_dimension_prefix_rejected_before_allocation() {
+        let params = CurveParams::fast();
+        // a declared dimension of u32::MAX followed by no point bytes
+        // must be refused by the count guard, not allocated for
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            DpvsVector::decode(&params, &mut r),
+            Err(apks_math::encode::DecodeError::UnexpectedEnd)
+        );
     }
 }

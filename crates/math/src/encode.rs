@@ -145,6 +145,19 @@ impl<'a> Reader<'a> {
         String::from_utf8(b.to_vec()).map_err(|_| DecodeError::Invalid("utf-8 string"))
     }
 
+    /// Reads a `u32` element count whose elements each occupy at least
+    /// `min_elem_size` bytes, rejecting a count that cannot possibly
+    /// fit in the remaining input — so a hostile length prefix is
+    /// refused *before* the caller pre-allocates for it.
+    pub fn count(&mut self, min_elem_size: usize) -> Result<usize, DecodeError> {
+        let declared = self.u32()? as u64;
+        let available = self.remaining() as u64;
+        if declared.saturating_mul(min_elem_size.max(1) as u64) > available {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        Ok(declared as usize)
+    }
+
     /// Asserts the entire input has been consumed.
     pub fn finish(&self) -> Result<(), DecodeError> {
         if self.pos == self.buf.len() {
@@ -198,6 +211,21 @@ mod tests {
         let _ = r.u8().unwrap();
         assert_eq!(r.finish(), Err(DecodeError::TrailingBytes));
         assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    fn hostile_count_refused_before_allocation() {
+        let mut w = Writer::new();
+        w.u32(u32::MAX);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.count(8), Err(DecodeError::UnexpectedEnd));
+        // a count that fits the remaining bytes is accepted
+        let mut w = Writer::new();
+        w.u32(2).u64(1).u64(2);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.count(8).unwrap(), 2);
     }
 
     #[test]

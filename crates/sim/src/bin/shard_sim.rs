@@ -1,0 +1,121 @@
+//! `shard_sim`: ingests a modeled corpus into paged shard stores and
+//! runs the scatter-gather wave scan, printing the full ledger.
+//!
+//! ```text
+//! shard_sim [--full] [--docs N] [--shards N] [--waves N] [--wave-size N]
+//!           [--seed N] [--deadline N] [--budget N] [--no-oracle]
+//!           [--dir PATH] [--out PATH]
+//! ```
+//!
+//! The default run is a CI-sized smoke (the `ShardSimConfig` default);
+//! `--full` switches to the 10M-document / 8-shard experiment scale and
+//! disables the single-node oracle (one corpus pass per wave is the
+//! point at that scale — doubling it buys nothing). Explicit flags
+//! override either base. With `--out` (or `APKS_SHARD_SIM_OUT`), the
+//! deployment's metrics snapshot is written to the path as JSON — CI
+//! uploads it as the shard-smoke artifact. Exit code 1 on bad flags or
+//! a store failure.
+
+use apks_sim::shard::{run_shard_sim, ShardSimConfig};
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn parse_flags() -> Result<(ShardSimConfig, String, Option<String>), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = if args.iter().any(|a| a == "--full") {
+        let mut full = ShardSimConfig::full_scale();
+        full.verify_oracle = false;
+        full
+    } else {
+        ShardSimConfig::default()
+    };
+    let mut dir = std::env::temp_dir()
+        .join(format!("apks-shard-sim-{}", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let mut out = std::env::var("APKS_SHARD_SIM_OUT").ok();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--full" => {}
+            "--docs" => config.docs = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--shards" => config.shards = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--waves" => config.waves = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--wave-size" => {
+                config.wave_size = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--seed" => config.seed = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--deadline" => {
+                config.deadline_ticks = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--budget" => {
+                config.pairing_budget = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--no-oracle" => config.verify_oracle = false,
+            "--dir" => dir = value(flag)?,
+            "--out" => out = Some(value(flag)?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok((config, dir, out))
+}
+
+fn main() {
+    let (config, dir, out) = match parse_flags() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("shard_sim: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = match run_shard_sim(&config, std::path::Path::new(&dir)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("shard_sim: scenario failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "shard_sim: seed={} docs={} shards={} waves={}x{}",
+        config.seed, report.docs, report.shards, report.waves, config.wave_size
+    );
+    println!(
+        "  store: segments={} pages={} bytes={}",
+        report.segments, report.pages, report.store_bytes
+    );
+    println!(
+        "  ingest: {:.2}s ({:.0} docs/s)",
+        report.ingest_wall_secs, report.ingest_docs_per_sec
+    );
+    println!(
+        "  scan: hits={} deadline_expired={} budget_exhausted={} unscanned_docs={}",
+        report.hits_total, report.deadline_expired, report.budget_exhausted, report.unscanned_docs
+    );
+    println!(
+        "  time: virtual_ticks={} wave_latency_p99={} oracle_verified={}",
+        report.virtual_ticks, report.wave_latency_p99, report.oracle_verified
+    );
+    println!(
+        "  wire: frames_sent={} bytes_sent={}",
+        report.frames_sent, report.bytes_sent
+    );
+    println!("  request_digest={}", hex(&report.request_digest));
+    println!("  response_digest={}", hex(&report.response_digest));
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.metrics.to_json()) {
+            eprintln!("shard_sim: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  metrics -> {path}");
+    }
+}

@@ -16,6 +16,7 @@
 
 pub mod framed;
 pub mod overload;
+pub mod shard;
 
 use apks_authz::{
     AttributeDirectory, AuthzError, Eligibility, EligibilityRules, Lta, TrustedAuthority,

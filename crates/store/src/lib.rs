@@ -1,0 +1,126 @@
+//! Paged on-disk storage engine for encrypted APKS indexes.
+//!
+//! The paper's cloud server (§IV) holds the encrypted PHR index and
+//! scans it per query; at production scale that corpus cannot be an
+//! in-memory `Vec` rebuilt per run. This crate gives it a durable,
+//! streamable shape:
+//!
+//! * [`page`] — fixed-size **slotted pages**: a checksummed header, a
+//!   slot directory growing forward, cell bodies growing backward from
+//!   the page end (the classic SQLite layout). Every page carries a
+//!   SHA-256 of its contents, so a single flipped bit is caught at the
+//!   page that contains it, not as a whole-file failure.
+//! * [`segment`] — **append-only segment files**: a fixed header
+//!   (magic, format version, page size, segment id, schema digest,
+//!   header checksum) followed by back-to-back pages. Segments are
+//!   written once and never updated in place; a torn final append —
+//!   a partial page, or a full-size page whose checksum never landed —
+//!   is recognized at open time and skipped, never silently decoded.
+//! * [`store`] — the [`PagedStore`] directory: an active segment
+//!   receiving appends, sealed segments behind it, and **compaction**
+//!   that merges sealed segments into one (latest cell per document
+//!   wins, tombstones drop out) instead of rewriting the whole store.
+//!
+//! Everything decodes with the same discipline as `apks-wire`: counts
+//! and offsets are validated against the bytes actually present
+//! *before* any allocation, and malformed input surfaces a structured
+//! [`StoreError`], never a panic.
+
+pub mod page;
+pub mod segment;
+pub mod store;
+
+pub use page::{Cell, Page, PageError, MAX_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_LEN};
+pub use segment::{
+    CellIter, SegmentHeader, SegmentInfo, SegmentReader, SegmentWriter, SEGMENT_HEADER_LEN,
+    SEGMENT_MAGIC,
+};
+pub use store::{PagedStore, StoreConfig, StoreScan, StoreStats};
+
+use core::fmt;
+
+/// Why a store operation failed. Structured and non-panicking, like
+/// `WireError` one layer up.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(String),
+    /// A segment file did not start with [`SEGMENT_MAGIC`].
+    BadMagic,
+    /// The segment format version is unsupported.
+    BadVersion(u32),
+    /// The segment header's own checksum did not match — the header is
+    /// damaged, nothing after it can be trusted.
+    HeaderChecksumMismatch,
+    /// The header declared a page size outside the supported range.
+    BadPageSize(u32),
+    /// A segment belongs to a different deployment (schema digest
+    /// mismatch).
+    SchemaDigestMismatch,
+    /// A non-final page failed its checksum — interior corruption, not
+    /// a torn tail.
+    PageChecksumMismatch {
+        /// Segment id the page lives in.
+        segment: u64,
+        /// Zero-based page index inside the segment.
+        page: u64,
+    },
+    /// A page's slot directory or a cell inside it is structurally
+    /// invalid despite a passing checksum (a writer bug).
+    CorruptPage {
+        /// Segment id the page lives in.
+        segment: u64,
+        /// Zero-based page index inside the segment.
+        page: u64,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// A cell is too large to ever fit a page of the configured size.
+    CellTooLarge {
+        /// Encoded cell size.
+        len: usize,
+        /// Largest cell a page can hold.
+        max: usize,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(m) => write!(f, "store i/o error: {m}"),
+            StoreError::BadMagic => write!(f, "not a segment file (bad magic)"),
+            StoreError::BadVersion(v) => write!(f, "unsupported segment format version {v}"),
+            StoreError::HeaderChecksumMismatch => {
+                write!(f, "segment header checksum mismatch")
+            }
+            StoreError::BadPageSize(s) => write!(f, "unsupported page size {s}"),
+            StoreError::SchemaDigestMismatch => {
+                write!(
+                    f,
+                    "segment belongs to a different deployment (schema digest)"
+                )
+            }
+            StoreError::PageChecksumMismatch { segment, page } => {
+                write!(f, "checksum mismatch in segment {segment} page {page}")
+            }
+            StoreError::CorruptPage {
+                segment,
+                page,
+                what,
+            } => {
+                write!(f, "corrupt page {page} in segment {segment}: {what}")
+            }
+            StoreError::CellTooLarge { len, max } => {
+                write!(f, "cell of {len} bytes exceeds page capacity ({max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,324 @@
+//! Slotted pages: the unit of storage and of corruption detection.
+//!
+//! Layout of one `page_size`-byte page:
+//!
+//! ```text
+//! [ 0..32   sha256 over bytes 32..page_size      ]
+//! [ 32..34  cell count, u16 LE                   ]
+//! [ 34..    slot directory, one u16 LE per cell  ]  → grows forward
+//! [ ...     free space (zeroed)                  ]
+//! [ ...     cell bodies                          ]  ← grow backward
+//! ```
+//!
+//! Slot `i` holds the byte offset of cell `i`; slot order is insertion
+//! order, so a sequential scan of slots replays appends exactly. Free
+//! space is zero-filled, which keeps page bytes a pure function of the
+//! cells inserted — the same-seed byte-identity checks depend on it.
+
+use apks_math::encode::Reader;
+use apks_math::sha256::sha256;
+
+/// Checksum (32) + cell count (2).
+pub const PAGE_HEADER_LEN: usize = 34;
+
+/// Smallest supported page: must hold the header plus one slot and a
+/// minimal cell.
+pub const MIN_PAGE_SIZE: usize = 256;
+
+/// Largest supported page: slot offsets are u16.
+pub const MAX_PAGE_SIZE: usize = 32768;
+
+/// Cell kind tag for a document put.
+const KIND_PUT: u8 = 1;
+/// Cell kind tag for a deletion tombstone.
+const KIND_TOMBSTONE: u8 = 2;
+
+/// One record in a page: a document payload or its tombstone.
+///
+/// The payload is opaque to the store — the cloud layer puts encoded
+/// `EncryptedIndex` bytes (or the sim's modeled stand-in) here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Cell {
+    /// A (new version of a) document.
+    Put {
+        /// Global document id.
+        doc_id: u64,
+        /// Opaque document bytes.
+        payload: Vec<u8>,
+    },
+    /// The document was deleted; compaction drops it.
+    Tombstone {
+        /// Global document id.
+        doc_id: u64,
+    },
+}
+
+impl Cell {
+    /// The document this cell is about.
+    pub fn doc_id(&self) -> u64 {
+        match self {
+            Cell::Put { doc_id, .. } | Cell::Tombstone { doc_id } => *doc_id,
+        }
+    }
+
+    /// Exact encoded size: kind + doc id, plus a length-prefixed
+    /// payload for puts.
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            Cell::Put { payload, .. } => 1 + 8 + 4 + payload.len(),
+            Cell::Tombstone { .. } => 1 + 8,
+        }
+    }
+
+    fn encode_into(&self, out: &mut [u8]) {
+        match self {
+            Cell::Put { doc_id, payload } => {
+                out[0] = KIND_PUT;
+                out[1..9].copy_from_slice(&doc_id.to_le_bytes());
+                out[9..13].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+                out[13..13 + payload.len()].copy_from_slice(payload);
+            }
+            Cell::Tombstone { doc_id } => {
+                out[0] = KIND_TOMBSTONE;
+                out[1..9].copy_from_slice(&doc_id.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes one cell from the start of `bytes` (bytes after the
+    /// cell belong to its neighbors and are ignored).
+    fn decode(bytes: &[u8]) -> Result<Cell, &'static str> {
+        let mut r = Reader::new(bytes);
+        let kind = r.u8().map_err(|_| "cell truncated at kind")?;
+        let doc_id = r.u64().map_err(|_| "cell truncated at doc id")?;
+        match kind {
+            KIND_PUT => {
+                let payload = r
+                    .var_bytes()
+                    .map_err(|_| "cell payload exceeds page bounds")?;
+                Ok(Cell::Put {
+                    doc_id,
+                    payload: payload.to_vec(),
+                })
+            }
+            KIND_TOMBSTONE => Ok(Cell::Tombstone { doc_id }),
+            _ => Err("unknown cell kind"),
+        }
+    }
+}
+
+/// Why a page failed to parse. The segment layer adds segment/page
+/// coordinates when it maps this into [`crate::StoreError`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageError {
+    /// Stored checksum does not match the page contents.
+    Checksum,
+    /// Checksum passed but the slot directory or a cell is invalid —
+    /// a writer bug, not bit rot.
+    Structure(&'static str),
+}
+
+/// An in-construction slotted page.
+#[derive(Clone, Debug)]
+pub struct Page {
+    buf: Vec<u8>,
+    cell_count: usize,
+    cell_start: usize,
+}
+
+impl Page {
+    /// An empty page of `page_size` bytes.
+    ///
+    /// # Panics
+    ///
+    /// If `page_size` is outside `[MIN_PAGE_SIZE, MAX_PAGE_SIZE]` —
+    /// page size is validated at segment-open time, so reaching here
+    /// with a bad size is a caller bug.
+    pub fn new(page_size: usize) -> Page {
+        assert!(
+            (MIN_PAGE_SIZE..=MAX_PAGE_SIZE).contains(&page_size),
+            "page size {page_size} out of range"
+        );
+        Page {
+            buf: vec![0u8; page_size],
+            cell_count: 0,
+            cell_start: page_size,
+        }
+    }
+
+    /// Number of cells inserted so far.
+    pub fn cell_count(&self) -> usize {
+        self.cell_count
+    }
+
+    /// True iff no cell has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.cell_count == 0
+    }
+
+    /// Largest single cell a page of `page_size` bytes can hold (one
+    /// slot entry plus the body).
+    pub fn max_cell_size(page_size: usize) -> usize {
+        page_size - PAGE_HEADER_LEN - 2
+    }
+
+    /// Free bytes left for one more cell (slot entry included).
+    pub fn free(&self) -> usize {
+        self.cell_start - (PAGE_HEADER_LEN + 2 * self.cell_count)
+    }
+
+    /// Tries to insert `cell`; `false` means the page is full for a
+    /// cell of this size (seal this page and retry on a fresh one).
+    pub fn insert(&mut self, cell: &Cell) -> bool {
+        let need = cell.encoded_size() + 2;
+        if need > self.free() {
+            return false;
+        }
+        let start = self.cell_start - cell.encoded_size();
+        cell.encode_into(&mut self.buf[start..self.cell_start]);
+        self.cell_start = start;
+        let slot = PAGE_HEADER_LEN + 2 * self.cell_count;
+        self.buf[slot..slot + 2].copy_from_slice(&(start as u16).to_le_bytes());
+        self.cell_count += 1;
+        true
+    }
+
+    /// Seals the page: writes the cell count, checksums the contents,
+    /// and returns the full page bytes.
+    pub fn finalize(mut self) -> Vec<u8> {
+        self.buf[32..34].copy_from_slice(&(self.cell_count as u16).to_le_bytes());
+        let digest = sha256(&self.buf[32..]);
+        self.buf[..32].copy_from_slice(&digest);
+        self.buf
+    }
+
+    /// Parses a sealed page back into its cells, in insertion order.
+    ///
+    /// # Errors
+    ///
+    /// [`PageError::Checksum`] when the stored digest does not match;
+    /// [`PageError::Structure`] when the digest matches but the slot
+    /// directory or a cell is malformed.
+    pub fn parse(buf: &[u8]) -> Result<Vec<Cell>, PageError> {
+        if buf.len() < PAGE_HEADER_LEN {
+            return Err(PageError::Structure("page shorter than its header"));
+        }
+        if sha256(&buf[32..]) != buf[..32] {
+            return Err(PageError::Checksum);
+        }
+        let count = u16::from_le_bytes(buf[32..34].try_into().expect("2 bytes")) as usize;
+        let slots_end = PAGE_HEADER_LEN + 2 * count;
+        if slots_end > buf.len() {
+            return Err(PageError::Structure("slot directory exceeds page"));
+        }
+        let mut cells = Vec::with_capacity(count);
+        for i in 0..count {
+            let slot = PAGE_HEADER_LEN + 2 * i;
+            let off = u16::from_le_bytes(buf[slot..slot + 2].try_into().expect("2 bytes")) as usize;
+            if off < slots_end || off >= buf.len() {
+                return Err(PageError::Structure("slot offset out of bounds"));
+            }
+            cells.push(Cell::decode(&buf[off..]).map_err(PageError::Structure)?);
+        }
+        Ok(cells)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(id: u64, len: usize) -> Cell {
+        Cell::Put {
+            doc_id: id,
+            payload: vec![id as u8; len],
+        }
+    }
+
+    #[test]
+    fn roundtrip_cells_in_insertion_order() {
+        let mut page = Page::new(512);
+        let cells = vec![put(1, 10), Cell::Tombstone { doc_id: 2 }, put(3, 0)];
+        for c in &cells {
+            assert!(page.insert(c));
+        }
+        let bytes = page.finalize();
+        assert_eq!(bytes.len(), 512);
+        assert_eq!(Page::parse(&bytes).unwrap(), cells);
+    }
+
+    #[test]
+    fn page_bytes_are_deterministic() {
+        let build = || {
+            let mut p = Page::new(512);
+            p.insert(&put(7, 30));
+            p.insert(&put(8, 40));
+            p.finalize()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn full_page_refuses_and_then_fits_fresh() {
+        let mut page = Page::new(MIN_PAGE_SIZE);
+        let big = put(1, Page::max_cell_size(MIN_PAGE_SIZE) - 13);
+        assert!(page.insert(&big));
+        assert!(!page.insert(&put(2, 10)), "second big cell must not fit");
+        let mut fresh = Page::new(MIN_PAGE_SIZE);
+        assert!(fresh.insert(&put(2, 10)));
+    }
+
+    #[test]
+    fn flipped_bit_anywhere_fails_the_checksum() {
+        let mut page = Page::new(256);
+        page.insert(&put(1, 20));
+        let bytes = page.finalize();
+        for pos in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                Page::parse(&bad).is_err(),
+                "flip at {pos} must not parse clean"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_slot_directory_rejected() {
+        // forge a checksum-valid page whose slot count exceeds the page
+        let mut buf = vec![0u8; 256];
+        buf[32..34].copy_from_slice(&u16::MAX.to_le_bytes());
+        let digest = sha256(&buf[32..]);
+        buf[..32].copy_from_slice(&digest);
+        assert_eq!(
+            Page::parse(&buf),
+            Err(PageError::Structure("slot directory exceeds page"))
+        );
+
+        // and one whose single slot points outside the cell area
+        let mut buf = vec![0u8; 256];
+        buf[32..34].copy_from_slice(&1u16.to_le_bytes());
+        buf[34..36].copy_from_slice(&3u16.to_le_bytes()); // inside the header
+        let digest = sha256(&buf[32..]);
+        buf[..32].copy_from_slice(&digest);
+        assert_eq!(
+            Page::parse(&buf),
+            Err(PageError::Structure("slot offset out of bounds"))
+        );
+    }
+
+    #[test]
+    fn truncated_page_is_structural() {
+        let bytes = {
+            let mut p = Page::new(256);
+            p.insert(&put(1, 5));
+            p.finalize()
+        };
+        assert_eq!(
+            Page::parse(&bytes[..20]),
+            Err(PageError::Structure("page shorter than its header"))
+        );
+        // a long-but-short page: checksum is over different bytes
+        assert_eq!(Page::parse(&bytes[..200]), Err(PageError::Checksum));
+    }
+}

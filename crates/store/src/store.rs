@@ -1,0 +1,502 @@
+//! The [`PagedStore`]: a directory of segments with one active tail.
+//!
+//! Appends go to the active segment; when it crosses the configured
+//! size it is sealed and a new one starts. Sealed segments are
+//! immutable, so readers stream them without coordination, and
+//! **compaction** replaces the sealed set with one merged segment —
+//! latest cell per document wins, tombstones drop out — instead of
+//! rewriting the store in place. Segment ids are monotone; the merged
+//! segment takes a fresh id, so a crash mid-compaction leaves either
+//! the old set or the new segment plus deletable leftovers, never a
+//! half-written hybrid (the new segment is synced before any old file
+//! is unlinked).
+
+use crate::page::Cell;
+use crate::segment::{CellIter, SegmentInfo, SegmentReader, SegmentWriter};
+use crate::StoreError;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Knobs for a [`PagedStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Page size for every segment written (existing segments keep
+    /// the size recorded in their headers).
+    pub page_size: usize,
+    /// Seal the active segment once it holds at least this many bytes.
+    pub segment_max_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig {
+            page_size: 4096,
+            segment_max_bytes: 8 << 20,
+        }
+    }
+}
+
+/// Aggregate counters from a full streaming pass over the store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Sealed segments on disk.
+    pub segments: u64,
+    /// Pages parsed across all segments.
+    pub pages: u64,
+    /// Cells of either kind.
+    pub cells: u64,
+    /// Document puts.
+    pub puts: u64,
+    /// Deletion tombstones.
+    pub tombstones: u64,
+    /// Total file bytes, headers included.
+    pub bytes: u64,
+    /// Torn final appends skipped during the pass.
+    pub torn_tails: u64,
+}
+
+/// A directory of append-only segments holding opaque document cells.
+pub struct PagedStore {
+    dir: PathBuf,
+    schema_digest: [u8; 32],
+    config: StoreConfig,
+    /// Sealed segment ids, ascending. Cells replay in this order.
+    sealed: Vec<u64>,
+    active: Option<SegmentWriter>,
+    next_segment_id: u64,
+}
+
+fn segment_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:010}.apks"))
+}
+
+fn parse_segment_name(name: &str) -> Option<u64> {
+    let id = name.strip_prefix("seg-")?.strip_suffix(".apks")?;
+    id.parse().ok()
+}
+
+impl PagedStore {
+    /// Opens (or creates) the store at `dir` for the deployment whose
+    /// schema digest is `schema_digest`.
+    ///
+    /// Every segment file present has its header validated against the
+    /// digest; a segment from another deployment is an error, not a
+    /// silent skip.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or any header validation failure.
+    pub fn open(
+        dir: &Path,
+        schema_digest: [u8; 32],
+        config: StoreConfig,
+    ) -> Result<PagedStore, StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let mut sealed = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(id) = parse_segment_name(name) else {
+                continue;
+            };
+            // header check now, so a foreign or damaged segment fails
+            // at open instead of mid-scan
+            SegmentReader::open(&entry.path(), Some(&schema_digest))?;
+            sealed.push(id);
+        }
+        sealed.sort_unstable();
+        let next_segment_id = sealed.last().map_or(0, |last| last + 1);
+        Ok(PagedStore {
+            dir: dir.to_path_buf(),
+            schema_digest,
+            config,
+            sealed,
+            active: None,
+            next_segment_id,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The deployment digest segments are pinned to.
+    pub fn schema_digest(&self) -> &[u8; 32] {
+        &self.schema_digest
+    }
+
+    /// Sealed segment count (the active tail, if any, is excluded).
+    pub fn sealed_segments(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Appends one cell to the active segment, rolling to a new
+    /// segment when the active one crosses the size threshold.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`StoreError::CellTooLarge`].
+    pub fn append(&mut self, cell: &Cell) -> Result<(), StoreError> {
+        if self.active.is_none() {
+            let id = self.next_segment_id;
+            self.next_segment_id += 1;
+            self.active = Some(SegmentWriter::create(
+                &segment_path(&self.dir, id),
+                id,
+                self.schema_digest,
+                self.config.page_size,
+            )?);
+        }
+        let writer = self.active.as_mut().expect("just ensured");
+        writer.append(cell)?;
+        if writer.bytes_written() >= self.config.segment_max_bytes {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Shorthand for appending a [`Cell::Put`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PagedStore::append`].
+    pub fn put(&mut self, doc_id: u64, payload: Vec<u8>) -> Result<(), StoreError> {
+        self.append(&Cell::Put { doc_id, payload })
+    }
+
+    /// Shorthand for appending a [`Cell::Tombstone`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PagedStore::append`].
+    pub fn delete(&mut self, doc_id: u64) -> Result<(), StoreError> {
+        self.append(&Cell::Tombstone { doc_id })
+    }
+
+    /// Seals the active segment (no-op when there is none), making
+    /// every appended cell durable and visible to scans.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures flushing or syncing.
+    pub fn seal(&mut self) -> Result<(), StoreError> {
+        if let Some(writer) = self.active.take() {
+            let info = writer.finish()?;
+            if info.cells == 0 {
+                // an empty segment is pure noise: drop the file
+                std::fs::remove_file(segment_path(&self.dir, info.segment_id))?;
+            } else {
+                self.sealed.push(info.segment_id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Streams every cell in the store, segment by segment in id
+    /// order, page at a time — memory use is one page regardless of
+    /// corpus size. Seals the active segment first so the scan sees
+    /// every acknowledged append.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures sealing the active segment.
+    pub fn scan(&mut self) -> Result<StoreScan, StoreError> {
+        self.seal()?;
+        let paths: Vec<PathBuf> = self
+            .sealed
+            .iter()
+            .map(|&id| segment_path(&self.dir, id))
+            .collect();
+        Ok(StoreScan {
+            digest: self.schema_digest,
+            paths: paths.into_iter(),
+            cur: None,
+            torn_tails: 0,
+            pages: 0,
+        })
+    }
+
+    /// Merges every sealed segment into one: the **latest** cell per
+    /// document wins and tombstoned documents vanish. Old segment
+    /// files are unlinked only after the merged segment is synced.
+    ///
+    /// Returns the merged segment's info (`cells == 0` means the store
+    /// compacted to empty and no segment was kept).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or corruption discovered while streaming.
+    pub fn compact(&mut self) -> Result<SegmentInfo, StoreError> {
+        self.seal()?;
+        // pass 1: last writer wins — remember each document's final
+        // cell sequence number and whether it was a tombstone
+        let mut last: HashMap<u64, (u64, bool)> = HashMap::new();
+        for (seq, item) in (0_u64..).zip(self.scan()?) {
+            let cell = item?;
+            last.insert(cell.doc_id(), (seq, matches!(cell, Cell::Tombstone { .. })));
+        }
+
+        // pass 2: replay, keeping only each document's winning put
+        let id = self.next_segment_id;
+        self.next_segment_id += 1;
+        let path = segment_path(&self.dir, id);
+        let mut writer =
+            SegmentWriter::create(&path, id, self.schema_digest, self.config.page_size)?;
+        for (seq, item) in (0_u64..).zip(self.scan()?) {
+            let cell = item?;
+            let (win_seq, is_tombstone) = last[&cell.doc_id()];
+            if seq == win_seq && !is_tombstone {
+                writer.append(&cell)?;
+            }
+        }
+        let info = writer.finish()?;
+
+        // the merged segment is durable: retire the inputs
+        for &old in &self.sealed {
+            std::fs::remove_file(segment_path(&self.dir, old))?;
+        }
+        self.sealed.clear();
+        if info.cells == 0 {
+            std::fs::remove_file(&path)?;
+        } else {
+            self.sealed.push(id);
+        }
+        Ok(info)
+    }
+
+    /// One full streaming pass, counting everything.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or corruption discovered while streaming.
+    pub fn stats(&mut self) -> Result<StoreStats, StoreError> {
+        self.seal()?;
+        let mut stats = StoreStats {
+            segments: self.sealed.len() as u64,
+            ..StoreStats::default()
+        };
+        for &id in &self.sealed {
+            let path = segment_path(&self.dir, id);
+            stats.bytes += std::fs::metadata(&path)?.len();
+            let mut iter = SegmentReader::open(&path, Some(&self.schema_digest))?.cells();
+            for item in iter.by_ref() {
+                match item? {
+                    Cell::Put { .. } => stats.puts += 1,
+                    Cell::Tombstone { .. } => stats.tombstones += 1,
+                }
+                stats.cells += 1;
+            }
+            stats.pages += iter.pages_read();
+            stats.torn_tails += u64::from(iter.torn_tail());
+        }
+        Ok(stats)
+    }
+}
+
+/// Streaming iterator over every cell in a store, in append order.
+pub struct StoreScan {
+    digest: [u8; 32],
+    paths: std::vec::IntoIter<PathBuf>,
+    cur: Option<CellIter>,
+    torn_tails: u64,
+    pages: u64,
+}
+
+impl StoreScan {
+    /// Torn final appends skipped so far.
+    pub fn torn_tails(&self) -> u64 {
+        self.torn_tails
+    }
+
+    /// Pages parsed so far.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+}
+
+impl Iterator for StoreScan {
+    type Item = Result<Cell, StoreError>;
+
+    fn next(&mut self) -> Option<Result<Cell, StoreError>> {
+        loop {
+            if let Some(iter) = &mut self.cur {
+                match iter.next() {
+                    Some(item) => return Some(item),
+                    None => {
+                        self.torn_tails += u64::from(iter.torn_tail());
+                        self.pages += iter.pages_read();
+                        self.cur = None;
+                    }
+                }
+            }
+            let path = self.paths.next()?;
+            match SegmentReader::open(&path, Some(&self.digest)) {
+                Ok(reader) => self.cur = Some(reader.cells()),
+                Err(e) => {
+                    // poison the rest of the scan: segment order is
+                    // part of the contract, skipping one would
+                    // silently reorder documents
+                    self.paths = Vec::new().into_iter();
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!("apks-store-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn small_config() -> StoreConfig {
+        StoreConfig {
+            page_size: 256,
+            segment_max_bytes: 1024,
+        }
+    }
+
+    fn collect(store: &mut PagedStore) -> Vec<Cell> {
+        store.scan().unwrap().map(|c| c.unwrap()).collect()
+    }
+
+    #[test]
+    fn appends_survive_reopen_in_order() {
+        let tmp = TempDir::new("reopen");
+        let digest = [9u8; 32];
+        let cells: Vec<Cell> = (0..200)
+            .map(|i| Cell::Put {
+                doc_id: i,
+                payload: vec![(i % 256) as u8; 16],
+            })
+            .collect();
+        {
+            let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+            for c in &cells {
+                store.append(c).unwrap();
+            }
+            store.seal().unwrap();
+            assert!(store.sealed_segments() > 1, "small cap must roll segments");
+        }
+        let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+        assert_eq!(collect(&mut store), cells);
+        // and appends continue after the highest existing id
+        store.put(999, vec![1, 2, 3]).unwrap();
+        let all = collect(&mut store);
+        assert_eq!(all.len(), 201);
+        assert_eq!(all[200].doc_id(), 999);
+    }
+
+    #[test]
+    fn compaction_keeps_latest_and_drops_tombstones() {
+        let tmp = TempDir::new("compact");
+        let mut store = PagedStore::open(&tmp.0, [1u8; 32], small_config()).unwrap();
+        for i in 0..50u64 {
+            store.put(i, vec![1u8; 8]).unwrap();
+        }
+        // overwrite half, delete a quarter
+        for i in 0..25u64 {
+            store.put(i, vec![2u8; 8]).unwrap();
+        }
+        for i in 25..37u64 {
+            store.delete(i).unwrap();
+        }
+        let before = store.stats().unwrap();
+        assert_eq!(before.cells, 50 + 25 + 12);
+
+        let info = store.compact().unwrap();
+        assert_eq!(info.cells, 38, "50 docs − 12 tombstoned");
+        assert_eq!(store.sealed_segments(), 1);
+
+        let after: Vec<Cell> = collect(&mut store);
+        assert_eq!(after.len(), 38);
+        for c in &after {
+            match c {
+                Cell::Put { doc_id, payload } if *doc_id < 25 => {
+                    assert_eq!(payload, &vec![2u8; 8], "doc {doc_id} must be version 2");
+                }
+                Cell::Put { doc_id, payload } => {
+                    assert!(*doc_id >= 37, "doc {doc_id} was tombstoned");
+                    assert_eq!(payload, &vec![1u8; 8]);
+                }
+                Cell::Tombstone { doc_id } => panic!("tombstone {doc_id} survived"),
+            }
+        }
+        // compacting a compacted store is a fixpoint
+        let again = store.compact().unwrap();
+        assert_eq!(again.cells, 38);
+    }
+
+    #[test]
+    fn compact_to_empty_leaves_no_segments() {
+        let tmp = TempDir::new("compact-empty");
+        let mut store = PagedStore::open(&tmp.0, [1u8; 32], small_config()).unwrap();
+        for i in 0..10u64 {
+            store.put(i, vec![0u8; 4]).unwrap();
+        }
+        for i in 0..10u64 {
+            store.delete(i).unwrap();
+        }
+        let info = store.compact().unwrap();
+        assert_eq!(info.cells, 0);
+        assert_eq!(store.sealed_segments(), 0);
+        assert_eq!(store.stats().unwrap().bytes, 0);
+    }
+
+    #[test]
+    fn same_appends_produce_identical_files() {
+        let run = |tag: &str| -> Vec<(String, Vec<u8>)> {
+            let tmp = TempDir::new(tag);
+            let mut store = PagedStore::open(&tmp.0, [5u8; 32], small_config()).unwrap();
+            for i in 0..100u64 {
+                store.put(i, i.to_le_bytes().to_vec()).unwrap();
+            }
+            store.seal().unwrap();
+            let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(&tmp.0)
+                .unwrap()
+                .map(|e| {
+                    let e = e.unwrap();
+                    (
+                        e.file_name().to_string_lossy().into_owned(),
+                        std::fs::read(e.path()).unwrap(),
+                    )
+                })
+                .collect();
+            files.sort();
+            files
+        };
+        assert_eq!(run("det-a"), run("det-b"));
+    }
+
+    #[test]
+    fn foreign_segment_refused_at_open() {
+        let tmp = TempDir::new("foreign");
+        {
+            let mut store = PagedStore::open(&tmp.0, [1u8; 32], small_config()).unwrap();
+            store.put(1, vec![0u8; 4]).unwrap();
+            store.seal().unwrap();
+        }
+        assert_eq!(
+            PagedStore::open(&tmp.0, [2u8; 32], small_config()).err(),
+            Some(StoreError::SchemaDigestMismatch)
+        );
+    }
+}

@@ -22,13 +22,25 @@ pub const FRAME_HEADER_LEN: usize = 8;
 pub const MAX_FRAME_LEN: u32 = 1 << 24;
 
 /// Wraps a payload in a frame.
-pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
-    debug_assert!(payload.len() <= MAX_FRAME_LEN as usize);
+///
+/// The cap is enforced *before* any bytes are written: a payload the
+/// peer's decoder would poison on is refused here, and a payload over
+/// 4 GiB can never silently truncate its length prefix.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] if `payload` exceeds [`MAX_FRAME_LEN`].
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, WireError> {
+    if payload.len() > MAX_FRAME_LEN as usize {
+        return Err(WireError::FrameTooLarge {
+            declared: payload.len() as u64,
+        });
+    }
     let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
     out.extend_from_slice(&FRAME_MAGIC);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
-    out
+    Ok(out)
 }
 
 /// Incremental frame reassembler.
@@ -83,7 +95,9 @@ impl FrameDecoder {
         }
         let len = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes checked"));
         if len > MAX_FRAME_LEN {
-            return Err(self.poison(WireError::FrameTooLarge { declared: len }));
+            return Err(self.poison(WireError::FrameTooLarge {
+                declared: u64::from(len),
+            }));
         }
         let total = FRAME_HEADER_LEN + len as usize;
         if self.buf.len() < total {
@@ -106,7 +120,7 @@ mod tests {
 
     #[test]
     fn roundtrip_single_frame() {
-        let frame = encode_frame(b"hello");
+        let frame = encode_frame(b"hello").unwrap();
         let mut dec = FrameDecoder::new();
         dec.push(&frame);
         assert_eq!(dec.next_frame().unwrap().unwrap(), b"hello");
@@ -116,7 +130,7 @@ mod tests {
 
     #[test]
     fn split_reads_reassemble() {
-        let frame = encode_frame(b"split me into pieces");
+        let frame = encode_frame(b"split me into pieces").unwrap();
         let mut dec = FrameDecoder::new();
         for b in &frame[..frame.len() - 1] {
             dec.push(std::slice::from_ref(b));
@@ -128,9 +142,9 @@ mod tests {
 
     #[test]
     fn back_to_back_frames() {
-        let mut stream = encode_frame(b"one");
-        stream.extend_from_slice(&encode_frame(b""));
-        stream.extend_from_slice(&encode_frame(b"three"));
+        let mut stream = encode_frame(b"one").unwrap();
+        stream.extend_from_slice(&encode_frame(b"").unwrap());
+        stream.extend_from_slice(&encode_frame(b"three").unwrap());
         let mut dec = FrameDecoder::new();
         dec.push(&stream);
         assert_eq!(dec.next_frame().unwrap().unwrap(), b"one");
@@ -145,8 +159,23 @@ mod tests {
         dec.push(b"NOPE\x01\x00\x00\x00x");
         assert_eq!(dec.next_frame(), Err(WireError::BadMagic(*b"NOPE")));
         // poisoned: same error forever, new bytes ignored
-        dec.push(&encode_frame(b"late"));
+        dec.push(&encode_frame(b"late").unwrap());
         assert_eq!(dec.next_frame(), Err(WireError::BadMagic(*b"NOPE")));
+    }
+
+    #[test]
+    fn oversized_payload_rejected_at_encode() {
+        // exactly at the cap is fine
+        let at_cap = vec![0u8; MAX_FRAME_LEN as usize];
+        assert!(encode_frame(&at_cap).is_ok());
+        // one past the cap is refused before any frame bytes exist
+        let over = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        assert_eq!(
+            encode_frame(&over),
+            Err(WireError::FrameTooLarge {
+                declared: MAX_FRAME_LEN as u64 + 1,
+            })
+        );
     }
 
     #[test]
@@ -157,7 +186,9 @@ mod tests {
         dec.push(&hdr);
         assert_eq!(
             dec.next_frame(),
-            Err(WireError::FrameTooLarge { declared: u32::MAX })
+            Err(WireError::FrameTooLarge {
+                declared: u64::from(u32::MAX),
+            })
         );
     }
 }

@@ -99,10 +99,12 @@ pub enum WireError {
     Invalid(&'static str),
     /// A frame did not start with [`FRAME_MAGIC`].
     BadMagic([u8; 4]),
-    /// A frame declared a payload longer than [`MAX_FRAME_LEN`].
+    /// A frame declared (or a payload offered for encoding) a length
+    /// beyond [`MAX_FRAME_LEN`]. `u64` so an encoder-side payload over
+    /// 4 GiB reports its true size instead of a truncated one.
     FrameTooLarge {
         /// The declared payload length.
-        declared: u32,
+        declared: u64,
     },
 }
 

@@ -549,7 +549,7 @@ mod wire_roundtrip {
             chunk in 1usize..64,
         ) {
             use apks_wire::{encode_frame, FrameDecoder};
-            let stream: Vec<u8> = payloads.iter().flat_map(|p| encode_frame(p)).collect();
+            let stream: Vec<u8> = payloads.iter().flat_map(|p| encode_frame(p).unwrap()).collect();
             let mut dec = FrameDecoder::new();
             let mut out = Vec::new();
             for piece in stream.chunks(chunk) {

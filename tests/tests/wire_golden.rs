@@ -70,7 +70,10 @@ fn golden_response_envelopes() {
 #[test]
 fn golden_frame() {
     let s = samples();
-    check_golden("frame_ping", &encode_frame(&Request::Ping.to_bytes(&s.ctx)));
+    check_golden(
+        "frame_ping",
+        &encode_frame(&Request::Ping.to_bytes(&s.ctx)).unwrap(),
+    );
 }
 
 /// The fixtures are not just stable outputs — they must decode back to

@@ -226,7 +226,10 @@ fn response_stats_must_agree_with_match_list() {
 fn frame_split_reads_reassemble() {
     let s = samples();
     let payloads: Vec<Vec<u8>> = s.requests.iter().map(|(_, r)| r.to_bytes(&s.ctx)).collect();
-    let stream: Vec<u8> = payloads.iter().flat_map(|p| encode_frame(p)).collect();
+    let stream: Vec<u8> = payloads
+        .iter()
+        .flat_map(|p| encode_frame(p).unwrap())
+        .collect();
 
     // feed the whole multi-frame stream in every chunk size from one
     // byte up — reassembly must be independent of read boundaries
@@ -252,7 +255,7 @@ fn frame_bad_magic_poisons_the_stream() {
         Err(WireError::BadMagic(m)) if &m == b"NOPE"
     ));
     // the stream stays dead: even a valid frame afterwards is refused
-    dec.push(&encode_frame(b"hi"));
+    dec.push(&encode_frame(b"hi").unwrap());
     assert!(dec.next_frame().is_err());
 }
 
@@ -265,8 +268,8 @@ fn frame_pathological_length_rejected_before_buffering() {
     dec.push(&header);
     match dec.next_frame() {
         Err(WireError::FrameTooLarge { declared }) => {
-            assert_eq!(declared, u32::MAX);
-            assert!(declared > MAX_FRAME_LEN);
+            assert_eq!(declared, u64::from(u32::MAX));
+            assert!(declared > u64::from(MAX_FRAME_LEN));
         }
         other => panic!("oversized frame not rejected: {other:?}"),
     }
@@ -276,7 +279,7 @@ fn frame_pathological_length_rejected_before_buffering() {
 fn frame_header_truncation_is_not_an_error_yet() {
     // a short read inside the header just means "need more bytes"
     let s = samples();
-    let frame = encode_frame(&Request::Ping.to_bytes(&s.ctx));
+    let frame = encode_frame(&Request::Ping.to_bytes(&s.ctx)).unwrap();
     for cut in 0..frame.len() {
         let mut dec = FrameDecoder::new();
         dec.push(&frame[..cut]);
