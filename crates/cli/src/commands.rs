@@ -485,7 +485,7 @@ fn cmd_store_stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
     if args.has_flag("json") {
         writeln!(
             out,
-            "{{\"dir\":{:?},\"schema_digest\":\"{digest}\",\"page_size\":{},\"segments\":{},\"pages\":{},\"cells\":{},\"puts\":{},\"tombstones\":{},\"bytes\":{},\"torn_tails\":{}}}",
+            "{{\"dir\":{:?},\"schema_digest\":\"{digest}\",\"page_size\":{},\"segments\":{},\"pages\":{},\"cells\":{},\"puts\":{},\"tombstones\":{},\"indexed_docs\":{},\"bytes\":{},\"torn_tails\":{}}}",
             dir.display().to_string(),
             header.page_size,
             stats.segments,
@@ -493,6 +493,7 @@ fn cmd_store_stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
             stats.cells,
             stats.puts,
             stats.tombstones,
+            stats.indexed_docs,
             stats.bytes,
             stats.torn_tails
         )?;
@@ -514,6 +515,11 @@ fn cmd_store_stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
         out,
         "cells:    {} ({} puts, {} tombstones)",
         stats.cells, stats.puts, stats.tombstones
+    )?;
+    writeln!(
+        out,
+        "indexed:  {} doc(s) point-addressable",
+        stats.indexed_docs
     )?;
     writeln!(out, "torn:     {} tail(s) skipped", stats.torn_tails)?;
     Ok(())
@@ -1065,12 +1071,18 @@ mod tests {
             "got:\n{out}"
         );
         assert!(out.contains("pages of 256 B"));
+        // 20 puts minus the one tombstoned doc stay point-addressable
+        assert!(
+            out.contains("indexed:  19 doc(s) point-addressable"),
+            "got:\n{out}"
+        );
         assert!(out.contains("torn:     0 tail(s) skipped"));
 
         let json = run_strs(&["store-stats", "--dir", dir.to_str().unwrap(), "--json"]).unwrap();
         assert!(json.trim_start().starts_with('{'));
         assert!(json.contains("\"puts\":20"));
         assert!(json.contains("\"tombstones\":1"));
+        assert!(json.contains("\"indexed_docs\":19"));
         assert!(json.contains("\"page_size\":256"));
         let _ = std::fs::remove_dir_all(dir);
     }

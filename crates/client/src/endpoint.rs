@@ -4,7 +4,9 @@
 use crate::transport::TransportEnd;
 use apks_cloud::{CloudServer, SearchOutcome};
 use apks_core::fault::{FaultContext, FaultPlan, RetryPolicy, VirtualClock};
-use apks_wire::protocol::{ERR_APKS, ERR_BAD_SIGNATURE, ERR_DECODE, ERR_UNKNOWN_ISSUER};
+use apks_wire::protocol::{
+    ERR_APKS, ERR_BAD_SIGNATURE, ERR_CORPUS, ERR_DECODE, ERR_UNKNOWN_ISSUER,
+};
 use apks_wire::{MetricsWire, Request, Response, SearchResponse, Wire, WireCtx, WireError};
 use std::sync::Arc;
 
@@ -132,6 +134,7 @@ impl ServerEndpoint {
                             SearchOutcome::BadSignature => ERR_BAD_SIGNATURE,
                             SearchOutcome::UnknownIssuer(_) => ERR_UNKNOWN_ISSUER,
                             SearchOutcome::Apks(_) => ERR_APKS,
+                            SearchOutcome::Corpus(_) => ERR_CORPUS,
                         };
                         Response::Error {
                             code,

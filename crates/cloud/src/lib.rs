@@ -14,6 +14,7 @@
 
 pub mod admission;
 pub mod adversary;
+pub mod backend;
 pub mod server;
 pub mod shard;
 
@@ -21,5 +22,11 @@ pub use admission::{
     AdmissionConfig, AdmissionController, AdmissionDecision, AdmissionError, QueryShape,
     RequestClass, RequestId, ShedReason, WaveBatcher, WaveConfig,
 };
-pub use server::{CloudServer, DegradedScan, DocumentId, SearchOutcome, SearchStats, WaveRequest};
+pub use backend::{
+    CorpusBackend, CorpusError, DecodedCache, HydrateConfig, InsertOutcome, MemoryBackend,
+    PagedBackend,
+};
+pub use server::{
+    CloudServer, DegradedScan, DocumentId, PreparedCache, SearchOutcome, SearchStats, WaveRequest,
+};
 pub use shard::{ClockModel, ShardConfig, ShardOutcome, ShardRouter, ShardedBatch};

@@ -1,17 +1,23 @@
 //! The encrypted-index store and search engine.
 
+use crate::backend::{CorpusBackend, CorpusError, HydrateConfig, MemoryBackend, PagedBackend};
 use apks_authz::{IbsPublicParams, SignedCapability};
 use apks_core::fault::{DocFault, FaultContext};
 use apks_core::{
     ApksError, ApksPublicKey, ApksSystem, Budget, Capability, Deadline, EncryptedIndex,
     PreparedCapability,
 };
+use apks_curve::CurveParams;
+use apks_math::encode::Writer;
+use apks_math::sha256::sha256;
+use apks_store::StoreConfig;
 use apks_telemetry::source::{self, SourceCounts};
 use apks_telemetry::{Clock, MetricsRegistry, MetricsSnapshot, Span, WallClock};
 use core::fmt;
 use parking_lot::RwLock;
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// An opaque document identifier assigned at upload.
@@ -26,6 +32,9 @@ pub enum SearchOutcome {
     UnknownIssuer(String),
     /// The underlying APKS evaluation failed (deployment mismatch, …).
     Apks(ApksError),
+    /// The corpus backend failed to materialize a document on the
+    /// strict (non-degraded) scan path.
+    Corpus(CorpusError),
 }
 
 impl fmt::Display for SearchOutcome {
@@ -34,6 +43,7 @@ impl fmt::Display for SearchOutcome {
             SearchOutcome::BadSignature => write!(f, "capability signature invalid"),
             SearchOutcome::UnknownIssuer(id) => write!(f, "issuer {id:?} not registered"),
             SearchOutcome::Apks(e) => write!(f, "apks error: {e}"),
+            SearchOutcome::Corpus(e) => write!(f, "corpus error: {e}"),
         }
     }
 }
@@ -104,14 +114,91 @@ pub struct WaveRequest<'a> {
     pub budget: &'a Budget,
 }
 
+/// A digest-keyed cache of prepared capabilities, shared across the
+/// shards of one deployment so a scatter-gather query pays the Miller
+/// precomputation **once**, not once per shard.
+///
+/// Keys are the SHA-256 of the capability's canonical encoding, so two
+/// structurally identical capabilities share an entry regardless of
+/// which shard prepared first. The map is unbounded: entries are tiny
+/// relative to a scan and a deployment sees few distinct capabilities
+/// in flight. Lookups never advance any clock — installing the cache
+/// cannot perturb a virtual-clock simulation's timeline.
+#[derive(Default)]
+pub struct PreparedCache {
+    map: RwLock<HashMap<[u8; 32], Arc<PreparedCapability>>>,
+    calls: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl PreparedCache {
+    /// An empty cache.
+    pub fn new() -> PreparedCache {
+        PreparedCache::default()
+    }
+
+    /// The cache key for a capability: SHA-256 of its canonical
+    /// encoding.
+    pub fn key(params: &CurveParams, cap: &Capability) -> [u8; 32] {
+        let mut w = Writer::new();
+        cap.encode(params, &mut w);
+        sha256(&w.finish())
+    }
+
+    /// Looks up a prepared capability, counting the call (and the hit).
+    pub fn get(&self, key: &[u8; 32]) -> Option<Arc<PreparedCapability>> {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let hit = self.map.read().get(key).cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Installs a freshly prepared capability.
+    pub fn insert(&self, key: [u8; 32], prepared: Arc<PreparedCapability>) {
+        self.map.write().insert(key, prepared);
+    }
+
+    /// Lookups performed.
+    pub fn calls(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed — i.e. `prepare_capability` runs actually
+    /// paid by servers sharing this cache.
+    pub fn misses(&self) -> u64 {
+        self.calls() - self.hits()
+    }
+
+    /// Distinct capabilities cached.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// True iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
 /// The cloud server.
 pub struct CloudServer {
     system: ApksSystem,
     pk: ApksPublicKey,
     ibs: IbsPublicParams,
     registered: RwLock<HashSet<String>>,
-    store: RwLock<Vec<(DocumentId, EncryptedIndex)>>,
+    store: Box<dyn CorpusBackend>,
     next_id: AtomicUsize,
+    /// Cross-server prepared-capability cache, installed by the shard
+    /// router (`None` on solo servers: a solo scan's preparation cost
+    /// stays visible, uncached, exactly as the paper measures it).
+    prepared: RwLock<Option<Arc<PreparedCache>>>,
     metrics: Arc<MetricsRegistry>,
     clock: Arc<dyn Clock>,
 }
@@ -140,16 +227,86 @@ impl CloudServer {
         metrics: Arc<MetricsRegistry>,
         clock: Arc<dyn Clock>,
     ) -> CloudServer {
+        CloudServer::with_backend(
+            system,
+            pk,
+            ibs,
+            metrics,
+            clock,
+            Box::new(MemoryBackend::new()),
+        )
+    }
+
+    /// Creates a server over an explicit [`CorpusBackend`].
+    pub fn with_backend(
+        system: ApksSystem,
+        pk: ApksPublicKey,
+        ibs: IbsPublicParams,
+        metrics: Arc<MetricsRegistry>,
+        clock: Arc<dyn Clock>,
+        store: Box<dyn CorpusBackend>,
+    ) -> CloudServer {
         CloudServer {
             system,
             pk,
             ibs,
             registered: RwLock::new(HashSet::new()),
-            store: RwLock::new(Vec::new()),
+            store,
             next_id: AtomicUsize::new(0),
+            prepared: RwLock::new(None),
             metrics,
             clock,
         }
+    }
+
+    /// Creates a server whose corpus is disk-backed: ciphertexts live
+    /// in a [`PagedBackend`] at `dir` and are decoded lazily through a
+    /// byte-budgeted LRU (telemetry under `cloud.hydrate.*` in
+    /// `metrics`). Documents already on disk are served immediately;
+    /// `next_id` resumes past the highest stored id.
+    ///
+    /// # Errors
+    ///
+    /// Store open failures (I/O, foreign segments).
+    #[allow(clippy::too_many_arguments)] // the deployment's full wiring is explicit by design
+    pub fn with_paged_store(
+        system: ApksSystem,
+        pk: ApksPublicKey,
+        ibs: IbsPublicParams,
+        metrics: Arc<MetricsRegistry>,
+        clock: Arc<dyn Clock>,
+        dir: &Path,
+        store_config: StoreConfig,
+        hydrate_config: HydrateConfig,
+    ) -> Result<CloudServer, CorpusError> {
+        let backend = PagedBackend::open(
+            system.clone(),
+            dir,
+            store_config,
+            hydrate_config,
+            metrics.clone(),
+            clock.clone(),
+        )?;
+        let next = backend
+            .doc_ids()
+            .iter()
+            .map(|&id| id as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let server = CloudServer::with_backend(system, pk, ibs, metrics, clock, Box::new(backend));
+        server.next_id.store(next, Ordering::Relaxed);
+        Ok(server)
+    }
+
+    /// Installs a [`PreparedCache`] (normally the shard router's,
+    /// shared by every shard of a deployment).
+    pub fn set_prepared_cache(&self, cache: Arc<PreparedCache>) {
+        *self.prepared.write() = Some(cache);
+    }
+
+    /// The installed prepared-capability cache, if any.
+    pub fn prepared_cache(&self) -> Option<Arc<PreparedCache>> {
+        self.prepared.read().clone()
     }
 
     /// The server's metrics registry.
@@ -168,23 +325,42 @@ impl CloudServer {
     }
 
     /// Stores an encrypted index; returns its document id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a disk-backed corpus fails to accept the write; use
+    /// [`CloudServer::try_upload`] to observe storage errors.
     pub fn upload(&self, index: EncryptedIndex) -> DocumentId {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed) as DocumentId;
-        self.store.write().push((id, index));
-        id
+        self.try_upload(index).expect("corpus append failed")
     }
 
-    /// Stores a batch of encrypted indexes under one store lock;
-    /// returns their document ids in batch order, guaranteed
-    /// contiguous (no concurrent upload can interleave ids inside a
-    /// batch).
+    /// Stores an encrypted index, surfacing backend storage errors.
+    ///
+    /// # Errors
+    ///
+    /// Backend storage failures (I/O on a disk-backed corpus).
+    pub fn try_upload(&self, index: EncryptedIndex) -> Result<DocumentId, CorpusError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) as DocumentId;
+        self.store.push(id, index)?;
+        Ok(id)
+    }
+
+    /// Stores a batch of encrypted indexes; returns their document ids
+    /// in batch order, guaranteed contiguous (the whole id range is
+    /// reserved atomically, so no concurrent upload can interleave ids
+    /// inside a batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a disk-backed corpus fails to accept a write.
     pub fn upload_many(&self, indexes: Vec<EncryptedIndex>) -> Vec<DocumentId> {
-        let mut store = self.store.write();
+        let first = self.next_id.fetch_add(indexes.len(), Ordering::Relaxed) as DocumentId;
         indexes
             .into_iter()
-            .map(|index| {
-                let id = self.next_id.fetch_add(1, Ordering::Relaxed) as DocumentId;
-                store.push((id, index));
+            .enumerate()
+            .map(|(i, index)| {
+                let id = first + i as DocumentId;
+                self.store.push(id, index).expect("corpus append failed");
                 id
             })
             .collect()
@@ -197,24 +373,54 @@ impl CloudServer {
     /// though each shard numbers only a slice of the corpus. Keeps
     /// `next_id` ahead of every assigned id so a later plain
     /// [`CloudServer::upload`] cannot collide.
-    pub fn upload_assigned(&self, id: DocumentId, index: EncryptedIndex) {
-        self.store.write().push((id, index));
+    ///
+    /// Re-using an id **overwrites** the existing document in place
+    /// (the document keeps its scan position; the last write wins,
+    /// matching the paged store's compaction semantics) — it never
+    /// silently stores a second copy for scans to double-count.
+    /// Returns `true` when `id` was new, `false` on an overwrite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a disk-backed corpus fails to accept the write.
+    pub fn upload_assigned(&self, id: DocumentId, index: EncryptedIndex) -> bool {
+        let fresh = self.store.push(id, index).expect("corpus append failed");
         self.next_id.fetch_max(id as usize + 1, Ordering::Relaxed);
+        fresh
     }
 
     /// The stored document ids, in store (scan) order.
     pub fn doc_ids(&self) -> Vec<DocumentId> {
-        self.store.read().iter().map(|(id, _)| *id).collect()
+        self.store.doc_ids()
     }
 
     /// Number of stored indexes.
     pub fn len(&self) -> usize {
-        self.store.read().len()
+        self.store.len()
     }
 
     /// True iff the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.store.read().is_empty()
+        self.store.is_empty()
+    }
+
+    /// On-disk shape of the backing store — `None` for in-memory
+    /// corpora.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures while statting a disk-backed corpus.
+    pub fn store_stats(&self) -> Result<Option<apks_store::StoreStats>, CorpusError> {
+        self.store.store_stats()
+    }
+
+    /// The unscanned tail `pos..total` as document ids, without
+    /// hydrating anything. Clamped to the `total` captured at scan
+    /// start so a concurrent upload cannot inflate a cut query's tail.
+    fn ids_tail(&self, pos: usize, total: usize) -> Vec<DocumentId> {
+        let mut ids = self.store.ids_from(pos);
+        ids.truncate(total.saturating_sub(pos));
+        ids
     }
 
     /// Verifies a signed capability (signature + issuer registration).
@@ -230,6 +436,48 @@ impl CloudServer {
             return Err(SearchOutcome::BadSignature);
         }
         Ok(())
+    }
+
+    /// The single entry point for capability preparation on every scan
+    /// path: measures the work through `clock`, records the ticks into
+    /// `metric`, and — when a [`PreparedCache`] is installed — reuses
+    /// a previously prepared capability instead of redoing the Miller
+    /// precomputation. Returns `(prepared, ticks, source counts)`;
+    /// counts are zero on a cache hit because no pairing work ran.
+    ///
+    /// Never advances a virtual clock, so caching cannot shift a
+    /// simulation's timeline — only the measured preparation cost.
+    fn prepare_measured(
+        &self,
+        cap: &Capability,
+        clock: &dyn Clock,
+        metric: &'static str,
+    ) -> (
+        Result<Arc<PreparedCapability>, SearchOutcome>,
+        u64,
+        SourceCounts,
+    ) {
+        let cache = self.prepared.read().clone();
+        let start = clock.now_ticks();
+        let key = cache
+            .as_ref()
+            .map(|_| PreparedCache::key(self.system.params(), cap));
+        if let (Some(cache), Some(key)) = (&cache, &key) {
+            if let Some(hit) = cache.get(key) {
+                self.metrics.add("cloud.prepare.cache_hits", 1);
+                let ticks = clock.now_ticks().saturating_sub(start);
+                self.metrics.record(metric, ticks);
+                return (Ok(hit), ticks, SourceCounts::default());
+            }
+        }
+        let (res, counts) = source::measure(|| self.system.prepare_capability(cap));
+        let ticks = clock.now_ticks().saturating_sub(start);
+        self.metrics.record(metric, ticks);
+        let res = res.map(Arc::new).map_err(SearchOutcome::Apks);
+        if let (Some(cache), Some(key), Ok(prepared)) = (&cache, key, &res) {
+            cache.insert(key, prepared.clone());
+        }
+        (res, ticks, counts)
     }
 
     /// Full search: admit, then scan the store sequentially.
@@ -294,23 +542,18 @@ impl CloudServer {
         threads: usize,
         prepare: bool,
     ) -> Result<(Vec<DocumentId>, SearchStats), SearchOutcome> {
-        let store = self.store.read();
-        let scanned = store.len();
+        let scanned = self.store.len();
         let clock = &*self.clock;
         let doc_hist = self.metrics.histogram("cloud.scan.doc_ticks");
 
         // Preparation is timed (through the injected clock) only when it
         // happens, so the unprepared path reports exactly 0.
-        let mut prep_counts = SourceCounts::default();
-        let (prepared, prepare_micros) = if prepare {
-            let start = clock.now_ticks();
-            let (res, counts) = source::measure(|| self.system.prepare_capability(cap));
-            let ticks = clock.now_ticks().saturating_sub(start);
-            prep_counts = counts;
-            self.metrics.record("cloud.scan.prepare_ticks", ticks);
-            (Some(res.map_err(SearchOutcome::Apks)?), ticks)
+        let (prepared, prepare_micros, prep_counts) = if prepare {
+            let (res, ticks, counts) =
+                self.prepare_measured(cap, clock, "cloud.scan.prepare_ticks");
+            (Some(res?), ticks, counts)
         } else {
-            (None, 0)
+            (None, 0, SourceCounts::default())
         };
 
         let eval = |idx: &EncryptedIndex| -> Result<bool, ApksError> {
@@ -322,16 +565,20 @@ impl CloudServer {
 
         // Each worker measures its own source-counter delta and hands it
         // back; summing the deltas is deterministic for any thread count.
-        type Part = (Result<Vec<DocumentId>, ApksError>, SourceCounts);
-        let scan_part = |part: &[(DocumentId, EncryptedIndex)]| -> Part {
+        type Part = (Result<Vec<DocumentId>, SearchOutcome>, SourceCounts);
+        let scan_part = |range: std::ops::Range<usize>| -> Part {
             source::measure(|| {
                 let mut out = Vec::new();
-                for (id, idx) in part {
+                for pos in range {
+                    let Some(id) = self.store.doc_id(pos) else {
+                        break;
+                    };
+                    let idx = self.store.hydrate(pos).map_err(SearchOutcome::Corpus)?;
                     let span = Span::start(clock, &doc_hist);
-                    let matched = eval(idx);
+                    let matched = eval(&idx);
                     span.finish();
-                    if matched? {
-                        out.push(*id);
+                    if matched.map_err(SearchOutcome::Apks)? {
+                        out.push(id);
                     }
                 }
                 Ok(out)
@@ -340,14 +587,17 @@ impl CloudServer {
 
         let scan_start = clock.now_ticks();
         let parts: Vec<Part> = if threads <= 1 {
-            vec![scan_part(&store)]
+            vec![scan_part(0..scanned)]
         } else {
-            let chunk = store.len().div_ceil(threads);
+            let chunk = scanned.div_ceil(threads).max(1);
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for part in store.chunks(chunk.max(1)) {
+                let mut start = 0;
+                while start < scanned {
+                    let end = (start + chunk).min(scanned);
                     let scan_part = &scan_part;
-                    handles.push(scope.spawn(move || scan_part(part)));
+                    handles.push(scope.spawn(move || scan_part(start..end)));
+                    start = end;
                 }
                 handles
                     .into_iter()
@@ -361,7 +611,7 @@ impl CloudServer {
         let mut scan_counts = SourceCounts::default();
         for (res, counts) in parts {
             scan_counts += counts;
-            matches.extend(res.map_err(SearchOutcome::Apks)?);
+            matches.extend(res?);
         }
         matches.sort_unstable();
 
@@ -428,40 +678,35 @@ impl CloudServer {
         threads: usize,
         ctx: &FaultContext<'_>,
     ) -> Result<DegradedScan, SearchOutcome> {
-        let store = self.store.read();
-        let scanned = store.len();
+        let scanned = self.store.len();
         // Degraded scans time against the fault context's virtual clock,
         // not the server's: a same-seed chaos run then reproduces every
         // stat — and the metrics snapshot — byte for byte.
         let clock: &dyn Clock = ctx.clock;
         let doc_hist = self.metrics.histogram("cloud.scan.doc_ticks");
 
-        let prep_start = clock.now_ticks();
-        let (prep_res, prep_counts) = source::measure(|| self.system.prepare_capability(cap));
-        let prepare_micros = clock.now_ticks().saturating_sub(prep_start);
-        self.metrics
-            .record("cloud.scan.prepare_ticks", prepare_micros);
-        let prepared = prep_res.map_err(SearchOutcome::Apks)?;
-
-        let eval_doc = |id: DocumentId, idx: &EncryptedIndex| -> (Option<bool>, usize, u64) {
-            self.eval_doc_faulted(&prepared, ctx, id, idx)
-        };
+        let (prep_res, prepare_micros, prep_counts) =
+            self.prepare_measured(cap, clock, "cloud.scan.prepare_ticks");
+        let prepared = prep_res?;
 
         let scan_start = clock.now_ticks();
         type Part = (Vec<DocumentId>, Vec<DocumentId>, usize, SourceCounts);
-        let scan_part = |part: &[(DocumentId, EncryptedIndex)]| -> Part {
+        let scan_part = |range: std::ops::Range<usize>| -> Part {
             let mut matches = Vec::new();
             let mut faulted = Vec::new();
             let mut retries = 0;
             let ((), counts) = source::measure(|| {
-                for (id, idx) in part {
-                    let (outcome, r, charged) = eval_doc(*id, idx);
+                for pos in range {
+                    let Some(id) = self.store.doc_id(pos) else {
+                        break;
+                    };
+                    let (outcome, r, charged) = self.eval_doc_faulted(&prepared, ctx, id, pos);
                     doc_hist.record(charged);
                     retries += r;
                     match outcome {
-                        Some(true) => matches.push(*id),
+                        Some(true) => matches.push(id),
                         Some(false) => {}
-                        None => faulted.push(*id),
+                        None => faulted.push(id),
                     }
                 }
             });
@@ -469,14 +714,17 @@ impl CloudServer {
         };
 
         let parts: Vec<Part> = if threads <= 1 {
-            vec![scan_part(&store)]
+            vec![scan_part(0..scanned)]
         } else {
-            let chunk = store.len().div_ceil(threads.max(1));
+            let chunk = scanned.div_ceil(threads.max(1)).max(1);
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for part in store.chunks(chunk.max(1)) {
+                let mut start = 0;
+                while start < scanned {
+                    let end = (start + chunk).min(scanned);
                     let scan_part = &scan_part;
-                    handles.push(scope.spawn(move || scan_part(part)));
+                    handles.push(scope.spawn(move || scan_part(start..end)));
+                    start = end;
                 }
                 handles
                     .into_iter()
@@ -542,20 +790,28 @@ impl CloudServer {
     /// (slowness + backoff the document itself incurred) rather than
     /// read off the shared clock, so the per-document histogram is
     /// identical for any thread count.
+    ///
+    /// Hydration is **after** fault resolution: a document the fault
+    /// schedule skips is never decoded (that laziness is the paged
+    /// backend's whole point), and a document the backend cannot
+    /// materialize degrades to `None` — skipped and reported, exactly
+    /// like an evaluation fault.
     fn eval_doc_faulted(
         &self,
         prepared: &PreparedCapability,
         ctx: &FaultContext<'_>,
         id: DocumentId,
-        idx: &EncryptedIndex,
+        pos: usize,
     ) -> (Option<bool>, usize, u64) {
         let (evaluable, retries, charged) = Self::resolve_doc_fault(ctx, id);
-        if evaluable {
-            let outcome = self.system.search_prepared(&self.pk, prepared, idx).ok();
-            (outcome, retries, charged)
-        } else {
-            (None, retries, charged)
+        if !evaluable {
+            return (None, retries, charged);
         }
+        let Ok(idx) = self.store.hydrate(pos) else {
+            return (None, retries, charged);
+        };
+        let outcome = self.system.search_prepared(&self.pk, prepared, &idx).ok();
+        (outcome, retries, charged)
     }
 
     /// Resolves a document's injected fault: whether evaluation may
@@ -645,12 +901,12 @@ impl CloudServer {
         budget: &Budget,
         doc_cost_ticks: u64,
     ) -> Result<DegradedScan, SearchOutcome> {
-        let store = self.store.read();
+        let total = self.store.len();
         let clock: &dyn Clock = ctx.clock;
 
         if deadline.expired_at(clock.now_ticks()) {
             self.metrics.add("cloud.scan.deadline_expired", 1);
-            let unscanned: Vec<DocumentId> = store.iter().map(|(id, _)| *id).collect();
+            let unscanned = self.ids_tail(0, total);
             let stats = SearchStats {
                 deadline_expired: true,
                 unscanned_docs: unscanned.len(),
@@ -666,12 +922,9 @@ impl CloudServer {
         }
 
         let doc_hist = self.metrics.histogram("cloud.scan.doc_ticks");
-        let prep_start = clock.now_ticks();
-        let (prep_res, prep_counts) = source::measure(|| self.system.prepare_capability(cap));
-        let prepare_micros = clock.now_ticks().saturating_sub(prep_start);
-        self.metrics
-            .record("cloud.scan.prepare_ticks", prepare_micros);
-        let prepared = prep_res.map_err(SearchOutcome::Apks)?;
+        let (prep_res, prepare_micros, prep_counts) =
+            self.prepare_measured(cap, clock, "cloud.scan.prepare_ticks");
+        let prepared = prep_res?;
 
         let doc_pairings = (self.system.n() + 3) as u64;
         let mut matches = Vec::new();
@@ -682,28 +935,31 @@ impl CloudServer {
         let mut budget_exhausted = false;
         let scan_start = clock.now_ticks();
         let ((), scan_counts) = source::measure(|| {
-            for (pos, (id, idx)) in store.iter().enumerate() {
+            for pos in 0..total {
                 if deadline.expired_at(clock.now_ticks()) {
                     deadline_expired = true;
                 } else if !budget.try_charge(doc_pairings) {
                     budget_exhausted = true;
                 } else {
+                    let Some(id) = self.store.doc_id(pos) else {
+                        break;
+                    };
                     ctx.clock.advance(doc_cost_ticks);
-                    let (outcome, r, charged) = self.eval_doc_faulted(&prepared, ctx, *id, idx);
+                    let (outcome, r, charged) = self.eval_doc_faulted(&prepared, ctx, id, pos);
                     doc_hist.record(charged + doc_cost_ticks);
                     retries += r;
                     match outcome {
-                        Some(true) => matches.push(*id),
+                        Some(true) => matches.push(id),
                         Some(false) => {}
-                        None => faulted.push(*id),
+                        None => faulted.push(id),
                     }
                     continue;
                 }
-                unscanned.extend(store[pos..].iter().map(|(id, _)| *id));
+                unscanned = self.ids_tail(pos, total);
                 break;
             }
         });
-        let scanned = store.len() - unscanned.len();
+        let scanned = total - unscanned.len();
 
         self.metrics.add("cloud.scans", 1);
         self.metrics.add("cloud.scan.docs", scanned as u64);
@@ -829,7 +1085,7 @@ impl CloudServer {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
-        let store = self.store.read();
+        let total = self.store.len();
         let clock: &dyn Clock = ctx.clock;
         let entry = clock.now_ticks();
         let doc_pairings = (self.system.n() + 3) as u64;
@@ -884,7 +1140,7 @@ impl CloudServer {
 
         // Prepare each distinct capability once — but only those some
         // live query needs (a wave of dead queries does no crypto).
-        let mut prepared: Vec<Option<PreparedCapability>> =
+        let mut prepared: Vec<Option<Arc<PreparedCapability>>> =
             (0..distinct.len()).map(|_| None).collect();
         let mut prep_ticks: Vec<u64> = vec![0; distinct.len()];
         let mut prep_counts = SourceCounts::default();
@@ -892,14 +1148,11 @@ impl CloudServer {
             if prepared[q.cap_idx].is_some() {
                 continue;
             }
-            let start = clock.now_ticks();
-            let (res, counts) =
-                source::measure(|| self.system.prepare_capability(distinct[q.cap_idx]));
-            let ticks = clock.now_ticks().saturating_sub(start);
+            let (res, ticks, counts) =
+                self.prepare_measured(distinct[q.cap_idx], clock, "cloud.wave.prepare_ticks");
             prep_counts += counts;
-            self.metrics.record("cloud.wave.prepare_ticks", ticks);
             prep_ticks[q.cap_idx] = ticks;
-            prepared[q.cap_idx] = Some(res.map_err(SearchOutcome::Apks)?);
+            prepared[q.cap_idx] = Some(res?);
         }
 
         let doc_hist = self.metrics.histogram("cloud.wave.doc_ticks");
@@ -907,7 +1160,10 @@ impl CloudServer {
         let mut shared_evals = 0u64;
         let scan_start = clock.now_ticks();
         let ((), scan_counts) = source::measure(|| {
-            for (pos, (id, idx)) in store.iter().enumerate() {
+            for pos in 0..total {
+                let Some(id) = self.store.doc_id(pos) else {
+                    break;
+                };
                 // Each live query's bounds, in wave order — the same
                 // deadline-then-budget order a solo scan applies.
                 let mut survivors: Vec<usize> = Vec::new();
@@ -932,17 +1188,30 @@ impl CloudServer {
                 docs_touched += 1;
                 // One load + one service charge for the whole wave.
                 ctx.clock.advance(doc_cost_ticks);
-                let (evaluable, retries, charged) = Self::resolve_doc_fault(ctx, *id);
+                let (evaluable, retries, charged) = Self::resolve_doc_fault(ctx, id);
                 doc_hist.record(charged + doc_cost_ticks);
                 for &qi in &survivors {
                     states[qi].retries += retries;
                 }
                 if !evaluable {
                     for &qi in &survivors {
-                        states[qi].faulted.push(*id);
+                        states[qi].faulted.push(id);
                     }
                     continue;
                 }
+                // One hydration for the whole wave — and only now, when
+                // some survivor will actually evaluate the document. A
+                // document the backend cannot materialize degrades for
+                // the survivors exactly like an evaluation fault.
+                let idx = match self.store.hydrate(pos) {
+                    Ok(idx) => idx,
+                    Err(_) => {
+                        for &qi in &survivors {
+                            states[qi].faulted.push(id);
+                        }
+                        continue;
+                    }
+                };
                 // Distinct capabilities among this document's survivors:
                 // duplicates ride along on one evaluation.
                 let mut wave_caps: Vec<usize> = Vec::new();
@@ -955,12 +1224,12 @@ impl CloudServer {
                 let cap_refs: Vec<&PreparedCapability> = wave_caps
                     .iter()
                     .map(|&ci| {
-                        prepared[ci]
+                        &**prepared[ci]
                             .as_ref()
                             .expect("live query's capability prepared")
                     })
                     .collect();
-                match self.system.search_prepared_wave(&self.pk, &cap_refs, idx) {
+                match self.system.search_prepared_wave(&self.pk, &cap_refs, &idx) {
                     Ok(verdicts) => {
                         for &qi in &survivors {
                             let slot = wave_caps
@@ -969,7 +1238,7 @@ impl CloudServer {
                                 .expect("survivor's capability in wave");
                             states[qi].evals += 1;
                             if verdicts[slot] {
-                                states[qi].matches.push(*id);
+                                states[qi].matches.push(id);
                             }
                         }
                     }
@@ -977,7 +1246,7 @@ impl CloudServer {
                     // wave's survivors, exactly as a solo scan skips it
                     Err(_) => {
                         for &qi in &survivors {
-                            states[qi].faulted.push(*id);
+                            states[qi].faulted.push(id);
                         }
                     }
                 }
@@ -1011,7 +1280,7 @@ impl CloudServer {
         let mut unscanned_total = 0u64;
         for q in states {
             let unscanned: Vec<DocumentId> = match q.cut_pos {
-                Some(pos) => store[pos..].iter().map(|(id, _)| *id).collect(),
+                Some(pos) => self.ids_tail(pos, total),
                 None => Vec::new(),
             };
             if q.deadline_expired {
@@ -1022,7 +1291,7 @@ impl CloudServer {
             }
             unscanned_total += unscanned.len() as u64;
             let stats = SearchStats {
-                scanned: store.len() - unscanned.len(),
+                scanned: total - unscanned.len(),
                 matched: q.matches.len(),
                 prepare_micros: if q.dead_at_entry {
                     0
@@ -1134,6 +1403,49 @@ mod tests {
         assert_eq!(hits, vec![ids[0], ids[4]]);
         assert_eq!(stats.scanned, 5);
         assert_eq!(stats.matched, 2);
+    }
+
+    #[test]
+    fn upload_assigned_overwrites_duplicates_in_place() {
+        let (server, ta, mut rng) = deployment();
+        let ids = upload_corpus(&server, &ta, &mut rng);
+        let sys = ta.system();
+        let pk = ta.public_key();
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", "measles"),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .unwrap();
+        assert!(server.search(&cap).unwrap().0.is_empty());
+
+        // overwrite the middle document: not fresh, corpus size and
+        // scan order unchanged, new ciphertext visible exactly once
+        let rec = Record::new(vec![FieldValue::text("measles"), FieldValue::text("male")]);
+        let idx = sys.gen_index(pk, &rec, &mut rng).unwrap();
+        assert!(!server.upload_assigned(ids[2], idx));
+        assert_eq!(server.len(), ids.len());
+        assert_eq!(server.doc_ids(), ids);
+        let (hits, stats) = server.search(&cap).unwrap();
+        assert_eq!(hits, vec![ids[2]]);
+        assert_eq!(stats.matched, 1);
+
+        // a genuinely new id is fresh and lands at the end of the scan
+        let rec = Record::new(vec![
+            FieldValue::text("measles"),
+            FieldValue::text("female"),
+        ]);
+        let idx = sys.gen_index(pk, &rec, &mut rng).unwrap();
+        assert!(server.upload_assigned(99, idx));
+        assert_eq!(server.len(), ids.len() + 1);
+        assert_eq!(*server.doc_ids().last().unwrap(), 99);
+        let (hits, _) = server.search(&cap).unwrap();
+        assert_eq!(hits, vec![ids[2], 99]);
+        // and the bumped counter keeps future uploads collision-free
+        let rec = Record::new(vec![FieldValue::text("flu"), FieldValue::text("male")]);
+        let idx = sys.gen_index(pk, &rec, &mut rng).unwrap();
+        assert_eq!(server.upload(idx), 100);
     }
 
     #[test]

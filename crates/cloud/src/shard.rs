@@ -43,7 +43,9 @@
 //! `unscanned`, accounted under `cloud.shard.breaker_skipped` — partial
 //! results with explicit gaps, never silent loss.
 
-use crate::server::{CloudServer, DegradedScan, DocumentId, SearchOutcome, SearchStats};
+use crate::server::{
+    CloudServer, DegradedScan, DocumentId, PreparedCache, SearchOutcome, SearchStats,
+};
 use apks_authz::SignedCapability;
 use apks_core::fault::{FaultContext, FaultPlan, RetryPolicy, VirtualClock};
 use apks_core::{Budget, Deadline, EncryptedIndex};
@@ -123,6 +125,10 @@ pub struct ShardRouter {
     metrics: Arc<MetricsRegistry>,
     model: ClockModel,
     next_id: AtomicU64,
+    /// Prepared-capability cache shared by every shard: a scatter-
+    /// gather wave pays `prepare_capability` once, the other N−1
+    /// shards hit the cache.
+    prepared: Arc<PreparedCache>,
 }
 
 impl ShardRouter {
@@ -146,6 +152,12 @@ impl ShardRouter {
         let breakers = (0..shards.len())
             .map(|_| CircuitBreaker::new(config.breaker))
             .collect();
+        // one prepared-capability cache for the whole deployment: the
+        // first shard to prepare a capability shares it with the rest
+        let prepared = Arc::new(PreparedCache::new());
+        for shard in &shards {
+            shard.set_prepared_cache(prepared.clone());
+        }
         ShardRouter {
             shards,
             breakers,
@@ -153,7 +165,15 @@ impl ShardRouter {
             metrics,
             model: config.clock_model,
             next_id: AtomicU64::new(0),
+            prepared,
         }
+    }
+
+    /// The deployment-shared prepared-capability cache — its
+    /// [`PreparedCache::misses`] count is the number of
+    /// `prepare_capability` runs the whole deployment actually paid.
+    pub fn prepared_cache(&self) -> &Arc<PreparedCache> {
+        &self.prepared
     }
 
     /// Number of shards.

@@ -125,6 +125,12 @@ impl ApksSystem {
         self.schema.n()
     }
 
+    /// The deployment's schema digest — the identity every capability,
+    /// index, and on-disk segment is pinned to.
+    pub fn schema_digest(&self) -> [u8; 32] {
+        self.digest
+    }
+
     /// Rewraps a decoded HPE public key with this system's digest
     /// (used by persistence; the dimension is validated by the caller).
     pub fn public_key_from_parts(&self, hpe: HpePublicKey) -> ApksPublicKey {

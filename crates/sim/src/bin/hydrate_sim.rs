@@ -1,0 +1,121 @@
+//! `hydrate_sim`: ingests real encrypted indexes into a paged store
+//! and scans them through lazy hydration, checking every query against
+//! an in-memory twin and printing the cache ledger.
+//!
+//! ```text
+//! hydrate_sim [--docs N] [--queries N] [--cache-bytes N] [--seed N]
+//!             [--deadline N] [--budget N] [--faulted] [--no-rescan]
+//!             [--dir PATH] [--out PATH]
+//! ```
+//!
+//! The default run is a CI-sized smoke. With `--out` (or
+//! `APKS_HYDRATE_SIM_OUT`), the paged twin's metrics snapshot —
+//! including every `cloud.hydrate.*` counter — is written to the path
+//! as JSON; CI uploads it as the hydrate-smoke artifact. Exit code 1
+//! on bad flags or a scenario failure.
+
+use apks_core::fault::FaultConfig;
+use apks_sim::hydrate::{run_hydrate_sim, HydrateSimConfig};
+
+fn parse_flags() -> Result<(HydrateSimConfig, String, Option<String>), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = HydrateSimConfig::default();
+    let mut dir = std::env::temp_dir()
+        .join(format!("apks-hydrate-sim-{}", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let mut out = std::env::var("APKS_HYDRATE_SIM_OUT").ok();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--docs" => config.docs = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--queries" => config.queries = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--cache-bytes" => {
+                config.cache_budget_bytes = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--seed" => {
+                config.seed = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+                config.faults.seed = config.seed;
+            }
+            "--deadline" => {
+                config.deadline_ticks = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--budget" => {
+                config.pairing_budget = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--faulted" => {
+                config.faults = FaultConfig {
+                    seed: config.seed,
+                    poisoned_doc_permille: 120,
+                    flaky_doc_permille: 100,
+                    slow_doc_permille: 100,
+                    ..FaultConfig::default()
+                };
+            }
+            "--no-rescan" => config.rescan = false,
+            "--dir" => dir = value(flag)?,
+            "--out" => out = Some(value(flag)?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok((config, dir, out))
+}
+
+fn main() {
+    let (config, dir, out) = match parse_flags() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("hydrate_sim: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = match run_hydrate_sim(&config, std::path::Path::new(&dir)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("hydrate_sim: scenario failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "hydrate_sim: seed={} docs={} queries={} cache_bytes={}",
+        config.seed, report.docs, report.queries, config.cache_budget_bytes
+    );
+    println!(
+        "  store: segments={} pages={} indexed_docs={} bytes={}",
+        report.segments, report.pages, report.indexed_docs, report.store_bytes
+    );
+    println!(
+        "  hydrate: misses={} hits={} evictions={} oversize={}",
+        report.hydrate_misses,
+        report.hydrate_hits,
+        report.hydrate_evictions,
+        report.hydrate_oversize
+    );
+    println!(
+        "  scan: hits={} deadline_expired={} budget_exhausted={} faulted_docs={}",
+        report.hits_total, report.deadline_expired, report.budget_exhausted, report.faulted_docs
+    );
+    println!(
+        "  time: virtual_ticks={} ingest={:.2}s scan={:.2}s oracle_verified={}",
+        report.virtual_ticks,
+        report.ingest_wall_secs,
+        report.scan_wall_secs,
+        report.oracle_verified
+    );
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.metrics.to_json()) {
+            eprintln!("hydrate_sim: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  metrics -> {path}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

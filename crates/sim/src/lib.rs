@@ -15,6 +15,7 @@
 //! proxy hop, match rates under realistic queries, denial rates).
 
 pub mod framed;
+pub mod hydrate;
 pub mod overload;
 pub mod shard;
 

@@ -35,7 +35,7 @@ pub use segment::{
     CellIter, SegmentHeader, SegmentInfo, SegmentReader, SegmentWriter, SEGMENT_HEADER_LEN,
     SEGMENT_MAGIC,
 };
-pub use store::{PagedStore, StoreConfig, StoreScan, StoreStats};
+pub use store::{CellLocation, PagedStore, StoreConfig, StoreScan, StoreStats};
 
 use core::fmt;
 

@@ -12,7 +12,7 @@ use crate::page::{Cell, Page, PageError};
 use crate::StoreError;
 use apks_math::sha256::sha256;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// First eight bytes of every segment file.
@@ -155,6 +155,11 @@ impl SegmentWriter {
         &self.path
     }
 
+    /// The id this segment was created with.
+    pub fn segment_id(&self) -> u64 {
+        self.info.segment_id
+    }
+
     /// Cells appended so far.
     pub fn cells(&self) -> u64 {
         self.info.cells + self.page.cell_count() as u64
@@ -167,23 +172,26 @@ impl SegmentWriter {
     }
 
     /// Appends one cell, sealing the current page first if it is full.
+    /// Returns the cell's `(page, slot)` coordinates inside this
+    /// segment — the point-lookup index is built from these at write
+    /// time instead of by re-scanning.
     ///
     /// # Errors
     ///
     /// [`StoreError::CellTooLarge`] if the cell cannot fit even an
     /// empty page; I/O failures writing a sealed page.
-    pub fn append(&mut self, cell: &Cell) -> Result<(), StoreError> {
-        if self.page.insert(cell) {
-            return Ok(());
-        }
-        self.seal_page()?;
+    pub fn append(&mut self, cell: &Cell) -> Result<(u64, u16), StoreError> {
         if !self.page.insert(cell) {
-            return Err(StoreError::CellTooLarge {
-                len: cell.encoded_size(),
-                max: Page::max_cell_size(self.page_size),
-            });
+            self.seal_page()?;
+            if !self.page.insert(cell) {
+                return Err(StoreError::CellTooLarge {
+                    len: cell.encoded_size(),
+                    max: Page::max_cell_size(self.page_size),
+                });
+            }
         }
-        Ok(())
+        // the in-progress page's index is the number of sealed pages
+        Ok((self.info.pages, (self.page.cell_count() - 1) as u16))
     }
 
     fn seal_page(&mut self) -> Result<(), StoreError> {
@@ -257,6 +265,46 @@ impl SegmentReader {
         &self.header
     }
 
+    /// Reads and checksums exactly one page, returning its cells in
+    /// slot order — the point-lookup path. Nothing else in the segment
+    /// is touched, so a `get` through the store's document index costs
+    /// one page read regardless of segment size.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a short read (the page does not exist or is a
+    /// torn tail — indexed cells are always durable, so this is
+    /// corruption from the index's point of view), or the page-level
+    /// checksum/structure errors mapped to their segment coordinates.
+    pub fn page_cells(&mut self, page: u64) -> Result<Vec<Cell>, StoreError> {
+        let page_size = self.header.page_size as usize;
+        let offset = SEGMENT_HEADER_LEN as u64 + page * page_size as u64;
+        self.file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; page_size];
+        let mut filled = 0;
+        while filled < page_size {
+            let n = self.file.read(&mut buf[filled..])?;
+            if n == 0 {
+                return Err(StoreError::Io(format!(
+                    "segment {}: page {page} short ({filled} of {page_size} bytes)",
+                    self.header.segment_id
+                )));
+            }
+            filled += n;
+        }
+        Page::parse(&buf).map_err(|e| match e {
+            PageError::Checksum => StoreError::PageChecksumMismatch {
+                segment: self.header.segment_id,
+                page,
+            },
+            PageError::Structure(what) => StoreError::CorruptPage {
+                segment: self.header.segment_id,
+                page,
+                what,
+            },
+        })
+    }
+
     /// Consumes the reader into a streaming cell iterator.
     pub fn cells(self) -> CellIter {
         let page_size = self.header.page_size as usize;
@@ -295,12 +343,17 @@ pub struct CellIter {
     segment_id: u64,
     page_size: usize,
     lookahead: Option<Vec<u8>>,
-    pending: std::collections::VecDeque<Result<Cell, StoreError>>,
+    pending: std::collections::VecDeque<Result<LocatedCell, StoreError>>,
     page_index: u64,
     pages_read: u64,
     torn_tail: bool,
     done: bool,
 }
+
+/// A cell paired with its `(page, slot)` coordinates inside the
+/// segment — what [`CellIter::next_located`] yields and the store's
+/// document index records at recovery time.
+pub type LocatedCell = ((u64, u16), Cell);
 
 impl CellIter {
     /// True iff a torn final page (partial or checksum-dead) was
@@ -336,12 +389,11 @@ impl CellIter {
         }
         Ok(Some(buf))
     }
-}
 
-impl Iterator for CellIter {
-    type Item = Result<Cell, StoreError>;
-
-    fn next(&mut self) -> Option<Result<Cell, StoreError>> {
+    /// As `Iterator::next`, but each cell arrives with its `(page,
+    /// slot)` coordinates inside the segment — what the store's
+    /// document index records at recovery time.
+    pub fn next_located(&mut self) -> Option<Result<LocatedCell, StoreError>> {
         loop {
             if let Some(item) = self.pending.pop_front() {
                 return Some(item);
@@ -365,7 +417,13 @@ impl Iterator for CellIter {
             match Page::parse(&buf) {
                 Ok(cells) => {
                     self.pages_read += 1;
-                    self.pending.extend(cells.into_iter().map(Ok));
+                    let page = self.page_index;
+                    self.pending.extend(
+                        cells
+                            .into_iter()
+                            .enumerate()
+                            .map(|(slot, cell)| Ok(((page, slot as u16), cell))),
+                    );
                 }
                 Err(PageError::Checksum) if is_final => {
                     // the checksum of the *last* page never landed: a
@@ -392,6 +450,14 @@ impl Iterator for CellIter {
             }
             self.page_index += 1;
         }
+    }
+}
+
+impl Iterator for CellIter {
+    type Item = Result<Cell, StoreError>;
+
+    fn next(&mut self) -> Option<Result<Cell, StoreError>> {
+        self.next_located().map(|item| item.map(|(_, cell)| cell))
     }
 }
 

@@ -17,6 +17,17 @@ use crate::StoreError;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
+/// Where a document's winning cell lives: one page read away.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellLocation {
+    /// Segment id the cell lives in.
+    pub segment: u64,
+    /// Zero-based page index inside the segment.
+    pub page: u64,
+    /// Slot index inside the page.
+    pub slot: u16,
+}
+
 /// Knobs for a [`PagedStore`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct StoreConfig {
@@ -53,6 +64,9 @@ pub struct StoreStats {
     pub bytes: u64,
     /// Torn final appends skipped during the pass.
     pub torn_tails: u64,
+    /// Live documents in the point-lookup index (puts minus
+    /// tombstones, duplicates collapsed).
+    pub indexed_docs: u64,
 }
 
 /// A directory of append-only segments holding opaque document cells.
@@ -64,6 +78,18 @@ pub struct PagedStore {
     sealed: Vec<u64>,
     active: Option<SegmentWriter>,
     next_segment_id: u64,
+    /// Point-lookup index: each live document's winning cell, one page
+    /// read away. Built by replaying every segment at open, maintained
+    /// on append, rebuilt by compaction.
+    index: HashMap<u64, CellLocation>,
+    /// Live documents in first-put order — the store's replay order
+    /// with overwrites collapsed onto their original position and
+    /// tombstoned documents removed. This is the scan order a corpus
+    /// backend serves.
+    order: Vec<u64>,
+    /// Open segment readers kept warm for point lookups (invalidated
+    /// by compaction, which unlinks the files).
+    readers: HashMap<u64, SegmentReader>,
 }
 
 fn segment_path(dir: &Path, id: u64) -> PathBuf {
@@ -107,14 +133,67 @@ impl PagedStore {
         }
         sealed.sort_unstable();
         let next_segment_id = sealed.last().map_or(0, |last| last + 1);
-        Ok(PagedStore {
+        let mut store = PagedStore {
             dir: dir.to_path_buf(),
             schema_digest,
             config,
             sealed,
             active: None,
             next_segment_id,
-        })
+            index: HashMap::new(),
+            order: Vec::new(),
+            readers: HashMap::new(),
+        };
+        store.rebuild_index();
+        Ok(store)
+    }
+
+    /// Replays every sealed segment once, building the `doc_id →
+    /// (segment, page, slot)` index and the live-document order. Torn
+    /// tails are skipped exactly as a scan skips them; interior
+    /// corruption stops indexing that segment (the damage still fails
+    /// loudly on the next full scan — recovery must not turn an
+    /// openable store into an unopenable one).
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        self.order.clear();
+        let sealed = self.sealed.clone();
+        for segment in sealed {
+            let path = segment_path(&self.dir, segment);
+            let Ok(reader) = SegmentReader::open(&path, Some(&self.schema_digest)) else {
+                continue;
+            };
+            let mut cells = reader.cells();
+            while let Some(item) = cells.next_located() {
+                let Ok(((page, slot), cell)) = item else {
+                    break;
+                };
+                self.apply_to_index(
+                    &cell,
+                    CellLocation {
+                        segment,
+                        page,
+                        slot,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Applies one replayed/appended cell to the point-lookup index.
+    fn apply_to_index(&mut self, cell: &Cell, loc: CellLocation) {
+        match cell {
+            Cell::Put { doc_id, .. } => {
+                if self.index.insert(*doc_id, loc).is_none() {
+                    self.order.push(*doc_id);
+                }
+            }
+            Cell::Tombstone { doc_id } => {
+                if self.index.remove(doc_id).is_some() {
+                    self.order.retain(|id| id != doc_id);
+                }
+            }
+        }
     }
 
     /// The store directory.
@@ -150,7 +229,17 @@ impl PagedStore {
             )?);
         }
         let writer = self.active.as_mut().expect("just ensured");
-        writer.append(cell)?;
+        let segment = writer.segment_id();
+        let (page, slot) = writer.append(cell)?;
+        self.apply_to_index(
+            cell,
+            CellLocation {
+                segment,
+                page,
+                slot,
+            },
+        );
+        let writer = self.active.as_mut().expect("still active");
         if writer.bytes_written() >= self.config.segment_max_bytes {
             self.seal()?;
         }
@@ -218,6 +307,66 @@ impl PagedStore {
         })
     }
 
+    /// Live documents in the point-lookup index.
+    pub fn doc_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Live documents in replay order — first-put order with
+    /// overwrites collapsed onto their original position and
+    /// tombstoned documents removed. Compaction may reorder documents
+    /// that were overwritten (their winning cell replays at its later
+    /// position); callers holding positional state must re-read this
+    /// after [`PagedStore::compact`].
+    pub fn doc_order(&self) -> &[u64] {
+        &self.order
+    }
+
+    /// Where `doc_id`'s winning cell lives, if the document is live.
+    pub fn location_of(&self, doc_id: u64) -> Option<CellLocation> {
+        self.index.get(&doc_id).copied()
+    }
+
+    /// Point lookup: reads and checksums **exactly one page** — the
+    /// one holding `doc_id`'s winning cell — and returns its payload.
+    /// Never pays a full segment scan. Seals the active segment first
+    /// so the freshest append is visible (same visibility rule as
+    /// [`PagedStore::scan`]).
+    ///
+    /// Returns `Ok(None)` for a document that was never put or was
+    /// tombstoned.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, page checksum mismatches, or an index/page
+    /// disagreement (a writer bug surfaced as [`StoreError::CorruptPage`]).
+    pub fn get(&mut self, doc_id: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        self.seal()?;
+        let Some(loc) = self.index.get(&doc_id).copied() else {
+            return Ok(None);
+        };
+        if !self.readers.contains_key(&loc.segment) {
+            let reader = SegmentReader::open(
+                &segment_path(&self.dir, loc.segment),
+                Some(&self.schema_digest),
+            )?;
+            self.readers.insert(loc.segment, reader);
+        }
+        let reader = self.readers.get_mut(&loc.segment).expect("just inserted");
+        let cells = reader.page_cells(loc.page)?;
+        match cells.get(loc.slot as usize) {
+            Some(Cell::Put {
+                doc_id: found,
+                payload,
+            }) if *found == doc_id => Ok(Some(payload.clone())),
+            _ => Err(StoreError::CorruptPage {
+                segment: loc.segment,
+                page: loc.page,
+                what: "indexed slot does not hold the document",
+            }),
+        }
+    }
+
     /// Merges every sealed segment into one: the **latest** cell per
     /// document wins and tombstoned documents vanish. Old segment
     /// files are unlinked only after the merged segment is synced.
@@ -263,6 +412,10 @@ impl PagedStore {
         } else {
             self.sealed.push(id);
         }
+        // every cached reader points at an unlinked file, and every
+        // indexed location names a dead segment: rebuild both
+        self.readers.clear();
+        self.rebuild_index();
         Ok(info)
     }
 
@@ -275,6 +428,7 @@ impl PagedStore {
         self.seal()?;
         let mut stats = StoreStats {
             segments: self.sealed.len() as u64,
+            indexed_docs: self.index.len() as u64,
             ..StoreStats::default()
         };
         for &id in &self.sealed {
@@ -484,6 +638,77 @@ mod tests {
             files
         };
         assert_eq!(run("det-a"), run("det-b"));
+    }
+
+    #[test]
+    fn point_lookup_sees_every_live_doc() {
+        let tmp = TempDir::new("get");
+        let mut store = PagedStore::open(&tmp.0, [3u8; 32], small_config()).unwrap();
+        for i in 0..80u64 {
+            store.put(i, vec![(i % 251) as u8; 12]).unwrap();
+        }
+        for i in 0..20u64 {
+            store.put(i, vec![0xAB; 20]).unwrap(); // overwrite
+        }
+        for i in 20..30u64 {
+            store.delete(i).unwrap();
+        }
+        assert_eq!(store.doc_count(), 70);
+        for i in 0..20u64 {
+            assert_eq!(store.get(i).unwrap(), Some(vec![0xAB; 20]), "doc {i}");
+        }
+        for i in 20..30u64 {
+            assert_eq!(store.get(i).unwrap(), None, "doc {i} tombstoned");
+        }
+        for i in 30..80u64 {
+            assert_eq!(store.get(i).unwrap(), Some(vec![(i % 251) as u8; 12]));
+        }
+        assert_eq!(store.get(999).unwrap(), None);
+        // order: first-put order, overwrites keep position, deletes gone
+        let expect: Vec<u64> = (0..20u64).chain(30..80).collect();
+        assert_eq!(store.doc_order(), &expect[..]);
+    }
+
+    #[test]
+    fn index_survives_reopen_and_compaction() {
+        let tmp = TempDir::new("get-reopen");
+        let digest = [4u8; 32];
+        {
+            let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+            for i in 0..60u64 {
+                store.put(i, i.to_le_bytes().to_vec()).unwrap();
+            }
+            store.put(7, vec![0xEE; 9]).unwrap();
+            store.delete(13).unwrap();
+            store.seal().unwrap();
+        }
+        let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+        assert_eq!(store.doc_count(), 59);
+        assert_eq!(store.get(7).unwrap(), Some(vec![0xEE; 9]));
+        assert_eq!(store.get(13).unwrap(), None);
+        assert_eq!(store.get(42).unwrap(), Some(42u64.to_le_bytes().to_vec()));
+        assert_eq!(store.stats().unwrap().indexed_docs, 59);
+
+        store.compact().unwrap();
+        assert_eq!(store.doc_count(), 59);
+        assert_eq!(store.get(7).unwrap(), Some(vec![0xEE; 9]));
+        assert_eq!(store.get(13).unwrap(), None);
+        assert_eq!(store.get(42).unwrap(), Some(42u64.to_le_bytes().to_vec()));
+        // compaction rebuilt locations into the merged segment
+        let loc = store.location_of(42).unwrap();
+        assert_eq!(loc.segment, store.sealed.last().copied().unwrap());
+    }
+
+    #[test]
+    fn point_lookup_reads_exactly_one_page_of_fresh_appends() {
+        // a get right after a put must see it (seal-on-read visibility)
+        let tmp = TempDir::new("get-fresh");
+        let mut store = PagedStore::open(&tmp.0, [6u8; 32], small_config()).unwrap();
+        store.put(1, vec![1]).unwrap();
+        assert_eq!(store.get(1).unwrap(), Some(vec![1]));
+        store.put(2, vec![2]).unwrap();
+        assert_eq!(store.get(2).unwrap(), Some(vec![2]));
+        assert_eq!(store.get(1).unwrap(), Some(vec![1]));
     }
 
     #[test]

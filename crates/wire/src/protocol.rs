@@ -41,6 +41,9 @@ pub const ERR_BAD_SIGNATURE: u16 = 2;
 pub const ERR_UNKNOWN_ISSUER: u16 = 3;
 /// `Response::Error` code: APKS evaluation failed.
 pub const ERR_APKS: u16 = 4;
+/// `Response::Error` code: the server's corpus backend failed to
+/// materialize a document (storage or decode failure).
+pub const ERR_CORPUS: u16 = 5;
 
 /// A bounded search over the server's corpus: the signed capability
 /// plus the overload bounds the client grants the scan.

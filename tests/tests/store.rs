@@ -13,6 +13,13 @@
 //! single-node [`CloudServer::search_batched`] over the corpus formed
 //! by concatenating the shard corpora in shard order, for *arbitrary*
 //! deadlines and budgets.
+//!
+//! The third half pins the disk-backed corpus: a `CloudServer` over a
+//! `PagedBackend` (real ciphertexts on disk, lazily hydrated through
+//! the byte-budgeted decoded-index LRU) is byte-equal — results,
+//! accounting, and virtual clock — to the same server over the
+//! in-memory backend, for arbitrary deadlines, budgets, fault plans,
+//! and cache budgets.
 
 use apks_store::{PagedStore, StoreConfig, StoreError, SEGMENT_HEADER_LEN};
 use std::fs;
@@ -385,6 +392,227 @@ mod scatter_gather {
             }
             // identical work ⇒ identical virtual time
             prop_assert_eq!(shard_clock.now(), solo_clock.now());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hydration equivalence: disk-backed PagedBackend == in-memory backend
+// ---------------------------------------------------------------------------
+
+mod hydration {
+    use super::TempDir;
+    use apks_authz::TrustedAuthority;
+    use apks_cloud::{CloudServer, DegradedScan, HydrateConfig};
+    use apks_core::fault::{FaultConfig, FaultContext, FaultPlan, RetryPolicy, VirtualClock};
+    use apks_core::{
+        ApksSystem, Budget, Deadline, EncryptedIndex, FieldValue, Query, QueryPolicy, Record,
+        Schema,
+    };
+    use apks_curve::CurveParams;
+    use apks_store::StoreConfig;
+    use apks_telemetry::MetricsRegistry;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    const ILLNESS: [&str; 3] = ["flu", "diabetes", "cancer"];
+    const DOC_COST: u64 = 7;
+
+    fn authority() -> &'static TrustedAuthority {
+        static TA: OnceLock<TrustedAuthority> = OnceLock::new();
+        TA.get_or_init(|| {
+            let schema = Schema::builder().flat_field("illness", 1).build().unwrap();
+            let sys = ApksSystem::new(CurveParams::fast(), schema);
+            let mut rng = StdRng::seed_from_u64(770_023);
+            TrustedAuthority::setup(sys, &mut rng)
+        })
+    }
+
+    fn memory_server(ta: &TrustedAuthority, clock: &Arc<VirtualClock>) -> CloudServer {
+        let s = CloudServer::with_telemetry(
+            ta.system().clone(),
+            ta.public_key().clone(),
+            ta.ibs_params().clone(),
+            Arc::new(MetricsRegistry::new()),
+            clock.clone(),
+        );
+        s.register_authority("ta");
+        s
+    }
+
+    fn paged_server(
+        ta: &TrustedAuthority,
+        clock: &Arc<VirtualClock>,
+        dir: &std::path::Path,
+        cache_budget_bytes: usize,
+    ) -> CloudServer {
+        let s = CloudServer::with_paged_store(
+            ta.system().clone(),
+            ta.public_key().clone(),
+            ta.ibs_params().clone(),
+            Arc::new(MetricsRegistry::new()),
+            clock.clone(),
+            dir,
+            StoreConfig {
+                page_size: 4096,
+                // tiny segments: a handful of documents rolls several
+                segment_max_bytes: 8192,
+            },
+            HydrateConfig { cache_budget_bytes },
+        )
+        .unwrap();
+        s.register_authority("ta");
+        s
+    }
+
+    /// Everything decision-relevant in a scan, canonically encoded —
+    /// same exclusions as the scatter-gather canon (the measurement-
+    /// frame timings).
+    fn canon(d: &DegradedScan) -> Vec<u8> {
+        let mut out = Vec::new();
+        for list in [&d.matches, &d.faulted, &d.unscanned] {
+            out.extend((list.len() as u64).to_le_bytes());
+            for id in list {
+                out.extend(id.to_le_bytes());
+            }
+        }
+        let s = &d.stats;
+        for v in [
+            s.scanned as u64,
+            s.matched as u64,
+            s.pairings as u64,
+            s.faulted_docs as u64,
+            s.retries as u64,
+            s.unscanned_docs as u64,
+        ] {
+            out.extend(v.to_le_bytes());
+        }
+        out.extend([
+            u8::from(s.degraded),
+            u8::from(s.deadline_expired),
+            u8::from(s.budget_exhausted),
+        ]);
+        out
+    }
+
+    fn case_dir() -> TempDir {
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        TempDir::new(&format!("hydrate-{}", CASE.fetch_add(1, Ordering::Relaxed)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Disk-backed scans (real ciphertexts, lazy hydration, LRU of
+        /// decoded indexes) ≡ in-memory scans: result sets, bound-cut
+        /// accounting, and the virtual clock, under arbitrary
+        /// deadlines, budgets, fault plans, and cache budgets — the
+        /// cache budget is allowed to force evictions (or disable
+        /// caching outright) without changing a single byte.
+        #[test]
+        fn paged_backend_scan_equals_memory_backend(
+            docs in prop::collection::vec(0usize..3, 3..10),
+            queries in prop::collection::vec(
+                (0usize..3, 0u64..150, 0u64..260),
+                1..4,
+            ),
+            fault_seed in any::<u64>(),
+            poisoned_permille in 0u32..200,
+            // 0 disables caching; 1500 fits ~a couple of fast-curve
+            // indexes (forces evictions); the last never evicts
+            cache_budget in (0usize..3).prop_map(|i| [0usize, 1500, 1 << 20][i]),
+        ) {
+            let ta = authority();
+            let mut rng = StdRng::seed_from_u64(fault_seed ^ 0x5A5A);
+            let indexes: Vec<EncryptedIndex> = docs
+                .iter()
+                .map(|&i| {
+                    let rec = Record::new(vec![FieldValue::text(ILLNESS[i])]);
+                    ta.system().gen_index(ta.public_key(), &rec, &mut rng).unwrap()
+                })
+                .collect();
+            let caps: Vec<_> = queries
+                .iter()
+                .map(|&(i, _, _)| {
+                    ta.issue_capability(
+                        &Query::new().equals("illness", ILLNESS[i]),
+                        &QueryPolicy::default(),
+                        &mut rng,
+                    )
+                    .unwrap()
+                })
+                .collect();
+
+            let plan = FaultPlan::new(FaultConfig {
+                seed: fault_seed,
+                poisoned_doc_permille: poisoned_permille,
+                flaky_doc_permille: 100,
+                slow_doc_permille: 100,
+                ..FaultConfig::default()
+            });
+            let policy = RetryPolicy::default();
+            let budget_of = |b: u64| {
+                if b >= 200 { Budget::unlimited() } else { Budget::pairings(b) }
+            };
+            let deadline_of = |d: u64| {
+                if d >= 120 { Deadline::NEVER } else { Deadline::at(d) }
+            };
+
+            let tmp = case_dir();
+            let mem_clock = Arc::new(VirtualClock::new());
+            let paged_clock = Arc::new(VirtualClock::new());
+            let mem = memory_server(ta, &mem_clock);
+            let paged = paged_server(ta, &paged_clock, tmp.path(), cache_budget);
+            for index in &indexes {
+                let a = mem.upload(index.clone());
+                let b = paged.upload(index.clone());
+                prop_assert_eq!(a, b);
+            }
+
+            // plain scan first (also warms the paged cache so the wave
+            // below exercises hits, not just misses)
+            for cap in &caps {
+                let (m_hits, m_stats) = mem.scan(&cap.capability, 1).unwrap();
+                let (p_hits, p_stats) = paged.scan(&cap.capability, 1).unwrap();
+                prop_assert_eq!(&m_hits, &p_hits);
+                prop_assert_eq!(m_stats.scanned, p_stats.scanned);
+                prop_assert_eq!(m_stats.matched, p_stats.matched);
+                prop_assert_eq!(m_stats.pairings, p_stats.pairings);
+            }
+
+            let mem_budgets: Vec<Budget> =
+                queries.iter().map(|&(_, _, b)| budget_of(b)).collect();
+            let mem_requests: Vec<_> = queries
+                .iter()
+                .zip(&caps)
+                .zip(&mem_budgets)
+                .map(|(((_, d, _), cap), budget)| (cap, deadline_of(*d), budget))
+                .collect();
+            let mem_ctx = FaultContext::new(&plan, &policy, &mem_clock);
+            let mem_scans = mem.search_batched(&mem_requests, &mem_ctx, DOC_COST).unwrap();
+
+            let paged_budgets: Vec<Budget> =
+                queries.iter().map(|&(_, _, b)| budget_of(b)).collect();
+            let paged_requests: Vec<_> = queries
+                .iter()
+                .zip(&caps)
+                .zip(&paged_budgets)
+                .map(|(((_, d, _), cap), budget)| (cap, deadline_of(*d), budget))
+                .collect();
+            let paged_ctx = FaultContext::new(&plan, &policy, &paged_clock);
+            let paged_scans = paged
+                .search_batched(&paged_requests, &paged_ctx, DOC_COST)
+                .unwrap();
+
+            prop_assert_eq!(mem_scans.len(), paged_scans.len());
+            for (m, p) in mem_scans.iter().zip(&paged_scans) {
+                prop_assert_eq!(canon(m), canon(p));
+            }
+            // hydration must never advance virtual time on its own
+            prop_assert_eq!(mem_clock.now(), paged_clock.now());
         }
     }
 }
