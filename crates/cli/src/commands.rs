@@ -55,7 +55,7 @@ impl Args {
                 // boolean flags take no value
                 if matches!(
                     name,
-                    "plus" | "finalize" | "points" | "json" | "overload" | "batch"
+                    "plus" | "finalize" | "points" | "json" | "overload" | "batch" | "replication"
                 ) {
                     flags.push(name.to_string());
                 } else {
@@ -106,7 +106,7 @@ commands:
   delegate   --deploy <deploy> --cap <file> --query \"...\" --out <file> [--seed N]
   search     --deploy <deploy> --cap <file> <index-file>...
   transform  --deploy <deploy> --in <partial-index> --out <file>   (APKS+ proxy step)
-  stats      [--docs N] [--threads N] [--seed N] [--json] [--overload] [--batch]   (scan an in-memory corpus, print telemetry)
+  stats      [--docs N] [--threads N] [--seed N] [--json] [--overload] [--batch] [--replication]   (scan an in-memory corpus, print telemetry)
   store-stats --dir <path> [--json]   (inspect an on-disk paged segment store)
   wire-sizes [--seed N]   (print the canonical wire size of every protocol type)
   demo       [--seed N]
@@ -373,6 +373,9 @@ fn cmd_stats(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> 
     }
     if args.has_flag("batch") {
         return cmd_stats_batch(args, out);
+    }
+    if args.has_flag("replication") {
+        return cmd_stats_replication(args, out);
     }
     let docs: usize = args.get("docs").and_then(|v| v.parse().ok()).unwrap_or(24);
     let threads: usize = args
@@ -752,6 +755,64 @@ fn cmd_stats_batch(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliE
     writeln!(out, "full wave ledger:")?;
     for (name, metric) in m.entries() {
         if name.starts_with("cloud.wave.") {
+            match metric {
+                apks_telemetry::Metric::Counter(v) => writeln!(out, "  {name}: {v}")?,
+                apks_telemetry::Metric::Histogram(h) => writeln!(
+                    out,
+                    "  {name}: count {} sum {} p50<={} p99<={}",
+                    h.count,
+                    h.sum,
+                    h.quantile_upper_bound(0.5),
+                    h.quantile_upper_bound(0.99),
+                )?,
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `apks stats --replication`: replay the chaos-net scenario — lossy
+/// framed link, replicated shards with a forced-open primary breaker,
+/// seeded crash sweep — and render the `cloud.replica.*` / `wire.*`
+/// counters the replication layer emits.
+fn cmd_stats_replication(args: &Args, out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    use apks_sim::chaos_net::{run_chaos_net, ChaosNetConfig};
+
+    let config = ChaosNetConfig {
+        seed: args.get("seed").and_then(|s| s.parse().ok()).unwrap_or(1),
+        ..ChaosNetConfig::default()
+    };
+    let dir = std::env::temp_dir().join(format!("apks-cli-replication-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    let r = run_chaos_net(&config, &dir).map_err(|e| CliError(e.to_string()))?;
+    let _ = fs::remove_dir_all(&dir);
+    if args.has_flag("json") {
+        writeln!(out, "{}", r.metrics.to_json())?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "chaos-net scenario (seed {}): {} docs x {} partitions x {} replicas, {} search waves over {} virtual ticks",
+        config.seed, r.docs, r.partitions, r.replication, r.searches, r.virtual_ticks
+    )?;
+    writeln!(
+        out,
+        "link: {} dropped, {} corrupted, {} duplicated; {} client reconnects, {} ingest retries deduped (exactly-once)",
+        r.frames_dropped, r.frames_corrupted, r.frames_duplicated, r.reconnects, r.dedup_hits
+    )?;
+    writeln!(
+        out,
+        "failover: {} breaker-forced failovers, {} hits gathered, oracle byte-equal: {}, framed hit sets equal: {}",
+        r.failovers, r.hits_total, r.oracle_verified, r.framed_verified
+    )?;
+    writeln!(
+        out,
+        "durability: {} crash points, {} acknowledged puts checked, {} lost, {} reopen failures",
+        r.crash_points, r.acked_puts_checked, r.acked_puts_lost, r.reopen_failures
+    )?;
+    writeln!(out, "replication ledger:")?;
+    for (name, metric) in r.metrics.entries() {
+        if name.starts_with("cloud.replica.") || name.starts_with("wire.") {
             match metric {
                 apks_telemetry::Metric::Counter(v) => writeln!(out, "  {name}: {v}")?,
                 apks_telemetry::Metric::Histogram(h) => writeln!(

@@ -8,7 +8,14 @@ use apks_wire::protocol::{
     ERR_APKS, ERR_BAD_SIGNATURE, ERR_CORPUS, ERR_DECODE, ERR_UNKNOWN_ISSUER,
 };
 use apks_wire::{MetricsWire, Request, Response, SearchResponse, Wire, WireCtx, WireError};
+use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// How many recent ingest identities the endpoint remembers for
+/// exactly-once dedup. A retried batch older than this window would be
+/// re-applied — the window must exceed any plausible retry horizon,
+/// and 256 is far past a [`RetryPolicy`]'s worst case.
+pub const DEDUP_WINDOW: usize = 256;
 
 /// A protocol endpoint wrapping a [`CloudServer`].
 ///
@@ -17,7 +24,14 @@ use std::sync::Arc;
 /// decoding gets a [`Response::Error`] with [`ERR_DECODE`] — the
 /// connection survives, because framing is still in sync; only a
 /// *framing* error (bad magic, oversized length) kills the stream, and
-/// then [`ServerEndpoint::dead`] reports why.
+/// then [`ServerEndpoint::dead`] reports why (a client reconnect calls
+/// [`ServerEndpoint::reset`] to revive it).
+///
+/// Ingest is **exactly-once** under retries and link duplication: each
+/// [`apks_wire::IngestBatch`] carries an idempotency identity
+/// `(owner, seq)`, and a batch whose identity is in the endpoint's
+/// dedup window is acknowledged with the originally assigned ids
+/// without touching the corpus again.
 pub struct ServerEndpoint {
     ctx: WireCtx,
     server: Arc<CloudServer>,
@@ -26,6 +40,9 @@ pub struct ServerEndpoint {
     policy: RetryPolicy,
     clock: Arc<VirtualClock>,
     dead: Option<WireError>,
+    /// Recently applied ingest identities → the ids they were assigned,
+    /// oldest first, capped at [`DEDUP_WINDOW`].
+    dedup: VecDeque<((String, u64), Vec<u64>)>,
 }
 
 impl ServerEndpoint {
@@ -48,6 +65,7 @@ impl ServerEndpoint {
             policy,
             clock,
             dead: None,
+            dedup: VecDeque::new(),
         }
     }
 
@@ -59,6 +77,19 @@ impl ServerEndpoint {
     /// The framing error that killed the stream, if any.
     pub fn dead(&self) -> Option<&WireError> {
         self.dead.as_ref()
+    }
+
+    /// Accepts a reconnect: clears the fatal framing error and resets
+    /// the transport's receive state (discarding unread bytes and any
+    /// half-assembled frame). The idempotency dedup window survives —
+    /// it is what makes an ingest retried *across* the reconnect still
+    /// exactly-once.
+    pub fn reset(&mut self) {
+        if self.dead.take().is_some() {
+            self.server.metrics().add("wire.server.framing_resets", 1);
+        }
+        self.transport.reset();
+        self.server.metrics().add("wire.server.resets", 1);
     }
 
     /// Ledger of frames/bytes through the server's transport end.
@@ -112,12 +143,24 @@ impl ServerEndpoint {
         served
     }
 
-    fn dispatch(&self, req: Request) -> Response {
+    fn dispatch(&mut self, req: Request) -> Response {
         match req {
             Request::Ping => Response::Pong,
-            Request::Upload(batch) => Response::Uploaded {
-                ids: self.server.upload_many(batch.records),
-            },
+            Request::Upload(batch) => {
+                let key = (batch.owner.clone(), batch.seq);
+                if let Some((_, ids)) = self.dedup.iter().find(|(k, _)| *k == key) {
+                    // a retried or link-duplicated batch: acknowledge
+                    // with the original ids, apply nothing
+                    self.server.metrics().add("wire.server.dedup_hits", 1);
+                    return Response::Uploaded { ids: ids.clone() };
+                }
+                let ids = self.server.upload_many(batch.records);
+                self.dedup.push_back((key, ids.clone()));
+                if self.dedup.len() > DEDUP_WINDOW {
+                    self.dedup.pop_front();
+                }
+                Response::Uploaded { ids }
+            }
             Request::Search(search) => {
                 let ctx = FaultContext::new(&self.plan, &self.policy, &self.clock);
                 let budget = search.budget();

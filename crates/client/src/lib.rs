@@ -13,9 +13,13 @@ pub mod endpoint;
 pub mod transport;
 
 pub use endpoint::ServerEndpoint;
-pub use transport::{duplex, TransportCost, TransportEnd, TransportStats};
+pub use transport::{
+    duplex, duplex_faulty, LinkFault, LinkFaultConfig, LinkFaultPlan, TransportCost, TransportEnd,
+    TransportStats,
+};
 
 use apks_authz::SignedCapability;
+use apks_core::fault::RetryPolicy;
 use apks_core::EncryptedIndex;
 use apks_telemetry::MetricsSnapshot;
 use apks_wire::{
@@ -71,6 +75,7 @@ pub struct ApksClient {
     ctx: WireCtx,
     transport: TransportEnd,
     next_id: u64,
+    reconnects: u64,
 }
 
 impl ApksClient {
@@ -80,6 +85,7 @@ impl ApksClient {
             ctx,
             transport,
             next_id: 0,
+            reconnects: 0,
         }
     }
 
@@ -196,6 +202,188 @@ impl ApksClient {
             Response::Metrics(MetricsWire(snap)) => Ok(snap),
             Response::Error { code, message } => Err(ClientError::Server { code, message }),
             _ => Err(ClientError::UnexpectedResponse("Metrics")),
+        }
+    }
+
+    /// Reconnects after a dead or suspect link: both the client's and
+    /// the server's receive state is torn down (unread bytes dropped,
+    /// decoders replaced, the server's fatal framing error cleared) —
+    /// what closing the socket and dialing again does over TCP.
+    pub fn reconnect(&mut self, server: &mut ServerEndpoint) {
+        self.transport.reset();
+        server.reset();
+        self.reconnects += 1;
+    }
+
+    /// Times [`ApksClient::reconnect`] has run.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Is `e` worth a reconnect-and-retry? Framing damage, missing
+    /// responses, stale/mismatched response frames, and server-side
+    /// request-decode errors are all the lossy link's work; only the
+    /// *recognized semantic* rejections (bad signature, unknown
+    /// issuer, APKS, corpus) are final — an unknown error code may be
+    /// a corrupted frame that happened to decode as `Error`, so it
+    /// retries like any other link damage.
+    fn retryable(e: &ClientError) -> bool {
+        match e {
+            ClientError::Wire(_) | ClientError::NoResponse | ClientError::UnexpectedResponse(_) => {
+                true
+            }
+            ClientError::Server { code, .. } => !matches!(
+                *code,
+                apks_wire::protocol::ERR_BAD_SIGNATURE
+                    | apks_wire::protocol::ERR_UNKNOWN_ISSUER
+                    | apks_wire::protocol::ERR_APKS
+                    | apks_wire::protocol::ERR_CORPUS
+            ),
+        }
+    }
+
+    /// One request/response exchange with reconnect-and-retry under
+    /// `policy`: each failed attempt resets both ends of the link
+    /// (clearing poisoned decoders, half-frames, and stale duplicated
+    /// responses), charges the policy's seeded backoff to the virtual
+    /// clock, and re-sends the **same** request bytes — idempotency
+    /// identities are minted once, outside this loop, so a re-sent
+    /// ingest cannot double-apply. `validate` rejects responses that
+    /// decode fine but answer the wrong question (a stale duplicate
+    /// from an earlier attempt); rejected responses retry too.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's failure once the budget is spent, or
+    /// immediately for non-retryable failures.
+    /// Discards every response frame already queued at this end — the
+    /// stale residue of duplicated or abandoned earlier exchanges. A
+    /// framing error met while draining poisons the decoder, so it is
+    /// answered with a reconnect on the spot.
+    fn drain_stale(&mut self, server: &mut ServerEndpoint) {
+        loop {
+            match self.transport.recv_frame() {
+                Some(Ok(_)) => continue,
+                Some(Err(_)) => {
+                    self.reconnect(server);
+                    return;
+                }
+                None => return,
+            }
+        }
+    }
+
+    pub fn call_resilient(
+        &mut self,
+        server: &mut ServerEndpoint,
+        req: &Request,
+        policy: &RetryPolicy,
+        token: u64,
+        validate: impl Fn(&Response) -> bool,
+    ) -> Result<Response, ClientError> {
+        let mut retry = 0u32;
+        loop {
+            self.drain_stale(server);
+            let attempt = (|| {
+                let resp = self.call(server, req)?;
+                if let Response::Error { code, message } = &resp {
+                    return Err(ClientError::Server {
+                        code: *code,
+                        message: message.clone(),
+                    });
+                }
+                if !validate(&resp) {
+                    return Err(ClientError::UnexpectedResponse("validated response"));
+                }
+                Ok(resp)
+            })();
+            match attempt {
+                Ok(resp) => return Ok(resp),
+                Err(e) if !Self::retryable(&e) => return Err(e),
+                Err(e) => {
+                    if retry + 1 >= policy.max_attempts {
+                        return Err(e);
+                    }
+                    self.transport.clock().advance(policy.backoff(retry, token));
+                    self.reconnect(server);
+                    retry += 1;
+                }
+            }
+        }
+    }
+
+    /// As [`ApksClient::upload`], but resilient: the batch (and its
+    /// idempotency identity) is built once and re-sent under `policy`
+    /// until acknowledged — combined with the server's dedup window,
+    /// the batch lands **exactly once** no matter how many retries or
+    /// link duplications it took.
+    ///
+    /// # Errors
+    ///
+    /// As [`ApksClient::call_resilient`].
+    pub fn upload_resilient(
+        &mut self,
+        server: &mut ServerEndpoint,
+        owner: &str,
+        records: Vec<EncryptedIndex>,
+        policy: &RetryPolicy,
+    ) -> Result<Vec<u64>, ClientError> {
+        let seq = self.next_id;
+        self.next_id += 1;
+        let expect = records.len();
+        let req = Request::Upload(IngestBatch {
+            owner: owner.to_string(),
+            seq,
+            records,
+        });
+        let resp = self.call_resilient(
+            server,
+            &req,
+            policy,
+            seq,
+            |resp| matches!(resp, Response::Uploaded { ids } if ids.len() == expect),
+        )?;
+        match resp {
+            Response::Uploaded { ids } => Ok(ids),
+            _ => Err(ClientError::UnexpectedResponse("Uploaded")),
+        }
+    }
+
+    /// As [`ApksClient::search`], but resilient under `policy`. Search
+    /// is read-only, so replaying it is always safe; stale responses
+    /// from duplicated frames are rejected by request id.
+    ///
+    /// # Errors
+    ///
+    /// As [`ApksClient::call_resilient`].
+    pub fn search_resilient(
+        &mut self,
+        server: &mut ServerEndpoint,
+        capability: &SignedCapability,
+        deadline_expires_at: u64,
+        pairing_budget: u64,
+        doc_cost_ticks: u64,
+        policy: &RetryPolicy,
+    ) -> Result<SearchResponse, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let req = Request::Search(SearchRequest {
+            id,
+            deadline_expires_at,
+            pairing_budget,
+            doc_cost_ticks,
+            capability: capability.clone(),
+        });
+        let resp = self.call_resilient(
+            server,
+            &req,
+            policy,
+            id,
+            |resp| matches!(resp, Response::Result(r) if r.id == id),
+        )?;
+        match resp {
+            Response::Result(r) => Ok(r),
+            _ => Err(ClientError::UnexpectedResponse("Result")),
         }
     }
 }

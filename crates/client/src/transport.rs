@@ -7,6 +7,23 @@
 //! keep split-frame reassembly on the hot path, and every sent frame
 //! charges a configurable latency to the shared [`VirtualClock`],
 //! which is how the overload simulation prices the network.
+//!
+//! [`duplex_faulty`] adds a seeded [`LinkFaultPlan`]: each frame may be
+//! dropped, corrupted (one byte flipped), truncated, duplicated, or
+//! delayed, decided purely by `(seed, direction, frame ordinal)` — the
+//! same lossy link replays byte-for-byte from its seed. Faults mangle
+//! only what crosses the wire; the sender's
+//! [`TransportEnd::sent_digest`] still covers the frames *as intended*,
+//! so two same-seed runs of a chaos scenario pin identical digests even
+//! though the link mangled identical frames.
+//!
+//! Every frame payload carries an [`INTEGRITY_TRAILER`]-byte SHA-256
+//! trailer, verified and stripped at receive. The frame header's magic
+//! and length only protect *framing*; without the trailer, a flipped
+//! payload byte can decode as a perfectly valid response carrying a
+//! wrong document id — silent corruption. A trailer mismatch surfaces
+//! as a framing error, which the resilient client turns into a
+//! reconnect-and-retry.
 
 use apks_core::fault::VirtualClock;
 use apks_math::sha256::Sha256;
@@ -14,6 +31,174 @@ use apks_wire::{encode_frame, FrameDecoder, WireError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// SplitMix64 finalizer (the same mixing core as `apks-core`'s fault
+/// plans, reproduced here because it is deliberately private there).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// Domain-separation tags: each link-fault family draws independently,
+// so raising the drop rate does not shift which frames are corrupted.
+const DOMAIN_LINK_DROP: u64 = 0x4c44;
+const DOMAIN_LINK_CORRUPT: u64 = 0x4c43;
+const DOMAIN_LINK_TRUNCATE: u64 = 0x4c54;
+const DOMAIN_LINK_DUPLICATE: u64 = 0x4c32;
+const DOMAIN_LINK_DELAY: u64 = 0x4c5a;
+const DOMAIN_LINK_POS: u64 = 0x4c50;
+
+/// Bytes of SHA-256 appended to every frame payload before framing.
+/// 64 bits of end-to-end integrity: a corrupted frame that still parses
+/// is caught here instead of being delivered as plausible garbage.
+pub const INTEGRITY_TRAILER: usize = 8;
+
+/// The integrity trailer of `payload`: the first
+/// [`INTEGRITY_TRAILER`] bytes of its SHA-256.
+fn integrity_trailer(payload: &[u8]) -> [u8; INTEGRITY_TRAILER] {
+    let mut h = Sha256::new();
+    h.update(payload);
+    let full = h.finalize();
+    let mut out = [0u8; INTEGRITY_TRAILER];
+    out.copy_from_slice(&full[..INTEGRITY_TRAILER]);
+    out
+}
+
+/// Knobs of a deterministic lossy-link schedule. Rates in permille,
+/// like [`apks_core::fault::FaultConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFaultConfig {
+    /// Seed of the schedule; same seed ⇒ same mangled frames, always.
+    pub seed: u64,
+    /// Probability a frame vanishes entirely.
+    pub drop_permille: u32,
+    /// Probability one wire byte of the frame is flipped (a header
+    /// byte kills framing; a payload byte surfaces as a decode error).
+    pub corrupt_permille: u32,
+    /// Probability the frame is cut short at a deterministic byte.
+    pub truncate_permille: u32,
+    /// Probability the frame is delivered twice back-to-back.
+    pub duplicate_permille: u32,
+    /// Probability the frame is delayed by [`Self::delay_ticks`].
+    pub delay_permille: u32,
+    /// Virtual ticks a delayed frame adds to the clock.
+    pub delay_ticks: u64,
+}
+
+impl Default for LinkFaultConfig {
+    fn default() -> Self {
+        LinkFaultConfig {
+            seed: 0,
+            drop_permille: 0,
+            corrupt_permille: 0,
+            truncate_permille: 0,
+            duplicate_permille: 0,
+            delay_permille: 0,
+            delay_ticks: 7,
+        }
+    }
+}
+
+/// What the link does to one frame (besides any additive delay).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Delivered intact.
+    None,
+    /// Never delivered.
+    Drop,
+    /// One byte at `pos` XOR-ed with `flip` (never zero).
+    Corrupt {
+        /// Wire-byte position of the flipped byte.
+        pos: usize,
+        /// The non-zero XOR mask applied.
+        flip: u8,
+    },
+    /// Only the first `keep` wire bytes arrive.
+    Truncate {
+        /// Bytes delivered before the cut.
+        keep: usize,
+    },
+    /// Delivered twice back-to-back.
+    Duplicate,
+}
+
+/// A deterministic, seed-driven schedule of link faults: a pure
+/// function of `(direction, frame ordinal)`.
+#[derive(Clone, Debug, Default)]
+pub struct LinkFaultPlan {
+    config: LinkFaultConfig,
+}
+
+impl LinkFaultPlan {
+    /// Wraps a config into a queryable plan.
+    pub fn new(config: LinkFaultConfig) -> LinkFaultPlan {
+        LinkFaultPlan { config }
+    }
+
+    /// The schedule's configuration.
+    pub fn config(&self) -> &LinkFaultConfig {
+        &self.config
+    }
+
+    /// A link that never faults (what [`duplex`] installs).
+    pub fn reliable() -> LinkFaultPlan {
+        LinkFaultPlan::default()
+    }
+
+    fn roll(&self, domain: u64, direction: u64, ordinal: u64) -> u64 {
+        mix(mix(self.config.seed ^ domain) ^ mix(direction).wrapping_add(mix(ordinal)))
+    }
+
+    fn hits(h: u64, permille: u32) -> bool {
+        (h % 1000) < permille.min(1000) as u64
+    }
+
+    /// The structural fault (at most one) for frame `ordinal` on
+    /// `direction`. `wire_len` is the framed length; corrupt positions
+    /// and truncation cuts are drawn inside it.
+    pub fn frame_fault(&self, direction: u64, ordinal: u64, wire_len: usize) -> LinkFault {
+        if wire_len == 0 {
+            return LinkFault::None;
+        }
+        let d = self.roll(DOMAIN_LINK_DROP, direction, ordinal);
+        if Self::hits(d, self.config.drop_permille) {
+            return LinkFault::Drop;
+        }
+        let c = self.roll(DOMAIN_LINK_CORRUPT, direction, ordinal);
+        if Self::hits(c, self.config.corrupt_permille) {
+            let h = mix(c ^ DOMAIN_LINK_POS);
+            return LinkFault::Corrupt {
+                pos: (h % wire_len as u64) as usize,
+                flip: (mix(h) % 255) as u8 + 1,
+            };
+        }
+        let t = self.roll(DOMAIN_LINK_TRUNCATE, direction, ordinal);
+        if Self::hits(t, self.config.truncate_permille) {
+            return LinkFault::Truncate {
+                keep: (mix(t ^ DOMAIN_LINK_POS) % wire_len as u64) as usize,
+            };
+        }
+        let g = self.roll(DOMAIN_LINK_DUPLICATE, direction, ordinal);
+        if Self::hits(g, self.config.duplicate_permille) {
+            return LinkFault::Duplicate;
+        }
+        LinkFault::None
+    }
+
+    /// Extra virtual ticks frame `ordinal` spends in flight (drawn
+    /// independently of the structural fault — a duplicated frame can
+    /// also be slow).
+    pub fn frame_delay(&self, direction: u64, ordinal: u64) -> u64 {
+        let h = self.roll(DOMAIN_LINK_DELAY, direction, ordinal);
+        if Self::hits(h, self.config.delay_permille) {
+            self.config.delay_ticks
+        } else {
+            0
+        }
+    }
+}
 
 /// Simulated cost of moving a frame across the transport, charged to
 /// the virtual clock at send time.
@@ -50,6 +235,18 @@ pub struct TransportStats {
     pub frames_received: u64,
     /// Wire bytes drained from the incoming queue.
     pub bytes_received: u64,
+    /// Outgoing frames the link dropped.
+    pub frames_dropped: u64,
+    /// Outgoing frames the link flipped a byte in.
+    pub frames_corrupted: u64,
+    /// Outgoing frames the link cut short.
+    pub frames_truncated: u64,
+    /// Outgoing frames the link delivered twice.
+    pub frames_duplicated: u64,
+    /// Extra in-flight virtual ticks the link charged.
+    pub fault_delay_ticks: u64,
+    /// Times this end was reset by a reconnect.
+    pub resets: u64,
 }
 
 /// How many bytes a receiver drains per pull. Small enough that every
@@ -68,11 +265,29 @@ pub struct TransportEnd {
     cost: TransportCost,
     stats: TransportStats,
     digest: Sha256,
+    plan: Arc<LinkFaultPlan>,
+    /// This end's direction id in the plan's fault stream.
+    direction: u64,
+    /// Ordinal of the next frame sent from this end.
+    sent_ordinal: u64,
 }
 
 /// Creates a connected pair of transport ends sharing `clock`. Both
-/// directions price frames with the same `cost`.
+/// directions price frames with the same `cost`; the link never
+/// faults.
 pub fn duplex(clock: Arc<VirtualClock>, cost: TransportCost) -> (TransportEnd, TransportEnd) {
+    duplex_faulty(clock, cost, LinkFaultPlan::reliable())
+}
+
+/// As [`duplex`], but every frame consults the seeded `plan` in
+/// flight: direction 0 is end-A→end-B (the conventional client→server
+/// side), direction 1 the reverse.
+pub fn duplex_faulty(
+    clock: Arc<VirtualClock>,
+    cost: TransportCost,
+    plan: LinkFaultPlan,
+) -> (TransportEnd, TransportEnd) {
+    let plan = Arc::new(plan);
     let a_to_b: Pipe = Arc::new(Mutex::new(VecDeque::new()));
     let b_to_a: Pipe = Arc::new(Mutex::new(VecDeque::new()));
     let a = TransportEnd {
@@ -83,6 +298,9 @@ pub fn duplex(clock: Arc<VirtualClock>, cost: TransportCost) -> (TransportEnd, T
         cost,
         stats: TransportStats::default(),
         digest: Sha256::new(),
+        plan: plan.clone(),
+        direction: 0,
+        sent_ordinal: 0,
     };
     let b = TransportEnd {
         tx: b_to_a,
@@ -92,38 +310,97 @@ pub fn duplex(clock: Arc<VirtualClock>, cost: TransportCost) -> (TransportEnd, T
         cost,
         stats: TransportStats::default(),
         digest: Sha256::new(),
+        plan,
+        direction: 1,
+        sent_ordinal: 0,
     };
     (a, b)
 }
 
 impl TransportEnd {
-    /// Frames `payload` and queues its bytes for the peer, advancing
-    /// the virtual clock by the transport cost.
+    /// Frames `payload` (plus its integrity trailer) and queues the
+    /// bytes for the peer, advancing the virtual clock by the
+    /// transport cost.
     ///
     /// # Errors
     ///
     /// [`WireError::FrameTooLarge`] if `payload` exceeds the frame cap;
     /// nothing is queued and the clock does not advance.
     pub fn send_frame(&mut self, payload: &[u8]) -> Result<(), WireError> {
-        let frame = encode_frame(payload)?;
+        let mut wrapped = Vec::with_capacity(payload.len() + INTEGRITY_TRAILER);
+        wrapped.extend_from_slice(payload);
+        wrapped.extend_from_slice(&integrity_trailer(payload));
+        let frame = encode_frame(&wrapped)?;
+        let ordinal = self.sent_ordinal;
+        self.sent_ordinal += 1;
         self.clock.advance(self.cost.of_frame(frame.len()));
         self.stats.frames_sent += 1;
         self.stats.bytes_sent += frame.len() as u64;
+        // the digest covers the frame as *intended* — what the
+        // application asked the link to carry — so same-seed runs pin
+        // identical digests regardless of what the link then mangles
         self.digest.update(&frame);
-        self.tx.lock().extend(frame);
+        let delay = self.plan.frame_delay(self.direction, ordinal);
+        if delay > 0 {
+            self.clock.advance(delay);
+            self.stats.fault_delay_ticks += delay;
+        }
+        match self.plan.frame_fault(self.direction, ordinal, frame.len()) {
+            LinkFault::None => self.tx.lock().extend(frame),
+            LinkFault::Drop => {
+                self.stats.frames_dropped += 1;
+            }
+            LinkFault::Corrupt { pos, flip } => {
+                self.stats.frames_corrupted += 1;
+                let mut mangled = frame;
+                mangled[pos] ^= flip;
+                self.tx.lock().extend(mangled);
+            }
+            LinkFault::Truncate { keep } => {
+                self.stats.frames_truncated += 1;
+                self.tx.lock().extend(frame.into_iter().take(keep));
+            }
+            LinkFault::Duplicate => {
+                self.stats.frames_duplicated += 1;
+                let mut tx = self.tx.lock();
+                tx.extend(frame.iter().copied());
+                tx.extend(frame);
+            }
+        }
         Ok(())
     }
 
-    /// Pops the next complete frame payload, draining queued bytes in
+    /// Tears this end's receive state down as a reconnect does:
+    /// unread queued bytes are discarded and the frame decoder is
+    /// replaced, clearing any poisoning or half-assembled frame. The
+    /// send side (ordinals, digest, stats totals) survives — a new TCP
+    /// connection does not rewind what was already sent.
+    pub fn reset(&mut self) {
+        self.rx.lock().clear();
+        self.decoder = FrameDecoder::new();
+        self.stats.resets += 1;
+    }
+
+    /// Pops the next complete frame payload (integrity trailer
+    /// verified and stripped), draining queued bytes in
     /// [`RECV_CHUNK`]-sized pieces until one is whole. `None` means the
     /// queue is exhausted mid-frame (or empty); an error means framing
-    /// lost sync and the stream is dead.
+    /// lost sync — or the trailer did not verify — and the stream is
+    /// dead until [`TransportEnd::reset`].
     pub fn recv_frame(&mut self) -> Option<Result<Vec<u8>, WireError>> {
         loop {
             match self.decoder.next_frame() {
-                Ok(Some(payload)) => {
+                Ok(Some(mut wrapped)) => {
+                    if wrapped.len() < INTEGRITY_TRAILER {
+                        return Some(Err(WireError::Invalid("frame integrity trailer missing")));
+                    }
+                    let body = wrapped.len() - INTEGRITY_TRAILER;
+                    if wrapped[body..] != integrity_trailer(&wrapped[..body]) {
+                        return Some(Err(WireError::Invalid("frame integrity check failed")));
+                    }
+                    wrapped.truncate(body);
                     self.stats.frames_received += 1;
-                    return Some(Ok(payload));
+                    return Some(Ok(wrapped));
                 }
                 Ok(None) => {}
                 Err(e) => return Some(Err(e)),
@@ -171,14 +448,14 @@ mod tests {
         };
         let (mut a, mut b) = duplex(clock.clone(), cost);
         a.send_frame(b"hello").unwrap();
-        // 8-byte header + 5-byte payload = 13 wire bytes
-        assert_eq!(clock.now(), 10 + 13);
+        // 8-byte header + 5-byte payload + 8-byte trailer = 21 wire bytes
+        assert_eq!(clock.now(), 10 + 21);
         assert_eq!(b.recv_frame().unwrap().unwrap(), b"hello");
         assert_eq!(b.recv_frame(), None);
         assert_eq!(a.stats().frames_sent, 1);
-        assert_eq!(a.stats().bytes_sent, 13);
+        assert_eq!(a.stats().bytes_sent, 21);
         assert_eq!(b.stats().frames_received, 1);
-        assert_eq!(b.stats().bytes_received, 13);
+        assert_eq!(b.stats().bytes_received, 21);
     }
 
     #[test]
@@ -211,5 +488,151 @@ mod tests {
         assert!(matches!(b.recv_frame(), Some(Err(WireError::BadMagic(_)))));
         // poisoned permanently
         assert!(b.recv_frame().unwrap().is_err());
+    }
+
+    #[test]
+    fn link_fault_plan_is_pure_and_seeded() {
+        let plan = LinkFaultPlan::new(LinkFaultConfig {
+            seed: 7,
+            drop_permille: 150,
+            corrupt_permille: 150,
+            truncate_permille: 150,
+            duplicate_permille: 150,
+            delay_permille: 150,
+            delay_ticks: 9,
+        });
+        for ordinal in 0..256u64 {
+            for dir in 0..2u64 {
+                assert_eq!(
+                    plan.frame_fault(dir, ordinal, 100),
+                    plan.frame_fault(dir, ordinal, 100)
+                );
+                assert_eq!(
+                    plan.frame_delay(dir, ordinal),
+                    plan.frame_delay(dir, ordinal)
+                );
+            }
+            // directions draw independent streams
+        }
+        let a: Vec<LinkFault> = (0..256).map(|o| plan.frame_fault(0, o, 100)).collect();
+        let b: Vec<LinkFault> = (0..256).map(|o| plan.frame_fault(1, o, 100)).collect();
+        assert_ne!(a, b, "directions must not share a fault stream");
+        let other = LinkFaultPlan::new(LinkFaultConfig {
+            seed: 8,
+            ..*plan.config()
+        });
+        let c: Vec<LinkFault> = (0..256).map(|o| other.frame_fault(0, o, 100)).collect();
+        assert_ne!(a, c, "seeds must change the schedule");
+    }
+
+    #[test]
+    fn dropped_frames_never_arrive_and_duplicates_arrive_twice() {
+        let clock = Arc::new(VirtualClock::new());
+        let all = |permille| LinkFaultConfig {
+            seed: 3,
+            drop_permille: permille,
+            ..LinkFaultConfig::default()
+        };
+        let (mut a, mut b) = duplex_faulty(
+            clock.clone(),
+            TransportCost::FREE,
+            LinkFaultPlan::new(all(1000)),
+        );
+        a.send_frame(b"gone").unwrap();
+        assert_eq!(b.recv_frame(), None);
+        assert_eq!(a.stats().frames_dropped, 1);
+
+        let dup = LinkFaultConfig {
+            seed: 3,
+            duplicate_permille: 1000,
+            ..LinkFaultConfig::default()
+        };
+        let (mut a, mut b) = duplex_faulty(clock, TransportCost::FREE, LinkFaultPlan::new(dup));
+        a.send_frame(b"twice").unwrap();
+        assert_eq!(b.recv_frame().unwrap().unwrap(), b"twice");
+        assert_eq!(b.recv_frame().unwrap().unwrap(), b"twice");
+        assert_eq!(b.recv_frame(), None);
+        assert_eq!(a.stats().frames_duplicated, 1);
+    }
+
+    #[test]
+    fn corruption_surfaces_and_reset_clears_the_wreckage() {
+        let clock = Arc::new(VirtualClock::new());
+        let cfg = LinkFaultConfig {
+            seed: 11,
+            corrupt_permille: 1000,
+            ..LinkFaultConfig::default()
+        };
+        let (mut a, mut b) = duplex_faulty(clock, TransportCost::FREE, LinkFaultPlan::new(cfg));
+        a.send_frame(b"mangle me please").unwrap();
+        // whether the flip hit the header (framing) or the body (the
+        // integrity trailer), a corrupted frame never delivers Ok
+        match b.recv_frame() {
+            Some(Err(_)) | None => {}
+            Some(Ok(payload)) => panic!("corrupted frame delivered as {payload:?}"),
+        }
+        assert_eq!(a.stats().frames_corrupted, 1);
+        // reset un-poisons the receiver and discards half-read bytes
+        b.reset();
+        assert_eq!(b.stats().resets, 1);
+        a.send_frame(b"clean").unwrap();
+        // this frame is corrupted too (rate 1000‰) — but a *truncated*
+        // plan stream continues; use a fresh reliable pair to show
+        // reset alone revives framing after poison
+        let clock = Arc::new(VirtualClock::new());
+        let (a2, mut b2) = duplex(clock, TransportCost::FREE);
+        a2.tx.lock().extend(*b"JUNKJUNK");
+        assert!(b2.recv_frame().unwrap().is_err());
+        b2.reset();
+        let mut a2 = a2;
+        a2.send_frame(b"alive").unwrap();
+        assert_eq!(b2.recv_frame().unwrap().unwrap(), b"alive");
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        // flip each wire byte of a frame in turn: no position may
+        // deliver an Ok payload — header flips kill framing, body and
+        // trailer flips fail the integrity check
+        let clock = Arc::new(VirtualClock::new());
+        let (mut a, _b) = duplex(clock.clone(), TransportCost::FREE);
+        a.send_frame(b"integrity matters").unwrap();
+        let wire: Vec<u8> = a.tx.lock().iter().copied().collect();
+        for pos in 0..wire.len() {
+            for flip in [0x01u8, 0x80, 0xff] {
+                let (_tx, mut rx) = duplex(clock.clone(), TransportCost::FREE);
+                let mut mangled = wire.clone();
+                mangled[pos] ^= flip;
+                rx.rx.lock().extend(mangled);
+                match rx.recv_frame() {
+                    Some(Err(_)) | None => {}
+                    Some(Ok(p)) => panic!("flip at {pos} delivered {p:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sent_digest_covers_intended_frames_despite_faults() {
+        let run = |cfg: LinkFaultConfig| -> [u8; 32] {
+            let clock = Arc::new(VirtualClock::new());
+            let (mut a, _b) = duplex_faulty(clock, TransportCost::FREE, LinkFaultPlan::new(cfg));
+            for i in 0..32u64 {
+                a.send_frame(&i.to_le_bytes()).unwrap();
+            }
+            a.sent_digest()
+        };
+        let lossy = LinkFaultConfig {
+            seed: 5,
+            drop_permille: 400,
+            corrupt_permille: 300,
+            truncate_permille: 200,
+            ..LinkFaultConfig::default()
+        };
+        assert_eq!(
+            run(lossy),
+            run(LinkFaultConfig::default()),
+            "the digest is over intended frames, not mangled ones"
+        );
     }
 }

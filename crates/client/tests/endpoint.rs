@@ -149,3 +149,152 @@ fn malformed_request_answered_with_error_and_connection_survives() {
     let snap = client.metrics(&mut endpoint).unwrap();
     assert_eq!(snap.counter("wire.server.decode_errors"), Some(1));
 }
+
+/// As [`harness`], but the duplex link runs a seeded [`LinkFaultPlan`].
+fn harness_faulty(
+    link: apks_client::LinkFaultConfig,
+) -> (ApksClient, ServerEndpoint, TrustedAuthority, StdRng) {
+    use apks_client::{duplex_faulty, LinkFaultPlan};
+    let schema = Schema::builder()
+        .flat_field("illness", 1)
+        .flat_field("sex", 1)
+        .build()
+        .unwrap();
+    let sys = ApksSystem::new(CurveParams::fast(), schema);
+    let mut rng = StdRng::seed_from_u64(4300);
+    let ta = TrustedAuthority::setup(sys, &mut rng);
+    let server = Arc::new(CloudServer::new(
+        ta.system().clone(),
+        ta.public_key().clone(),
+        ta.ibs_params().clone(),
+    ));
+    server.register_authority("ta");
+    let clock = Arc::new(VirtualClock::new());
+    let ctx = WireCtx::new(CurveParams::fast());
+    let (client_end, server_end) =
+        duplex_faulty(clock.clone(), TransportCost::FREE, LinkFaultPlan::new(link));
+    let client = ApksClient::new(ctx.clone(), client_end);
+    let endpoint = ServerEndpoint::new(
+        ctx,
+        server,
+        server_end,
+        FaultPlan::new(FaultConfig::default()),
+        RetryPolicy::default(),
+        clock,
+    );
+    (client, endpoint, ta, rng)
+}
+
+#[test]
+fn duplicated_ingest_frames_apply_exactly_once() {
+    // every frame is delivered twice: the server sees each upload
+    // request two times and must dedup the second by (owner, seq)
+    let link = apks_client::LinkFaultConfig {
+        seed: 1,
+        duplicate_permille: 1000,
+        ..apks_client::LinkFaultConfig::default()
+    };
+    let (mut client, mut endpoint, ta, mut rng) = harness_faulty(link);
+    let sys = ta.system();
+    let pk = ta.public_key();
+    let policy = RetryPolicy::default();
+    for batch in 0..3 {
+        let records: Vec<_> = (0..2)
+            .map(|_| {
+                let rec = Record::new(vec![FieldValue::text("flu"), FieldValue::text("male")]);
+                sys.gen_index(pk, &rec, &mut rng).unwrap()
+            })
+            .collect();
+        let ids = client
+            .upload_resilient(&mut endpoint, "owner-a", records, &policy)
+            .unwrap();
+        assert_eq!(ids, vec![batch * 2, batch * 2 + 1]);
+    }
+    // exactly-once: 3 batches of 2 → 6 documents, despite 2× delivery
+    assert_eq!(endpoint.server().len(), 6);
+    let snap = endpoint.server().metrics_snapshot();
+    assert_eq!(
+        snap.counter("wire.server.dedup_hits"),
+        Some(3),
+        "each duplicated upload frame must hit the dedup window"
+    );
+}
+
+#[test]
+fn resilient_calls_survive_a_lossy_link() {
+    // drop + corrupt + truncate at meaningful rates: bare calls would
+    // die, resilient calls reconnect and recover
+    let link = apks_client::LinkFaultConfig {
+        seed: 9,
+        drop_permille: 200,
+        corrupt_permille: 150,
+        truncate_permille: 100,
+        duplicate_permille: 100,
+        delay_permille: 200,
+        delay_ticks: 11,
+    };
+    let (mut client, mut endpoint, ta, mut rng) = harness_faulty(link);
+    let sys = ta.system();
+    let pk = ta.public_key();
+    let policy = RetryPolicy::new(8, 2, 16, 3).with_jitter_seed(42);
+    let mut expected_flu = Vec::new();
+    for i in 0..6u64 {
+        let illness = if i % 2 == 0 { "flu" } else { "cancer" };
+        let rec = Record::new(vec![FieldValue::text(illness), FieldValue::text("male")]);
+        let records = vec![sys.gen_index(pk, &rec, &mut rng).unwrap()];
+        let ids = client
+            .upload_resilient(&mut endpoint, "owner-a", records, &policy)
+            .unwrap();
+        assert_eq!(ids.len(), 1);
+        if illness == "flu" {
+            expected_flu.push(ids[0]);
+        }
+    }
+    assert_eq!(endpoint.server().len(), 6, "exactly-once under loss");
+
+    let cap = ta
+        .issue_capability(
+            &Query::new().equals("illness", "flu"),
+            &QueryPolicy::default(),
+            &mut rng,
+        )
+        .unwrap();
+    let resp = client
+        .search_resilient(&mut endpoint, &cap, u64::MAX, u64::MAX, 0, &policy)
+        .unwrap();
+    assert_eq!(resp.matches, expected_flu, "hits survive the lossy link");
+    assert!(
+        client.reconnects() > 0,
+        "this seed must actually exercise reconnects"
+    );
+}
+
+#[test]
+fn reconnect_revives_a_framing_dead_stream() {
+    // heavy corruption: sooner or later a header byte is hit and the
+    // server's framing dies; the resilient path must reconnect through
+    // it and keep answering
+    let link = apks_client::LinkFaultConfig {
+        seed: 4,
+        corrupt_permille: 350,
+        ..apks_client::LinkFaultConfig::default()
+    };
+    let (mut client, mut endpoint, _ta, _rng) = harness_faulty(link);
+    let policy = RetryPolicy::new(10, 1, 8, 2).with_jitter_seed(7);
+    // enough pings that some frame corrupts a header byte eventually;
+    // the resilient path must keep succeeding throughout
+    for _ in 0..20 {
+        client
+            .call_resilient(
+                &mut endpoint,
+                &apks_wire::Request::Ping,
+                &policy,
+                0,
+                |resp| matches!(resp, apks_wire::Response::Pong),
+            )
+            .unwrap();
+    }
+    let snap = endpoint.server().metrics_snapshot();
+    let resets = snap.counter("wire.server.resets").unwrap_or(0);
+    assert!(resets > 0, "corruption at 350‰ must force reconnects");
+}

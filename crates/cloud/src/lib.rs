@@ -29,4 +29,6 @@ pub use backend::{
 pub use server::{
     CloudServer, DegradedScan, DocumentId, PreparedCache, SearchOutcome, SearchStats, WaveRequest,
 };
-pub use shard::{ClockModel, ShardConfig, ShardOutcome, ShardRouter, ShardedBatch};
+pub use shard::{
+    AntiEntropyReport, ClockModel, ShardConfig, ShardOutcome, ShardRouter, ShardedBatch,
+};

@@ -394,6 +394,37 @@ impl CloudServer {
         self.store.doc_ids()
     }
 
+    /// The stored index under `id`, hydrated from the backend — the
+    /// anti-entropy pass reads replicas through this to compare and
+    /// re-ship documents.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures while hydrating a disk-backed document.
+    pub fn document(&self, id: DocumentId) -> Result<Option<Arc<EncryptedIndex>>, CorpusError> {
+        match self.store.doc_ids().iter().position(|&d| d == id) {
+            Some(pos) => self.store.hydrate(pos).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// A liveness probe: materializes the first stored document,
+    /// surfacing the kind of storage fault that would otherwise degrade
+    /// every document of a scan (the batched wave absorbs per-document
+    /// hydrate failures into `faulted` rather than erroring). The shard
+    /// router probes a replica before serving a wave from it and fails
+    /// over on an error. Empty corpora are vacuously healthy.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the backend reports for the first document.
+    pub fn probe(&self) -> Result<(), CorpusError> {
+        if self.store.is_empty() {
+            return Ok(());
+        }
+        self.store.hydrate(0).map(|_| ())
+    }
+
     /// Number of stored indexes.
     pub fn len(&self) -> usize {
         self.store.len()

@@ -42,13 +42,42 @@
 //! outright: every query receives that shard's full corpus as
 //! `unscanned`, accounted under `cloud.shard.breaker_skipped` — partial
 //! results with explicit gaps, never silent loss.
+//!
+//! # Replication
+//!
+//! With [`ShardConfig::replication`] `R > 1` the shard list is read as
+//! `len/R` **partitions** of `R` replicas each — partition `p`'s
+//! replicas are `shards[p·R .. p·R+R]`, replica 0 the primary. Uploads
+//! fan each document to all `R` replicas, so every replica of a
+//! partition holds the identical corpus slice in identical scan order.
+//! A wave scans **one** replica per partition: the first whose breaker
+//! admits it, failing over to the next on an open breaker, a failed
+//! [`CloudServer::probe`] (a replica whose store has crashed or become
+//! unreachable), or a [`SearchOutcome::Corpus`] scan error. Because replicas are identical and fault schedules are pure
+//! functions of document ids, the merged results are byte-equal to an
+//! `R = 1` deployment over the same partitions no matter which replica
+//! serves — failover changes latency, never answers. Only when *every*
+//! replica of a partition is down does the partition contribute an
+//! explicit gap. Failovers are accounted under `cloud.replica.*`, and
+//! [`ShardRouter::anti_entropy`] heals replicas that drifted (content
+//! compared by canonical-encoding digest, majority wins, ties to the
+//! lowest replica index) by re-shipping the winning copy.
+//!
+//! Budget caveat: a mid-scan failover abandons a partial scan whose
+//! pairings were already charged to the wave's shared [`Budget`] — the
+//! work genuinely happened, so the ledger keeps it, exactly as a real
+//! deployment pays for a scan a crashed replica never finished.
 
+use crate::backend::CorpusError;
 use crate::server::{
     CloudServer, DegradedScan, DocumentId, PreparedCache, SearchOutcome, SearchStats,
 };
 use apks_authz::SignedCapability;
 use apks_core::fault::{FaultContext, FaultPlan, RetryPolicy, VirtualClock};
 use apks_core::{Budget, Deadline, EncryptedIndex};
+use apks_curve::CurveParams;
+use apks_math::encode::Writer;
+use apks_math::sha256::Sha256;
 use apks_proxy::{BreakerConfig, CircuitBreaker};
 use apks_telemetry::MetricsRegistry;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,6 +101,9 @@ pub struct ShardConfig {
     pub breaker: BreakerConfig,
     /// Clock model for `search_batched`.
     pub clock_model: ClockModel,
+    /// Replicas per partition. The shard list length must be a
+    /// multiple of this; `1` (the default) is the unreplicated router.
+    pub replication: usize,
 }
 
 impl Default for ShardConfig {
@@ -80,26 +112,33 @@ impl Default for ShardConfig {
             // open after 3 consecutive failing waves, probe after 1000 ticks
             breaker: BreakerConfig::new(3, 1000),
             clock_model: ClockModel::Serial,
+            replication: 1,
         }
     }
 }
 
-/// What one shard contributed to a gathered wave.
+/// What one partition contributed to a gathered wave (one entry per
+/// partition, in partition order; with replication 1 a partition *is*
+/// a shard and `shard == partition`).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ShardOutcome {
-    /// Shard index.
+    /// Global index of the shard that served (the partition's primary
+    /// when the whole partition was skipped).
     pub shard: usize,
-    /// The shard's breaker was open: no scan ran, its whole corpus is
-    /// in every query's `unscanned`.
+    /// Which replica of its partition served: 0 is the primary,
+    /// anything higher means the wave failed over.
+    pub replica: usize,
+    /// No replica could serve: no scan ran, the partition's whole
+    /// corpus is in every query's `unscanned`.
     pub skipped: bool,
-    /// Documents this shard holds.
+    /// Documents this partition holds (per replica).
     pub docs: usize,
-    /// Ticks the shard's scan took (shared-clock delta under
-    /// [`ClockModel::Serial`], child-clock delta under
-    /// [`ClockModel::Parallel`]; 0 when skipped).
+    /// Ticks the partition's serve took, failed-over attempts included
+    /// (shared-clock delta under [`ClockModel::Serial`], child-clock
+    /// delta under [`ClockModel::Parallel`]; 0 when skipped).
     pub elapsed_ticks: u64,
-    /// At least one query's deadline expired inside this shard — the
-    /// signal fed to the shard's breaker.
+    /// At least one query's deadline expired inside this partition —
+    /// the signal fed to the serving replica's breaker.
     pub deadline_failed: bool,
 }
 
@@ -117,13 +156,15 @@ pub struct ShardedBatch {
     pub straggler_ticks: u64,
 }
 
-/// Routes uploads and scatter-gathers searches over N shards.
+/// Routes uploads and scatter-gathers searches over N shards, read as
+/// `N / replication` partitions of identical replicas.
 pub struct ShardRouter {
     shards: Vec<Arc<CloudServer>>,
     breakers: Vec<CircuitBreaker>,
     clock: Arc<VirtualClock>,
     metrics: Arc<MetricsRegistry>,
     model: ClockModel,
+    replication: usize,
     next_id: AtomicU64,
     /// Prepared-capability cache shared by every shard: a scatter-
     /// gather wave pays `prepare_capability` once, the other N−1
@@ -141,7 +182,8 @@ impl ShardRouter {
     ///
     /// # Panics
     ///
-    /// If `shards` is empty.
+    /// If `shards` is empty, `config.replication` is zero, or the shard
+    /// count is not a multiple of `config.replication`.
     pub fn new(
         shards: Vec<Arc<CloudServer>>,
         config: ShardConfig,
@@ -149,6 +191,13 @@ impl ShardRouter {
         metrics: Arc<MetricsRegistry>,
     ) -> ShardRouter {
         assert!(!shards.is_empty(), "a router needs at least one shard");
+        assert!(config.replication >= 1, "replication factor must be ≥ 1");
+        assert!(
+            shards.len().is_multiple_of(config.replication),
+            "shard count {} is not a multiple of replication {}",
+            shards.len(),
+            config.replication
+        );
         let breakers = (0..shards.len())
             .map(|_| CircuitBreaker::new(config.breaker))
             .collect();
@@ -158,12 +207,14 @@ impl ShardRouter {
         for shard in &shards {
             shard.set_prepared_cache(prepared.clone());
         }
+        metrics.add("cloud.replica.factor", config.replication as u64);
         ShardRouter {
             shards,
             breakers,
             clock,
             metrics,
             model: config.clock_model,
+            replication: config.replication,
             next_id: AtomicU64::new(0),
             prepared,
         }
@@ -176,9 +227,19 @@ impl ShardRouter {
         &self.prepared
     }
 
-    /// Number of shards.
+    /// Number of shards (replicas counted individually).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Replicas per partition.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Number of partitions (`shard_count / replication`).
+    pub fn partitions(&self) -> usize {
+        self.shards.len() / self.replication
     }
 
     /// The shards themselves (for inspection; uploads should go through
@@ -202,9 +263,12 @@ impl ShardRouter {
         &self.metrics
     }
 
-    /// Total documents across all shards.
+    /// Total *logical* documents across all partitions (each document
+    /// counted once, however many replicas hold a copy).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.len()).sum()
+        (0..self.partitions())
+            .map(|p| self.shards[p * self.replication].len())
+            .sum()
     }
 
     /// True iff no shard holds any document.
@@ -219,10 +283,18 @@ impl ShardRouter {
         }
     }
 
-    /// Stores an index on shard `id % N` under the next global id.
+    /// Stores an index on partition `id % partitions` under the next
+    /// global id, fanning the write to every replica of the partition.
     pub fn upload(&self, index: EncryptedIndex) -> DocumentId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shards[(id % self.shards.len() as u64) as usize].upload_assigned(id, index);
+        let base = (id % self.partitions() as u64) as usize * self.replication;
+        for r in 0..self.replication {
+            self.shards[base + r].upload_assigned(id, index.clone());
+        }
+        if self.replication > 1 {
+            self.metrics
+                .add("cloud.replica.fanout_writes", self.replication as u64 - 1);
+        }
         id
     }
 
@@ -233,18 +305,23 @@ impl ShardRouter {
     }
 
     /// Scatter-gather batched search: fans `requests` out to every
-    /// shard, merges the per-shard [`DegradedScan`]s in shard order,
-    /// and reports per-shard accounting under `cloud.shard.*`.
+    /// partition (one replica serves each), merges the per-partition
+    /// [`DegradedScan`]s in partition order, and reports per-partition
+    /// accounting under `cloud.shard.*` / `cloud.replica.*`.
     ///
     /// Bounds stay per-request across the whole gather: one [`Deadline`]
-    /// and one [`Budget`] govern a query's scan over *all* shards, so a
-    /// query cut in one shard surfaces every later shard's corpus in
-    /// its merged `unscanned` — exactly the single-node contract.
+    /// and one [`Budget`] govern a query's scan over *all* partitions,
+    /// so a query cut in one partition surfaces every later partition's
+    /// corpus in its merged `unscanned` — exactly the single-node
+    /// contract.
     ///
     /// # Errors
     ///
     /// Fails if any capability is rejected by any scanned shard (all
     /// shards hold the same deployment, so the first shard decides).
+    /// [`SearchOutcome::Corpus`] faults are *not* returned — they fail
+    /// the wave over to the partition's next replica, and with no
+    /// replica left the partition becomes an explicit gap.
     pub fn search_batched(
         &self,
         requests: &[(&SignedCapability, Deadline, &Budget)],
@@ -269,34 +346,36 @@ impl ShardRouter {
                 stats: SearchStats::default(),
             })
             .collect();
-        let mut outcomes = Vec::with_capacity(self.shards.len());
+        let mut outcomes = Vec::with_capacity(self.partitions());
         let scatter = self.clock.now();
         let mut straggler = 0u64;
         let mut skipped = 0u64;
         let mut degraded_shards = 0u64;
         // A query cut by its deadline or budget is dead for every later
-        // shard: re-submitting it would let scan_wave's entry check tag
-        // a budget-cut query with a spurious `deadline_expired` the
+        // partition: re-submitting it would let scan_wave's entry check
+        // tag a budget-cut query with a spurious `deadline_expired` the
         // single-node scan never sets. Dead queries swallow later
-        // shards whole, bound checks untouched.
+        // partitions whole, bound checks untouched.
         let mut alive: Vec<bool> = vec![true; requests.len()];
 
-        for (s, shard) in self.shards.iter().enumerate() {
+        for p in 0..self.partitions() {
+            let base = p * self.replication;
             let entry = self.clock.now();
-            if !self.breakers[s].allows(entry) {
-                // Open breaker: the shard contributes an explicit gap,
-                // not a hang — its whole corpus lands in `unscanned`.
+            // replicas whose breaker admits the wave, in replica order
+            let admitted: Vec<usize> = (0..self.replication)
+                .filter(|r| self.breakers[base + r].allows(entry))
+                .collect();
+            if admitted.is_empty() {
+                // every replica's breaker is open: the partition
+                // contributes an explicit gap, not a hang — its whole
+                // corpus lands in `unscanned`.
                 skipped += 1;
-                let ids = shard.doc_ids();
-                for merged in &mut results {
-                    merged.stats.unscanned_docs += ids.len();
-                    merged.stats.degraded |= !ids.is_empty();
-                    merged.unscanned.extend_from_slice(&ids);
-                }
+                Self::gap(&mut results, &self.shards[base].doc_ids(), |_| true);
                 outcomes.push(ShardOutcome {
-                    shard: s,
+                    shard: base,
+                    replica: 0,
                     skipped: true,
-                    docs: ids.len(),
+                    docs: self.shards[base].len(),
                     elapsed_ticks: 0,
                     deadline_failed: false,
                 });
@@ -304,23 +383,16 @@ impl ShardRouter {
             }
 
             let live_idx: Vec<usize> = (0..requests.len()).filter(|&q| alive[q]).collect();
-            let dead_ids = if live_idx.len() < requests.len() {
-                shard.doc_ids()
-            } else {
-                Vec::new()
-            };
-            for (q, merged) in results.iter_mut().enumerate() {
-                if !alive[q] {
-                    merged.stats.unscanned_docs += dead_ids.len();
-                    merged.stats.degraded |= !dead_ids.is_empty();
-                    merged.unscanned.extend_from_slice(&dead_ids);
-                }
+            if live_idx.len() < requests.len() {
+                let dead_ids = self.shards[base].doc_ids();
+                Self::gap(&mut results, &dead_ids, |q| !alive[q]);
             }
             if live_idx.is_empty() {
                 outcomes.push(ShardOutcome {
-                    shard: s,
+                    shard: base + admitted[0],
+                    replica: admitted[0],
                     skipped: false,
-                    docs: shard.len(),
+                    docs: self.shards[base].len(),
                     elapsed_ticks: 0,
                     deadline_failed: false,
                 });
@@ -329,25 +401,75 @@ impl ShardRouter {
             let sub: Vec<(&SignedCapability, Deadline, &Budget)> =
                 live_idx.iter().map(|&q| requests[q]).collect();
 
-            // Parallel shards scan on a clock forked at the scatter
-            // tick; serial shards share the deployment clock directly.
-            let child;
-            let scan_clock: &VirtualClock = match self.model {
-                ClockModel::Serial => &self.clock,
-                ClockModel::Parallel => {
-                    child = VirtualClock::new();
-                    child.advance(scatter);
-                    &child
+            // Try each admitted replica in order; a mid-scan corpus
+            // fault records a breaker failure and fails the wave over
+            // to the next. Parallel partitions scan on a clock forked
+            // at the scatter tick (failed attempts push the fork point
+            // forward — failover is serial latency even when the
+            // partitions themselves overlap); serial partitions share
+            // the deployment clock directly.
+            let mut served: Option<(usize, Vec<DegradedScan>, u64)> = None;
+            let mut attempt_offset = 0u64;
+            for &r in &admitted {
+                let s = base + r;
+                let child;
+                let scan_clock: &VirtualClock = match self.model {
+                    ClockModel::Serial => &self.clock,
+                    ClockModel::Parallel => {
+                        child = VirtualClock::new();
+                        child.advance(scatter + attempt_offset);
+                        &child
+                    }
+                };
+                let start = scan_clock.now();
+                // a dead store degrades every document instead of
+                // erroring inside the wave — catch it at the door
+                if self.shards[s].probe().is_err() {
+                    self.breakers[s].record_failure(scan_clock.now());
+                    self.metrics.add("cloud.replica.scan_failovers", 1);
+                    continue;
                 }
+                let ctx = FaultContext::new(plan, policy, scan_clock);
+                match self.shards[s].search_batched(&sub, &ctx, doc_cost_ticks) {
+                    Ok(scans) => {
+                        let elapsed = attempt_offset + scan_clock.now().saturating_sub(start);
+                        served = Some((r, scans, elapsed));
+                        break;
+                    }
+                    Err(SearchOutcome::Corpus(_)) => {
+                        attempt_offset += scan_clock.now().saturating_sub(start);
+                        self.breakers[s].record_failure(scan_clock.now());
+                        self.metrics.add("cloud.replica.scan_failovers", 1);
+                    }
+                    Err(fatal) => return Err(fatal),
+                }
+            }
+            let Some((r, scans, elapsed)) = served else {
+                // every admitted replica faulted mid-scan: the live
+                // queries get the partition as an explicit gap (dead
+                // queries already did, above)
+                skipped += 1;
+                Self::gap(&mut results, &self.shards[base].doc_ids(), |q| alive[q]);
+                outcomes.push(ShardOutcome {
+                    shard: base,
+                    replica: 0,
+                    skipped: true,
+                    docs: self.shards[base].len(),
+                    elapsed_ticks: attempt_offset,
+                    deadline_failed: false,
+                });
+                continue;
             };
-            let start = scan_clock.now();
-            let ctx = FaultContext::new(plan, policy, scan_clock);
-            let scans = shard.search_batched(&sub, &ctx, doc_cost_ticks)?;
-            let elapsed = scan_clock.now().saturating_sub(start);
+            let s = base + r;
+            if r != 0 {
+                self.metrics.add("cloud.replica.failovers", 1);
+                self.metrics
+                    .record("cloud.replica.failover_ticks", attempt_offset);
+            }
             straggler = straggler.max(elapsed);
 
             let deadline_failed = scans.iter().any(|d| d.stats.deadline_expired);
-            let now = scan_clock.now();
+            let now = self.clock.now().max(scatter + elapsed);
             if deadline_failed {
                 self.breakers[s].record_failure(now);
             } else {
@@ -365,8 +487,9 @@ impl ShardRouter {
             self.metrics.record("cloud.shard.ticks", elapsed);
             outcomes.push(ShardOutcome {
                 shard: s,
+                replica: r,
                 skipped: false,
-                docs: shard.len(),
+                docs: self.shards[base].len(),
                 elapsed_ticks: elapsed,
                 deadline_failed,
             });
@@ -379,7 +502,7 @@ impl ShardRouter {
 
         self.metrics.add("cloud.shard.batches", 1);
         self.metrics
-            .record("cloud.shard.fanout", (self.shards.len() as u64) - skipped);
+            .record("cloud.shard.fanout", (self.partitions() as u64) - skipped);
         if skipped > 0 {
             self.metrics.add("cloud.shard.breaker_skipped", skipped);
         }
@@ -396,6 +519,149 @@ impl ShardRouter {
             straggler_ticks: straggler,
         })
     }
+
+    /// Adds `ids` to the `unscanned` tail of every query `q` for which
+    /// `applies(q)` — an explicit gap, never silent loss.
+    fn gap(results: &mut [DegradedScan], ids: &[DocumentId], applies: impl Fn(usize) -> bool) {
+        for (q, merged) in results.iter_mut().enumerate() {
+            if applies(q) {
+                merged.stats.unscanned_docs += ids.len();
+                merged.stats.degraded |= !ids.is_empty();
+                merged.unscanned.extend_from_slice(ids);
+            }
+        }
+    }
+
+    /// One anti-entropy pass over every partition: replicas' copies are
+    /// compared by canonical-encoding digest, a winner is elected per
+    /// document (majority digest, ties to the lowest replica index
+    /// holding it), and the winning copy is re-shipped to every replica
+    /// that is missing the document or holds a divergent copy.
+    ///
+    /// Deterministic: documents are visited in ascending id order and
+    /// the election is a pure function of replica contents, so a
+    /// same-seed chaos run heals identically. Accounted under
+    /// `cloud.replica.anti_entropy_*`. A no-op when `replication == 1`.
+    ///
+    /// # Errors
+    ///
+    /// Storage failures while hydrating or re-shipping a disk-backed
+    /// document.
+    pub fn anti_entropy(&self) -> Result<AntiEntropyReport, CorpusError> {
+        let mut report = AntiEntropyReport {
+            partitions: self.partitions(),
+            ..AntiEntropyReport::default()
+        };
+        if self.replication == 1 {
+            return Ok(report);
+        }
+        let params = self.shards[0].system().params().clone();
+        for p in 0..self.partitions() {
+            let base = p * self.replication;
+            // replica → (sorted doc ids, per-doc digest)
+            let mut held: Vec<Vec<(DocumentId, [u8; 32])>> = Vec::with_capacity(self.replication);
+            for r in 0..self.replication {
+                let shard = &self.shards[base + r];
+                let mut docs = Vec::new();
+                for id in shard.doc_ids() {
+                    let index = shard
+                        .document(id)?
+                        .expect("listed doc must hydrate on its own shard");
+                    docs.push((id, doc_digest(&params, &index)));
+                }
+                docs.sort_unstable_by_key(|&(id, _)| id);
+                held.push(docs);
+            }
+            // ascending union of ids across the partition's replicas
+            let mut union: Vec<DocumentId> = held.iter().flatten().map(|&(id, _)| id).collect();
+            union.sort_unstable();
+            union.dedup();
+            for id in union {
+                report.docs_checked += 1;
+                let copies: Vec<(usize, [u8; 32])> = held
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(r, docs)| {
+                        docs.binary_search_by_key(&id, |&(d, _)| d)
+                            .ok()
+                            .map(|i| (r, docs[i].1))
+                    })
+                    .collect();
+                // elect: most holders, ties to the lowest replica index
+                let winner = copies
+                    .iter()
+                    .map(|&(r, digest)| {
+                        let votes = copies.iter().filter(|&&(_, d)| d == digest).count();
+                        (votes, std::cmp::Reverse(r), digest, r)
+                    })
+                    .max()
+                    .map(|(_, _, digest, r)| (digest, r))
+                    .expect("a doc in the union is held somewhere");
+                let (winning_digest, source) = winner;
+                if copies.iter().any(|&(_, d)| d != winning_digest) {
+                    report.divergent += 1;
+                }
+                let truth = self.shards[base + source]
+                    .document(id)?
+                    .expect("winning copy must hydrate");
+                for r in 0..self.replication {
+                    match copies.iter().find(|&&(cr, _)| cr == r) {
+                        Some(&(_, d)) if d == winning_digest => {}
+                        Some(_) => {
+                            // divergent copy: overwrite with the winner
+                            self.shards[base + r].upload_assigned(id, (*truth).clone());
+                            report.reshipped += 1;
+                        }
+                        None => {
+                            report.missing += 1;
+                            self.shards[base + r].upload_assigned(id, (*truth).clone());
+                            report.reshipped += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.metrics.add("cloud.replica.anti_entropy_runs", 1);
+        if report.reshipped > 0 {
+            self.metrics.add(
+                "cloud.replica.anti_entropy_reshipped",
+                report.reshipped as u64,
+            );
+        }
+        if report.divergent > 0 {
+            self.metrics.add(
+                "cloud.replica.anti_entropy_divergent",
+                report.divergent as u64,
+            );
+        }
+        Ok(report)
+    }
+}
+
+/// What one [`ShardRouter::anti_entropy`] pass found and fixed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AntiEntropyReport {
+    /// Partitions examined.
+    pub partitions: usize,
+    /// Distinct documents compared (union across replicas).
+    pub docs_checked: usize,
+    /// Documents whose replicas disagreed on content.
+    pub divergent: usize,
+    /// (replica, document) pairs where a copy was absent outright.
+    pub missing: usize,
+    /// Copies re-shipped to heal missing or divergent replicas.
+    pub reshipped: usize,
+}
+
+/// Content digest of a stored index: SHA-256 over the ciphertext's
+/// canonical encoding — the identity anti-entropy compares between
+/// replicas.
+fn doc_digest(params: &CurveParams, index: &EncryptedIndex) -> [u8; 32] {
+    let mut w = Writer::new();
+    index.ct.encode(params, &mut w);
+    let mut h = Sha256::new();
+    h.update(&w.finish());
+    h.finalize()
 }
 
 /// Appends one shard's scan to a query's merged result. Vectors
@@ -571,6 +837,280 @@ mod tests {
         assert!(scan.stats.degraded);
         assert!(batch.shards[1].skipped);
         assert_eq!(r.metrics().counter("cloud.shard.breaker_skipped").get(), 1);
+    }
+
+    fn replicated_router(
+        ta: &TrustedAuthority,
+        partitions: usize,
+        replication: usize,
+        model: ClockModel,
+    ) -> ShardRouter {
+        let clock = Arc::new(VirtualClock::new());
+        let shards = (0..partitions * replication)
+            .map(|_| server(ta, &clock))
+            .collect();
+        let config = ShardConfig {
+            clock_model: model,
+            replication,
+            ..ShardConfig::default()
+        };
+        ShardRouter::new(shards, config, clock, Arc::new(MetricsRegistry::new()))
+    }
+
+    #[test]
+    fn replicated_upload_fans_to_identical_replicas() {
+        let (ta, mut rng) = authority();
+        let r = replicated_router(&ta, 3, 2, ClockModel::Serial);
+        upload_corpus(&ta, &mut rng, &r);
+        // logical count: each doc once, despite two physical copies
+        assert_eq!(r.len(), CORPUS.len());
+        assert_eq!(r.partitions(), 3);
+        for p in 0..3 {
+            let primary = r.shards()[p * 2].doc_ids();
+            let follower = r.shards()[p * 2 + 1].doc_ids();
+            assert_eq!(primary, follower, "partition {p} replicas must agree");
+        }
+        // same round-robin placement as an unreplicated 3-shard router
+        assert_eq!(r.shards()[0].doc_ids(), vec![0, 3, 6]);
+        assert_eq!(r.shards()[2].doc_ids(), vec![1, 4]);
+        assert_eq!(r.shards()[4].doc_ids(), vec![2, 5]);
+        assert_eq!(
+            r.metrics().counter("cloud.replica.fanout_writes").get(),
+            CORPUS.len() as u64
+        );
+    }
+
+    #[test]
+    fn replicated_gather_is_byte_equal_to_single_replica_oracle() {
+        let (ta, mut rng) = authority();
+        let replicated = replicated_router(&ta, 3, 2, ClockModel::Serial);
+        upload_corpus(&ta, &mut rng, &replicated);
+        let oracle = router(&ta, 3, ClockModel::Serial);
+        let mut rng2 = StdRng::seed_from_u64(4242);
+        upload_corpus(&ta, &mut rng2, &oracle);
+
+        let cap = flu_cap(&ta, &mut rng);
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        let b1 = Budget::unlimited();
+        let b2 = Budget::unlimited();
+        let rb = replicated
+            .search_batched(&[(&cap, Deadline::NEVER, &b1)], &plan, &policy, 1)
+            .unwrap();
+        let ob = oracle
+            .search_batched(&[(&cap, Deadline::NEVER, &b2)], &plan, &policy, 1)
+            .unwrap();
+        assert_eq!(
+            rb.results, ob.results,
+            "replication must not change answers"
+        );
+        assert!(rb.shards.iter().all(|o| o.replica == 0 && !o.skipped));
+    }
+
+    #[test]
+    fn open_primary_breaker_fails_over_to_follower() {
+        let (ta, mut rng) = authority();
+        let r = replicated_router(&ta, 2, 2, ClockModel::Serial);
+        upload_corpus(&ta, &mut rng, &r);
+        let cap = flu_cap(&ta, &mut rng);
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+
+        // trip partition 0's primary (global shard 0)
+        for _ in 0..ShardConfig::default().breaker.failure_threshold {
+            r.breaker(0).record_failure(0);
+        }
+        let budget = Budget::unlimited();
+        let batch = r
+            .search_batched(&[(&cap, Deadline::NEVER, &budget)], &plan, &policy, 1)
+            .unwrap();
+        // the follower serves the identical slice: full results, no gap
+        let scan = &batch.results[0];
+        assert_eq!(scan.matches, vec![0, 4, 6, 1], "failover changes nothing");
+        assert!(scan.unscanned.is_empty());
+        assert!(!scan.stats.degraded);
+        assert_eq!(batch.shards[0].replica, 1, "partition 0 served by follower");
+        assert_eq!(batch.shards[0].shard, 1);
+        assert_eq!(batch.shards[1].replica, 0, "partition 1 untouched");
+        assert_eq!(r.metrics().counter("cloud.replica.failovers").get(), 1);
+    }
+
+    #[test]
+    fn partition_with_every_replica_down_is_an_explicit_gap() {
+        let (ta, mut rng) = authority();
+        let r = replicated_router(&ta, 2, 2, ClockModel::Serial);
+        upload_corpus(&ta, &mut rng, &r);
+        let cap = flu_cap(&ta, &mut rng);
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+        for shard in [0, 1] {
+            for _ in 0..ShardConfig::default().breaker.failure_threshold {
+                r.breaker(shard).record_failure(0);
+            }
+        }
+        let budget = Budget::unlimited();
+        let batch = r
+            .search_batched(&[(&cap, Deadline::NEVER, &budget)], &plan, &policy, 1)
+            .unwrap();
+        let scan = &batch.results[0];
+        // partition 0 (docs 0,2,4,6) is a gap; partition 1 serves
+        assert_eq!(scan.unscanned, vec![0, 2, 4, 6]);
+        assert_eq!(scan.matches, vec![1]);
+        assert!(scan.stats.degraded);
+        assert!(batch.shards[0].skipped);
+        assert_eq!(r.metrics().counter("cloud.shard.breaker_skipped").get(), 1);
+    }
+
+    /// A memory backend that can be switched into a failing mode where
+    /// every hydrate errors — a replica whose store crashed mid-wave.
+    struct FlakyBackend {
+        inner: crate::backend::MemoryBackend,
+        dead: Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl crate::backend::CorpusBackend for FlakyBackend {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn doc_id(&self, pos: usize) -> Option<DocumentId> {
+            self.inner.doc_id(pos)
+        }
+        fn doc_ids(&self) -> Vec<DocumentId> {
+            self.inner.doc_ids()
+        }
+        fn ids_from(&self, pos: usize) -> Vec<DocumentId> {
+            self.inner.ids_from(pos)
+        }
+        fn push(&self, id: DocumentId, index: EncryptedIndex) -> Result<bool, CorpusError> {
+            self.inner.push(id, index)
+        }
+        fn hydrate(&self, pos: usize) -> Result<Arc<EncryptedIndex>, CorpusError> {
+            if self.dead.load(Ordering::Relaxed) {
+                return Err(CorpusError::Decode {
+                    doc: 0,
+                    what: "simulated replica outage".into(),
+                });
+            }
+            self.inner.hydrate(pos)
+        }
+    }
+
+    #[test]
+    fn mid_scan_corpus_fault_fails_over_without_changing_answers() {
+        let (ta, mut rng) = authority();
+        let clock = Arc::new(VirtualClock::new());
+        let dead = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flaky = {
+            let s = Arc::new(CloudServer::with_backend(
+                ta.system().clone(),
+                ta.public_key().clone(),
+                ta.ibs_params().clone(),
+                Arc::new(MetricsRegistry::new()),
+                clock.clone(),
+                Box::new(FlakyBackend {
+                    inner: crate::backend::MemoryBackend::new(),
+                    dead: dead.clone(),
+                }),
+            ));
+            s.register_authority("ta");
+            s
+        };
+        let follower = server(&ta, &clock);
+        let config = ShardConfig {
+            replication: 2,
+            ..ShardConfig::default()
+        };
+        let r = ShardRouter::new(
+            vec![flaky, follower],
+            config,
+            clock,
+            Arc::new(MetricsRegistry::new()),
+        );
+        upload_corpus(&ta, &mut rng, &r);
+        let cap = flu_cap(&ta, &mut rng);
+        let plan = FaultPlan::new(FaultConfig::default());
+        let policy = RetryPolicy::default();
+
+        let healthy = {
+            let budget = Budget::unlimited();
+            r.search_batched(&[(&cap, Deadline::NEVER, &budget)], &plan, &policy, 1)
+                .unwrap()
+        };
+        assert_eq!(healthy.shards[0].replica, 0);
+
+        dead.store(true, Ordering::Relaxed);
+        let budget = Budget::unlimited();
+        let failed_over = r
+            .search_batched(&[(&cap, Deadline::NEVER, &budget)], &plan, &policy, 1)
+            .unwrap();
+        assert_eq!(
+            failed_over.results[0].matches, healthy.results[0].matches,
+            "a mid-scan fault must not change answers"
+        );
+        assert!(failed_over.results[0].unscanned.is_empty());
+        assert_eq!(failed_over.shards[0].replica, 1);
+        assert_eq!(r.metrics().counter("cloud.replica.scan_failovers").get(), 1);
+        assert_eq!(r.metrics().counter("cloud.replica.failovers").get(), 1);
+
+        // with the follower also unavailable the partition is an
+        // explicit gap, not an error
+        for _ in 0..ShardConfig::default().breaker.failure_threshold {
+            r.breaker(1).record_failure(r.clock().now());
+        }
+        let budget = Budget::unlimited();
+        let gap = r
+            .search_batched(&[(&cap, Deadline::NEVER, &budget)], &plan, &policy, 1)
+            .unwrap();
+        assert!(gap.shards[0].skipped);
+        assert!(gap.results[0].matches.is_empty());
+        assert_eq!(gap.results[0].unscanned.len(), CORPUS.len());
+        assert!(gap.results[0].stats.degraded);
+    }
+
+    #[test]
+    fn anti_entropy_heals_missing_and_divergent_copies() {
+        let (ta, mut rng) = authority();
+        let r = replicated_router(&ta, 2, 2, ClockModel::Serial);
+        upload_corpus(&ta, &mut rng, &r);
+
+        // a clean pass finds nothing to do
+        let clean = r.anti_entropy().unwrap();
+        assert_eq!(clean.docs_checked, CORPUS.len());
+        assert_eq!((clean.divergent, clean.missing, clean.reshipped), (0, 0, 0));
+
+        // diverge: overwrite doc 0's copy on partition 0's follower
+        let rogue = Record::new(vec![FieldValue::text("plague"), FieldValue::text("male")]);
+        let rogue_idx = ta
+            .system()
+            .gen_index(ta.public_key(), &rogue, &mut rng)
+            .unwrap();
+        r.shards()[1].upload_assigned(0, rogue_idx);
+        // lose: ship doc 100 to partition 0's primary only
+        let extra = Record::new(vec![FieldValue::text("flu"), FieldValue::text("female")]);
+        let extra_idx = ta
+            .system()
+            .gen_index(ta.public_key(), &extra, &mut rng)
+            .unwrap();
+        r.shards()[0].upload_assigned(100, extra_idx);
+
+        let healed = r.anti_entropy().unwrap();
+        assert_eq!(healed.divergent, 1, "doc 0 disagreed");
+        assert_eq!(healed.missing, 1, "doc 100 absent on the follower");
+        assert_eq!(healed.reshipped, 2);
+
+        // the pass converged: a second run is clean and the replicas
+        // answer identically whichever one serves
+        let again = r.anti_entropy().unwrap();
+        assert_eq!((again.divergent, again.missing, again.reshipped), (0, 0, 0));
+        for p in 0..2 {
+            assert_eq!(r.shards()[p * 2].doc_ids(), r.shards()[p * 2 + 1].doc_ids());
+        }
+        assert_eq!(
+            r.metrics()
+                .counter("cloud.replica.anti_entropy_reshipped")
+                .get(),
+            2
+        );
     }
 
     #[test]

@@ -244,6 +244,13 @@ pub struct RetryPolicy {
     pub max_delay: u64,
     /// Upper bound on the additive jitter drawn per retry.
     pub jitter: u64,
+    /// Seed folded into every jitter draw. Two deployments retrying the
+    /// same operation (same `token`) with different seeds draw
+    /// *different* jitter, so a fleet of clients hammering a recovering
+    /// replica spreads out instead of synchronizing into a thundering
+    /// herd. Zero is a legal seed — determinism never depends on the
+    /// seed being "random".
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -253,6 +260,7 @@ impl Default for RetryPolicy {
             base_delay: 2,
             max_delay: 16,
             jitter: 3,
+            jitter_seed: 0,
         }
     }
 }
@@ -281,13 +289,22 @@ impl RetryPolicy {
             base_delay,
             max_delay,
             jitter,
+            jitter_seed: 0,
         }
+    }
+
+    /// The same policy with `seed` folded into every jitter draw (see
+    /// [`RetryPolicy::jitter_seed`]).
+    pub fn with_jitter_seed(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = seed;
+        self
     }
 
     /// Virtual delay before retry number `retry` (0-based: the delay
     /// between the first failure and the second attempt is `backoff(0,
     /// …)`). `token` seeds the jitter so concurrent retriers decorrelate
-    /// while staying deterministic.
+    /// while staying deterministic; `jitter_seed` decorrelates whole
+    /// deployments retrying the *same* token.
     pub fn backoff(&self, retry: u32, token: u64) -> u64 {
         let exp = self
             .base_delay
@@ -296,7 +313,10 @@ impl RetryPolicy {
         let jitter = if self.jitter == 0 {
             0
         } else {
-            mix(token ^ DOMAIN_JITTER ^ retry as u64) % (self.jitter + 1)
+            // `mix` the seed before XOR-ing so seed and token cannot
+            // cancel each other bit-for-bit; the nested mix keeps the
+            // draw uniform over `0..=jitter`.
+            mix(token ^ DOMAIN_JITTER ^ retry as u64 ^ mix(self.jitter_seed)) % (self.jitter + 1)
         };
         exp + jitter
     }
@@ -465,6 +485,7 @@ mod tests {
             base_delay: 2,
             max_delay: 16,
             jitter: 3,
+            jitter_seed: 0,
         };
         let mut prev_exp = 0;
         for retry in 0..6 {
@@ -479,6 +500,51 @@ mod tests {
         let spread: std::collections::HashSet<u64> =
             (0..32).map(|t| policy.backoff(0, t)).collect();
         assert!(spread.len() > 1);
+    }
+
+    #[test]
+    fn jitter_seed_decorrelates_same_token_retriers() {
+        // A fleet of clients retrying the same operation (same token)
+        // must not back off in lockstep: distinct jitter seeds have to
+        // produce distinct delay schedules for at least some retries.
+        let base = RetryPolicy {
+            jitter: 7,
+            ..RetryPolicy::default()
+        };
+        let schedule = |seed: u64| -> Vec<u64> {
+            let p = base.clone().with_jitter_seed(seed);
+            (0..base.max_attempts - 1)
+                .map(|r| p.backoff(r, 42))
+                .collect()
+        };
+        let spread: std::collections::HashSet<Vec<u64>> = (0..16).map(schedule).collect();
+        assert!(
+            spread.len() > 1,
+            "16 seeds produced a single synchronized schedule"
+        );
+        // …while staying deterministic per seed
+        assert_eq!(schedule(5), schedule(5));
+    }
+
+    #[test]
+    fn jitter_window_is_pinned_for_every_seed() {
+        // Boundary: for any (seed, token, retry) the delay stays inside
+        // [exp, exp + jitter] where exp is the capped exponential term.
+        let policy = RetryPolicy::new(6, 2, 16, 5).with_jitter_seed(0xfeed);
+        for seed in [0u64, 1, 0xfeed, u64::MAX] {
+            let p = policy.clone().with_jitter_seed(seed);
+            for retry in 0..8u32 {
+                let exp = 2u64.saturating_mul(1 << retry.min(20)).min(16);
+                for token in 0..64u64 {
+                    let d = p.backoff(retry, token);
+                    assert!(d >= exp, "below window: {d} < {exp}");
+                    assert!(d <= exp + 5, "above window: {d} > {}", exp + 5);
+                }
+            }
+        }
+        // zero jitter stays exactly exponential regardless of seed
+        let flat = RetryPolicy::new(4, 2, 16, 0).with_jitter_seed(99);
+        assert_eq!(flat.backoff(1, 7), 4);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! `chaos_net`: drives the composed robustness scenario — lossy framed
+//! link, replicated shards with a forced-open primary breaker, and a
+//! seeded crash-point sweep — and prints the full ledger.
+//!
+//! ```text
+//! chaos_net [--docs N] [--partitions N] [--replication N] [--searches N]
+//!           [--drop PERMILLE] [--corrupt PERMILLE] [--duplicate PERMILLE]
+//!           [--crash-workloads N] [--crash-points N] [--seed N]
+//!           [--no-oracle] [--dir PATH] [--out PATH]
+//! ```
+//!
+//! The default run is CI-sized (the `ChaosNetConfig` default). With
+//! `--out` (or `APKS_CHAOS_NET_OUT`), the deployment's metrics snapshot
+//! is written to the path as JSON — CI uploads it as the
+//! replication-metrics-snapshot artifact. Exit code 1 on bad flags or a
+//! store failure; a violated robustness invariant panics, which is the
+//! point.
+
+use apks_sim::chaos_net::{run_chaos_net, ChaosNetConfig};
+
+fn parse_flags() -> Result<(ChaosNetConfig, String, Option<String>), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ChaosNetConfig::default();
+    let mut dir = std::env::temp_dir()
+        .join(format!("apks-chaos-net-{}", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let mut out = std::env::var("APKS_CHAOS_NET_OUT").ok();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--docs" => config.docs = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--partitions" => {
+                config.partitions = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--replication" => {
+                config.replication = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--searches" => config.searches = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--drop" => config.drop_permille = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--corrupt" => {
+                config.corrupt_permille = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--duplicate" => {
+                config.duplicate_permille = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--crash-workloads" => {
+                config.crash_workloads = value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--crash-points" => {
+                config.crash_points_per_workload =
+                    value(flag)?.parse().map_err(|e| format!("{e}"))?;
+            }
+            "--seed" => config.seed = value(flag)?.parse().map_err(|e| format!("{e}"))?,
+            "--no-oracle" => config.verify_oracle = false,
+            "--dir" => dir = value(flag)?,
+            "--out" => out = Some(value(flag)?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok((config, dir, out))
+}
+
+fn main() {
+    let (config, dir, out) = match parse_flags() {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("chaos_net: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = match run_chaos_net(&config, std::path::Path::new(&dir)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("chaos_net: scenario failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "chaos_net: seed={} docs={} partitions={} replication={} searches={}",
+        config.seed, report.docs, report.partitions, report.replication, report.searches
+    );
+    println!(
+        "  link: dropped={} corrupted={} duplicated={} reconnects={} dedup_hits={}",
+        report.frames_dropped,
+        report.frames_corrupted,
+        report.frames_duplicated,
+        report.reconnects,
+        report.dedup_hits
+    );
+    println!(
+        "  replication: failovers={} oracle_verified={} framed_verified={} hits={}",
+        report.failovers, report.oracle_verified, report.framed_verified, report.hits_total
+    );
+    println!(
+        "  crash: points={} acked_checked={} acked_lost={} reopen_failures={}",
+        report.crash_points,
+        report.acked_puts_checked,
+        report.acked_puts_lost,
+        report.reopen_failures
+    );
+    println!("  time: virtual_ticks={}", report.virtual_ticks);
+    for q in &report.queries {
+        println!(
+            "  wave {}: keyword={} hits={} partition0_replica={} straggler={}",
+            q.wave,
+            q.keyword,
+            q.hits.len(),
+            q.partition0_replica,
+            q.straggler_ticks
+        );
+    }
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.metrics.to_json()) {
+            eprintln!("chaos_net: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("  metrics -> {path}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,711 @@
+//! Chaos-net: the three robustness seams composed into one scenario.
+//!
+//! A real-crypto deployment is driven through every fault machine the
+//! stack owns, at once:
+//!
+//! 1. **Lossy link** — every ingest and search crosses the framed
+//!    protocol over [`duplex_faulty`] under a seeded [`LinkFaultPlan`]
+//!    that drops, corrupts and duplicates frames. The resilient client
+//!    reconnects and retries; the endpoint's idempotency window keeps
+//!    ingest exactly-once.
+//! 2. **Replicated shards** — the acknowledged corpus fans out to a
+//!    [`ShardRouter`] with `R` replicas per partition. Partition 0's
+//!    primary breaker is forced open before every wave, so each wave
+//!    *must* fail over to a follower — and the gathered results are
+//!    asserted byte-equal to a fault-free `R = 1` oracle router over
+//!    the same corpus (failover changes latency, never answers). The
+//!    framed search's hit set is asserted equal to the router's, so
+//!    the lossy link and the replicated gather agree document for
+//!    document.
+//! 3. **Mid-write crashes** — a seeded [`CrashFuse`] sweep kills paged
+//!    stores at budgeted disk units; every reopen must succeed and
+//!    every acknowledged put must survive, counted into the report.
+//!
+//! Everything is timed on one shared [`VirtualClock`] and counted into
+//! one [`MetricsRegistry`], so a same-seed run reproduces
+//! [`ChaosNetReport::canonical_bytes`] — metrics snapshot included —
+//! byte for byte.
+
+use apks_authz::TrustedAuthority;
+use apks_client::{
+    duplex_faulty, ApksClient, LinkFaultConfig, LinkFaultPlan, ServerEndpoint, TransportCost,
+};
+use apks_cloud::{CloudServer, ShardConfig, ShardRouter};
+use apks_core::fault::{FaultConfig, FaultPlan, RetryPolicy, VirtualClock};
+use apks_core::{
+    ApksSystem, Budget, Deadline, EncryptedIndex, FieldValue, Query, QueryPolicy, Record, Schema,
+};
+use apks_curve::CurveParams;
+use apks_store::crash::CrashFuse;
+use apks_store::{PagedStore, StoreConfig, StoreError};
+use apks_telemetry::{Clock, MetricsRegistry, MetricsSnapshot};
+use apks_wire::WireCtx;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The keyword catalog records and capabilities draw from.
+const ILLNESSES: [&str; 4] = ["flu", "cancer", "diabetes", "asthma"];
+
+/// Chaos-net scenario knobs. All times are virtual ticks.
+#[derive(Clone, Debug)]
+pub struct ChaosNetConfig {
+    /// Records ingested over the lossy link (real crypto — keep small).
+    pub docs: usize,
+    /// Partitions in the replicated deployment.
+    pub partitions: usize,
+    /// Replicas per partition (≥ 2 exercises failover).
+    pub replication: usize,
+    /// Search waves run after ingest.
+    pub searches: usize,
+    /// Link fault rate: frames dropped (permille).
+    pub drop_permille: u32,
+    /// Link fault rate: one wire byte flipped (permille).
+    pub corrupt_permille: u32,
+    /// Link fault rate: frame delivered twice (permille).
+    pub duplicate_permille: u32,
+    /// Distinct crash workloads swept.
+    pub crash_workloads: u64,
+    /// Crash budgets swept per workload, spread over its unit range.
+    pub crash_points_per_workload: u64,
+    /// Modeled service ticks charged per scanned document.
+    pub doc_cost_ticks: u64,
+    /// RNG seed: records, capabilities, link schedule, crash points.
+    pub seed: u64,
+    /// Run the fault-free single-replica oracle router and assert the
+    /// replicated gather is byte-equal to it, wave by wave.
+    pub verify_oracle: bool,
+}
+
+impl Default for ChaosNetConfig {
+    fn default() -> ChaosNetConfig {
+        ChaosNetConfig {
+            docs: 10,
+            partitions: 2,
+            replication: 2,
+            searches: 4,
+            drop_permille: 150,
+            corrupt_permille: 120,
+            duplicate_permille: 120,
+            crash_workloads: 2,
+            crash_points_per_workload: 12,
+            doc_cost_ticks: 3,
+            seed: 1,
+            verify_oracle: true,
+        }
+    }
+}
+
+/// One search wave's outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosQueryRecord {
+    /// Wave ordinal.
+    pub wave: u64,
+    /// Index into the illness catalog queried.
+    pub keyword: u64,
+    /// Matching document ids, ascending (set semantics — the router
+    /// merges in partition order, the framed path in corpus order; the
+    /// *set* is the invariant).
+    pub hits: Vec<u64>,
+    /// Replica that served partition 0 (≥ 1 proves the forced
+    /// failover actually happened).
+    pub partition0_replica: u64,
+    /// The wave's straggler latency in virtual ticks.
+    pub straggler_ticks: u64,
+}
+
+/// Outcome of a chaos-net run.
+#[derive(Clone, Debug)]
+pub struct ChaosNetReport {
+    /// Records acknowledged over the lossy link (== docs requested;
+    /// the retry budget must cover the configured fault rates).
+    pub docs: u64,
+    /// Partitions in the replicated deployment.
+    pub partitions: u64,
+    /// Replicas per partition.
+    pub replication: u64,
+    /// Search waves run.
+    pub searches: u64,
+    /// Client reconnects forced by the lossy link.
+    pub reconnects: u64,
+    /// Duplicated/retried ingest frames absorbed by the idempotency
+    /// window (exactly-once proof: corpus size stayed `docs`).
+    pub dedup_hits: u64,
+    /// Frames the link dropped, client+server directions combined.
+    pub frames_dropped: u64,
+    /// Frames the link corrupted.
+    pub frames_corrupted: u64,
+    /// Frames the link duplicated.
+    pub frames_duplicated: u64,
+    /// Partition failovers across all waves (breaker-forced).
+    pub failovers: u64,
+    /// Total hits across all waves.
+    pub hits_total: u64,
+    /// Per-wave ledger.
+    pub queries: Vec<ChaosQueryRecord>,
+    /// Every wave's replicated gather was byte-equal to the fault-free
+    /// single-replica oracle router.
+    pub oracle_verified: bool,
+    /// Every wave's framed lossy-link hit set equaled the router's.
+    pub framed_verified: bool,
+    /// Seeded crash points swept over the paged store.
+    pub crash_points: u64,
+    /// Acknowledged puts checked across all crash recoveries.
+    pub acked_puts_checked: u64,
+    /// Acknowledged puts missing after recovery (the contract: 0).
+    pub acked_puts_lost: u64,
+    /// Store reopens that failed after a crash (the contract: 0).
+    pub reopen_failures: u64,
+    /// Final shared virtual-clock reading.
+    pub virtual_ticks: u64,
+    /// Deployment metrics (`cloud.replica.*`, `wire.*`, `chaos.sim.*`).
+    /// Deterministic; part of the canonical bytes.
+    pub metrics: MetricsSnapshot,
+}
+
+impl ChaosNetReport {
+    /// Canonical byte encoding of every deterministic field. Same-seed
+    /// runs must reproduce this byte for byte, metrics included.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for v in [
+            self.docs,
+            self.partitions,
+            self.replication,
+            self.searches,
+            self.reconnects,
+            self.dedup_hits,
+            self.frames_dropped,
+            self.frames_corrupted,
+            self.frames_duplicated,
+            self.failovers,
+            self.hits_total,
+            u64::from(self.oracle_verified),
+            u64::from(self.framed_verified),
+            self.crash_points,
+            self.acked_puts_checked,
+            self.acked_puts_lost,
+            self.reopen_failures,
+            self.virtual_ticks,
+            self.queries.len() as u64,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for q in &self.queries {
+            for v in [
+                q.wave,
+                q.keyword,
+                q.partition0_replica,
+                q.straggler_ticks,
+                q.hits.len() as u64,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            for &id in &q.hits {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.metrics.canonical_bytes());
+        out
+    }
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds one shard server against the shared deployment telemetry.
+fn shard_server(
+    ta: &TrustedAuthority,
+    metrics: &Arc<MetricsRegistry>,
+    clock: &Arc<VirtualClock>,
+) -> Arc<CloudServer> {
+    let s = Arc::new(CloudServer::with_telemetry(
+        ta.system().clone(),
+        ta.public_key().clone(),
+        ta.ibs_params().clone(),
+        Arc::clone(metrics),
+        Arc::clone(clock) as Arc<dyn Clock>,
+    ));
+    s.register_authority("ta");
+    s
+}
+
+/// Runs the chaos-net scenario. `dir` hosts the crash-sweep stores
+/// (created fresh; pre-existing content under `dir` is removed).
+///
+/// # Errors
+///
+/// Store I/O failures from the crash sweep's scaffolding (injected
+/// crashes are expected and recovered, never returned).
+///
+/// # Panics
+///
+/// Panics when a robustness invariant breaks: an ingest the retry
+/// budget could not land (raise the budget or lower the fault rates),
+/// a replicated wave that diverges from the single-replica oracle, a
+/// framed hit set that disagrees with the router, a crash recovery
+/// that loses an acknowledged put, or a wave that fails to fail over.
+pub fn run_chaos_net(config: &ChaosNetConfig, dir: &Path) -> Result<ChaosNetReport, StoreError> {
+    assert!(config.partitions > 0, "need at least one partition");
+    assert!(
+        config.replication >= 2,
+        "chaos-net exists to exercise failover"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let schema = Schema::builder()
+        .flat_field("illness", 1)
+        .flat_field("sex", 1)
+        .build()
+        .expect("static schema");
+    let sys = ApksSystem::new(CurveParams::fast(), schema);
+    let ta = TrustedAuthority::setup(sys, &mut rng);
+
+    // one clock, one registry: the gateway, the lossy link and the
+    // replicated router all account into the same deterministic ledger
+    let metrics = Arc::new(MetricsRegistry::new());
+    let clock = Arc::new(VirtualClock::new());
+
+    // -- seam 1: exactly-once ingest over the lossy framed link ---------
+    let gateway = shard_server(&ta, &metrics, &clock);
+    let link = LinkFaultConfig {
+        seed: config.seed ^ 0x4c49_4e4b, // "LINK"
+        drop_permille: config.drop_permille,
+        corrupt_permille: config.corrupt_permille,
+        duplicate_permille: config.duplicate_permille,
+        ..LinkFaultConfig::default()
+    };
+    let ctx = WireCtx::new(CurveParams::fast());
+    let (client_end, server_end) = duplex_faulty(
+        clock.clone(),
+        TransportCost {
+            ticks_per_frame: 2,
+            ticks_per_byte: 0,
+        },
+        LinkFaultPlan::new(link),
+    );
+    let mut client = ApksClient::new(ctx.clone(), client_end);
+    let mut endpoint = ServerEndpoint::new(
+        ctx,
+        gateway.clone(),
+        server_end,
+        FaultPlan::new(FaultConfig::default()),
+        RetryPolicy::default(),
+        clock.clone(),
+    );
+    let policy = RetryPolicy::new(8, 2, 16, 3).with_jitter_seed(config.seed ^ 0x52_4e47);
+
+    let mut indexes: Vec<EncryptedIndex> = Vec::with_capacity(config.docs);
+    for i in 0..config.docs {
+        let illness = ILLNESSES[(mix(config.seed ^ i as u64) % ILLNESSES.len() as u64) as usize];
+        let sex = if mix(config.seed ^ (i as u64) << 32).is_multiple_of(2) {
+            "female"
+        } else {
+            "male"
+        };
+        let rec = Record::new(vec![FieldValue::text(illness), FieldValue::text(sex)]);
+        let idx = ta
+            .system()
+            .gen_index(ta.public_key(), &rec, &mut rng)
+            .expect("index generation");
+        let ids = client
+            .upload_resilient(&mut endpoint, "chaos-owner", vec![idx.clone()], &policy)
+            .expect("retry budget must cover the configured link fault rates");
+        assert_eq!(ids, vec![i as u64], "acked ids are contiguous");
+        indexes.push(idx);
+    }
+    assert_eq!(
+        gateway.len(),
+        config.docs,
+        "ingest over the lossy link must stay exactly-once"
+    );
+
+    // -- seam 2: fan the acknowledged corpus out to the replicated
+    //    router (shared telemetry) and the single-replica oracle -------
+    let replicated = {
+        let shards = (0..config.partitions * config.replication)
+            .map(|_| shard_server(&ta, &metrics, &clock))
+            .collect();
+        let cfg = ShardConfig {
+            replication: config.replication,
+            ..ShardConfig::default()
+        };
+        ShardRouter::new(shards, cfg, clock.clone(), metrics.clone())
+    };
+    let oracle = config.verify_oracle.then(|| {
+        let oracle_clock = Arc::new(VirtualClock::new());
+        let oracle_metrics = Arc::new(MetricsRegistry::new());
+        let shards = (0..config.partitions)
+            .map(|_| shard_server(&ta, &oracle_metrics, &oracle_clock))
+            .collect();
+        ShardRouter::new(shards, ShardConfig::default(), oracle_clock, oracle_metrics)
+    });
+    for idx in &indexes {
+        replicated.upload(idx.clone());
+        if let Some(oracle) = &oracle {
+            oracle.upload(idx.clone());
+        }
+    }
+
+    // -- search waves: forced failover, triple-verified -----------------
+    let scan_plan = FaultPlan::new(FaultConfig::default());
+    let scan_policy = RetryPolicy::default();
+    let threshold = ShardConfig::default().breaker.failure_threshold;
+    let mut queries = Vec::with_capacity(config.searches);
+    let mut oracle_verified = config.verify_oracle;
+    let mut framed_verified = true;
+    for wave in 0..config.searches {
+        let keyword =
+            (mix(config.seed.wrapping_mul(31) ^ wave as u64) % ILLNESSES.len() as u64) as usize;
+        let cap = ta
+            .issue_capability(
+                &Query::new().equals("illness", ILLNESSES[keyword]),
+                &QueryPolicy::default(),
+                &mut rng,
+            )
+            .expect("capability issue");
+
+        // force partition 0's primary open: this wave MUST fail over
+        for _ in 0..threshold {
+            replicated.breaker(0).record_failure(clock.now());
+        }
+        let budget = Budget::unlimited();
+        let batch = replicated
+            .search_batched(
+                &[(&cap, Deadline::NEVER, &budget)],
+                &scan_plan,
+                &scan_policy,
+                config.doc_cost_ticks,
+            )
+            .expect("registered issuer");
+        assert!(
+            batch.shards[0].replica >= 1,
+            "partition 0's forced-open primary must fail the wave over"
+        );
+
+        if let Some(oracle) = &oracle {
+            let oracle_budget = Budget::unlimited();
+            let ob = oracle
+                .search_batched(
+                    &[(&cap, Deadline::NEVER, &oracle_budget)],
+                    &scan_plan,
+                    &scan_policy,
+                    config.doc_cost_ticks,
+                )
+                .expect("registered issuer");
+            assert_eq!(
+                batch.results, ob.results,
+                "replicated gather diverged from the single-replica oracle"
+            );
+            oracle_verified &= batch.results == ob.results;
+        }
+
+        // the same capability over the lossy framed link: the gateway
+        // holds the identical corpus, so the hit SET must agree
+        let framed = client
+            .search_resilient(
+                &mut endpoint,
+                &cap,
+                u64::MAX,
+                u64::MAX,
+                config.doc_cost_ticks,
+                &policy,
+            )
+            .expect("retry budget must cover the configured link fault rates");
+        let mut hits = batch.results[0].matches.clone();
+        hits.sort_unstable();
+        let mut framed_hits = framed.matches.clone();
+        framed_hits.sort_unstable();
+        assert_eq!(
+            framed_hits, hits,
+            "framed lossy-link hit set diverged from the replicated gather"
+        );
+        framed_verified &= framed_hits == hits;
+
+        metrics.add("chaos.sim.waves", 1);
+        metrics.add("chaos.sim.hits", hits.len() as u64);
+        queries.push(ChaosQueryRecord {
+            wave: wave as u64,
+            keyword: keyword as u64,
+            hits,
+            partition0_replica: batch.shards[0].replica as u64,
+            straggler_ticks: batch.straggler_ticks,
+        });
+    }
+
+    // -- seam 3: seeded crash sweep over the paged store ----------------
+    let sweep = run_crash_sweep(config, dir)?;
+    metrics.add("chaos.sim.crash_points", sweep.crash_points);
+    metrics.add("chaos.sim.acked_puts_checked", sweep.acked_puts_checked);
+
+    let client_stats = client.transport_stats();
+    let server_stats = endpoint.transport_stats();
+    let snapshot = metrics.snapshot();
+    let report = ChaosNetReport {
+        docs: config.docs as u64,
+        partitions: config.partitions as u64,
+        replication: config.replication as u64,
+        searches: config.searches as u64,
+        reconnects: client.reconnects(),
+        dedup_hits: snapshot.counter("wire.server.dedup_hits").unwrap_or(0),
+        frames_dropped: client_stats.frames_dropped + server_stats.frames_dropped,
+        frames_corrupted: client_stats.frames_corrupted + server_stats.frames_corrupted,
+        frames_duplicated: client_stats.frames_duplicated + server_stats.frames_duplicated,
+        failovers: snapshot.counter("cloud.replica.failovers").unwrap_or(0),
+        hits_total: queries.iter().map(|q| q.hits.len() as u64).sum(),
+        queries,
+        oracle_verified,
+        framed_verified,
+        crash_points: sweep.crash_points,
+        acked_puts_checked: sweep.acked_puts_checked,
+        acked_puts_lost: sweep.acked_puts_lost,
+        reopen_failures: sweep.reopen_failures,
+        virtual_ticks: clock.now(),
+        metrics: snapshot,
+    };
+    Ok(report)
+}
+
+/// What the crash sweep observed (the loss fields stay 0 or the sweep
+/// panics — they are in the report so the artifact states the contract
+/// explicitly).
+struct SweepOutcome {
+    crash_points: u64,
+    acked_puts_checked: u64,
+    acked_puts_lost: u64,
+    reopen_failures: u64,
+}
+
+/// One scripted store operation of the crash workload.
+enum CrashOp {
+    Put { doc: u64, payload: Vec<u8> },
+    Delete { doc: u64 },
+}
+
+/// The deterministic crash workload for one seed: 32 cell ops over 12
+/// docs, ~1 in 6 a delete.
+fn crash_workload(seed: u64) -> Vec<CrashOp> {
+    (0..32u64)
+        .map(|i| {
+            let h = mix(seed.wrapping_mul(0x9e37).wrapping_add(i));
+            let doc = h % 12;
+            if h % 6 == 5 {
+                CrashOp::Delete { doc }
+            } else {
+                let len = 4 + (mix(h) % 21) as usize;
+                CrashOp::Put {
+                    doc,
+                    payload: vec![(h % 251) as u8; len],
+                }
+            }
+        })
+        .collect()
+}
+
+fn crash_store_config() -> StoreConfig {
+    StoreConfig {
+        page_size: 256,
+        segment_max_bytes: 640,
+    }
+}
+
+/// Drives the workload with a seal every 8 ops and a compaction after
+/// op 24. Returns (map history, durability watermark): `history[m]` is
+/// the live-doc map after `m` applied ops; the watermark is the op
+/// count of the last acknowledged seal/compact.
+fn drive_crash_workload(
+    store: &mut PagedStore,
+    ops: &[CrashOp],
+) -> (Vec<HashMap<u64, Vec<u8>>>, usize) {
+    let mut history = vec![HashMap::new()];
+    let mut watermark = 0usize;
+    let mut applied = 0usize;
+    for (i, op) in ops.iter().enumerate() {
+        let res = match op {
+            CrashOp::Put { doc, payload } => store.put(*doc, payload.clone()),
+            CrashOp::Delete { doc } => store.delete(*doc),
+        };
+        match res {
+            Ok(()) => {
+                let mut next = history[applied].clone();
+                match op {
+                    CrashOp::Put { doc, payload } => {
+                        next.insert(*doc, payload.clone());
+                    }
+                    CrashOp::Delete { doc } => {
+                        next.remove(doc);
+                    }
+                }
+                history.push(next);
+                applied += 1;
+            }
+            Err(StoreError::Crashed) => return (history, watermark),
+            Err(e) => panic!("non-crash error from chaos workload: {e:?}"),
+        }
+        if (i + 1) % 8 == 0 || i + 1 == 25 {
+            let res = if i + 1 == 25 {
+                store.compact().map(|_| ())
+            } else {
+                store.seal()
+            };
+            match res {
+                Ok(()) => watermark = applied,
+                Err(StoreError::Crashed) => return (history, watermark),
+                Err(e) => panic!("non-crash error at chaos boundary: {e:?}"),
+            }
+        }
+    }
+    match store.seal() {
+        Ok(()) => watermark = applied,
+        Err(StoreError::Crashed) => {}
+        Err(e) => panic!("non-crash error at final chaos seal: {e:?}"),
+    }
+    (history, watermark)
+}
+
+/// Sweeps seeded crash budgets over `crash_workloads` workloads: each
+/// budget kills the store mid-write, the reopen must recover every
+/// acknowledged put.
+fn run_crash_sweep(config: &ChaosNetConfig, dir: &Path) -> Result<SweepOutcome, StoreError> {
+    let mut outcome = SweepOutcome {
+        crash_points: 0,
+        acked_puts_checked: 0,
+        acked_puts_lost: 0,
+        reopen_failures: 0,
+    };
+    for w in 0..config.crash_workloads {
+        let seed = config.seed.wrapping_mul(0x5DEECE66D).wrapping_add(w);
+        let digest = {
+            let mut d = [0u8; 32];
+            d[..8].copy_from_slice(&mix(seed).to_le_bytes());
+            d
+        };
+        // dry run: learn the workload's total disk-unit count
+        let total = {
+            let dry = dir.join(format!("crash-dry-{w}"));
+            let _ = std::fs::remove_dir_all(&dry);
+            let mut store = PagedStore::open(&dry, digest, crash_store_config())?;
+            let fuse = CrashFuse::unlimited();
+            store.set_crash_fuse(fuse.clone());
+            let (_, watermark) = drive_crash_workload(&mut store, &crash_workload(seed));
+            assert_eq!(watermark, 32, "dry run must complete");
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dry);
+            fuse.consumed()
+        };
+        for p in 0..config.crash_points_per_workload {
+            // budgets spread over the unit range, never 0 (a store that
+            // cannot even open proves nothing about recovery)
+            let budget = 1 + p * total / config.crash_points_per_workload;
+            let sweep_dir = dir.join(format!("crash-w{w}-p{p}"));
+            let _ = std::fs::remove_dir_all(&sweep_dir);
+            let (history, watermark) = {
+                let mut store = PagedStore::open(&sweep_dir, digest, crash_store_config())?;
+                store.set_crash_fuse(CrashFuse::armed(budget));
+                drive_crash_workload(&mut store, &crash_workload(seed))
+                // drop: the tripped fuse refuses the buffered flush,
+                // like a dead process's page cache
+            };
+            outcome.crash_points += 1;
+            // reopen must succeed — an error here is a broken contract
+            // (the report's `reopen_failures` stays 0 because this
+            // panics instead of counting; the field states the contract)
+            let mut store = PagedStore::open(&sweep_dir, digest, crash_store_config())
+                .unwrap_or_else(|e| panic!("chaos crash-w{w}-p{p}: reopen failed: {e:?}"));
+            let recovered: HashMap<u64, Vec<u8>> = store
+                .doc_order()
+                .to_vec()
+                .into_iter()
+                .map(|id| {
+                    let payload = store
+                        .get(id)
+                        .expect("indexed doc must read back")
+                        .expect("indexed doc must be live");
+                    (id, payload)
+                })
+                .collect();
+            // recovery must land on a real oracle prefix ≥ watermark
+            let landed = (watermark..history.len()).find(|&m| history[m] == recovered);
+            assert!(
+                landed.is_some(),
+                "chaos crash-w{w}-p{p}: recovered state matches no oracle prefix ≥ watermark \
+                 {watermark} (history len {}, recovered {} docs)",
+                history.len(),
+                recovered.len()
+            );
+            let m = landed.unwrap_or(watermark);
+            for (doc, payload) in &history[watermark] {
+                if history[m].get(doc) == Some(payload) {
+                    outcome.acked_puts_checked += 1;
+                    assert_eq!(
+                        recovered.get(doc),
+                        Some(payload),
+                        "chaos crash-w{w}-p{p}: acknowledged put {doc} lost"
+                    );
+                }
+            }
+            drop(store);
+            let _ = std::fs::remove_dir_all(&sweep_dir);
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("apks-chaos-net-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small() -> ChaosNetConfig {
+        ChaosNetConfig {
+            docs: 6,
+            searches: 2,
+            crash_workloads: 1,
+            crash_points_per_workload: 6,
+            ..ChaosNetConfig::default()
+        }
+    }
+
+    #[test]
+    fn chaos_net_composes_all_three_seams() {
+        let dir = tmp("compose");
+        let report = run_chaos_net(&small(), &dir).unwrap();
+        assert_eq!(report.docs, 6);
+        assert!(report.oracle_verified);
+        assert!(report.framed_verified);
+        // the forced-open primary made every wave fail over
+        assert_eq!(report.failovers, report.searches);
+        assert!(report.queries.iter().all(|q| q.partition0_replica >= 1));
+        // the lossy link actually did damage this run survived
+        assert!(
+            report.frames_dropped + report.frames_corrupted + report.frames_duplicated > 0,
+            "the default rates must mangle some frames"
+        );
+        assert_eq!(report.acked_puts_lost, 0);
+        assert_eq!(report.reopen_failures, 0);
+        assert_eq!(report.crash_points, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn same_seed_chaos_runs_are_byte_identical() {
+        let d1 = tmp("det1");
+        let d2 = tmp("det2");
+        let a = run_chaos_net(&small(), &d1).unwrap();
+        let b = run_chaos_net(&small(), &d2).unwrap();
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d2);
+    }
+}

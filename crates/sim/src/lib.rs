@@ -14,6 +14,7 @@
 //! per-operation benchmarks cannot (e.g. ingest latency including the
 //! proxy hop, match rates under realistic queries, denial rates).
 
+pub mod chaos_net;
 pub mod framed;
 pub mod hydrate;
 pub mod overload;

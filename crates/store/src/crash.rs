@@ -1,0 +1,270 @@
+//! Seeded crash injection for the storage engine.
+//!
+//! A [`CrashFuse`] models a process that dies after writing a fixed
+//! number of **units** to disk — one unit per file byte, one per
+//! filesystem operation (create, sync, rename, unlink). Wiring a fuse
+//! into a [`crate::PagedStore`] makes every on-disk byte boundary a
+//! crash point: the fuse lets the budgeted prefix of each write
+//! through, then fails the operation and every one after it with
+//! [`StoreError::Crashed`], exactly the torn-prefix state a power cut
+//! leaves behind. Because the budget is a plain integer, a sweep over
+//! budgets `0..total` visits **every** crash point of a workload, and
+//! the same budget always dies at the same byte — the determinism the
+//! chaos suite's same-seed replays rely on.
+//!
+//! The fuse never un-trips. In particular the `BufWriter` inside a
+//! [`crate::SegmentWriter`] flushes its buffer on drop; once tripped,
+//! those late writes fail too (and `Drop` swallows the error), so no
+//! buffered bytes leak to disk after the simulated crash — what a real
+//! dead process also cannot do.
+
+use crate::StoreError;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The payload type carried by a crash-injected [`io::Error`]; the
+/// store's `From<io::Error>` maps it to [`StoreError::Crashed`].
+#[derive(Debug)]
+pub struct CrashPoint;
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected crash point: write budget exhausted")
+    }
+}
+
+impl std::error::Error for CrashPoint {}
+
+fn crash_error() -> io::Error {
+    io::Error::other(CrashPoint)
+}
+
+/// True iff `e` is a crash-fuse injection (vs. a real I/O failure).
+pub fn is_crash(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<CrashPoint>())
+}
+
+/// A shared write budget: the number of disk units the "process" gets
+/// to spend before it dies.
+#[derive(Debug)]
+pub struct CrashFuse {
+    /// Remaining units; meaningless once unlimited.
+    remaining: AtomicU64,
+    /// Unlimited fuses never trip (the production configuration).
+    unlimited: bool,
+    /// Latches permanently once the budget runs out.
+    tripped: AtomicBool,
+    /// Units actually spent — read this from an unlimited dry run to
+    /// learn a workload's total crash-point count.
+    consumed: AtomicU64,
+}
+
+impl CrashFuse {
+    /// A fuse that dies after `budget` units.
+    pub fn armed(budget: u64) -> Arc<CrashFuse> {
+        Arc::new(CrashFuse {
+            remaining: AtomicU64::new(budget),
+            unlimited: false,
+            tripped: AtomicBool::new(false),
+            consumed: AtomicU64::new(0),
+        })
+    }
+
+    /// A fuse that never trips but still counts consumption.
+    pub fn unlimited() -> Arc<CrashFuse> {
+        Arc::new(CrashFuse {
+            remaining: AtomicU64::new(0),
+            unlimited: true,
+            tripped: AtomicBool::new(false),
+            consumed: AtomicU64::new(0),
+        })
+    }
+
+    /// Has the budget run out?
+    pub fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+
+    /// Units spent so far.
+    pub fn consumed(&self) -> u64 {
+        self.consumed.load(Ordering::Relaxed)
+    }
+
+    /// Takes up to `want` units; returns how many were granted. Zero
+    /// means the fuse is (now) tripped.
+    fn take(&self, want: u64) -> u64 {
+        if self.unlimited {
+            self.consumed.fetch_add(want, Ordering::Relaxed);
+            return want;
+        }
+        if self.tripped() {
+            return 0;
+        }
+        let granted = loop {
+            let cur = self.remaining.load(Ordering::Relaxed);
+            let grant = cur.min(want);
+            if self
+                .remaining
+                .compare_exchange(cur, cur - grant, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                break grant;
+            }
+        };
+        self.consumed.fetch_add(granted, Ordering::Relaxed);
+        if granted < want {
+            self.tripped.store(true, Ordering::Relaxed);
+        }
+        granted
+    }
+
+    /// Charges one unit for a whole-filesystem operation (create,
+    /// sync, rename, unlink). The operation must not run if this
+    /// returns the crash error.
+    pub fn fs_op(&self) -> io::Result<()> {
+        if self.take(1) == 1 {
+            Ok(())
+        } else {
+            Err(crash_error())
+        }
+    }
+}
+
+/// A [`File`] whose writes spend fuse units byte-for-byte: a write
+/// that exceeds the remaining budget lands its granted prefix and
+/// nothing more, leaving exactly the torn file a crash would.
+#[derive(Debug)]
+pub struct FusedFile {
+    file: File,
+    fuse: Arc<CrashFuse>,
+}
+
+impl FusedFile {
+    /// Creates `path` (truncating), charging one fs-op unit first.
+    ///
+    /// # Errors
+    ///
+    /// The injected crash, or a real create failure.
+    pub fn create(path: &std::path::Path, fuse: Arc<CrashFuse>) -> io::Result<FusedFile> {
+        fuse.fs_op()?;
+        Ok(FusedFile {
+            file: File::create(path)?,
+            fuse,
+        })
+    }
+
+    /// `sync_all`, charging one fs-op unit first.
+    ///
+    /// # Errors
+    ///
+    /// The injected crash, or a real sync failure.
+    pub fn sync_all(&self) -> io::Result<()> {
+        self.fuse.fs_op()?;
+        self.file.sync_all()
+    }
+}
+
+impl Write for FusedFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let granted = self.fuse.take(buf.len() as u64) as usize;
+        if granted == 0 {
+            return Err(crash_error());
+        }
+        let written = self.file.write(&buf[..granted])?;
+        // refund units granted but not landed (short OS write)
+        debug_assert!(written <= granted);
+        if written < granted && !self.fuse.unlimited {
+            self.fuse
+                .remaining
+                .fetch_add((granted - written) as u64, Ordering::Relaxed);
+            self.fuse
+                .consumed
+                .fetch_sub((granted - written) as u64, Ordering::Relaxed);
+        }
+        Ok(written)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+/// Filesystem-operation wrappers the store routes through so the
+/// sweep also lands between whole-file steps (sync-but-not-renamed,
+/// renamed-but-olds-alive, …).
+pub(crate) fn fused_rename(
+    fuse: &CrashFuse,
+    from: &std::path::Path,
+    to: &std::path::Path,
+) -> Result<(), StoreError> {
+    fuse.fs_op()?;
+    std::fs::rename(from, to)?;
+    Ok(())
+}
+
+/// As [`fused_rename`], for unlinking.
+pub(crate) fn fused_remove_file(
+    fuse: &CrashFuse,
+    path: &std::path::Path,
+) -> Result<(), StoreError> {
+    fuse.fs_op()?;
+    std::fs::remove_file(path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_fuse_counts_but_never_trips() {
+        let fuse = CrashFuse::unlimited();
+        assert_eq!(fuse.take(1000), 1000);
+        fuse.fs_op().unwrap();
+        assert_eq!(fuse.consumed(), 1001);
+        assert!(!fuse.tripped());
+    }
+
+    #[test]
+    fn armed_fuse_grants_exact_prefix_then_trips_forever() {
+        let fuse = CrashFuse::armed(10);
+        assert_eq!(fuse.take(6), 6);
+        assert_eq!(fuse.take(6), 4, "only the remaining budget is granted");
+        assert!(fuse.tripped());
+        assert_eq!(fuse.take(1), 0, "a tripped fuse never grants again");
+        assert!(is_crash(&fuse.fs_op().unwrap_err()));
+        assert_eq!(fuse.consumed(), 10);
+    }
+
+    #[test]
+    fn fused_file_writes_the_granted_prefix_only() {
+        let dir = std::env::temp_dir().join(format!("apks-fuse-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.bin");
+        // budget: 1 (create) + 5 bytes
+        let fuse = CrashFuse::armed(6);
+        let mut f = FusedFile::create(&path, fuse.clone()).unwrap();
+        // write_all: first write lands 5 bytes, the retry crashes
+        let err = f.write_all(&[0xAA; 9]).unwrap_err();
+        assert!(is_crash(&err));
+        f.flush().unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), vec![0xAA; 5]);
+        assert!(fuse.tripped());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_errors_map_to_store_crashed() {
+        let e: StoreError = crash_error().into();
+        assert_eq!(e, StoreError::Crashed);
+        let real: StoreError = io::Error::other("disk on fire").into();
+        assert!(matches!(real, StoreError::Io(_)));
+    }
+}

@@ -26,10 +26,12 @@
 //! *before* any allocation, and malformed input surfaces a structured
 //! [`StoreError`], never a panic.
 
+pub mod crash;
 pub mod page;
 pub mod segment;
 pub mod store;
 
+pub use crash::{CrashFuse, CrashPoint, FusedFile};
 pub use page::{Cell, Page, PageError, MAX_PAGE_SIZE, MIN_PAGE_SIZE, PAGE_HEADER_LEN};
 pub use segment::{
     CellIter, SegmentHeader, SegmentInfo, SegmentReader, SegmentWriter, SEGMENT_HEADER_LEN,
@@ -45,6 +47,15 @@ use core::fmt;
 pub enum StoreError {
     /// An underlying filesystem operation failed.
     Io(String),
+    /// A seeded [`CrashFuse`] killed the process at this write — the
+    /// store object is dead; recovery happens at the next
+    /// [`PagedStore::open`].
+    Crashed,
+    /// A segment file ends before its fixed header does — the torn
+    /// residue of a crash during segment creation (tolerated at store
+    /// open for the newest segment only), or real truncation anywhere
+    /// else.
+    ShortHeader,
     /// A segment file did not start with [`SEGMENT_MAGIC`].
     BadMagic,
     /// The segment format version is unsupported.
@@ -88,6 +99,8 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::Io(m) => write!(f, "store i/o error: {m}"),
+            StoreError::Crashed => write!(f, "injected crash point reached"),
+            StoreError::ShortHeader => write!(f, "segment shorter than its header"),
             StoreError::BadMagic => write!(f, "not a segment file (bad magic)"),
             StoreError::BadVersion(v) => write!(f, "unsupported segment format version {v}"),
             StoreError::HeaderChecksumMismatch => {
@@ -121,6 +134,10 @@ impl std::error::Error for StoreError {}
 
 impl From<std::io::Error> for StoreError {
     fn from(e: std::io::Error) -> StoreError {
-        StoreError::Io(e.to_string())
+        if crash::is_crash(&e) {
+            StoreError::Crashed
+        } else {
+            StoreError::Io(e.to_string())
+        }
     }
 }

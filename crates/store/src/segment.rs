@@ -8,12 +8,14 @@
 //! skips them (the cells were never acknowledged as durable); the same
 //! damage *before* the tail is interior corruption and fails loudly.
 
+use crate::crash::{CrashFuse, FusedFile};
 use crate::page::{Cell, Page, PageError};
 use crate::StoreError;
 use apks_math::sha256::sha256;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// First eight bytes of every segment file.
 pub const SEGMENT_MAGIC: [u8; 8] = *b"APKSSEG\0";
@@ -61,7 +63,7 @@ impl SegmentHeader {
     /// A structured [`StoreError`] naming the first check that failed.
     pub fn from_bytes(bytes: &[u8]) -> Result<SegmentHeader, StoreError> {
         if bytes.len() < SEGMENT_HEADER_LEN {
-            return Err(StoreError::Io("segment shorter than its header".into()));
+            return Err(StoreError::ShortHeader);
         }
         if bytes[..8] != SEGMENT_MAGIC {
             return Err(StoreError::BadMagic);
@@ -105,7 +107,7 @@ pub struct SegmentInfo {
 
 /// Streams cells into a new segment file, sealing pages as they fill.
 pub struct SegmentWriter {
-    file: BufWriter<File>,
+    file: BufWriter<FusedFile>,
     path: PathBuf,
     page_size: usize,
     page: Page,
@@ -114,7 +116,8 @@ pub struct SegmentWriter {
 
 impl SegmentWriter {
     /// Creates `path` (truncating any existing file) and writes the
-    /// header immediately.
+    /// header immediately. Writes never trip a fuse (the production
+    /// configuration); crash tests use [`SegmentWriter::create_fused`].
     ///
     /// # Errors
     ///
@@ -129,13 +132,41 @@ impl SegmentWriter {
         schema_digest: [u8; 32],
         page_size: usize,
     ) -> Result<SegmentWriter, StoreError> {
+        SegmentWriter::create_fused(
+            path,
+            segment_id,
+            schema_digest,
+            page_size,
+            CrashFuse::unlimited(),
+        )
+    }
+
+    /// As [`SegmentWriter::create`], but every disk unit (the create
+    /// itself, each written byte, the final sync) is charged to `fuse`
+    /// — the crash-injection entry point.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (including [`StoreError::Crashed`]) creating or
+    /// writing the file.
+    ///
+    /// # Panics
+    ///
+    /// If `page_size` is out of range (validated by [`Page::new`]).
+    pub fn create_fused(
+        path: &Path,
+        segment_id: u64,
+        schema_digest: [u8; 32],
+        page_size: usize,
+        fuse: Arc<CrashFuse>,
+    ) -> Result<SegmentWriter, StoreError> {
         let header = SegmentHeader {
             version: SEGMENT_VERSION,
             page_size: page_size as u32,
             segment_id,
             schema_digest,
         };
-        let mut file = BufWriter::new(File::create(path)?);
+        let mut file = BufWriter::new(FusedFile::create(path, fuse)?);
         file.write_all(&header.to_bytes())?;
         Ok(SegmentWriter {
             file,
@@ -247,7 +278,7 @@ impl SegmentReader {
         while filled < SEGMENT_HEADER_LEN {
             let n = file.read(&mut header_bytes[filled..])?;
             if n == 0 {
-                return Err(StoreError::Io("segment shorter than its header".into()));
+                return Err(StoreError::ShortHeader);
             }
             filled += n;
         }

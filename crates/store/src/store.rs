@@ -11,11 +11,13 @@
 //! half-written hybrid (the new segment is synced before any old file
 //! is unlinked).
 
+use crate::crash::{fused_remove_file, fused_rename, CrashFuse};
 use crate::page::Cell;
 use crate::segment::{CellIter, SegmentInfo, SegmentReader, SegmentWriter};
 use crate::StoreError;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Where a document's winning cell lives: one page read away.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -90,10 +92,24 @@ pub struct PagedStore {
     /// Open segment readers kept warm for point lookups (invalidated
     /// by compaction, which unlinks the files).
     readers: HashMap<u64, SegmentReader>,
+    /// Crash-injection budget every disk unit is charged to. Unlimited
+    /// (never trips) outside crash tests.
+    fuse: Arc<CrashFuse>,
+    /// Torn segment creations discarded at open — the residue of a
+    /// crash before the newest segment's header landed.
+    torn_creations: u64,
 }
 
 fn segment_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("seg-{id:010}.apks"))
+}
+
+/// Where compaction stages its merged segment before the atomic
+/// rename. The name does not parse as a segment, so a crash leaves a
+/// file [`PagedStore::open`] ignores (and sweeps away), never one that
+/// shadows live data.
+fn segment_tmp_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:010}.apks.tmp"))
 }
 
 fn parse_segment_name(name: &str) -> Option<u64> {
@@ -107,7 +123,14 @@ impl PagedStore {
     ///
     /// Every segment file present has its header validated against the
     /// digest; a segment from another deployment is an error, not a
-    /// silent skip.
+    /// silent skip. Two kinds of crash residue are recovered instead
+    /// of refused: stale `.apks.tmp` staging files (a compaction that
+    /// died before its rename) are swept away, and the **newest**
+    /// segment may end before its header does (a crash during segment
+    /// creation — those cells were never acknowledged) and is
+    /// discarded. The same short header on any older segment is real
+    /// truncation and still fails loudly: older segments were synced
+    /// before their successors existed.
     ///
     /// # Errors
     ///
@@ -118,21 +141,38 @@ impl PagedStore {
         config: StoreConfig,
     ) -> Result<PagedStore, StoreError> {
         std::fs::create_dir_all(dir)?;
-        let mut sealed = Vec::new();
+        let mut found = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let entry = entry?;
             let name = entry.file_name();
             let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".apks.tmp") {
+                // a compaction staging file whose rename never happened
+                std::fs::remove_file(entry.path())?;
+                continue;
+            }
             let Some(id) = parse_segment_name(name) else {
                 continue;
             };
+            found.push((id, entry.path()));
+        }
+        found.sort_unstable_by_key(|(id, _)| *id);
+        let newest = found.last().map(|(id, _)| *id);
+        let mut sealed = Vec::new();
+        let mut torn_creations = 0;
+        for (id, path) in &found {
             // header check now, so a foreign or damaged segment fails
             // at open instead of mid-scan
-            SegmentReader::open(&entry.path(), Some(&schema_digest))?;
-            sealed.push(id);
+            match SegmentReader::open(path, Some(&schema_digest)) {
+                Ok(_) => sealed.push(*id),
+                Err(StoreError::ShortHeader) if Some(*id) == newest => {
+                    std::fs::remove_file(path)?;
+                    torn_creations += 1;
+                }
+                Err(e) => return Err(e),
+            }
         }
-        sealed.sort_unstable();
-        let next_segment_id = sealed.last().map_or(0, |last| last + 1);
+        let next_segment_id = newest.map_or(0, |last| last + 1);
         let mut store = PagedStore {
             dir: dir.to_path_buf(),
             schema_digest,
@@ -143,9 +183,24 @@ impl PagedStore {
             index: HashMap::new(),
             order: Vec::new(),
             readers: HashMap::new(),
+            fuse: CrashFuse::unlimited(),
+            torn_creations,
         };
         store.rebuild_index();
         Ok(store)
+    }
+
+    /// Arms crash injection: every subsequent disk unit (bytes,
+    /// creates, syncs, renames, unlinks) is charged to `fuse`, and the
+    /// store dies with [`StoreError::Crashed`] when the budget runs
+    /// out. Production stores keep the default unlimited fuse.
+    pub fn set_crash_fuse(&mut self, fuse: Arc<CrashFuse>) {
+        self.fuse = fuse;
+    }
+
+    /// Torn segment creations discarded by [`PagedStore::open`].
+    pub fn torn_creations(&self) -> u64 {
+        self.torn_creations
     }
 
     /// Replays every sealed segment once, building the `doc_id →
@@ -221,11 +276,12 @@ impl PagedStore {
         if self.active.is_none() {
             let id = self.next_segment_id;
             self.next_segment_id += 1;
-            self.active = Some(SegmentWriter::create(
+            self.active = Some(SegmentWriter::create_fused(
                 &segment_path(&self.dir, id),
                 id,
                 self.schema_digest,
                 self.config.page_size,
+                self.fuse.clone(),
             )?);
         }
         let writer = self.active.as_mut().expect("just ensured");
@@ -275,7 +331,7 @@ impl PagedStore {
             let info = writer.finish()?;
             if info.cells == 0 {
                 // an empty segment is pure noise: drop the file
-                std::fs::remove_file(segment_path(&self.dir, info.segment_id))?;
+                fused_remove_file(&self.fuse, &segment_path(&self.dir, info.segment_id))?;
             } else {
                 self.sealed.push(info.segment_id);
             }
@@ -368,8 +424,17 @@ impl PagedStore {
     }
 
     /// Merges every sealed segment into one: the **latest** cell per
-    /// document wins and tombstoned documents vanish. Old segment
-    /// files are unlinked only after the merged segment is synced.
+    /// document wins and tombstoned documents vanish.
+    ///
+    /// Crash-safe by construction: the merged segment is written to a
+    /// `.apks.tmp` staging name, synced, and only then renamed over
+    /// its final name — a crash mid-write leaves a staging file
+    /// [`PagedStore::open`] sweeps away, never a half-written segment
+    /// shadowing live data. Old segment files are unlinked only after
+    /// the rename, in **ascending** id order, so any crash leaves a
+    /// suffix of the old set in which no put outlives its tombstone
+    /// (a put's tombstone always lives in a later segment) and the
+    /// merged segment — which replays last — still wins.
     ///
     /// Returns the merged segment's info (`cells == 0` means the store
     /// compacted to empty and no segment was kept).
@@ -390,9 +455,15 @@ impl PagedStore {
         // pass 2: replay, keeping only each document's winning put
         let id = self.next_segment_id;
         self.next_segment_id += 1;
+        let tmp = segment_tmp_path(&self.dir, id);
         let path = segment_path(&self.dir, id);
-        let mut writer =
-            SegmentWriter::create(&path, id, self.schema_digest, self.config.page_size)?;
+        let mut writer = SegmentWriter::create_fused(
+            &tmp,
+            id,
+            self.schema_digest,
+            self.config.page_size,
+            self.fuse.clone(),
+        )?;
         for (seq, item) in (0_u64..).zip(self.scan()?) {
             let cell = item?;
             let (win_seq, is_tombstone) = last[&cell.doc_id()];
@@ -402,14 +473,18 @@ impl PagedStore {
         }
         let info = writer.finish()?;
 
-        // the merged segment is durable: retire the inputs
+        if info.cells == 0 {
+            // compacted to empty: no segment to publish
+            fused_remove_file(&self.fuse, &tmp)?;
+        } else {
+            // publish atomically, then retire the durable inputs
+            fused_rename(&self.fuse, &tmp, &path)?;
+        }
         for &old in &self.sealed {
-            std::fs::remove_file(segment_path(&self.dir, old))?;
+            fused_remove_file(&self.fuse, &segment_path(&self.dir, old))?;
         }
         self.sealed.clear();
-        if info.cells == 0 {
-            std::fs::remove_file(&path)?;
-        } else {
+        if info.cells != 0 {
             self.sealed.push(id);
         }
         // every cached reader points at an unlinked file, and every
@@ -709,6 +784,171 @@ mod tests {
         store.put(2, vec![2]).unwrap();
         assert_eq!(store.get(2).unwrap(), Some(vec![2]));
         assert_eq!(store.get(1).unwrap(), Some(vec![1]));
+    }
+
+    /// Live doc → payload map via point lookups.
+    fn live_map(store: &mut PagedStore) -> HashMap<u64, Vec<u8>> {
+        store
+            .doc_order()
+            .to_vec()
+            .into_iter()
+            .map(|id| (id, store.get(id).unwrap().unwrap()))
+            .collect()
+    }
+
+    /// Prelude shared by the compaction crash tests: two generations
+    /// of puts plus deletions, sealed across several segments.
+    fn compaction_prelude(store: &mut PagedStore) {
+        for i in 0..30u64 {
+            store.put(i, vec![1u8; 8]).unwrap();
+        }
+        for i in 0..10u64 {
+            store.put(i, vec![2u8; 8]).unwrap();
+        }
+        for i in 10..15u64 {
+            store.delete(i).unwrap();
+        }
+        store.seal().unwrap();
+    }
+
+    #[test]
+    fn compaction_crash_between_write_and_rename_preserves_old_set() {
+        use crate::crash::CrashFuse;
+        let digest = [8u8; 32];
+        // dry run: measure the fs-op budget of the whole compaction
+        let unit_counts = {
+            let tmp = TempDir::new("compact-crash-dry");
+            let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+            compaction_prelude(&mut store);
+            let olds = store.sealed_segments() as u64;
+            let fuse = CrashFuse::unlimited();
+            store.set_crash_fuse(fuse.clone());
+            let before = fuse.consumed();
+            store.compact().unwrap();
+            (fuse.consumed() - before, olds)
+        };
+        let (total, olds) = unit_counts;
+        // compaction spends: create(1) + bytes + sync(1) + rename(1) +
+        // one unlink per old segment — so `total - olds - 1` dies with
+        // the merged segment fully synced but the rename not yet done
+        let budget = total - olds - 1;
+        let tmp = TempDir::new("compact-crash-rename");
+        let expected = {
+            let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+            compaction_prelude(&mut store);
+            let pre_compact = live_map(&mut store);
+            store.set_crash_fuse(CrashFuse::armed(budget));
+            assert_eq!(store.compact().unwrap_err(), StoreError::Crashed);
+            pre_compact
+        };
+        // the staging file exists, no final-name segment was published
+        let staged = std::fs::read_dir(&tmp.0)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(".apks.tmp")
+            })
+            .count();
+        assert_eq!(staged, 1, "crash must land between sync and rename");
+        // reopen: staging swept, old segments intact, data unchanged
+        let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+        assert_eq!(live_map(&mut store), expected);
+        assert_eq!(
+            std::fs::read_dir(&tmp.0)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .ends_with(".apks.tmp")
+                })
+                .count(),
+            0,
+            "open must sweep the staging file"
+        );
+    }
+
+    #[test]
+    fn compaction_crash_mid_unlink_keeps_merged_winning() {
+        use crate::crash::CrashFuse;
+        let digest = [8u8; 32];
+        let (total, _) = {
+            let tmp = TempDir::new("compact-unlink-dry");
+            let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+            compaction_prelude(&mut store);
+            let fuse = CrashFuse::unlimited();
+            store.set_crash_fuse(fuse.clone());
+            store.compact().unwrap();
+            (fuse.consumed(), store.sealed_segments())
+        };
+        // every budget in the unlink window: rename done, 0..olds olds
+        // removed — the merged segment must win over any leftover
+        for back in 1..4u64 {
+            let tmp = TempDir::new(&format!("compact-unlink-{back}"));
+            let expected = {
+                let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+                compaction_prelude(&mut store);
+                let map = live_map(&mut store);
+                store.set_crash_fuse(CrashFuse::armed(total - back));
+                assert_eq!(store.compact().unwrap_err(), StoreError::Crashed);
+                map
+            };
+            let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+            assert_eq!(live_map(&mut store), expected, "budget total-{back}");
+        }
+    }
+
+    #[test]
+    fn torn_segment_creation_is_discarded_at_open() {
+        use crate::crash::CrashFuse;
+        let digest = [7u8; 32];
+        let tmp = TempDir::new("torn-create");
+        {
+            let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+            store.put(1, vec![0xAA; 8]).unwrap();
+            store.seal().unwrap();
+            // next append creates a segment; budget 1 covers only the
+            // create fs-op, so the header write dies part-way (the
+            // BufWriter flush on drop is also refused — fuses latch)
+            store.set_crash_fuse(CrashFuse::armed(1));
+            let _ = store.put(2, vec![0xBB; 8]);
+            let _ = store.seal();
+        }
+        let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+        assert_eq!(store.torn_creations(), 1);
+        assert_eq!(store.get(1).unwrap(), Some(vec![0xAA; 8]));
+        assert_eq!(store.get(2).unwrap(), None, "doc 2 was never durable");
+        // the torn file's id is not reused
+        store.put(3, vec![0xCC; 8]).unwrap();
+        store.seal().unwrap();
+        assert_eq!(store.sealed.last().copied(), Some(2));
+    }
+
+    #[test]
+    fn short_header_on_older_segment_still_fails_open() {
+        let digest = [7u8; 32];
+        let tmp = TempDir::new("short-older");
+        {
+            let mut store = PagedStore::open(&tmp.0, digest, small_config()).unwrap();
+            for i in 0..200u64 {
+                store.put(i, vec![1u8; 16]).unwrap();
+            }
+            store.seal().unwrap();
+            assert!(store.sealed_segments() > 1);
+        }
+        // truncate the FIRST segment below its header: that file was
+        // synced long ago, so this is corruption, not crash residue
+        let first = segment_path(&tmp.0, 0);
+        let bytes = std::fs::read(&first).unwrap();
+        std::fs::write(&first, &bytes[..40]).unwrap();
+        assert_eq!(
+            PagedStore::open(&tmp.0, digest, small_config()).err(),
+            Some(StoreError::ShortHeader)
+        );
     }
 
     #[test]

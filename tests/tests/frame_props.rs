@@ -1,0 +1,206 @@
+//! Property fuzz for the frame layer: arbitrary streams — valid frames
+//! interleaved with garbage and single-bit flips — pushed into
+//! [`FrameDecoder`] split at **every** byte boundary.
+//!
+//! Invariants held across all cases:
+//!
+//! 1. the decoder never panics, whatever the bytes;
+//! 2. it poisons exactly once — after the first `Err`, every later
+//!    `next_frame` returns the *same* error and pushed bytes are
+//!    ignored (pending is frozen);
+//! 3. frames that ended before the corruption decode byte-identically;
+//! 4. a fresh decoder started at the next `APKS` magic resyncs and
+//!    decodes the rest of the stream intact.
+
+use apks_wire::{encode_frame, FrameDecoder, WireError, FRAME_HEADER_LEN, FRAME_MAGIC};
+use proptest::prelude::*;
+
+/// Payload bytes stay strictly below `b'A'` (65), so outside the real
+/// headers the encoded stream can never contain an accidental `APKS`
+/// — the resync property gets an unambiguous magic to hunt for.
+fn magic_free_payloads(min_frames: usize) -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..60, 0..24), min_frames..6)
+}
+
+/// Concatenates the encoded frames; returns the stream and each
+/// frame's start offset.
+fn concat_frames(payloads: &[Vec<u8>]) -> (Vec<u8>, Vec<usize>) {
+    let mut stream = Vec::new();
+    let mut starts = Vec::with_capacity(payloads.len());
+    for p in payloads {
+        starts.push(stream.len());
+        stream.extend_from_slice(&encode_frame(p).expect("payloads are tiny"));
+    }
+    (stream, starts)
+}
+
+/// Feeds `stream` one byte at a time — exercising every split boundary
+/// — draining after each push, then polls `extra` more times past the
+/// end. Returns the decoded payloads and every error observed in call
+/// order.
+///
+/// The poison contract is asserted *here*, where the decoder state is
+/// visible: once an error is returned, `pending()` must never grow
+/// again (pushes are inert) and no further frame may pop out.
+fn drain_bytewise(stream: &[u8], extra: usize) -> (Vec<Vec<u8>>, Vec<WireError>) {
+    let mut dec = FrameDecoder::new();
+    let mut decoded = Vec::new();
+    let mut errors: Vec<WireError> = Vec::new();
+    let mut frozen_pending = None;
+    for &b in stream {
+        dec.push(&[b]);
+        if let Some(frozen) = frozen_pending {
+            assert_eq!(dec.pending(), frozen, "push must be inert once poisoned");
+        }
+        loop {
+            match dec.next_frame() {
+                Ok(Some(p)) => {
+                    assert!(errors.is_empty(), "no frame may surface after poisoning");
+                    decoded.push(p);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    errors.push(e);
+                    frozen_pending.get_or_insert(dec.pending());
+                    break;
+                }
+            }
+        }
+    }
+    for _ in 0..extra {
+        match dec.next_frame() {
+            Ok(Some(p)) => {
+                assert!(errors.is_empty(), "no frame may surface after poisoning");
+                decoded.push(p);
+            }
+            Ok(None) => {}
+            Err(e) => errors.push(e),
+        }
+    }
+    (decoded, errors)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Clean streams reassemble exactly, no matter where the splits
+    /// fall — and keep yielding `Ok(None)` quietly once drained.
+    #[test]
+    fn clean_streams_survive_every_split_boundary(payloads in magic_free_payloads(1)) {
+        let (stream, _) = concat_frames(&payloads);
+        let (decoded, errors) = drain_bytewise(&stream, 4);
+        prop_assert_eq!(decoded, payloads);
+        prop_assert!(errors.is_empty(), "clean stream must not error: {:?}", errors);
+    }
+
+    /// Wholly arbitrary bytes: never a panic, and the poison — if any —
+    /// is sticky (every later call returns the identical error).
+    #[test]
+    fn arbitrary_garbage_never_panics_and_poisons_at_most_once(
+        stream in prop::collection::vec(any::<u8>(), 0..192),
+    ) {
+        let (_, errors) = drain_bytewise(&stream, 8);
+        if let Some(first) = errors.first() {
+            prop_assert!(
+                errors.iter().all(|e| e == first),
+                "poison must repeat the first error: {:?}",
+                errors
+            );
+        }
+    }
+
+    /// One bit flipped somewhere in a valid multi-frame stream. Frames
+    /// that ended before the flip always decode byte-identically; a
+    /// flip inside a *payload* never breaks framing at all (same
+    /// frames, exactly that one byte off); a flip inside a *magic*
+    /// poisons with `BadMagic` right there.
+    #[test]
+    fn single_bit_flips_poison_once_and_spare_the_prefix(
+        payloads in magic_free_payloads(1),
+        pos_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let (mut stream, starts) = concat_frames(&payloads);
+        let flip = (pos_seed % stream.len() as u64) as usize;
+        stream[flip] ^= 1 << bit;
+        let (decoded, errors) = drain_bytewise(&stream, 4);
+
+        if let Some(first) = errors.first() {
+            prop_assert!(
+                errors.iter().all(|e| e == first),
+                "poison must repeat the first error: {:?}",
+                errors
+            );
+        }
+
+        // frames ending strictly before the flip are untouched
+        let intact = starts
+            .iter()
+            .zip(&payloads)
+            .take_while(|(s, p)| **s + FRAME_HEADER_LEN + p.len() <= flip)
+            .count();
+        prop_assert!(decoded.len() >= intact);
+        for i in 0..intact {
+            prop_assert_eq!(&decoded[i], &payloads[i]);
+        }
+
+        // locate the frame the flip landed in
+        let j = starts
+            .iter()
+            .rposition(|s| *s <= flip)
+            .expect("flip is inside the stream");
+        let offset = flip - starts[j];
+        if offset >= FRAME_HEADER_LEN {
+            // payload flip: framing is untouched — all frames decode,
+            // and only the flipped byte differs
+            prop_assert!(errors.is_empty(), "payload flip must not poison: {:?}", errors);
+            prop_assert_eq!(decoded.len(), payloads.len());
+            for (i, (got, want)) in decoded.iter().zip(&payloads).enumerate() {
+                if i == j {
+                    let mut expect = want.clone();
+                    expect[offset - FRAME_HEADER_LEN] ^= 1 << bit;
+                    prop_assert_eq!(got, &expect);
+                } else {
+                    prop_assert_eq!(got, want);
+                }
+            }
+        } else if offset < 4 {
+            // magic flip: everything before frame j decodes, then the
+            // decoder poisons on the mangled magic and yields nothing more
+            prop_assert_eq!(decoded.len(), j);
+            prop_assert!(
+                matches!(errors.first(), Some(WireError::BadMagic(_))),
+                "magic flip must poison with BadMagic: {:?}",
+                errors
+            );
+        }
+        // length-byte flips mis-frame downstream in input-dependent
+        // ways; the universal invariants above are the contract there
+    }
+
+    /// After a poisoned connection, the peer reconnects with a *fresh*
+    /// decoder and resyncs at the next `APKS` magic: the rest of the
+    /// stream decodes intact.
+    #[test]
+    fn fresh_decoder_resyncs_at_next_magic(
+        payloads in magic_free_payloads(2),
+        mask in 1u8..=255,
+    ) {
+        let (mut stream, starts) = concat_frames(&payloads);
+        stream[0] ^= mask; // mangle frame 0's magic: first byte != b'A'
+        let (decoded, errors) = drain_bytewise(&stream, 4);
+        prop_assert!(decoded.is_empty());
+        prop_assert!(matches!(errors.first(), Some(WireError::BadMagic(_))));
+
+        // the only `A` bytes in the stream are frame-start magics, so
+        // the next magic after the mangled one is exactly frame 1
+        let resync = (1..stream.len())
+            .find(|&i| stream[i..].starts_with(&FRAME_MAGIC))
+            .expect("at least two frames");
+        prop_assert_eq!(resync, starts[1]);
+
+        let (tail, tail_errors) = drain_bytewise(&stream[resync..], 4);
+        prop_assert!(tail_errors.is_empty(), "resynced stream must be clean: {:?}", tail_errors);
+        prop_assert_eq!(&tail[..], &payloads[1..]);
+    }
+}

@@ -155,12 +155,36 @@ fn full_size_final_page_with_dead_checksum_is_a_torn_tail() {
 
 #[test]
 fn truncated_segment_header_fails_at_open() {
+    // a half-written header on a NON-tail segment is interior
+    // corruption, not crash residue: open must refuse, loudly
     let tmp = TempDir::new("header");
-    drop(seeded_store(tmp.path(), 8));
+    drop(seeded_store(tmp.path(), 30));
     let files = segment_files(tmp.path());
+    assert!(files.len() > 1, "want several sealed segments");
     let bytes = fs::read(&files[0]).unwrap();
     fs::write(&files[0], &bytes[..SEGMENT_HEADER_LEN / 2]).unwrap();
     assert!(PagedStore::open(tmp.path(), DIGEST, small_config()).is_err());
+}
+
+#[test]
+fn truncated_tail_segment_header_is_discarded_crash_residue() {
+    // the same damage on the NEWEST segment is exactly what a crash
+    // during segment creation leaves: open recovers by discarding it,
+    // and every doc sealed into earlier segments survives
+    let tmp = TempDir::new("header-tail");
+    drop(seeded_store(tmp.path(), 30));
+    let files = segment_files(tmp.path());
+    assert!(files.len() > 1, "want several sealed segments");
+    let last = files.last().unwrap();
+    let bytes = fs::read(last).unwrap();
+    fs::write(last, &bytes[..SEGMENT_HEADER_LEN / 2]).unwrap();
+
+    let mut store = PagedStore::open(tmp.path(), DIGEST, small_config()).unwrap();
+    assert_eq!(store.torn_creations(), 1);
+    let ids = collect_ids(&mut store).unwrap();
+    assert!(!ids.is_empty(), "earlier segments must replay");
+    assert_eq!(ids, (0..ids.len() as u64).collect::<Vec<_>>());
+    assert!(ids.len() < 30, "the discarded tail's docs are gone");
 }
 
 #[test]
